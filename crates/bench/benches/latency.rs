@@ -1,0 +1,56 @@
+//! Criterion micro-benchmark for Exp 3 (Fig. 14): per-answer latency at
+//! the paper's fixed 1024-tuple window. Criterion reports the mean and
+//! distribution of single-slide times; the `experiments exp3` binary
+//! reports the paper's full percentile table including max spikes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swag_bench::registry::{single_max_runner, single_sum_runner, CyclicStream};
+
+const WINDOW: usize = 1024;
+
+fn bench_latency(c: &mut Criterion) {
+    let stream = CyclicStream::debs(1 << 16, 42);
+    let mut group = c.benchmark_group("exp3_latency_window1024");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.sample_size(20);
+    for algo in ["naive", "flatfat", "bint", "flatfit", "twostacks", "daba"] {
+        let mut runner = single_sum_runner(algo, WINDOW);
+        runner.warm_values(stream.prefix(WINDOW));
+        let values: Vec<f64> = stream.prefix(4096).to_vec();
+        let mut i = 0usize;
+        group.bench_with_input(BenchmarkId::new(algo, "sum"), &(), |b, _| {
+            b.iter(|| {
+                let v = values[i % values.len()];
+                i += 1;
+                runner.slide_value(v)
+            })
+        });
+    }
+    // SlickDeque: both variants, as in Fig. 14.
+    let mut inv = single_sum_runner("slickdeque", WINDOW);
+    inv.warm_values(stream.prefix(WINDOW));
+    let values: Vec<f64> = stream.prefix(4096).to_vec();
+    let mut i = 0usize;
+    group.bench_with_input(BenchmarkId::new("slickdeque_inv", "sum"), &(), |b, _| {
+        b.iter(|| {
+            let v = values[i % values.len()];
+            i += 1;
+            inv.slide_value(v)
+        })
+    });
+    let mut non = single_max_runner("slickdeque", WINDOW);
+    non.warm_values(stream.prefix(WINDOW));
+    let mut j = 0usize;
+    group.bench_with_input(BenchmarkId::new("slickdeque_noninv", "max"), &(), |b, _| {
+        b.iter(|| {
+            let v = values[j % values.len()];
+            j += 1;
+            non.slide_value(v)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

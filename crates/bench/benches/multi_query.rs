@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks for Exp 2 (Figs. 12 and 13): max-multi-query
+//! per-slide cost across algorithms and query counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use swag_bench::registry::{
+    multi_max_runner, multi_sum_runner, CyclicStream, MULTI_MAX_ALGOS, MULTI_SUM_ALGOS,
+};
+
+const COUNTS: &[usize] = &[16, 128, 1024];
+const BATCH: usize = 128;
+
+fn bench_multi_sum(c: &mut Criterion) {
+    let stream = CyclicStream::debs(1 << 14, 42);
+    let values: Vec<f64> = stream.prefix(BATCH).to_vec();
+    let mut group = c.benchmark_group("exp2a_multi_sum");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for &n in COUNTS {
+        for algo in MULTI_SUM_ALGOS {
+            // Naive's n²/2 per slide makes large n pointless to time here.
+            if *algo == "naive" && n > 128 {
+                continue;
+            }
+            let mut runner = multi_sum_runner(algo, n);
+            let mut checksum = 0.0;
+            for &v in stream.prefix(2 * n.min(1 << 13)) {
+                runner.slide_value(v, &mut checksum);
+            }
+            group.bench_with_input(BenchmarkId::new(*algo, n), &n, |b, _| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for &v in &values {
+                        runner.slide_value(v, &mut acc);
+                    }
+                    acc
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_multi_max(c: &mut Criterion) {
+    let stream = CyclicStream::debs(1 << 14, 42);
+    let values: Vec<f64> = stream.prefix(BATCH).to_vec();
+    let mut group = c.benchmark_group("exp2b_multi_max");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for &n in COUNTS {
+        for algo in MULTI_MAX_ALGOS {
+            if *algo == "naive" && n > 128 {
+                continue;
+            }
+            let mut runner = multi_max_runner(algo, n);
+            let mut checksum = 0.0;
+            for &v in stream.prefix(2 * n.min(1 << 13)) {
+                runner.slide_value(v, &mut checksum);
+            }
+            group.bench_with_input(BenchmarkId::new(*algo, n), &n, |b, _| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for &v in &values {
+                        runner.slide_value(v, &mut acc);
+                    }
+                    acc
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_sum, bench_multi_max);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion benchmark over the raw data-structure substrates: chunked
+//! deque vs `VecDeque`, and the cost of the DABA fix-up step — the
+//! ablations DESIGN.md calls out for the chunk-allocation design choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use slickdeque::core::chunked::ChunkedDeque;
+use slickdeque::prelude::*;
+use std::collections::VecDeque;
+
+const OPS: usize = 4096;
+
+fn bench_chunked_vs_vecdeque(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_fifo");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(OPS as u64));
+    for chunk_cap in [16usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("chunked", chunk_cap),
+            &chunk_cap,
+            |b, &cap| {
+                let mut d: ChunkedDeque<u64> = ChunkedDeque::with_chunk_capacity(cap);
+                for i in 0..1024u64 {
+                    d.push_back(i);
+                }
+                b.iter(|| {
+                    for i in 0..OPS as u64 {
+                        d.push_back(i);
+                        d.pop_front();
+                    }
+                    d.len()
+                })
+            },
+        );
+    }
+    group.bench_function("vecdeque", |b| {
+        let mut d: VecDeque<u64> = VecDeque::new();
+        for i in 0..1024u64 {
+            d.push_back(i);
+        }
+        b.iter(|| {
+            for i in 0..OPS as u64 {
+                d.push_back(i);
+                d.pop_front();
+            }
+            d.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_daba_vs_twostacks_steady(c: &mut Criterion) {
+    // The de-amortization ablation: DABA pays ~5 ops/slide everywhere,
+    // TwoStacks pays ~3 amortized with n-sized spikes. Mean slide cost
+    // shows the throughput side of that trade.
+    let mut group = c.benchmark_group("deamortization");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(OPS as u64));
+    let stream = energy_stream(OPS, 42, 0);
+    for window in [1024usize, 65_536] {
+        let op = Sum::<f64>::new();
+        let mut daba = Daba::new(op, window);
+        let mut ts = TwoStacks::new(op, window);
+        for &v in &stream {
+            daba.slide(v);
+            ts.slide(v);
+        }
+        group.bench_with_input(BenchmarkId::new("daba", window), &(), |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &v in &stream {
+                    acc += daba.slide(v);
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("twostacks", window), &(), |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &v in &stream {
+                    acc += ts.slide(v);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chunked_vs_vecdeque,
+    bench_daba_vs_twostacks_steady
+);
+criterion_main!(benches);

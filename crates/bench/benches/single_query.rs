@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks for Exp 1 (Figs. 10 and 11): single-query
+//! per-slide cost across algorithms and window sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use swag_bench::registry::{
+    single_max_runner, single_sum_runner, CyclicStream, SINGLE_MAX_ALGOS, SINGLE_SUM_ALGOS,
+};
+
+const WINDOWS: &[usize] = &[16, 256, 4096, 65_536];
+const BATCH: usize = 1024;
+
+fn bench_single_sum(c: &mut Criterion) {
+    let stream = CyclicStream::debs(1 << 16, 42);
+    let values: Vec<f64> = stream.prefix(BATCH).to_vec();
+    let mut group = c.benchmark_group("exp1a_single_sum");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for &window in WINDOWS {
+        for algo in SINGLE_SUM_ALGOS {
+            let mut runner = single_sum_runner(algo, window);
+            runner.warm_values(stream.prefix(window.min(1 << 16)));
+            group.bench_with_input(BenchmarkId::new(*algo, window), &window, |b, _| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for &v in &values {
+                        acc += runner.slide_value(v);
+                    }
+                    acc
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_single_max(c: &mut Criterion) {
+    let stream = CyclicStream::debs(1 << 16, 42);
+    let values: Vec<f64> = stream.prefix(BATCH).to_vec();
+    let mut group = c.benchmark_group("exp1b_single_max");
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for &window in WINDOWS {
+        for algo in SINGLE_MAX_ALGOS {
+            let mut runner = single_max_runner(algo, window);
+            runner.warm_values(stream.prefix(window.min(1 << 16)));
+            group.bench_with_input(BenchmarkId::new(*algo, window), &window, |b, _| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for &v in &values {
+                        acc += runner.slide_value(v);
+                    }
+                    acc
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_sum, bench_single_max);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p swag-bench --release --bin experiments -- all
+//! cargo run -p swag-bench --release --bin experiments -- exp1a --max-exp 22
+//! ```
+//!
+//! Subcommands: `table1`, `exp1a`, `exp1b`, `exp2a`, `exp2b`, `exp3`,
+//! `exp4`, `all`. Flags: `--quick`, `--max-exp E`, `--multi-max-exp E`,
+//! `--budget-ms N`, `--latency-tuples N`, `--seed S`, `--out DIR`,
+//! `--no-save`.
+
+use swag_bench::{exp1, exp2, exp3, exp4, pats, table1, workloads, Config};
+use swag_metrics::alloc::CountingAllocator;
+
+// Exp 4 measures peak live heap bytes through this allocator.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <table1|exp1a|exp1b|exp2a|exp2b|exp3|exp4|workloads|pats|all> \
+         [--quick] [--max-exp E] [--multi-max-exp E] [--budget-ms N] \
+         [--latency-tuples N] [--seed S] [--out DIR] [--no-save]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (Vec<String>, Config) {
+    let mut cfg = Config::default();
+    let mut commands = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let out = cfg.out_dir.clone();
+                cfg = Config::quick();
+                cfg.out_dir = out;
+            }
+            "--max-exp" => {
+                cfg.max_exp = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--multi-max-exp" => {
+                cfg.multi_max_exp = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--budget-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                cfg.point_budget = std::time::Duration::from_millis(ms);
+            }
+            "--latency-tuples" => {
+                cfg.latency_tuples = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => {
+                cfg.out_dir = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--no-save" => cfg.out_dir = None,
+            cmd if !cmd.starts_with('-') => commands.push(cmd.to_string()),
+            _ => usage(),
+        }
+    }
+    if commands.is_empty() {
+        usage();
+    }
+    (commands, cfg)
+}
+
+fn save_series(table: &swag_bench::report::SeriesTable, cfg: &Config) {
+    table.print();
+    if let Some(dir) = &cfg.out_dir {
+        if let Err(e) = table.save(dir) {
+            eprintln!("warning: could not save results: {e}");
+        }
+    }
+}
+
+fn main() {
+    let (commands, cfg) = parse_args();
+    let commands: Vec<String> = if commands.iter().any(|c| c == "all") {
+        [
+            "table1",
+            "exp1a",
+            "exp1b",
+            "exp2a",
+            "exp2b",
+            "exp3",
+            "exp4",
+            "workloads",
+            "pats",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    } else {
+        commands
+    };
+
+    for cmd in &commands {
+        match cmd.as_str() {
+            "table1" => {
+                let t = table1::run(&cfg);
+                t.print();
+                if let Some(dir) = &cfg.out_dir {
+                    let _ = t.save(dir);
+                }
+            }
+            "exp1a" => save_series(&exp1::run(&cfg, true), &cfg),
+            "exp1b" => save_series(&exp1::run(&cfg, false), &cfg),
+            "exp2a" => save_series(&exp2::run(&cfg, true), &cfg),
+            "exp2b" => save_series(&exp2::run(&cfg, false), &cfg),
+            "exp3" => {
+                let t = exp3::run(&cfg);
+                t.print();
+                if let Some(dir) = &cfg.out_dir {
+                    let _ = t.save(dir);
+                }
+            }
+            "pats" => {
+                let t = pats::run(&cfg);
+                t.print();
+                if let Some(dir) = &cfg.out_dir {
+                    let _ = t.save(dir);
+                }
+            }
+            "workloads" => {
+                let t = workloads::run(&cfg);
+                t.print();
+                if let Some(dir) = &cfg.out_dir {
+                    let _ = t.save(dir);
+                }
+            }
+            "exp4" => {
+                let (measured, analytic) = exp4::run(&cfg);
+                save_series(&measured, &cfg);
+                save_series(&analytic, &cfg);
+            }
+            _ => usage(),
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Exp 1: single-query throughput vs window size (Figs. 10 and 11).
+//!
+//! One query computing Sum (invertible, Fig. 10) or Max (non-invertible,
+//! Fig. 11) over the entire window, answered after every tuple arrival;
+//! window sizes are powers of two. Throughput is query results per
+//! second. Each point runs until the configured wall-clock budget is
+//! spent, so the O(n)-per-slide baselines scale their slide counts down
+//! automatically instead of exploding the total runtime.
+
+use crate::registry::{
+    single_max_runner, single_sum_runner, CyclicStream, SlideRunner, SINGLE_MAX_ALGOS,
+    SINGLE_SUM_ALGOS,
+};
+use crate::report::SeriesTable;
+use crate::Config;
+use std::time::Instant;
+
+/// Stream buffer length: large enough to decorrelate, small enough to
+/// stay in cache like the paper's replayed dataset pages.
+const STREAM_BUF: usize = 1 << 17;
+
+/// Warm a runner with `window` tuples drawn cyclically from the buffer.
+pub(crate) fn warm_window(runner: &mut dyn SlideRunner, stream: &CyclicStream, window: usize) {
+    let buf = stream.prefix(STREAM_BUF);
+    let mut remaining = window;
+    while remaining > 0 {
+        let chunk = remaining.min(buf.len());
+        runner.warm_values(&buf[..chunk]);
+        remaining -= chunk;
+    }
+}
+
+/// Measure steady-state slides per second under the point budget.
+pub(crate) fn measure_throughput(
+    runner: &mut dyn SlideRunner,
+    stream: &mut CyclicStream,
+    budget: std::time::Duration,
+) -> f64 {
+    let mut checksum = 0.0f64;
+    let mut slides = 0u64;
+    let start = Instant::now();
+    loop {
+        for _ in 0..1024 {
+            let v = stream.next_value();
+            checksum += runner.slide_value(v);
+        }
+        slides += 1024;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    std::hint::black_box(checksum);
+    slides as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Run Exp 1(a) (Sum) or Exp 1(b) (Max).
+pub fn run(cfg: &Config, invertible: bool) -> SeriesTable {
+    type Factory = fn(&str, usize) -> Box<dyn SlideRunner>;
+    let (id, title, algos, make): (_, _, _, Factory) = if invertible {
+        (
+            "exp1a",
+            "Single-query throughput, invertible (Sum) — Fig. 10",
+            SINGLE_SUM_ALGOS,
+            single_sum_runner,
+        )
+    } else {
+        (
+            "exp1b",
+            "Single-query throughput, non-invertible (Max) — Fig. 11",
+            SINGLE_MAX_ALGOS,
+            single_max_runner,
+        )
+    };
+    let mut table = SeriesTable::new(id, title, "window", "results/s", algos);
+    let mut stream = CyclicStream::debs(STREAM_BUF, cfg.seed);
+    for window in cfg.window_sweep() {
+        let mut row = Vec::with_capacity(algos.len());
+        for algo in algos {
+            let mut runner = make(algo, window);
+            warm_window(runner.as_mut(), &stream, window);
+            row.push(measure_throughput(
+                runner.as_mut(),
+                &mut stream,
+                cfg.point_budget,
+            ));
+        }
+        table.push_row(window as u64, row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_full_table() {
+        let mut cfg = Config::quick();
+        cfg.max_exp = 6;
+        cfg.point_budget = std::time::Duration::from_millis(2);
+        let t = run(&cfg, true);
+        assert_eq!(t.rows.len(), 7);
+        assert!(t.rows.iter().all(|(_, v)| v.iter().all(|&x| x > 0.0)));
+        let t = run(&cfg, false);
+        assert_eq!(t.rows.len(), 7);
+    }
+
+    #[test]
+    fn constant_time_algorithms_stay_flat_while_naive_degrades() {
+        let mut cfg = Config::quick();
+        cfg.max_exp = 12;
+        cfg.point_budget = std::time::Duration::from_millis(10);
+        let t = run(&cfg, true);
+        let naive_idx = t.series.iter().position(|s| s == "naive").unwrap();
+        let slick_idx = t.series.iter().position(|s| s == "slickdeque").unwrap();
+        let small = &t.rows[4].1; // window 16
+        let large = t.rows.last().unwrap(); // window 4096
+                                            // Naive collapses by orders of magnitude; SlickDeque barely moves.
+        assert!(small[naive_idx] / large.1[naive_idx] > 20.0);
+        assert!(small[slick_idx] / large.1[slick_idx] < 3.0);
+    }
+}

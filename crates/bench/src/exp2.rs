@@ -1,0 +1,118 @@
+//! Exp 2: max-multi-query throughput vs window size (Figs. 12 and 13).
+//!
+//! The maximum number of queries — one per range 1..=n — computes Sum
+//! (Fig. 12) or Max (Fig. 13) after every tuple arrival. Throughput is
+//! shared-plan slides per second (each slide answers all n queries).
+//! TwoStacks and DABA are absent: they do not support multi-query
+//! execution (paper §2.2).
+
+use crate::registry::{
+    multi_max_runner, multi_sum_runner, CyclicStream, MultiRunner, MULTI_MAX_ALGOS, MULTI_SUM_ALGOS,
+};
+use crate::report::SeriesTable;
+use crate::Config;
+use std::time::Instant;
+
+const STREAM_BUF: usize = 1 << 16;
+
+fn measure_multi(
+    runner: &mut dyn MultiRunner,
+    stream: &mut CyclicStream,
+    warm_slides: usize,
+    budget: std::time::Duration,
+) -> f64 {
+    let mut checksum = 0.0f64;
+    for _ in 0..warm_slides {
+        let v = stream.next_value();
+        runner.slide_value(v, &mut checksum);
+    }
+    let mut slides = 0u64;
+    let start = Instant::now();
+    loop {
+        for _ in 0..64 {
+            let v = stream.next_value();
+            runner.slide_value(v, &mut checksum);
+        }
+        slides += 64;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    std::hint::black_box(checksum);
+    slides as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Run Exp 2(a) (Sum) or Exp 2(b) (Max).
+pub fn run(cfg: &Config, invertible: bool) -> SeriesTable {
+    type Factory = fn(&str, usize) -> Box<dyn MultiRunner>;
+    let (id, title, algos, make): (_, _, _, Factory) = if invertible {
+        (
+            "exp2a",
+            "Max-multi-query throughput, invertible (Sum) — Fig. 12",
+            MULTI_SUM_ALGOS,
+            multi_sum_runner,
+        )
+    } else {
+        (
+            "exp2b",
+            "Max-multi-query throughput, non-invertible (Max) — Fig. 13",
+            MULTI_MAX_ALGOS,
+            multi_max_runner,
+        )
+    };
+    let mut table = SeriesTable::new(id, title, "window", "slides/s", algos);
+    let mut stream = CyclicStream::debs(STREAM_BUF, cfg.seed);
+    for n in cfg.multi_window_sweep() {
+        let mut row = Vec::with_capacity(algos.len());
+        for algo in algos {
+            let mut runner = make(algo, n);
+            // Naive's per-slide cost is independent of fill state, and
+            // warming it costs n²·slides — skip its warm-up.
+            let warm_slides = if *algo == "naive" { 0 } else { 2 * n };
+            row.push(measure_multi(
+                runner.as_mut(),
+                &mut stream,
+                warm_slides,
+                cfg.point_budget,
+            ));
+        }
+        table.push_row(n as u64, row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_full_table() {
+        let mut cfg = Config::quick();
+        cfg.multi_max_exp = 5;
+        cfg.point_budget = std::time::Duration::from_millis(2);
+        for invertible in [true, false] {
+            let t = run(&cfg, invertible);
+            assert_eq!(t.rows.len(), 6);
+            assert!(t.rows.iter().all(|(_, v)| v.iter().all(|&x| x > 0.0)));
+        }
+    }
+
+    #[test]
+    fn naive_collapses_quadratically() {
+        let mut cfg = Config::quick();
+        cfg.multi_max_exp = 9;
+        cfg.point_budget = std::time::Duration::from_millis(10);
+        let t = run(&cfg, true);
+        let naive_idx = t.series.iter().position(|s| s == "naive").unwrap();
+        let slick_idx = t.series.iter().position(|s| s == "slickdeque").unwrap();
+        let last = t.rows.last().unwrap();
+        // At n = 512, SlickDeque (2n ops) must beat Naive (n²/2 ops)
+        // decisively.
+        assert!(
+            last.1[slick_idx] > 5.0 * last.1[naive_idx],
+            "slick {} vs naive {}",
+            last.1[slick_idx],
+            last.1[naive_idx]
+        );
+    }
+}

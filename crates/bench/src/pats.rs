@@ -1,0 +1,193 @@
+//! Partial-aggregation-technique ablation (paper §2.1, Figs. 1-3).
+//!
+//! For unaligned query sets, quantifies the claims the paper makes in
+//! prose: Pairs needs up to 2× fewer partials than Panes; Cutty-slicing
+//! halves the partials per window again but pays punctuation edges that
+//! "reduce the effective bandwidth of the stream". Each technique's plan
+//! is executed end-to-end through the exact general executor over the
+//! same stream, measuring cuts per composite slide, window size in
+//! partials, punctuation edges, and wall-clock throughput.
+
+use crate::Config;
+use serde::Serialize;
+use slickdeque::prelude::*;
+use std::io::Write;
+use std::time::Instant;
+
+/// Measurements for one (query set, PAT) combination.
+#[derive(Debug, Clone, Serialize)]
+pub struct PatRow {
+    /// The query set, rendered.
+    pub queries: String,
+    /// Technique name.
+    pub pat: String,
+    /// Fragment boundaries per composite slide.
+    pub cuts_per_composite: usize,
+    /// Punctuation (non-cutting report) edges per composite slide.
+    pub punctuations: usize,
+    /// Window length in partials (`wSize`).
+    pub wsize: usize,
+    /// End-to-end tuples per second through the general executor.
+    pub tuples_per_sec: f64,
+}
+
+/// The ablation table.
+#[derive(Debug, Clone, Serialize)]
+pub struct PatTable {
+    /// Experiment identifier.
+    pub id: String,
+    /// One row per (query set, PAT).
+    pub rows: Vec<PatRow>,
+}
+
+impl PatTable {
+    /// Print as an aligned console table.
+    pub fn print(&self) {
+        println!("\n== Partial-aggregation techniques (Figs. 1-3) ==");
+        println!(
+            "{:<28} {:<7} {:>6} {:>7} {:>7} {:>14}",
+            "queries", "pat", "cuts", "punct", "wSize", "tuples/s"
+        );
+        for r in &self.rows {
+            println!(
+                "{:<28} {:<7} {:>6} {:>7} {:>7} {:>14.3e}",
+                r.queries, r.pat, r.cuts_per_composite, r.punctuations, r.wsize, r.tuples_per_sec
+            );
+        }
+    }
+
+    /// Write as JSON to `dir/pats.json`.
+    pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(
+            serde_json::to_string_pretty(self)
+                .expect("serializable")
+                .as_bytes(),
+        )?;
+        println!("   [saved {}]", path.display());
+        Ok(())
+    }
+
+    /// Rows for one query-set label.
+    pub fn for_queries(&self, queries: &str) -> Vec<&PatRow> {
+        self.rows.iter().filter(|r| r.queries == queries).collect()
+    }
+}
+
+fn measure(queries: &[Query], pat: Pat, stream: &[f64], budget: std::time::Duration) -> PatRow {
+    let plan = SharedPlan::build(queries, pat);
+    let cuts = plan.cut_positions().len();
+    let punctuations = plan.edges().iter().filter(|e| !e.cuts).count();
+    let wsize = plan.wsize();
+
+    let op = Sum::<f64>::new();
+    let mut exec = GeneralPlanExecutor::new(op, plan);
+    let mut sink = CountSink::default();
+    let mut tuples = 0u64;
+    let start = Instant::now();
+    loop {
+        let mut source = VecSource::new(stream.to_vec());
+        exec.run(&mut source, u64::MAX, &mut sink);
+        tuples += stream.len() as u64;
+        if start.elapsed() >= budget {
+            break;
+        }
+    }
+    PatRow {
+        queries: queries
+            .iter()
+            .map(|q| format!("{}:{}", q.range, q.slide))
+            .collect::<Vec<_>>()
+            .join(","),
+        pat: pat.name().to_string(),
+        cuts_per_composite: cuts,
+        punctuations,
+        wsize,
+        tuples_per_sec: tuples as f64 / start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Run the PAT ablation.
+pub fn run(cfg: &Config) -> PatTable {
+    let query_sets: Vec<Vec<Query>> = vec![
+        vec![Query::new(13, 5)],                     // unaligned single (gcd 1)
+        vec![Query::new(6, 4)],                      // Fig. 1/2 setting
+        vec![Query::new(100, 7)],                    // long unaligned
+        vec![Query::new(13, 5), Query::new(20, 10)], // shared plan
+        vec![Query::new(96, 4), Query::new(60, 12)], // aligned shared plan
+    ];
+    let stream = energy_stream(1 << 14, cfg.seed, 0);
+    let rows = query_sets
+        .iter()
+        .flat_map(|queries| {
+            [Pat::Panes, Pat::Pairs, Pat::Cutty]
+                .into_iter()
+                .map(|pat| measure(queries, pat, &stream, cfg.point_budget / 4))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    PatTable {
+        id: "pats".to_string(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_never_cuts_more_than_panes_and_cutty_cuts_least() {
+        let mut cfg = Config::quick();
+        cfg.point_budget = std::time::Duration::from_millis(8);
+        let t = run(&cfg);
+        for qset in ["13:5", "6:4", "100:7"] {
+            let rows = t.for_queries(qset);
+            let cuts = |pat: &str| {
+                rows.iter()
+                    .find(|r| r.pat == pat)
+                    .unwrap_or_else(|| panic!("{qset}/{pat}"))
+                    .cuts_per_composite
+            };
+            assert!(cuts("pairs") <= cuts("panes"), "{qset}");
+            assert!(cuts("cutty") <= cuts("pairs"), "{qset}");
+            // Unaligned single queries: Cutty cuts exactly once per slide.
+            assert_eq!(cuts("cutty"), 1, "{qset}");
+        }
+    }
+
+    #[test]
+    fn cutty_window_spans_fewer_partials() {
+        let mut cfg = Config::quick();
+        cfg.point_budget = std::time::Duration::from_millis(8);
+        let t = run(&cfg);
+        // r=100, s=7: Panes cuts at gcd(100,7)=1 → 100 partials per
+        // window; Pairs → ~2/slide ≈ 29; Cutty → 1/slide + fragment ≈ 15.
+        let rows = t.for_queries("100:7");
+        let wsize = |pat: &str| rows.iter().find(|r| r.pat == pat).unwrap().wsize;
+        assert_eq!(wsize("panes"), 100);
+        assert!(wsize("pairs") < wsize("panes"));
+        assert!(wsize("cutty") < wsize("pairs"));
+    }
+
+    #[test]
+    fn punctuations_only_appear_for_cutty_on_unaligned_queries() {
+        let mut cfg = Config::quick();
+        cfg.point_budget = std::time::Duration::from_millis(8);
+        let t = run(&cfg);
+        for row in &t.rows {
+            if row.pat != "cutty" {
+                assert_eq!(row.punctuations, 0, "{}/{}", row.queries, row.pat);
+            }
+        }
+        // The aligned shared plan needs no punctuation even under Cutty.
+        let aligned = t.for_queries("96:4,60:12");
+        assert!(aligned.iter().all(|r| r.punctuations == 0));
+        // Unaligned ones do.
+        let unaligned = t.for_queries("13:5");
+        let cutty = unaligned.iter().find(|r| r.pat == "cutty").unwrap();
+        assert!(cutty.punctuations > 0);
+    }
+}

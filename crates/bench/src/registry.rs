@@ -1,0 +1,372 @@
+//! Object-safe runners over every algorithm × operation combination, so
+//! the experiment sweeps can iterate algorithms by name exactly as the
+//! paper's platform did ("programmed ... within the same codebase, sharing
+//! data structures and function calls to enable a fair comparison").
+//!
+//! "slickdeque" resolves to the invertible variant for Sum and the
+//! non-invertible variant for Max — the paper's differentiated execution.
+
+use slickdeque::prelude::*;
+
+/// Single-query algorithms applicable to the invertible experiments (Sum).
+pub const SINGLE_SUM_ALGOS: &[&str] = &[
+    "naive",
+    "flatfat",
+    "bint",
+    "flatfit",
+    "twostacks",
+    "daba",
+    "slickdeque",
+];
+
+/// Single-query algorithms applicable to the non-invertible experiments
+/// (Max).
+pub const SINGLE_MAX_ALGOS: &[&str] = SINGLE_SUM_ALGOS;
+
+/// Multi-query algorithms for invertible aggregates. TwoStacks and DABA
+/// do not support multi-query execution (paper §2.2).
+pub const MULTI_SUM_ALGOS: &[&str] = &["naive", "flatfat", "bint", "flatfit", "slickdeque"];
+
+/// Multi-query algorithms for non-invertible aggregates.
+pub const MULTI_MAX_ALGOS: &[&str] = MULTI_SUM_ALGOS;
+
+/// An object-safe single-query window: slides one value, yields a
+/// checksum-able `f64` so the optimizer cannot elide the work.
+pub trait SlideRunner {
+    /// Slide one tuple in, returning the (lowered) answer.
+    fn slide_value(&mut self, v: f64) -> f64;
+    /// Warm the window with `values` (no answers needed).
+    fn warm_values(&mut self, values: &[f64]);
+    /// Analytic heap bytes currently held.
+    fn heap_bytes(&self) -> usize;
+}
+
+struct SumRunner<A: FinalAggregator<Sum<f64>>> {
+    agg: A,
+}
+
+impl<A: FinalAggregator<Sum<f64>>> SlideRunner for SumRunner<A> {
+    #[inline]
+    fn slide_value(&mut self, v: f64) -> f64 {
+        self.agg.slide(v)
+    }
+    fn warm_values(&mut self, values: &[f64]) {
+        self.agg.warm(&mut values.iter().copied());
+    }
+    fn heap_bytes(&self) -> usize {
+        self.agg.heap_bytes()
+    }
+}
+
+struct MaxRunner<A: FinalAggregator<MaxF64>> {
+    agg: A,
+}
+
+impl<A: FinalAggregator<MaxF64>> SlideRunner for MaxRunner<A> {
+    #[inline]
+    fn slide_value(&mut self, v: f64) -> f64 {
+        self.agg.slide(v)
+    }
+    fn warm_values(&mut self, values: &[f64]) {
+        self.agg.warm(&mut values.iter().copied());
+    }
+    fn heap_bytes(&self) -> usize {
+        self.agg.heap_bytes()
+    }
+}
+
+/// Build a single-query Sum runner by algorithm name.
+pub fn single_sum_runner(algo: &str, window: usize) -> Box<dyn SlideRunner> {
+    let op = Sum::<f64>::new();
+    match algo {
+        "naive" => Box::new(SumRunner {
+            agg: Naive::with_capacity(op, window),
+        }),
+        "flatfat" => Box::new(SumRunner {
+            agg: FlatFat::with_capacity(op, window),
+        }),
+        "bint" => Box::new(SumRunner {
+            agg: BInt::with_capacity(op, window),
+        }),
+        "flatfit" => Box::new(SumRunner {
+            agg: FlatFit::with_capacity(op, window),
+        }),
+        "twostacks" => Box::new(SumRunner {
+            agg: TwoStacks::with_capacity(op, window),
+        }),
+        "daba" => Box::new(SumRunner {
+            agg: Daba::with_capacity(op, window),
+        }),
+        "slickdeque" => Box::new(SumRunner {
+            agg: SlickDequeInv::with_capacity(op, window),
+        }),
+        other => panic!("unknown algorithm {other}"),
+    }
+}
+
+/// Build a single-query Max runner by algorithm name.
+pub fn single_max_runner(algo: &str, window: usize) -> Box<dyn SlideRunner> {
+    let op = MaxF64::new();
+    match algo {
+        "naive" => Box::new(MaxRunner {
+            agg: Naive::with_capacity(op, window),
+        }),
+        "flatfat" => Box::new(MaxRunner {
+            agg: FlatFat::with_capacity(op, window),
+        }),
+        "bint" => Box::new(MaxRunner {
+            agg: BInt::with_capacity(op, window),
+        }),
+        "flatfit" => Box::new(MaxRunner {
+            agg: FlatFit::with_capacity(op, window),
+        }),
+        "twostacks" => Box::new(MaxRunner {
+            agg: TwoStacks::with_capacity(op, window),
+        }),
+        "daba" => Box::new(MaxRunner {
+            agg: Daba::with_capacity(op, window),
+        }),
+        "slickdeque" => Box::new(MaxRunner {
+            agg: SlickDequeNonInv::with_capacity(op, window),
+        }),
+        other => panic!("unknown algorithm {other}"),
+    }
+}
+
+/// An object-safe multi-query window in the max-multi-query environment.
+pub trait MultiRunner {
+    /// Slide one tuple in; fold every range's answer into a checksum.
+    fn slide_value(&mut self, v: f64, checksum: &mut f64);
+    /// Analytic heap bytes currently held.
+    fn heap_bytes(&self) -> usize;
+}
+
+struct MultiSumRunner<M: MultiFinalAggregator<Sum<f64>>> {
+    agg: M,
+    out: Vec<f64>,
+}
+
+impl<M: MultiFinalAggregator<Sum<f64>>> MultiRunner for MultiSumRunner<M> {
+    #[inline]
+    fn slide_value(&mut self, v: f64, checksum: &mut f64) {
+        self.agg.slide_multi(v, &mut self.out);
+        for a in &self.out {
+            *checksum += a;
+        }
+    }
+    fn heap_bytes(&self) -> usize {
+        self.agg.heap_bytes()
+    }
+}
+
+struct MultiMaxRunner<M: MultiFinalAggregator<MaxF64>> {
+    agg: M,
+    out: Vec<f64>,
+}
+
+impl<M: MultiFinalAggregator<MaxF64>> MultiRunner for MultiMaxRunner<M> {
+    #[inline]
+    fn slide_value(&mut self, v: f64, checksum: &mut f64) {
+        self.agg.slide_multi(v, &mut self.out);
+        for a in &self.out {
+            *checksum += a;
+        }
+    }
+    fn heap_bytes(&self) -> usize {
+        self.agg.heap_bytes()
+    }
+}
+
+/// Build a max-multi-query Sum runner (ranges 1..=n) by algorithm name.
+pub fn multi_sum_runner(algo: &str, n: usize) -> Box<dyn MultiRunner> {
+    let ranges: Vec<usize> = (1..=n).collect();
+    let op = Sum::<f64>::new();
+    match algo {
+        "naive" => Box::new(MultiSumRunner {
+            agg: MultiNaive::with_ranges(op, &ranges),
+            out: Vec::new(),
+        }),
+        "flatfat" => Box::new(MultiSumRunner {
+            agg: MultiFlatFat::with_ranges(op, &ranges),
+            out: Vec::new(),
+        }),
+        "bint" => Box::new(MultiSumRunner {
+            agg: MultiBInt::with_ranges(op, &ranges),
+            out: Vec::new(),
+        }),
+        "flatfit" => Box::new(MultiSumRunner {
+            agg: MultiFlatFit::with_ranges(op, &ranges),
+            out: Vec::new(),
+        }),
+        "slickdeque" => Box::new(MultiSumRunner {
+            agg: MultiSlickDequeInv::with_ranges(op, &ranges),
+            out: Vec::new(),
+        }),
+        other => panic!("unknown multi algorithm {other}"),
+    }
+}
+
+/// Build a max-multi-query Max runner (ranges 1..=n) by algorithm name.
+pub fn multi_max_runner(algo: &str, n: usize) -> Box<dyn MultiRunner> {
+    let ranges: Vec<usize> = (1..=n).collect();
+    let op = MaxF64::new();
+    match algo {
+        "naive" => Box::new(MultiMaxRunner {
+            agg: MultiNaive::with_ranges(op, &ranges),
+            out: Vec::new(),
+        }),
+        "flatfat" => Box::new(MultiMaxRunner {
+            agg: MultiFlatFat::with_ranges(op, &ranges),
+            out: Vec::new(),
+        }),
+        "bint" => Box::new(MultiMaxRunner {
+            agg: MultiBInt::with_ranges(op, &ranges),
+            out: Vec::new(),
+        }),
+        "flatfit" => Box::new(MultiMaxRunner {
+            agg: MultiFlatFit::with_ranges(op, &ranges),
+            out: Vec::new(),
+        }),
+        "slickdeque" => Box::new(MultiMaxRunner {
+            agg: MultiSlickDequeNonInv::with_ranges(op, &ranges),
+            out: Vec::new(),
+        }),
+        other => panic!("unknown multi algorithm {other}"),
+    }
+}
+
+/// Pre-generated cyclic stream for the sweeps: one DEBS-shaped energy
+/// channel, replayed round-robin like the paper's replayed dataset.
+pub struct CyclicStream {
+    values: Vec<f64>,
+    pos: usize,
+}
+
+impl CyclicStream {
+    /// Generate `len` DEBS-shaped tuples with the given seed.
+    pub fn debs(len: usize, seed: u64) -> Self {
+        CyclicStream {
+            values: energy_stream(len, seed, 0),
+            pos: 0,
+        }
+    }
+
+    /// The next tuple (wrapping).
+    #[inline]
+    pub fn next_value(&mut self) -> f64 {
+        let v = self.values[self.pos];
+        self.pos += 1;
+        if self.pos == self.values.len() {
+            self.pos = 0;
+        }
+        v
+    }
+
+    /// Borrow the first `n` values (for warm-up), clamped to the buffer.
+    pub fn prefix(&self, n: usize) -> &[f64] {
+        &self.values[..n.min(self.values.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_runners_agree_across_algorithms() {
+        let stream = CyclicStream::debs(200, 3).values.clone();
+        let window = 16;
+        let mut reference = single_sum_runner("naive", window);
+        let answers: Vec<f64> = stream.iter().map(|&v| reference.slide_value(v)).collect();
+        for algo in SINGLE_SUM_ALGOS {
+            let mut runner = single_sum_runner(algo, window);
+            for (i, &v) in stream.iter().enumerate() {
+                let got = runner.slide_value(v);
+                assert!(
+                    (got - answers[i]).abs() < 1e-6 * answers[i].abs().max(1.0),
+                    "{algo} slide {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_runners_agree_across_algorithms() {
+        let stream = CyclicStream::debs(200, 4).values.clone();
+        let window = 16;
+        let mut reference = single_max_runner("naive", window);
+        let answers: Vec<f64> = stream.iter().map(|&v| reference.slide_value(v)).collect();
+        for algo in SINGLE_MAX_ALGOS {
+            let mut runner = single_max_runner(algo, window);
+            for (i, &v) in stream.iter().enumerate() {
+                assert_eq!(runner.slide_value(v), answers[i], "{algo} slide {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_runners_checksums_agree() {
+        let stream = CyclicStream::debs(100, 5).values.clone();
+        let n = 8;
+        let reference: f64 = {
+            let mut r = multi_sum_runner("naive", n);
+            let mut c = 0.0;
+            for &v in &stream {
+                r.slide_value(v, &mut c);
+            }
+            c
+        };
+        for algo in MULTI_SUM_ALGOS {
+            let mut r = multi_sum_runner(algo, n);
+            let mut c = 0.0;
+            for &v in &stream {
+                r.slide_value(v, &mut c);
+            }
+            assert!(
+                (c - reference).abs() < 1e-6 * reference.abs().max(1.0),
+                "{algo}: {c} vs {reference}"
+            );
+        }
+        let max_reference: f64 = {
+            let mut r = multi_max_runner("naive", n);
+            let mut c = 0.0;
+            for &v in &stream {
+                r.slide_value(v, &mut c);
+            }
+            c
+        };
+        for algo in MULTI_MAX_ALGOS {
+            let mut r = multi_max_runner(algo, n);
+            let mut c = 0.0;
+            for &v in &stream {
+                r.slide_value(v, &mut c);
+            }
+            assert!((c - max_reference).abs() < 1e-9, "{algo}");
+        }
+    }
+
+    #[test]
+    fn warm_fills_the_window() {
+        let values: Vec<f64> = (1..=32).map(|i| i as f64).collect();
+        for algo in SINGLE_SUM_ALGOS {
+            let mut runner = single_sum_runner(algo, 8);
+            runner.warm_values(&values);
+            // After warming with 32 values the window holds the last 8:
+            // 25+…+32 = 228; one more slide of 33 gives 26+…+33 = 236.
+            let got = runner.slide_value(33.0);
+            assert_eq!(got, 236.0, "{algo}");
+        }
+    }
+
+    #[test]
+    fn cyclic_stream_wraps() {
+        let mut s = CyclicStream::debs(4, 1);
+        let a = [
+            s.next_value(),
+            s.next_value(),
+            s.next_value(),
+            s.next_value(),
+        ];
+        assert_eq!(s.next_value(), a[0]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Result tables: aligned console output plus JSON dumps under the
+//! configured results directory, so EXPERIMENTS.md can cite stable
+//! numbers.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// A generic experiment result: one row per (x, series) point.
+#[derive(Debug, Clone, Serialize)]
+pub struct SeriesTable {
+    /// Experiment identifier ("exp1a", "table1", …).
+    pub id: String,
+    /// Human description.
+    pub title: String,
+    /// Label of the x column ("window", "queries", …).
+    pub x_label: String,
+    /// Label of the cell values ("tuples/s", "ops/slide", "bytes", …).
+    pub value_label: String,
+    /// Series names, column order.
+    pub series: Vec<String>,
+    /// One row per x value: `(x, values aligned with series)`.
+    pub rows: Vec<(u64, Vec<f64>)>,
+}
+
+impl SeriesTable {
+    /// Create an empty table.
+    pub fn new(id: &str, title: &str, x_label: &str, value_label: &str, series: &[&str]) -> Self {
+        SeriesTable {
+            id: id.to_string(),
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            value_label: value_label.to_string(),
+            series: series.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, x: u64, values: Vec<f64>) {
+        assert_eq!(values.len(), self.series.len());
+        self.rows.push((x, values));
+    }
+
+    /// Print as an aligned console table.
+    pub fn print(&self) {
+        println!("\n== {} ({}) ==", self.title, self.id);
+        println!("   values: {}", self.value_label);
+        print!("{:>12}", self.x_label);
+        for s in &self.series {
+            print!(" {s:>14}");
+        }
+        println!();
+        for (x, values) in &self.rows {
+            print!("{x:>12}");
+            for v in values {
+                if *v >= 1e6 {
+                    print!(" {:>14.3e}", v);
+                } else if v.fract() == 0.0 {
+                    print!(" {:>14}", *v as i64);
+                } else {
+                    print!(" {:>14.3}", v);
+                }
+            }
+            println!();
+        }
+    }
+
+    /// Write the table as JSON to `dir/<id>.json`.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        let json = serde_json::to_string_pretty(self).expect("serializable");
+        f.write_all(json.as_bytes())?;
+        println!("   [saved {}]", path.display());
+        Ok(())
+    }
+
+    /// Per-row winner: the series index with the largest value.
+    pub fn winner(&self, row: usize) -> &str {
+        let (_, values) = &self.rows[row];
+        let (best, _) = values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("comparable"))
+            .expect("non-empty row");
+        &self.series[best]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn winner_identifies_best_series() {
+        let mut t = SeriesTable::new("t", "test", "x", "v", &["a", "b"]);
+        t.push_row(1, vec![2.0, 5.0]);
+        t.push_row(2, vec![9.0, 5.0]);
+        assert_eq!(t.winner(0), "b");
+        assert_eq!(t.winner(1), "a");
+    }
+
+    #[test]
+    fn json_round_trip_saves() {
+        let dir = std::env::temp_dir().join("swag_bench_report_test");
+        let mut t = SeriesTable::new("unit", "unit", "x", "v", &["a"]);
+        t.push_row(1, vec![1.5]);
+        t.save(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("unit.json")).unwrap();
+        assert!(content.contains("\"id\": \"unit\""));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_is_enforced() {
+        let mut t = SeriesTable::new("t", "t", "x", "v", &["a", "b"]);
+        t.push_row(1, vec![1.0]);
+    }
+}

@@ -1,0 +1,348 @@
+//! Table 1: measured algorithmic complexities.
+//!
+//! The paper's Table 1 gives closed forms for each algorithm's aggregate
+//! operations per slide (amortized and worst case, single- and
+//! max-multi-query) and space. This module measures all four quantities
+//! with [`CountingOp`] instrumentation and analytic memory accounting,
+//! printing them next to the predictions.
+
+use crate::Config;
+use serde::Serialize;
+use slickdeque::prelude::*;
+use std::io::Write;
+
+/// One measured row of Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Measured amortized ops per slide, single query.
+    pub single_amortized: f64,
+    /// Measured worst-case ops in any single slide, single query.
+    pub single_worst: u64,
+    /// Measured amortized ops per slide, max-multi-query (None when the
+    /// algorithm does not support multi-query execution).
+    pub multi_amortized: Option<f64>,
+    /// Analytic space in units of `n` payload bytes.
+    pub space_factor: f64,
+    /// The paper's predicted amortized single-query cost (for the report).
+    pub predicted: String,
+}
+
+/// The measured Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1 {
+    /// Window size / query count used for the measurements.
+    pub n: usize,
+    /// Slides measured after warm-up.
+    pub slides: usize,
+    /// One row per algorithm.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// Print as an aligned console table.
+    pub fn print(&self) {
+        println!(
+            "\n== Table 1: measured complexities (n = {}, {} slides) ==",
+            self.n, self.slides
+        );
+        println!(
+            "{:<18} {:>12} {:>12} {:>12} {:>10} {:>18}",
+            "algorithm", "ops/slide", "worst", "multi ops", "space ×n", "paper predicts"
+        );
+        for r in &self.rows {
+            let multi = r
+                .multi_amortized
+                .map(|m| format!("{m:.1}"))
+                .unwrap_or_else(|| "—".to_string());
+            println!(
+                "{:<18} {:>12.3} {:>12} {:>12} {:>10.2} {:>18}",
+                r.algorithm, r.single_amortized, r.single_worst, multi, r.space_factor, r.predicted
+            );
+        }
+    }
+
+    /// Write as JSON to `dir/table1.json`.
+    pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("table1.json");
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(
+            serde_json::to_string_pretty(self)
+                .expect("serializable")
+                .as_bytes(),
+        )?;
+        println!("   [saved {}]", path.display());
+        Ok(())
+    }
+
+    /// The row for one algorithm.
+    pub fn get(&self, algorithm: &str) -> Option<&Table1Row> {
+        self.rows.iter().find(|r| r.algorithm == algorithm)
+    }
+}
+
+/// Measure (amortized, worst) single-query ops/slide plus the space
+/// factor for one aggregator.
+fn measure_single<O, A>(
+    op: CountingOp<O>,
+    counter: OpCounter,
+    mut agg: A,
+    n: usize,
+    slides: usize,
+    stream: &[f64],
+) -> (f64, u64, f64)
+where
+    O: AggregateOp<Input = f64>,
+    A: FinalAggregator<CountingOp<O>>,
+{
+    let mut i = 0usize;
+    let mut next = move |stream: &[f64]| {
+        let v = stream[i % stream.len()];
+        i += 1;
+        v
+    };
+    for _ in 0..2 * n {
+        let v = next(stream);
+        agg.slide(op.lift(&v));
+    }
+    counter.reset();
+    let mut worst = 0u64;
+    let mut total = 0u64;
+    for _ in 0..slides {
+        let v = next(stream);
+        agg.slide(op.lift(&v));
+        let ops = counter.take();
+        worst = worst.max(ops);
+        total += ops;
+    }
+    let payload = n as f64 * 8.0;
+    (
+        total as f64 / slides as f64,
+        worst,
+        agg.heap_bytes() as f64 / payload,
+    )
+}
+
+/// Measure amortized max-multi-query ops/slide for one aggregator.
+fn measure_multi<O, M>(
+    op: CountingOp<O>,
+    counter: OpCounter,
+    mut agg: M,
+    n: usize,
+    slides: usize,
+    stream: &[f64],
+) -> f64
+where
+    O: AggregateOp<Input = f64>,
+    M: MultiFinalAggregator<CountingOp<O>>,
+{
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut next = move |stream: &[f64]| {
+        let v = stream[i % stream.len()];
+        i += 1;
+        v
+    };
+    for _ in 0..2 * n {
+        let v = next(stream);
+        agg.slide_multi(op.lift(&v), &mut out);
+    }
+    counter.reset();
+    for _ in 0..slides {
+        let v = next(stream);
+        agg.slide_multi(op.lift(&v), &mut out);
+    }
+    counter.get() as f64 / slides as f64
+}
+
+macro_rules! sum_row {
+    ($name:expr, $ctor:path, $multi:expr, $n:expr, $slides:expr, $stream:expr, $predicted:expr) => {{
+        let counter = OpCounter::new();
+        let op = CountingOp::new(Sum::<f64>::new(), counter.clone());
+        let agg = $ctor(op.clone(), $n);
+        let (amortized, worst, space) = measure_single(op, counter, agg, $n, $slides, $stream);
+        Table1Row {
+            algorithm: $name.to_string(),
+            single_amortized: amortized,
+            single_worst: worst,
+            multi_amortized: $multi,
+            space_factor: space,
+            predicted: $predicted.to_string(),
+        }
+    }};
+}
+
+macro_rules! multi_sum {
+    ($ctor:path, $n:expr, $slides:expr, $stream:expr) => {{
+        let counter = OpCounter::new();
+        let op = CountingOp::new(Sum::<f64>::new(), counter.clone());
+        let ranges: Vec<usize> = (1..=$n).collect();
+        let agg = $ctor(op.clone(), &ranges);
+        Some(measure_multi(op, counter, agg, $n, $slides, $stream))
+    }};
+}
+
+/// Measure Table 1 at window/query-count `n`.
+pub fn run(cfg: &Config) -> Table1 {
+    let n = (1usize << cfg.multi_max_exp.min(10)).max(16);
+    let slides = 8 * n;
+    let stream = energy_stream(1 << 15, cfg.seed, 0);
+    let s = stream.as_slice();
+
+    let mut rows = Vec::new();
+    rows.push(sum_row!(
+        "naive",
+        Naive::with_capacity,
+        multi_sum!(MultiNaive::with_ranges, n, n, s),
+        n,
+        slides,
+        s,
+        format!("n−1 = {}", n - 1)
+    ));
+    rows.push(sum_row!(
+        "flatfat",
+        FlatFat::with_capacity,
+        multi_sum!(MultiFlatFat::with_ranges, n, n, s),
+        n,
+        slides,
+        s,
+        format!("log₂n = {}", (n as f64).log2() as u64)
+    ));
+    rows.push(sum_row!(
+        "bint",
+        BInt::with_capacity,
+        multi_sum!(MultiBInt::with_ranges, n, n, s),
+        n,
+        slides,
+        s,
+        "c·log₂n"
+    ));
+    rows.push(sum_row!(
+        "flatfit",
+        FlatFit::with_capacity,
+        multi_sum!(MultiFlatFit::with_ranges, n, n, s),
+        n,
+        slides,
+        s,
+        "3 (worst n)"
+    ));
+    rows.push(sum_row!(
+        "twostacks",
+        TwoStacks::with_capacity,
+        None,
+        n,
+        slides,
+        s,
+        "3 (worst n)"
+    ));
+    rows.push(sum_row!(
+        "daba",
+        Daba::with_capacity,
+        None,
+        n,
+        slides,
+        s,
+        "5 (worst 8)"
+    ));
+    rows.push(sum_row!(
+        "slickdeque(inv)",
+        SlickDequeInv::with_capacity,
+        multi_sum!(MultiSlickDequeInv::with_ranges, n, n, s),
+        n,
+        slides,
+        s,
+        "exactly 2"
+    ));
+
+    // SlickDeque (Non-Inv) runs on Max.
+    {
+        let counter = OpCounter::new();
+        let op = CountingOp::new(Max::<f64>::new(), counter.clone());
+        let agg = SlickDequeNonInv::with_capacity(op.clone(), n);
+        let (amortized, worst, space) = measure_single(op, counter.clone(), agg, n, slides, s);
+        let multi = {
+            let counter = OpCounter::new();
+            let op = CountingOp::new(Max::<f64>::new(), counter.clone());
+            let ranges: Vec<usize> = (1..=n).collect();
+            let agg = MultiSlickDequeNonInv::with_ranges(op.clone(), &ranges);
+            Some(measure_multi(op, counter, agg, n, n, s))
+        };
+        rows.push(Table1Row {
+            algorithm: "slickdeque(non)".to_string(),
+            single_amortized: amortized,
+            single_worst: worst,
+            multi_amortized: multi,
+            space_factor: space,
+            predicted: "< 2 (worst n)".to_string(),
+        });
+    }
+
+    Table1 { n, slides, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_table() -> Table1 {
+        let mut cfg = Config::quick();
+        cfg.multi_max_exp = 6; // n = 64
+        run(&cfg)
+    }
+
+    #[test]
+    fn measured_constants_match_the_paper() {
+        let t = quick_table();
+        let n = t.n as f64;
+        assert_eq!(t.get("naive").unwrap().single_amortized, n - 1.0);
+        assert_eq!(t.get("flatfat").unwrap().single_amortized, n.log2());
+        let fit = t.get("flatfit").unwrap().single_amortized;
+        assert!(fit <= 3.0, "flatfit {fit}");
+        let ts = t.get("twostacks").unwrap();
+        assert!(
+            (ts.single_amortized - 3.0).abs() < 0.1,
+            "{}",
+            ts.single_amortized
+        );
+        assert!(ts.single_worst >= t.n as u64, "flip spike missing");
+        let daba = t.get("daba").unwrap();
+        assert!((daba.single_amortized - 5.0).abs() < 0.2);
+        assert!(daba.single_worst <= 8, "daba worst {}", daba.single_worst);
+        assert_eq!(t.get("slickdeque(inv)").unwrap().single_amortized, 2.0);
+        assert_eq!(t.get("slickdeque(inv)").unwrap().single_worst, 2);
+        let non = t.get("slickdeque(non)").unwrap();
+        assert!(non.single_amortized < 2.0);
+    }
+
+    #[test]
+    fn multi_constants_match_the_paper() {
+        let t = quick_table();
+        let n = t.n as f64;
+        assert_eq!(
+            t.get("naive").unwrap().multi_amortized.unwrap(),
+            n * n / 2.0 - n / 2.0
+        );
+        assert_eq!(t.get("flatfit").unwrap().multi_amortized.unwrap(), n - 1.0);
+        assert_eq!(
+            t.get("slickdeque(inv)").unwrap().multi_amortized.unwrap(),
+            2.0 * n
+        );
+        assert!(t.get("twostacks").unwrap().multi_amortized.is_none());
+        assert!(t.get("daba").unwrap().multi_amortized.is_none());
+    }
+
+    #[test]
+    fn space_factors_match_the_paper() {
+        let t = quick_table();
+        let naive = t.get("naive").unwrap().space_factor;
+        assert!((naive - 1.0).abs() < 0.2, "naive {naive}");
+        let inv = t.get("slickdeque(inv)").unwrap().space_factor;
+        assert!((inv - 1.0).abs() < 0.2, "inv {inv}");
+        let ts = t.get("twostacks").unwrap().space_factor;
+        assert!(ts >= 1.5, "twostacks {ts}");
+        let non = t.get("slickdeque(non)").unwrap().space_factor;
+        assert!(non <= 2.5, "non {non}");
+    }
+}

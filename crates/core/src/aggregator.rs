@@ -1,0 +1,132 @@
+//! Common interfaces implemented by every final-aggregation algorithm.
+//!
+//! The paper's experimental platform drives all algorithms through the same
+//! slide loop: one new partial aggregate arrives, the oldest one expires,
+//! and the window aggregate (or, in multi-query mode, one answer per
+//! registered range) is produced. [`FinalAggregator`] and
+//! [`MultiFinalAggregator`] capture exactly that loop; richer inherent APIs
+//! (`insert`/`evict`/`query` for the FIFO algorithms) are exposed on the
+//! individual structs.
+
+use crate::ops::AggregateOp;
+
+/// A single-query final aggregator over a FIFO sliding window (paper §2.2).
+///
+/// `slide` processes one arriving partial: when the window is full the
+/// oldest partial expires, the new one is appended, and the aggregate of the
+/// current window contents is returned. During warm-up (fewer than
+/// [`window`](Self::window) partials seen) the aggregate covers only the
+/// partials seen so far.
+pub trait FinalAggregator<O: AggregateOp>: MemoryFootprint {
+    /// Short algorithm name used in reports ("naive", "flatfat", …).
+    const NAME: &'static str;
+
+    /// Construct an aggregator for a window of `window` partials (≥ 1).
+    fn with_capacity(op: O, window: usize) -> Self
+    where
+        Self: Sized;
+
+    /// Advance the window by one partial and return the window aggregate.
+    fn slide(&mut self, partial: O::Partial) -> O::Partial;
+
+    /// The configured window capacity in partials.
+    fn window(&self) -> usize;
+
+    /// The number of partials currently in the window (≤ `window`).
+    fn len(&self) -> usize;
+
+    /// True if no partials have been inserted yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fill the window with `partials` without producing answers — a
+    /// warm-up hook for benchmarks on very large windows. The default
+    /// simply slides each partial in; algorithms whose `slide` cost grows
+    /// with the window (Naive) override it with a direct fill.
+    fn warm(&mut self, partials: &mut dyn Iterator<Item = O::Partial>) {
+        for p in partials {
+            self.slide(p);
+        }
+    }
+}
+
+/// A multi-query final aggregator answering several ACQs with distinct
+/// ranges over the same stream (paper §2.3, §3.2).
+///
+/// All registered ranges share one window of `max(range)` partials; each
+/// slide produces one answer per registered range, covering the most recent
+/// `range` partials (including the one that just arrived).
+pub trait MultiFinalAggregator<O: AggregateOp>: MemoryFootprint {
+    /// Short algorithm name used in reports.
+    const NAME: &'static str;
+
+    /// Construct an aggregator answering the given ranges (deduplicated and
+    /// served in descending order, as in the paper's shared plans).
+    fn with_ranges(op: O, ranges: &[usize]) -> Self
+    where
+        Self: Sized;
+
+    /// Advance the window by one partial; push one answer per registered
+    /// range into `out`, in the same (descending) order as
+    /// [`ranges`](Self::ranges). `out` is cleared first.
+    fn slide_multi(&mut self, partial: O::Partial, out: &mut Vec<O::Partial>);
+
+    /// The registered ranges, descending.
+    fn ranges(&self) -> &[usize];
+
+    /// The shared window size (the largest registered range).
+    fn window(&self) -> usize {
+        self.ranges().first().copied().unwrap_or(0)
+    }
+}
+
+/// Analytic heap-usage accounting, used by the memory experiment (Exp 4 /
+/// Fig. 15) alongside the counting global allocator.
+///
+/// Implementations report the bytes of heap they currently hold (buffer
+/// capacities, chunk storage, per-chunk headers), which is the quantity the
+/// paper's §4.2 space analysis predicts.
+pub trait MemoryFootprint {
+    /// Heap bytes currently held by this structure.
+    fn heap_bytes(&self) -> usize;
+}
+
+/// Helper: deduplicate and sort query ranges descending, validating them.
+///
+/// Panics if `ranges` is empty or contains a zero range, mirroring the
+/// paper's assumption that every ACQ has a positive range.
+pub fn normalize_ranges(ranges: &[usize]) -> Vec<usize> {
+    assert!(!ranges.is_empty(), "at least one query range is required");
+    let mut out: Vec<usize> = ranges.to_vec();
+    assert!(
+        out.iter().all(|&r| r > 0),
+        "query ranges must be positive, got {:?}",
+        out
+    );
+    out.sort_unstable_by(|a, b| b.cmp(a));
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_sorts_descending_and_dedups() {
+        assert_eq!(normalize_ranges(&[3, 1, 5, 3, 2]), vec![5, 3, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn normalize_rejects_zero() {
+        normalize_ranges(&[3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn normalize_rejects_empty() {
+        normalize_ranges(&[]);
+    }
+}

@@ -1,0 +1,257 @@
+//! FlatFAT — the Flat Fixed-sized Aggregator (paper §2.2, Fig. 4).
+//!
+//! Partials live in the leaves of a pre-allocated, pointer-less binary tree
+//! stored as a flat array (node `i` has children `2i` and `2i+1`). The
+//! leaves form a circular array; every insert overwrites a leaf and walks
+//! its root path bottom-up, costing exactly `log₂(m)` combines for `m`
+//! leaves. Whole-window look-ups read the root; arbitrary ranges are
+//! answered by aggregating a minimal O(log n) cover of internal nodes
+//! ([`FlatFat::query_range`]).
+//!
+//! Complexity (Table 1): `log₂(n)` per slide single-query, `n·log(n)`
+//! max-multi-query; space `2·2^⌈log n⌉` (i.e. `2n` at powers of two, up to
+//! `3n`... strictly `4n` counting both leaf and internal levels after
+//! rounding — the paper's `2^⌈log(n)⌉·2` formulation).
+
+use crate::aggregator::{FinalAggregator, MemoryFootprint};
+use crate::ops::AggregateOp;
+
+/// Pointer-less circular binary tree aggregator.
+#[derive(Debug, Clone)]
+pub struct FlatFat<O: AggregateOp> {
+    op: O,
+    /// Heap-layout tree; `tree[1]` is the root, leaves at `m..2m`.
+    tree: Vec<O::Partial>,
+    /// Leaf count (window rounded up to a power of two).
+    m: usize,
+    window: usize,
+    /// Next window slot (0..window) to overwrite.
+    curr: usize,
+    len: usize,
+}
+
+impl<O: AggregateOp> FlatFat<O> {
+    /// Create a FlatFAT over a window of `window` partials. The leaf level
+    /// is rounded up to the next power of two; the unused leaves stay at
+    /// the identity so the root always equals the window aggregate.
+    pub fn new(op: O, window: usize) -> Self {
+        assert!(window >= 1, "window must hold at least one partial");
+        let m = window.next_power_of_two();
+        let tree = (0..2 * m).map(|_| op.identity()).collect();
+        FlatFat {
+            op,
+            tree,
+            m,
+            window,
+            curr: 0,
+            len: 0,
+        }
+    }
+
+    /// The operation driving this aggregator.
+    pub fn op(&self) -> &O {
+        &self.op
+    }
+
+    /// Overwrite leaf `pos` (a window slot) and update its root path —
+    /// exactly `log₂(m)` combines.
+    pub fn update_leaf(&mut self, pos: usize, value: O::Partial) {
+        debug_assert!(pos < self.m);
+        let mut i = self.m + pos;
+        self.tree[i] = value;
+        i >>= 1;
+        while i >= 1 {
+            self.tree[i] = self.op.combine(&self.tree[2 * i], &self.tree[2 * i + 1]);
+            i >>= 1;
+        }
+    }
+
+    /// The root value: the aggregate of every leaf.
+    ///
+    /// Because evicted/unused leaves hold the identity this equals the
+    /// window aggregate, in *leaf* order. Leaf order coincides with window
+    /// order up to rotation, so this is the window aggregate for
+    /// commutative operations (all operations in the paper's evaluation);
+    /// for non-commutative operations use [`query_in_order`].
+    ///
+    /// [`query_in_order`]: FlatFat::query_in_order
+    pub fn query_root(&self) -> O::Partial {
+        self.tree[1].clone()
+    }
+
+    /// Window aggregate folding the live leaves in true window order
+    /// (oldest→newest), correct for non-commutative operations. Costs up to
+    /// `2·log₂(m)` combines.
+    pub fn query_in_order(&self) -> O::Partial {
+        if self.len == 0 {
+            return self.op.identity();
+        }
+        let start = (self.curr + self.window - self.len) % self.window;
+        self.query_range(start, self.len)
+    }
+
+    /// Aggregate the `count` leaves starting at window slot `start`,
+    /// wrapping circularly, in window order.
+    pub fn query_range(&self, start: usize, count: usize) -> O::Partial {
+        debug_assert!(count <= self.window);
+        if count == 0 {
+            return self.op.identity();
+        }
+        let end = start + count;
+        if end <= self.window {
+            self.range_non_wrapping(start, end)
+        } else {
+            let head = self.range_non_wrapping(start, self.window);
+            let tail = self.range_non_wrapping(0, end - self.window);
+            self.op.combine(&head, &tail)
+        }
+    }
+
+    /// Standard iterative segment-tree range query over leaves
+    /// `[lo, hi)`, preserving left-to-right order for non-commutative ops.
+    fn range_non_wrapping(&self, lo: usize, hi: usize) -> O::Partial {
+        debug_assert!(lo < hi && hi <= self.m);
+        let mut res_left: Option<O::Partial> = None;
+        let mut res_right: Option<O::Partial> = None;
+        let mut l = self.m + lo;
+        let mut r = self.m + hi;
+        while l < r {
+            if l & 1 == 1 {
+                res_left = Some(match res_left {
+                    None => self.tree[l].clone(),
+                    Some(acc) => self.op.combine(&acc, &self.tree[l]),
+                });
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                res_right = Some(match res_right {
+                    None => self.tree[r].clone(),
+                    Some(acc) => self.op.combine(&self.tree[r], &acc),
+                });
+            }
+            l >>= 1;
+            r >>= 1;
+        }
+        match (res_left, res_right) {
+            (Some(a), Some(b)) => self.op.combine(&a, &b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => self.op.identity(),
+        }
+    }
+
+    /// Leaf count (the window rounded up to a power of two).
+    pub fn leaf_count(&self) -> usize {
+        self.m
+    }
+
+    /// The window slot the next arrival will occupy.
+    pub fn current_slot(&self) -> usize {
+        self.curr
+    }
+}
+
+impl<O: AggregateOp> FinalAggregator<O> for FlatFat<O> {
+    const NAME: &'static str = "flatfat";
+
+    fn with_capacity(op: O, window: usize) -> Self {
+        FlatFat::new(op, window)
+    }
+
+    /// One slide = overwrite the oldest leaf and read the root: exactly
+    /// `log₂(m)` combines, matching Table 1.
+    fn slide(&mut self, partial: O::Partial) -> O::Partial {
+        self.update_leaf(self.curr, partial);
+        self.curr = (self.curr + 1) % self.window;
+        self.len = (self.len + 1).min(self.window);
+        self.query_root()
+    }
+
+    fn window(&self) -> usize {
+        self.window
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl<O: AggregateOp> MemoryFootprint for FlatFat<O> {
+    fn heap_bytes(&self) -> usize {
+        self.tree.capacity() * core::mem::size_of::<O::Partial>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Naive;
+    use crate::ops::{Max, Sum};
+
+    #[test]
+    fn matches_naive_on_sum() {
+        let mut fat = FlatFat::new(Sum::<i64>::new(), 5);
+        let mut naive = Naive::new(Sum::<i64>::new(), 5);
+        for v in [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5] {
+            assert_eq!(fat.slide(v), naive.slide(v));
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_max_with_wrap() {
+        let op = Max::<i64>::new();
+        let mut fat = FlatFat::new(op, 4);
+        let mut naive = Naive::new(op, 4);
+        for v in [9, 8, 7, 6, 5, 4, 3, 2, 1, 2, 3, 9, 1] {
+            assert_eq!(fat.slide(op.lift(&v)), naive.slide(op.lift(&v)));
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_window() {
+        let mut fat = FlatFat::new(Sum::<i64>::new(), 6);
+        assert_eq!(fat.leaf_count(), 8);
+        let mut naive = Naive::new(Sum::<i64>::new(), 6);
+        for v in 0..40 {
+            assert_eq!(fat.slide(v), naive.slide(v));
+        }
+    }
+
+    #[test]
+    fn range_query_in_window_order() {
+        let mut fat = FlatFat::new(Sum::<i64>::new(), 8);
+        for v in 1..=8 {
+            fat.slide(v);
+        }
+        // Window slots now hold 1..=8 in insertion order; range over the
+        // last 3 = slots 5,6,7 → 6+7+8.
+        assert_eq!(fat.query_range(5, 3), 21);
+        // Wrapping range: slots 6,7,0,1 → 7+8+1+2.
+        assert_eq!(fat.query_range(6, 4), 18);
+    }
+
+    #[test]
+    fn query_in_order_equals_root_for_commutative() {
+        let mut fat = FlatFat::new(Sum::<i64>::new(), 7);
+        for v in 0..25 {
+            fat.slide(v);
+            assert_eq!(fat.query_in_order(), fat.query_root());
+        }
+    }
+
+    #[test]
+    fn window_one() {
+        let mut fat = FlatFat::new(Sum::<i64>::new(), 1);
+        assert_eq!(fat.slide(5), 5);
+        assert_eq!(fat.slide(6), 6);
+    }
+
+    #[test]
+    fn warmup_root_covers_arrived_only() {
+        let mut fat = FlatFat::new(Sum::<i64>::new(), 8);
+        assert_eq!(fat.slide(10), 10);
+        assert_eq!(fat.slide(20), 30);
+        assert_eq!(fat.len(), 2);
+    }
+}

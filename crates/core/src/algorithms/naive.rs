@@ -1,0 +1,148 @@
+//! Naive final aggregation (the Panes technique of §2.1/§2.2): keep the
+//! window's partials in a circular array and re-aggregate the whole window
+//! on every slide.
+//!
+//! Complexity (Table 1): exactly `n − 1` operations per slide for a window
+//! of `n` partials; space `n`. The implementation folds left-to-right in
+//! window order, so non-commutative operations are handled correctly.
+
+use crate::aggregator::{FinalAggregator, MemoryFootprint};
+use crate::ops::AggregateOp;
+
+/// Circular-buffer re-evaluating aggregator (the paper's *Naive* baseline).
+#[derive(Debug, Clone)]
+pub struct Naive<O: AggregateOp> {
+    op: O,
+    partials: Vec<O::Partial>,
+    window: usize,
+    /// Next slot to overwrite (the oldest once the window is full).
+    curr: usize,
+    len: usize,
+}
+
+impl<O: AggregateOp> Naive<O> {
+    /// Create a naive aggregator over a window of `window` partials.
+    pub fn new(op: O, window: usize) -> Self {
+        assert!(window >= 1, "window must hold at least one partial");
+        let partials = (0..window).map(|_| op.identity()).collect();
+        Naive {
+            op,
+            partials,
+            window,
+            curr: 0,
+            len: 0,
+        }
+    }
+
+    /// The operation driving this aggregator.
+    pub fn op(&self) -> &O {
+        &self.op
+    }
+
+    /// Aggregate of the current window contents, folding in window order.
+    pub fn query(&self) -> O::Partial {
+        if self.len == 0 {
+            return self.op.identity();
+        }
+        // Oldest live slot.
+        let start = (self.curr + self.window - self.len) % self.window;
+        let mut acc = self.partials[start].clone();
+        for i in 1..self.len {
+            let idx = (start + i) % self.window;
+            acc = self.op.combine(&acc, &self.partials[idx]);
+        }
+        acc
+    }
+}
+
+impl<O: AggregateOp> FinalAggregator<O> for Naive<O> {
+    const NAME: &'static str = "naive";
+
+    fn with_capacity(op: O, window: usize) -> Self {
+        Naive::new(op, window)
+    }
+
+    fn slide(&mut self, partial: O::Partial) -> O::Partial {
+        self.partials[self.curr] = partial;
+        self.curr = (self.curr + 1) % self.window;
+        self.len = (self.len + 1).min(self.window);
+        self.query()
+    }
+
+    fn window(&self) -> usize {
+        self.window
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Direct ring fill: sliding would cost O(len) per partial for the
+    /// query, making large-window warm-up quadratic.
+    fn warm(&mut self, partials: &mut dyn Iterator<Item = O::Partial>) {
+        for p in partials {
+            self.partials[self.curr] = p;
+            self.curr = (self.curr + 1) % self.window;
+            self.len = (self.len + 1).min(self.window);
+        }
+    }
+}
+
+impl<O: AggregateOp> MemoryFootprint for Naive<O> {
+    fn heap_bytes(&self) -> usize {
+        self.partials.capacity() * core::mem::size_of::<O::Partial>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Max, Sum};
+
+    #[test]
+    fn sum_window_three() {
+        let mut agg = Naive::new(Sum::<i64>::new(), 3);
+        assert_eq!(agg.slide(1), 1);
+        assert_eq!(agg.slide(2), 3);
+        assert_eq!(agg.slide(3), 6);
+        assert_eq!(agg.slide(4), 9); // 2 + 3 + 4
+        assert_eq!(agg.slide(5), 12); // 3 + 4 + 5
+    }
+
+    #[test]
+    fn max_window_two() {
+        let op = Max::<i64>::new();
+        let mut agg = Naive::new(op, 2);
+        assert_eq!(agg.slide(op.lift(&5)), Some(5));
+        assert_eq!(agg.slide(op.lift(&1)), Some(5));
+        assert_eq!(agg.slide(op.lift(&2)), Some(2)); // 5 expired
+    }
+
+    #[test]
+    fn window_one_tracks_latest() {
+        let mut agg = Naive::new(Sum::<i64>::new(), 1);
+        assert_eq!(agg.slide(7), 7);
+        assert_eq!(agg.slide(9), 9);
+    }
+
+    #[test]
+    fn empty_query_is_identity() {
+        let agg = Naive::new(Sum::<i64>::new(), 4);
+        assert_eq!(agg.query(), 0);
+        assert!(agg.is_empty());
+    }
+
+    #[test]
+    fn warmup_covers_partial_window() {
+        let mut agg = Naive::new(Sum::<i64>::new(), 10);
+        assert_eq!(agg.slide(1), 1);
+        assert_eq!(agg.slide(2), 3);
+        assert_eq!(agg.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let _ = Naive::new(Sum::<i64>::new(), 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! SlickDeque (Inv) — the paper's processing scheme for invertible
+//! aggregates (§3.2, Algorithm 1), here in its single-query form.
+//!
+//! A running answer is kept per query: each arriving partial is combined in
+//! with ⊕ and the expiring partial (read from a circular history array) is
+//! removed with the inverse operation ⊖ — exactly 2 operations per slide,
+//! the best possible for exact answers over arbitrary invertible
+//! aggregates. The multi-query form (Algorithm 1 in full) lives in
+//! [`crate::multi::MultiSlickDequeInv`].
+//!
+//! Complexity (Table 1): exactly 2 operations per slide; space `n + 1`.
+
+use crate::aggregator::{FinalAggregator, MemoryFootprint};
+use crate::ops::InvertibleOp;
+
+/// Running-aggregate sliding window for invertible operations.
+///
+/// ```
+/// use swag_core::aggregator::FinalAggregator;
+/// use swag_core::algorithms::SlickDequeInv;
+/// use swag_core::ops::Sum;
+///
+/// let mut window = SlickDequeInv::new(Sum::<i64>::new(), 3);
+/// assert_eq!(window.slide(1), 1);
+/// assert_eq!(window.slide(2), 3);
+/// assert_eq!(window.slide(3), 6);
+/// assert_eq!(window.slide(4), 9); // 1 expired: 2 + 3 + 4
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlickDequeInv<O: InvertibleOp> {
+    op: O,
+    /// Circular history of the window's partials (the expiring value is
+    /// read from here before being overwritten).
+    partials: Vec<O::Partial>,
+    /// The running window aggregate (the paper's `answers` entry).
+    answer: O::Partial,
+    window: usize,
+    curr: usize,
+    len: usize,
+}
+
+impl<O: InvertibleOp> SlickDequeInv<O> {
+    /// Create a SlickDeque (Inv) over a window of `window` partials.
+    pub fn new(op: O, window: usize) -> Self {
+        assert!(window >= 1, "window must hold at least one partial");
+        let partials = (0..window).map(|_| op.identity()).collect();
+        let answer = op.identity();
+        SlickDequeInv {
+            op,
+            partials,
+            answer,
+            window,
+            curr: 0,
+            len: 0,
+        }
+    }
+
+    /// The operation driving this aggregator.
+    pub fn op(&self) -> &O {
+        &self.op
+    }
+
+    /// The current window aggregate, free of charge.
+    pub fn query(&self) -> O::Partial {
+        self.answer.clone()
+    }
+
+    /// Dynamically resize the window (paper §3.1: all compared approaches
+    /// "handle such cases by performing dynamic resize operations").
+    ///
+    /// Shrinking removes the oldest partials from the running answer with
+    /// the inverse operation; growing keeps the current contents and lets
+    /// new arrivals fill the extra capacity. O(window) for the ring
+    /// re-layout.
+    pub fn resize(&mut self, window: usize) {
+        assert!(window >= 1, "window must hold at least one partial");
+        // Collect live partials oldest→newest.
+        let start = (self.curr + self.window - self.len) % self.window;
+        let live: Vec<O::Partial> = (0..self.len)
+            .map(|i| self.partials[(start + i) % self.window].clone())
+            .collect();
+        let keep = self.len.min(window);
+        // Remove the partials that no longer fit, oldest first.
+        for expired in &live[..self.len - keep] {
+            self.answer = self.op.inverse_combine(&self.answer, expired);
+        }
+        let mut ring: Vec<O::Partial> = (0..window).map(|_| self.op.identity()).collect();
+        for (i, p) in live[self.len - keep..].iter().enumerate() {
+            ring[i] = p.clone();
+        }
+        self.partials = ring;
+        self.window = window;
+        self.len = keep;
+        self.curr = keep % window;
+    }
+}
+
+impl<O: InvertibleOp> FinalAggregator<O> for SlickDequeInv<O> {
+    const NAME: &'static str = "slickdeque_inv";
+
+    fn with_capacity(op: O, window: usize) -> Self {
+        SlickDequeInv::new(op, window)
+    }
+
+    /// `answer ← (answer ⊕ new) ⊖ expiring` — exactly two operations.
+    fn slide(&mut self, partial: O::Partial) -> O::Partial {
+        let expiring = std::mem::replace(&mut self.partials[self.curr], partial.clone());
+        let with_new = self.op.combine(&self.answer, &partial);
+        self.answer = self.op.inverse_combine(&with_new, &expiring);
+        self.curr = (self.curr + 1) % self.window;
+        self.len = (self.len + 1).min(self.window);
+        self.answer.clone()
+    }
+
+    fn window(&self) -> usize {
+        self.window
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl<O: InvertibleOp> MemoryFootprint for SlickDequeInv<O> {
+    fn heap_bytes(&self) -> usize {
+        self.partials.capacity() * core::mem::size_of::<O::Partial>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Naive;
+    use crate::ops::{AggregateOp, Count, CountingOp, Mean, OpCounter, Product, Sum, Variance};
+
+    #[test]
+    fn matches_naive_on_sum() {
+        let mut sd = SlickDequeInv::new(Sum::<i64>::new(), 5);
+        let mut naive = Naive::new(Sum::<i64>::new(), 5);
+        for v in [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3] {
+            assert_eq!(sd.slide(v), naive.slide(v));
+        }
+    }
+
+    #[test]
+    fn exactly_two_ops_per_slide() {
+        let counter = OpCounter::new();
+        let op = CountingOp::new(Sum::<i64>::new(), counter.clone());
+        let mut sd = SlickDequeInv::new(op, 16);
+        for v in 0..100 {
+            sd.slide(v);
+        }
+        assert_eq!(counter.get(), 200);
+    }
+
+    #[test]
+    fn product_with_zeros_stays_exact() {
+        let op = Product::new();
+        let mut sd = SlickDequeInv::new(op, 3);
+        let vals = [2.0, 0.0, 5.0, 3.0, 0.0, 0.0, 4.0, 1.0, 2.0];
+        let mut naive = Naive::new(op, 3);
+        for v in vals {
+            let got = op.lower(&sd.slide(op.lift(&v)));
+            let expect = op.lower(&naive.slide(op.lift(&v)));
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn mean_and_variance_window() {
+        let mean = Mean::new();
+        let mut sd = SlickDequeInv::new(mean, 4);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            sd.slide(mean.lift(&v));
+        }
+        assert_eq!(mean.lower(&sd.query()), 2.5);
+        sd.slide(mean.lift(&9.0)); // window 2,3,4,9
+        assert_eq!(mean.lower(&sd.query()), 4.5);
+
+        let var = Variance::new();
+        let mut sv = SlickDequeInv::new(var, 2);
+        sv.slide(var.lift(&1.0));
+        sv.slide(var.lift(&3.0));
+        assert!((var.lower(&sv.query()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_window() {
+        let op = Count::<i64>::new();
+        let mut sd = SlickDequeInv::new(op, 3);
+        assert_eq!(sd.slide(op.lift(&10)), 1);
+        assert_eq!(sd.slide(op.lift(&10)), 2);
+        assert_eq!(sd.slide(op.lift(&10)), 3);
+        assert_eq!(sd.slide(op.lift(&10)), 3);
+    }
+
+    #[test]
+    fn window_one_tracks_latest() {
+        let mut sd = SlickDequeInv::new(Sum::<i64>::new(), 1);
+        assert_eq!(sd.slide(5), 5);
+        assert_eq!(sd.slide(9), 9);
+    }
+}

@@ -1,0 +1,323 @@
+//! SlickDeque (Non-Inv) — the paper's novel deque-based algorithm for
+//! non-invertible aggregates (§3.2, Algorithm 2), here in its single-query
+//! form; the multi-query form lives in
+//! [`crate::multi::MultiSlickDequeNonInv`].
+//!
+//! A deque of `(position, value)` nodes is kept such that node values are
+//! strictly "decreasing" in the operation's dominance order from head to
+//! tail. An arriving partial pops every tail node it dominates (those can
+//! never be a query answer again — the selection property of
+//! [`SelectiveOp`]), then joins as the new tail; the head expires by
+//! position. The window aggregate is simply the head's value.
+//!
+//! Complexity (Table 1): amortized < 2 operations per slide (each partial
+//! is involved in at most two comparisons over its lifetime), worst case
+//! `n` with probability 1/n! on exchangeable inputs; space between 2 and
+//! `2n + 4√n` on `√n`-sized chunks, input-dependent.
+
+use crate::aggregator::{FinalAggregator, MemoryFootprint};
+use crate::chunked::ChunkedDeque;
+use crate::ops::SelectiveOp;
+
+#[derive(Debug, Clone)]
+struct Node<P> {
+    /// Absolute arrival index of this partial.
+    pos: u64,
+    val: P,
+}
+
+/// Monotone-deque sliding window for selective (non-invertible) operations.
+///
+/// ```
+/// use swag_core::aggregator::FinalAggregator;
+/// use swag_core::algorithms::SlickDequeNonInv;
+/// use swag_core::ops::{AggregateOp, Max};
+///
+/// let op = Max::<i64>::new();
+/// let mut window = SlickDequeNonInv::new(op, 3);
+/// assert_eq!(window.slide(op.lift(&9)), Some(9));
+/// assert_eq!(window.slide(op.lift(&5)), Some(9));
+/// assert_eq!(window.slide(op.lift(&1)), Some(9));
+/// assert_eq!(window.slide(op.lift(&2)), Some(5)); // 9 expired
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlickDequeNonInv<O: SelectiveOp> {
+    op: O,
+    deque: ChunkedDeque<Node<O::Partial>>,
+    /// Absolute index the next arrival will receive.
+    next_pos: u64,
+    window: usize,
+    len: usize,
+}
+
+impl<O: SelectiveOp> SlickDequeNonInv<O> {
+    /// Create a SlickDeque (Non-Inv) over a window of `window` partials,
+    /// using `√window`-sized chunks (the paper's space-optimal choice).
+    pub fn new(op: O, window: usize) -> Self {
+        assert!(window >= 1, "window must hold at least one partial");
+        SlickDequeNonInv {
+            op,
+            deque: ChunkedDeque::for_window(window),
+            next_pos: 0,
+            window,
+            len: 0,
+        }
+    }
+
+    /// The operation driving this aggregator.
+    pub fn op(&self) -> &O {
+        &self.op
+    }
+
+    /// The current window aggregate: the head node's value.
+    pub fn query(&self) -> O::Partial {
+        match self.deque.front() {
+            Some(node) => node.val.clone(),
+            None => self.op.identity(),
+        }
+    }
+
+    /// Number of nodes currently on the deque (≤ window; this is the
+    /// input-dependent quantity behind the paper's space results).
+    pub fn deque_len(&self) -> usize {
+        self.deque.len()
+    }
+
+    /// Remove the head if it has fallen out of the window.
+    fn expire_head(&mut self) {
+        let oldest_live = self.next_pos - self.len as u64;
+        if let Some(front) = self.deque.front() {
+            if front.pos < oldest_live {
+                self.deque.pop_front();
+            }
+        }
+    }
+
+    /// Dynamically resize the window (paper §3.1: all compared approaches
+    /// "handle such cases by performing dynamic resize operations").
+    ///
+    /// Shrinking expires the oldest partials immediately; growing takes
+    /// effect as new partials arrive (partials older than the previous
+    /// window are gone and cannot be resurrected). O(expired nodes).
+    pub fn resize(&mut self, window: usize) {
+        assert!(window >= 1, "window must hold at least one partial");
+        self.window = window;
+        if self.len > window {
+            self.len = window;
+            let oldest_live = self.next_pos - self.len as u64;
+            while self.deque.front().is_some_and(|n| n.pos < oldest_live) {
+                self.deque.pop_front();
+            }
+        }
+    }
+
+    /// Validate the dominance invariant: no node is dominated by its
+    /// successor, and positions strictly increase head→tail. O(n).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let nodes: Vec<_> = self.deque.iter().collect();
+        for w in nodes.windows(2) {
+            assert!(w[0].pos < w[1].pos, "positions must increase");
+            // The older node must win the combine against the newer one,
+            // otherwise it would have been popped.
+            assert_eq!(
+                self.op.combine(&w[0].val, &w[1].val),
+                w[0].val,
+                "dominance invariant violated"
+            );
+        }
+    }
+}
+
+impl<O: SelectiveOp> FinalAggregator<O> for SlickDequeNonInv<O> {
+    const NAME: &'static str = "slickdeque_noninv";
+
+    fn with_capacity(op: O, window: usize) -> Self {
+        SlickDequeNonInv::new(op, window)
+    }
+
+    fn slide(&mut self, partial: O::Partial) -> O::Partial {
+        self.len = (self.len + 1).min(self.window);
+        // Pop every tail node the new partial dominates: if ⊕ returns the
+        // new partial, the tail can never be a query answer again
+        // (paper Algorithm 2, line 16).
+        while let Some(back) = self.deque.back() {
+            if self.op.combine(&back.val, &partial) == partial {
+                self.deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.deque.push_back(Node {
+            pos: self.next_pos,
+            val: partial,
+        });
+        self.next_pos += 1;
+        self.expire_head();
+        self.query()
+    }
+
+    fn window(&self) -> usize {
+        self.window
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl<O: SelectiveOp> MemoryFootprint for SlickDequeNonInv<O> {
+    fn heap_bytes(&self) -> usize {
+        self.deque.heap_bytes()
+    }
+}
+
+/// Windowed Range (max − min) for SlickDeque: two monotone deques, one per
+/// extremum, exactly as the paper treats algebraic aggregations ("Range
+/// (Max and Min)", §3.1).
+#[derive(Debug, Clone)]
+pub struct SlickDequeRange {
+    max: SlickDequeNonInv<crate::ops::Max<f64>>,
+    min: SlickDequeNonInv<crate::ops::Min<f64>>,
+}
+
+impl SlickDequeRange {
+    /// Create a Range aggregator over a window of `window` partials.
+    pub fn new(window: usize) -> Self {
+        SlickDequeRange {
+            max: SlickDequeNonInv::new(crate::ops::Max::new(), window),
+            min: SlickDequeNonInv::new(crate::ops::Min::new(), window),
+        }
+    }
+
+    /// Advance by one value; returns `max − min` of the window, or `None`
+    /// before the first value.
+    pub fn slide(&mut self, value: f64) -> Option<f64> {
+        let max = self.max.slide(Some(value));
+        let min = self.min.slide(Some(value));
+        match (max, min) {
+            (Some(hi), Some(lo)) => Some(hi - lo),
+            _ => None,
+        }
+    }
+}
+
+impl MemoryFootprint for SlickDequeRange {
+    fn heap_bytes(&self) -> usize {
+        self.max.heap_bytes() + self.min.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Naive;
+    use crate::ops::{AggregateOp, ArgMax, CountingOp, Max, Min, OpCounter};
+
+    #[test]
+    fn matches_naive_on_max() {
+        let op = Max::<i64>::new();
+        let mut sd = SlickDequeNonInv::new(op, 5);
+        let mut naive = Naive::new(op, 5);
+        for v in [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 1] {
+            assert_eq!(sd.slide(op.lift(&v)), naive.slide(op.lift(&v)));
+            sd.check_invariants();
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_min() {
+        let op = Min::<i64>::new();
+        let mut sd = SlickDequeNonInv::new(op, 4);
+        let mut naive = Naive::new(op, 4);
+        for v in [9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 5, 9, 1, 3, 3, 7, 2, 2] {
+            assert_eq!(sd.slide(op.lift(&v)), naive.slide(op.lift(&v)));
+            sd.check_invariants();
+        }
+    }
+
+    #[test]
+    fn descending_input_fills_deque() {
+        // Descending values are the paper's worst case: nothing dominates,
+        // every node survives until expiry.
+        let op = Max::<i64>::new();
+        let mut sd = SlickDequeNonInv::new(op, 8);
+        for v in (0..8).rev() {
+            sd.slide(op.lift(&v));
+        }
+        assert_eq!(sd.deque_len(), 8);
+        // A new maximum clears the whole deque in one slide (the n-op step).
+        sd.slide(op.lift(&100));
+        assert_eq!(sd.deque_len(), 1);
+        assert_eq!(sd.query(), Some(100));
+    }
+
+    #[test]
+    fn ascending_input_keeps_singleton_deque() {
+        let op = Max::<i64>::new();
+        let mut sd = SlickDequeNonInv::new(op, 8);
+        for v in 0..100 {
+            sd.slide(op.lift(&v));
+            assert_eq!(sd.deque_len(), 1);
+        }
+        assert_eq!(sd.query(), Some(99));
+    }
+
+    #[test]
+    fn amortized_under_two_ops() {
+        let counter = OpCounter::new();
+        let op = CountingOp::new(Max::<i64>::new(), counter.clone());
+        let mut sd = SlickDequeNonInv::new(op, 64);
+        let mut x = 7u32;
+        let slides = 10_000u64;
+        for _ in 0..slides {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            sd.slide(Some((x >> 16) as i64));
+        }
+        let per_slide = counter.get() as f64 / slides as f64;
+        assert!(per_slide < 2.0, "amortized {per_slide} ops/slide");
+    }
+
+    #[test]
+    fn expiry_promotes_second_node() {
+        let op = Max::<i64>::new();
+        let mut sd = SlickDequeNonInv::new(op, 3);
+        sd.slide(op.lift(&9)); // window: 9
+        sd.slide(op.lift(&5)); // window: 9 5
+        sd.slide(op.lift(&1)); // window: 9 5 1
+        assert_eq!(sd.query(), Some(9));
+        assert_eq!(sd.slide(op.lift(&2)), Some(5)); // 9 expired: window 5,1,2
+        assert_eq!(sd.slide(op.lift(&0)), Some(2)); // 5 expired: window 1,2,0
+        assert_eq!(sd.slide(op.lift(&0)), Some(2)); // window 2,0,0
+    }
+
+    #[test]
+    fn argmax_window() {
+        let op = ArgMax::<i64, &'static str>::new();
+        let mut sd = SlickDequeNonInv::new(op, 2);
+        sd.slide(op.lift(&(10, "a")));
+        sd.slide(op.lift(&(5, "b")));
+        assert_eq!(op.lower(&sd.query()), Some("a"));
+        sd.slide(op.lift(&(7, "c"))); // "a" expired; 7 dominates 5
+        assert_eq!(op.lower(&sd.query()), Some("c"));
+    }
+
+    #[test]
+    fn range_from_two_deques() {
+        let mut r = SlickDequeRange::new(3);
+        assert_eq!(r.slide(5.0), Some(0.0));
+        assert_eq!(r.slide(2.0), Some(3.0));
+        assert_eq!(r.slide(8.0), Some(6.0));
+        assert_eq!(r.slide(8.0), Some(6.0)); // 5 expired: window 2,8,8
+        assert_eq!(r.slide(8.0), Some(0.0)); // 2 expired: window 8,8,8
+    }
+
+    #[test]
+    fn window_one() {
+        let op = Max::<i64>::new();
+        let mut sd = SlickDequeNonInv::new(op, 1);
+        assert_eq!(sd.slide(op.lift(&5)), Some(5));
+        assert_eq!(sd.slide(op.lift(&2)), Some(2));
+        assert_eq!(sd.deque_len(), 1);
+    }
+}

@@ -1,0 +1,209 @@
+//! TwoStacks (paper §2.2): a FIFO window built from two stacks, the classic
+//! functional-programming queue trick applied to aggregation.
+//!
+//! Inserts push `(val, agg)` onto the back stack `B`, where `agg`
+//! aggregates everything below (older) plus the new value — one combine.
+//! Evicts pop the front stack `F` for free; when `F` is empty the whole of
+//! `B` is flipped onto `F`, computing suffix aggregates on the way — an
+//! `n`-combine step that produces the latency spikes the paper measures in
+//! Exp 3. Queries combine the tops of both stacks.
+//!
+//! Complexity (Table 1): amortized 3 operations per slide, worst case `n`;
+//! space `2n` (every node carries a value and an aggregate). TwoStacks does
+//! not support multi-query execution (paper §2.2).
+
+use crate::aggregator::{FinalAggregator, MemoryFootprint};
+use crate::ops::AggregateOp;
+
+#[derive(Debug, Clone)]
+struct Node<P> {
+    val: P,
+    agg: P,
+}
+
+/// Two-stack FIFO aggregator.
+#[derive(Debug, Clone)]
+pub struct TwoStacks<O: AggregateOp> {
+    op: O,
+    /// Front stack: top = oldest element; `agg` = aggregate of this element
+    /// and everything above it in window order (suffix of the front part).
+    front: Vec<Node<O::Partial>>,
+    /// Back stack: top = newest element; `agg` = aggregate of everything
+    /// below it plus itself (prefix of the back part).
+    back: Vec<Node<O::Partial>>,
+    window: usize,
+}
+
+impl<O: AggregateOp> TwoStacks<O> {
+    /// Create a TwoStacks aggregator; `window` bounds the capacity used by
+    /// [`FinalAggregator::slide`], but `insert`/`evict` work for any FIFO
+    /// pattern.
+    pub fn new(op: O, window: usize) -> Self {
+        assert!(window >= 1, "window must hold at least one partial");
+        TwoStacks {
+            op,
+            front: Vec::new(),
+            back: Vec::new(),
+            window,
+        }
+    }
+
+    /// The operation driving this aggregator.
+    pub fn op(&self) -> &O {
+        &self.op
+    }
+
+    /// Number of elements currently held.
+    pub fn len(&self) -> usize {
+        self.front.len() + self.back.len()
+    }
+
+    /// True if the window holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a new (newest) partial: one combine to extend the back
+    /// prefix aggregate.
+    pub fn insert(&mut self, val: O::Partial) {
+        let agg = match self.back.last() {
+            Some(top) => self.op.combine(&top.agg, &val),
+            None => val.clone(),
+        };
+        self.back.push(Node { val, agg });
+    }
+
+    /// Remove the oldest partial. When the front stack is empty this flips
+    /// the back stack — the `n`-combine worst-case step.
+    ///
+    /// Panics if the window is empty.
+    pub fn evict(&mut self) {
+        if self.front.is_empty() {
+            self.flip();
+        }
+        self.front
+            .pop()
+            .expect("evict from an empty TwoStacks window");
+    }
+
+    /// Move every element of `B` onto `F`, building suffix aggregates.
+    fn flip(&mut self) {
+        debug_assert!(self.front.is_empty());
+        while let Some(node) = self.back.pop() {
+            let agg = match self.front.last() {
+                // `node` is older than everything already on `front`.
+                Some(top) => self.op.combine(&node.val, &top.agg),
+                None => node.val.clone(),
+            };
+            self.front.push(Node { val: node.val, agg });
+        }
+    }
+
+    /// Aggregate of the whole window: tops of both stacks combined.
+    pub fn query(&self) -> O::Partial {
+        match (self.front.last(), self.back.last()) {
+            (Some(f), Some(b)) => self.op.combine(&f.agg, &b.agg),
+            (Some(f), None) => f.agg.clone(),
+            (None, Some(b)) => b.agg.clone(),
+            (None, None) => self.op.identity(),
+        }
+    }
+}
+
+impl<O: AggregateOp> FinalAggregator<O> for TwoStacks<O> {
+    const NAME: &'static str = "twostacks";
+
+    fn with_capacity(op: O, window: usize) -> Self {
+        TwoStacks::new(op, window)
+    }
+
+    fn slide(&mut self, partial: O::Partial) -> O::Partial {
+        if self.len() == self.window {
+            self.evict();
+        }
+        self.insert(partial);
+        self.query()
+    }
+
+    fn window(&self) -> usize {
+        self.window
+    }
+
+    fn len(&self) -> usize {
+        TwoStacks::len(self)
+    }
+}
+
+impl<O: AggregateOp> MemoryFootprint for TwoStacks<O> {
+    fn heap_bytes(&self) -> usize {
+        (self.front.capacity() + self.back.capacity()) * core::mem::size_of::<Node<O::Partial>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Naive;
+    use crate::ops::{Max, Sum};
+
+    #[test]
+    fn matches_naive_on_sum() {
+        let mut ts = TwoStacks::new(Sum::<i64>::new(), 4);
+        let mut naive = Naive::new(Sum::<i64>::new(), 4);
+        for v in [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5] {
+            assert_eq!(ts.slide(v), naive.slide(v));
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_max_across_flips() {
+        let op = Max::<i64>::new();
+        let mut ts = TwoStacks::new(op, 3);
+        let mut naive = Naive::new(op, 3);
+        for v in [9, 1, 1, 1, 1, 8, 1, 1, 1, 7, 1] {
+            assert_eq!(ts.slide(op.lift(&v)), naive.slide(op.lift(&v)));
+        }
+    }
+
+    #[test]
+    fn explicit_insert_evict_query() {
+        let mut ts = TwoStacks::new(Sum::<i64>::new(), 10);
+        ts.insert(1);
+        ts.insert(2);
+        ts.insert(3);
+        assert_eq!(ts.query(), 6);
+        ts.evict();
+        assert_eq!(ts.query(), 5);
+        ts.evict();
+        ts.evict();
+        assert_eq!(ts.query(), 0);
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn evict_after_flip_continues_correctly() {
+        let mut ts = TwoStacks::new(Sum::<i64>::new(), 10);
+        for v in 1..=5 {
+            ts.insert(v);
+        }
+        ts.evict(); // flips 5 elements onto front
+        ts.insert(6);
+        assert_eq!(ts.query(), 2 + 3 + 4 + 5 + 6);
+        ts.evict();
+        assert_eq!(ts.query(), 3 + 4 + 5 + 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn evict_empty_panics() {
+        let mut ts = TwoStacks::new(Sum::<i64>::new(), 2);
+        ts.evict();
+    }
+
+    #[test]
+    fn window_one() {
+        let mut ts = TwoStacks::new(Sum::<i64>::new(), 1);
+        assert_eq!(ts.slide(5), 5);
+        assert_eq!(ts.slide(7), 7);
+    }
+}

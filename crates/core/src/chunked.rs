@@ -1,0 +1,408 @@
+//! A chunked-array deque: the storage substrate shared by DABA and
+//! SlickDeque (Non-Inv).
+//!
+//! The paper's space analysis (§4.2) models both algorithms on top of a
+//! doubly linked list of fixed-size chunks: with a window of `n` nodes split
+//! into `k` chunks the space cost is `2n + 4k + 4n/k`, minimised at
+//! `k = √n`. [`ChunkedDeque`] reproduces that design: elements live in
+//! fixed-capacity chunks that are allocated and retired as the window slides
+//! across them, wasting at most two chunks' worth of slack (one at each
+//! end), with O(1) `push_back` / `pop_front` / `pop_back` and O(1) random
+//! access by index.
+//!
+//! Only the front chunk can contain already-consumed slots (a "dead prefix"
+//! of at most one chunk). Dead elements are dropped when the chunk retires —
+//! a bounded delay identical to the paper's two-chunk overallocation.
+
+use crate::aggregator::MemoryFootprint;
+use std::collections::VecDeque;
+
+/// Default chunk capacity used when none is specified.
+pub const DEFAULT_CHUNK_CAPACITY: usize = 256;
+
+/// A deque of `T` stored in fixed-capacity chunks.
+#[derive(Debug, Clone)]
+pub struct ChunkedDeque<T> {
+    chunks: VecDeque<Vec<T>>,
+    /// Cached live-element count (kept in sync by every mutation so the
+    /// hot paths never recompute it from chunk lengths).
+    len: usize,
+    /// Consumed (dead) slots at the start of the front chunk.
+    front_offset: usize,
+    /// Capacity of every chunk (always a power of two, so index
+    /// arithmetic is shift/mask instead of division).
+    chunk_cap: usize,
+    /// `log2(chunk_cap)`.
+    chunk_shift: u32,
+    /// One retired chunk kept for reuse: trending inputs make the deque
+    /// oscillate across chunk boundaries, and recycling avoids an
+    /// allocator round-trip per crossing (within the paper's two-chunk
+    /// slack allowance).
+    spare: Option<Vec<T>>,
+}
+
+impl<T> ChunkedDeque<T> {
+    /// Create an empty deque with the default chunk capacity.
+    pub fn new() -> Self {
+        Self::with_chunk_capacity(DEFAULT_CHUNK_CAPACITY)
+    }
+
+    /// Create an empty deque with the given chunk capacity (≥ 1; rounded
+    /// up to the next power of two so per-access index arithmetic stays a
+    /// shift and a mask).
+    pub fn with_chunk_capacity(chunk_cap: usize) -> Self {
+        assert!(chunk_cap >= 1, "chunk capacity must be at least 1");
+        let chunk_cap = chunk_cap.next_power_of_two();
+        ChunkedDeque {
+            chunks: VecDeque::new(),
+            len: 0,
+            front_offset: 0,
+            chunk_cap,
+            chunk_shift: chunk_cap.trailing_zeros(),
+            spare: None,
+        }
+    }
+
+    /// Create an empty deque with the chunk capacity that minimises the
+    /// paper's space bound `2n + 4k + 4n/k` for a window of `n` elements,
+    /// i.e. `k = √n` chunks of `√n` elements (clamped to at least 16).
+    pub fn for_window(n: usize) -> Self {
+        let cap = ((n.max(1) as f64).sqrt().ceil() as usize).max(16);
+        Self::with_chunk_capacity(cap)
+    }
+
+    /// The configured chunk capacity.
+    pub fn chunk_capacity(&self) -> usize {
+        self.chunk_cap
+    }
+
+    /// The number of live elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if there are no live elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The number of chunks currently allocated.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Append an element at the back.
+    #[inline]
+    pub fn push_back(&mut self, value: T) {
+        self.len += 1;
+        if let Some(chunk) = self.chunks.back_mut() {
+            if chunk.len() < self.chunk_cap {
+                chunk.push(value);
+                return;
+            }
+        }
+        let mut chunk = match self.spare.take() {
+            Some(spare) => spare,
+            None => Vec::with_capacity(self.chunk_cap),
+        };
+        chunk.push(value);
+        self.chunks.push_back(chunk);
+    }
+
+    /// Remove and drop the front element. Returns `false` if empty.
+    ///
+    /// The slot is logically removed immediately; its value is dropped when
+    /// the front chunk retires (bounded by one chunk, as in the paper's
+    /// space model).
+    #[inline]
+    pub fn pop_front(&mut self) -> bool {
+        if self.len == 0 {
+            return false;
+        }
+        self.len -= 1;
+        self.front_offset += 1;
+        if self.front_offset == self.chunks[0].len() {
+            if self.chunks.len() == 1 {
+                self.chunks[0].clear();
+            } else {
+                let mut retired = self.chunks.pop_front().expect("non-empty");
+                retired.clear();
+                self.spare = Some(retired);
+            }
+            self.front_offset = 0;
+        }
+        true
+    }
+
+    /// Remove and return the back element.
+    #[inline]
+    pub fn pop_back(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        let back = self.chunks.back_mut().expect("non-empty deque");
+        let value = back.pop().expect("back chunk holds the back element");
+        if back.is_empty() {
+            if self.chunks.len() > 1 {
+                // Retire the emptied back chunk, keeping it for reuse.
+                self.spare = self.chunks.pop_back();
+            } else if self.len == 0 {
+                // Lone chunk reduced to its dead prefix: reset for reuse.
+                self.chunks[0].clear();
+                self.front_offset = 0;
+            }
+        } else if self.len == 0 {
+            self.chunks[0].clear();
+            self.front_offset = 0;
+        }
+        Some(value)
+    }
+
+    #[inline]
+    fn locate(&self, index: usize) -> (usize, usize) {
+        debug_assert!(index < self.len);
+        let first_live = self.chunks[0].len() - self.front_offset;
+        if index < first_live {
+            (0, self.front_offset + index)
+        } else {
+            let rest = index - first_live;
+            (1 + (rest >> self.chunk_shift), rest & (self.chunk_cap - 1))
+        }
+    }
+
+    /// The element at `index` (0 = front), or `None` if out of bounds.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<&T> {
+        if index >= self.len {
+            return None;
+        }
+        let (chunk, slot) = self.locate(index);
+        Some(&self.chunks[chunk][slot])
+    }
+
+    /// Mutable access to the element at `index` (0 = front).
+    #[inline]
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut T> {
+        if index >= self.len {
+            return None;
+        }
+        let (chunk, slot) = self.locate(index);
+        Some(&mut self.chunks[chunk][slot])
+    }
+
+    /// The front (oldest) element.
+    #[inline]
+    pub fn front(&self) -> Option<&T> {
+        self.chunks.front()?.get(self.front_offset)
+    }
+
+    /// The back (newest) element.
+    #[inline]
+    pub fn back(&self) -> Option<&T> {
+        let last = self.chunks.back()?;
+        match last.last() {
+            // The only live-empty case is a lone chunk fully consumed by
+            // its dead prefix, which pop_front/pop_back reset eagerly.
+            Some(v) => Some(v),
+            None => None,
+        }
+    }
+
+    /// Mutable access to the back element.
+    #[inline]
+    pub fn back_mut(&mut self) -> Option<&mut T> {
+        self.chunks.back_mut()?.last_mut()
+    }
+
+    /// Iterate over the live elements front-to-back.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.chunks.iter().enumerate().flat_map(move |(i, c)| {
+            let start = if i == 0 { self.front_offset } else { 0 };
+            c[start..].iter()
+        })
+    }
+
+    /// Drop all elements, retaining nothing.
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+        self.spare = None;
+        self.len = 0;
+        self.front_offset = 0;
+    }
+}
+
+impl<T> Default for ChunkedDeque<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MemoryFootprint for ChunkedDeque<T> {
+    fn heap_bytes(&self) -> usize {
+        let slots: usize = self.chunks.iter().map(|c| c.capacity()).sum();
+        let spare = self.spare.as_ref().map_or(0, |c| c.capacity());
+        (slots + spare) * core::mem::size_of::<T>()
+            + self.chunks.capacity() * core::mem::size_of::<Vec<T>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_front_fifo() {
+        let mut d = ChunkedDeque::with_chunk_capacity(4);
+        for i in 0..10 {
+            d.push_back(i);
+        }
+        assert_eq!(d.len(), 10);
+        for i in 0..10 {
+            assert_eq!(d.front(), Some(&i));
+            assert!(d.pop_front());
+        }
+        assert!(d.is_empty());
+        assert!(!d.pop_front());
+    }
+
+    #[test]
+    fn pop_back_lifo() {
+        let mut d = ChunkedDeque::with_chunk_capacity(3);
+        for i in 0..7 {
+            d.push_back(i);
+        }
+        for i in (0..7).rev() {
+            assert_eq!(d.pop_back(), Some(i));
+        }
+        assert_eq!(d.pop_back(), None);
+    }
+
+    #[test]
+    fn mixed_front_back_operations() {
+        let mut d = ChunkedDeque::with_chunk_capacity(2);
+        d.push_back(1);
+        d.push_back(2);
+        d.push_back(3);
+        assert!(d.pop_front()); // drops 1
+        assert_eq!(d.pop_back(), Some(3));
+        assert_eq!(d.front(), Some(&2));
+        assert_eq!(d.back(), Some(&2));
+        assert_eq!(d.len(), 1);
+        assert!(d.pop_front());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn indexed_access_across_chunks() {
+        let mut d = ChunkedDeque::with_chunk_capacity(3);
+        for i in 0..10 {
+            d.push_back(i * 10);
+        }
+        // Consume part of the front chunk so front_offset is non-zero.
+        d.pop_front();
+        d.pop_front();
+        assert_eq!(d.len(), 8);
+        for i in 0..8 {
+            assert_eq!(d.get(i), Some(&((i + 2) * 10)));
+        }
+        assert_eq!(d.get(8), None);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut d = ChunkedDeque::with_chunk_capacity(2);
+        for i in 0..5 {
+            d.push_back(i);
+        }
+        d.pop_front();
+        *d.get_mut(1).unwrap() = 99;
+        assert_eq!(d.get(1), Some(&99));
+        *d.back_mut().unwrap() = -1;
+        assert_eq!(d.back(), Some(&-1));
+    }
+
+    #[test]
+    fn iter_yields_live_elements_in_order() {
+        let mut d = ChunkedDeque::with_chunk_capacity(3);
+        for i in 0..8 {
+            d.push_back(i);
+        }
+        d.pop_front();
+        d.pop_back();
+        let collected: Vec<i32> = d.iter().copied().collect();
+        assert_eq!(collected, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn chunks_are_retired_as_window_slides() {
+        let mut d = ChunkedDeque::with_chunk_capacity(4);
+        for i in 0..100 {
+            d.push_back(i);
+            if i >= 8 {
+                d.pop_front();
+            }
+        }
+        // A 9-element window over 4-slot chunks needs at most 4 chunks
+        // (ceil(9/4) = 3 live, plus up to one dead-prefix chunk boundary).
+        assert!(d.chunk_count() <= 4, "chunks: {}", d.chunk_count());
+        assert_eq!(d.len(), 8);
+    }
+
+    #[test]
+    fn for_window_picks_sqrt_chunks() {
+        let d = ChunkedDeque::<u64>::for_window(1 << 16);
+        assert_eq!(d.chunk_capacity(), 256);
+        let small = ChunkedDeque::<u64>::for_window(4);
+        assert_eq!(small.chunk_capacity(), 16);
+    }
+
+    #[test]
+    fn heap_bytes_tracks_allocation() {
+        let mut d = ChunkedDeque::<u64>::with_chunk_capacity(8);
+        assert_eq!(d.heap_bytes(), 0);
+        d.push_back(1);
+        assert!(d.heap_bytes() >= 8 * 8);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut d = ChunkedDeque::with_chunk_capacity(2);
+        for i in 0..5 {
+            d.push_back(i);
+        }
+        d.clear();
+        assert!(d.is_empty());
+        assert_eq!(d.chunk_count(), 0);
+        d.push_back(42);
+        assert_eq!(d.front(), Some(&42));
+    }
+
+    #[test]
+    fn single_chunk_dead_prefix_reset() {
+        let mut d = ChunkedDeque::with_chunk_capacity(8);
+        d.push_back(1);
+        d.push_back(2);
+        d.pop_front();
+        d.pop_front();
+        assert!(d.is_empty());
+        // After full consumption the chunk is reset for reuse.
+        d.push_back(3);
+        assert_eq!(d.front(), Some(&3));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn pop_back_to_dead_prefix_only() {
+        let mut d = ChunkedDeque::with_chunk_capacity(8);
+        d.push_back(1);
+        d.push_back(2);
+        d.pop_front(); // dead prefix = 1
+        assert_eq!(d.pop_back(), Some(2));
+        assert!(d.is_empty());
+        d.push_back(9);
+        assert_eq!(d.front(), Some(&9));
+    }
+}

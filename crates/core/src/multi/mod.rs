@@ -1,0 +1,175 @@
+//! Multi-query final aggregation (paper §2.3, §3.2, Exp 2).
+//!
+//! In a multi-query environment many ACQs with different ranges share one
+//! stream and one window of `max(range)` partials; every slide produces one
+//! answer per registered range. The paper evaluates the *max-multi-query*
+//! environment (ranges 1..=n) as the upper bound of sharing.
+//!
+//! TwoStacks and DABA are absent by design: "neither TwoStacks nor DABA
+//! are known to support multi-query execution" (paper §2.2).
+//!
+//! | Algorithm | Ops/slide (max-multi) | Space |
+//! |---|---|---|
+//! | [`MultiNaive`] | n²/2 − n/2 | n |
+//! | [`MultiFlatFat`] | n·log n | 2·2^⌈log n⌉ |
+//! | [`MultiBInt`] | n·log n | 2·2^⌈log n⌉ |
+//! | [`MultiFlatFit`] (dense, max-multi regime) | n − 1 | 2n |
+//! | [`MultiFlatFitSparse`] (lazy pointers, sparse range sets) | amortized O(q) | 2n |
+//! | [`MultiSlickDequeInv`] | 2n | 2n |
+//! | [`MultiSlickDequeNonInv`] | 2…2n (input-dependent) | ≤ 2n + 4√n |
+
+mod bint;
+mod flatfat;
+mod flatfit;
+mod flatfit_sparse;
+mod naive;
+mod slickdeque;
+mod time_multi;
+
+pub use bint::MultiBInt;
+pub use flatfat::MultiFlatFat;
+pub use flatfit::MultiFlatFit;
+pub use flatfit_sparse::MultiFlatFitSparse;
+pub use naive::MultiNaive;
+pub use slickdeque::{MultiSlickDequeInv, MultiSlickDequeNonInv};
+pub use time_multi::{MultiTimeSlickDequeInv, MultiTimeSlickDequeNonInv};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregator::MultiFinalAggregator;
+    use crate::ops::{AggregateOp, Max, Sum};
+
+    /// Brute-force multi-query reference: answers each range directly from
+    /// the stream history.
+    fn brute_force<O: AggregateOp>(
+        op: &O,
+        history: &[O::Partial],
+        ranges: &[usize],
+    ) -> Vec<O::Partial> {
+        ranges
+            .iter()
+            .map(|&r| {
+                let lo = history.len().saturating_sub(r);
+                let mut acc = op.identity();
+                for p in &history[lo..] {
+                    acc = op.combine(&acc, p);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn check_against_brute_force<O, M>(op: O, ranges: &[usize], stream: &[O::Input])
+    where
+        O: AggregateOp + Clone,
+        M: MultiFinalAggregator<O>,
+    {
+        let mut agg = M::with_ranges(op.clone(), ranges);
+        let sorted = agg.ranges().to_vec();
+        let mut history = Vec::new();
+        let mut out = Vec::new();
+        for input in stream {
+            let p = op.lift(input);
+            history.push(p.clone());
+            agg.slide_multi(p, &mut out);
+            let expect = brute_force(&op, &history, &sorted);
+            assert_eq!(out, expect, "after {} slides", history.len());
+        }
+    }
+
+    fn pseudo_random_stream(len: usize, modulo: i64) -> Vec<i64> {
+        let mut x = 0xDEADBEEFu64;
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((x >> 33) as i64) % modulo
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_naive_matches_brute_force() {
+        let stream = pseudo_random_stream(200, 1000);
+        check_against_brute_force::<_, MultiNaive<_>>(Sum::<i64>::new(), &[7, 3, 1], &stream);
+    }
+
+    #[test]
+    fn multi_flatfat_matches_brute_force() {
+        let stream = pseudo_random_stream(300, 1000);
+        check_against_brute_force::<_, MultiFlatFat<_>>(Sum::<i64>::new(), &[13, 8, 5, 2], &stream);
+    }
+
+    #[test]
+    fn multi_bint_matches_brute_force() {
+        let stream = pseudo_random_stream(300, 1000);
+        check_against_brute_force::<_, MultiBInt<_>>(Sum::<i64>::new(), &[13, 8, 5, 2], &stream);
+    }
+
+    #[test]
+    fn multi_flatfit_matches_brute_force() {
+        let stream = pseudo_random_stream(300, 1000);
+        check_against_brute_force::<_, MultiFlatFit<_>>(
+            Sum::<i64>::new(),
+            &[13, 8, 5, 2, 1],
+            &stream,
+        );
+    }
+
+    #[test]
+    fn multi_slickdeque_inv_matches_brute_force() {
+        let stream = pseudo_random_stream(300, 1000);
+        check_against_brute_force::<_, MultiSlickDequeInv<_>>(
+            Sum::<i64>::new(),
+            &[16, 9, 4, 1],
+            &stream,
+        );
+    }
+
+    #[test]
+    fn multi_slickdeque_noninv_matches_brute_force() {
+        let stream = pseudo_random_stream(400, 50);
+        let op = Max::<i64>::new();
+        check_against_brute_force::<_, MultiSlickDequeNonInv<_>>(op, &[16, 9, 4, 1], &stream);
+    }
+
+    #[test]
+    fn max_multi_query_environment_all_algorithms_agree() {
+        // The paper's Exp 2 setting: ranges 1..=n.
+        let n = 32usize;
+        let ranges: Vec<usize> = (1..=n).collect();
+        let stream = pseudo_random_stream(3 * n, 100);
+
+        let op = Sum::<i64>::new();
+        let mut naive = MultiNaive::with_ranges(op, &ranges);
+        let mut fat = MultiFlatFat::with_ranges(op, &ranges);
+        let mut bint = MultiBInt::with_ranges(op, &ranges);
+        let mut fit = MultiFlatFit::with_ranges(op, &ranges);
+        let mut inv = MultiSlickDequeInv::with_ranges(op, &ranges);
+
+        let mop = Max::<i64>::new();
+        let mut mnaive = MultiNaive::with_ranges(mop, &ranges);
+        let mut mdeque = MultiSlickDequeNonInv::with_ranges(mop, &ranges);
+
+        let (mut o1, mut o2, mut o3, mut o4, mut o5) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        let (mut m1, mut m2) = (Vec::new(), Vec::new());
+        for v in &stream {
+            naive.slide_multi(*v, &mut o1);
+            fat.slide_multi(*v, &mut o2);
+            bint.slide_multi(*v, &mut o3);
+            fit.slide_multi(*v, &mut o4);
+            inv.slide_multi(*v, &mut o5);
+            assert_eq!(o1, o2);
+            assert_eq!(o1, o3);
+            assert_eq!(o1, o4);
+            assert_eq!(o1, o5);
+
+            mnaive.slide_multi(mop.lift(v), &mut m1);
+            mdeque.slide_multi(mop.lift(v), &mut m2);
+            assert_eq!(m1, m2);
+        }
+    }
+}

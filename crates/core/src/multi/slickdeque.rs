@@ -1,0 +1,531 @@
+//! Multi-query SlickDeque — the paper's Algorithms 1 and 2 in full.
+//!
+//! [`MultiSlickDequeInv`] keeps one running answer per distinct range in an
+//! answers map and updates each with one ⊕ (the arrival) and one ⊖ (the
+//! partial expiring from that range) — `2q` operations per slide for `q`
+//! distinct ranges.
+//!
+//! [`MultiSlickDequeNonInv`] keeps one monotone deque of `(pos, val)` nodes
+//! with positions wrapped into `[0, wSize)` and answers all ranges in a
+//! single head-to-tail pass, largest range first, using the two Answer
+//! Loops of Algorithm 2 (with the off-by-one in the transcribed loop
+//! conditions corrected: the expiring boundary position `startPos` itself
+//! is *outside* the range, so the skip conditions compare with `<=`; the
+//! paper's own Example 3 trace confirms this reading).
+
+use crate::aggregator::{normalize_ranges, MemoryFootprint, MultiFinalAggregator};
+use crate::chunked::ChunkedDeque;
+use crate::ops::{InvertibleOp, SelectiveOp};
+
+/// Algorithm 1: multi-ACQ processing of invertible aggregates.
+///
+/// ```
+/// use swag_core::aggregator::MultiFinalAggregator;
+/// use swag_core::multi::MultiSlickDequeInv;
+/// use swag_core::ops::Sum;
+///
+/// let mut acqs = MultiSlickDequeInv::with_ranges(Sum::<i64>::new(), &[5, 3]);
+/// let mut out = Vec::new();
+/// for v in [6, 5, 0, 1] {
+///     acqs.slide_multi(v, &mut out);
+/// }
+/// assert_eq!(out, vec![12, 6]); // ranges [5, 3], the paper's Example 2 step 4
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiSlickDequeInv<O: InvertibleOp> {
+    op: O,
+    /// Circular history of the window's partials (`wSize` slots).
+    partials: Vec<O::Partial>,
+    /// The answers map: one running aggregate per distinct range,
+    /// descending by range.
+    answers: Vec<(usize, O::Partial)>,
+    ranges: Vec<usize>,
+    wsize: usize,
+    curr: usize,
+}
+
+impl<O: InvertibleOp> MultiSlickDequeInv<O> {
+    /// Create a SlickDeque (Inv) for the given ranges.
+    pub fn new(op: O, ranges: &[usize]) -> Self {
+        let ranges = normalize_ranges(ranges);
+        let wsize = ranges[0];
+        let partials = (0..wsize).map(|_| op.identity()).collect();
+        let answers = ranges.iter().map(|&r| (r, op.identity())).collect();
+        MultiSlickDequeInv {
+            op,
+            partials,
+            answers,
+            ranges,
+            wsize,
+            curr: 0,
+        }
+    }
+}
+
+impl<O: InvertibleOp> MultiSlickDequeInv<O> {
+    /// Register a new ACQ range at runtime (the paper's §6 "dynamic
+    /// environments" direction). Idempotent for ranges already served.
+    ///
+    /// The initial answer is computed from the retained history: if the
+    /// new range exceeds the current window, the window grows and the
+    /// answer covers what history exists (older tuples are gone — the
+    /// query warms up going forward). O(window).
+    pub fn add_query(&mut self, range: usize) {
+        assert!(range >= 1, "query ranges must be positive");
+        if self.ranges.contains(&range) {
+            return;
+        }
+        if range > self.wsize {
+            // Grow the ring: re-lay the existing history oldest-first.
+            let old = &self.partials;
+            let mut ring: Vec<O::Partial> = (0..range).map(|_| self.op.identity()).collect();
+            for (k, slot) in ring.iter_mut().take(self.wsize).enumerate() {
+                // Slot holding the value from (wsize − k) slides ago.
+                let idx = (self.curr + k) % self.wsize;
+                *slot = old[idx].clone();
+            }
+            self.curr = self.wsize % range;
+            self.wsize = range;
+            self.partials = ring;
+        }
+        // Fold the last `range` slots (identity-padded) for the initial
+        // answer.
+        let mut answer = self.op.identity();
+        for k in 0..range {
+            let idx = (self.curr + self.wsize - range + k) % self.wsize;
+            answer = self.op.combine(&answer, &self.partials[idx]);
+        }
+        let at = self.ranges.partition_point(|&x| x > range);
+        self.ranges.insert(at, range);
+        self.answers.insert(at, (range, answer));
+    }
+
+    /// Deregister an ACQ range at runtime. Returns `true` if it was
+    /// present. The window capacity stays at its high-water mark.
+    ///
+    /// Panics when removing the last registered range (an aggregator
+    /// without queries has no meaning).
+    pub fn remove_query(&mut self, range: usize) -> bool {
+        match self.ranges.iter().position(|&x| x == range) {
+            Some(at) => {
+                assert!(self.ranges.len() > 1, "cannot remove the last query");
+                self.ranges.remove(at);
+                self.answers.remove(at);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl<O: InvertibleOp> MultiFinalAggregator<O> for MultiSlickDequeInv<O> {
+    const NAME: &'static str = "slickdeque_inv";
+
+    fn with_ranges(op: O, ranges: &[usize]) -> Self {
+        MultiSlickDequeInv::new(op, ranges)
+    }
+
+    fn slide_multi(&mut self, partial: O::Partial, out: &mut Vec<O::Partial>) {
+        out.clear();
+        // Algorithm 1 lines 19-25: ans ← ans ⊕ newPartial ⊖
+        // partials[startPos], reading the history *before* the new partial
+        // overwrites its slot (startPos == curr when range == wSize).
+        for (r, ans) in &mut self.answers {
+            let start = (self.curr + self.wsize - *r) % self.wsize;
+            let with_new = self.op.combine(ans, &partial);
+            *ans = self.op.inverse_combine(&with_new, &self.partials[start]);
+            out.push(ans.clone());
+        }
+        self.partials[self.curr] = partial;
+        self.curr = (self.curr + 1) % self.wsize;
+    }
+
+    fn ranges(&self) -> &[usize] {
+        &self.ranges
+    }
+}
+
+impl<O: InvertibleOp> MemoryFootprint for MultiSlickDequeInv<O> {
+    fn heap_bytes(&self) -> usize {
+        self.partials.capacity() * core::mem::size_of::<O::Partial>()
+            + self.answers.capacity() * core::mem::size_of::<(usize, O::Partial)>()
+            + self.ranges.capacity() * core::mem::size_of::<usize>()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node<P> {
+    /// Position wrapped into `[0, wSize)` as in Algorithm 2.
+    pos: usize,
+    val: P,
+}
+
+/// Algorithm 2: multi-ACQ processing of non-invertible (selective)
+/// aggregates on one shared monotone deque.
+///
+/// ```
+/// use swag_core::aggregator::MultiFinalAggregator;
+/// use swag_core::multi::MultiSlickDequeNonInv;
+/// use swag_core::ops::{AggregateOp, Max};
+///
+/// let op = Max::<i64>::new();
+/// let mut acqs = MultiSlickDequeNonInv::with_ranges(op, &[5, 3]);
+/// let mut out = Vec::new();
+/// for v in [6, 5, 0, 1] {
+///     acqs.slide_multi(op.lift(&v), &mut out);
+/// }
+/// assert_eq!(out, vec![Some(6), Some(5)]); // the paper's Example 3 step 4
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiSlickDequeNonInv<O: SelectiveOp> {
+    op: O,
+    deque: ChunkedDeque<Node<O::Partial>>,
+    ranges: Vec<usize>,
+    wsize: usize,
+    curr: usize,
+}
+
+impl<O: SelectiveOp> MultiSlickDequeNonInv<O> {
+    /// Create a SlickDeque (Non-Inv) for the given ranges.
+    pub fn new(op: O, ranges: &[usize]) -> Self {
+        let ranges = normalize_ranges(ranges);
+        let wsize = ranges[0];
+        MultiSlickDequeNonInv {
+            op,
+            deque: ChunkedDeque::for_window(wsize),
+            ranges,
+            wsize,
+            curr: 0,
+        }
+    }
+
+    /// Number of nodes currently on the deque.
+    pub fn deque_len(&self) -> usize {
+        self.deque.len()
+    }
+
+    /// Register a new ACQ range at runtime (the paper's §6 "dynamic
+    /// environments" direction). Idempotent for ranges already served.
+    ///
+    /// Ranges within the current window are answerable immediately — the
+    /// monotone deque already retains every candidate for every sub-range.
+    /// A larger range grows the window: surviving nodes are re-mapped into
+    /// the new position space and the query warms up going forward
+    /// (expired history cannot be resurrected). O(deque length).
+    pub fn add_query(&mut self, range: usize) {
+        assert!(range >= 1, "query ranges must be positive");
+        if self.ranges.contains(&range) {
+            return;
+        }
+        if range > self.wsize {
+            // Re-map wrapped positions: recover each node's age (slides
+            // since insertion) under the old modulus, then re-wrap under
+            // the new one. Ages are strictly decreasing head→tail.
+            let old_wsize = self.wsize;
+            let nodes: Vec<(usize, O::Partial)> = self
+                .deque
+                .iter()
+                .map(|n| {
+                    let age = (self.curr + old_wsize - 1 - n.pos) % old_wsize;
+                    (age, n.val.clone())
+                })
+                .collect();
+            self.wsize = range;
+            self.deque.clear();
+            for (age, val) in nodes {
+                let pos = (self.curr + self.wsize - 1 - age) % self.wsize;
+                self.deque.push_back(Node { pos, val });
+            }
+        }
+        let at = self.ranges.partition_point(|&x| x > range);
+        self.ranges.insert(at, range);
+    }
+
+    /// Deregister an ACQ range at runtime. Returns `true` if it was
+    /// present. Panics when removing the last registered range.
+    pub fn remove_query(&mut self, range: usize) -> bool {
+        match self.ranges.iter().position(|&x| x == range) {
+            Some(at) => {
+                assert!(self.ranges.len() > 1, "cannot remove the last query");
+                self.ranges.remove(at);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl<O: SelectiveOp> MultiFinalAggregator<O> for MultiSlickDequeNonInv<O> {
+    const NAME: &'static str = "slickdeque_noninv";
+
+    fn with_ranges(op: O, ranges: &[usize]) -> Self {
+        MultiSlickDequeNonInv::new(op, ranges)
+    }
+
+    fn slide_multi(&mut self, partial: O::Partial, out: &mut Vec<O::Partial>) {
+        out.clear();
+        // Algorithm 2 line 13: the head expires when the new arrival wraps
+        // onto its position.
+        if let Some(front) = self.deque.front() {
+            if front.pos == self.curr {
+                self.deque.pop_front();
+            }
+        }
+        // Lines 15-18: pop every dominated tail.
+        while let Some(back) = self.deque.back() {
+            if self.op.combine(&back.val, &partial) == partial {
+                self.deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.deque.push_back(Node {
+            pos: self.curr,
+            val: partial,
+        });
+        // Lines 20-40: answer all ranges, largest first, in one pass from
+        // the head; larger ranges always resolve at nodes closer to the
+        // head, so a single forward cursor over the deque suffices.
+        let mut nodes = self.deque.iter();
+        let mut node = nodes.next().expect("deque holds the new arrival");
+        for &r in &self.ranges {
+            if r < self.wsize {
+                let start = self.curr as isize - r as isize;
+                if start < 0 {
+                    // Boundary crossed: in-range positions are
+                    // pos > startPos OR pos <= curr.
+                    let start = (start + self.wsize as isize) as usize;
+                    while node.pos <= start && node.pos > self.curr {
+                        node = nodes.next().expect("newest node is always in range");
+                    }
+                } else {
+                    // No boundary: in-range positions are
+                    // startPos < pos <= curr.
+                    let start = start as usize;
+                    while node.pos <= start || node.pos > self.curr {
+                        node = nodes.next().expect("newest node is always in range");
+                    }
+                }
+            }
+            // For r == wSize every live node is in range (the cursor is
+            // still at the head for the largest range).
+            out.push(node.val.clone());
+        }
+        self.curr = (self.curr + 1) % self.wsize;
+    }
+
+    fn ranges(&self) -> &[usize] {
+        &self.ranges
+    }
+}
+
+impl<O: SelectiveOp> MemoryFootprint for MultiSlickDequeNonInv<O> {
+    fn heap_bytes(&self) -> usize {
+        self.deque.heap_bytes() + self.ranges.capacity() * core::mem::size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{AggregateOp, Max, Min, Sum};
+
+    #[test]
+    fn inv_two_ranges_hand_computed() {
+        let mut agg = MultiSlickDequeInv::new(Sum::<i64>::new(), &[2, 4]);
+        let mut out = Vec::new();
+        agg.slide_multi(1, &mut out);
+        assert_eq!(out, vec![1, 1]);
+        agg.slide_multi(2, &mut out);
+        assert_eq!(out, vec![3, 3]);
+        agg.slide_multi(3, &mut out);
+        assert_eq!(out, vec![6, 5]);
+        agg.slide_multi(4, &mut out);
+        assert_eq!(out, vec![10, 7]);
+        agg.slide_multi(5, &mut out);
+        assert_eq!(out, vec![14, 9]);
+    }
+
+    #[test]
+    fn noninv_two_ranges_hand_computed() {
+        let op = Max::<i64>::new();
+        let mut agg = MultiSlickDequeNonInv::new(op, &[3, 2]);
+        let mut out = Vec::new();
+        agg.slide_multi(op.lift(&5), &mut out);
+        assert_eq!(out, vec![Some(5), Some(5)]);
+        agg.slide_multi(op.lift(&9), &mut out);
+        assert_eq!(out, vec![Some(9), Some(9)]);
+        agg.slide_multi(op.lift(&1), &mut out);
+        assert_eq!(out, vec![Some(9), Some(9)]);
+        agg.slide_multi(op.lift(&2), &mut out);
+        assert_eq!(out, vec![Some(9), Some(2)]);
+        agg.slide_multi(op.lift(&0), &mut out);
+        assert_eq!(out, vec![Some(2), Some(2)]);
+    }
+
+    #[test]
+    fn noninv_min_ranges() {
+        let op = Min::<i64>::new();
+        let mut agg = MultiSlickDequeNonInv::new(op, &[4, 1]);
+        let mut out = Vec::new();
+        for v in [5, 3, 8, 1, 9, 2] {
+            agg.slide_multi(op.lift(&v), &mut out);
+            assert_eq!(out[1], Some(v), "range-1 answer is the arrival");
+        }
+        assert_eq!(out[0], Some(1)); // window 8,1,9,2
+    }
+
+    #[test]
+    fn inv_range_equal_to_wsize_reads_expiring_slot() {
+        // range == wSize makes startPos == curr: the expiring value is the
+        // one about to be overwritten, which must be read pre-overwrite.
+        let mut agg = MultiSlickDequeInv::new(Sum::<i64>::new(), &[3]);
+        let mut out = Vec::new();
+        for (v, expect) in [(1, 1), (2, 3), (3, 6), (10, 15), (20, 33)] {
+            agg.slide_multi(v, &mut out);
+            assert_eq!(out, vec![expect]);
+        }
+    }
+
+    #[test]
+    fn noninv_deque_stays_small_on_ascending_input() {
+        let op = Max::<i64>::new();
+        let mut agg = MultiSlickDequeNonInv::new(op, &[8, 4, 2, 1]);
+        let mut out = Vec::new();
+        for v in 0..100 {
+            agg.slide_multi(op.lift(&v), &mut out);
+            assert_eq!(agg.deque_len(), 1);
+            assert_eq!(out, vec![Some(v); 4]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod dynamic_tests {
+    //! Runtime ACQ registration — the paper's §6 "dynamic environments"
+    //! direction, validated against freshly-built aggregators.
+    use super::*;
+    use crate::aggregator::MultiFinalAggregator;
+    use crate::ops::{AggregateOp, Max, Sum};
+
+    #[test]
+    fn inv_add_smaller_range_is_immediately_exact() {
+        let mut agg = MultiSlickDequeInv::new(Sum::<i64>::new(), &[6]);
+        let mut out = Vec::new();
+        for v in 1..=6 {
+            agg.slide_multi(v, &mut out);
+        }
+        agg.add_query(3);
+        assert_eq!(agg.ranges(), &[6, 3]);
+        agg.slide_multi(7, &mut out);
+        // Range 6: 2+…+7 = 27; range 3: 5+6+7 = 18.
+        assert_eq!(out, vec![27, 18]);
+    }
+
+    #[test]
+    fn inv_add_larger_range_grows_window() {
+        let mut agg = MultiSlickDequeInv::new(Sum::<i64>::new(), &[3]);
+        let mut out = Vec::new();
+        for v in 1..=5 {
+            agg.slide_multi(v, &mut out);
+        }
+        // History retained: 3,4,5. Register range 5 — it can only see the
+        // retained window, so it warms up from there.
+        agg.add_query(5);
+        agg.slide_multi(6, &mut out);
+        // Range 5 covers (retained 3,4,5) + 6 = 18; range 3: 4+5+6 = 15.
+        assert_eq!(out, vec![18, 15]);
+        agg.slide_multi(7, &mut out);
+        assert_eq!(out, vec![25, 18]); // 3+4+5+6+7, 5+6+7
+        agg.slide_multi(8, &mut out);
+        assert_eq!(out, vec![30, 21]); // 4+…+8 now a true 5-window
+    }
+
+    #[test]
+    fn inv_remove_query() {
+        let mut agg = MultiSlickDequeInv::new(Sum::<i64>::new(), &[5, 2]);
+        assert!(agg.remove_query(2));
+        assert!(!agg.remove_query(2));
+        assert_eq!(agg.ranges(), &[5]);
+        let mut out = Vec::new();
+        agg.slide_multi(10, &mut out);
+        assert_eq!(out, vec![10]);
+    }
+
+    #[test]
+    fn noninv_add_smaller_range_is_immediately_exact() {
+        let op = Max::<i64>::new();
+        let mut agg = MultiSlickDequeNonInv::new(op, &[6]);
+        let mut out = Vec::new();
+        for v in [9, 8, 7, 3, 2, 1] {
+            agg.slide_multi(op.lift(&v), &mut out);
+        }
+        agg.add_query(2);
+        agg.slide_multi(op.lift(&0), &mut out);
+        // Range 6: max(8,7,3,2,1,0) = 8; range 2: max(1,0) = 1.
+        assert_eq!(out, vec![Some(8), Some(1)]);
+    }
+
+    #[test]
+    fn noninv_add_larger_range_grows_window() {
+        let op = Max::<i64>::new();
+        let mut agg = MultiSlickDequeNonInv::new(op, &[2]);
+        let mut out = Vec::new();
+        for v in [9, 5, 4] {
+            agg.slide_multi(op.lift(&v), &mut out);
+        }
+        // Window-2 state: candidates among (5, 4) → deque holds 5, 4.
+        agg.add_query(4);
+        // The 4-range can only see retained candidates going forward.
+        agg.slide_multi(op.lift(&3), &mut out);
+        assert_eq!(out, vec![Some(5), Some(4)]); // ranges [4, 2]: last-2 = (4,3)
+        agg.slide_multi(op.lift(&2), &mut out);
+        assert_eq!(out, vec![Some(5), Some(3)]);
+        agg.slide_multi(op.lift(&1), &mut out);
+        // 5 expired from the grown window: (4,3,2,1).
+        assert_eq!(out, vec![Some(4), Some(2)]);
+    }
+
+    #[test]
+    fn noninv_dynamic_matches_fresh_aggregator_long_run() {
+        let op = Max::<i64>::new();
+        let stream: Vec<i64> = (0..400).map(|i| (i * 61) % 127).collect();
+        let mut dynamic = MultiSlickDequeNonInv::new(op, &[8]);
+        let mut out = Vec::new();
+        for &v in &stream[..50] {
+            dynamic.slide_multi(op.lift(&v), &mut out);
+        }
+        dynamic.add_query(20);
+        dynamic.add_query(3);
+        // After 20 more slides every range has warmed up; compare with a
+        // fresh aggregator over the same suffix state.
+        let mut fresh = MultiSlickDequeNonInv::new(op, &[20, 8, 3]);
+        let mut fout = Vec::new();
+        // Feed the fresh aggregator the last 20 tuples of the prefix so
+        // its window matches.
+        for &v in &stream[30..50] {
+            fresh.slide_multi(op.lift(&v), &mut fout);
+        }
+        for (i, &v) in stream[50..].iter().enumerate() {
+            dynamic.slide_multi(op.lift(&v), &mut out);
+            fresh.slide_multi(op.lift(&v), &mut fout);
+            if i >= 20 {
+                assert_eq!(out, fout, "slide {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "last query")]
+    fn removing_last_query_panics() {
+        let mut agg = MultiSlickDequeInv::new(Sum::<i64>::new(), &[4]);
+        agg.remove_query(4);
+    }
+
+    #[test]
+    fn add_existing_range_is_idempotent() {
+        let mut agg = MultiSlickDequeInv::new(Sum::<i64>::new(), &[4, 2]);
+        agg.add_query(4);
+        assert_eq!(agg.ranges(), &[4, 2]);
+    }
+}

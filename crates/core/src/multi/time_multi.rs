@@ -1,0 +1,300 @@
+//! Multi-ACQ time-based windows: the paper's Algorithms 1 and 2 carried
+//! into the time domain, serving several wall-clock ranges over one
+//! irregularly-timestamped stream.
+//!
+//! [`MultiTimeSlickDequeInv`] keeps one running answer per registered
+//! range; each range owns a cursor into the shared FIFO of timestamped
+//! partials and subtracts tuples as they age past *its* horizon — still
+//! one ⊕ per arrival plus one ⊖ per expiry per range.
+//!
+//! [`MultiTimeSlickDequeNonInv`] keeps one monotone deque; every range is
+//! answered in a single head-to-tail pass, largest range first, exactly
+//! like Algorithm 2's answer loops with timestamps in place of wrapped
+//! positions.
+
+use crate::aggregator::MemoryFootprint;
+use crate::algorithms::Timestamp;
+use crate::chunked::ChunkedDeque;
+use crate::ops::{InvertibleOp, SelectiveOp};
+
+fn normalize_ranges_ms(ranges_ms: &[u64]) -> Vec<u64> {
+    assert!(!ranges_ms.is_empty(), "at least one range is required");
+    assert!(
+        ranges_ms.iter().all(|&r| r > 0),
+        "ranges must be positive milliseconds"
+    );
+    let mut out = ranges_ms.to_vec();
+    out.sort_unstable_by(|a, b| b.cmp(a));
+    out.dedup();
+    out
+}
+
+/// Time-domain Algorithm 1: running answers with per-range expiry cursors.
+#[derive(Debug, Clone)]
+pub struct MultiTimeSlickDequeInv<O: InvertibleOp> {
+    op: O,
+    /// Distinct ranges in milliseconds, descending.
+    ranges_ms: Vec<u64>,
+    /// Timestamped partials young enough for the largest range.
+    window: ChunkedDeque<(Timestamp, O::Partial)>,
+    /// Absolute index of `window`'s front (count of pop_fronts ever).
+    popped: u64,
+    /// Per range: (first absolute index still included, running answer).
+    cursors: Vec<(u64, O::Partial)>,
+    last_ts: Timestamp,
+}
+
+impl<O: InvertibleOp> MultiTimeSlickDequeInv<O> {
+    /// Create an aggregator answering each of `ranges_ms` (milliseconds).
+    pub fn new(op: O, ranges_ms: &[u64]) -> Self {
+        let ranges_ms = normalize_ranges_ms(ranges_ms);
+        let cursors = ranges_ms.iter().map(|_| (0, op.identity())).collect();
+        MultiTimeSlickDequeInv {
+            op,
+            ranges_ms,
+            window: ChunkedDeque::new(),
+            popped: 0,
+            cursors,
+            last_ts: 0,
+        }
+    }
+
+    /// The registered ranges in milliseconds, descending.
+    pub fn ranges_ms(&self) -> &[u64] {
+        &self.ranges_ms
+    }
+
+    /// Insert a tuple at `ts` (non-decreasing); push one answer per range
+    /// (descending) into `out`.
+    pub fn insert(&mut self, ts: Timestamp, value: O::Partial, out: &mut Vec<O::Partial>) {
+        assert!(ts >= self.last_ts, "timestamps must be non-decreasing");
+        self.last_ts = ts;
+        self.window.push_back((ts, value.clone()));
+        for (ri, (cursor, answer)) in self.cursors.iter_mut().enumerate() {
+            *answer = self.op.combine(answer, &value);
+            if let Some(cutoff) = ts.checked_sub(self.ranges_ms[ri]) {
+                loop {
+                    let rel = (*cursor - self.popped) as usize;
+                    match self.window.get(rel) {
+                        Some((t, p)) if *t <= cutoff => {
+                            *answer = self.op.inverse_combine(answer, p);
+                            *cursor += 1;
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
+        // Tuples older than every range (the largest, cursors[0]) leave
+        // the shared FIFO.
+        while self.popped < self.cursors[0].0 {
+            self.window.pop_front();
+            self.popped += 1;
+        }
+        out.clear();
+        for (_, answer) in &self.cursors {
+            out.push(answer.clone());
+        }
+    }
+
+    /// Tuples currently retained for the largest range.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True if no tuples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+}
+
+impl<O: InvertibleOp> MemoryFootprint for MultiTimeSlickDequeInv<O> {
+    fn heap_bytes(&self) -> usize {
+        self.window.heap_bytes()
+            + self.cursors.capacity() * core::mem::size_of::<(u64, O::Partial)>()
+            + self.ranges_ms.capacity() * core::mem::size_of::<u64>()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TimeNode<P> {
+    ts: Timestamp,
+    val: P,
+}
+
+/// Time-domain Algorithm 2: one monotone deque, all ranges answered in a
+/// single pass.
+#[derive(Debug, Clone)]
+pub struct MultiTimeSlickDequeNonInv<O: SelectiveOp> {
+    op: O,
+    ranges_ms: Vec<u64>,
+    deque: ChunkedDeque<TimeNode<O::Partial>>,
+    last_ts: Timestamp,
+}
+
+impl<O: SelectiveOp> MultiTimeSlickDequeNonInv<O> {
+    /// Create an aggregator answering each of `ranges_ms` (milliseconds).
+    pub fn new(op: O, ranges_ms: &[u64]) -> Self {
+        let ranges_ms = normalize_ranges_ms(ranges_ms);
+        MultiTimeSlickDequeNonInv {
+            op,
+            ranges_ms,
+            deque: ChunkedDeque::new(),
+            last_ts: 0,
+        }
+    }
+
+    /// The registered ranges in milliseconds, descending.
+    pub fn ranges_ms(&self) -> &[u64] {
+        &self.ranges_ms
+    }
+
+    /// Nodes currently on the deque.
+    pub fn deque_len(&self) -> usize {
+        self.deque.len()
+    }
+
+    /// Insert a tuple at `ts` (non-decreasing); push one answer per range
+    /// (descending) into `out`. Answers cover `(ts − range, ts]`.
+    pub fn insert(&mut self, ts: Timestamp, value: O::Partial, out: &mut Vec<O::Partial>) {
+        assert!(ts >= self.last_ts, "timestamps must be non-decreasing");
+        self.last_ts = ts;
+        // Expire nodes outside the largest range.
+        if let Some(cutoff) = ts.checked_sub(self.ranges_ms[0]) {
+            while self.deque.front().is_some_and(|n| n.ts <= cutoff) {
+                self.deque.pop_front();
+            }
+        }
+        while let Some(back) = self.deque.back() {
+            if self.op.combine(&back.val, &value) == value {
+                self.deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.deque.push_back(TimeNode { ts, val: value });
+        // Single pass, largest range first: skip nodes too old for the
+        // current range; the new arrival always qualifies.
+        out.clear();
+        let mut nodes = self.deque.iter();
+        let mut node = nodes.next().expect("deque holds the new arrival");
+        for &r in &self.ranges_ms {
+            let cutoff = ts.checked_sub(r);
+            while cutoff.is_some_and(|c| node.ts <= c) {
+                node = nodes.next().expect("newest node is always in range");
+            }
+            out.push(node.val.clone());
+        }
+    }
+}
+
+impl<O: SelectiveOp> MemoryFootprint for MultiTimeSlickDequeNonInv<O> {
+    fn heap_bytes(&self) -> usize {
+        self.deque.heap_bytes() + self.ranges_ms.capacity() * core::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{AggregateOp, Max, Sum};
+
+    fn irregular_stream(n: usize) -> Vec<(u64, i64)> {
+        let mut ts = 0u64;
+        let mut x = 11u64;
+        (0..n)
+            .map(|i| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let gap = match (x >> 33) % 8 {
+                    0..=4 => 1,
+                    5..=6 => 23,
+                    _ => 211,
+                };
+                ts += if i == 0 { 0 } else { gap };
+                (ts, ((x >> 40) % 500) as i64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn inv_matches_brute_force_per_range() {
+        let ranges = [500u64, 100, 10];
+        let stream = irregular_stream(500);
+        let op = Sum::<i64>::new();
+        let mut agg = MultiTimeSlickDequeInv::new(op, &ranges);
+        let mut out = Vec::new();
+        for (i, &(ts, v)) in stream.iter().enumerate() {
+            agg.insert(ts, v, &mut out);
+            for (k, &r) in agg.ranges_ms().iter().enumerate() {
+                let expect: i64 = stream[..=i]
+                    .iter()
+                    .filter(|(t, _)| (*t as i128) > ts as i128 - r as i128)
+                    .map(|(_, v)| v)
+                    .sum();
+                assert_eq!(out[k], expect, "tuple {i} range {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn noninv_matches_brute_force_per_range() {
+        let ranges = [500u64, 100, 10];
+        let stream = irregular_stream(500);
+        let op = Max::<i64>::new();
+        let mut agg = MultiTimeSlickDequeNonInv::new(op, &ranges);
+        let mut out = Vec::new();
+        for (i, &(ts, v)) in stream.iter().enumerate() {
+            agg.insert(ts, op.lift(&v), &mut out);
+            for (k, &r) in agg.ranges_ms().iter().enumerate() {
+                let expect = stream[..=i]
+                    .iter()
+                    .filter(|(t, _)| (*t as i128) > ts as i128 - r as i128)
+                    .map(|(_, v)| *v)
+                    .max();
+                assert_eq!(out[k], expect, "tuple {i} range {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_are_deduplicated_and_descending() {
+        let op = Sum::<i64>::new();
+        let agg = MultiTimeSlickDequeInv::new(op, &[10, 500, 10, 100]);
+        assert_eq!(agg.ranges_ms(), &[500, 100, 10]);
+    }
+
+    #[test]
+    fn shared_fifo_drains_to_largest_range() {
+        let op = Sum::<i64>::new();
+        let mut agg = MultiTimeSlickDequeInv::new(op, &[100, 10]);
+        let mut out = Vec::new();
+        agg.insert(0, 1, &mut out);
+        agg.insert(50, 2, &mut out);
+        agg.insert(200, 4, &mut out);
+        // Everything older than 100 ms left the FIFO.
+        assert_eq!(agg.len(), 1);
+        assert_eq!(out, vec![4, 4]);
+    }
+
+    #[test]
+    fn burst_timestamps_served() {
+        let op = Max::<i64>::new();
+        let mut agg = MultiTimeSlickDequeNonInv::new(op, &[100, 1]);
+        let mut out = Vec::new();
+        agg.insert(10, op.lift(&5), &mut out);
+        agg.insert(10, op.lift(&3), &mut out);
+        // Range 1 ms covers (9, 10]: both tuples; range 100 likewise.
+        assert_eq!(out, vec![Some(5), Some(5)]);
+        agg.insert(12, op.lift(&1), &mut out);
+        // Range 1 covers (11, 12]: only the new tuple.
+        assert_eq!(out, vec![Some(5), Some(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_range_rejected() {
+        MultiTimeSlickDequeInv::new(Sum::<i64>::new(), &[0]);
+    }
+}

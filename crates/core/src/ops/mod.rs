@@ -1,0 +1,217 @@
+//! The aggregate-operation framework (paper §3.1).
+//!
+//! Every sliding-window algorithm in this crate is generic over an
+//! [`AggregateOp`]: an associative binary operation ⊕ together with the
+//! *lift*/*lower* adapters that map stream inputs into partial aggregates and
+//! partial aggregates into user-visible answers. This is the standard
+//! formulation used throughout the sliding-window aggregation literature
+//! (Panes, FlatFAT, TwoStacks/DABA, FlatFIT, SlickDeque).
+//!
+//! Three refinements of [`AggregateOp`] encode the algebraic properties the
+//! paper's classification (§3.1) relies on:
+//!
+//! * [`InvertibleOp`] — ⊕ has a feasibly inexpensive inverse ⊖ with
+//!   `(a ⊕ b) ⊖ b = a`. Sum, Count, Product, Mean, Variance, … SlickDeque
+//!   (Inv) and all subtract-on-evict style algorithms require this.
+//! * [`SelectiveOp`] — `combine(a, b) ∈ {a, b}` (the paper's note on
+//!   non-invertible, non-holistic operations). Max, Min, ArgMax, ArgMin,
+//!   alphabetical Max, … SlickDeque (Non-Inv)'s monotone deque requires this.
+//! * [`CommutativeOp`] — marker for `a ⊕ b = b ⊕ a`. None of the algorithms
+//!   here require commutativity (they all preserve window order), but the
+//!   marker lets property tests check the law where it is claimed.
+//!
+//! Holistic aggregations (Median, Top-K, …) are out of scope, exactly as in
+//! the paper.
+
+mod counting;
+mod invertible;
+mod noninvertible;
+mod pair;
+
+pub use counting::{CountingOp, OpCounter};
+pub use invertible::{
+    Additive, Count, GeometricMean, Mean, MeanPartial, Product, ProductPartial, StdDev, Sum,
+    SumSquares, Variance, VariancePartial,
+};
+pub use noninvertible::{
+    AlphaMax, ArgMax, ArgMin, BoolAll, BoolAny, First, Last, Max, MaxF64, Min, MinF64, MinMax,
+    Range,
+};
+pub use pair::PairOp;
+
+/// An associative aggregate operation in lift/combine/lower form.
+///
+/// * [`lift`](Self::lift) turns one stream input into a partial aggregate;
+/// * [`combine`](Self::combine) is the associative operation ⊕ on partials;
+/// * [`lower`](Self::lower) turns a partial aggregate into the answer
+///   reported to the client;
+/// * [`identity`](Self::identity) is the neutral element of ⊕ (the paper's
+///   `initVal`, e.g. `0` for Sum, −∞/`None` for Max).
+///
+/// Implementations must satisfy, for all partials `a`, `b`, `c`:
+///
+/// ```text
+/// combine(a, combine(b, c)) == combine(combine(a, b), c)     (associativity)
+/// combine(identity(), a) == a == combine(a, identity())      (identity)
+/// ```
+///
+/// Operations are **not** required to be commutative or invertible.
+/// Implementations are typically zero-sized so that the window algorithms
+/// monomorphise to tight loops.
+pub trait AggregateOp {
+    /// The type of raw stream inputs accepted by [`lift`](Self::lift).
+    type Input;
+    /// The type of partial aggregates flowing through the window algorithms.
+    type Partial: Clone + PartialEq + core::fmt::Debug;
+    /// The type of the final, user-visible answer.
+    type Output;
+
+    /// The neutral element of [`combine`](Self::combine).
+    fn identity(&self) -> Self::Partial;
+
+    /// Map one stream input to a singleton partial aggregate.
+    fn lift(&self, input: &Self::Input) -> Self::Partial;
+
+    /// The associative operation ⊕. `a` precedes `b` in window order, which
+    /// matters for non-commutative operations.
+    fn combine(&self, a: &Self::Partial, b: &Self::Partial) -> Self::Partial;
+
+    /// Map a partial aggregate to the final answer.
+    fn lower(&self, agg: &Self::Partial) -> Self::Output;
+
+    /// A short human-readable name used in reports and benchmarks.
+    fn name(&self) -> &'static str {
+        "op"
+    }
+}
+
+/// An [`AggregateOp`] with a feasibly inexpensive inverse ⊖ such that
+/// `inverse_combine(combine(a, b), b) == a`.
+///
+/// This is the paper's *invertible* class (Sum, Product, Count, Average,
+/// Standard Deviation, …) processed by SlickDeque (Inv) / Panes (Inv) /
+/// Subtract-on-Evict.
+pub trait InvertibleOp: AggregateOp {
+    /// Remove `b`'s contribution from `a`, i.e. `a ⊖ b`.
+    fn inverse_combine(&self, a: &Self::Partial, b: &Self::Partial) -> Self::Partial;
+}
+
+/// Marker for operations where `combine(a, b)` always equals one of its two
+/// arguments (selection semantics).
+///
+/// The paper (§3.1) observes that every non-invertible, non-holistic
+/// operation has this property; it is what makes SlickDeque (Non-Inv)'s
+/// monotone deque sound: a partial dominated by a newer arrival can never be
+/// a query answer again and may be discarded.
+pub trait SelectiveOp: AggregateOp {}
+
+/// Marker for commutative operations (`a ⊕ b == b ⊕ a`).
+pub trait CommutativeOp: AggregateOp {}
+
+#[cfg(test)]
+mod law_tests {
+    //! Algebraic-law checks shared by all concrete operations, on exact
+    //! integer carriers so the laws hold bitwise.
+    use super::*;
+
+    /// Assert the monoid laws for `op` over the given sample inputs.
+    pub(crate) fn check_monoid_laws<O>(op: &O, inputs: &[O::Input])
+    where
+        O: AggregateOp,
+    {
+        let partials: Vec<O::Partial> = inputs.iter().map(|i| op.lift(i)).collect();
+        for a in &partials {
+            let id = op.identity();
+            assert_eq!(&op.combine(&id, a), a, "left identity violated");
+            assert_eq!(&op.combine(a, &id), a, "right identity violated");
+            for b in &partials {
+                for c in &partials {
+                    let left = op.combine(&op.combine(a, b), c);
+                    let right = op.combine(a, &op.combine(b, c));
+                    assert_eq!(left, right, "associativity violated");
+                }
+            }
+        }
+    }
+
+    /// Assert `inverse_combine(combine(a, b), b) == a` over sample inputs.
+    pub(crate) fn check_inverse_law<O>(op: &O, inputs: &[O::Input])
+    where
+        O: InvertibleOp,
+    {
+        let partials: Vec<O::Partial> = inputs.iter().map(|i| op.lift(i)).collect();
+        for a in &partials {
+            for b in &partials {
+                let ab = op.combine(a, b);
+                assert_eq!(&op.inverse_combine(&ab, b), a, "inverse law violated");
+            }
+        }
+    }
+
+    /// Assert `combine(a, b) ∈ {a, b}` over sample inputs.
+    pub(crate) fn check_selective_law<O>(op: &O, inputs: &[O::Input])
+    where
+        O: SelectiveOp,
+    {
+        let partials: Vec<O::Partial> = inputs.iter().map(|i| op.lift(i)).collect();
+        for a in &partials {
+            for b in &partials {
+                let ab = op.combine(a, b);
+                assert!(
+                    &ab == a || &ab == b,
+                    "selective law violated: {:?} ⊕ {:?} = {:?}",
+                    a,
+                    b,
+                    ab
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sum_i64_laws() {
+        let op = Sum::<i64>::default();
+        check_monoid_laws(&op, &[-5, -1, 0, 1, 3, 100]);
+        check_inverse_law(&op, &[-5, -1, 0, 1, 3, 100]);
+    }
+
+    #[test]
+    fn count_laws() {
+        let op = Count::<i64>::default();
+        check_monoid_laws(&op, &[1, 2, 3]);
+        check_inverse_law(&op, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn max_i64_laws() {
+        let op = Max::<i64>::default();
+        check_monoid_laws(&op, &[-5, -1, 0, 1, 3, 100]);
+        check_selective_law(&op, &[-5, -1, 0, 1, 3, 100]);
+    }
+
+    #[test]
+    fn min_i64_laws() {
+        let op = Min::<i64>::default();
+        check_monoid_laws(&op, &[-5, -1, 0, 1, 3, 100]);
+        check_selective_law(&op, &[-5, -1, 0, 1, 3, 100]);
+    }
+
+    #[test]
+    fn alpha_max_laws() {
+        let op = AlphaMax::default();
+        let words: Vec<String> = ["apple", "pear", "zebra", "aardvark"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        check_monoid_laws(&op, &words);
+        check_selective_law(&op, &words);
+    }
+
+    #[test]
+    fn argmax_laws() {
+        let op = ArgMax::<i64, u32>::default();
+        let inputs = [(3, 10), (5, 20), (5, 30), (-1, 40)];
+        check_monoid_laws(&op, &inputs);
+        check_selective_law(&op, &inputs);
+    }
+}

@@ -1,0 +1,726 @@
+//! Non-invertible aggregate operations: Max, Min, Range, alphabetical Max,
+//! ArgMax / ArgMin, and boolean All/Any.
+//!
+//! These are the operations the paper's SlickDeque (Non-Inv) targets. All of
+//! them except [`MinMax`]/[`Range`] have *selection* semantics
+//! ([`SelectiveOp`]): `combine(a, b)` returns one of its arguments. Range is
+//! algebraic (Max and Min combined) and is therefore processed either by the
+//! general algorithms directly or by SlickDeque as two deques (see
+//! `algorithms::slickdeque_noninv::SlickDequeRange`).
+
+use super::{AggregateOp, CommutativeOp, SelectiveOp};
+use core::fmt::Debug;
+use core::marker::PhantomData;
+
+/// Windowed maximum over any [`PartialOrd`] carrier (numbers, strings, …).
+///
+/// The partial aggregate is `Option<T>` with `None` as the identity (the
+/// paper's −∞ `initVal`), which keeps the operation total and generic without
+/// requiring a least element for every carrier type.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Max<T>(PhantomData<T>);
+
+impl<T> Max<T> {
+    /// Create the Max operation.
+    pub fn new() -> Self {
+        Max(PhantomData)
+    }
+}
+
+impl<T: PartialOrd + Clone + PartialEq + Debug> AggregateOp for Max<T> {
+    type Input = T;
+    type Partial = Option<T>;
+    type Output = Option<T>;
+
+    #[inline]
+    fn identity(&self) -> Option<T> {
+        None
+    }
+
+    #[inline]
+    fn lift(&self, input: &T) -> Option<T> {
+        Some(input.clone())
+    }
+
+    #[inline]
+    fn combine(&self, a: &Option<T>, b: &Option<T>) -> Option<T> {
+        match (a, b) {
+            (Some(x), Some(y)) => {
+                if x > y {
+                    Some(x.clone())
+                } else {
+                    Some(y.clone())
+                }
+            }
+            (Some(x), None) => Some(x.clone()),
+            (None, y) => y.clone(),
+        }
+    }
+
+    #[inline]
+    fn lower(&self, agg: &Option<T>) -> Option<T> {
+        agg.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "max"
+    }
+}
+
+impl<T: PartialOrd + Clone + PartialEq + Debug> SelectiveOp for Max<T> {}
+impl<T: PartialOrd + Clone + PartialEq + Debug> CommutativeOp for Max<T> {}
+
+/// Windowed minimum. See [`Max`] for representation notes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Min<T>(PhantomData<T>);
+
+impl<T> Min<T> {
+    /// Create the Min operation.
+    pub fn new() -> Self {
+        Min(PhantomData)
+    }
+}
+
+impl<T: PartialOrd + Clone + PartialEq + Debug> AggregateOp for Min<T> {
+    type Input = T;
+    type Partial = Option<T>;
+    type Output = Option<T>;
+
+    #[inline]
+    fn identity(&self) -> Option<T> {
+        None
+    }
+
+    #[inline]
+    fn lift(&self, input: &T) -> Option<T> {
+        Some(input.clone())
+    }
+
+    #[inline]
+    fn combine(&self, a: &Option<T>, b: &Option<T>) -> Option<T> {
+        match (a, b) {
+            (Some(x), Some(y)) => {
+                if x < y {
+                    Some(x.clone())
+                } else {
+                    Some(y.clone())
+                }
+            }
+            (Some(x), None) => Some(x.clone()),
+            (None, y) => y.clone(),
+        }
+    }
+
+    #[inline]
+    fn lower(&self, agg: &Option<T>) -> Option<T> {
+        agg.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "min"
+    }
+}
+
+impl<T: PartialOrd + Clone + PartialEq + Debug> SelectiveOp for Min<T> {}
+impl<T: PartialOrd + Clone + PartialEq + Debug> CommutativeOp for Min<T> {}
+
+/// Alphabetical maximum over strings — one of the paper's motivating
+/// non-invertible operations. Identical to [`Max<String>`].
+pub type AlphaMax = Max<String>;
+
+/// Windowed maximum over `f64` with a −∞ identity — the unboxed
+/// representation the paper's C++ platform uses (`initVal` is −∞ for Max).
+///
+/// Halves the partial size relative to [`Max<f64>`]'s `Option<f64>`;
+/// prefer it in throughput-critical paths. NaN inputs are rejected by
+/// `lift` (a NaN would break the selection property).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaxF64;
+
+impl MaxF64 {
+    /// Create the operation.
+    pub fn new() -> Self {
+        MaxF64
+    }
+}
+
+impl AggregateOp for MaxF64 {
+    type Input = f64;
+    type Partial = f64;
+    type Output = f64;
+
+    #[inline]
+    fn identity(&self) -> f64 {
+        f64::NEG_INFINITY
+    }
+    #[inline]
+    fn lift(&self, input: &f64) -> f64 {
+        debug_assert!(!input.is_nan(), "NaN breaks Max's selection property");
+        *input
+    }
+    #[inline]
+    fn combine(&self, a: &f64, b: &f64) -> f64 {
+        if a > b {
+            *a
+        } else {
+            *b
+        }
+    }
+    #[inline]
+    fn lower(&self, agg: &f64) -> f64 {
+        *agg
+    }
+    fn name(&self) -> &'static str {
+        "max_f64"
+    }
+}
+
+impl SelectiveOp for MaxF64 {}
+impl CommutativeOp for MaxF64 {}
+
+/// Windowed minimum over `f64` with a +∞ identity (see [`MaxF64`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinF64;
+
+impl MinF64 {
+    /// Create the operation.
+    pub fn new() -> Self {
+        MinF64
+    }
+}
+
+impl AggregateOp for MinF64 {
+    type Input = f64;
+    type Partial = f64;
+    type Output = f64;
+
+    #[inline]
+    fn identity(&self) -> f64 {
+        f64::INFINITY
+    }
+    #[inline]
+    fn lift(&self, input: &f64) -> f64 {
+        debug_assert!(!input.is_nan(), "NaN breaks Min's selection property");
+        *input
+    }
+    #[inline]
+    fn combine(&self, a: &f64, b: &f64) -> f64 {
+        if a < b {
+            *a
+        } else {
+            *b
+        }
+    }
+    #[inline]
+    fn lower(&self, agg: &f64) -> f64 {
+        *agg
+    }
+    fn name(&self) -> &'static str {
+        "min_f64"
+    }
+}
+
+impl SelectiveOp for MinF64 {}
+impl CommutativeOp for MinF64 {}
+
+/// Windowed ArgMax: returns the payload whose key is largest.
+///
+/// Inputs are `(key, payload)` pairs; `combine` selects the pair with the
+/// larger key, preferring the *newer* (right) argument on ties so the answer
+/// is deterministic. Covers the paper's "ArgMax of Cosine" style operations
+/// by lifting `x` to `(cos(x), x)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArgMax<K, V>(PhantomData<(K, V)>);
+
+impl<K, V> ArgMax<K, V> {
+    /// Create the ArgMax operation.
+    pub fn new() -> Self {
+        ArgMax(PhantomData)
+    }
+}
+
+impl<K, V> AggregateOp for ArgMax<K, V>
+where
+    K: PartialOrd + Clone + PartialEq + Debug,
+    V: Clone + PartialEq + Debug,
+{
+    type Input = (K, V);
+    type Partial = Option<(K, V)>;
+    type Output = Option<V>;
+
+    #[inline]
+    fn identity(&self) -> Option<(K, V)> {
+        None
+    }
+
+    #[inline]
+    fn lift(&self, input: &(K, V)) -> Option<(K, V)> {
+        Some(input.clone())
+    }
+
+    #[inline]
+    fn combine(&self, a: &Option<(K, V)>, b: &Option<(K, V)>) -> Option<(K, V)> {
+        match (a, b) {
+            (Some(x), Some(y)) => {
+                if x.0 > y.0 {
+                    Some(x.clone())
+                } else {
+                    Some(y.clone())
+                }
+            }
+            (Some(x), None) => Some(x.clone()),
+            (None, y) => y.clone(),
+        }
+    }
+
+    #[inline]
+    fn lower(&self, agg: &Option<(K, V)>) -> Option<V> {
+        agg.as_ref().map(|(_, v)| v.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "arg_max"
+    }
+}
+
+impl<K, V> SelectiveOp for ArgMax<K, V>
+where
+    K: PartialOrd + Clone + PartialEq + Debug,
+    V: Clone + PartialEq + Debug,
+{
+}
+
+/// Windowed ArgMin: returns the payload whose key is smallest (the paper's
+/// "ArgMin of x²" style operations).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArgMin<K, V>(PhantomData<(K, V)>);
+
+impl<K, V> ArgMin<K, V> {
+    /// Create the ArgMin operation.
+    pub fn new() -> Self {
+        ArgMin(PhantomData)
+    }
+}
+
+impl<K, V> AggregateOp for ArgMin<K, V>
+where
+    K: PartialOrd + Clone + PartialEq + Debug,
+    V: Clone + PartialEq + Debug,
+{
+    type Input = (K, V);
+    type Partial = Option<(K, V)>;
+    type Output = Option<V>;
+
+    #[inline]
+    fn identity(&self) -> Option<(K, V)> {
+        None
+    }
+
+    #[inline]
+    fn lift(&self, input: &(K, V)) -> Option<(K, V)> {
+        Some(input.clone())
+    }
+
+    #[inline]
+    fn combine(&self, a: &Option<(K, V)>, b: &Option<(K, V)>) -> Option<(K, V)> {
+        match (a, b) {
+            (Some(x), Some(y)) => {
+                if x.0 < y.0 {
+                    Some(x.clone())
+                } else {
+                    Some(y.clone())
+                }
+            }
+            (Some(x), None) => Some(x.clone()),
+            (None, y) => y.clone(),
+        }
+    }
+
+    #[inline]
+    fn lower(&self, agg: &Option<(K, V)>) -> Option<V> {
+        agg.as_ref().map(|(_, v)| v.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "arg_min"
+    }
+}
+
+impl<K, V> SelectiveOp for ArgMin<K, V>
+where
+    K: PartialOrd + Clone + PartialEq + Debug,
+    V: Clone + PartialEq + Debug,
+{
+}
+
+/// The oldest value in the window — `combine` always selects its left
+/// (older) argument. Selective, so SlickDeque (Non-Inv) serves it with a
+/// deque that never pops (every node survives until expiry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct First<T>(PhantomData<T>);
+
+impl<T> First<T> {
+    /// Create the First operation.
+    pub fn new() -> Self {
+        First(PhantomData)
+    }
+}
+
+impl<T: Clone + PartialEq + Debug> AggregateOp for First<T> {
+    type Input = T;
+    type Partial = Option<T>;
+    type Output = Option<T>;
+
+    #[inline]
+    fn identity(&self) -> Option<T> {
+        None
+    }
+    #[inline]
+    fn lift(&self, input: &T) -> Option<T> {
+        Some(input.clone())
+    }
+    #[inline]
+    fn combine(&self, a: &Option<T>, b: &Option<T>) -> Option<T> {
+        if a.is_some() {
+            a.clone()
+        } else {
+            b.clone()
+        }
+    }
+    #[inline]
+    fn lower(&self, agg: &Option<T>) -> Option<T> {
+        agg.clone()
+    }
+    fn name(&self) -> &'static str {
+        "first"
+    }
+}
+
+impl<T: Clone + PartialEq + Debug> SelectiveOp for First<T> {}
+
+/// The newest value in the window — `combine` always selects its right
+/// (newer) argument. Selective, so SlickDeque (Non-Inv) serves it with a
+/// singleton deque (every arrival dominates everything).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Last<T>(PhantomData<T>);
+
+impl<T> Last<T> {
+    /// Create the Last operation.
+    pub fn new() -> Self {
+        Last(PhantomData)
+    }
+}
+
+impl<T: Clone + PartialEq + Debug> AggregateOp for Last<T> {
+    type Input = T;
+    type Partial = Option<T>;
+    type Output = Option<T>;
+
+    #[inline]
+    fn identity(&self) -> Option<T> {
+        None
+    }
+    #[inline]
+    fn lift(&self, input: &T) -> Option<T> {
+        Some(input.clone())
+    }
+    #[inline]
+    fn combine(&self, a: &Option<T>, b: &Option<T>) -> Option<T> {
+        if b.is_some() {
+            b.clone()
+        } else {
+            a.clone()
+        }
+    }
+    #[inline]
+    fn lower(&self, agg: &Option<T>) -> Option<T> {
+        agg.clone()
+    }
+    fn name(&self) -> &'static str {
+        "last"
+    }
+}
+
+impl<T: Clone + PartialEq + Debug> SelectiveOp for Last<T> {}
+
+/// Windowed logical AND (true iff every tuple in the window is true).
+///
+/// Non-invertible (knowing `a AND b` and `b` does not recover `a` when
+/// `b = false`) and selective.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoolAll;
+
+impl AggregateOp for BoolAll {
+    type Input = bool;
+    type Partial = bool;
+    type Output = bool;
+
+    #[inline]
+    fn identity(&self) -> bool {
+        true
+    }
+    #[inline]
+    fn lift(&self, input: &bool) -> bool {
+        *input
+    }
+    #[inline]
+    fn combine(&self, a: &bool, b: &bool) -> bool {
+        *a && *b
+    }
+    #[inline]
+    fn lower(&self, agg: &bool) -> bool {
+        *agg
+    }
+    fn name(&self) -> &'static str {
+        "all"
+    }
+}
+
+impl SelectiveOp for BoolAll {}
+impl CommutativeOp for BoolAll {}
+
+/// Windowed logical OR (true iff any tuple in the window is true).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoolAny;
+
+impl AggregateOp for BoolAny {
+    type Input = bool;
+    type Partial = bool;
+    type Output = bool;
+
+    #[inline]
+    fn identity(&self) -> bool {
+        false
+    }
+    #[inline]
+    fn lift(&self, input: &bool) -> bool {
+        *input
+    }
+    #[inline]
+    fn combine(&self, a: &bool, b: &bool) -> bool {
+        *a || *b
+    }
+    #[inline]
+    fn lower(&self, agg: &bool) -> bool {
+        *agg
+    }
+    fn name(&self) -> &'static str {
+        "any"
+    }
+}
+
+impl SelectiveOp for BoolAny {}
+impl CommutativeOp for BoolAny {}
+
+/// Windowed Range = Max − Min, the paper's canonical *algebraic*
+/// non-invertible aggregation.
+///
+/// The partial carries both extrema, so `combine` merges rather than selects:
+/// [`MinMax`] is **not** a [`SelectiveOp`] and cannot ride a single monotone
+/// deque. General algorithms (Naive, FlatFAT, B-Int, FlatFIT, TwoStacks,
+/// DABA) process it directly; SlickDeque processes it as two deques (see
+/// `SlickDequeRange`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinMax<T>(PhantomData<T>);
+
+/// [`MinMax`] specialised to `f64` with `Output = max − min`.
+pub type Range = MinMax<f64>;
+
+impl<T> MinMax<T> {
+    /// Create the MinMax operation.
+    pub fn new() -> Self {
+        MinMax(PhantomData)
+    }
+}
+
+impl<T: PartialOrd + Clone + PartialEq + Debug> AggregateOp for MinMax<T> {
+    type Input = T;
+    /// `(min, max)` of the covered tuples, or `None` for the empty window.
+    type Partial = Option<(T, T)>;
+    type Output = Option<(T, T)>;
+
+    #[inline]
+    fn identity(&self) -> Option<(T, T)> {
+        None
+    }
+
+    #[inline]
+    fn lift(&self, input: &T) -> Option<(T, T)> {
+        Some((input.clone(), input.clone()))
+    }
+
+    #[inline]
+    fn combine(&self, a: &Option<(T, T)>, b: &Option<(T, T)>) -> Option<(T, T)> {
+        match (a, b) {
+            (Some((amin, amax)), Some((bmin, bmax))) => {
+                let min = if amin < bmin { amin } else { bmin };
+                let max = if amax > bmax { amax } else { bmax };
+                Some((min.clone(), max.clone()))
+            }
+            (Some(x), None) => Some(x.clone()),
+            (None, y) => y.clone(),
+        }
+    }
+
+    #[inline]
+    fn lower(&self, agg: &Option<(T, T)>) -> Option<(T, T)> {
+        agg.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "min_max"
+    }
+}
+
+impl<T: PartialOrd + Clone + PartialEq + Debug> CommutativeOp for MinMax<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_prefers_larger() {
+        let op = Max::<i64>::new();
+        assert_eq!(op.combine(&Some(3), &Some(5)), Some(5));
+        assert_eq!(op.combine(&Some(5), &Some(3)), Some(5));
+        assert_eq!(op.combine(&None, &Some(3)), Some(3));
+        assert_eq!(op.combine(&Some(3), &None), Some(3));
+        assert_eq!(op.combine(&None, &None), None);
+    }
+
+    #[test]
+    fn max_tie_selects_right() {
+        // On ties the newer (right) value wins, so the monotone deque in
+        // SlickDeque (Non-Inv) discards the older duplicate.
+        let op = Max::<i64>::new();
+        let a = Some(5);
+        let b = Some(5);
+        assert_eq!(op.combine(&a, &b), b);
+    }
+
+    #[test]
+    fn min_prefers_smaller() {
+        let op = Min::<i64>::new();
+        assert_eq!(op.combine(&Some(3), &Some(5)), Some(3));
+        assert_eq!(op.combine(&Some(-1), &None), Some(-1));
+    }
+
+    #[test]
+    fn alpha_max_orders_strings() {
+        let op = AlphaMax::new();
+        let a = op.lift(&"apple".to_string());
+        let z = op.lift(&"zebra".to_string());
+        assert_eq!(op.combine(&a, &z), Some("zebra".to_string()));
+    }
+
+    #[test]
+    fn argmax_returns_payload() {
+        let op = ArgMax::<f64, &'static str>::new();
+        let a = op.lift(&(0.5, "half"));
+        let b = op.lift(&(0.9, "most"));
+        let c = op.combine(&a, &b);
+        assert_eq!(op.lower(&c), Some("most"));
+    }
+
+    #[test]
+    fn argmin_of_square_finds_smallest_magnitude() {
+        // The paper's "ArgMin of x²": lift x to (x², x).
+        let op = ArgMin::<i64, i64>::new();
+        let xs = [-7, 3, -2, 9];
+        let mut acc = op.identity();
+        for x in xs {
+            acc = op.combine(&acc, &op.lift(&(x * x, x)));
+        }
+        assert_eq!(op.lower(&acc), Some(-2));
+    }
+
+    #[test]
+    fn minmax_tracks_both_extrema() {
+        let op = MinMax::<i64>::new();
+        let mut acc = op.identity();
+        for v in [4, -2, 9, 0] {
+            acc = op.combine(&acc, &op.lift(&v));
+        }
+        assert_eq!(acc, Some((-2, 9)));
+    }
+
+    #[test]
+    fn bool_ops() {
+        let all = BoolAll;
+        let any = BoolAny;
+        assert!(!all.combine(&true, &false));
+        assert!(any.combine(&true, &false));
+        assert!(all.identity());
+        assert!(!any.identity());
+    }
+}
+
+#[cfg(test)]
+mod first_last_tests {
+    use super::*;
+    use crate::aggregator::FinalAggregator;
+    use crate::algorithms::{Naive, SlickDequeNonInv};
+
+    #[test]
+    fn first_selects_oldest() {
+        let op = First::<i64>::new();
+        let mut acc = op.identity();
+        for v in [5, 3, 9] {
+            acc = op.combine(&acc, &op.lift(&v));
+        }
+        assert_eq!(acc, Some(5));
+    }
+
+    #[test]
+    fn last_selects_newest() {
+        let op = Last::<i64>::new();
+        let mut acc = op.identity();
+        for v in [5, 3, 9] {
+            acc = op.combine(&acc, &op.lift(&v));
+        }
+        assert_eq!(acc, Some(9));
+    }
+
+    #[test]
+    fn first_through_deque_keeps_full_window() {
+        let op = First::<i64>::new();
+        let mut sd = SlickDequeNonInv::new(op, 3);
+        let mut naive = Naive::new(op, 3);
+        for v in [1, 2, 3, 4, 5, 6] {
+            assert_eq!(sd.slide(op.lift(&v)), naive.slide(op.lift(&v)));
+            sd.check_invariants();
+        }
+        // First never pops by dominance: the deque holds the full window.
+        assert_eq!(sd.deque_len(), 3);
+    }
+
+    #[test]
+    fn last_through_deque_keeps_singleton() {
+        let op = Last::<i64>::new();
+        let mut sd = SlickDequeNonInv::new(op, 5);
+        for v in [1, 2, 3, 4, 5, 6] {
+            assert_eq!(sd.slide(op.lift(&v)), Some(v));
+            assert_eq!(sd.deque_len(), 1);
+        }
+    }
+
+    #[test]
+    fn first_last_associativity() {
+        let f = First::<i64>::new();
+        let l = Last::<i64>::new();
+        for a in [None, Some(1)] {
+            for b in [None, Some(2)] {
+                for c in [None, Some(3)] {
+                    assert_eq!(
+                        f.combine(&f.combine(&a, &b), &c),
+                        f.combine(&a, &f.combine(&b, &c))
+                    );
+                    assert_eq!(
+                        l.combine(&l.combine(&a, &b), &c),
+                        l.combine(&a, &l.combine(&b, &c))
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Product of two aggregate operations over the same input.
+//!
+//! [`PairOp`] runs two operations side by side in one window pass — the
+//! standard construction for the paper's *algebraic* aggregations ("Average
+//! is calculated from Sum and Count", "Range from Max and Min", §3.1) and
+//! for the result sharing of compatible operations in §2.3.
+
+use super::{AggregateOp, CommutativeOp, InvertibleOp};
+
+/// Runs ops `A` and `B` over the same inputs, producing both outputs.
+///
+/// `PairOp` is invertible iff both components are; it is *not* selective
+/// even when both components are (the componentwise combine can mix sides),
+/// which is exactly why the paper processes Range on two separate deques.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PairOp<A, B> {
+    /// The first component operation.
+    pub first: A,
+    /// The second component operation.
+    pub second: B,
+}
+
+impl<A, B> PairOp<A, B> {
+    /// Combine two operations over a shared input type.
+    pub fn new(first: A, second: B) -> Self {
+        PairOp { first, second }
+    }
+}
+
+impl<A, B, I> AggregateOp for PairOp<A, B>
+where
+    A: AggregateOp<Input = I>,
+    B: AggregateOp<Input = I>,
+{
+    type Input = I;
+    type Partial = (A::Partial, B::Partial);
+    type Output = (A::Output, B::Output);
+
+    #[inline]
+    fn identity(&self) -> Self::Partial {
+        (self.first.identity(), self.second.identity())
+    }
+
+    #[inline]
+    fn lift(&self, input: &I) -> Self::Partial {
+        (self.first.lift(input), self.second.lift(input))
+    }
+
+    #[inline]
+    fn combine(&self, a: &Self::Partial, b: &Self::Partial) -> Self::Partial {
+        (
+            self.first.combine(&a.0, &b.0),
+            self.second.combine(&a.1, &b.1),
+        )
+    }
+
+    #[inline]
+    fn lower(&self, agg: &Self::Partial) -> Self::Output {
+        (self.first.lower(&agg.0), self.second.lower(&agg.1))
+    }
+
+    fn name(&self) -> &'static str {
+        "pair"
+    }
+}
+
+impl<A, B, I> InvertibleOp for PairOp<A, B>
+where
+    A: InvertibleOp<Input = I>,
+    B: InvertibleOp<Input = I>,
+{
+    #[inline]
+    fn inverse_combine(&self, a: &Self::Partial, b: &Self::Partial) -> Self::Partial {
+        (
+            self.first.inverse_combine(&a.0, &b.0),
+            self.second.inverse_combine(&a.1, &b.1),
+        )
+    }
+}
+
+impl<A, B, I> CommutativeOp for PairOp<A, B>
+where
+    A: CommutativeOp<Input = I>,
+    B: CommutativeOp<Input = I>,
+{
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Count, Max, Min, Sum};
+
+    #[test]
+    fn sum_and_count_gives_average() {
+        let op = PairOp::new(Sum::<f64>::new(), Count::<f64>::new());
+        let mut acc = op.identity();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            acc = op.combine(&acc, &op.lift(&v));
+        }
+        let (sum, count) = op.lower(&acc);
+        assert_eq!(sum / count as f64, 2.5);
+    }
+
+    #[test]
+    fn pair_inverse_is_componentwise() {
+        let op = PairOp::new(Sum::<i64>::new(), Count::<i64>::new());
+        let a = op.combine(&op.lift(&5), &op.lift(&7));
+        let back = op.inverse_combine(&a, &op.lift(&7));
+        assert_eq!(back, op.lift(&5));
+    }
+
+    #[test]
+    fn max_min_pair_gives_range() {
+        let op = PairOp::new(Max::<i64>::new(), Min::<i64>::new());
+        let mut acc = op.identity();
+        for v in [4, -2, 9, 0] {
+            acc = op.combine(&acc, &op.lift(&v));
+        }
+        let (max, min) = op.lower(&acc);
+        assert_eq!(max.unwrap() - min.unwrap(), 11);
+    }
+}

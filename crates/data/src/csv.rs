@@ -1,0 +1,126 @@
+//! CSV persistence for DEBS-shaped events, so generated datasets can be
+//! written once and replayed across experiment runs (the paper replays a
+//! fixed 134 M-tuple dataset).
+//!
+//! Format: `timestamp_ms,e0,e1,e2,s0,s1,…,s50` — one event per line, no
+//! header, values in fixed decimal notation.
+
+use crate::debs::{DebsEvent, ENERGY_CHANNELS, STATE_FIELDS};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// Write events as CSV.
+pub fn write_events<W: Write>(events: &[DebsEvent], out: W) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    for ev in events {
+        write!(w, "{}", ev.timestamp_ms)?;
+        for e in &ev.energy {
+            write!(w, ",{e:.6}")?;
+        }
+        for s in &ev.states {
+            write!(w, ",{s}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Read events from CSV produced by [`write_events`].
+pub fn read_events<R: Read>(input: R) -> io::Result<Vec<DebsEvent>> {
+    let reader = BufReader::new(input);
+    let mut events = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(parse_line(&line).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?);
+    }
+    Ok(events)
+}
+
+fn parse_line(line: &str) -> Result<DebsEvent, String> {
+    let mut fields = line.split(',');
+    let timestamp_ms = fields
+        .next()
+        .ok_or("missing timestamp")?
+        .parse::<u64>()
+        .map_err(|e| format!("bad timestamp: {e}"))?;
+    let mut energy = [0.0; ENERGY_CHANNELS];
+    for (i, slot) in energy.iter_mut().enumerate() {
+        *slot = fields
+            .next()
+            .ok_or_else(|| format!("missing energy {i}"))?
+            .parse::<f64>()
+            .map_err(|e| format!("bad energy {i}: {e}"))?;
+    }
+    let mut states = [0u8; STATE_FIELDS];
+    for (i, slot) in states.iter_mut().enumerate() {
+        *slot = fields
+            .next()
+            .ok_or_else(|| format!("missing state {i}"))?
+            .parse::<u8>()
+            .map_err(|e| format!("bad state {i}: {e}"))?;
+    }
+    if fields.next().is_some() {
+        return Err("trailing fields".to_string());
+    }
+    Ok(DebsEvent {
+        timestamp_ms,
+        energy,
+        states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::debs::generate;
+
+    #[test]
+    fn round_trip() {
+        let events = generate(200, 13);
+        let mut buf = Vec::new();
+        write_events(&events, &mut buf).unwrap();
+        let back = read_events(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), events.len());
+        for (a, b) in events.iter().zip(&back) {
+            assert_eq!(a.timestamp_ms, b.timestamp_ms);
+            assert_eq!(a.states, b.states);
+            for (x, y) in a.energy.iter().zip(&b.energy) {
+                assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_events("not,a,number".as_bytes()).is_err());
+        assert!(read_events("1,2.0".as_bytes()).is_err()); // too few fields
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let events = generate(3, 1);
+        let mut buf = Vec::new();
+        write_events(&events, &mut buf).unwrap();
+        let mut s = String::from_utf8(buf).unwrap();
+        s.push('\n');
+        let back = read_events(s.as_bytes()).unwrap();
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn rejects_trailing_fields() {
+        let events = generate(1, 1);
+        let mut buf = Vec::new();
+        write_events(&events, &mut buf).unwrap();
+        let mut s = String::from_utf8(buf).unwrap();
+        s = s.trim_end().to_string() + ",99\n";
+        assert!(read_events(s.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! # swag-data — DEBS12-shaped dataset synthesis and persistence
+//!
+//! The paper's evaluation replays the DEBS 2012 Grand Challenge dataset
+//! (manufacturing-equipment sensor events at 100 Hz: 3 energy readings +
+//! 51 state fields per tuple). That dataset is not redistributable, so
+//! [`debs`] synthesises a stream of identical shape and ordering
+//! statistics (see DESIGN.md §3 for the substitution argument), [`csv`]
+//! persists/replays it, and [`synthetic`] provides the characterised
+//! workloads (uniform, ramps, sawtooth) the complexity analysis refers to.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod csv;
+pub mod debs;
+pub mod synthetic;
+
+pub use debs::{energy_stream, generate, DebsEvent, DebsGenerator, DEBS_SAMPLE_HZ};
+pub use synthetic::Workload;

@@ -1,0 +1,121 @@
+//! Synthetic workload generators used by tests and benchmarks.
+//!
+//! Besides the DEBS-shaped stream (see [`crate::debs`]) the experiments
+//! need characterised inputs: uniform noise (the "exchangeable" case of
+//! the paper's probabilistic worst-case analysis), monotone ramps (the
+//! deque's best and worst cases), and sawtooths (periodic deque flushes).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The shape of a synthetic value stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// I.i.d. uniform values in `[0, 1)` — exchangeable input, the case
+    /// for which the paper computes the 1/n! worst-case probability.
+    Uniform,
+    /// Gaussian-increment random walk (σ per step).
+    RandomWalk {
+        /// Standard deviation of each step.
+        sigma: f64,
+    },
+    /// Strictly ascending ramp — best case for a Max deque (length 1).
+    Ascending,
+    /// Strictly descending ramp — worst case for a Max deque (fills up).
+    Descending,
+    /// Descending runs of `period` values, then a jump back up — forces a
+    /// full deque flush every `period` tuples.
+    Sawtooth {
+        /// Length of each descending run.
+        period: usize,
+    },
+    /// A constant value (every arrival ties).
+    Constant,
+}
+
+impl Workload {
+    /// Generate `n` values with the given seed (deterministic).
+    pub fn generate(&self, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            Workload::Uniform => (0..n).map(|_| rng.gen::<f64>()).collect(),
+            Workload::RandomWalk { sigma } => {
+                let mut level = 0.0f64;
+                (0..n)
+                    .map(|_| {
+                        // Box-Muller normal increment.
+                        let u1: f64 = rng.gen_range(1e-12..1.0);
+                        let u2: f64 = rng.gen::<f64>();
+                        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                        level += sigma * z;
+                        level
+                    })
+                    .collect()
+            }
+            Workload::Ascending => (0..n).map(|i| i as f64).collect(),
+            Workload::Descending => (0..n).map(|i| (n - i) as f64).collect(),
+            Workload::Sawtooth { period } => {
+                assert!(period >= 1);
+                (0..n).map(|i| (period - (i % period)) as f64).collect()
+            }
+            Workload::Constant => vec![1.0; n],
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Uniform => "uniform",
+            Workload::RandomWalk { .. } => "random_walk",
+            Workload::Ascending => "ascending",
+            Workload::Descending => "descending",
+            Workload::Sawtooth { .. } => "sawtooth",
+            Workload::Constant => "constant",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let w = Workload::Uniform;
+        assert_eq!(w.generate(100, 5), w.generate(100, 5));
+    }
+
+    #[test]
+    fn ascending_is_sorted() {
+        let v = Workload::Ascending.generate(100, 0);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn descending_is_reverse_sorted() {
+        let v = Workload::Descending.generate(100, 0);
+        assert!(v.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn sawtooth_period() {
+        let v = Workload::Sawtooth { period: 4 }.generate(9, 0);
+        assert_eq!(v, vec![4.0, 3.0, 2.0, 1.0, 4.0, 3.0, 2.0, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let v = Workload::Uniform.generate(10_000, 3);
+        assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn random_walk_wanders() {
+        let v = Workload::RandomWalk { sigma: 1.0 }.generate(10_000, 3);
+        let spread = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - v.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 10.0, "spread {spread}");
+    }
+}

@@ -1,0 +1,195 @@
+//! Per-answer latency recording and the summary statistics of the paper's
+//! Exp 3 (Fig. 14): Min, 25th percentile, Median, Average, 75th percentile,
+//! and Max, with the top 0.005% of samples dropped as outliers.
+
+use std::time::{Duration, Instant};
+
+/// Fraction of the highest latencies dropped as outliers, as in the paper
+/// ("We dropped the highest 0.005% latencies from all algorithms").
+pub const PAPER_OUTLIER_FRACTION: f64 = 0.005 / 100.0;
+
+/// Records one latency sample (in nanoseconds) per query answer.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples_ns: Vec<u64>,
+}
+
+impl LatencyRecorder {
+    /// Create an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty recorder with room for `n` samples (avoids
+    /// reallocation noise while measuring).
+    pub fn with_capacity(n: usize) -> Self {
+        LatencyRecorder {
+            samples_ns: Vec::with_capacity(n),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, d: Duration) {
+        self.samples_ns.push(d.as_nanos() as u64);
+    }
+
+    /// Record one raw nanosecond sample.
+    #[inline]
+    pub fn record_ns(&mut self, ns: u64) {
+        self.samples_ns.push(ns);
+    }
+
+    /// Time `f` and record its duration, returning its result.
+    #[inline]
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(start.elapsed());
+        out
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ns.is_empty()
+    }
+
+    /// The raw samples in arrival order.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples_ns
+    }
+
+    /// Summarise with the paper's outlier policy (drop the top 0.005%).
+    pub fn summarize(&self) -> LatencySummary {
+        self.summarize_dropping(PAPER_OUTLIER_FRACTION)
+    }
+
+    /// Summarise after dropping the given top fraction of samples.
+    pub fn summarize_dropping(&self, top_fraction: f64) -> LatencySummary {
+        assert!((0.0..1.0).contains(&top_fraction));
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        let dropped = ((sorted.len() as f64) * top_fraction).floor() as usize;
+        sorted.truncate(sorted.len() - dropped);
+        LatencySummary::from_sorted(&sorted)
+    }
+}
+
+/// The six statistics of Fig. 14, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize)]
+pub struct LatencySummary {
+    /// Number of samples the summary covers (after outlier dropping).
+    pub count: usize,
+    /// Smallest sample.
+    pub min: u64,
+    /// 25th percentile.
+    pub p25: u64,
+    /// Median (50th percentile).
+    pub median: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 75th percentile.
+    pub p75: u64,
+    /// Largest sample (the "latency spike" statistic).
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Build a summary from an ascending slice of samples.
+    pub fn from_sorted(sorted: &[u64]) -> Self {
+        if sorted.is_empty() {
+            return Self::default();
+        }
+        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let count = sorted.len();
+        let sum: u128 = sorted.iter().map(|&x| x as u128).sum();
+        LatencySummary {
+            count,
+            min: sorted[0],
+            p25: percentile_sorted(sorted, 25.0),
+            median: percentile_sorted(sorted, 50.0),
+            mean: sum as f64 / count as f64,
+            p75: percentile_sorted(sorted, 75.0),
+            max: sorted[count - 1],
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending slice.
+pub fn percentile_sorted(sorted: &[u64], pct: f64) -> u64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    assert!((0.0..=100.0).contains(&pct));
+    let rank = ((pct / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_distribution() {
+        let mut rec = LatencyRecorder::new();
+        for v in 1..=100u64 {
+            rec.record_ns(v);
+        }
+        let s = rec.summarize_dropping(0.0);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        // Nearest-rank median of an even-sized sample rounds up.
+        assert_eq!(s.median, 51);
+        assert_eq!(s.p25, 26);
+        assert_eq!(s.p75, 75);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outlier_dropping_removes_spikes() {
+        let mut rec = LatencyRecorder::new();
+        for _ in 0..99_995 {
+            rec.record_ns(10);
+        }
+        for _ in 0..5 {
+            rec.record_ns(1_000_000);
+        }
+        let s = rec.summarize(); // drops 0.005% of 100_000 = 5 samples
+        assert_eq!(s.max, 10);
+        let raw = rec.summarize_dropping(0.0);
+        assert_eq!(raw.max, 1_000_000);
+    }
+
+    #[test]
+    fn empty_recorder_summarizes_to_zeroes() {
+        let rec = LatencyRecorder::new();
+        let s = rec.summarize();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.max, 0);
+    }
+
+    #[test]
+    fn time_records_a_sample() {
+        let mut rec = LatencyRecorder::new();
+        let out = rec.time(|| 40 + 2);
+        assert_eq!(out, 42);
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn percentile_edges() {
+        let v: Vec<u64> = (0..10).collect();
+        assert_eq!(percentile_sorted(&v, 0.0), 0);
+        assert_eq!(percentile_sorted(&v, 100.0), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_of_empty_panics() {
+        percentile_sorted(&[], 50.0);
+    }
+}

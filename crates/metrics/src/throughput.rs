@@ -1,0 +1,106 @@
+//! Throughput measurement: results (or shared-plan slides) per second, the
+//! metric of the paper's Exp 1 and Exp 2.
+
+use std::time::{Duration, Instant};
+
+/// A running throughput meter.
+#[derive(Debug, Clone)]
+pub struct ThroughputMeter {
+    started: Instant,
+    items: u64,
+}
+
+impl ThroughputMeter {
+    /// Start measuring now.
+    pub fn start() -> Self {
+        ThroughputMeter {
+            started: Instant::now(),
+            items: 0,
+        }
+    }
+
+    /// Count one processed item (a query result or a plan slide).
+    #[inline]
+    pub fn tick(&mut self) {
+        self.items += 1;
+    }
+
+    /// Count `n` processed items.
+    #[inline]
+    pub fn tick_n(&mut self, n: u64) {
+        self.items += n;
+    }
+
+    /// Items counted so far.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Elapsed wall-clock time since [`start`](Self::start).
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Finish and report.
+    pub fn finish(self) -> Throughput {
+        Throughput {
+            items: self.items,
+            elapsed: self.started.elapsed(),
+        }
+    }
+}
+
+/// A completed throughput measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughput {
+    /// Items processed.
+    pub items: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl Throughput {
+    /// Build directly from a count and a duration.
+    pub fn new(items: u64, elapsed: Duration) -> Self {
+        Throughput { items, elapsed }
+    }
+
+    /// Items per second.
+    pub fn per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.items as f64 / secs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_items() {
+        let mut m = ThroughputMeter::start();
+        for _ in 0..10 {
+            m.tick();
+        }
+        m.tick_n(5);
+        let t = m.finish();
+        assert_eq!(t.items, 15);
+        assert!(t.per_second() > 0.0);
+    }
+
+    #[test]
+    fn per_second_math() {
+        let t = Throughput::new(1000, Duration::from_secs(2));
+        assert!((t.per_second() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_is_infinite() {
+        let t = Throughput::new(10, Duration::ZERO);
+        assert!(t.per_second().is_infinite());
+    }
+}

@@ -1,0 +1,18 @@
+//! # swag-plan — ACQ query model, partial aggregation, and shared plans
+//!
+//! The planning substrate of the SlickDeque reproduction (paper §2.1,
+//! §2.3): count- and time-based query specifications ([`query`]), the
+//! Panes / Pairs / Cutty partial-aggregation techniques ([`pat`]), and the
+//! shared execution plan combining many ACQs over one stream ([`shared`]) —
+//! the `buildSharedPlan` step both SlickDeque algorithms start from.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod pat;
+pub mod query;
+pub mod shared;
+
+pub use pat::Pat;
+pub use query::{Query, TimeQuery};
+pub use shared::{PlanCursor, PlanEdge, SharedPlan};

@@ -1,0 +1,172 @@
+//! Partial-aggregation techniques — Panes, Pairs, and Cutty-slicing
+//! (paper §2.1, Figs. 1-3).
+//!
+//! A PAT decides where the incoming tuple stream is cut into partial
+//! aggregates for a given query. Each technique is expressed as the set of
+//! *edge offsets* it marks inside one slide period: a fragment ends at each
+//! edge. The shared-plan builder (see [`crate::shared`]) takes the union of
+//! these edges across all queries on the composite slide.
+
+use crate::query::Query;
+
+/// Which partial-aggregation technique cuts the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pat {
+    /// Panes: fragments of `gcd(range, slide)` tuples (Fig. 1).
+    Panes,
+    /// Paired windows: at most two fragments per slide, `f2 = range %
+    /// slide` and `f1 = slide − f2` (Fig. 2). The default, as in the
+    /// paper's experiments.
+    #[default]
+    Pairs,
+    /// Cutty-slicing: fragments start only at window starts, i.e. one
+    /// fragment per slide for count-based queries (Fig. 3).
+    Cutty,
+}
+
+impl Pat {
+    /// The edge offsets this technique marks within one slide period of
+    /// `query`, as positions in `(0, slide]` (ascending; always ends with
+    /// `slide` itself — a fragment always closes at the slide boundary).
+    pub fn edges_in_slide(&self, query: &Query) -> Vec<u64> {
+        let s = query.slide;
+        match self {
+            Pat::Panes => {
+                let g = gcd(query.range, s);
+                (1..=s / g).map(|k| k * g).collect()
+            }
+            Pat::Pairs => {
+                let f2 = query.range % s;
+                if f2 == 0 {
+                    vec![s]
+                } else {
+                    // Fragment boundary after f1 = s − f2 tuples, then the
+                    // slide boundary itself.
+                    vec![s - f2, s]
+                }
+            }
+            Pat::Cutty => {
+                // Fragments start only at window starts (Fig. 3): windows
+                // end at k·s and start at k·s − r ≡ s − (r mod s) within
+                // the slide, so exactly one cut per slide at that offset.
+                // Report positions k·s are *not* cuts — Cutty reads the
+                // running value mid-partial, which the shared plan models
+                // as non-cutting punctuation edges.
+                let rem = query.range % s;
+                if rem == 0 {
+                    vec![s]
+                } else {
+                    vec![s - rem]
+                }
+            }
+        }
+    }
+
+    /// Number of fragments a single slide period is cut into.
+    pub fn fragments_per_slide(&self, query: &Query) -> usize {
+        self.edges_in_slide(query).len()
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pat::Panes => "panes",
+            Pat::Pairs => "pairs",
+            Pat::Cutty => "cutty",
+        }
+    }
+}
+
+/// Greatest common divisor (Euclid).
+pub fn gcd(a: u64, b: u64) -> u64 {
+    let (mut a, mut b) = (a, b);
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Least common multiple, panicking on overflow (plans of that size are
+/// unrepresentable anyway).
+pub fn lcm(a: u64, b: u64) -> u64 {
+    let g = gcd(a, b);
+    (a / g).checked_mul(b).expect("composite slide overflow")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_lcm_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(2, 4), 4);
+    }
+
+    #[test]
+    fn panes_cuts_at_gcd_multiples() {
+        // Fig. 1 setting: range 6, slide 4 → pane size gcd(6,4)=2, edges
+        // at 2 and 4 within each slide.
+        let q = Query::new(6, 4);
+        assert_eq!(Pat::Panes.edges_in_slide(&q), vec![2, 4]);
+    }
+
+    #[test]
+    fn pairs_cuts_two_fragments_when_unaligned() {
+        // Fig. 2: f2 = range % slide, f1 = slide − f2.
+        let q = Query::new(6, 4);
+        // f2 = 2, f1 = 2 → edges at 2 (end of f1) and 4 (end of f2).
+        assert_eq!(Pat::Pairs.edges_in_slide(&q), vec![2, 4]);
+        let q2 = Query::new(10, 4);
+        // f2 = 2, f1 = 2.
+        assert_eq!(Pat::Pairs.edges_in_slide(&q2), vec![2, 4]);
+        let q3 = Query::new(7, 5);
+        // f2 = 2, f1 = 3.
+        assert_eq!(Pat::Pairs.edges_in_slide(&q3), vec![3, 5]);
+    }
+
+    #[test]
+    fn pairs_single_fragment_when_aligned() {
+        let q = Query::new(8, 4);
+        assert_eq!(Pat::Pairs.edges_in_slide(&q), vec![4]);
+        assert_eq!(Pat::Pairs.fragments_per_slide(&q), 1);
+    }
+
+    #[test]
+    fn cutty_cuts_once_per_slide_at_window_starts() {
+        // Aligned: the window start coincides with the slide boundary.
+        assert_eq!(Pat::Cutty.edges_in_slide(&Query::new(8, 4)), vec![4]);
+        // Unaligned: r=7, s=5 → windows start at k·5 − 7 ≡ 3 (mod 5).
+        assert_eq!(Pat::Cutty.edges_in_slide(&Query::new(7, 5)), vec![3]);
+        // r=6, s=4 → window starts at offset 2.
+        assert_eq!(Pat::Cutty.edges_in_slide(&Query::new(6, 4)), vec![2]);
+        for (r, s) in [(6, 4), (8, 4), (7, 5), (100, 3)] {
+            let q = Query::new(r, s);
+            assert_eq!(Pat::Cutty.fragments_per_slide(&q), 1);
+        }
+    }
+
+    #[test]
+    fn pairs_halves_panes_fragment_count() {
+        // The paper: Pairs reduces the number of partials by up to 2×
+        // relative to Panes when range is not divisible by slide.
+        let q = Query::new(13, 5);
+        let panes = Pat::Panes.fragments_per_slide(&q); // gcd 1 → 5 panes
+        let pairs = Pat::Pairs.fragments_per_slide(&q); // 2 fragments
+        assert_eq!(panes, 5);
+        assert_eq!(pairs, 2);
+    }
+
+    #[test]
+    fn per_tuple_slide_has_single_unit_edge() {
+        let q = Query::per_tuple(1024);
+        for pat in [Pat::Panes, Pat::Pairs, Pat::Cutty] {
+            assert_eq!(pat.edges_in_slide(&q), vec![1]);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The ACQ (Aggregate Continuous Query) model.
+//!
+//! Every ACQ is characterised by a *range* `r` (the window the statistic is
+//! computed over) and a *slide* `s` (the period at which the answer is
+//! updated), both either count-based (tuples) or time-based (paper §1).
+//! Time-based specifications are converted to counts with the stream's
+//! sample rate — the DEBS12 dataset is sampled at 100 Hz, so a "10 s range,
+//! 1 s slide" query becomes `r = 1000, s = 100`.
+
+use core::fmt;
+
+/// A count-based ACQ: `range` and `slide` in tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Query {
+    /// Window length in tuples (≥ 1).
+    pub range: u64,
+    /// Report period in tuples (≥ 1).
+    pub slide: u64,
+}
+
+impl Query {
+    /// Create a count-based query. Panics on a zero range or slide, or on a
+    /// slide larger than the range (a sliding window by definition has
+    /// `s ≤ r`; tumbling windows have `s = r`).
+    pub fn new(range: u64, slide: u64) -> Self {
+        assert!(range >= 1, "query range must be at least one tuple");
+        assert!(slide >= 1, "query slide must be at least one tuple");
+        assert!(
+            slide <= range,
+            "slide ({slide}) larger than range ({range}): tuples would be skipped"
+        );
+        Query { range, slide }
+    }
+
+    /// A tumbling window: `slide == range`.
+    pub fn tumbling(range: u64) -> Self {
+        Query::new(range, range)
+    }
+
+    /// A per-tuple sliding window: `slide == 1`, the configuration used
+    /// throughout the paper's evaluation (§5.1 "setting all query slides to
+    /// one tuple").
+    pub fn per_tuple(range: u64) -> Self {
+        Query::new(range, 1)
+    }
+
+    /// True if the range is a multiple of the slide (no Pairs fragments
+    /// needed).
+    pub fn aligned(&self) -> bool {
+        self.range.is_multiple_of(self.slide)
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ACQ[r={}, s={}]", self.range, self.slide)
+    }
+}
+
+/// A time-based ACQ: range and slide in milliseconds, convertible to a
+/// count-based [`Query`] given a sample rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeQuery {
+    /// Window length in milliseconds.
+    pub range_ms: u64,
+    /// Report period in milliseconds.
+    pub slide_ms: u64,
+}
+
+impl TimeQuery {
+    /// Create a time-based query (validated like [`Query::new`]).
+    pub fn new(range_ms: u64, slide_ms: u64) -> Self {
+        assert!(
+            range_ms >= 1 && slide_ms >= 1,
+            "range/slide must be positive"
+        );
+        assert!(slide_ms <= range_ms, "slide larger than range");
+        TimeQuery { range_ms, slide_ms }
+    }
+
+    /// Convert to a count-based query for a stream sampled at `hz` tuples
+    /// per second. The range rounds up (a time window must cover every
+    /// tuple inside it) and the slide rounds down but never below 1.
+    pub fn to_count_based(&self, hz: u32) -> Query {
+        let per_ms = hz as u64;
+        let range = (self.range_ms * per_ms).div_ceil(1000).max(1);
+        let slide = ((self.slide_ms * per_ms) / 1000).max(1);
+        Query::new(range, slide.min(range))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        let q = Query::new(10, 2);
+        assert_eq!(q.range, 10);
+        assert!(q.aligned());
+        assert!(!Query::new(10, 3).aligned());
+        assert_eq!(Query::tumbling(5).slide, 5);
+        assert_eq!(Query::per_tuple(5).slide, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "slide")]
+    fn slide_exceeding_range_rejected() {
+        Query::new(5, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "range")]
+    fn zero_range_rejected() {
+        Query::new(0, 1);
+    }
+
+    #[test]
+    fn time_query_converts_at_100hz() {
+        // 10 s range, 1 s slide at 100 Hz → 1000 tuples / 100 tuples.
+        let q = TimeQuery::new(10_000, 1_000).to_count_based(100);
+        assert_eq!(q, Query::new(1000, 100));
+    }
+
+    #[test]
+    fn time_query_range_rounds_up() {
+        // 15 ms at 100 Hz = 1.5 tuples → range 2, slide 1.
+        let q = TimeQuery::new(15, 15).to_count_based(100);
+        assert_eq!(q, Query::new(2, 1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Query::new(6, 2).to_string(), "ACQ[r=6, s=2]");
+    }
+}

@@ -1,0 +1,441 @@
+//! Shared execution plans (paper §2.3 and the `buildSharedPlan` step of
+//! Algorithms 1 and 2).
+//!
+//! Combining `n` ACQs into one plan: the *composite slide* is the LCM of
+//! the query slides; every query marks, per the chosen [`Pat`], the
+//! positions where the stream is **cut** into partial aggregates, plus the
+//! positions where its answers are due. An edge is created at every such
+//! position. Panes and Pairs cut at every edge they mark; Cutty cuts only
+//! at window starts and reports mid-partial through non-cutting
+//! *punctuation* edges (paper §2.1 — "additional punctuations have to be
+//! sent over the data stream"), reading the running fragment value.
+//!
+//! A plan is *exact* when every query's window start falls on the cut
+//! lattice — guaranteed by construction for all three techniques, and
+//! verified at build time.
+
+use crate::pat::{lcm, Pat};
+use crate::query::Query;
+
+/// One edge of the composite slide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanEdge {
+    /// Offset of this edge within the composite slide, in `(0, composite]`.
+    pub position: u64,
+    /// Tuples consumed since the previous edge.
+    pub length: u64,
+    /// Whether the running fragment is finalised into a partial here. A
+    /// `false` value is a Cutty punctuation: due queries read the running
+    /// fragment's current value.
+    pub cuts: bool,
+    /// Indices (into [`SharedPlan::queries`]) of the queries reporting at
+    /// this edge, descending by range.
+    pub queries: Vec<usize>,
+}
+
+/// A shared execution plan over a set of ACQs.
+///
+/// ```
+/// use swag_plan::{Pat, Query, SharedPlan};
+///
+/// // The paper's Example 1: partials every 2 tuples serve both queries.
+/// let plan = SharedPlan::build(&[Query::new(6, 2), Query::new(8, 4)], Pat::Pairs);
+/// assert_eq!(plan.composite_slide(), 4);
+/// assert_eq!(plan.wsize(), 4);
+/// assert_eq!(plan.uniform_query_ranges(), Some(vec![3, 4]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedPlan {
+    queries: Vec<Query>,
+    pat: Pat,
+    composite_slide: u64,
+    edges: Vec<PlanEdge>,
+    /// Cut positions within one composite slide (ascending subset of edge
+    /// positions).
+    cuts: Vec<u64>,
+    wsize: usize,
+}
+
+impl SharedPlan {
+    /// Build a shared plan for `queries` under the partial-aggregation
+    /// technique `pat` (the paper's `buildSharedPlan(Q, PAT)`).
+    ///
+    /// Panics if `queries` is empty or if the resulting plan could not
+    /// answer some query exactly (cannot happen for the built-in PATs).
+    pub fn build(queries: &[Query], pat: Pat) -> Self {
+        assert!(!queries.is_empty(), "a plan needs at least one query");
+        let queries = queries.to_vec();
+        let composite_slide = queries.iter().map(|q| q.slide).fold(1, lcm);
+
+        // Cut positions: union of every query's PAT edges across the
+        // composite slide.
+        let mut cuts: Vec<u64> = Vec::new();
+        for q in &queries {
+            let in_slide = pat.edges_in_slide(q);
+            for k in 0..composite_slide / q.slide {
+                for &e in &in_slide {
+                    cuts.push(k * q.slide + e);
+                }
+            }
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        // Edge positions: cuts plus every query's report positions.
+        let mut positions = cuts.clone();
+        for q in &queries {
+            for k in 1..=composite_slide / q.slide {
+                positions.push(k * q.slide);
+            }
+        }
+        positions.sort_unstable();
+        positions.dedup();
+        debug_assert_eq!(*positions.last().expect("nonempty"), composite_slide);
+
+        let mut edges = Vec::with_capacity(positions.len());
+        let mut prev = 0u64;
+        for &position in &positions {
+            let mut due: Vec<usize> = queries
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| position % q.slide == 0)
+                .map(|(i, _)| i)
+                .collect();
+            due.sort_by(|&a, &b| queries[b].range.cmp(&queries[a].range));
+            edges.push(PlanEdge {
+                position,
+                length: position - prev,
+                cuts: cuts.binary_search(&position).is_ok(),
+                queries: due,
+            });
+            prev = position;
+        }
+
+        let mut plan = SharedPlan {
+            queries,
+            pat,
+            composite_slide,
+            edges,
+            cuts,
+            wsize: 0,
+        };
+        plan.wsize = plan.compute_wsize();
+        plan
+    }
+
+    /// Count lattice points (cut positions repeated every composite slide)
+    /// in the half-open interval `(a, b]`.
+    fn cuts_in(&self, a: i128, b: i128) -> i128 {
+        let c = self.composite_slide as i128;
+        self.cuts
+            .iter()
+            .map(|&x| {
+                let x = x as i128;
+                (b - x).div_euclid(c) - (a - x).div_euclid(c)
+            })
+            .sum()
+    }
+
+    /// True if `x > 0` lies on the cut lattice (cut positions extended
+    /// periodically).
+    fn on_cut_lattice(&self, x: i128) -> bool {
+        debug_assert!(x > 0);
+        self.cuts_in(x - 1, x) == 1
+    }
+
+    /// Latest lattice point ≤ `x` (for `x` far from the stream start).
+    fn latest_cut_at_or_before(&self, x: i128) -> i128 {
+        let c = self.composite_slide as i128;
+        self.cuts
+            .iter()
+            .map(|&p| {
+                let p = p as i128;
+                p + (x - p).div_euclid(c) * c
+            })
+            .max()
+            .expect("plans always have at least one cut")
+    }
+
+    /// Number of partials covering query `query_idx`'s window when it
+    /// reports at edge `edge_idx`, in the steady state: full partials
+    /// plus, at a non-cutting (punctuation) edge, the running fragment.
+    ///
+    /// Panics if the query does not report at that edge, or if its window
+    /// start misses the cut lattice (the plan could not answer it exactly).
+    pub fn partials_covering(&self, query_idx: usize, edge_idx: usize) -> usize {
+        let edge = &self.edges[edge_idx];
+        let q = &self.queries[query_idx];
+        assert!(
+            edge.position.is_multiple_of(q.slide),
+            "query {query_idx} does not report at edge {edge_idx}"
+        );
+        let c = self.composite_slide as i128;
+        let r = q.range as i128;
+        // Shift the report position deep into the steady state so the
+        // window never reaches back past the stream start.
+        let p = edge.position as i128 + (r.div_euclid(c) + 1) * c;
+        let start = p - r;
+        debug_assert!(start > 0);
+        assert!(
+            self.on_cut_lattice(start),
+            "window start of {q} misses the cut lattice: the plan cannot \
+             answer it exactly"
+        );
+        let last_cut = if edge.cuts {
+            p
+        } else {
+            self.latest_cut_at_or_before(p - 1)
+        };
+        let full = self.cuts_in(start, last_cut);
+        let prefix = if edge.cuts { 0 } else { 1 };
+        (full + prefix) as usize
+    }
+
+    fn compute_wsize(&self) -> usize {
+        let mut w = 0;
+        for (ei, edge) in self.edges.iter().enumerate() {
+            for &qi in &edge.queries {
+                w = w.max(self.partials_covering(qi, ei));
+            }
+        }
+        w
+    }
+
+    /// If every query spans the same number of partials at each of its
+    /// report edges, return that per-query count (`ranges[i]` in
+    /// partials). This is the precondition for driving the constant-range
+    /// multi-query aggregators; per-tuple slides always satisfy it.
+    pub fn uniform_query_ranges(&self) -> Option<Vec<usize>> {
+        let mut ranges = vec![None; self.queries.len()];
+        for (ei, edge) in self.edges.iter().enumerate() {
+            for &qi in &edge.queries {
+                let c = self.partials_covering(qi, ei);
+                match ranges[qi] {
+                    None => ranges[qi] = Some(c),
+                    Some(prev) if prev == c => {}
+                    Some(_) => return None,
+                }
+            }
+        }
+        ranges.into_iter().collect()
+    }
+
+    /// True if every edge finalises a partial (no Cutty punctuations) —
+    /// the precondition for the partials-only multi-query executors.
+    pub fn all_edges_cut(&self) -> bool {
+        self.edges.iter().all(|e| e.cuts)
+    }
+
+    /// The registered queries, in registration order.
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// The partial-aggregation technique the plan was built with.
+    pub fn pat(&self) -> Pat {
+        self.pat
+    }
+
+    /// Length of the composite slide in tuples (the LCM of all slides).
+    pub fn composite_slide(&self) -> u64 {
+        self.composite_slide
+    }
+
+    /// The edges of one composite slide, ascending by position.
+    pub fn edges(&self) -> &[PlanEdge] {
+        &self.edges
+    }
+
+    /// Cut positions within one composite slide.
+    pub fn cut_positions(&self) -> &[u64] {
+        &self.cuts
+    }
+
+    /// The window length in partials needed to serve every query
+    /// (Algorithms 1/2, `sharedPlan.wSize`).
+    pub fn wsize(&self) -> usize {
+        self.wsize
+    }
+
+    /// Cyclic iterator over the plan's edges (the execution loop's
+    /// `getNextPartialLength` / `getNextSetOfQueries`).
+    pub fn cursor(&self) -> PlanCursor<'_> {
+        PlanCursor { plan: self, idx: 0 }
+    }
+}
+
+/// Cyclic cursor over a plan's edges.
+#[derive(Debug, Clone)]
+pub struct PlanCursor<'a> {
+    plan: &'a SharedPlan,
+    idx: usize,
+}
+
+impl<'a> PlanCursor<'a> {
+    /// The next edge (wrapping to the first after the last).
+    pub fn next_edge(&mut self) -> &'a PlanEdge {
+        let edge = &self.plan.edges[self.idx];
+        self.idx = (self.idx + 1) % self.plan.edges.len();
+        edge
+    }
+
+    /// Index of the edge `next_edge` will return next.
+    pub fn position(&self) -> usize {
+        self.idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Example 1 (Fig. 7): Q1 slide 2 / range 6, Q2 slide 4 /
+    /// range 8 → composite slide 4 (LCM), partials every 2 tuples, Q1
+    /// answered over the last 3 partials, Q2 over the last 4.
+    #[test]
+    fn paper_example_1_shared_plan() {
+        let q1 = Query::new(6, 2);
+        let q2 = Query::new(8, 4);
+        let plan = SharedPlan::build(&[q1, q2], Pat::Pairs);
+        assert_eq!(plan.composite_slide(), 4);
+        let positions: Vec<u64> = plan.edges().iter().map(|e| e.position).collect();
+        assert_eq!(positions, vec![2, 4]);
+        let lengths: Vec<u64> = plan.edges().iter().map(|e| e.length).collect();
+        assert_eq!(lengths, vec![2, 2]);
+        assert!(plan.all_edges_cut());
+        // Q1 reports every 2 tuples, Q2 only at the composite boundary.
+        assert_eq!(plan.edges()[0].queries, vec![0]);
+        // At position 4 both report; Q2 (range 8) first.
+        assert_eq!(plan.edges()[1].queries, vec![1, 0]);
+        // Ranges in partials: 3 for Q1, 4 for Q2; wSize = 4.
+        assert_eq!(plan.uniform_query_ranges(), Some(vec![3, 4]));
+        assert_eq!(plan.wsize(), 4);
+    }
+
+    #[test]
+    fn per_tuple_slides_degenerate_to_unit_edges() {
+        let queries = [Query::per_tuple(5), Query::per_tuple(3)];
+        let plan = SharedPlan::build(&queries, Pat::Pairs);
+        assert_eq!(plan.composite_slide(), 1);
+        assert_eq!(plan.edges().len(), 1);
+        assert_eq!(plan.edges()[0].length, 1);
+        assert_eq!(plan.edges()[0].queries, vec![0, 1]);
+        assert_eq!(plan.uniform_query_ranges(), Some(vec![5, 3]));
+        assert_eq!(plan.wsize(), 5);
+    }
+
+    #[test]
+    fn pairs_fragments_appear_as_edges() {
+        // Single query r=7, s=5: Pairs cuts f1=3, f2=2 → edges at 3 and 5,
+        // both cutting; a 7-tuple window spans 3 partials.
+        let plan = SharedPlan::build(&[Query::new(7, 5)], Pat::Pairs);
+        let positions: Vec<u64> = plan.edges().iter().map(|e| e.position).collect();
+        assert_eq!(positions, vec![3, 5]);
+        assert!(plan.all_edges_cut());
+        assert_eq!(plan.uniform_query_ranges(), Some(vec![3]));
+        assert_eq!(plan.wsize(), 3);
+    }
+
+    #[test]
+    fn cutty_cuts_fewer_partials_than_pairs() {
+        // r=7, s=5: Pairs produces 2 partials per slide; Cutty cuts once
+        // per slide (at the window start) and reports through a
+        // punctuation edge, so each window spans 2 partials (one full +
+        // the running fragment) instead of 3.
+        let q = Query::new(7, 5);
+        let pairs = SharedPlan::build(&[q], Pat::Pairs);
+        let cutty = SharedPlan::build(&[q], Pat::Cutty);
+        assert_eq!(pairs.cut_positions().len(), 2);
+        assert_eq!(cutty.cut_positions(), &[3]);
+        assert!(!cutty.all_edges_cut());
+        // Edges: the cut at 3 plus the punctuation at 5.
+        let kinds: Vec<(u64, bool)> = cutty.edges().iter().map(|e| (e.position, e.cuts)).collect();
+        assert_eq!(kinds, vec![(3, true), (5, false)]);
+        assert_eq!(cutty.uniform_query_ranges(), Some(vec![2]));
+        assert!(cutty.wsize() < pairs.wsize());
+    }
+
+    #[test]
+    fn panes_cuts_gcd_fragments() {
+        let plan = SharedPlan::build(&[Query::new(6, 4)], Pat::Panes);
+        let positions: Vec<u64> = plan.edges().iter().map(|e| e.position).collect();
+        assert_eq!(positions, vec![2, 4]);
+        assert!(plan.all_edges_cut());
+        // Range 6 = 3 panes of 2.
+        assert_eq!(plan.uniform_query_ranges(), Some(vec![3]));
+    }
+
+    #[test]
+    fn heterogeneous_slides_mark_all_multiples() {
+        let queries = [Query::new(6, 2), Query::new(9, 3)];
+        let plan = SharedPlan::build(&queries, Pat::Cutty);
+        assert_eq!(plan.composite_slide(), 6);
+        let positions: Vec<u64> = plan.edges().iter().map(|e| e.position).collect();
+        assert_eq!(positions, vec![2, 3, 4, 6]);
+        let lengths: Vec<u64> = plan.edges().iter().map(|e| e.length).collect();
+        assert_eq!(lengths, vec![2, 1, 1, 2]);
+        // Both queries aligned → every edge cuts.
+        assert!(plan.all_edges_cut());
+    }
+
+    #[test]
+    fn aligned_heterogeneous_plan_is_uniform() {
+        let queries = [Query::new(6, 2), Query::new(9, 3)];
+        let plan = SharedPlan::build(&queries, Pat::Cutty);
+        assert_eq!(plan.uniform_query_ranges(), Some(vec![4, 6]));
+        assert_eq!(plan.wsize(), 6);
+    }
+
+    #[test]
+    fn unaligned_cutty_counts_running_fragment() {
+        // Q1 (r=5, s=2) and Q2 (r=9, s=3) under Cutty: Q1 cuts at odd
+        // positions, Q2 at multiples of 3; report edges at even positions
+        // are punctuations for Q1.
+        let queries = [Query::new(5, 2), Query::new(9, 3)];
+        let plan = SharedPlan::build(&queries, Pat::Cutty);
+        assert!(!plan.all_edges_cut());
+        let positions: Vec<u64> = plan.edges().iter().map(|e| e.position).collect();
+        assert_eq!(positions, vec![1, 2, 3, 4, 5, 6]);
+        // At p≡2 (punctuation for Q1), steady state: e.g. window (3, 8]
+        // with cuts at {5, 6, 7} → three full partials (3,5], (5,6],
+        // (6,7] plus the running fragment (7,8].
+        let e_p2 = 1;
+        assert_eq!(plan.partials_covering(0, e_p2), 4);
+        // At p≡6 (cut, from Q2's lattice): window (7, 12] with cuts at
+        // {9, 11, 12} → three full partials, no fragment.
+        let e_p6 = 5;
+        assert_eq!(plan.partials_covering(0, e_p6), 3);
+        assert_eq!(plan.uniform_query_ranges(), None);
+    }
+
+    #[test]
+    fn cursor_cycles_through_edges() {
+        let plan = SharedPlan::build(&[Query::new(6, 2), Query::new(8, 4)], Pat::Pairs);
+        let mut cursor = plan.cursor();
+        let a = cursor.next_edge().position;
+        let b = cursor.next_edge().position;
+        let c = cursor.next_edge().position;
+        assert_eq!((a, b, c), (2, 4, 2));
+    }
+
+    #[test]
+    fn wsize_counts_partials_not_tuples() {
+        let plan = SharedPlan::build(&[Query::tumbling(100)], Pat::Pairs);
+        assert_eq!(plan.wsize(), 1);
+        assert_eq!(plan.edges()[0].length, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query")]
+    fn empty_plan_rejected() {
+        SharedPlan::build(&[], Pat::Pairs);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not report")]
+    fn partials_covering_rejects_non_reporting_edge() {
+        let plan = SharedPlan::build(&[Query::new(6, 2), Query::new(8, 4)], Pat::Pairs);
+        // Q2 (slide 4) does not report at position 2 (edge 0).
+        plan.partials_covering(1, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Stand-alone stream aggregator platform (paper §5.1) as a CLI.
+//!
+//! ```text
+//! slickdeque-platform --op max --queries 60:10,600:60 --source debs:42 --tuples 10000
+//! echo "1 2 3" | tr ' ' '\n' | slickdeque-platform --op sum --queries 2:1 --source stdin --emit
+//! ```
+
+use slickdeque::cli::{read_stdin_values, run, CliConfig, SourceChoice};
+
+fn main() {
+    let cfg = match CliConfig::parse(std::env::args().skip(1)) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: slickdeque-platform --op <sum|mean|stddev|max|min> \
+                 --queries r:s[,r:s…] [--pat panes|pairs|cutty] \
+                 [--engine slickdeque|naive|flatfat|bint|flatfit|general] \
+                 [--source stdin|debs:<seed>[:<ch>]|workload:<name>[:<seed>]] \
+                 [--tuples N] [--emit]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let stdin_values = if cfg.source == SourceChoice::Stdin {
+        match read_stdin_values(std::io::stdin().lock()) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                eprintln!("error reading stdin: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+    let mut stdout = std::io::stdout().lock();
+    match run(&cfg, stdin_values, &mut stdout) {
+        Ok(summaries) => {
+            eprintln!("query            answers   last answer");
+            for s in summaries {
+                eprintln!(
+                    "{:<16} {:>7}   {}",
+                    s.query.to_string(),
+                    s.answers,
+                    s.last_answer
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

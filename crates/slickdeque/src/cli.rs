@@ -1,0 +1,548 @@
+//! The stand-alone stream aggregator platform as a command-line tool —
+//! the paper's §5.1 platform made operable.
+//!
+//! ```text
+//! slickdeque-platform --op max --queries 60:10,600:60 --source debs:42 --tuples 10000
+//! slickdeque-platform --op mean --queries 100:25 --source stdin < values.txt
+//! ```
+//!
+//! Queries are `range:slide` pairs (tuples). Invertible operations run on
+//! SlickDeque (Inv), selective ones on SlickDeque (Non-Inv); any plan the
+//! multi-query engines cannot serve (Cutty punctuations, non-uniform
+//! partial counts) falls back to the exact general executor.
+
+use crate::prelude::*;
+use std::io::{BufRead, Write};
+use std::str::FromStr;
+use swag_core::ops::MeanPartial;
+
+/// Which aggregate operation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpChoice {
+    /// Windowed sum (invertible).
+    Sum,
+    /// Windowed mean (invertible).
+    Mean,
+    /// Windowed population standard deviation (invertible).
+    StdDev,
+    /// Windowed maximum (selective).
+    Max,
+    /// Windowed minimum (selective).
+    Min,
+}
+
+impl FromStr for OpChoice {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "sum" => Ok(OpChoice::Sum),
+            "mean" | "avg" => Ok(OpChoice::Mean),
+            "stddev" | "std" => Ok(OpChoice::StdDev),
+            "max" => Ok(OpChoice::Max),
+            "min" => Ok(OpChoice::Min),
+            other => Err(format!(
+                "unknown op {other:?} (expected sum|mean|stddev|max|min)"
+            )),
+        }
+    }
+}
+
+/// Where the tuples come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceChoice {
+    /// One `f64` per line on standard input.
+    Stdin,
+    /// DEBS-shaped synthetic stream: `debs:<seed>[:<channel>]`.
+    Debs {
+        /// Generator seed.
+        seed: u64,
+        /// Energy channel (0..3).
+        channel: usize,
+    },
+    /// Characterised synthetic workload: `workload:<name>[:<seed>]`.
+    Synthetic {
+        /// Workload name (uniform|walk|ascending|descending|sawtooth|constant).
+        name: String,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl FromStr for SourceChoice {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        match parts[0] {
+            "stdin" => Ok(SourceChoice::Stdin),
+            "debs" => {
+                let seed = parts.get(1).and_then(|p| p.parse().ok()).unwrap_or(42);
+                let channel = parts.get(2).and_then(|p| p.parse().ok()).unwrap_or(0);
+                if channel > 2 {
+                    return Err("channel must be 0..3".into());
+                }
+                Ok(SourceChoice::Debs { seed, channel })
+            }
+            "workload" => {
+                let name = parts
+                    .get(1)
+                    .ok_or("workload needs a name, e.g. workload:uniform")?
+                    .to_string();
+                let seed = parts.get(2).and_then(|p| p.parse().ok()).unwrap_or(42);
+                Ok(SourceChoice::Synthetic { name, seed })
+            }
+            other => Err(format!("unknown source {other:?}")),
+        }
+    }
+}
+
+/// Which multi-query engine answers the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineChoice {
+    /// SlickDeque (Inv for invertible ops, Non-Inv for selective ones) —
+    /// the paper's contribution and the default.
+    #[default]
+    SlickDeque,
+    /// The Naive / Panes final aggregation baseline.
+    Naive,
+    /// FlatFAT.
+    FlatFat,
+    /// B-Int.
+    BInt,
+    /// FlatFIT (dense multi-query regime).
+    FlatFit,
+    /// The exact general executor: serves any plan, including Cutty
+    /// punctuations and non-uniform partial counts.
+    General,
+}
+
+impl FromStr for EngineChoice {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "slickdeque" => Ok(EngineChoice::SlickDeque),
+            "naive" => Ok(EngineChoice::Naive),
+            "flatfat" => Ok(EngineChoice::FlatFat),
+            "bint" => Ok(EngineChoice::BInt),
+            "flatfit" => Ok(EngineChoice::FlatFit),
+            "general" => Ok(EngineChoice::General),
+            other => Err(format!(
+                "unknown engine {other:?} (expected slickdeque|naive|flatfat|bint|flatfit|general)"
+            )),
+        }
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliConfig {
+    /// The aggregate operation.
+    pub op: OpChoice,
+    /// The registered ACQs.
+    pub queries: Vec<Query>,
+    /// Partial-aggregation technique.
+    pub pat: Pat,
+    /// Multi-query engine.
+    pub engine: EngineChoice,
+    /// Tuple source.
+    pub source: SourceChoice,
+    /// Tuples to process (None = until the source ends).
+    pub tuples: Option<u64>,
+    /// Emit every answer (otherwise a summary only).
+    pub emit: bool,
+}
+
+impl CliConfig {
+    /// Parse an argument list (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<CliConfig, String> {
+        let mut op = OpChoice::Sum;
+        let mut queries = Vec::new();
+        let mut pat = Pat::Pairs;
+        let mut source = SourceChoice::Debs {
+            seed: 42,
+            channel: 0,
+        };
+        let mut tuples = None;
+        let mut emit = false;
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+            match arg.as_str() {
+                "--op" => op = value("--op")?.parse()?,
+                "--queries" => {
+                    for spec in value("--queries")?.split(',') {
+                        let (r, s) = spec
+                            .split_once(':')
+                            .ok_or_else(|| format!("bad query {spec:?}, expected range:slide"))?;
+                        let range: u64 = r.parse().map_err(|e| format!("bad range {r:?}: {e}"))?;
+                        let slide: u64 = s.parse().map_err(|e| format!("bad slide {s:?}: {e}"))?;
+                        if range == 0 || slide == 0 || slide > range {
+                            return Err(format!("invalid query {spec:?} (need 0 < slide ≤ range)"));
+                        }
+                        queries.push(Query::new(range, slide));
+                    }
+                }
+                "--pat" => {
+                    pat = match value("--pat")?.as_str() {
+                        "panes" => Pat::Panes,
+                        "pairs" => Pat::Pairs,
+                        "cutty" => Pat::Cutty,
+                        other => return Err(format!("unknown PAT {other:?}")),
+                    }
+                }
+                "--engine" => engine = value("--engine")?.parse()?,
+                "--source" => source = value("--source")?.parse()?,
+                "--tuples" => {
+                    tuples = Some(
+                        value("--tuples")?
+                            .parse()
+                            .map_err(|e| format!("bad tuple count: {e}"))?,
+                    )
+                }
+                "--emit" => emit = true,
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        if queries.is_empty() {
+            return Err("at least one --queries range:slide is required".into());
+        }
+        if tuples.is_none() && source != SourceChoice::Stdin {
+            return Err("--tuples is required for endless sources".into());
+        }
+        Ok(CliConfig {
+            op,
+            queries,
+            pat,
+            engine,
+            source,
+            tuples,
+            emit,
+        })
+    }
+}
+
+/// Materialise the configured source as a bounded tuple vector; `--tuples`
+/// counts raw tuples, so endless sources are truncated here.
+fn build_source(cfg: &CliConfig, stdin_values: Option<Vec<f64>>) -> VecSource {
+    let budget = cfg.tuples.map(|t| t as usize);
+    match &cfg.source {
+        SourceChoice::Stdin => {
+            let mut values = stdin_values.unwrap_or_default();
+            if let Some(n) = budget {
+                values.truncate(n);
+            }
+            VecSource::new(values)
+        }
+        SourceChoice::Debs { seed, channel } => {
+            let n = budget.expect("validated: endless sources need --tuples");
+            let mut src = DebsSource::new(*seed, *channel);
+            VecSource::new(src.take_values(n))
+        }
+        SourceChoice::Synthetic { name, seed } => {
+            let workload = match name.as_str() {
+                "uniform" => Workload::Uniform,
+                "walk" => Workload::RandomWalk { sigma: 1.0 },
+                "ascending" => Workload::Ascending,
+                "descending" => Workload::Descending,
+                "sawtooth" => Workload::Sawtooth { period: 512 },
+                "constant" => Workload::Constant,
+                other => panic!("unknown workload {other:?}"),
+            };
+            let n = budget.expect("validated: endless sources need --tuples");
+            let mut src = WorkloadSource::new(workload, *seed);
+            VecSource::new(src.take_values(n))
+        }
+    }
+}
+
+/// One query's outcome in the run summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySummary {
+    /// The query as registered.
+    pub query: Query,
+    /// Answers produced.
+    pub answers: u64,
+    /// The final answer, rendered.
+    pub last_answer: String,
+}
+
+/// Run the platform; returns per-query summaries. Answers are written to
+/// `out` when `emit` is on, one `query_index<TAB>answer` line each.
+pub fn run(
+    cfg: &CliConfig,
+    stdin_values: Option<Vec<f64>>,
+    out: &mut dyn Write,
+) -> Result<Vec<QuerySummary>, String> {
+    let plan = SharedPlan::build(&cfg.queries, cfg.pat);
+    let mut source = build_source(cfg, stdin_values);
+    let slides = u64::MAX; // bounded by the materialised source
+
+    if cfg.engine != EngineChoice::General && !(plan.all_edges_cut() && plan.uniform_query_ranges().is_some()) {
+        return Err(format!(
+            "engine {:?} needs a uniform, punctuation-free plan (this one \
+             has Cutty punctuations or non-uniform partial counts); use \
+             --engine general",
+            cfg.engine
+        ));
+    }
+
+    // The exact general executor serves any plan; the named engines run
+    // the corresponding multi-query aggregator over the shared plan and
+    // produce identical answers (verified by the test suite).
+    macro_rules! run_engine {
+        ($op:expr, $sink:ident, invertible) => {{
+            match cfg.engine {
+                EngineChoice::General => {
+                    GeneralPlanExecutor::new($op, plan.clone()).run(&mut source, slides, &mut $sink);
+                }
+                EngineChoice::SlickDeque => {
+                    SharedPlanExecutor::<_, MultiSlickDequeInv<_>>::new($op, plan.clone())
+                        .run(&mut source, slides, &mut $sink);
+                }
+                EngineChoice::Naive => {
+                    SharedPlanExecutor::<_, MultiNaive<_>>::new($op, plan.clone())
+                        .run(&mut source, slides, &mut $sink);
+                }
+                EngineChoice::FlatFat => {
+                    SharedPlanExecutor::<_, MultiFlatFat<_>>::new($op, plan.clone())
+                        .run(&mut source, slides, &mut $sink);
+                }
+                EngineChoice::BInt => {
+                    SharedPlanExecutor::<_, MultiBInt<_>>::new($op, plan.clone())
+                        .run(&mut source, slides, &mut $sink);
+                }
+                EngineChoice::FlatFit => {
+                    SharedPlanExecutor::<_, MultiFlatFit<_>>::new($op, plan.clone())
+                        .run(&mut source, slides, &mut $sink);
+                }
+            }
+        }};
+        ($op:expr, $sink:ident, selective) => {{
+            match cfg.engine {
+                EngineChoice::General => {
+                    GeneralPlanExecutor::new($op, plan.clone()).run(&mut source, slides, &mut $sink);
+                }
+                EngineChoice::SlickDeque => {
+                    SharedPlanExecutor::<_, MultiSlickDequeNonInv<_>>::new($op, plan.clone())
+                        .run(&mut source, slides, &mut $sink);
+                }
+                EngineChoice::Naive => {
+                    SharedPlanExecutor::<_, MultiNaive<_>>::new($op, plan.clone())
+                        .run(&mut source, slides, &mut $sink);
+                }
+                EngineChoice::FlatFat => {
+                    SharedPlanExecutor::<_, MultiFlatFat<_>>::new($op, plan.clone())
+                        .run(&mut source, slides, &mut $sink);
+                }
+                EngineChoice::BInt => {
+                    SharedPlanExecutor::<_, MultiBInt<_>>::new($op, plan.clone())
+                        .run(&mut source, slides, &mut $sink);
+                }
+                EngineChoice::FlatFit => {
+                    SharedPlanExecutor::<_, MultiFlatFit<_>>::new($op, plan.clone())
+                        .run(&mut source, slides, &mut $sink);
+                }
+            }
+        }};
+    }
+
+    macro_rules! run_op {
+        ($op:expr, $render:expr, $class:tt) => {{
+            let op = $op;
+            let mut sink = CollectSink::new();
+            run_engine!(op, sink, $class);
+            let mut summaries: Vec<QuerySummary> = cfg
+                .queries
+                .iter()
+                .map(|q| QuerySummary {
+                    query: *q,
+                    answers: 0,
+                    last_answer: "—".to_string(),
+                })
+                .collect();
+            #[allow(clippy::redundant_closure_call)]
+            for (qi, answer) in &sink.answers {
+                let rendered: String = $render(&op, answer);
+                if cfg.emit {
+                    writeln!(out, "{qi}\t{rendered}").map_err(|e| e.to_string())?;
+                }
+                summaries[*qi].answers += 1;
+                summaries[*qi].last_answer = rendered;
+            }
+            Ok(summaries)
+        }};
+    }
+
+    match cfg.op {
+        OpChoice::Sum => run_op!(Sum::<f64>::new(), |_op: &Sum<f64>, a: &f64| format!(
+            "{a:.6}"
+        )),
+        OpChoice::Mean => run_op!(Mean::new(), |op: &Mean, a: &MeanPartial| format!(
+            "{:.6}",
+            op.lower(a)
+        )),
+        OpChoice::StdDev => run_op!(StdDev::new(), |op: &StdDev, a| format!(
+            "{:.6}",
+            op.lower(a)
+        )),
+        OpChoice::Max => run_op!(MaxF64::new(), |_op: &MaxF64, a: &f64| format!("{a:.6}")),
+        OpChoice::Min => run_op!(MinF64::new(), |_op: &MinF64, a: &f64| format!("{a:.6}")),
+    }
+}
+
+/// Read one `f64` per non-empty line.
+pub fn read_stdin_values(reader: impl BufRead) -> Result<Vec<f64>, String> {
+    let mut values = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        values.push(
+            trimmed
+                .parse::<f64>()
+                .map_err(|e| format!("line {}: {e}", i + 1))?,
+        );
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let cfg = CliConfig::parse(args(
+            "--op max --queries 60:10,600:60 --pat cutty --source debs:7:1 --tuples 5000 --emit",
+        ))
+        .unwrap();
+        assert_eq!(cfg.op, OpChoice::Max);
+        assert_eq!(cfg.queries, vec![Query::new(60, 10), Query::new(600, 60)]);
+        assert_eq!(cfg.pat, Pat::Cutty);
+        assert_eq!(
+            cfg.source,
+            SourceChoice::Debs {
+                seed: 7,
+                channel: 1
+            }
+        );
+        assert_eq!(cfg.tuples, Some(5000));
+        assert!(cfg.emit);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(CliConfig::parse(args("--op juggle --queries 4:1 --tuples 10")).is_err());
+        assert!(CliConfig::parse(args("--op sum")).is_err()); // no queries
+        assert!(CliConfig::parse(args("--op sum --queries 4:9 --tuples 1")).is_err());
+        assert!(CliConfig::parse(args("--op sum --queries 4:1")).is_err()); // endless, no budget
+        assert!(CliConfig::parse(args("--op sum --queries 4:1 --source mars --tuples 1")).is_err());
+    }
+
+    #[test]
+    fn sum_over_stdin_matches_hand_computation() {
+        let cfg = CliConfig::parse(args("--op sum --queries 3:1 --source stdin --emit")).unwrap();
+        let mut out = Vec::new();
+        let summaries = run(&cfg, Some(vec![1.0, 2.0, 3.0, 4.0]), &mut out).unwrap();
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].answers, 4);
+        assert_eq!(summaries[0].last_answer, "9.000000");
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec!["0\t1.000000", "0\t3.000000", "0\t6.000000", "0\t9.000000"]
+        );
+    }
+
+    #[test]
+    fn max_with_heterogeneous_slides() {
+        let cfg = CliConfig::parse(args("--op max --queries 6:2,8:4 --source stdin")).unwrap();
+        let values: Vec<f64> = vec![3.0, 7.0, 1.0, 4.0, 9.0, 2.0, 5.0, 8.0];
+        let mut out = Vec::new();
+        let summaries = run(&cfg, Some(values), &mut out).unwrap();
+        // Q1 reports at tuples 2,4,6,8; Q2 at 4,8.
+        assert_eq!(summaries[0].answers, 4);
+        assert_eq!(summaries[1].answers, 2);
+        assert_eq!(summaries[0].last_answer, "9.000000"); // max of tuples 3..8
+        assert_eq!(summaries[1].last_answer, "9.000000");
+        assert!(out.is_empty(), "no --emit, no per-answer output");
+    }
+
+    #[test]
+    fn mean_via_synthetic_source() {
+        let cfg = CliConfig::parse(args(
+            "--op mean --queries 16:4 --source workload:constant --tuples 64",
+        ))
+        .unwrap();
+        let mut out = Vec::new();
+        let summaries = run(&cfg, None, &mut out).unwrap();
+        assert_eq!(summaries[0].answers, 16);
+        assert_eq!(summaries[0].last_answer, "1.000000");
+    }
+
+    #[test]
+    fn all_engines_agree_on_a_uniform_plan() {
+        let values: Vec<f64> = (0..200).map(|i| ((i * 37) % 101) as f64).collect();
+        let mut reference: Option<Vec<QuerySummary>> = None;
+        for engine in ["general", "slickdeque", "naive", "flatfat", "bint", "flatfit"] {
+            for op in ["sum", "max"] {
+                let cfg = CliConfig::parse(args(&format!(
+                    "--op {op} --queries 24:4,16:8 --engine {engine} --source stdin"
+                )))
+                .unwrap();
+                let mut out = Vec::new();
+                let got = run(&cfg, Some(values.clone()), &mut out).unwrap();
+                match (&reference, op) {
+                    (None, "sum") => reference = Some(got),
+                    (Some(r), "sum") => {
+                        assert_eq!(&got, r, "engine {engine}");
+                    }
+                    _ => {
+                        // Max answers just need to be produced and equal
+                        // across engines; compare against the general run.
+                        let gcfg = CliConfig::parse(args(&format!(
+                            "--op max --queries 24:4,16:8 --engine general --source stdin"
+                        )))
+                        .unwrap();
+                        let mut gout = Vec::new();
+                        let gref = run(&gcfg, Some(values.clone()), &mut gout).unwrap();
+                        assert_eq!(got, gref, "engine {engine} (max)");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn named_engine_rejects_punctuated_plans() {
+        // r=7, s=5 under Cutty produces punctuation edges.
+        let cfg = CliConfig::parse(args(
+            "--op sum --queries 7:5 --pat cutty --engine slickdeque --source stdin",
+        ))
+        .unwrap();
+        let mut out = Vec::new();
+        let err = run(&cfg, Some(vec![1.0; 20]), &mut out).unwrap_err();
+        assert!(err.contains("general"), "{err}");
+        // The general engine serves it fine.
+        let cfg = CliConfig::parse(args(
+            "--op sum --queries 7:5 --pat cutty --engine general --source stdin",
+        ))
+        .unwrap();
+        let summaries = run(&cfg, Some(vec![1.0; 20]), &mut out).unwrap();
+        assert_eq!(summaries[0].answers, 4);
+    }
+
+    #[test]
+    fn stdin_reader_parses_and_skips_blanks() {
+        let input = "1.5\n\n  2.5 \n-3\n";
+        let values = read_stdin_values(input.as_bytes()).unwrap();
+        assert_eq!(values, vec![1.5, 2.5, -3.0]);
+        assert!(read_stdin_values("abc\n".as_bytes()).is_err());
+    }
+}

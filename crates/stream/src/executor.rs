@@ -1,0 +1,437 @@
+//! Execution loops wiring sources, partial aggregation, final aggregation,
+//! and sinks together — the platform of the paper's §5.1.
+//!
+//! * [`run_single_query`] — the Exp 1/Exp 3 loop: one query, slide 1,
+//!   optional per-answer latency recording.
+//! * [`SharedPlanExecutor`] — the multi-ACQ loop of Algorithms 1/2: a
+//!   shared plan's edges drive partial aggregation and per-edge answer
+//!   delivery through any [`MultiFinalAggregator`]. Requires a plan with
+//!   uniform per-query partial counts (always true for per-tuple slides).
+//! * [`GeneralPlanExecutor`] — exact execution of arbitrary (non-uniform)
+//!   plans by direct window re-aggregation; the correctness fallback.
+
+use crate::partial::PartialAggregator;
+use crate::sink::Sink;
+use crate::source::Source;
+use std::time::Instant;
+use swag_core::aggregator::{FinalAggregator, MultiFinalAggregator};
+use swag_core::ops::AggregateOp;
+use swag_metrics::latency::{LatencyRecorder, LatencySummary};
+use swag_metrics::throughput::{Throughput, ThroughputMeter};
+
+/// Outcome of an execution run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Results (single-query) or plan slides (multi-query) per second.
+    pub throughput: Throughput,
+    /// Per-answer latency summary, when recording was requested.
+    pub latency: Option<LatencySummary>,
+    /// Total answers delivered to the sink.
+    pub answers: u64,
+}
+
+/// Drive one single-query window (slide 1) over `tuples` tuples.
+///
+/// When `record_latency` is set, every slide is individually timed (adding
+/// a clock read per tuple — run throughput and latency measurements
+/// separately, as the paper does in Exp 1 vs Exp 3).
+pub fn run_single_query<O, A, S, K>(
+    op: &O,
+    agg: &mut A,
+    source: &mut S,
+    tuples: u64,
+    sink: &mut K,
+    record_latency: bool,
+) -> RunStats
+where
+    O: AggregateOp<Input = f64>,
+    A: FinalAggregator<O>,
+    S: Source,
+    K: Sink<O::Partial>,
+{
+    let mut recorder = record_latency.then(|| LatencyRecorder::with_capacity(tuples as usize));
+    let mut meter = ThroughputMeter::start();
+    let mut processed = 0u64;
+    while processed < tuples {
+        let Some(v) = source.next_value() else { break };
+        let partial = op.lift(&v);
+        let answer = if let Some(rec) = recorder.as_mut() {
+            let start = Instant::now();
+            let answer = agg.slide(partial);
+            rec.record(start.elapsed());
+            answer
+        } else {
+            agg.slide(partial)
+        };
+        sink.deliver(0, answer);
+        meter.tick();
+        processed += 1;
+    }
+    let throughput = meter.finish();
+    RunStats {
+        throughput,
+        latency: recorder.map(|r| r.summarize()),
+        answers: processed,
+    }
+}
+
+/// Multi-ACQ executor over a uniform shared plan.
+pub struct SharedPlanExecutor<O: AggregateOp, M: MultiFinalAggregator<O>> {
+    plan: swag_plan::SharedPlan,
+    partial_agg: PartialAggregator<O>,
+    agg: M,
+    /// Per-query range in partials (uniform across the plan).
+    query_ranges: Vec<usize>,
+    /// Position of each query's range within the aggregator's descending
+    /// deduplicated range list.
+    range_slot: Vec<usize>,
+    scratch: Vec<O::Partial>,
+}
+
+impl<O, M> SharedPlanExecutor<O, M>
+where
+    O: AggregateOp<Input = f64> + Clone,
+    M: MultiFinalAggregator<O>,
+{
+    /// Build an executor for `plan`. Panics if the plan's per-query
+    /// partial counts are not uniform or if the plan contains Cutty
+    /// punctuation edges (use [`GeneralPlanExecutor`] for those).
+    pub fn new(op: O, plan: swag_plan::SharedPlan) -> Self {
+        assert!(
+            plan.all_edges_cut(),
+            "plan has punctuation edges; use GeneralPlanExecutor"
+        );
+        let query_ranges = plan
+            .uniform_query_ranges()
+            .expect("plan is not uniform; use GeneralPlanExecutor");
+        let agg = M::with_ranges(op.clone(), &query_ranges);
+        let desc = agg.ranges().to_vec();
+        let range_slot = query_ranges
+            .iter()
+            .map(|r| desc.iter().position(|d| d == r).expect("range registered"))
+            .collect();
+        SharedPlanExecutor {
+            plan,
+            partial_agg: PartialAggregator::new(op),
+            agg,
+            query_ranges,
+            range_slot,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &swag_plan::SharedPlan {
+        &self.plan
+    }
+
+    /// Per-query window lengths in partials.
+    pub fn query_ranges(&self) -> &[usize] {
+        &self.query_ranges
+    }
+
+    /// Execute `slides` plan edges (partial aggregations), delivering due
+    /// answers per edge. Stops early if the source runs dry.
+    pub fn run<S, K>(&mut self, source: &mut S, slides: u64, sink: &mut K) -> RunStats
+    where
+        S: Source + ?Sized,
+        K: Sink<O::Partial>,
+    {
+        let mut meter = ThroughputMeter::start();
+        let mut answers = 0u64;
+        let mut edge_idx = 0usize;
+        let edge_count = self.plan.edges().len();
+        let mut processed = 0u64;
+        while processed < slides {
+            let length = self.plan.edges()[edge_idx].length;
+            let Some(partial) = self.partial_agg.aggregate(source, length) else {
+                break;
+            };
+            self.agg.slide_multi(partial, &mut self.scratch);
+            for &qi in &self.plan.edges()[edge_idx].queries {
+                sink.deliver(qi, self.scratch[self.range_slot[qi]].clone());
+                answers += 1;
+            }
+            edge_idx = (edge_idx + 1) % edge_count;
+            meter.tick();
+            processed += 1;
+        }
+        RunStats {
+            throughput: meter.finish(),
+            latency: None,
+            answers,
+        }
+    }
+}
+
+/// Exact executor for arbitrary shared plans — non-uniform partial counts
+/// and Cutty punctuation edges included: keeps the window's full partials
+/// in a ring plus the running fragment, and re-aggregates each due query
+/// over its per-edge partial count.
+pub struct GeneralPlanExecutor<O: AggregateOp> {
+    plan: swag_plan::SharedPlan,
+    op: O,
+    ring: Vec<O::Partial>,
+    /// The running fragment since the last cut (Cutty's mid-partial value).
+    prefix: Option<O::Partial>,
+    /// `counts[edge][k]` = partials covering the k-th due query at that
+    /// edge, including the running fragment at punctuation edges.
+    counts: Vec<Vec<usize>>,
+    curr: usize,
+}
+
+impl<O> GeneralPlanExecutor<O>
+where
+    O: AggregateOp<Input = f64> + Clone,
+{
+    /// Build an executor for any plan.
+    pub fn new(op: O, plan: swag_plan::SharedPlan) -> Self {
+        let wsize = plan.wsize();
+        let ring = (0..wsize).map(|_| op.identity()).collect();
+        let counts = plan
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(ei, edge)| {
+                edge.queries
+                    .iter()
+                    .map(|&qi| plan.partials_covering(qi, ei))
+                    .collect()
+            })
+            .collect();
+        GeneralPlanExecutor {
+            op,
+            plan,
+            ring,
+            prefix: None,
+            counts,
+            curr: 0,
+        }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &swag_plan::SharedPlan {
+        &self.plan
+    }
+
+    /// Fold the `k` most recent full partials, ending at ring slot
+    /// `newest`, oldest first.
+    fn fold_full(&self, newest: usize, k: usize) -> O::Partial {
+        let wsize = self.ring.len();
+        let start = (newest + wsize + 1 - k) % wsize;
+        let mut acc = self.ring[start].clone();
+        for j in 1..k {
+            acc = self.op.combine(&acc, &self.ring[(start + j) % wsize]);
+        }
+        acc
+    }
+
+    /// Execute `slides` plan edges, delivering due answers per edge.
+    pub fn run<S, K>(&mut self, source: &mut S, slides: u64, sink: &mut K) -> RunStats
+    where
+        S: Source + ?Sized,
+        K: Sink<O::Partial>,
+    {
+        let wsize = self.ring.len();
+        let mut meter = ThroughputMeter::start();
+        let mut answers = 0u64;
+        let mut edge_idx = 0usize;
+        let edge_count = self.plan.edges().len();
+        let mut processed = 0u64;
+        'outer: while processed < slides {
+            let edge = &self.plan.edges()[edge_idx];
+            // Accumulate this edge's tuples into the running fragment.
+            for _ in 0..edge.length {
+                let Some(v) = source.next_value() else {
+                    break 'outer;
+                };
+                let lifted = self.op.lift(&v);
+                self.prefix = Some(match self.prefix.take() {
+                    None => lifted,
+                    Some(acc) => self.op.combine(&acc, &lifted),
+                });
+            }
+            if edge.cuts {
+                let partial = self
+                    .prefix
+                    .take()
+                    .expect("edges consume at least one tuple");
+                self.ring[self.curr] = partial;
+            }
+            let newest_full = if edge.cuts {
+                self.curr
+            } else {
+                (self.curr + wsize - 1) % wsize
+            };
+            for (slot, &qi) in edge.queries.iter().enumerate() {
+                let k = self.counts[edge_idx][slot];
+                let answer = if edge.cuts {
+                    self.fold_full(newest_full, k)
+                } else {
+                    // k includes the running fragment.
+                    let fragment = self
+                        .prefix
+                        .clone()
+                        .expect("punctuation edges follow at least one tuple");
+                    if k > 1 {
+                        let full = self.fold_full(newest_full, k - 1);
+                        self.op.combine(&full, &fragment)
+                    } else {
+                        fragment
+                    }
+                };
+                sink.deliver(qi, answer);
+                answers += 1;
+            }
+            if edge.cuts {
+                self.curr = (self.curr + 1) % wsize;
+            }
+            edge_idx = (edge_idx + 1) % edge_count;
+            meter.tick();
+            processed += 1;
+        }
+        RunStats {
+            throughput: meter.finish(),
+            latency: None,
+            answers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CollectSink, CountSink};
+    use crate::source::VecSource;
+    use swag_core::algorithms::{Naive, SlickDequeInv};
+    use swag_core::multi::{MultiNaive, MultiSlickDequeInv, MultiSlickDequeNonInv};
+    use swag_core::ops::{Max, Sum};
+    use swag_plan::{Pat, Query, SharedPlan};
+
+    #[test]
+    fn single_query_run_delivers_answers() {
+        let op = Sum::<f64>::new();
+        let mut agg = Naive::new(op, 3);
+        let mut src = VecSource::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let mut sink = CollectSink::new();
+        let stats = run_single_query(&op, &mut agg, &mut src, 10, &mut sink, false);
+        assert_eq!(stats.answers, 4); // source exhausted after 4
+        let answers: Vec<f64> = sink.answers.iter().map(|(_, a)| *a).collect();
+        assert_eq!(answers, vec![1.0, 3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn single_query_latency_recording() {
+        let op = Sum::<f64>::new();
+        let mut agg = SlickDequeInv::new(op, 8);
+        let mut src = VecSource::new((0..1000).map(|i| i as f64).collect());
+        let mut sink = CountSink::default();
+        let stats = run_single_query(&op, &mut agg, &mut src, 1000, &mut sink, true);
+        let lat = stats.latency.expect("latency requested");
+        assert_eq!(lat.count, 1000);
+        assert!(lat.max >= lat.min);
+        assert_eq!(sink.count, 1000);
+    }
+
+    #[test]
+    fn shared_plan_example_1_end_to_end() {
+        // Paper Example 1: Q1 (r=6, s=2) and Q2 (r=8, s=4) computing Max
+        // over one stream; partials every 2 tuples.
+        let q1 = Query::new(6, 2);
+        let q2 = Query::new(8, 4);
+        let plan = SharedPlan::build(&[q1, q2], Pat::Pairs);
+        let op = Max::<f64>::new();
+        let mut exec = SharedPlanExecutor::<_, MultiSlickDequeNonInv<_>>::new(op, plan);
+        let tuples: Vec<f64> = vec![3.0, 7.0, 1.0, 4.0, 9.0, 2.0, 5.0, 8.0, 6.0, 0.0, 2.0, 1.0];
+        let mut src = VecSource::new(tuples.clone());
+        let mut sink = CollectSink::new();
+        exec.run(&mut src, 6, &mut sink);
+
+        // Q1 reports at tuples 2,4,6,8,10,12 over the last 6 tuples.
+        let q1_answers: Vec<Option<f64>> = sink.for_query(0).into_iter().cloned().collect();
+        let expect_q1: Vec<Option<f64>> = [2usize, 4, 6, 8, 10, 12]
+            .iter()
+            .map(|&p| {
+                let lo = p.saturating_sub(6);
+                tuples[lo..p].iter().cloned().reduce(f64::max)
+            })
+            .collect();
+        assert_eq!(q1_answers, expect_q1);
+
+        // Q2 reports at tuples 4,8,12 over the last 8 tuples.
+        let q2_answers: Vec<Option<f64>> = sink.for_query(1).into_iter().cloned().collect();
+        let expect_q2: Vec<Option<f64>> = [4usize, 8, 12]
+            .iter()
+            .map(|&p| {
+                let lo = p.saturating_sub(8);
+                tuples[lo..p].iter().cloned().reduce(f64::max)
+            })
+            .collect();
+        assert_eq!(q2_answers, expect_q2);
+    }
+
+    #[test]
+    fn shared_and_general_executors_agree() {
+        let queries = [Query::new(6, 2), Query::new(9, 3)];
+        let plan = SharedPlan::build(&queries, Pat::Cutty);
+        assert!(plan.uniform_query_ranges().is_some());
+        let op = Sum::<f64>::new();
+        let tuples: Vec<f64> = (0..600).map(|i| ((i * 37) % 101) as f64).collect();
+
+        let mut shared = SharedPlanExecutor::<_, MultiSlickDequeInv<_>>::new(op, plan.clone());
+        let mut s1 = VecSource::new(tuples.clone());
+        let mut sink1 = CollectSink::new();
+        shared.run(&mut s1, 50, &mut sink1);
+
+        let mut general = GeneralPlanExecutor::new(op, plan);
+        let mut s2 = VecSource::new(tuples);
+        let mut sink2 = CollectSink::new();
+        general.run(&mut s2, 50, &mut sink2);
+
+        assert_eq!(sink1.answers.len(), sink2.answers.len());
+        for (a, b) in sink1.answers.iter().zip(&sink2.answers) {
+            assert_eq!(a.0, b.0);
+            assert!((a.1 - b.1).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn general_executor_handles_non_uniform_plans() {
+        // The non-uniform example from the plan tests.
+        let queries = [Query::new(5, 2), Query::new(9, 3)];
+        let plan = SharedPlan::build(&queries, Pat::Cutty);
+        assert!(plan.uniform_query_ranges().is_none());
+        let op = Sum::<f64>::new();
+        let tuples: Vec<f64> = (1..=60).map(|i| i as f64).collect();
+        let mut exec = GeneralPlanExecutor::new(op, plan);
+        let mut src = VecSource::new(tuples.clone());
+        let mut sink = CollectSink::new();
+        exec.run(&mut src, 40, &mut sink);
+
+        // Q1 (r=5, s=2) reports at tuple positions 2,4,6,…
+        let q1: Vec<f64> = sink.for_query(0).into_iter().cloned().collect();
+        let expect: Vec<f64> = (1..=q1.len())
+            .map(|k| {
+                let p = 2 * k;
+                let lo = p.saturating_sub(5);
+                tuples[lo..p].iter().sum()
+            })
+            .collect();
+        assert_eq!(q1, expect);
+    }
+
+    #[test]
+    fn multi_naive_through_shared_executor() {
+        let plan = SharedPlan::build(&[Query::per_tuple(4), Query::per_tuple(2)], Pat::Pairs);
+        let op = Sum::<f64>::new();
+        let mut exec = SharedPlanExecutor::<_, MultiNaive<_>>::new(op, plan);
+        let mut src = VecSource::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mut sink = CollectSink::new();
+        let stats = exec.run(&mut src, 5, &mut sink);
+        assert_eq!(stats.answers, 10);
+        let q0: Vec<f64> = sink.for_query(0).into_iter().cloned().collect();
+        assert_eq!(q0, vec![1.0, 3.0, 6.0, 10.0, 14.0]);
+        let q1: Vec<f64> = sink.for_query(1).into_iter().cloned().collect();
+        assert_eq!(q1, vec![1.0, 3.0, 5.0, 7.0, 9.0]);
+    }
+}

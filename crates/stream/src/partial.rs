@@ -1,0 +1,71 @@
+//! The partial aggregator (paper §2.1): folds runs of raw tuples into the
+//! partial aggregates the final aggregators consume, following a shared
+//! plan's fragment lengths.
+
+use crate::source::Source;
+use swag_core::ops::AggregateOp;
+
+/// Folds `length` tuples from a source into one partial aggregate.
+#[derive(Debug, Clone)]
+pub struct PartialAggregator<O: AggregateOp> {
+    op: O,
+}
+
+impl<O: AggregateOp<Input = f64>> PartialAggregator<O> {
+    /// Create a partial aggregator for `op`.
+    pub fn new(op: O) -> Self {
+        PartialAggregator { op }
+    }
+
+    /// The operation in use.
+    pub fn op(&self) -> &O {
+        &self.op
+    }
+
+    /// Aggregate the next `length` tuples (the paper's
+    /// `partialAggregator.aggregate(length, PAT)`). Returns `None` if the
+    /// source is exhausted before the fragment completes.
+    pub fn aggregate<S: Source + ?Sized>(&self, source: &mut S, length: u64) -> Option<O::Partial> {
+        assert!(length >= 1, "fragments span at least one tuple");
+        let first = source.next_value()?;
+        let mut acc = self.op.lift(&first);
+        for _ in 1..length {
+            let v = source.next_value()?;
+            acc = self.op.combine(&acc, &self.op.lift(&v));
+        }
+        Some(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::VecSource;
+    use swag_core::ops::{Max, Sum};
+
+    #[test]
+    fn sums_fragments() {
+        let pa = PartialAggregator::new(Sum::<f64>::new());
+        let mut src = VecSource::new(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(pa.aggregate(&mut src, 2), Some(3.0));
+        assert_eq!(pa.aggregate(&mut src, 3), Some(12.0));
+        assert_eq!(pa.aggregate(&mut src, 1), None);
+    }
+
+    #[test]
+    fn partial_fragment_at_end_is_discarded() {
+        let pa = PartialAggregator::new(Sum::<f64>::new());
+        let mut src = VecSource::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(pa.aggregate(&mut src, 2), Some(3.0));
+        // Only one tuple left but two requested: incomplete fragment.
+        assert_eq!(pa.aggregate(&mut src, 2), None);
+    }
+
+    #[test]
+    fn max_fragments() {
+        let pa = PartialAggregator::new(Max::<f64>::new());
+        let mut src = VecSource::new(vec![1.0, 9.0, 3.0, 4.0]);
+        assert_eq!(pa.aggregate(&mut src, 3), Some(Some(9.0)));
+        assert_eq!(pa.aggregate(&mut src, 1), Some(Some(4.0)));
+    }
+}

@@ -1,0 +1,256 @@
+//! Bounded reordering of slightly out-of-order arrivals (paper §3.1).
+//!
+//! The paper's arrival-order assumption: "the arriving tuples have to be
+//! in-order or slightly out-of-order. As long as the out-of-order tuples
+//! are within the same partial aggregation, the final result will not be
+//! affected." [`ReorderBuffer`] operationalises the *slightly* part: it
+//! holds back up to `depth` tuples and releases them in sequence order,
+//! so any displacement ≤ `depth` is repaired before the partial
+//! aggregator sees the stream. Displacements beyond the buffer are
+//! surfaced as [`ReorderError::LateArrival`] — the "extreme situations"
+//! whose handling the paper leaves to the surrounding system.
+
+use std::collections::BinaryHeap;
+
+/// A sequenced tuple: `(sequence number, value)`.
+pub type SeqTuple = (u64, f64);
+
+/// Why a push into the reorder buffer was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReorderError {
+    /// The tuple's sequence number was already released: it would have to
+    /// be merged into an already-finalised partial.
+    LateArrival {
+        /// Sequence number of the late tuple.
+        seq: u64,
+        /// The next sequence number the buffer can still accept.
+        watermark: u64,
+    },
+    /// A tuple with this sequence number is already buffered.
+    Duplicate {
+        /// The duplicated sequence number.
+        seq: u64,
+    },
+}
+
+/// Min-heap entry ordered by sequence number.
+#[derive(Debug, PartialEq)]
+struct Pending(u64, f64);
+
+impl Eq for Pending {}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest seq on
+        // top.
+        other.0.cmp(&self.0)
+    }
+}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Repairs displacements up to `depth` positions, emitting tuples in
+/// strict sequence order.
+#[derive(Debug)]
+pub struct ReorderBuffer {
+    depth: usize,
+    heap: BinaryHeap<Pending>,
+    /// Next sequence number to release.
+    next_seq: u64,
+    ready: Vec<f64>,
+}
+
+impl ReorderBuffer {
+    /// Create a buffer tolerating displacements of up to `depth`
+    /// positions (≥ 1).
+    pub fn new(depth: usize) -> Self {
+        assert!(depth >= 1, "reorder depth must be at least 1");
+        ReorderBuffer {
+            depth,
+            heap: BinaryHeap::with_capacity(depth + 1),
+            next_seq: 0,
+            ready: Vec::new(),
+        }
+    }
+
+    /// Offer one tuple. In-order and repairable tuples are accepted;
+    /// drain released values with [`pop_ready`](Self::pop_ready).
+    pub fn push(&mut self, seq: u64, value: f64) -> Result<(), ReorderError> {
+        if seq < self.next_seq {
+            return Err(ReorderError::LateArrival {
+                seq,
+                watermark: self.next_seq,
+            });
+        }
+        if self.heap.iter().any(|p| p.0 == seq) {
+            return Err(ReorderError::Duplicate { seq });
+        }
+        self.heap.push(Pending(seq, value));
+        self.release(false);
+        Ok(())
+    }
+
+    /// The next released value, in sequence order.
+    pub fn pop_ready(&mut self) -> Option<f64> {
+        if self.ready.is_empty() {
+            None
+        } else {
+            Some(self.ready.remove(0))
+        }
+    }
+
+    /// Number of tuples currently held back.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Flush everything still buffered, in sequence order (end of
+    /// stream). Gaps are skipped — the missing tuples are reported as
+    /// the final watermark.
+    pub fn flush(&mut self) {
+        self.release(true);
+        while let Some(Pending(seq, v)) = self.heap.pop() {
+            self.ready.push(v);
+            self.next_seq = seq + 1;
+        }
+    }
+
+    fn release(&mut self, force: bool) {
+        // Release the contiguous run at the heap top; when over depth,
+        // also advance past gaps (a missing tuple beyond the buffer's
+        // reach can never be repaired).
+        loop {
+            match self.heap.peek() {
+                Some(&Pending(seq, _)) if seq == self.next_seq => {
+                    let Pending(_, v) = self.heap.pop().expect("peeked");
+                    self.ready.push(v);
+                    self.next_seq += 1;
+                }
+                Some(_) if force || self.heap.len() > self.depth => {
+                    // Gap at the head and the buffer is full: give up on
+                    // the missing tuple and resume from the next present
+                    // one.
+                    let Pending(seq, v) = self.heap.pop().expect("non-empty");
+                    self.ready.push(v);
+                    self.next_seq = seq + 1;
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(buf: &mut ReorderBuffer) -> Vec<f64> {
+        let mut out = Vec::new();
+        while let Some(v) = buf.pop_ready() {
+            out.push(v);
+        }
+        out
+    }
+
+    #[test]
+    fn in_order_passes_through() {
+        let mut buf = ReorderBuffer::new(4);
+        for i in 0..5 {
+            buf.push(i, i as f64).unwrap();
+        }
+        assert_eq!(drain(&mut buf), vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(buf.pending(), 0);
+    }
+
+    #[test]
+    fn adjacent_swap_is_repaired() {
+        let mut buf = ReorderBuffer::new(2);
+        buf.push(1, 1.0).unwrap();
+        buf.push(0, 0.0).unwrap();
+        buf.push(2, 2.0).unwrap();
+        assert_eq!(drain(&mut buf), vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn displacement_within_depth_is_repaired() {
+        let mut buf = ReorderBuffer::new(3);
+        for (seq, v) in [(2u64, 2.0), (0, 0.0), (3, 3.0), (1, 1.0), (4, 4.0)] {
+            buf.push(seq, v).unwrap();
+        }
+        buf.flush();
+        assert_eq!(drain(&mut buf), vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn late_arrival_is_rejected() {
+        let mut buf = ReorderBuffer::new(1);
+        buf.push(1, 1.0).unwrap();
+        buf.push(2, 2.0).unwrap(); // depth exceeded: gives up on seq 0
+        let _ = drain(&mut buf);
+        assert_eq!(
+            buf.push(0, 0.0),
+            Err(ReorderError::LateArrival {
+                seq: 0,
+                watermark: 3
+            })
+        );
+    }
+
+    #[test]
+    fn duplicate_is_rejected() {
+        let mut buf = ReorderBuffer::new(4);
+        buf.push(5, 5.0).unwrap();
+        assert_eq!(buf.push(5, 5.5), Err(ReorderError::Duplicate { seq: 5 }));
+    }
+
+    #[test]
+    fn gap_beyond_depth_is_skipped() {
+        let mut buf = ReorderBuffer::new(2);
+        buf.push(0, 0.0).unwrap();
+        // seq 1 never arrives; 2, 3, 4 pile up past the depth.
+        buf.push(2, 2.0).unwrap();
+        buf.push(3, 3.0).unwrap();
+        buf.push(4, 4.0).unwrap();
+        let out = drain(&mut buf);
+        assert_eq!(out, vec![0.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn window_results_unaffected_when_disorder_stays_within_a_partial() {
+        // The paper's §3.1 statement, end to end: a stream with local
+        // swaps, repaired by the buffer, aggregates identically to the
+        // in-order stream.
+        use swag_core::aggregator::FinalAggregator;
+        use swag_core::algorithms::SlickDequeNonInv;
+        use swag_core::ops::{AggregateOp, Max};
+
+        let clean: Vec<f64> = (0..100).map(|i| ((i * 37) % 101) as f64).collect();
+        // Swap every pair (displacement 1).
+        let mut shuffled: Vec<(u64, f64)> = Vec::new();
+        for pair in clean.chunks(2) {
+            if pair.len() == 2 {
+                shuffled.push((shuffled.len() as u64 + 1, pair[1]));
+                shuffled.push((shuffled.len() as u64 - 1, pair[0]));
+            }
+        }
+
+        let op = Max::<f64>::new();
+        let mut reference = SlickDequeNonInv::new(op, 8);
+        let reference_answers: Vec<_> = clean.iter().map(|v| reference.slide(op.lift(v))).collect();
+
+        let mut buf = ReorderBuffer::new(2);
+        let mut repaired = SlickDequeNonInv::new(op, 8);
+        let mut answers = Vec::new();
+        for &(seq, v) in &shuffled {
+            buf.push(seq, v).unwrap();
+            while let Some(v) = buf.pop_ready() {
+                answers.push(repaired.slide(op.lift(&v)));
+            }
+        }
+        assert_eq!(answers, reference_answers);
+    }
+}

@@ -1,0 +1,85 @@
+//! Result sinks: where query answers go.
+
+/// Receives one answer per (query, report) pair.
+pub trait Sink<T> {
+    /// Deliver `answer` for the query at plan index `query_idx`.
+    fn deliver(&mut self, query_idx: usize, answer: T);
+}
+
+/// Collects every delivered answer, tagged with its query index.
+#[derive(Debug, Clone, Default)]
+pub struct CollectSink<T> {
+    /// The delivered `(query_idx, answer)` pairs in delivery order.
+    pub answers: Vec<(usize, T)>,
+}
+
+impl<T> CollectSink<T> {
+    /// Create an empty collector.
+    pub fn new() -> Self {
+        CollectSink {
+            answers: Vec::new(),
+        }
+    }
+
+    /// Answers delivered for one query, in order.
+    pub fn for_query(&self, query_idx: usize) -> Vec<&T> {
+        self.answers
+            .iter()
+            .filter(|(q, _)| *q == query_idx)
+            .map(|(_, a)| a)
+            .collect()
+    }
+}
+
+impl<T> Sink<T> for CollectSink<T> {
+    fn deliver(&mut self, query_idx: usize, answer: T) {
+        self.answers.push((query_idx, answer));
+    }
+}
+
+/// Counts deliveries without retaining them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountSink {
+    /// Number of answers delivered.
+    pub count: u64,
+}
+
+impl<T> Sink<T> for CountSink {
+    fn deliver(&mut self, _query_idx: usize, _answer: T) {
+        self.count += 1;
+    }
+}
+
+/// Discards answers (throughput benchmarking against a black hole — the
+/// caller must keep the computation observable some other way).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl<T> Sink<T> for NullSink {
+    fn deliver(&mut self, _query_idx: usize, _answer: T) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_sink_groups_by_query() {
+        let mut s = CollectSink::new();
+        s.deliver(0, 1.0);
+        s.deliver(1, 2.0);
+        s.deliver(0, 3.0);
+        assert_eq!(s.answers.len(), 3);
+        assert_eq!(s.for_query(0), vec![&1.0, &3.0]);
+        assert_eq!(s.for_query(1), vec![&2.0]);
+    }
+
+    #[test]
+    fn count_sink_counts() {
+        let mut s = CountSink::default();
+        for i in 0..5 {
+            s.deliver(0, i);
+        }
+        assert_eq!(s.count, 5);
+    }
+}

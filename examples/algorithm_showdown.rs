@@ -1,0 +1,112 @@
+//! Algorithm showdown: run every final aggregator on the same stream and
+//! compare measured aggregate-operation counts against the paper's
+//! Table 1 complexity analysis.
+//!
+//! Run with: `cargo run --release --example algorithm_showdown`
+
+use slickdeque::prelude::*;
+
+/// Measure ops/slide for one algorithm over a warm window.
+fn measure<A, F>(make: F, window: usize, stream: &[f64]) -> f64
+where
+    A: FinalAggregator<CountingOp<Sum<f64>>>,
+    F: Fn(CountingOp<Sum<f64>>, usize) -> A,
+{
+    let counter = OpCounter::new();
+    let op = CountingOp::new(Sum::<f64>::new(), counter.clone());
+    let mut agg = make(op, window);
+    let (warm, measured) = stream.split_at(2 * window);
+    for &v in warm {
+        agg.slide(v);
+    }
+    counter.reset();
+    for &v in measured {
+        agg.slide(v);
+    }
+    counter.get() as f64 / measured.len() as f64
+}
+
+fn measure_max<A, F>(make: F, window: usize, stream: &[f64]) -> f64
+where
+    A: FinalAggregator<CountingOp<Max<f64>>>,
+    F: Fn(CountingOp<Max<f64>>, usize) -> A,
+{
+    let counter = OpCounter::new();
+    let op = CountingOp::new(Max::<f64>::new(), counter.clone());
+    let mut agg = make(op, window);
+    let (warm, measured) = stream.split_at(2 * window);
+    for &v in warm {
+        agg.slide(Some(v));
+    }
+    counter.reset();
+    for &v in measured {
+        agg.slide(Some(v));
+    }
+    counter.get() as f64 / measured.len() as f64
+}
+
+fn main() {
+    let window = 1024usize;
+    let slides = 50_000usize;
+    let stream = energy_stream(slides + 2 * window, 1, 0);
+
+    println!("window = {window}, {slides} measured slides, DEBS-shaped input");
+    println!();
+    println!(
+        "{:<18} {:>14} {:>16}",
+        "algorithm", "ops/slide", "Table 1 predicts"
+    );
+    println!("{:-<18} {:->14} {:->16}", "", "", "");
+
+    let rows: Vec<(&str, f64, String)> = vec![
+        (
+            "naive",
+            measure(Naive::with_capacity, window, &stream),
+            format!("{}", window - 1),
+        ),
+        (
+            "flatfat",
+            measure(FlatFat::with_capacity, window, &stream),
+            format!("log2(n) = {}", (window as f64).log2()),
+        ),
+        (
+            "b-int",
+            measure(BInt::with_capacity, window, &stream),
+            "~2·log2(n)".to_string(),
+        ),
+        (
+            "flatfit",
+            measure(FlatFit::with_capacity, window, &stream),
+            "≤ 3 amortized".to_string(),
+        ),
+        (
+            "twostacks",
+            measure(TwoStacks::with_capacity, window, &stream),
+            "3 amortized".to_string(),
+        ),
+        (
+            "daba",
+            measure(Daba::with_capacity, window, &stream),
+            "5 amortized".to_string(),
+        ),
+        (
+            "slickdeque(inv)",
+            measure(SlickDequeInv::with_capacity, window, &stream),
+            "exactly 2".to_string(),
+        ),
+        (
+            "slickdeque(non)",
+            measure_max(SlickDequeNonInv::with_capacity, window, &stream),
+            "< 2 amortized".to_string(),
+        ),
+    ];
+
+    for (name, ops, predicted) in rows {
+        println!("{name:<18} {ops:>14.3} {predicted:>16}");
+    }
+
+    println!();
+    println!("All algorithms return identical answers; they differ only in");
+    println!("how much work each slide costs and how that work is spread");
+    println!("(see the latency benchmark for the spikes).");
+}

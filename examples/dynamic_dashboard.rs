@@ -1,0 +1,81 @@
+//! Dynamic monitoring session — the paper's §6 "dynamic environments"
+//! direction, live: ACQs registered and removed at runtime, windows
+//! resized mid-stream, and wall-clock (time-based) panels over an
+//! irregularly-timed feed.
+//!
+//! Run with: `cargo run --example dynamic_dashboard`
+
+use slickdeque::prelude::*;
+
+fn main() {
+    let stream = energy_stream(40_000, 5, 0);
+
+    // --- Phase 1: one long max-panel. -----------------------------------
+    let op = Max::<f64>::new();
+    let mut panels = MultiSlickDequeNonInv::with_ranges(op, &[6000]);
+    let mut out = Vec::new();
+    for &v in &stream[..10_000] {
+        panels.slide_multi(op.lift(&v), &mut out);
+    }
+    println!(
+        "phase 1 — panels {:?}: 60s max = {:.2}",
+        panels.ranges(),
+        out[0].unwrap()
+    );
+
+    // --- Phase 2: an operator adds a 10-second panel, no restart. -------
+    panels.add_query(1000);
+    for &v in &stream[10_000..20_000] {
+        panels.slide_multi(op.lift(&v), &mut out);
+    }
+    println!(
+        "phase 2 — panels {:?}: 60s max = {:.2}, 10s max = {:.2}",
+        panels.ranges(),
+        out[0].unwrap(),
+        out[1].unwrap()
+    );
+
+    // --- Phase 3: the long panel is dropped; memory follows. ------------
+    let before = panels.heap_bytes();
+    panels.remove_query(6000);
+    for &v in &stream[20_000..30_000] {
+        panels.slide_multi(op.lift(&v), &mut out);
+    }
+    println!(
+        "phase 3 — panels {:?}: 10s max = {:.2} (deque bytes {} → {})",
+        panels.ranges(),
+        out[0].unwrap(),
+        before,
+        panels.heap_bytes()
+    );
+
+    // --- Single-query window resized mid-stream. ------------------------
+    let sum_op = Sum::<f64>::new();
+    let mut energy = SlickDequeInv::new(sum_op, 6000);
+    for &v in &stream[..20_000] {
+        energy.slide(v);
+    }
+    println!("\n60s energy sum before resize: {:.1}", energy.query());
+    energy.resize(1000);
+    println!("10s energy sum right after resize: {:.1}", energy.query());
+
+    // --- Time-based panels over an irregular feed. -----------------------
+    // Events arrive in bursts with long silences; wall-clock windows keep
+    // honest answers where tuple-count windows would not.
+    let mut ts = 0u64;
+    let mut clock_panels = MultiTimeSlickDequeInv::new(Mean::new(), &[60_000, 10_000, 1_000]);
+    let mean = Mean::new();
+    let mut tout = Vec::new();
+    for (i, &v) in stream[..5_000].iter().enumerate() {
+        ts += if i % 100 < 90 { 2 } else { 500 }; // bursts + gaps
+        clock_panels.insert(ts, mean.lift(&v), &mut tout);
+    }
+    println!("\ntime-based panels at t={}ms:", ts);
+    for (r, ans) in clock_panels.ranges_ms().iter().zip(&tout) {
+        println!("  mean over last {:>6} ms = {:.2} kW", r, mean.lower(ans));
+    }
+    println!(
+        "  ({} tuples retained for the largest panel)",
+        clock_panels.len()
+    );
+}

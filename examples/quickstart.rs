@@ -1,0 +1,52 @@
+//! Quickstart: sliding-window aggregation in a few lines.
+//!
+//! Computes a per-tuple sliding Sum (invertible) and Max (non-invertible)
+//! over a small stream, showing the two SlickDeque variants and the shared
+//! `FinalAggregator` interface.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use slickdeque::prelude::*;
+
+fn main() {
+    // The stream from the paper's worked examples (Figs. 8 and 9).
+    let stream = [6.0, 5.0, 0.0, 1.0, 3.0, 4.0, 2.0, 7.0];
+    let window = 5;
+
+    // Invertible aggregate: Sum via SlickDeque (Inv) — two combines per
+    // slide, no matter how large the window is.
+    let sum_op = Sum::<f64>::new();
+    let mut sum_win = SlickDequeInv::new(sum_op, window);
+
+    // Non-invertible aggregate: Max via SlickDeque (Non-Inv) — a monotone
+    // deque whose head is always the answer.
+    let max_op = Max::<f64>::new();
+    let mut max_win = SlickDequeNonInv::new(max_op, window);
+
+    println!("tuple | sum(last {window}) | max(last {window})");
+    println!("------+-------------+------------");
+    for v in stream {
+        let sum = sum_win.slide(sum_op.lift(&v));
+        let max = max_win.slide(max_op.lift(&v));
+        println!("{v:>5} | {sum:>11} | {:>10}", max.unwrap());
+    }
+
+    // Every algorithm in the crate answers identically — swap freely:
+    let mut daba = Daba::new(sum_op, window);
+    let mut naive = Naive::new(sum_op, window);
+    for v in stream {
+        assert_eq!(daba.slide(v), naive.slide(v));
+    }
+    println!("\nDABA and Naive agree on every slide — pick by performance needs.");
+
+    // Algebraic aggregates compose from invertible parts: a sliding mean.
+    let mean_op = Mean::new();
+    let mut mean_win = SlickDequeInv::new(mean_op, 3);
+    for v in stream {
+        mean_win.slide(mean_op.lift(&v));
+    }
+    println!(
+        "mean of the last 3 tuples: {:.3}",
+        mean_op.lower(&mean_win.query())
+    );
+}

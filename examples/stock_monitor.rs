@@ -1,0 +1,140 @@
+//! Stock-market monitoring — the paper's motivating scenario (§1).
+//!
+//! Multiple clients register ACQs over one price stream, each with its own
+//! range and slide: short-horizon traders want the 10-tick max and mean,
+//! risk wants the 100-tick range (max − min), analytics wants the 500-tick
+//! standard deviation. A shared execution plan answers all of them while
+//! computing each partial aggregate once.
+//!
+//! Run with: `cargo run --example stock_monitor`
+
+use slickdeque::prelude::*;
+
+/// A registered client query over the price stream.
+struct ClientAcq {
+    client: &'static str,
+    metric: &'static str,
+    query: Query,
+}
+
+fn main() {
+    // A synthetic price random walk standing in for the ticker feed.
+    let ticks = 2_000usize;
+    let prices: Vec<f64> = Workload::RandomWalk { sigma: 0.4 }
+        .generate(ticks, 7)
+        .iter()
+        .map(|d| 100.0 + d)
+        .collect();
+
+    let clients = [
+        ClientAcq {
+            client: "hf-trader",
+            metric: "max",
+            query: Query::new(10, 5),
+        },
+        ClientAcq {
+            client: "hf-trader",
+            metric: "mean",
+            query: Query::new(10, 5),
+        },
+        ClientAcq {
+            client: "risk-desk",
+            metric: "range",
+            query: Query::new(100, 25),
+        },
+        ClientAcq {
+            client: "analytics",
+            metric: "stddev",
+            query: Query::new(500, 100),
+        },
+    ];
+
+    // --- Max and Range share the non-invertible deque machinery. -------
+    // Build one shared plan for the extremum queries (max + range needs
+    // max and min): partial aggregates are computed once per edge and
+    // shared between the 10-tick and 100-tick windows (paper §2.3).
+    let extremum_queries = [clients[0].query, clients[2].query];
+    let plan = SharedPlan::build(&extremum_queries, Pat::Pairs);
+    println!(
+        "shared plan: composite slide {} tuples, {} partials/cycle, wSize {}",
+        plan.composite_slide(),
+        plan.edges().len(),
+        plan.wsize()
+    );
+
+    let max_op = Max::<f64>::new();
+    let mut max_exec = SharedPlanExecutor::<_, MultiSlickDequeNonInv<_>>::new(max_op, plan.clone());
+    let mut max_sink = CollectSink::new();
+    max_exec.run(&mut VecSource::new(prices.clone()), u64::MAX, &mut max_sink);
+
+    let min_op = Min::<f64>::new();
+    let mut min_exec = SharedPlanExecutor::<_, MultiSlickDequeNonInv<_>>::new(min_op, plan);
+    let mut min_sink = CollectSink::new();
+    min_exec.run(&mut VecSource::new(prices.clone()), u64::MAX, &mut min_sink);
+
+    let trader_max = max_sink.for_query(0);
+    println!(
+        "\n[{}] {} over r={} s={}: {} reports, last = {:.2}",
+        clients[0].client,
+        clients[0].metric,
+        clients[0].query.range,
+        clients[0].query.slide,
+        trader_max.len(),
+        trader_max.last().and_then(|v| **v).unwrap()
+    );
+
+    let risk_max = max_sink.for_query(1);
+    let risk_min = min_sink.for_query(1);
+    let last_range =
+        risk_max.last().and_then(|v| **v).unwrap() - risk_min.last().and_then(|v| **v).unwrap();
+    println!(
+        "[{}] {} over r={} s={}: {} reports, last = {:.2}",
+        clients[2].client,
+        clients[2].metric,
+        clients[2].query.range,
+        clients[2].query.slide,
+        risk_max.len(),
+        last_range
+    );
+
+    // --- Invertible metrics ride SlickDeque (Inv). ----------------------
+    let mean_op = Mean::new();
+    let mut mean_exec = SharedPlanExecutor::<_, MultiSlickDequeInv<_>>::new(
+        mean_op,
+        SharedPlan::build(&[clients[1].query], Pat::Pairs),
+    );
+    let mut mean_sink = CollectSink::new();
+    mean_exec.run(
+        &mut VecSource::new(prices.clone()),
+        u64::MAX,
+        &mut mean_sink,
+    );
+    let means = mean_sink.for_query(0);
+    println!(
+        "[{}] {} over r={} s={}: {} reports, last = {:.3}",
+        clients[1].client,
+        clients[1].metric,
+        clients[1].query.range,
+        clients[1].query.slide,
+        means.len(),
+        mean_op.lower(means.last().unwrap())
+    );
+
+    let sd_op = StdDev::new();
+    let mut sd_exec = SharedPlanExecutor::<_, MultiSlickDequeInv<_>>::new(
+        sd_op,
+        SharedPlan::build(&[clients[3].query], Pat::Pairs),
+    );
+    let mut sd_sink = CollectSink::new();
+    sd_exec.run(&mut VecSource::new(prices), u64::MAX, &mut sd_sink);
+    let sds = sd_sink.for_query(0);
+    println!(
+        "[{}] {} over r={} s={}: {} reports, last = {:.3}",
+        clients[3].client,
+        clients[3].metric,
+        clients[3].query.range,
+        clients[3].query.slide,
+        sds.len(),
+        sd_op.lower(sds.last().unwrap())
+    );
+}

@@ -1,0 +1,262 @@
+//! Cross-algorithm equivalence: every final aggregator must produce
+//! byte-identical answers to the Naive reference, for every operation,
+//! window size, and workload shape — the foundation the paper's "all
+//! algorithms compute exact answers" claim rests on.
+
+use slickdeque::prelude::*;
+
+/// Window sizes covering the paper's interesting region: powers of two,
+/// their neighbours, and tiny windows where FlatFAT wins.
+const WINDOWS: &[usize] = &[
+    1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 64, 100, 127, 128,
+];
+
+fn workloads(n: usize) -> Vec<(String, Vec<f64>)> {
+    vec![
+        ("debs".into(), energy_stream(n, 11, 0)),
+        ("uniform".into(), Workload::Uniform.generate(n, 5)),
+        ("ascending".into(), Workload::Ascending.generate(n, 0)),
+        ("descending".into(), Workload::Descending.generate(n, 0)),
+        (
+            "sawtooth".into(),
+            Workload::Sawtooth { period: 13 }.generate(n, 0),
+        ),
+        ("constant".into(), Workload::Constant.generate(n, 0)),
+        (
+            "walk".into(),
+            Workload::RandomWalk { sigma: 1.0 }.generate(n, 9),
+        ),
+    ]
+}
+
+#[test]
+fn all_algorithms_agree_on_sum() {
+    for &w in WINDOWS {
+        let n = (6 * w).max(64);
+        for (name, stream) in workloads(n) {
+            let op = Sum::<f64>::new();
+            let mut naive = Naive::new(op, w);
+            let mut fat = FlatFat::new(op, w);
+            let mut bint = BInt::new(op, w);
+            let mut fit = FlatFit::new(op, w);
+            let mut ts = TwoStacks::new(op, w);
+            let mut daba = Daba::new(op, w);
+            let mut inv = SlickDequeInv::new(op, w);
+            for (i, &v) in stream.iter().enumerate() {
+                let expect = naive.slide(v);
+                let ctx = format!("w={w} workload={name} slide={i}");
+                // Floating-point sums can differ in association order;
+                // tree-based algorithms combine in different shapes, so
+                // compare with a tight tolerance.
+                let close = |got: f64| {
+                    let tol = 1e-6 * expect.abs().max(1.0);
+                    assert!((got - expect).abs() <= tol, "{ctx}: {got} vs {expect}");
+                };
+                close(fat.slide(v));
+                close(bint.slide(v));
+                close(fit.slide(v));
+                close(ts.slide(v));
+                close(daba.slide(v));
+                close(inv.slide(v));
+            }
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_sum_exactly_over_integers() {
+    // Integer sums must agree bitwise — association order is irrelevant.
+    for &w in WINDOWS {
+        let n = (6 * w).max(64);
+        let stream: Vec<i64> = Workload::Uniform
+            .generate(n, 21)
+            .iter()
+            .map(|v| (v * 1000.0) as i64 - 500)
+            .collect();
+        let op = Sum::<i64>::new();
+        let mut naive = Naive::new(op, w);
+        let mut fat = FlatFat::new(op, w);
+        let mut bint = BInt::new(op, w);
+        let mut fit = FlatFit::new(op, w);
+        let mut ts = TwoStacks::new(op, w);
+        let mut daba = Daba::new(op, w);
+        let mut inv = SlickDequeInv::new(op, w);
+        for &v in &stream {
+            let expect = naive.slide(v);
+            assert_eq!(fat.slide(v), expect, "flatfat w={w}");
+            assert_eq!(bint.slide(v), expect, "bint w={w}");
+            assert_eq!(fit.slide(v), expect, "flatfit w={w}");
+            assert_eq!(ts.slide(v), expect, "twostacks w={w}");
+            assert_eq!(daba.slide(v), expect, "daba w={w}");
+            assert_eq!(inv.slide(v), expect, "slickdeque w={w}");
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_max() {
+    for &w in WINDOWS {
+        let n = (6 * w).max(64);
+        for (name, stream) in workloads(n) {
+            let op = Max::<f64>::new();
+            let mut naive = Naive::new(op, w);
+            let mut fat = FlatFat::new(op, w);
+            let mut bint = BInt::new(op, w);
+            let mut fit = FlatFit::new(op, w);
+            let mut ts = TwoStacks::new(op, w);
+            let mut daba = Daba::new(op, w);
+            let mut deque = SlickDequeNonInv::new(op, w);
+            for (i, &v) in stream.iter().enumerate() {
+                let p = op.lift(&v);
+                let expect = naive.slide(p);
+                let ctx = format!("w={w} workload={name} slide={i}");
+                assert_eq!(fat.slide(p), expect, "flatfat {ctx}");
+                assert_eq!(bint.slide(p), expect, "bint {ctx}");
+                assert_eq!(fit.slide(p), expect, "flatfit {ctx}");
+                assert_eq!(ts.slide(p), expect, "twostacks {ctx}");
+                assert_eq!(daba.slide(p), expect, "daba {ctx}");
+                assert_eq!(deque.slide(p), expect, "slickdeque {ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_min() {
+    let w = 37;
+    let stream = energy_stream(500, 3, 1);
+    let op = Min::<f64>::new();
+    let mut naive = Naive::new(op, w);
+    let mut ts = TwoStacks::new(op, w);
+    let mut daba = Daba::new(op, w);
+    let mut deque = SlickDequeNonInv::new(op, w);
+    for &v in &stream {
+        let p = op.lift(&v);
+        let expect = naive.slide(p);
+        assert_eq!(ts.slide(p), expect);
+        assert_eq!(daba.slide(p), expect);
+        assert_eq!(deque.slide(p), expect);
+    }
+}
+
+#[test]
+fn algebraic_ops_through_general_algorithms() {
+    // Mean, Variance, MinMax flow through the order-preserving
+    // algorithms unchanged.
+    let w = 25;
+    let stream = energy_stream(400, 17, 2);
+
+    let mean = Mean::new();
+    let mut naive = Naive::new(mean, w);
+    let mut daba = Daba::new(mean, w);
+    let mut inv = SlickDequeInv::new(mean, w);
+    for &v in &stream {
+        let p = mean.lift(&v);
+        let expect = mean.lower(&naive.slide(p));
+        assert!((mean.lower(&daba.slide(p)) - expect).abs() < 1e-9);
+        assert!((mean.lower(&inv.slide(p)) - expect).abs() < 1e-9);
+    }
+
+    let mm = MinMax::<i64>::new();
+    let int_stream: Vec<i64> = stream.iter().map(|v| (v * 100.0) as i64).collect();
+    let mut naive = Naive::new(mm, w);
+    let mut ts = TwoStacks::new(mm, w);
+    let mut fat = FlatFat::new(mm, w);
+    for &v in &int_stream {
+        let p = mm.lift(&v);
+        let expect = naive.slide(p);
+        assert_eq!(ts.slide(p), expect);
+        assert_eq!(fat.slide(p), expect);
+    }
+}
+
+#[test]
+fn string_alpha_max_agrees() {
+    let words = [
+        "pressure", "valve", "temp", "axis", "drill", "spindle", "belt", "motor", "gear", "sensor",
+        "relay", "pump",
+    ];
+    let w = 4;
+    let op = AlphaMax::new();
+    let mut naive = Naive::new(op.clone(), w);
+    let mut deque = SlickDequeNonInv::new(op.clone(), w);
+    let mut daba = Daba::new(op.clone(), w);
+    for chunk in words.iter().cycle().take(60) {
+        let p = op.lift(&chunk.to_string());
+        let expect = naive.slide(p.clone());
+        assert_eq!(deque.slide(p.clone()), expect);
+        assert_eq!(daba.slide(p), expect);
+    }
+}
+
+#[test]
+fn argmax_through_deque_and_naive() {
+    // ArgMax of cosine — the paper's example of a non-trivial selective op.
+    let w = 16;
+    let op = ArgMax::<f64, i64>::new();
+    let mut naive = Naive::new(op, w);
+    let mut deque = SlickDequeNonInv::new(op, w);
+    for i in 0..500i64 {
+        let x = i as f64 * 0.37;
+        let p = op.lift(&(x.cos(), i));
+        let expect = naive.slide(p);
+        assert_eq!(deque.slide(p), expect, "slide {i}");
+    }
+}
+
+#[test]
+fn product_with_zeros_all_invertible_paths() {
+    let w = 9;
+    let op = Product::new();
+    let stream: Vec<f64> = (0..300)
+        .map(|i| match i % 7 {
+            0 => 0.0,
+            k => k as f64 * 0.5,
+        })
+        .collect();
+    let mut naive = Naive::new(op, w);
+    let mut inv = SlickDequeInv::new(op, w);
+    let mut daba = Daba::new(op, w);
+    for &v in &stream {
+        let p = op.lift(&v);
+        let expect = op.lower(&naive.slide(p));
+        let got_inv = op.lower(&inv.slide(p));
+        let got_daba = op.lower(&daba.slide(p));
+        assert!((got_inv - expect).abs() < 1e-6 * expect.abs().max(1.0));
+        assert!((got_daba - expect).abs() < 1e-6 * expect.abs().max(1.0));
+    }
+}
+
+#[test]
+fn insert_evict_interfaces_agree_under_bursts() {
+    // TwoStacks and DABA expose genuine FIFO insert/evict; drive them
+    // with bursty patterns against a VecDeque model.
+    let mut ts = TwoStacks::new(Sum::<i64>::new(), 1 << 20);
+    let mut daba = Daba::new(Sum::<i64>::new(), 1 << 20);
+    let mut model: std::collections::VecDeque<i64> = Default::default();
+    let mut x = 99u64;
+    let mut next = || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((x >> 33) % 1000) as i64
+    };
+    for round in 0..200 {
+        let inserts = (round * 7) % 23;
+        let evicts = (round * 11) % 19;
+        for _ in 0..inserts {
+            let v = next();
+            ts.insert(v);
+            daba.insert(v);
+            model.push_back(v);
+        }
+        for _ in 0..evicts.min(model.len()) {
+            ts.evict();
+            daba.evict();
+            model.pop_front();
+        }
+        let expect: i64 = model.iter().sum();
+        assert_eq!(ts.query(), expect, "round {round}");
+        assert_eq!(daba.query(), expect, "round {round}");
+    }
+}

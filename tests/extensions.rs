@@ -1,0 +1,185 @@
+//! Integration tests for the beyond-the-paper extensions, exercised
+//! together through the public facade: dynamic resize, runtime ACQ
+//! registration, out-of-order repair, time-based windows, the sparse
+//! multi-query FlatFIT, and the platform CLI.
+
+use slickdeque::prelude::*;
+use slickdeque::stream::reorder::ReorderBuffer;
+
+#[test]
+fn dashboard_rescales_at_runtime() {
+    // A monitoring session: start with a 1-minute max panel, the operator
+    // adds a 10-second panel, then narrows the big one — all without
+    // restarting the stream.
+    let op = Max::<f64>::new();
+    let mut acqs = MultiSlickDequeNonInv::with_ranges(op, &[6000]);
+    let stream = energy_stream(30_000, 9, 0);
+    let mut out = Vec::new();
+
+    for &v in &stream[..10_000] {
+        acqs.slide_multi(op.lift(&v), &mut out);
+    }
+    acqs.add_query(1000);
+    assert_eq!(acqs.ranges(), &[6000, 1000]);
+
+    // Validate both panels against a brute-force window from here on.
+    for (i, &v) in stream[10_000..20_000].iter().enumerate() {
+        acqs.slide_multi(op.lift(&v), &mut out);
+        let upto = 10_000 + i + 1;
+        let brute_long = stream[upto.saturating_sub(6000)..upto]
+            .iter()
+            .cloned()
+            .reduce(f64::max);
+        let brute_short = stream[upto.saturating_sub(1000)..upto]
+            .iter()
+            .cloned()
+            .reduce(f64::max);
+        assert_eq!(out, vec![brute_long, brute_short], "slide {i}");
+    }
+
+    acqs.remove_query(6000);
+    acqs.slide_multi(op.lift(&stream[20_000]), &mut out);
+    assert_eq!(out.len(), 1);
+}
+
+#[test]
+fn single_query_windows_resize_mid_stream() {
+    let stream = energy_stream(5000, 4, 1);
+    let sum_op = Sum::<f64>::new();
+    let mut sum = SlickDequeInv::new(sum_op, 256);
+    let max_op = Max::<f64>::new();
+    let mut max = SlickDequeNonInv::new(max_op, 256);
+    for &v in &stream[..2000] {
+        sum.slide(v);
+        max.slide(max_op.lift(&v));
+    }
+    sum.resize(64);
+    max.resize(64);
+    for (i, &v) in stream[2000..3000].iter().enumerate() {
+        let got_sum = sum.slide(v);
+        let got_max = max.slide(max_op.lift(&v));
+        let upto = 2000 + i + 1;
+        let lo = upto - 64.min(upto);
+        let brute_sum: f64 = stream[lo..upto].iter().sum();
+        let brute_max = stream[lo..upto].iter().cloned().reduce(f64::max);
+        assert!((got_sum - brute_sum).abs() < 1e-6 * brute_sum.abs().max(1.0));
+        assert_eq!(got_max, brute_max);
+    }
+}
+
+#[test]
+fn out_of_order_sensor_feed_repaired_end_to_end() {
+    // A DEBS-like feed whose network reorders within packets of 4: repair
+    // with a depth-4 buffer, aggregate, compare with the in-order run.
+    let clean = energy_stream(4000, 17, 2);
+    let mut scrambled: Vec<(u64, f64)> = Vec::new();
+    for (block_idx, block) in clean.chunks(4).enumerate() {
+        let base = (block_idx * 4) as u64;
+        // Rotate each block by one.
+        for k in 0..block.len() {
+            let j = (k + 1) % block.len();
+            scrambled.push((base + j as u64, block[j]));
+        }
+    }
+
+    let op = Mean::new();
+    let mut reference = SlickDequeInv::new(op, 128);
+    let expected: Vec<f64> = clean
+        .iter()
+        .map(|v| op.lower(&reference.slide(op.lift(v))))
+        .collect();
+
+    let mut buf = ReorderBuffer::new(4);
+    let mut repaired = SlickDequeInv::new(op, 128);
+    let mut got = Vec::new();
+    for &(seq, v) in &scrambled {
+        buf.push(seq, v).unwrap();
+        while let Some(v) = buf.pop_ready() {
+            got.push(op.lower(&repaired.slide(op.lift(&v))));
+        }
+    }
+    buf.flush();
+    while let Some(v) = buf.pop_ready() {
+        got.push(op.lower(&repaired.slide(op.lift(&v))));
+    }
+    assert_eq!(got.len(), expected.len());
+    for (g, e) in got.iter().zip(&expected) {
+        assert!((g - e).abs() < 1e-9, "{g} vs {e}");
+    }
+}
+
+#[test]
+fn time_windows_follow_wall_clock_not_tuple_count() {
+    // Bursty arrivals: 10 tuples in one millisecond, then silence. A
+    // 100 ms window must hold all of the burst, then drop it at once.
+    let op = Sum::<f64>::new();
+    let mut win = TimeSlickDequeInv::new(op, 100);
+    for k in 0..10 {
+        win.insert(k / 5, 1.0); // ts 0,0,0,0,0,1,1,1,1,1
+    }
+    assert_eq!(win.query(), 10.0);
+    assert_eq!(win.advance_to(90), 10.0);
+    // Window is (now − 100, now]: at now=100 the ts-0 burst is exactly
+    // 100 ms old and falls out; ts-1 survives one more millisecond.
+    assert_eq!(win.advance_to(100), 5.0);
+    assert_eq!(win.advance_to(101), 0.0);
+
+    let mop = Max::<f64>::new();
+    let mut mwin = TimeSlickDequeNonInv::new(mop, 50);
+    mwin.insert(0, mop.lift(&9.0));
+    mwin.insert(40, mop.lift(&5.0));
+    assert_eq!(mwin.query(), Some(9.0));
+    assert_eq!(mwin.advance_to(60), Some(5.0));
+}
+
+#[test]
+fn sparse_flatfit_serves_dashboard_ranges() {
+    let ranges = [3600usize, 600, 60, 1];
+    let stream = energy_stream(10_000, 23, 0);
+    let op = Sum::<f64>::new();
+    let mut sparse = MultiFlatFitSparse::with_ranges(op, &ranges);
+    let mut naive = MultiNaive::with_ranges(op, &ranges);
+    let (mut o1, mut o2) = (Vec::new(), Vec::new());
+    for (i, &v) in stream.iter().enumerate() {
+        sparse.slide_multi(v, &mut o1);
+        naive.slide_multi(v, &mut o2);
+        for (a, b) in o1.iter().zip(&o2) {
+            assert!((a - b).abs() < 1e-6 * b.abs().max(1.0), "slide {i}");
+        }
+    }
+}
+
+#[test]
+fn platform_cli_runs_the_paper_example() {
+    use slickdeque::cli::{run, CliConfig};
+    let cfg = CliConfig::parse(
+        "--op max --queries 3:1,5:1 --source stdin --emit"
+            .split_whitespace()
+            .map(str::to_string),
+    )
+    .unwrap();
+    // The stream of the paper's Example 3.
+    let values = vec![6.0, 5.0, 0.0, 1.0, 3.0, 4.0, 2.0, 7.0];
+    let mut out = Vec::new();
+    let summaries = run(&cfg, Some(values), &mut out).unwrap();
+    assert_eq!(summaries[0].answers, 8);
+    assert_eq!(summaries[1].answers, 8);
+    // Final answers at step 8 (Fig. 9): Q1 (r=3) max(4,2,7)=7, Q2 (r=5)
+    // max(1,3,4,2,7)=7.
+    assert_eq!(summaries[0].last_answer, "7.000000");
+    assert_eq!(summaries[1].last_answer, "7.000000");
+    let text = String::from_utf8(out).unwrap();
+    // Per-step answers for query 0 (range 3), matching Fig. 9's trace.
+    let q0: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("0\t"))
+        .map(|l| &l[2..])
+        .collect();
+    assert_eq!(
+        q0,
+        vec![
+            "6.000000", "6.000000", "6.000000", "5.000000", "3.000000", "4.000000", "4.000000",
+            "7.000000"
+        ]
+    );
+}

@@ -1,0 +1,204 @@
+//! Multi-query integration: all multi-ACQ aggregators agree with brute
+//! force across range mixes and workloads, and their measured per-slide
+//! operation counts land on the paper's Table 1 closed forms for the
+//! max-multi-query environment.
+
+use slickdeque::prelude::*;
+
+fn brute_force_multi(stream: &[f64], ranges: &[usize], upto: usize) -> Vec<Vec<f64>> {
+    // answers[slide][range_idx] = sum over that range (for Sum).
+    (0..upto)
+        .map(|i| {
+            ranges
+                .iter()
+                .map(|&r| {
+                    let lo = (i + 1).saturating_sub(r);
+                    stream[lo..=i].iter().sum()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn sum_multi_aggregators_match_brute_force() {
+    let ranges = [19usize, 16, 8, 5, 2, 1];
+    let stream: Vec<f64> = Workload::Uniform
+        .generate(300, 3)
+        .iter()
+        .map(|v| (v * 100.0).round())
+        .collect();
+    let expect = brute_force_multi(&stream, &ranges, stream.len());
+
+    let op = Sum::<f64>::new();
+    let mut naive = MultiNaive::with_ranges(op, &ranges);
+    let mut fat = MultiFlatFat::with_ranges(op, &ranges);
+    let mut bint = MultiBInt::with_ranges(op, &ranges);
+    let mut fit = MultiFlatFit::with_ranges(op, &ranges);
+    let mut inv = MultiSlickDequeInv::with_ranges(op, &ranges);
+    let mut out = Vec::new();
+    for (i, &v) in stream.iter().enumerate() {
+        naive.slide_multi(v, &mut out);
+        assert_eq!(out, expect[i], "naive slide {i}");
+        fat.slide_multi(v, &mut out);
+        assert_eq!(out, expect[i], "flatfat slide {i}");
+        bint.slide_multi(v, &mut out);
+        assert_eq!(out, expect[i], "bint slide {i}");
+        fit.slide_multi(v, &mut out);
+        assert_eq!(out, expect[i], "flatfit slide {i}");
+        inv.slide_multi(v, &mut out);
+        assert_eq!(out, expect[i], "slickdeque slide {i}");
+    }
+}
+
+#[test]
+fn max_multi_aggregators_match_brute_force() {
+    let ranges = [23usize, 11, 7, 3, 1];
+    for (wname, stream) in [
+        ("debs", energy_stream(400, 31, 0)),
+        ("descending", Workload::Descending.generate(400, 0)),
+        (
+            "sawtooth",
+            Workload::Sawtooth { period: 9 }.generate(400, 0),
+        ),
+    ] {
+        let op = Max::<f64>::new();
+        let mut naive = MultiNaive::with_ranges(op, &ranges);
+        let mut deque = MultiSlickDequeNonInv::with_ranges(op, &ranges);
+        let mut fat = MultiFlatFat::with_ranges(op, &ranges);
+        let (mut o1, mut o2, mut o3) = (Vec::new(), Vec::new(), Vec::new());
+        for (i, &v) in stream.iter().enumerate() {
+            naive.slide_multi(op.lift(&v), &mut o1);
+            deque.slide_multi(op.lift(&v), &mut o2);
+            fat.slide_multi(op.lift(&v), &mut o3);
+            assert_eq!(o1, o2, "{wname} slide {i}");
+            assert_eq!(o1, o3, "{wname} slide {i}");
+        }
+    }
+}
+
+/// Measure steady-state ops/slide for a multi-query aggregator in the
+/// max-multi-query environment (ranges 1..=n).
+fn multi_ops_per_slide<M, F>(make: F, n: usize) -> f64
+where
+    M: MultiFinalAggregator<CountingOp<Sum<i64>>>,
+    F: FnOnce(CountingOp<Sum<i64>>, &[usize]) -> M,
+{
+    let ranges: Vec<usize> = (1..=n).collect();
+    let counter = OpCounter::new();
+    let op = CountingOp::new(Sum::<i64>::new(), counter.clone());
+    let mut agg = make(op, &ranges);
+    let mut out = Vec::new();
+    for v in 0..(3 * n as i64) {
+        agg.slide_multi(v, &mut out);
+    }
+    counter.reset();
+    let slides = 50u64;
+    for v in 0..slides as i64 {
+        agg.slide_multi(v, &mut out);
+    }
+    counter.get() as f64 / slides as f64
+}
+
+#[test]
+fn table1_max_multi_query_op_counts() {
+    let n = 64usize;
+    let nf = n as f64;
+
+    // Naive: n²/2 − n/2.
+    let naive = multi_ops_per_slide::<MultiNaive<_>, _>(MultiNaive::with_ranges, n);
+    assert_eq!(naive, nf * nf / 2.0 - nf / 2.0, "naive");
+
+    // FlatFIT (max-multi regime): exactly n − 1.
+    let fit = multi_ops_per_slide::<MultiFlatFit<_>, _>(MultiFlatFit::with_ranges, n);
+    assert_eq!(fit, nf - 1.0, "flatfit");
+
+    // SlickDeque (Inv): exactly 2n.
+    let inv = multi_ops_per_slide::<MultiSlickDequeInv<_>, _>(MultiSlickDequeInv::with_ranges, n);
+    assert_eq!(inv, 2.0 * nf, "slickdeque inv");
+
+    // FlatFAT: Θ(n·log n) — between n and n·log2(n).
+    let fat = multi_ops_per_slide::<MultiFlatFat<_>, _>(MultiFlatFat::with_ranges, n);
+    assert!(fat > nf && fat <= nf * nf.log2(), "flatfat: {fat}");
+
+    // B-Int: same asymptotics as FlatFAT, slower by a constant.
+    let bint = multi_ops_per_slide::<MultiBInt<_>, _>(MultiBInt::with_ranges, n);
+    assert!(bint > nf && bint <= 2.0 * nf * nf.log2(), "bint: {bint}");
+}
+
+#[test]
+fn slickdeque_noninv_multi_ops_depend_on_input() {
+    let n = 64usize;
+    let ranges: Vec<usize> = (1..=n).collect();
+
+    let run = |stream: Vec<f64>| -> f64 {
+        let counter = OpCounter::new();
+        let op = CountingOp::new(Max::<f64>::new(), counter.clone());
+        let mut agg = MultiSlickDequeNonInv::with_ranges(op.clone(), &ranges);
+        let mut out = Vec::new();
+        let (warm, measured) = stream.split_at(2 * n);
+        for &v in warm {
+            agg.slide_multi(op.lift(&v), &mut out);
+        }
+        counter.reset();
+        for &v in measured {
+            agg.slide_multi(op.lift(&v), &mut out);
+        }
+        counter.get() as f64 / measured.len() as f64
+    };
+
+    // Ascending input: singleton deque, constant ops.
+    let asc = run(Workload::Ascending.generate(4 * n, 0));
+    assert!(asc <= 2.0, "ascending: {asc}");
+    // Uniform input: still < 2 amortized.
+    let uni = run(Workload::Uniform.generate(4 * n, 3));
+    assert!(uni < 2.0, "uniform: {uni}");
+}
+
+#[test]
+fn multi_answers_are_descending_by_range() {
+    let op = Sum::<i64>::new();
+    let agg = MultiSlickDequeInv::with_ranges(op, &[3, 9, 1, 7]);
+    assert_eq!(agg.ranges(), &[9, 7, 3, 1]);
+    assert_eq!(agg.window(), 9);
+}
+
+#[test]
+fn duplicate_ranges_share_answers() {
+    // Two "queries" with the same range collapse to one answer slot, as
+    // the paper notes ("Queries operating over the same range can share
+    // results even if they have different slides").
+    let op = Sum::<i64>::new();
+    let agg = MultiSlickDequeInv::with_ranges(op, &[5, 5, 5, 2]);
+    assert_eq!(agg.ranges(), &[5, 2]);
+}
+
+#[test]
+fn large_max_multi_environment_smoke() {
+    // Exp 2's setting at a small scale: n = 256 queries, every range.
+    let n = 256usize;
+    let ranges: Vec<usize> = (1..=n).collect();
+    let stream = energy_stream(3 * n, 5, 0);
+
+    let op = Sum::<f64>::new();
+    let mut inv = MultiSlickDequeInv::with_ranges(op, &ranges);
+    let mut fit = MultiFlatFit::with_ranges(op, &ranges);
+    let (mut o1, mut o2) = (Vec::new(), Vec::new());
+    for &v in &stream {
+        inv.slide_multi(v, &mut o1);
+        fit.slide_multi(v, &mut o2);
+        for (a, b) in o1.iter().zip(&o2) {
+            assert!((a - b).abs() < 1e-6 * a.abs().max(1.0));
+        }
+    }
+
+    let mop = Max::<f64>::new();
+    let mut deque = MultiSlickDequeNonInv::with_ranges(mop, &ranges);
+    let mut naive = MultiNaive::with_ranges(mop, &ranges);
+    let (mut m1, mut m2) = (Vec::new(), Vec::new());
+    for &v in &stream {
+        deque.slide_multi(mop.lift(&v), &mut m1);
+        naive.slide_multi(mop.lift(&v), &mut m2);
+        assert_eq!(m1, m2);
+    }
+}

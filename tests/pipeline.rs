@@ -1,0 +1,189 @@
+//! End-to-end pipeline tests: shared plans (all three PATs, including
+//! Cutty punctuation edges) executed over real sources, validated against
+//! brute-force window computation on the raw tuple stream, plus dataset
+//! persistence round-trips through the executor.
+
+use slickdeque::prelude::*;
+
+/// Brute-force answer for query `q` at report position `p` (1-based tuple
+/// count): aggregate of tuples `(p − r, p]` clipped to the stream start.
+fn brute_max(stream: &[f64], p: usize, r: usize) -> Option<f64> {
+    let lo = p.saturating_sub(r);
+    stream[lo..p].iter().cloned().reduce(f64::max)
+}
+
+fn brute_sum(stream: &[f64], p: usize, r: usize) -> f64 {
+    let lo = p.saturating_sub(r);
+    stream[lo..p].iter().sum()
+}
+
+/// Every (PAT, query-set) combination executed through the general
+/// executor must equal brute force.
+#[test]
+fn general_executor_matches_brute_force_for_all_pats() {
+    let query_sets: Vec<Vec<Query>> = vec![
+        vec![Query::new(6, 2), Query::new(8, 4)], // paper Example 1
+        vec![Query::new(7, 5)],                   // unaligned single
+        vec![Query::new(5, 2), Query::new(9, 3)], // unaligned mix
+        vec![Query::new(13, 5), Query::new(20, 10), Query::new(4, 2)],
+        vec![Query::tumbling(6), Query::new(12, 3)],
+    ];
+    let stream = energy_stream(600, 23, 0);
+
+    for queries in &query_sets {
+        for pat in [Pat::Panes, Pat::Pairs, Pat::Cutty] {
+            let plan = SharedPlan::build(queries, pat);
+            let op = Max::<f64>::new();
+            let mut exec = GeneralPlanExecutor::new(op, plan);
+            let mut sink = CollectSink::new();
+            let mut source = VecSource::new(stream.clone());
+            exec.run(&mut source, 10_000, &mut sink);
+
+            // Reconstruct expected report positions per query.
+            for (qi, q) in queries.iter().enumerate() {
+                let answers: Vec<Option<f64>> = sink.for_query(qi).into_iter().cloned().collect();
+                for (k, got) in answers.iter().enumerate() {
+                    let p = (k + 1) * q.slide as usize;
+                    let expect = brute_max(&stream, p, q.range as usize);
+                    assert_eq!(*got, expect, "pat={pat:?} {q} report #{k} at tuple {p}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn shared_executor_matches_brute_force_for_cutting_pats() {
+    let queries = vec![Query::new(6, 2), Query::new(8, 4)];
+    let stream = energy_stream(400, 29, 1);
+    for pat in [Pat::Panes, Pat::Pairs] {
+        let plan = SharedPlan::build(&queries, pat);
+        assert!(plan.all_edges_cut());
+        let op = Sum::<f64>::new();
+        let mut exec = SharedPlanExecutor::<_, MultiSlickDequeInv<_>>::new(op, plan);
+        let mut sink = CollectSink::new();
+        exec.run(&mut VecSource::new(stream.clone()), 10_000, &mut sink);
+        for (qi, q) in queries.iter().enumerate() {
+            let answers: Vec<f64> = sink.for_query(qi).into_iter().cloned().collect();
+            assert!(!answers.is_empty());
+            for (k, got) in answers.iter().enumerate() {
+                let p = (k + 1) * q.slide as usize;
+                let expect = brute_sum(&stream, p, q.range as usize);
+                assert!(
+                    (got - expect).abs() < 1e-6 * expect.abs().max(1.0),
+                    "pat={pat:?} {q} report #{k}: {got} vs {expect}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_multi_aggregator_drives_the_shared_executor() {
+    let queries = vec![Query::new(12, 2), Query::new(8, 4), Query::new(6, 2)];
+    let plan = SharedPlan::build(&queries, Pat::Pairs);
+    let stream = energy_stream(400, 31, 2);
+    let op = Sum::<f64>::new();
+
+    let run = |sink: &mut CollectSink<f64>, which: usize| {
+        let mut src = VecSource::new(stream.clone());
+        match which {
+            0 => {
+                SharedPlanExecutor::<_, MultiNaive<_>>::new(op, plan.clone())
+                    .run(&mut src, 10_000, sink);
+            }
+            1 => {
+                SharedPlanExecutor::<_, MultiFlatFat<_>>::new(op, plan.clone())
+                    .run(&mut src, 10_000, sink);
+            }
+            2 => {
+                SharedPlanExecutor::<_, MultiBInt<_>>::new(op, plan.clone())
+                    .run(&mut src, 10_000, sink);
+            }
+            3 => {
+                SharedPlanExecutor::<_, MultiFlatFit<_>>::new(op, plan.clone())
+                    .run(&mut src, 10_000, sink);
+            }
+            _ => {
+                SharedPlanExecutor::<_, MultiSlickDequeInv<_>>::new(op, plan.clone())
+                    .run(&mut src, 10_000, sink);
+            }
+        }
+    };
+
+    let mut reference = CollectSink::new();
+    run(&mut reference, 0);
+    for which in 1..=4 {
+        let mut sink = CollectSink::new();
+        run(&mut sink, which);
+        assert_eq!(sink.answers.len(), reference.answers.len());
+        for (a, b) in sink.answers.iter().zip(&reference.answers) {
+            assert_eq!(a.0, b.0);
+            assert!((a.1 - b.1).abs() < 1e-6 * b.1.abs().max(1.0));
+        }
+    }
+}
+
+#[test]
+fn csv_round_trip_preserves_executor_results() {
+    use slickdeque::data::csv;
+    use slickdeque::data::generate;
+
+    let events = generate(500, 77);
+    let mut buf = Vec::new();
+    csv::write_events(&events, &mut buf).unwrap();
+    let replayed = csv::read_events(buf.as_slice()).unwrap();
+
+    let direct: Vec<f64> = events.iter().map(|e| e.energy[0]).collect();
+    let from_csv: Vec<f64> = replayed.iter().map(|e| e.energy[0]).collect();
+
+    let op = Max::<f64>::new();
+    let mut a = SlickDequeNonInv::new(op, 64);
+    let mut b = SlickDequeNonInv::new(op, 64);
+    for (x, y) in direct.iter().zip(&from_csv) {
+        let ra = a.slide(op.lift(x));
+        let rb = b.slide(op.lift(y));
+        // CSV stores 6 decimal places; answers agree to that precision.
+        match (ra, rb) {
+            (Some(p), Some(q)) => assert!((p - q).abs() < 1e-5),
+            (p, q) => assert_eq!(p, q),
+        }
+    }
+}
+
+#[test]
+fn latency_instrumented_run_produces_sane_summary() {
+    let op = Max::<f64>::new();
+    let mut agg = SlickDequeNonInv::new(op, 1024);
+    let mut src = VecSource::new(energy_stream(20_000, 3, 0));
+    let mut sink = CountSink::default();
+    let stats = run_single_query(&op, &mut agg, &mut src, 20_000, &mut sink, true);
+    let lat = stats.latency.unwrap();
+    // The paper's outlier policy drops the top 0.005% — exactly 1 of the
+    // 20 000 samples.
+    assert_eq!(lat.count, 19_999);
+    assert!(lat.min <= lat.p25);
+    assert!(lat.p25 <= lat.median);
+    assert!(lat.median <= lat.p75);
+    assert!(lat.p75 <= lat.max);
+    assert!(stats.throughput.per_second() > 0.0);
+    assert_eq!(sink.count, 20_000);
+}
+
+#[test]
+fn heap_accounting_reflects_window_growth() {
+    // MemoryFootprint should grow roughly linearly for Naive and stay
+    // input-bounded for the deque.
+    let op = Sum::<f64>::new();
+    let small = Naive::new(op, 1 << 8);
+    let large = Naive::new(op, 1 << 14);
+    assert!(large.heap_bytes() > 32 * small.heap_bytes());
+
+    let mop = Max::<f64>::new();
+    let mut deque = SlickDequeNonInv::new(mop, 1 << 14);
+    for v in Workload::Ascending.generate(1 << 15, 0) {
+        deque.slide(mop.lift(&v));
+    }
+    // Ascending input keeps a single node: far below window-proportional.
+    assert!(deque.heap_bytes() < large.heap_bytes() / 8);
+}

@@ -1,0 +1,506 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: algebraic op laws, chunked deque vs a `VecDeque` model,
+//! DABA's region invariants under arbitrary FIFO schedules, the monotone
+//! deque's dominance invariant, and shared-plan structural properties.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use slickdeque::prelude::*;
+use std::collections::VecDeque;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // ----- algebraic laws on exact carriers --------------------------------
+
+    #[test]
+    fn sum_monoid_laws(a in -1000i64..1000, b in -1000i64..1000, c in -1000i64..1000) {
+        let op = Sum::<i64>::new();
+        prop_assert_eq!(op.combine(&op.combine(&a, &b), &c), op.combine(&a, &op.combine(&b, &c)));
+        prop_assert_eq!(op.combine(&op.identity(), &a), a);
+        prop_assert_eq!(op.inverse_combine(&op.combine(&a, &b), &b), a);
+    }
+
+    #[test]
+    fn max_selective_and_associative(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+        let op = Max::<i64>::new();
+        let (pa, pb, pc) = (op.lift(&a), op.lift(&b), op.lift(&c));
+        let assoc_l = op.combine(&op.combine(&pa, &pb), &pc);
+        let assoc_r = op.combine(&pa, &op.combine(&pb, &pc));
+        prop_assert_eq!(assoc_l, assoc_r);
+        let ab = op.combine(&pa, &pb);
+        prop_assert!(ab == pa || ab == pb);
+    }
+
+    #[test]
+    fn variance_inverse_roundtrip(xs in vec(-100.0f64..100.0, 1..20), y in -100.0f64..100.0) {
+        let op = Variance::new();
+        let mut acc = op.identity();
+        for x in &xs {
+            acc = op.combine(&acc, &op.lift(x));
+        }
+        let with = op.combine(&acc, &op.lift(&y));
+        let back = op.inverse_combine(&with, &op.lift(&y));
+        prop_assert!((back.sum - acc.sum).abs() < 1e-9);
+        prop_assert!((back.sum_squares - acc.sum_squares).abs() < 1e-6);
+        prop_assert_eq!(back.count, acc.count);
+    }
+
+    #[test]
+    fn minmax_combine_is_commutative_and_associative(
+        xs in vec(any::<i32>(), 1..12),
+    ) {
+        let op = MinMax::<i32>::new();
+        // Fold left and fold right must agree.
+        let partials: Vec<_> = xs.iter().map(|x| op.lift(x)).collect();
+        let left = partials.iter().fold(op.identity(), |a, p| op.combine(&a, p));
+        let right = partials
+            .iter()
+            .rev()
+            .fold(op.identity(), |a, p| op.combine(p, &a));
+        prop_assert_eq!(left, right);
+    }
+
+    // ----- chunked deque vs VecDeque model ----------------------------------
+
+    #[test]
+    fn chunked_deque_behaves_like_vecdeque(
+        ops in vec(0u8..4, 1..400),
+        cap in 1usize..17,
+    ) {
+        let mut sut = slickdeque::core::chunked::ChunkedDeque::with_chunk_capacity(cap);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut counter = 0u32;
+        for op in ops {
+            match op {
+                0 | 1 => {
+                    counter += 1;
+                    sut.push_back(counter);
+                    model.push_back(counter);
+                }
+                2 => {
+                    let got = sut.pop_front();
+                    let expect = model.pop_front().is_some();
+                    prop_assert_eq!(got, expect);
+                }
+                _ => {
+                    let got = sut.pop_back();
+                    let expect = model.pop_back();
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            prop_assert_eq!(sut.len(), model.len());
+            prop_assert_eq!(sut.front().copied(), model.front().copied());
+            prop_assert_eq!(sut.back().copied(), model.back().copied());
+            // Random access parity.
+            for i in 0..model.len() {
+                prop_assert_eq!(sut.get(i), model.get(i));
+            }
+            // Iteration parity.
+            let a: Vec<u32> = sut.iter().copied().collect();
+            let b: Vec<u32> = model.iter().copied().collect();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    // ----- DABA under arbitrary FIFO schedules ------------------------------
+
+    #[test]
+    fn daba_invariants_under_arbitrary_fifo(
+        schedule in vec((0u8..2, 1u8..6), 1..80),
+    ) {
+        let op = Sum::<i64>::new();
+        let mut daba = Daba::new(op, 512);
+        let mut model: VecDeque<i64> = VecDeque::new();
+        let mut v = 0i64;
+        for (kind, count) in schedule {
+            for _ in 0..count {
+                if kind == 0 {
+                    v += 1;
+                    daba.insert(v);
+                    model.push_back(v);
+                } else if !model.is_empty() {
+                    daba.evict();
+                    model.pop_front();
+                }
+                daba.check_invariants();
+                let expect: i64 = model.iter().sum();
+                prop_assert_eq!(daba.query(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn daba_matches_naive_on_random_streams(
+        stream in vec(-1000i64..1000, 1..300),
+        window in 1usize..40,
+    ) {
+        let op = Sum::<i64>::new();
+        let mut daba = Daba::new(op, window);
+        let mut naive = Naive::new(op, window);
+        for &x in &stream {
+            prop_assert_eq!(daba.slide(x), naive.slide(x));
+        }
+    }
+
+    // ----- monotone deque invariants ----------------------------------------
+
+    #[test]
+    fn slickdeque_dominance_invariant(
+        stream in vec(-1000i64..1000, 1..300),
+        window in 1usize..40,
+    ) {
+        let op = Max::<i64>::new();
+        let mut sd = SlickDequeNonInv::new(op, window);
+        let mut naive = Naive::new(op, window);
+        for x in &stream {
+            let got = sd.slide(op.lift(x));
+            prop_assert_eq!(got, naive.slide(op.lift(x)));
+            sd.check_invariants();
+            prop_assert!(sd.deque_len() <= window.min(stream.len()));
+        }
+    }
+
+    #[test]
+    fn multi_slickdeque_matches_multi_naive(
+        stream in vec(-1000i64..1000, 1..200),
+        ranges in vec(1usize..30, 1..6),
+    ) {
+        let op = Max::<i64>::new();
+        let mut deque = MultiSlickDequeNonInv::with_ranges(op, &ranges);
+        let mut naive = MultiNaive::with_ranges(op, &ranges);
+        let (mut o1, mut o2) = (Vec::new(), Vec::new());
+        for x in &stream {
+            deque.slide_multi(op.lift(x), &mut o1);
+            naive.slide_multi(op.lift(x), &mut o2);
+            prop_assert_eq!(&o1, &o2);
+        }
+    }
+
+    #[test]
+    fn multi_slickdeque_inv_matches_multi_naive(
+        stream in vec(-1000i64..1000, 1..200),
+        ranges in vec(1usize..30, 1..6),
+    ) {
+        let op = Sum::<i64>::new();
+        let mut inv = MultiSlickDequeInv::with_ranges(op, &ranges);
+        let mut naive = MultiNaive::with_ranges(op, &ranges);
+        let (mut o1, mut o2) = (Vec::new(), Vec::new());
+        for x in &stream {
+            inv.slide_multi(*x, &mut o1);
+            naive.slide_multi(*x, &mut o2);
+            prop_assert_eq!(&o1, &o2);
+        }
+    }
+
+    // ----- FlatFIT / FlatFAT / B-Int against the reference ------------------
+
+    #[test]
+    fn flatfit_matches_naive(
+        stream in vec(-1000i64..1000, 1..300),
+        window in 1usize..50,
+    ) {
+        let op = Sum::<i64>::new();
+        let mut fit = FlatFit::new(op, window);
+        let mut naive = Naive::new(op, window);
+        for &x in &stream {
+            prop_assert_eq!(fit.slide(x), naive.slide(x));
+        }
+    }
+
+    #[test]
+    fn tree_algorithms_match_naive(
+        stream in vec(-1000i64..1000, 1..200),
+        window in 1usize..50,
+    ) {
+        let op = Sum::<i64>::new();
+        let mut fat = FlatFat::new(op, window);
+        let mut bint = BInt::new(op, window);
+        let mut naive = Naive::new(op, window);
+        for &x in &stream {
+            let expect = naive.slide(x);
+            prop_assert_eq!(fat.slide(x), expect);
+            prop_assert_eq!(bint.slide(x), expect);
+        }
+    }
+
+    // ----- shared-plan structural properties ---------------------------------
+
+    #[test]
+    fn plan_edges_tile_the_composite_slide(
+        specs in vec((1u64..30, 1u64..10), 1..4),
+    ) {
+        let queries: Vec<Query> = specs
+            .iter()
+            .map(|&(extra, s)| Query::new(s + extra, s))
+            .collect();
+        for pat in [Pat::Panes, Pat::Pairs, Pat::Cutty] {
+            let plan = SharedPlan::build(&queries, pat);
+            // Edge lengths sum to the composite slide.
+            let total: u64 = plan.edges().iter().map(|e| e.length).sum();
+            prop_assert_eq!(total, plan.composite_slide());
+            // Positions are strictly increasing and end at the composite.
+            let positions: Vec<u64> = plan.edges().iter().map(|e| e.position).collect();
+            prop_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+            prop_assert_eq!(*positions.last().unwrap(), plan.composite_slide());
+            // Every query reports exactly composite/slide times per cycle.
+            for (qi, q) in queries.iter().enumerate() {
+                let reports: usize = plan
+                    .edges()
+                    .iter()
+                    .filter(|e| e.queries.contains(&qi))
+                    .count();
+                prop_assert_eq!(reports as u64, plan.composite_slide() / q.slide);
+            }
+            // wSize is positive and bounded by the largest range (a
+            // partial spans at least one tuple).
+            let max_range = queries.iter().map(|q| q.range).max().unwrap();
+            prop_assert!(plan.wsize() >= 1);
+            prop_assert!(plan.wsize() as u64 <= max_range);
+        }
+    }
+
+    #[test]
+    fn plan_execution_equals_brute_force(
+        specs in vec((1u64..12, 1u64..6), 1..3),
+        seed in 0u64..1000,
+    ) {
+        let queries: Vec<Query> = specs
+            .iter()
+            .map(|&(extra, s)| Query::new(s + extra, s))
+            .collect();
+        let stream = Workload::Uniform.generate(200, seed);
+        let int_stream: Vec<f64> = stream.iter().map(|v| (v * 50.0).round()).collect();
+        for pat in [Pat::Panes, Pat::Pairs, Pat::Cutty] {
+            let plan = SharedPlan::build(&queries, pat);
+            let op = Sum::<f64>::new();
+            let mut exec = GeneralPlanExecutor::new(op, plan);
+            let mut sink = CollectSink::new();
+            exec.run(&mut VecSource::new(int_stream.clone()), 500, &mut sink);
+            for (qi, q) in queries.iter().enumerate() {
+                let answers: Vec<f64> = sink.for_query(qi).into_iter().cloned().collect();
+                for (k, got) in answers.iter().enumerate() {
+                    let p = (k + 1) * q.slide as usize;
+                    let lo = p.saturating_sub(q.range as usize);
+                    let expect: f64 = int_stream[lo..p].iter().sum();
+                    prop_assert!((got - expect).abs() < 1e-9,
+                        "pat={:?} q={} k={}: {} vs {}", pat, q, k, got, expect);
+                }
+            }
+        }
+    }
+
+    // ----- latency statistics ------------------------------------------------
+
+    #[test]
+    fn latency_summary_orders_percentiles(samples in vec(0u64..1_000_000, 1..500)) {
+        let mut rec = LatencyRecorder::new();
+        for s in &samples {
+            rec.record_ns(*s);
+        }
+        let summary = rec.summarize_dropping(0.0);
+        prop_assert!(summary.min <= summary.p25);
+        prop_assert!(summary.p25 <= summary.median);
+        prop_assert!(summary.median <= summary.p75);
+        prop_assert!(summary.p75 <= summary.max);
+        prop_assert!(summary.mean >= summary.min as f64);
+        prop_assert!(summary.mean <= summary.max as f64);
+    }
+}
+
+// ----- extensions: sparse FlatFIT, resize, reorder buffer -------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sparse_flatfit_matches_multi_naive(
+        stream in vec(-1000i64..1000, 1..250),
+        ranges in vec(1usize..40, 1..6),
+    ) {
+        let op = Sum::<i64>::new();
+        let mut sparse = MultiFlatFitSparse::with_ranges(op, &ranges);
+        let mut naive = MultiNaive::with_ranges(op, &ranges);
+        let (mut o1, mut o2) = (Vec::new(), Vec::new());
+        for x in &stream {
+            sparse.slide_multi(*x, &mut o1);
+            naive.slide_multi(*x, &mut o2);
+            prop_assert_eq!(&o1, &o2);
+        }
+    }
+
+    #[test]
+    fn slickdeque_inv_resize_stays_consistent(
+        stream in vec(-1000i64..1000, 20..200),
+        w1 in 1usize..30,
+        w2 in 1usize..30,
+        at_frac in 0.1f64..0.9,
+    ) {
+        let split = ((stream.len() as f64) * at_frac) as usize;
+        let op = Sum::<i64>::new();
+        let mut sd = SlickDequeInv::new(op, w1);
+        for &v in &stream[..split] {
+            sd.slide(v);
+        }
+        sd.resize(w2);
+        // After w2 further slides the resize history has fully cycled out;
+        // compare against a fresh window-w2 reference over the suffix.
+        let mut reference = Naive::new(op, w2);
+        for (i, &v) in stream[split..].iter().enumerate() {
+            let got = sd.slide(v);
+            let expect = reference.slide(v);
+            if i + 1 >= w2 {
+                prop_assert_eq!(got, expect, "suffix slide {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn slickdeque_noninv_resize_stays_consistent(
+        stream in vec(-1000i64..1000, 20..200),
+        w1 in 1usize..30,
+        w2 in 1usize..30,
+        at_frac in 0.1f64..0.9,
+    ) {
+        let split = ((stream.len() as f64) * at_frac) as usize;
+        let op = Max::<i64>::new();
+        let mut sd = SlickDequeNonInv::new(op, w1);
+        for &v in &stream[..split] {
+            sd.slide(op.lift(&v));
+        }
+        sd.resize(w2);
+        sd.check_invariants();
+        let mut reference = Naive::new(op, w2);
+        for (i, &v) in stream[split..].iter().enumerate() {
+            let got = sd.slide(op.lift(&v));
+            let expect = reference.slide(op.lift(&v));
+            sd.check_invariants();
+            if i + 1 >= w2 {
+                prop_assert_eq!(got, expect, "suffix slide {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn reorder_buffer_repairs_bounded_displacement(
+        values in vec(-1000i64..1000, 1..150),
+        depth in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        use slickdeque::stream::reorder::ReorderBuffer;
+        // Shuffle locally: swap disjoint adjacent blocks of size ≤ depth.
+        let n = values.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut i = 0;
+        while i + 1 < n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if x & 1 == 1 {
+                order.swap(i, i + 1);
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        let mut buf = ReorderBuffer::new(depth.max(2));
+        let mut out = Vec::new();
+        for &idx in &order {
+            buf.push(idx as u64, values[idx] as f64).unwrap();
+            while let Some(v) = buf.pop_ready() {
+                out.push(v as i64);
+            }
+        }
+        buf.flush();
+        while let Some(v) = buf.pop_ready() {
+            out.push(v as i64);
+        }
+        prop_assert_eq!(out, values);
+    }
+}
+
+// ----- time-based windows and CLI parsing ------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn time_multi_inv_matches_brute_force(
+        gaps in vec(0u64..50, 1..120),
+        values in vec(-500i64..500, 120..121),
+        ranges in vec(1u64..300, 1..4),
+    ) {
+        let stream: Vec<(u64, i64)> = gaps
+            .iter()
+            .scan(0u64, |ts, g| {
+                *ts += g;
+                Some(*ts)
+            })
+            .zip(values.iter().copied())
+            .collect();
+        let op = Sum::<i64>::new();
+        let mut agg = MultiTimeSlickDequeInv::new(op, &ranges);
+        let mut out = Vec::new();
+        for (i, &(ts, v)) in stream.iter().enumerate() {
+            agg.insert(ts, v, &mut out);
+            for (k, &r) in agg.ranges_ms().iter().enumerate() {
+                let expect: i64 = stream[..=i]
+                    .iter()
+                    .filter(|(t, _)| (*t as i128) > ts as i128 - r as i128)
+                    .map(|(_, v)| v)
+                    .sum();
+                prop_assert_eq!(out[k], expect, "tuple {} range {}", i, r);
+            }
+        }
+    }
+
+    #[test]
+    fn time_multi_noninv_matches_brute_force(
+        gaps in vec(0u64..50, 1..120),
+        values in vec(-500i64..500, 120..121),
+        ranges in vec(1u64..300, 1..4),
+    ) {
+        let stream: Vec<(u64, i64)> = gaps
+            .iter()
+            .scan(0u64, |ts, g| {
+                *ts += g;
+                Some(*ts)
+            })
+            .zip(values.iter().copied())
+            .collect();
+        let op = Max::<i64>::new();
+        let mut agg = MultiTimeSlickDequeNonInv::new(op, &ranges);
+        let mut out = Vec::new();
+        for (i, &(ts, v)) in stream.iter().enumerate() {
+            agg.insert(ts, op.lift(&v), &mut out);
+            for (k, &r) in agg.ranges_ms().iter().enumerate() {
+                let expect = stream[..=i]
+                    .iter()
+                    .filter(|(t, _)| (*t as i128) > ts as i128 - r as i128)
+                    .map(|(_, v)| *v)
+                    .max();
+                prop_assert_eq!(out[k], expect, "tuple {} range {}", i, r);
+            }
+        }
+    }
+
+    #[test]
+    fn cli_query_specs_round_trip(specs in vec((1u64..10_000, 1u64..100), 1..6)) {
+        use slickdeque::cli::CliConfig;
+        let valid: Vec<(u64, u64)> = specs
+            .iter()
+            .map(|&(r, s)| (r.max(s), s))
+            .collect();
+        let spec_str = valid
+            .iter()
+            .map(|(r, s)| format!("{r}:{s}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let args = format!("--op sum --queries {spec_str} --source stdin");
+        let cfg = CliConfig::parse(args.split_whitespace().map(str::to_string)).unwrap();
+        prop_assert_eq!(cfg.queries.len(), valid.len());
+        for (q, (r, s)) in cfg.queries.iter().zip(&valid) {
+            prop_assert_eq!(q.range, *r);
+            prop_assert_eq!(q.slide, *s);
+        }
+    }
+}
