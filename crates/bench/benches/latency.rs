@@ -1,9 +1,9 @@
-//! Criterion micro-benchmark for Exp 3 (Fig. 14): per-answer latency at
+//! Micro-benchmark for Exp 3 (Fig. 14): per-answer latency at
 //! the paper's fixed 1024-tuple window. Criterion reports the mean and
 //! distribution of single-slide times; the `experiments exp3` binary
 //! reports the paper's full percentile table including max spikes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swag_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use swag_bench::registry::{single_max_runner, single_sum_runner, CyclicStream};
 
 const WINDOW: usize = 1024;

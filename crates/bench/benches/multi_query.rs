@@ -1,7 +1,7 @@
-//! Criterion micro-benchmarks for Exp 2 (Figs. 12 and 13): max-multi-query
+//! Micro-benchmarks for Exp 2 (Figs. 12 and 13): max-multi-query
 //! per-slide cost across algorithms and query counts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use swag_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use swag_bench::registry::{
     multi_max_runner, multi_sum_runner, CyclicStream, MULTI_MAX_ALGOS, MULTI_SUM_ALGOS,
 };

@@ -2,10 +2,10 @@
 //! deque vs `VecDeque`, and the cost of the DABA fix-up step — the
 //! ablations DESIGN.md calls out for the chunk-allocation design choice.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use slickdeque::core::chunked::ChunkedDeque;
 use slickdeque::prelude::*;
 use std::collections::VecDeque;
+use swag_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const OPS: usize = 4096;
 

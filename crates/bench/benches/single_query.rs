@@ -1,7 +1,7 @@
-//! Criterion micro-benchmarks for Exp 1 (Figs. 10 and 11): single-query
+//! Micro-benchmarks for Exp 1 (Figs. 10 and 11): single-query
 //! per-slide cost across algorithms and window sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use swag_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use swag_bench::registry::{
     single_max_runner, single_sum_runner, CyclicStream, SINGLE_MAX_ALGOS, SINGLE_SUM_ALGOS,
 };

@@ -9,17 +9,17 @@
 //! the input-agnostic baselines, exactly as Fig. 14 presents them.
 
 use crate::registry::{single_max_runner, single_sum_runner, CyclicStream, SlideRunner};
+use crate::report::save_json;
 use crate::Config;
-use serde::Serialize;
-use std::io::Write;
 use std::time::Instant;
 use swag_metrics::latency::{LatencyRecorder, LatencySummary};
+use swag_metrics::{Json, ToJson};
 
 /// The fixed window size of Exp 3.
 pub const LATENCY_WINDOW: usize = 1024;
 
 /// One algorithm's latency summary (nanoseconds).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LatencyRow {
     /// Algorithm label as presented in Fig. 14.
     pub algorithm: String,
@@ -28,7 +28,7 @@ pub struct LatencyRow {
 }
 
 /// The full Fig. 14 table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct LatencyTable {
     /// Experiment identifier.
     pub id: String,
@@ -63,16 +63,21 @@ impl LatencyTable {
 
     /// Write as JSON to `dir/exp3.json`.
     pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
-        std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{}.json", self.id));
-        let mut f = std::fs::File::create(&path)?;
-        f.write_all(
-            serde_json::to_string_pretty(self)
-                .expect("serializable")
-                .as_bytes(),
-        )?;
-        println!("   [saved {}]", path.display());
-        Ok(())
+        let json = Json::obj(vec![
+            ("id", Json::str(self.id.as_str())),
+            ("window", Json::UInt(self.window as u64)),
+            ("tuples", Json::UInt(self.tuples as u64)),
+            (
+                "rows",
+                Json::arr(&self.rows, |r| {
+                    Json::obj(vec![
+                        ("algorithm", Json::str(r.algorithm.as_str())),
+                        ("summary", r.summary.to_json()),
+                    ])
+                }),
+            ),
+        ]);
+        save_json(dir, &self.id, &json)
     }
 
     /// The summary for one algorithm label.

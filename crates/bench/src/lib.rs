@@ -16,6 +16,7 @@
 //! | Fig. 15 (memory requirement) | [`exp4`] | `exp4` |
 //! | §4 input-dependence ablation (extension) | [`workloads`] | `workloads` |
 //! | §2.1 PAT ablation (extension) | [`pats`] | `pats` |
+//! | Sharded-engine scaling (extension) | [`scaling`] | `scaling` |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -24,9 +25,11 @@ pub mod exp1;
 pub mod exp2;
 pub mod exp3;
 pub mod exp4;
+pub mod microbench;
 pub mod pats;
 pub mod registry;
 pub mod report;
+pub mod scaling;
 pub mod table1;
 pub mod workloads;
 

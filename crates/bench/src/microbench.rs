@@ -1,0 +1,239 @@
+//! A minimal micro-benchmark harness with a Criterion-shaped API.
+//!
+//! The workspace builds without crates.io access, so the `benches/`
+//! targets run on this drop-in substitute for the subset of `criterion`
+//! they use: `benchmark_group`, `bench_with_input`/`bench_function`,
+//! `Bencher::iter`, element throughput, and the `criterion_group!`/
+//! `criterion_main!` macros. Timing is wall-clock medians over
+//! `sample_size` samples — good enough to rank algorithms and spot
+//! regressions, with none of Criterion's statistical machinery.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchGroup {
+        println!("\n== {name} ==");
+        BenchGroup {
+            name: name.to_string(),
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(600),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per benchmark iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (tuples) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A `name/parameter` benchmark label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Compose a label from a function name and a parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+}
+
+/// A group of measurements sharing timing settings.
+#[derive(Debug)]
+pub struct BenchGroup {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchGroup {
+    /// Time spent running the closure before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement budget, split across samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Number of timing samples (the median is reported).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare how many units one iteration processes.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure one closure under a composed `name/param` label.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b, input);
+        self.report(&id.label, &b.samples);
+        self
+    }
+
+    /// Measure one closure under a plain label.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        self.report(name, &b.samples);
+        self
+    }
+
+    /// End the group (kept for API parity; groups have no teardown).
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, samples: &[f64]) {
+        if samples.is_empty() {
+            println!("{:<40} (no samples — Bencher::iter never called)", label);
+            return;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = sorted[sorted.len() / 2];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.2} Melem/s", n as f64 / median * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>10.2} MB/s", n as f64 / median * 1e3)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{:<40} {:>12.1} ns/iter{rate}",
+            format!("{}/{label}", self.name),
+            median
+        );
+    }
+}
+
+/// Runs and times the benchmark closure (mirrors `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Warm up, then time `sample_size` samples of repeated calls to `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            if start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let budget = self.measurement.div_f64(self.sample_size as f64);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let mut iters = 0u64;
+            let start = Instant::now();
+            let elapsed = loop {
+                black_box(f());
+                iters += 1;
+                let elapsed = start.elapsed();
+                if elapsed >= budget {
+                    break elapsed;
+                }
+            };
+            self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// Compose benchmark functions into a single runner (mirrors
+/// `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::microbench::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` for a bench binary (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($group:ident) => {
+        fn main() {
+            $group();
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports_without_panicking() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(4));
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::new("spin", 1), &1usize, |b, _| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        group.bench_function("plain", |b| b.iter(|| 2 + 2));
+        group.finish();
+        assert!(ran > 0, "closure executed");
+    }
+}

@@ -8,14 +8,14 @@
 //! same stream, measuring cuts per composite slide, window size in
 //! partials, punctuation edges, and wall-clock throughput.
 
+use crate::report::save_json;
 use crate::Config;
-use serde::Serialize;
 use slickdeque::prelude::*;
-use std::io::Write;
 use std::time::Instant;
+use swag_metrics::{Json, ToJson};
 
 /// Measurements for one (query set, PAT) combination.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PatRow {
     /// The query set, rendered.
     pub queries: String,
@@ -32,7 +32,7 @@ pub struct PatRow {
 }
 
 /// The ablation table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct PatTable {
     /// Experiment identifier.
     pub id: String,
@@ -58,21 +58,36 @@ impl PatTable {
 
     /// Write as JSON to `dir/pats.json`.
     pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
-        std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{}.json", self.id));
-        let mut f = std::fs::File::create(&path)?;
-        f.write_all(
-            serde_json::to_string_pretty(self)
-                .expect("serializable")
-                .as_bytes(),
-        )?;
-        println!("   [saved {}]", path.display());
-        Ok(())
+        save_json(dir, &self.id, &self.to_json())
     }
 
     /// Rows for one query-set label.
     pub fn for_queries(&self, queries: &str) -> Vec<&PatRow> {
         self.rows.iter().filter(|r| r.queries == queries).collect()
+    }
+}
+
+impl ToJson for PatTable {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::str(self.id.as_str())),
+            (
+                "rows",
+                Json::arr(&self.rows, |r| {
+                    Json::obj(vec![
+                        ("queries", Json::str(r.queries.as_str())),
+                        ("pat", Json::str(r.pat.as_str())),
+                        (
+                            "cuts_per_composite",
+                            Json::UInt(r.cuts_per_composite as u64),
+                        ),
+                        ("punctuations", Json::UInt(r.punctuations as u64)),
+                        ("wsize", Json::UInt(r.wsize as u64)),
+                        ("tuples_per_sec", Json::Num(r.tuples_per_sec)),
+                    ])
+                }),
+            ),
+        ])
     }
 }
 

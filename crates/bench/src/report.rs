@@ -2,12 +2,21 @@
 //! configured results directory, so EXPERIMENTS.md can cite stable
 //! numbers.
 
-use serde::Serialize;
-use std::io::Write;
 use std::path::Path;
+use swag_metrics::{Json, ToJson};
+
+/// Write a JSON document to `dir/<id>.json` — the shared sink for every
+/// report type in this crate.
+pub fn save_json(dir: &Path, id: &str, json: &Json) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{id}.json"));
+    std::fs::write(&path, json.pretty())?;
+    println!("   [saved {}]", path.display());
+    Ok(())
+}
 
 /// A generic experiment result: one row per (x, series) point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SeriesTable {
     /// Experiment identifier ("exp1a", "table1", …).
     pub id: String,
@@ -68,13 +77,7 @@ impl SeriesTable {
 
     /// Write the table as JSON to `dir/<id>.json`.
     pub fn save(&self, dir: &Path) -> std::io::Result<()> {
-        std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{}.json", self.id));
-        let mut f = std::fs::File::create(&path)?;
-        let json = serde_json::to_string_pretty(self).expect("serializable");
-        f.write_all(json.as_bytes())?;
-        println!("   [saved {}]", path.display());
-        Ok(())
+        save_json(dir, &self.id, &self.to_json())
     }
 
     /// Per-row winner: the series index with the largest value.
@@ -86,6 +89,25 @@ impl SeriesTable {
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("comparable"))
             .expect("non-empty row");
         &self.series[best]
+    }
+}
+
+impl ToJson for SeriesTable {
+    fn to_json(&self) -> Json {
+        // Rows keep the `[x, [values…]]` tuple shape of the original dumps.
+        Json::obj(vec![
+            ("id", Json::str(self.id.as_str())),
+            ("title", Json::str(self.title.as_str())),
+            ("x_label", Json::str(self.x_label.as_str())),
+            ("value_label", Json::str(self.value_label.as_str())),
+            ("series", Json::arr(&self.series, |s| Json::str(s.as_str()))),
+            (
+                "rows",
+                Json::arr(&self.rows, |(x, values)| {
+                    Json::Arr(vec![Json::UInt(*x), Json::arr(values, |v| Json::Num(*v))])
+                }),
+            ),
+        ])
     }
 }
 

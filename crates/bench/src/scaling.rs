@@ -1,0 +1,166 @@
+//! Sharded-engine scaling experiment (extension beyond the paper).
+//!
+//! The paper's platform is single-threaded; the `swag-engine` crate scales
+//! it across cores by hash-partitioning keys over shard workers. This
+//! experiment sweeps the shard count over a keyed DEBS-shaped stream and
+//! reports end-to-end throughput, queue watermarks (the backpressure
+//! signal), and routing skew — the numbers that justify (or bound) the
+//! sharding design on a given machine. On a single-core host the sweep
+//! degenerates to a context-switch-overhead measurement, which is itself
+//! worth recording.
+
+use crate::report::save_json;
+use crate::Config;
+use slickdeque::prelude::*;
+use swag_metrics::{Json, ToJson};
+
+/// The per-key window length used in the sweep.
+pub const SCALING_WINDOW: usize = 1024;
+
+/// Distinct keys in the synthetic keyed stream.
+pub const SCALING_KEYS: usize = 64;
+
+/// One shard count's measurements.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Worker threads used.
+    pub shards: usize,
+    /// End-to-end keyed tuples per second (routing + aggregation).
+    pub tuples_per_sec: f64,
+    /// Deepest inbound-queue occupancy observed on any shard.
+    pub max_queue_depth: u64,
+    /// Busiest shard's tuple share relative to an even split (1.0 = even).
+    pub skew: f64,
+    /// Answers produced (one per tuple per key window).
+    pub answers: u64,
+}
+
+/// The scaling sweep: throughput vs shard count.
+#[derive(Debug, Clone)]
+pub struct ScalingTable {
+    /// Experiment identifier.
+    pub id: String,
+    /// Tuples routed per shard count.
+    pub tuples: u64,
+    /// Distinct keys in the stream.
+    pub keys: usize,
+    /// Per-key window length.
+    pub window: usize,
+    /// One row per shard count.
+    pub rows: Vec<ScalingRow>,
+}
+
+impl ScalingTable {
+    /// Print as an aligned console table.
+    pub fn print(&self) {
+        println!(
+            "\n== Sharded-engine scaling — {} tuples, {} keys, window {} ==",
+            self.tuples, self.keys, self.window
+        );
+        println!(
+            "{:>7} {:>14} {:>12} {:>8} {:>12}",
+            "shards", "tuples/s", "max queue", "skew", "answers"
+        );
+        for r in &self.rows {
+            println!(
+                "{:>7} {:>14.3e} {:>12} {:>8.2} {:>12}",
+                r.shards, r.tuples_per_sec, r.max_queue_depth, r.skew, r.answers
+            );
+        }
+    }
+
+    /// Write as JSON to `dir/scaling.json`.
+    pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        save_json(dir, &self.id, &self.to_json())
+    }
+
+    /// The row for one shard count.
+    pub fn get(&self, shards: usize) -> Option<&ScalingRow> {
+        self.rows.iter().find(|r| r.shards == shards)
+    }
+}
+
+impl ToJson for ScalingTable {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::str(self.id.as_str())),
+            ("tuples", Json::UInt(self.tuples)),
+            ("keys", Json::UInt(self.keys as u64)),
+            ("window", Json::UInt(self.window as u64)),
+            (
+                "rows",
+                Json::arr(&self.rows, |r| {
+                    Json::obj(vec![
+                        ("shards", Json::UInt(r.shards as u64)),
+                        ("tuples_per_sec", Json::Num(r.tuples_per_sec)),
+                        ("max_queue_depth", Json::UInt(r.max_queue_depth)),
+                        ("skew", Json::Num(r.skew)),
+                        ("answers", Json::UInt(r.answers)),
+                    ])
+                }),
+            ),
+        ])
+    }
+}
+
+/// Run the sweep at one shard count.
+fn measure(shards: usize, tuples: u64, seed: u64) -> ScalingRow {
+    let engine = ShardedEngine::new(EngineConfig::with_shards(shards));
+    let mut source = KeyedDebsSource::new(seed, SCALING_KEYS, 0);
+    let run = engine.run(&mut source, tuples, |_shard| {
+        KeyedWindows::<_, SlickDequeInv<_>>::new(Sum::<f64>::new(), SCALING_WINDOW)
+    });
+    ScalingRow {
+        shards,
+        tuples_per_sec: run.stats.tuples_per_sec(),
+        max_queue_depth: run.stats.max_queue_depth(),
+        skew: run.stats.skew(),
+        answers: run.stats.answers,
+    }
+}
+
+/// Run the scaling sweep over shard counts 1, 2, 4, 8.
+pub fn run(cfg: &Config) -> ScalingTable {
+    let tuples = cfg.latency_tuples as u64;
+    let rows = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|shards| measure(shards, tuples, cfg.seed))
+        .collect();
+    ScalingTable {
+        id: "scaling".to_string(),
+        tuples,
+        keys: SCALING_KEYS,
+        window: SCALING_WINDOW,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_shard_counts_and_conserves_tuples() {
+        let mut cfg = Config::quick();
+        cfg.latency_tuples = 20_000;
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), 4);
+        for shards in [1, 2, 4, 8] {
+            let row = t.get(shards).expect("row present");
+            // Slide-1 windows answer once per tuple.
+            assert_eq!(row.answers, 20_000, "{shards} shards");
+            assert!(row.tuples_per_sec > 0.0);
+            assert!(row.skew >= 1.0 - 1e-9, "skew is ≥ 1 by construction");
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut cfg = Config::quick();
+        cfg.latency_tuples = 2_000;
+        let text = run(&cfg).to_json().pretty();
+        assert!(text.contains("\"id\": \"scaling\""));
+        assert!(text.contains("\"tuples_per_sec\""));
+        assert!(text.contains("\"max_queue_depth\""));
+    }
+}

@@ -6,13 +6,13 @@
 //! with [`CountingOp`] instrumentation and analytic memory accounting,
 //! printing them next to the predictions.
 
+use crate::report::save_json;
 use crate::Config;
-use serde::Serialize;
 use slickdeque::prelude::*;
-use std::io::Write;
+use swag_metrics::{Json, ToJson};
 
 /// One measured row of Table 1.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Algorithm name.
     pub algorithm: String,
@@ -30,7 +30,7 @@ pub struct Table1Row {
 }
 
 /// The measured Table 1.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1 {
     /// Window size / query count used for the measurements.
     pub n: usize,
@@ -65,21 +65,37 @@ impl Table1 {
 
     /// Write as JSON to `dir/table1.json`.
     pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
-        std::fs::create_dir_all(dir)?;
-        let path = dir.join("table1.json");
-        let mut f = std::fs::File::create(&path)?;
-        f.write_all(
-            serde_json::to_string_pretty(self)
-                .expect("serializable")
-                .as_bytes(),
-        )?;
-        println!("   [saved {}]", path.display());
-        Ok(())
+        save_json(dir, "table1", &self.to_json())
     }
 
     /// The row for one algorithm.
     pub fn get(&self, algorithm: &str) -> Option<&Table1Row> {
         self.rows.iter().find(|r| r.algorithm == algorithm)
+    }
+}
+
+impl ToJson for Table1 {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("n", Json::UInt(self.n as u64)),
+            ("slides", Json::UInt(self.slides as u64)),
+            (
+                "rows",
+                Json::arr(&self.rows, |r| {
+                    Json::obj(vec![
+                        ("algorithm", Json::str(r.algorithm.as_str())),
+                        ("single_amortized", Json::Num(r.single_amortized)),
+                        ("single_worst", Json::UInt(r.single_worst)),
+                        (
+                            "multi_amortized",
+                            r.multi_amortized.map(Json::Num).unwrap_or(Json::Null),
+                        ),
+                        ("space_factor", Json::Num(r.space_factor)),
+                        ("predicted", Json::str(r.predicted.as_str())),
+                    ])
+                }),
+            ),
+        ])
     }
 }
 

@@ -9,14 +9,14 @@
 //! platform observation, how branch predictability (not operation count)
 //! drives wall-clock speed on modern cores.
 
+use crate::report::save_json;
 use crate::Config;
-use serde::Serialize;
 use slickdeque::prelude::*;
-use std::io::Write;
 use std::time::Instant;
+use swag_metrics::{Json, ToJson};
 
 /// Measurements for one workload shape.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadRow {
     /// Workload name.
     pub workload: String,
@@ -35,7 +35,7 @@ pub struct WorkloadRow {
 }
 
 /// The ablation table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadTable {
     /// Experiment identifier.
     pub id: String,
@@ -74,21 +74,36 @@ impl WorkloadTable {
 
     /// Write as JSON to `dir/workloads.json`.
     pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
-        std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{}.json", self.id));
-        let mut f = std::fs::File::create(&path)?;
-        f.write_all(
-            serde_json::to_string_pretty(self)
-                .expect("serializable")
-                .as_bytes(),
-        )?;
-        println!("   [saved {}]", path.display());
-        Ok(())
+        save_json(dir, &self.id, &self.to_json())
     }
 
     /// The row for one workload.
     pub fn get(&self, workload: &str) -> Option<&WorkloadRow> {
         self.rows.iter().find(|r| r.workload == workload)
+    }
+}
+
+impl ToJson for WorkloadTable {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::str(self.id.as_str())),
+            ("window", Json::UInt(self.window as u64)),
+            ("slides", Json::UInt(self.slides as u64)),
+            (
+                "rows",
+                Json::arr(&self.rows, |r| {
+                    Json::obj(vec![
+                        ("workload", Json::str(r.workload.as_str())),
+                        ("ops_per_slide", Json::Num(r.ops_per_slide)),
+                        ("worst_slide_ops", Json::UInt(r.worst_slide_ops)),
+                        ("avg_deque_len", Json::Num(r.avg_deque_len)),
+                        ("max_deque_len", Json::UInt(r.max_deque_len as u64)),
+                        ("heap_bytes", Json::UInt(r.heap_bytes as u64)),
+                        ("slides_per_sec", Json::Num(r.slides_per_sec)),
+                    ])
+                }),
+            ),
+        ])
     }
 }
 

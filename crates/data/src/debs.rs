@@ -19,8 +19,7 @@
 //! substitution preserves the paper's experimental behaviour (see
 //! DESIGN.md §3).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::prng::Xoshiro256StarStar;
 
 /// Sample rate of the DEBS12 recordings.
 pub const DEBS_SAMPLE_HZ: u32 = 100;
@@ -61,7 +60,7 @@ impl Regime {
 /// Deterministic, seeded generator of [`DebsEvent`] streams.
 #[derive(Debug, Clone)]
 pub struct DebsGenerator {
-    rng: StdRng,
+    rng: Xoshiro256StarStar,
     tick: u64,
     levels: [f64; ENERGY_CHANNELS],
     regime: Regime,
@@ -73,10 +72,10 @@ impl DebsGenerator {
     /// Create a generator with the given seed. Identical seeds produce
     /// identical streams.
     pub fn new(seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256StarStar::new(seed);
         let mut states = [0u8; STATE_FIELDS];
         for s in &mut states {
-            *s = rng.gen_range(0..4);
+            *s = rng.gen_below(4) as u8;
         }
         DebsGenerator {
             rng,
@@ -108,7 +107,7 @@ impl DebsGenerator {
                 }
             };
             // Regimes last 2-60 s at 100 Hz.
-            self.regime_left = self.rng.gen_range(200..6000);
+            self.regime_left = self.rng.gen_range_u64(200, 6000) as u32;
         }
         self.regime_left -= 1;
     }
@@ -125,14 +124,14 @@ impl Iterator for DebsGenerator {
             // Mean-reverting bounded walk toward the regime target, with
             // per-channel scale and white measurement noise.
             let pull = (target - *level) * 0.02;
-            let walk: f64 = self.rng.gen_range(-0.5..0.5);
+            let walk: f64 = self.rng.gen_range_f64(-0.5, 0.5);
             *level = (*level + pull + walk).clamp(0.0, 120.0);
-            let noise: f64 = self.rng.gen_range(-0.2..0.2);
+            let noise: f64 = self.rng.gen_range_f64(-0.2, 0.2);
             energy[c] = (*level * (1.0 + 0.1 * c as f64) + noise).max(0.0);
         }
         for s in &mut self.states {
             if self.rng.gen_bool(0.002) {
-                *s = self.rng.gen_range(0..4);
+                *s = self.rng.gen_below(4) as u8;
             }
         }
         let ev = DebsEvent {

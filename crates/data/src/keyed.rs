@@ -1,0 +1,264 @@
+//! Keyed tuple streams: `(key, value)` pairs for the sharded engine.
+//!
+//! The paper's platform processes one keyless stream; production windows
+//! are keyed (one logical window per machine, user, symbol, …). This
+//! module defines the [`KeyedSource`] abstraction the `swag-engine` crate
+//! partitions across shards, plus deterministic keyed variants of the two
+//! dataset families:
+//!
+//! * [`KeyedDebsSource`] — a fleet of DEBS-shaped machines, each an
+//!   independent [`DebsGenerator`]; the machine id is the key, mirroring
+//!   how the DEBS12 recordings identify equipment.
+//! * [`KeyedWorkloadSource`] — a set of keys each carrying an independent
+//!   characterised workload stream.
+//! * [`KeyedVecSource`] — replay of a pre-materialised keyed stream
+//!   (tests, golden inputs).
+
+use crate::debs::{DebsGenerator, ENERGY_CHANNELS};
+use crate::prng::Xoshiro256StarStar;
+use crate::synthetic::Workload;
+
+/// The key of a keyed tuple (machine id, user id, …).
+pub type Key = u64;
+
+/// A pull-based stream of keyed scalar tuples.
+pub trait KeyedSource {
+    /// The next `(key, value)` tuple, or `None` when exhausted.
+    fn next_tuple(&mut self) -> Option<(Key, f64)>;
+
+    /// Collect up to `n` tuples (testing convenience).
+    fn take_tuples(&mut self, n: usize) -> Vec<(Key, f64)> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.next_tuple() {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+/// Replays a pre-materialised keyed stream once.
+#[derive(Debug, Clone)]
+pub struct KeyedVecSource {
+    tuples: Vec<(Key, f64)>,
+    pos: usize,
+}
+
+impl KeyedVecSource {
+    /// Create a source replaying `tuples` once.
+    pub fn new(tuples: Vec<(Key, f64)>) -> Self {
+        KeyedVecSource { tuples, pos: 0 }
+    }
+
+    /// Tuples remaining.
+    pub fn remaining(&self) -> usize {
+        self.tuples.len() - self.pos
+    }
+}
+
+impl KeyedSource for KeyedVecSource {
+    fn next_tuple(&mut self) -> Option<(Key, f64)> {
+        let t = self.tuples.get(self.pos).copied();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+}
+
+/// An endless fleet of DEBS-shaped machines; the machine id is the key.
+///
+/// Each machine is an independent, deterministically seeded
+/// [`DebsGenerator`]; arrivals interleave uniformly at random (seeded), so
+/// per-key order is preserved while the global arrival order is realistic
+/// rather than round-robin.
+#[derive(Debug, Clone)]
+pub struct KeyedDebsSource {
+    machines: Vec<DebsGenerator>,
+    channel: usize,
+    picker: Xoshiro256StarStar,
+}
+
+impl KeyedDebsSource {
+    /// `machines` independent generators over `channel` (0..3), all
+    /// derived from `seed`.
+    pub fn new(seed: u64, machines: usize, channel: usize) -> Self {
+        assert!(machines >= 1, "at least one machine");
+        assert!(channel < ENERGY_CHANNELS, "channel out of range");
+        KeyedDebsSource {
+            machines: (0..machines)
+                .map(|m| {
+                    DebsGenerator::new(seed.wrapping_add(0x9E37_79B9).wrapping_mul(m as u64 + 1))
+                })
+                .collect(),
+            channel,
+            picker: Xoshiro256StarStar::new(seed ^ 0x5EED_C0DE_0F1E_E7ED),
+        }
+    }
+
+    /// Number of machines (distinct keys).
+    pub fn machines(&self) -> usize {
+        self.machines.len()
+    }
+}
+
+impl KeyedSource for KeyedDebsSource {
+    fn next_tuple(&mut self) -> Option<(Key, f64)> {
+        let m = self.picker.gen_below(self.machines.len() as u64) as usize;
+        let ev = self.machines[m].next()?;
+        Some((m as Key, ev.energy[self.channel]))
+    }
+}
+
+/// An endless keyed stream where every key carries an independent
+/// characterised workload.
+#[derive(Debug, Clone)]
+pub struct KeyedWorkloadSource {
+    workload: Workload,
+    seed: u64,
+    buffers: Vec<Vec<f64>>,
+    positions: Vec<usize>,
+    chunks: Vec<usize>,
+    picker: Xoshiro256StarStar,
+}
+
+/// Values generated per key per refill.
+const WORKLOAD_CHUNK: usize = 4096;
+
+impl KeyedWorkloadSource {
+    /// `keys` independent `workload` streams derived from `seed`.
+    pub fn new(workload: Workload, seed: u64, keys: usize) -> Self {
+        assert!(keys >= 1, "at least one key");
+        KeyedWorkloadSource {
+            workload,
+            seed,
+            buffers: vec![Vec::new(); keys],
+            positions: vec![0; keys],
+            chunks: vec![0; keys],
+            picker: Xoshiro256StarStar::new(seed ^ 0xABCD_EF01_2345_6789),
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn keys(&self) -> usize {
+        self.buffers.len()
+    }
+
+    fn refill(&mut self, k: usize) {
+        let chunk = self.chunks[k];
+        let chunk_seed = self
+            .seed
+            .wrapping_mul(k as u64 + 1)
+            .wrapping_add(chunk as u64);
+        self.buffers[k] = self.workload.generate(WORKLOAD_CHUNK, chunk_seed);
+        if matches!(self.workload, Workload::Ascending | Workload::Descending) && chunk > 0 {
+            // Keep monotone workloads monotone across chunk boundaries.
+            let offset = (chunk * WORKLOAD_CHUNK) as f64;
+            for v in &mut self.buffers[k] {
+                match self.workload {
+                    Workload::Ascending => *v += offset,
+                    Workload::Descending => *v -= offset,
+                    _ => unreachable!(),
+                }
+            }
+        }
+        self.chunks[k] += 1;
+        self.positions[k] = 0;
+    }
+}
+
+impl KeyedSource for KeyedWorkloadSource {
+    fn next_tuple(&mut self) -> Option<(Key, f64)> {
+        let k = self.picker.gen_below(self.buffers.len() as u64) as usize;
+        if self.positions[k] == self.buffers[k].len() {
+            self.refill(k);
+        }
+        let v = self.buffers[k][self.positions[k]];
+        self.positions[k] += 1;
+        Some((k as Key, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Split a keyed stream into per-key value sequences.
+    fn per_key(tuples: &[(Key, f64)]) -> HashMap<Key, Vec<f64>> {
+        let mut map: HashMap<Key, Vec<f64>> = HashMap::new();
+        for &(k, v) in tuples {
+            map.entry(k).or_default().push(v);
+        }
+        map
+    }
+
+    #[test]
+    fn vec_source_replays_in_order() {
+        let mut s = KeyedVecSource::new(vec![(1, 1.0), (2, 2.0), (1, 3.0)]);
+        assert_eq!(s.remaining(), 3);
+        assert_eq!(s.next_tuple(), Some((1, 1.0)));
+        assert_eq!(s.take_tuples(5), vec![(2, 2.0), (1, 3.0)]);
+        assert_eq!(s.next_tuple(), None);
+    }
+
+    #[test]
+    fn debs_fleet_is_deterministic_and_covers_all_keys() {
+        let a = KeyedDebsSource::new(42, 4, 0).take_tuples(4000);
+        let b = KeyedDebsSource::new(42, 4, 0).take_tuples(4000);
+        assert_eq!(a, b);
+        let keys = per_key(&a);
+        assert_eq!(keys.len(), 4);
+        for (k, vals) in &keys {
+            assert!(vals.len() > 500, "key {k} starved: {}", vals.len());
+        }
+    }
+
+    #[test]
+    fn debs_fleet_keys_carry_independent_streams() {
+        let tuples = KeyedDebsSource::new(7, 3, 0).take_tuples(3000);
+        let keys = per_key(&tuples);
+        let v0 = &keys[&0];
+        let v1 = &keys[&1];
+        let n = v0.len().min(v1.len());
+        assert_ne!(&v0[..n], &v1[..n], "machines must differ");
+    }
+
+    #[test]
+    fn per_key_debs_stream_matches_standalone_generator() {
+        // The interleaving must not perturb per-key order: key k's values
+        // are exactly the prefix of machine k's standalone stream.
+        let seed = 42u64;
+        let tuples = KeyedDebsSource::new(seed, 3, 1).take_tuples(5000);
+        let keys = per_key(&tuples);
+        for m in 0..3u64 {
+            let standalone: Vec<f64> =
+                DebsGenerator::new(seed.wrapping_add(0x9E37_79B9).wrapping_mul(m + 1))
+                    .take(keys[&m].len())
+                    .map(|e| e.energy[1])
+                    .collect();
+            assert_eq!(keys[&m], standalone, "machine {m}");
+        }
+    }
+
+    #[test]
+    fn keyed_workload_keeps_ramps_monotone_per_key() {
+        let mut s = KeyedWorkloadSource::new(Workload::Ascending, 5, 3);
+        let tuples = s.take_tuples(20_000);
+        for (k, vals) in per_key(&tuples) {
+            assert!(
+                vals.windows(2).all(|w| w[0] < w[1]),
+                "key {k} must keep ascending"
+            );
+        }
+    }
+
+    #[test]
+    fn keyed_workload_is_deterministic() {
+        let a = KeyedWorkloadSource::new(Workload::Uniform, 9, 5).take_tuples(1000);
+        let b = KeyedWorkloadSource::new(Workload::Uniform, 9, 5).take_tuples(1000);
+        assert_eq!(a, b);
+    }
+}

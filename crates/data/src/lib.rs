@@ -7,13 +7,22 @@
 //! statistics (see DESIGN.md §3 for the substitution argument), [`csv`]
 //! persists/replays it, and [`synthetic`] provides the characterised
 //! workloads (uniform, ramps, sawtooth) the complexity analysis refers to.
+//!
+//! [`keyed`] lifts both families to keyed `(key, value)` streams for the
+//! sharded engine (`swag-engine`), and [`prng`] vendors the
+//! SplitMix64/xoshiro256** generators everything draws randomness from,
+//! keeping the workspace free of external dependencies.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod csv;
 pub mod debs;
+pub mod keyed;
+pub mod prng;
 pub mod synthetic;
 
 pub use debs::{energy_stream, generate, DebsEvent, DebsGenerator, DEBS_SAMPLE_HZ};
+pub use keyed::{Key, KeyedDebsSource, KeyedSource, KeyedVecSource, KeyedWorkloadSource};
+pub use prng::{mix64, SplitMix64, Xoshiro256StarStar};
 pub use synthetic::Workload;

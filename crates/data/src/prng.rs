@@ -1,0 +1,228 @@
+//! Vendored pseudo-random number generation: SplitMix64 and xoshiro256**.
+//!
+//! The workspace builds without crates.io access, so instead of depending
+//! on the `rand` crate the generators the datasets need are implemented
+//! here from the public-domain reference algorithms (Sebastiano Vigna,
+//! <https://prng.di.unimi.it/>): [`SplitMix64`] for seeding and hashing,
+//! [`Xoshiro256StarStar`] as the general-purpose stream generator. Both
+//! are deterministic across platforms, which the reproducibility story of
+//! the experiments (fixed seeds in EXPERIMENTS.md) depends on.
+
+/// SplitMix64: a tiny, fast, well-distributed 64-bit generator.
+///
+/// Used directly for short derived streams and as the seeding function
+/// for [`Xoshiro256StarStar`] (its intended role). Its output function is
+/// also a good 64-bit finalizer/hash, exposed as [`mix64`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Identical seeds yield identical
+    /// streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.state)
+    }
+}
+
+/// The SplitMix64 output function: a bijective 64-bit finalizer with good
+/// avalanche behaviour. The engine uses it to hash keys onto shards.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256**: the all-purpose generator of the xoshiro family.
+///
+/// 256 bits of state, period 2^256 − 1, passes BigCrush. Seeded through
+/// SplitMix64 so that any 64-bit seed (including 0) produces a
+/// well-mixed initial state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Create a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256StarStar {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// The next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// A uniform integer in `[0, n)` by Lemire's multiply-shift rejection
+    /// method (unbiased).
+    #[inline]
+    pub fn gen_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_below(0)");
+        let mut m = (self.next_u64() as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n; // 2^64 mod n
+            while lo < threshold {
+                m = (self.next_u64() as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniform integer in `[lo, hi)`.
+    #[inline]
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        lo + self.gen_below(hi - lo)
+    }
+
+    /// A uniform integer in `[lo, hi)` over `usize`.
+    #[inline]
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniform integer in `[lo, hi)` over `i64`.
+    #[inline]
+    pub fn gen_range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range");
+        lo.wrapping_add(self.gen_below(hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.next_f64() < p
+    }
+
+    /// A standard-normal sample via Box–Muller (one value per call; the
+    /// second root is discarded for simplicity).
+    pub fn next_normal(&mut self) -> f64 {
+        let u1 = self.gen_range_f64(1e-12, 1.0);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 1234567 from the public-domain C
+        // implementation.
+        let mut sm = SplitMix64::new(1234567);
+        let got: Vec<u64> = (0..3).map(|_| sm.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                6457827717110365317,
+                3203168211198807973,
+                9817491932198370423
+            ]
+        );
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut g = Xoshiro256StarStar::new(42);
+            (0..8).map(|_| g.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut g = Xoshiro256StarStar::new(42);
+            (0..8).map(|_| g.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut g = Xoshiro256StarStar::new(43);
+            (0..8).map(|_| g.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_with_plausible_mean() {
+        let mut g = Xoshiro256StarStar::new(7);
+        let vals: Vec<f64> = (0..100_000).map(|_| g.next_f64()).collect();
+        assert!(vals.iter().all(|&v| (0.0..1.0).contains(&v)));
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_below_is_in_range_and_roughly_uniform() {
+        let mut g = Xoshiro256StarStar::new(9);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[g.gen_below(10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_range_i64_covers_negative_ranges() {
+        let mut g = Xoshiro256StarStar::new(3);
+        for _ in 0..10_000 {
+            let v = g.gen_range_i64(-1000, 1000);
+            assert!((-1000..1000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_samples_have_unit_scale() {
+        let mut g = Xoshiro256StarStar::new(11);
+        let vals: Vec<f64> = (0..50_000).map(|_| g.next_normal()).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn mix64_is_bijective_on_samples() {
+        // Distinct inputs must map to distinct outputs (spot check).
+        let outs: std::collections::HashSet<u64> = (0..10_000u64).map(mix64).collect();
+        assert_eq!(outs.len(), 10_000);
+    }
+}

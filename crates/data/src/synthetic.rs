@@ -5,8 +5,7 @@
 //! the paper's probabilistic worst-case analysis), monotone ramps (the
 //! deque's best and worst cases), and sawtooths (periodic deque flushes).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::prng::Xoshiro256StarStar;
 
 /// The shape of a synthetic value stream.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,18 +35,14 @@ pub enum Workload {
 impl Workload {
     /// Generate `n` values with the given seed (deterministic).
     pub fn generate(&self, n: usize, seed: u64) -> Vec<f64> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256StarStar::new(seed);
         match *self {
-            Workload::Uniform => (0..n).map(|_| rng.gen::<f64>()).collect(),
+            Workload::Uniform => (0..n).map(|_| rng.next_f64()).collect(),
             Workload::RandomWalk { sigma } => {
                 let mut level = 0.0f64;
                 (0..n)
                     .map(|_| {
-                        // Box-Muller normal increment.
-                        let u1: f64 = rng.gen_range(1e-12..1.0);
-                        let u2: f64 = rng.gen::<f64>();
-                        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
-                        level += sigma * z;
+                        level += sigma * rng.next_normal();
                         level
                     })
                     .collect()

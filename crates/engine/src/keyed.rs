@@ -1,0 +1,216 @@
+//! Per-key window state: the processors a shard runs.
+//!
+//! A shard owns one [`ShardProcessor`]; the engine routes every tuple of a
+//! key to the same shard, so a processor sees each key's tuples in stream
+//! order and keeps one window (or one multi-ACQ plan executor) per key.
+//!
+//! * [`KeyedWindows`] — one [`FinalAggregator`] per key (any algorithm:
+//!   SlickDeque Inv/Non-Inv, TwoStacks, DABA, …), single query, slide 1.
+//! * [`KeyedPlans`] — one [`SharedPlanExecutor`] per key for multi-ACQ
+//!   shared plans; answers are tagged with the plan's query index.
+
+use std::collections::HashMap;
+use swag_core::aggregator::{FinalAggregator, MultiFinalAggregator};
+use swag_core::ops::AggregateOp;
+use swag_data::keyed::Key;
+use swag_stream::{SharedPlanExecutor, Sink};
+
+/// Per-key stream processing logic run inside one shard.
+///
+/// `process` receives the shard's tuples in arrival order (which, for any
+/// single key, is the key's stream order) and appends produced answers to
+/// `out`.
+pub trait ShardProcessor: Send {
+    /// The answer type delivered per key.
+    type Answer: Send;
+
+    /// Process one keyed tuple, appending `(key, answer)` pairs to `out`.
+    fn process(&mut self, key: Key, value: f64, out: &mut Vec<(Key, Self::Answer)>);
+
+    /// Number of distinct keys this processor has seen.
+    fn keys(&self) -> usize;
+}
+
+/// One single-query sliding window per key, slide 1: every tuple produces
+/// one lowered answer for its key.
+#[derive(Debug)]
+pub struct KeyedWindows<O, A>
+where
+    O: AggregateOp<Input = f64>,
+{
+    op: O,
+    window: usize,
+    states: HashMap<Key, A>,
+}
+
+impl<O, A> KeyedWindows<O, A>
+where
+    O: AggregateOp<Input = f64> + Clone,
+    A: FinalAggregator<O>,
+{
+    /// Windows of `window` tuples for every key, aggregated by `op`.
+    pub fn new(op: O, window: usize) -> Self {
+        assert!(window >= 1, "window must be positive");
+        KeyedWindows {
+            op,
+            window,
+            states: HashMap::new(),
+        }
+    }
+
+    /// The per-key window state, for inspection.
+    pub fn state(&self, key: Key) -> Option<&A> {
+        self.states.get(&key)
+    }
+}
+
+impl<O, A> ShardProcessor for KeyedWindows<O, A>
+where
+    O: AggregateOp<Input = f64, Output = f64> + Clone + Send,
+    O::Partial: Send,
+    A: FinalAggregator<O> + Send,
+{
+    type Answer = f64;
+
+    fn process(&mut self, key: Key, value: f64, out: &mut Vec<(Key, f64)>) {
+        let agg = self
+            .states
+            .entry(key)
+            .or_insert_with(|| A::with_capacity(self.op.clone(), self.window));
+        let partial = agg.slide(self.op.lift(&value));
+        out.push((key, self.op.lower(&partial)));
+    }
+
+    fn keys(&self) -> usize {
+        self.states.len()
+    }
+}
+
+/// Buffers `(query_idx, partial)` deliveries from a plan executor.
+struct VecSink<P>(Vec<(usize, P)>);
+
+impl<P> Sink<P> for VecSink<P> {
+    fn deliver(&mut self, query_idx: usize, answer: P) {
+        self.0.push((query_idx, answer));
+    }
+}
+
+/// One multi-ACQ [`SharedPlanExecutor`] per key.
+///
+/// Answers are `(query_idx, lowered_answer)` pairs: each key runs the full
+/// shared plan, reporting per registered query at that query's slide.
+pub struct KeyedPlans<O, M>
+where
+    O: AggregateOp<Input = f64> + Clone,
+    M: MultiFinalAggregator<O>,
+{
+    op: O,
+    plan: swag_plan::SharedPlan,
+    states: HashMap<Key, SharedPlanExecutor<O, M>>,
+}
+
+impl<O, M> KeyedPlans<O, M>
+where
+    O: AggregateOp<Input = f64> + Clone,
+    M: MultiFinalAggregator<O>,
+{
+    /// The given uniform shared plan for every key. Panics (as
+    /// [`SharedPlanExecutor::new`] does) if the plan has punctuation edges
+    /// or non-uniform partial counts.
+    pub fn new(op: O, plan: swag_plan::SharedPlan) -> Self {
+        // Validate the plan once, eagerly, instead of on first tuple.
+        let _ = SharedPlanExecutor::<O, M>::new(op.clone(), plan.clone());
+        KeyedPlans {
+            op,
+            plan,
+            states: HashMap::new(),
+        }
+    }
+}
+
+impl<O, M> ShardProcessor for KeyedPlans<O, M>
+where
+    O: AggregateOp<Input = f64, Output = f64> + Clone + Send,
+    O::Partial: Send,
+    M: MultiFinalAggregator<O> + Send,
+{
+    type Answer = (usize, f64);
+
+    fn process(&mut self, key: Key, value: f64, out: &mut Vec<(Key, (usize, f64))>) {
+        let exec = self
+            .states
+            .entry(key)
+            .or_insert_with(|| SharedPlanExecutor::new(self.op.clone(), self.plan.clone()));
+        let mut sink = VecSink(Vec::new());
+        exec.push(value, &mut sink);
+        for (qi, partial) in sink.0 {
+            out.push((key, (qi, self.op.lower(&partial))));
+        }
+    }
+
+    fn keys(&self) -> usize {
+        self.states.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swag_core::algorithms::{SlickDequeInv, SlickDequeNonInv};
+    use swag_core::multi::MultiSlickDequeInv;
+    use swag_core::ops::{MaxF64, Sum};
+    use swag_plan::{Pat, Query, SharedPlan};
+
+    #[test]
+    fn keyed_windows_isolate_keys() {
+        let mut kw: KeyedWindows<_, SlickDequeInv<_>> = KeyedWindows::new(Sum::<f64>::new(), 2);
+        let mut out = Vec::new();
+        kw.process(1, 10.0, &mut out);
+        kw.process(2, 100.0, &mut out);
+        kw.process(1, 1.0, &mut out);
+        kw.process(1, 2.0, &mut out); // 10.0 expires from key 1's window
+        assert_eq!(out, vec![(1, 10.0), (2, 100.0), (1, 11.0), (1, 3.0)]);
+        assert_eq!(kw.keys(), 2);
+    }
+
+    #[test]
+    fn keyed_windows_max_uses_monotone_deque() {
+        let mut kw: KeyedWindows<_, SlickDequeNonInv<_>> = KeyedWindows::new(MaxF64::new(), 3);
+        let mut out = Vec::new();
+        for (k, v) in [(5, 1.0), (5, 9.0), (5, 2.0), (5, 0.5)] {
+            kw.process(k, v, &mut out);
+        }
+        let answers: Vec<f64> = out.iter().map(|&(_, a)| a).collect();
+        assert_eq!(answers, vec![1.0, 9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn keyed_plans_match_unkeyed_executor_per_key() {
+        let plan = SharedPlan::build(&[Query::new(6, 2), Query::new(8, 4)], Pat::Pairs);
+        let op = Sum::<f64>::new();
+        let mut kp: KeyedPlans<_, MultiSlickDequeInv<_>> = KeyedPlans::new(op, plan.clone());
+
+        let stream: Vec<f64> = (0..32).map(|i| ((i * 13) % 17) as f64).collect();
+        // Interleave two keys with the same per-key values.
+        let mut out = Vec::new();
+        for &v in &stream {
+            kp.process(7, v, &mut out);
+            kp.process(8, v, &mut out);
+        }
+
+        // Reference: one unkeyed executor over the same values.
+        let mut reference = SharedPlanExecutor::<_, MultiSlickDequeInv<_>>::new(op, plan);
+        let mut expected = VecSink(Vec::new());
+        for &v in &stream {
+            reference.push(v, &mut expected);
+        }
+        for key in [7u64, 8] {
+            let got: Vec<(usize, f64)> = out
+                .iter()
+                .filter(|&&(k, _)| k == key)
+                .map(|&(_, a)| a)
+                .collect();
+            assert_eq!(got, expected.0, "key {key}");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # swag-engine — sharded, keyed, multi-threaded window aggregation
+//!
+//! Scales the single-stream SlickDeque platform to keyed streams and
+//! multiple cores: a router hash-partitions `(key, value)` tuples across N
+//! worker threads over bounded channels ([`shard`]), each worker runs
+//! per-key window state — any [`FinalAggregator`] algorithm, or a full
+//! multi-ACQ shared plan per key ([`keyed`]) — and per-shard statistics
+//! merge into an [`EngineStats`] report ([`stats`]).
+//!
+//! Determinism: a single router preserves source order and a key lives on
+//! exactly one shard, so per-key answers are identical for every shard
+//! count.
+//!
+//! ```
+//! use swag_core::algorithms::SlickDequeInv;
+//! use swag_core::ops::Sum;
+//! use swag_data::keyed::KeyedVecSource;
+//! use swag_engine::{EngineConfig, KeyedWindows, ShardedEngine};
+//!
+//! let engine = ShardedEngine::new(EngineConfig {
+//!     shards: 2,
+//!     retain_answers: true,
+//!     ..EngineConfig::default()
+//! });
+//! let mut source = KeyedVecSource::new(vec![(1, 2.0), (2, 5.0), (1, 3.0)]);
+//! let run = engine.run(&mut source, u64::MAX, |_shard| {
+//!     KeyedWindows::<_, SlickDequeInv<_>>::new(Sum::<f64>::new(), 2)
+//! });
+//! assert_eq!(run.stats.tuples, 3);
+//! let mut answers: Vec<_> = run.answers.into_iter().flatten().collect();
+//! answers.sort_by(|a, b| a.partial_cmp(b).unwrap());
+//! assert_eq!(answers, vec![(1, 2.0), (1, 5.0), (2, 5.0)]);
+//! ```
+//!
+//! [`FinalAggregator`]: swag_core::aggregator::FinalAggregator
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod keyed;
+pub mod shard;
+pub mod stats;
+
+pub use keyed::{KeyedPlans, KeyedWindows, ShardProcessor};
+pub use shard::{shard_of, EngineConfig, EngineRun, ShardedEngine};
+pub use stats::{EngineStats, ShardStats};

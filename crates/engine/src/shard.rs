@@ -1,0 +1,348 @@
+//! The sharded engine: hash-partitioned, multi-threaded keyed execution.
+//!
+//! One router (the calling thread) pulls `(key, value)` tuples from a
+//! [`KeyedSource`] and hash-partitions them across `shards` worker threads
+//! over bounded channels. Tuples are batched to amortise channel overhead;
+//! a full channel blocks the router (backpressure), so a slow shard slows
+//! admission instead of growing memory without bound. Each worker owns one
+//! [`ShardProcessor`] holding the per-key window state for every key routed
+//! to it.
+//!
+//! Shutdown is graceful by construction: when the source runs dry (or the
+//! tuple limit is reached) the router flushes its partial batches and drops
+//! the senders; each worker drains its queue to completion and returns its
+//! [`ShardStats`].
+//!
+//! Because a single router preserves source order and a key maps to exactly
+//! one shard, every key's tuples are processed in stream order — per-key
+//! answers are identical for any shard count.
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::time::Instant;
+
+use swag_data::keyed::{Key, KeyedSource};
+use swag_data::prng::mix64;
+use swag_metrics::QueueDepthGauge;
+
+use crate::keyed::ShardProcessor;
+use crate::stats::{EngineStats, ShardStats};
+
+/// Tuning knobs for a sharded run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker thread count (≥ 1). Keys are assigned by `mix64(key) % shards`.
+    pub shards: usize,
+    /// Bounded channel capacity per shard, in batches. The router blocks
+    /// when a shard's queue is full — this is the backpressure bound.
+    pub queue_capacity: usize,
+    /// Tuples per channel message. Larger batches amortise channel
+    /// synchronisation; smaller ones tighten the backpressure loop.
+    pub batch: usize,
+    /// Keep every `(key, answer)` pair a shard produces (for tests and
+    /// result inspection). Leave off for throughput runs: answers are
+    /// counted but not stored.
+    pub retain_answers: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            shards: 2,
+            queue_capacity: 64,
+            batch: 256,
+            retain_answers: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config with the given shard count and default queue/batch sizes.
+    pub fn with_shards(shards: usize) -> Self {
+        EngineConfig {
+            shards,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// The outcome of [`ShardedEngine::run`].
+#[derive(Debug)]
+pub struct EngineRun<A> {
+    /// Merged run statistics.
+    pub stats: EngineStats,
+    /// Retained answers, one `Vec` per shard in that shard's processing
+    /// order (per-key order equals stream order). Empty unless
+    /// [`EngineConfig::retain_answers`] was set.
+    pub answers: Vec<Vec<(Key, A)>>,
+}
+
+/// The sharded keyed execution engine.
+///
+/// Construct with a config, then [`run`](Self::run) it over a keyed source
+/// with a factory producing one [`ShardProcessor`] per shard.
+#[derive(Debug, Clone)]
+pub struct ShardedEngine {
+    config: EngineConfig,
+}
+
+/// The shard a key is routed to under `shards` workers: stable for a given
+/// key and shard count, scrambled by [`mix64`] so sequential keys spread.
+pub fn shard_of(key: Key, shards: usize) -> usize {
+    debug_assert!(shards >= 1);
+    (mix64(key) % shards as u64) as usize
+}
+
+impl ShardedEngine {
+    /// An engine with the given configuration. Panics on zero shards,
+    /// queue capacity, or batch size.
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(config.shards >= 1, "at least one shard is required");
+        assert!(
+            config.queue_capacity >= 1,
+            "queue capacity must be positive"
+        );
+        assert!(config.batch >= 1, "batch size must be positive");
+        ShardedEngine { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Route up to `limit` tuples from `source` across the shards, running
+    /// `make_processor(shard)` on each worker. Returns when the source is
+    /// exhausted (or the limit reached) and every worker has drained.
+    pub fn run<S, P, F>(
+        &self,
+        source: &mut S,
+        limit: u64,
+        make_processor: F,
+    ) -> EngineRun<P::Answer>
+    where
+        S: KeyedSource + ?Sized,
+        P: ShardProcessor,
+        F: Fn(usize) -> P + Send + Sync,
+    {
+        let shards = self.config.shards;
+        let retain = self.config.retain_answers;
+        let started = Instant::now();
+
+        let mut senders: Vec<SyncSender<Vec<(Key, f64)>>> = Vec::with_capacity(shards);
+        let mut inboxes: Vec<Receiver<Vec<(Key, f64)>>> = Vec::with_capacity(shards);
+        let mut gauges: Vec<QueueDepthGauge> = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = sync_channel(self.config.queue_capacity);
+            senders.push(tx);
+            inboxes.push(rx);
+            gauges.push(QueueDepthGauge::new());
+        }
+
+        let make_processor = &make_processor;
+        let (shard_stats, answers) = std::thread::scope(|scope| {
+            let handles: Vec<_> = inboxes
+                .into_iter()
+                .enumerate()
+                .map(|(shard, inbox)| {
+                    let gauge = gauges[shard].clone();
+                    scope.spawn(move || {
+                        shard_worker(shard, inbox, gauge, make_processor(shard), retain)
+                    })
+                })
+                .collect();
+
+            // The router: batch tuples per shard, block on full queues.
+            let mut batches: Vec<Vec<(Key, f64)>> = (0..shards)
+                .map(|_| Vec::with_capacity(self.config.batch))
+                .collect();
+            let mut routed = 0u64;
+            while routed < limit {
+                let Some((key, value)) = source.next_tuple() else {
+                    break;
+                };
+                let shard = shard_of(key, shards);
+                batches[shard].push((key, value));
+                routed += 1;
+                if batches[shard].len() == self.config.batch {
+                    let batch = std::mem::replace(
+                        &mut batches[shard],
+                        Vec::with_capacity(self.config.batch),
+                    );
+                    gauges[shard].enqueued_n(batch.len() as u64);
+                    senders[shard]
+                        .send(batch)
+                        .expect("shard worker exited before drain");
+                }
+            }
+            for (shard, batch) in batches.into_iter().enumerate() {
+                if !batch.is_empty() {
+                    gauges[shard].enqueued_n(batch.len() as u64);
+                    senders[shard]
+                        .send(batch)
+                        .expect("shard worker exited before drain");
+                }
+            }
+            // Dropping the senders signals end-of-stream; workers drain
+            // their queues and return.
+            drop(senders);
+
+            let mut shard_stats = Vec::with_capacity(shards);
+            let mut answers = Vec::with_capacity(shards);
+            for handle in handles {
+                let (stats, shard_answers) = handle.join().expect("shard worker panicked");
+                shard_stats.push(stats);
+                answers.push(shard_answers);
+            }
+            (shard_stats, answers)
+        });
+
+        EngineRun {
+            stats: EngineStats::merge(shard_stats, started.elapsed()),
+            answers,
+        }
+    }
+}
+
+/// One worker's loop: drain batches until the channel closes.
+fn shard_worker<P: ShardProcessor>(
+    shard: usize,
+    inbox: Receiver<Vec<(Key, f64)>>,
+    gauge: QueueDepthGauge,
+    mut processor: P,
+    retain: bool,
+) -> (ShardStats, Vec<(Key, P::Answer)>) {
+    let started = Instant::now();
+    let mut tuples = 0u64;
+    let mut answers = 0u64;
+    let mut retained = Vec::new();
+    let mut scratch = Vec::new();
+    while let Ok(batch) = inbox.recv() {
+        gauge.dequeued_n(batch.len() as u64);
+        for (key, value) in batch {
+            processor.process(key, value, &mut scratch);
+            tuples += 1;
+        }
+        answers += scratch.len() as u64;
+        if retain {
+            retained.append(&mut scratch);
+        } else {
+            scratch.clear();
+        }
+    }
+    let stats = ShardStats {
+        shard,
+        tuples,
+        answers,
+        keys: processor.keys(),
+        max_queue_depth: gauge.max_depth(),
+        elapsed: started.elapsed(),
+    };
+    (stats, retained)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keyed::KeyedWindows;
+    use std::collections::HashMap;
+    use swag_core::algorithms::SlickDequeInv;
+    use swag_core::ops::Sum;
+    use swag_data::keyed::KeyedVecSource;
+
+    fn tuples(n: u64, keys: u64) -> Vec<(Key, f64)> {
+        (0..n).map(|i| (i % keys, (i % 13) as f64)).collect()
+    }
+
+    fn run_with(shards: usize, input: &[(Key, f64)]) -> Vec<(Key, f64)> {
+        let engine = ShardedEngine::new(EngineConfig {
+            shards,
+            queue_capacity: 4,
+            batch: 8,
+            retain_answers: true,
+        });
+        let mut source = KeyedVecSource::new(input.to_vec());
+        let run = engine.run(&mut source, u64::MAX, |_| {
+            KeyedWindows::<_, SlickDequeInv<_>>::new(Sum::<f64>::new(), 16)
+        });
+        assert_eq!(run.stats.tuples, input.len() as u64);
+        assert_eq!(run.stats.answers, input.len() as u64);
+        run.answers.into_iter().flatten().collect()
+    }
+
+    fn per_key(answers: &[(Key, f64)]) -> HashMap<Key, Vec<f64>> {
+        let mut by_key: HashMap<Key, Vec<f64>> = HashMap::new();
+        for &(k, a) in answers {
+            by_key.entry(k).or_default().push(a);
+        }
+        by_key
+    }
+
+    #[test]
+    fn sharded_answers_match_single_shard_per_key() {
+        let input = tuples(5000, 37);
+        let reference = per_key(&run_with(1, &input));
+        for shards in [2, 3, 8] {
+            assert_eq!(
+                per_key(&run_with(shards, &input)),
+                reference,
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn keys_never_span_shards() {
+        let input = tuples(2000, 10);
+        let engine = ShardedEngine::new(EngineConfig {
+            shards: 4,
+            queue_capacity: 2,
+            batch: 16,
+            retain_answers: true,
+        });
+        let mut source = KeyedVecSource::new(input);
+        let run = engine.run(&mut source, u64::MAX, |_| {
+            KeyedWindows::<_, SlickDequeInv<_>>::new(Sum::<f64>::new(), 4)
+        });
+        for (shard, answers) in run.answers.iter().enumerate() {
+            for &(key, _) in answers {
+                assert_eq!(shard_of(key, 4), shard);
+            }
+        }
+        assert_eq!(run.stats.keys(), 10);
+    }
+
+    #[test]
+    fn limit_caps_routed_tuples() {
+        let input = tuples(1000, 5);
+        let engine = ShardedEngine::new(EngineConfig::with_shards(2));
+        let mut source = KeyedVecSource::new(input);
+        let run = engine.run(&mut source, 300, |_| {
+            KeyedWindows::<_, SlickDequeInv<_>>::new(Sum::<f64>::new(), 8)
+        });
+        assert_eq!(run.stats.tuples, 300);
+        assert!(
+            run.answers.iter().all(|a| a.is_empty()),
+            "answers not retained"
+        );
+    }
+
+    #[test]
+    fn queue_depth_watermark_is_observed() {
+        let input = tuples(4096, 3);
+        let engine = ShardedEngine::new(EngineConfig {
+            shards: 1,
+            queue_capacity: 2,
+            batch: 32,
+            retain_answers: false,
+        });
+        let mut source = KeyedVecSource::new(input);
+        let run = engine.run(&mut source, u64::MAX, |_| {
+            KeyedWindows::<_, SlickDequeInv<_>>::new(Sum::<f64>::new(), 64)
+        });
+        let depth = run.stats.max_queue_depth();
+        assert!(
+            depth >= 32,
+            "at least one full batch was queued, saw {depth}"
+        );
+    }
+}

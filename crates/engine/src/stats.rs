@@ -1,0 +1,154 @@
+//! Per-shard and whole-engine run statistics.
+
+use std::time::Duration;
+use swag_metrics::json::{Json, ToJson};
+
+/// What one shard worker did during a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// Keyed tuples this shard processed.
+    pub tuples: u64,
+    /// Answers its per-key windows produced.
+    pub answers: u64,
+    /// Distinct keys routed to this shard.
+    pub keys: usize,
+    /// Deepest inbound-queue occupancy observed, in tuples — the
+    /// backpressure signal (a shard pinned near the channel capacity is
+    /// the bottleneck).
+    pub max_queue_depth: u64,
+    /// Wall-clock time from worker start until it drained its queue.
+    pub elapsed: Duration,
+}
+
+impl ToJson for ShardStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("shard", Json::UInt(self.shard as u64)),
+            ("tuples", Json::UInt(self.tuples)),
+            ("answers", Json::UInt(self.answers)),
+            ("keys", Json::UInt(self.keys as u64)),
+            ("max_queue_depth", Json::UInt(self.max_queue_depth)),
+            ("elapsed_secs", Json::Num(self.elapsed.as_secs_f64())),
+        ])
+    }
+}
+
+/// Merged statistics for a whole engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStats {
+    /// Worker count the run used.
+    pub shards: Vec<ShardStats>,
+    /// Total keyed tuples routed.
+    pub tuples: u64,
+    /// Total answers produced across shards.
+    pub answers: u64,
+    /// Wall-clock duration of the run (routing start to last worker
+    /// drained).
+    pub elapsed: Duration,
+}
+
+impl EngineStats {
+    /// Merge per-shard reports under the run's wall-clock time.
+    pub fn merge(shards: Vec<ShardStats>, elapsed: Duration) -> Self {
+        let tuples = shards.iter().map(|s| s.tuples).sum();
+        let answers = shards.iter().map(|s| s.answers).sum();
+        EngineStats {
+            shards,
+            tuples,
+            answers,
+            elapsed,
+        }
+    }
+
+    /// End-to-end keyed tuples per second.
+    pub fn tuples_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.tuples as f64 / secs
+        }
+    }
+
+    /// Distinct keys across all shards (keys never span shards).
+    pub fn keys(&self) -> usize {
+        self.shards.iter().map(|s| s.keys).sum()
+    }
+
+    /// Largest per-shard queue watermark — how close the engine came to
+    /// full backpressure.
+    pub fn max_queue_depth(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.max_queue_depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Tuple imbalance: the busiest shard's share relative to a perfectly
+    /// even split (1.0 = perfectly balanced).
+    pub fn skew(&self) -> f64 {
+        if self.tuples == 0 || self.shards.is_empty() {
+            return 1.0;
+        }
+        let busiest = self.shards.iter().map(|s| s.tuples).max().unwrap_or(0);
+        busiest as f64 * self.shards.len() as f64 / self.tuples as f64
+    }
+}
+
+impl ToJson for EngineStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("tuples", Json::UInt(self.tuples)),
+            ("answers", Json::UInt(self.answers)),
+            ("keys", Json::UInt(self.keys() as u64)),
+            ("elapsed_secs", Json::Num(self.elapsed.as_secs_f64())),
+            ("tuples_per_sec", Json::Num(self.tuples_per_sec())),
+            ("max_queue_depth", Json::UInt(self.max_queue_depth())),
+            ("skew", Json::Num(self.skew())),
+            ("shards", Json::arr(self.shards.iter(), |s| s.to_json())),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(i: usize, tuples: u64, answers: u64, keys: usize, depth: u64) -> ShardStats {
+        ShardStats {
+            shard: i,
+            tuples,
+            answers,
+            keys,
+            max_queue_depth: depth,
+            elapsed: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn merge_sums_and_computes_rates() {
+        let stats = EngineStats::merge(
+            vec![shard(0, 600, 600, 3, 10), shard(1, 400, 400, 2, 40)],
+            Duration::from_secs(2),
+        );
+        assert_eq!(stats.tuples, 1000);
+        assert_eq!(stats.answers, 1000);
+        assert_eq!(stats.keys(), 5);
+        assert_eq!(stats.max_queue_depth(), 40);
+        assert!((stats.tuples_per_sec() - 500.0).abs() < 1e-9);
+        // Busiest shard has 600 of 1000 over 2 shards → skew 1.2.
+        assert!((stats.skew() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_render_as_json() {
+        let stats = EngineStats::merge(vec![shard(0, 1, 2, 1, 3)], Duration::from_secs(1));
+        let text = stats.to_json().pretty();
+        assert!(text.contains("\"tuples\": 1"));
+        assert!(text.contains("\"max_queue_depth\": 3"));
+        assert!(text.contains("\"shards\": ["));
+    }
+}

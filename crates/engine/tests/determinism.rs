@@ -1,0 +1,117 @@
+//! Sharding must not change answers: for every supported operator, the
+//! per-key answer sequences of a sharded run are bit-identical to a
+//! single-threaded (1-shard) reference, for any shard count.
+//!
+//! This is the engine's core correctness claim (see `shard.rs`): one
+//! router preserves source order, and a key maps to exactly one shard, so
+//! each key's window state sees its tuples in stream order no matter how
+//! many workers exist. Floating-point answers are compared exactly — the
+//! per-key operation sequence is identical, so even non-associative
+//! rounding must reproduce.
+
+use std::collections::BTreeMap;
+use swag_core::aggregator::FinalAggregator;
+use swag_core::algorithms::{SlickDequeInv, SlickDequeNonInv};
+use swag_core::ops::{AggregateOp, MaxF64, Mean, MinF64, StdDev, Sum};
+use swag_data::keyed::{Key, KeyedVecSource};
+use swag_data::prng::Xoshiro256StarStar;
+use swag_engine::{EngineConfig, KeyedWindows, ShardedEngine};
+
+const WINDOW: usize = 32;
+const TUPLES: u64 = 6000;
+const KEYS: u64 = 41;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// A keyed stream with skewed key frequencies and varied values, so shards
+/// receive unequal load and windows cross many expiry boundaries.
+fn keyed_stream() -> Vec<(Key, f64)> {
+    let mut rng = Xoshiro256StarStar::new(0xD15C0);
+    (0..TUPLES)
+        .map(|_| {
+            // Quadratic skew: low keys appear far more often.
+            let r = rng.next_f64();
+            let key = ((r * r) * KEYS as f64) as Key;
+            (key.min(KEYS - 1), rng.gen_range_f64(-100.0, 100.0))
+        })
+        .collect()
+}
+
+/// Per-key answer sequences from one sharded run.
+fn per_key_answers<O, A>(op: O, shards: usize, input: &[(Key, f64)]) -> BTreeMap<Key, Vec<f64>>
+where
+    O: AggregateOp<Input = f64, Output = f64> + Clone + Send + Sync,
+    O::Partial: Send,
+    A: FinalAggregator<O> + Send,
+{
+    let engine = ShardedEngine::new(EngineConfig {
+        shards,
+        queue_capacity: 4,
+        batch: 64,
+        retain_answers: true,
+    });
+    let mut source = KeyedVecSource::new(input.to_vec());
+    let run = engine.run(&mut source, u64::MAX, |_| {
+        KeyedWindows::<O, A>::new(op.clone(), WINDOW)
+    });
+    assert_eq!(run.stats.tuples, input.len() as u64, "{shards} shards");
+    assert_eq!(run.stats.answers, input.len() as u64, "{shards} shards");
+    let mut by_key: BTreeMap<Key, Vec<f64>> = BTreeMap::new();
+    for (key, answer) in run.answers.into_iter().flatten() {
+        by_key.entry(key).or_default().push(answer);
+    }
+    by_key
+}
+
+fn assert_shard_count_invariant<O, A>(op: O, name: &str)
+where
+    O: AggregateOp<Input = f64, Output = f64> + Clone + Send + Sync,
+    O::Partial: Send,
+    A: FinalAggregator<O> + Send,
+{
+    let input = keyed_stream();
+    let reference = per_key_answers::<O, A>(op.clone(), SHARD_COUNTS[0], &input);
+    assert_eq!(reference.len() as u64, KEYS, "{name}: all keys observed");
+    for &shards in &SHARD_COUNTS[1..] {
+        let got = per_key_answers::<O, A>(op.clone(), shards, &input);
+        assert_eq!(got.len(), reference.len(), "{name} @ {shards} shards");
+        for (key, expect) in &reference {
+            let answers = &got[key];
+            assert_eq!(
+                answers.len(),
+                expect.len(),
+                "{name} key {key} @ {shards} shards"
+            );
+            for (i, (a, e)) in answers.iter().zip(expect).enumerate() {
+                assert!(
+                    a == e || (a.is_nan() && e.is_nan()),
+                    "{name} key {key} answer {i} @ {shards} shards: {a} vs {e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sum_is_shard_count_invariant() {
+    assert_shard_count_invariant::<_, SlickDequeInv<_>>(Sum::<f64>::new(), "sum");
+}
+
+#[test]
+fn mean_is_shard_count_invariant() {
+    assert_shard_count_invariant::<_, SlickDequeInv<_>>(Mean::new(), "mean");
+}
+
+#[test]
+fn stddev_is_shard_count_invariant() {
+    assert_shard_count_invariant::<_, SlickDequeInv<_>>(StdDev::new(), "stddev");
+}
+
+#[test]
+fn max_is_shard_count_invariant() {
+    assert_shard_count_invariant::<_, SlickDequeNonInv<_>>(MaxF64::new(), "max");
+}
+
+#[test]
+fn min_is_shard_count_invariant() {
+    assert_shard_count_invariant::<_, SlickDequeNonInv<_>>(MinF64::new(), "min");
+}

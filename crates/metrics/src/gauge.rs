@@ -1,0 +1,127 @@
+//! Queue-depth instrumentation for the sharded engine.
+//!
+//! Each shard's inbound channel carries a [`QueueDepthGauge`]: the router
+//! increments it on every send, the worker decrements on every receive,
+//! and a high-watermark records the deepest occupancy seen. The engine
+//! reports the watermark per shard in its `EngineStats`, which is how
+//! backpressure (a shard pinned at its channel capacity) becomes visible
+//! without any sampling thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared occupancy counter with a high-watermark.
+///
+/// Cloning shares the underlying counters (it is an `Arc` internally), so
+/// the producer and consumer sides observe one gauge.
+#[derive(Debug, Clone, Default)]
+pub struct QueueDepthGauge {
+    inner: Arc<GaugeInner>,
+}
+
+#[derive(Debug, Default)]
+struct GaugeInner {
+    depth: AtomicU64,
+    max_depth: AtomicU64,
+}
+
+impl QueueDepthGauge {
+    /// Create a gauge at depth 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one item entering the queue.
+    #[inline]
+    pub fn enqueued(&self) {
+        let now = self.inner.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner.max_depth.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Record one item leaving the queue.
+    #[inline]
+    pub fn dequeued(&self) {
+        self.inner.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` items entering the queue at once (batched sends).
+    #[inline]
+    pub fn enqueued_n(&self, n: u64) {
+        let now = self.inner.depth.fetch_add(n, Ordering::Relaxed) + n;
+        self.inner.max_depth.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Record `n` items leaving the queue at once (batched receives).
+    #[inline]
+    pub fn dequeued_n(&self, n: u64) {
+        self.inner.depth.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current occupancy.
+    pub fn depth(&self) -> u64 {
+        self.inner.depth.load(Ordering::Relaxed)
+    }
+
+    /// The deepest occupancy observed so far.
+    pub fn max_depth(&self) -> u64 {
+        self.inner.max_depth.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_depth_and_watermark() {
+        let g = QueueDepthGauge::new();
+        g.enqueued();
+        g.enqueued();
+        g.enqueued();
+        g.dequeued();
+        assert_eq!(g.depth(), 2);
+        assert_eq!(g.max_depth(), 3);
+        g.enqueued();
+        g.enqueued();
+        assert_eq!(g.max_depth(), 4);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let g = QueueDepthGauge::new();
+        let h = g.clone();
+        g.enqueued();
+        h.enqueued();
+        assert_eq!(g.depth(), 2);
+        assert_eq!(h.max_depth(), 2);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumer_balance_out() {
+        let g = QueueDepthGauge::new();
+        let producers: Vec<_> = (0..4)
+            .map(|_| {
+                let g = g.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        g.enqueued();
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let consumer = {
+            let g = g.clone();
+            std::thread::spawn(move || {
+                for _ in 0..4000 {
+                    g.dequeued();
+                }
+            })
+        };
+        consumer.join().unwrap();
+        assert_eq!(g.depth(), 0);
+        assert!(g.max_depth() >= 1000);
+    }
+}

@@ -1,0 +1,188 @@
+//! A minimal JSON document builder and pretty-printer.
+//!
+//! The workspace builds without crates.io access, so the result dumps the
+//! bench harness writes under `results/` are produced by this ~100-line
+//! substitute for `serde_json`: a [`Json`] value tree plus a stable
+//! 2-space pretty printer. Only what the reports need is implemented —
+//! objects keep insertion order, numbers render like Rust's `Display`
+//! (with `null` standing in for non-finite floats, as in `serde_json`).
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (renders without a decimal point).
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float; non-finite values render as `null`.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Build an array by mapping `items`.
+    pub fn arr<T>(items: impl IntoIterator<Item = T>, f: impl Fn(T) -> Json) -> Json {
+        Json::Arr(items.into_iter().map(f).collect())
+    }
+
+    /// Render with 2-space indentation and a trailing newline, matching
+    /// the shape `serde_json::to_string_pretty` produced for the existing
+    /// files under `results/`.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Types that can render themselves as a [`Json`] value.
+pub trait ToJson {
+    /// The JSON representation.
+    fn to_json(&self) -> Json;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.pretty(), "null");
+        assert_eq!(Json::Bool(true).pretty(), "true");
+        assert_eq!(Json::Int(-3).pretty(), "-3");
+        assert_eq!(
+            Json::UInt(18446744073709551615).pretty(),
+            "18446744073709551615"
+        );
+        assert_eq!(Json::Num(1.5).pretty(), "1.5");
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null");
+        assert_eq!(Json::str("a\"b\\c\n").pretty(), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn nested_structure_pretty_prints() {
+        let doc = Json::obj(vec![
+            ("id", Json::str("exp")),
+            ("rows", Json::arr(vec![1u64, 2], Json::UInt)),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        assert_eq!(
+            doc.pretty(),
+            "{\n  \"id\": \"exp\",\n  \"rows\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}"
+        );
+    }
+
+    #[test]
+    fn floats_keep_precision() {
+        // `{x:?}` prints the shortest representation that round-trips.
+        assert_eq!(Json::Num(0.1).pretty(), "0.1");
+        assert_eq!(Json::Num(1.0).pretty(), "1.0");
+        assert_eq!(Json::Num(1e300).pretty(), "1e300");
+    }
+}

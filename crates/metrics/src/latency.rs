@@ -81,7 +81,7 @@ impl LatencyRecorder {
 }
 
 /// The six statistics of Fig. 14, in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LatencySummary {
     /// Number of samples the summary covers (after outlier dropping).
     pub count: usize,
@@ -97,6 +97,21 @@ pub struct LatencySummary {
     pub p75: u64,
     /// Largest sample (the "latency spike" statistic).
     pub max: u64,
+}
+
+impl crate::json::ToJson for LatencySummary {
+    fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        Json::obj(vec![
+            ("count", Json::UInt(self.count as u64)),
+            ("min", Json::UInt(self.min)),
+            ("p25", Json::UInt(self.p25)),
+            ("median", Json::UInt(self.median)),
+            ("mean", Json::Num(self.mean)),
+            ("p75", Json::UInt(self.p75)),
+            ("max", Json::UInt(self.max)),
+        ])
+    }
 }
 
 impl LatencySummary {

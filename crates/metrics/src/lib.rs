@@ -1,17 +1,23 @@
 //! # swag-metrics — instrumentation for the SWAG experiment platform
 //!
 //! Latency recording with the paper's Exp 3 statistics ([`latency`]),
-//! throughput meters for Exp 1/2 ([`throughput`]), and a counting global
+//! throughput meters for Exp 1/2 ([`throughput`]), a counting global
 //! allocator standing in for the paper's RSS measurement in Exp 4
-//! ([`alloc`]). Aggregate-operation counting (Table 1) lives with the ops
+//! ([`alloc`]), queue-depth gauges for the sharded engine ([`gauge`]),
+//! and the dependency-free JSON writer behind every `results/` dump
+//! ([`json`]). Aggregate-operation counting (Table 1) lives with the ops
 //! themselves in `swag_core::ops::CountingOp`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod alloc;
+pub mod gauge;
+pub mod json;
 pub mod latency;
 pub mod throughput;
 
+pub use gauge::QueueDepthGauge;
+pub use json::{Json, ToJson};
 pub use latency::{LatencyRecorder, LatencySummary};
 pub use throughput::{Throughput, ThroughputMeter};

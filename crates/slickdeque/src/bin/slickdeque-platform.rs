@@ -5,7 +5,19 @@
 //! echo "1 2 3" | tr ' ' '\n' | slickdeque-platform --op sum --queries 2:1 --source stdin --emit
 //! ```
 
-use slickdeque::cli::{read_stdin_values, run, CliConfig, SourceChoice};
+use slickdeque::cli::{read_stdin_values, run, run_keyed, CliConfig, QuerySummary, SourceChoice};
+
+fn print_summaries(summaries: &[QuerySummary]) {
+    eprintln!("query            answers   last answer");
+    for s in summaries {
+        eprintln!(
+            "{:<16} {:>7}   {}",
+            s.query.to_string(),
+            s.answers,
+            s.last_answer
+        );
+    }
+}
 
 fn main() {
     let cfg = match CliConfig::parse(std::env::args().skip(1)) {
@@ -17,11 +29,35 @@ fn main() {
                  --queries r:s[,r:s…] [--pat panes|pairs|cutty] \
                  [--engine slickdeque|naive|flatfat|bint|flatfit|general] \
                  [--source stdin|debs:<seed>[:<ch>]|workload:<name>[:<seed>]] \
-                 [--tuples N] [--emit]"
+                 [--tuples N] [--emit] [--keyed] [--shards N] [--keys N]"
             );
             std::process::exit(2);
         }
     };
+    let mut stdout = std::io::stdout().lock();
+    if cfg.keyed {
+        match run_keyed(&cfg, &mut stdout) {
+            Ok((summaries, stats)) => {
+                print_summaries(&summaries);
+                eprintln!(
+                    "engine: {} shards, {} keys, {} tuples in {:.3}s ({:.0} tuples/s), \
+                     max queue depth {}, skew {:.2}",
+                    stats.shards.len(),
+                    stats.keys(),
+                    stats.tuples,
+                    stats.elapsed.as_secs_f64(),
+                    stats.tuples_per_sec(),
+                    stats.max_queue_depth(),
+                    stats.skew()
+                );
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let stdin_values = if cfg.source == SourceChoice::Stdin {
         match read_stdin_values(std::io::stdin().lock()) {
             Ok(v) => Some(v),
@@ -33,19 +69,8 @@ fn main() {
     } else {
         None
     };
-    let mut stdout = std::io::stdout().lock();
     match run(&cfg, stdin_values, &mut stdout) {
-        Ok(summaries) => {
-            eprintln!("query            answers   last answer");
-            for s in summaries {
-                eprintln!(
-                    "{:<16} {:>7}   {}",
-                    s.query.to_string(),
-                    s.answers,
-                    s.last_answer
-                );
-            }
-        }
+        Ok(summaries) => print_summaries(&summaries),
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);

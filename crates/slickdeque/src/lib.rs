@@ -12,7 +12,8 @@
 //! * [`swag_core`] (re-exported as `core`) — operations and the window algorithms;
 //! * [`swag_plan`] (`plan`) — ACQs, PATs, shared execution plans;
 //! * [`swag_stream`] (`stream`) — sources, executors, sinks;
-//! * [`swag_data`] (`data`) — DEBS12-shaped dataset synthesis;
+//! * [`swag_data`] (`data`) — DEBS12-shaped dataset synthesis, keyed sources;
+//! * [`swag_engine`] (`engine`) — the sharded, keyed, multi-threaded engine;
 //! * [`swag_metrics`] (`metrics`) — latency/throughput/memory instrumentation.
 //!
 //! ## Choosing an algorithm
@@ -44,6 +45,7 @@
 
 pub use swag_core as core;
 pub use swag_data as data;
+pub use swag_engine as engine;
 pub use swag_metrics as metrics;
 pub use swag_plan as plan;
 pub use swag_stream as stream;
@@ -66,8 +68,17 @@ pub mod prelude {
         InvertibleOp, Last, Max, MaxF64, Mean, Min, MinF64, MinMax, OpCounter, PairOp, Product,
         Range, SelectiveOp, StdDev, Sum, SumSquares, Variance,
     };
-    pub use swag_data::{energy_stream, DebsGenerator, Workload};
-    pub use swag_metrics::{LatencyRecorder, LatencySummary, Throughput, ThroughputMeter};
+    pub use swag_data::{
+        energy_stream, DebsGenerator, Key, KeyedDebsSource, KeyedSource, KeyedVecSource,
+        KeyedWorkloadSource, Workload,
+    };
+    pub use swag_engine::{
+        shard_of, EngineConfig, EngineStats, KeyedPlans, KeyedWindows, ShardProcessor, ShardStats,
+        ShardedEngine,
+    };
+    pub use swag_metrics::{
+        LatencyRecorder, LatencySummary, QueueDepthGauge, Throughput, ThroughputMeter,
+    };
     pub use swag_plan::{Pat, Query, SharedPlan, TimeQuery};
     pub use swag_stream::{
         run_single_query, CollectSink, CountSink, DebsSource, GeneralPlanExecutor,

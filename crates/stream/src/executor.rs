@@ -76,6 +76,10 @@ where
 }
 
 /// Multi-ACQ executor over a uniform shared plan.
+///
+/// The executor is stateful across calls: the plan-edge cursor persists,
+/// so interleaving [`run`](Self::run) and [`push`](Self::push) calls
+/// continues the same logical stream.
 pub struct SharedPlanExecutor<O: AggregateOp, M: MultiFinalAggregator<O>> {
     plan: swag_plan::SharedPlan,
     partial_agg: PartialAggregator<O>,
@@ -86,6 +90,10 @@ pub struct SharedPlanExecutor<O: AggregateOp, M: MultiFinalAggregator<O>> {
     /// deduplicated range list.
     range_slot: Vec<usize>,
     scratch: Vec<O::Partial>,
+    /// The plan edge the next fragment belongs to (persists across calls).
+    edge_idx: usize,
+    /// Tuples buffered by [`push`](Self::push) toward the current edge.
+    pending: std::collections::VecDeque<f64>,
 }
 
 impl<O, M> SharedPlanExecutor<O, M>
@@ -117,6 +125,8 @@ where
             query_ranges,
             range_slot,
             scratch: Vec::new(),
+            edge_idx: 0,
+            pending: std::collections::VecDeque::new(),
         }
     }
 
@@ -130,8 +140,16 @@ where
         &self.query_ranges
     }
 
+    /// Tuples the current plan edge still needs before it completes (its
+    /// fragment length minus any tuples already buffered by
+    /// [`push`](Self::push)).
+    pub fn tuples_until_next_slide(&self) -> u64 {
+        self.plan.edges()[self.edge_idx].length - self.pending.len() as u64
+    }
+
     /// Execute `slides` plan edges (partial aggregations), delivering due
-    /// answers per edge. Stops early if the source runs dry.
+    /// answers per edge. Stops early if the source runs dry. Continues
+    /// from wherever a previous `run`/`push` left the edge cursor.
     pub fn run<S, K>(&mut self, source: &mut S, slides: u64, sink: &mut K) -> RunStats
     where
         S: Source + ?Sized,
@@ -139,20 +157,19 @@ where
     {
         let mut meter = ThroughputMeter::start();
         let mut answers = 0u64;
-        let mut edge_idx = 0usize;
         let edge_count = self.plan.edges().len();
         let mut processed = 0u64;
         while processed < slides {
-            let length = self.plan.edges()[edge_idx].length;
+            let length = self.plan.edges()[self.edge_idx].length;
             let Some(partial) = self.partial_agg.aggregate(source, length) else {
                 break;
             };
             self.agg.slide_multi(partial, &mut self.scratch);
-            for &qi in &self.plan.edges()[edge_idx].queries {
+            for &qi in &self.plan.edges()[self.edge_idx].queries {
                 sink.deliver(qi, self.scratch[self.range_slot[qi]].clone());
                 answers += 1;
             }
-            edge_idx = (edge_idx + 1) % edge_count;
+            self.edge_idx = (self.edge_idx + 1) % edge_count;
             meter.tick();
             processed += 1;
         }
@@ -161,6 +178,41 @@ where
             latency: None,
             answers,
         }
+    }
+
+    /// Push-based execution: buffer one tuple and, once the current plan
+    /// edge's fragment completes, slide the shared window and deliver the
+    /// due answers. Returns the number of answers delivered.
+    ///
+    /// This is the entry point the sharded engine uses: each key owns an
+    /// executor and tuples arrive one at a time rather than being pulled
+    /// from a [`Source`]. A tuple completes at most one edge (fragments
+    /// span at least one tuple), and answers are identical to a pull-based
+    /// [`run`](Self::run) over the same tuple sequence.
+    pub fn push<K>(&mut self, value: f64, sink: &mut K) -> u64
+    where
+        K: Sink<O::Partial>,
+    {
+        self.pending.push_back(value);
+        let length = self.plan.edges()[self.edge_idx].length as usize;
+        if self.pending.len() < length {
+            return 0;
+        }
+        let op = self.partial_agg.op().clone();
+        let first = self.pending.pop_front().expect("length >= 1");
+        let mut partial = op.lift(&first);
+        for _ in 1..length {
+            let v = self.pending.pop_front().expect("buffered length tuples");
+            partial = op.combine(&partial, &op.lift(&v));
+        }
+        self.agg.slide_multi(partial, &mut self.scratch);
+        let mut answers = 0u64;
+        for &qi in &self.plan.edges()[self.edge_idx].queries {
+            sink.deliver(qi, self.scratch[self.range_slot[qi]].clone());
+            answers += 1;
+        }
+        self.edge_idx = (self.edge_idx + 1) % self.plan.edges().len();
+        answers
     }
 }
 
@@ -392,6 +444,29 @@ mod tests {
         for (a, b) in sink1.answers.iter().zip(&sink2.answers) {
             assert_eq!(a.0, b.0);
             assert!((a.1 - b.1).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+
+        // Same plan under a non-invertible op: Max via the monotone deque.
+        // Exercises the eviction path slide_multi never takes for Sum.
+        let queries = [Query::new(6, 2), Query::new(9, 3)];
+        let plan = SharedPlan::build(&queries, Pat::Cutty);
+        let op = Max::<f64>::new();
+        let tuples: Vec<f64> = (0..600).map(|i| ((i * 37) % 101) as f64).collect();
+
+        let mut shared = SharedPlanExecutor::<_, MultiSlickDequeNonInv<_>>::new(op, plan.clone());
+        let mut s1 = VecSource::new(tuples.clone());
+        let mut sink1 = CollectSink::new();
+        shared.run(&mut s1, 50, &mut sink1);
+
+        let mut general = GeneralPlanExecutor::new(op, plan);
+        let mut s2 = VecSource::new(tuples);
+        let mut sink2 = CollectSink::new();
+        general.run(&mut s2, 50, &mut sink2);
+
+        assert_eq!(sink1.answers.len(), sink2.answers.len());
+        assert!(!sink1.answers.is_empty());
+        for (a, b) in sink1.answers.iter().zip(&sink2.answers) {
+            assert_eq!(a, b, "max disagrees");
         }
     }
 

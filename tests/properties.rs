@@ -1,39 +1,87 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants: algebraic op laws, chunked deque vs a `VecDeque` model,
-//! DABA's region invariants under arbitrary FIFO schedules, the monotone
-//! deque's dominance invariant, and shared-plan structural properties.
+//! Randomized property tests on the core data structures and invariants:
+//! algebraic op laws, chunked deque vs a `VecDeque` model, DABA's region
+//! invariants under arbitrary FIFO schedules, the monotone deque's
+//! dominance invariant, and shared-plan structural properties.
+//!
+//! Driven by the vendored [`Xoshiro256StarStar`] PRNG instead of proptest
+//! so the suite builds without crates.io access. Every case derives from a
+//! fixed base seed plus the case index, so failures reproduce exactly;
+//! a failing assertion names its case seed.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use slickdeque::data::Xoshiro256StarStar as Rng;
 use slickdeque::prelude::*;
 use std::collections::VecDeque;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    // ----- algebraic laws on exact carriers --------------------------------
-
-    #[test]
-    fn sum_monoid_laws(a in -1000i64..1000, b in -1000i64..1000, c in -1000i64..1000) {
-        let op = Sum::<i64>::new();
-        prop_assert_eq!(op.combine(&op.combine(&a, &b), &c), op.combine(&a, &op.combine(&b, &c)));
-        prop_assert_eq!(op.combine(&op.identity(), &a), a);
-        prop_assert_eq!(op.inverse_combine(&op.combine(&a, &b), &b), a);
+/// Run `body` for `cases` deterministic seeds. The closure receives the
+/// per-case RNG; assertion messages should include `rng`'s seed via the
+/// `case` argument for reproduction.
+fn check(cases: u64, mut body: impl FnMut(&mut Rng, u64)) {
+    const BASE: u64 = 0x5EED_CA5E_0000_0000;
+    for case in 0..cases {
+        let mut rng = Rng::new(BASE ^ case);
+        body(&mut rng, case);
     }
+}
 
-    #[test]
-    fn max_selective_and_associative(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+fn vec_i64(rng: &mut Rng, lo: i64, hi: i64, min_len: usize, max_len: usize) -> Vec<i64> {
+    let len = rng.gen_range_usize(min_len, max_len);
+    (0..len).map(|_| rng.gen_range_i64(lo, hi)).collect()
+}
+
+fn vec_usize(rng: &mut Rng, lo: usize, hi: usize, min_len: usize, max_len: usize) -> Vec<usize> {
+    let len = rng.gen_range_usize(min_len, max_len);
+    (0..len).map(|_| rng.gen_range_usize(lo, hi)).collect()
+}
+
+// ----- algebraic laws on exact carriers --------------------------------
+
+#[test]
+fn sum_monoid_laws() {
+    check(128, |rng, case| {
+        let (a, b, c) = (
+            rng.gen_range_i64(-1000, 1000),
+            rng.gen_range_i64(-1000, 1000),
+            rng.gen_range_i64(-1000, 1000),
+        );
+        let op = Sum::<i64>::new();
+        assert_eq!(
+            op.combine(&op.combine(&a, &b), &c),
+            op.combine(&a, &op.combine(&b, &c)),
+            "case {case}"
+        );
+        assert_eq!(op.combine(&op.identity(), &a), a, "case {case}");
+        assert_eq!(
+            op.inverse_combine(&op.combine(&a, &b), &b),
+            a,
+            "case {case}"
+        );
+    });
+}
+
+#[test]
+fn max_selective_and_associative() {
+    check(128, |rng, case| {
+        let (a, b, c) = (
+            rng.next_u64() as i64,
+            rng.next_u64() as i64,
+            rng.next_u64() as i64,
+        );
         let op = Max::<i64>::new();
         let (pa, pb, pc) = (op.lift(&a), op.lift(&b), op.lift(&c));
         let assoc_l = op.combine(&op.combine(&pa, &pb), &pc);
         let assoc_r = op.combine(&pa, &op.combine(&pb, &pc));
-        prop_assert_eq!(assoc_l, assoc_r);
+        assert_eq!(assoc_l, assoc_r, "case {case}");
         let ab = op.combine(&pa, &pb);
-        prop_assert!(ab == pa || ab == pb);
-    }
+        assert!(ab == pa || ab == pb, "case {case}: not selective");
+    });
+}
 
-    #[test]
-    fn variance_inverse_roundtrip(xs in vec(-100.0f64..100.0, 1..20), y in -100.0f64..100.0) {
+#[test]
+fn variance_inverse_roundtrip() {
+    check(128, |rng, case| {
+        let len = rng.gen_range_usize(1, 20);
+        let xs: Vec<f64> = (0..len).map(|_| rng.gen_range_f64(-100.0, 100.0)).collect();
+        let y = rng.gen_range_f64(-100.0, 100.0);
         let op = Variance::new();
         let mut acc = op.identity();
         for x in &xs {
@@ -41,33 +89,41 @@ proptest! {
         }
         let with = op.combine(&acc, &op.lift(&y));
         let back = op.inverse_combine(&with, &op.lift(&y));
-        prop_assert!((back.sum - acc.sum).abs() < 1e-9);
-        prop_assert!((back.sum_squares - acc.sum_squares).abs() < 1e-6);
-        prop_assert_eq!(back.count, acc.count);
-    }
+        assert!((back.sum - acc.sum).abs() < 1e-9, "case {case}");
+        assert!(
+            (back.sum_squares - acc.sum_squares).abs() < 1e-6,
+            "case {case}"
+        );
+        assert_eq!(back.count, acc.count, "case {case}");
+    });
+}
 
-    #[test]
-    fn minmax_combine_is_commutative_and_associative(
-        xs in vec(any::<i32>(), 1..12),
-    ) {
+#[test]
+fn minmax_combine_is_commutative_and_associative() {
+    check(128, |rng, case| {
+        let len = rng.gen_range_usize(1, 12);
+        let xs: Vec<i32> = (0..len).map(|_| rng.next_u64() as i32).collect();
         let op = MinMax::<i32>::new();
         // Fold left and fold right must agree.
         let partials: Vec<_> = xs.iter().map(|x| op.lift(x)).collect();
-        let left = partials.iter().fold(op.identity(), |a, p| op.combine(&a, p));
+        let left = partials
+            .iter()
+            .fold(op.identity(), |a, p| op.combine(&a, p));
         let right = partials
             .iter()
             .rev()
             .fold(op.identity(), |a, p| op.combine(p, &a));
-        prop_assert_eq!(left, right);
-    }
+        assert_eq!(left, right, "case {case}");
+    });
+}
 
-    // ----- chunked deque vs VecDeque model ----------------------------------
+// ----- chunked deque vs VecDeque model ----------------------------------
 
-    #[test]
-    fn chunked_deque_behaves_like_vecdeque(
-        ops in vec(0u8..4, 1..400),
-        cap in 1usize..17,
-    ) {
+#[test]
+fn chunked_deque_behaves_like_vecdeque() {
+    check(128, |rng, case| {
+        let ops = vec_usize(rng, 0, 4, 1, 400);
+        let cap = rng.gen_range_usize(1, 17);
         let mut sut = slickdeque::core::chunked::ChunkedDeque::with_chunk_capacity(cap);
         let mut model: VecDeque<u32> = VecDeque::new();
         let mut counter = 0u32;
@@ -81,34 +137,38 @@ proptest! {
                 2 => {
                     let got = sut.pop_front();
                     let expect = model.pop_front().is_some();
-                    prop_assert_eq!(got, expect);
+                    assert_eq!(got, expect, "case {case}");
                 }
                 _ => {
                     let got = sut.pop_back();
                     let expect = model.pop_back();
-                    prop_assert_eq!(got, expect);
+                    assert_eq!(got, expect, "case {case}");
                 }
             }
-            prop_assert_eq!(sut.len(), model.len());
-            prop_assert_eq!(sut.front().copied(), model.front().copied());
-            prop_assert_eq!(sut.back().copied(), model.back().copied());
+            assert_eq!(sut.len(), model.len(), "case {case}");
+            assert_eq!(sut.front().copied(), model.front().copied(), "case {case}");
+            assert_eq!(sut.back().copied(), model.back().copied(), "case {case}");
             // Random access parity.
             for i in 0..model.len() {
-                prop_assert_eq!(sut.get(i), model.get(i));
+                assert_eq!(sut.get(i), model.get(i), "case {case} index {i}");
             }
             // Iteration parity.
             let a: Vec<u32> = sut.iter().copied().collect();
             let b: Vec<u32> = model.iter().copied().collect();
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "case {case}");
         }
-    }
+    });
+}
 
-    // ----- DABA under arbitrary FIFO schedules ------------------------------
+// ----- DABA under arbitrary FIFO schedules ------------------------------
 
-    #[test]
-    fn daba_invariants_under_arbitrary_fifo(
-        schedule in vec((0u8..2, 1u8..6), 1..80),
-    ) {
+#[test]
+fn daba_invariants_under_arbitrary_fifo() {
+    check(128, |rng, case| {
+        let steps = rng.gen_range_usize(1, 80);
+        let schedule: Vec<(u8, u8)> = (0..steps)
+            .map(|_| (rng.gen_below(2) as u8, rng.gen_range_u64(1, 6) as u8))
+            .collect();
         let op = Sum::<i64>::new();
         let mut daba = Daba::new(op, 512);
         let mut model: VecDeque<i64> = VecDeque::new();
@@ -125,47 +185,50 @@ proptest! {
                 }
                 daba.check_invariants();
                 let expect: i64 = model.iter().sum();
-                prop_assert_eq!(daba.query(), expect);
+                assert_eq!(daba.query(), expect, "case {case}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn daba_matches_naive_on_random_streams(
-        stream in vec(-1000i64..1000, 1..300),
-        window in 1usize..40,
-    ) {
+#[test]
+fn daba_matches_naive_on_random_streams() {
+    check(128, |rng, case| {
+        let stream = vec_i64(rng, -1000, 1000, 1, 300);
+        let window = rng.gen_range_usize(1, 40);
         let op = Sum::<i64>::new();
         let mut daba = Daba::new(op, window);
         let mut naive = Naive::new(op, window);
         for &x in &stream {
-            prop_assert_eq!(daba.slide(x), naive.slide(x));
+            assert_eq!(daba.slide(x), naive.slide(x), "case {case}");
         }
-    }
+    });
+}
 
-    // ----- monotone deque invariants ----------------------------------------
+// ----- monotone deque invariants ----------------------------------------
 
-    #[test]
-    fn slickdeque_dominance_invariant(
-        stream in vec(-1000i64..1000, 1..300),
-        window in 1usize..40,
-    ) {
+#[test]
+fn slickdeque_dominance_invariant() {
+    check(128, |rng, case| {
+        let stream = vec_i64(rng, -1000, 1000, 1, 300);
+        let window = rng.gen_range_usize(1, 40);
         let op = Max::<i64>::new();
         let mut sd = SlickDequeNonInv::new(op, window);
         let mut naive = Naive::new(op, window);
         for x in &stream {
             let got = sd.slide(op.lift(x));
-            prop_assert_eq!(got, naive.slide(op.lift(x)));
+            assert_eq!(got, naive.slide(op.lift(x)), "case {case}");
             sd.check_invariants();
-            prop_assert!(sd.deque_len() <= window.min(stream.len()));
+            assert!(sd.deque_len() <= window.min(stream.len()), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn multi_slickdeque_matches_multi_naive(
-        stream in vec(-1000i64..1000, 1..200),
-        ranges in vec(1usize..30, 1..6),
-    ) {
+#[test]
+fn multi_slickdeque_matches_multi_naive() {
+    check(128, |rng, case| {
+        let stream = vec_i64(rng, -1000, 1000, 1, 200);
+        let ranges = vec_usize(rng, 1, 30, 1, 6);
         let op = Max::<i64>::new();
         let mut deque = MultiSlickDequeNonInv::with_ranges(op, &ranges);
         let mut naive = MultiNaive::with_ranges(op, &ranges);
@@ -173,15 +236,16 @@ proptest! {
         for x in &stream {
             deque.slide_multi(op.lift(x), &mut o1);
             naive.slide_multi(op.lift(x), &mut o2);
-            prop_assert_eq!(&o1, &o2);
+            assert_eq!(o1, o2, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn multi_slickdeque_inv_matches_multi_naive(
-        stream in vec(-1000i64..1000, 1..200),
-        ranges in vec(1usize..30, 1..6),
-    ) {
+#[test]
+fn multi_slickdeque_inv_matches_multi_naive() {
+    check(128, |rng, case| {
+        let stream = vec_i64(rng, -1000, 1000, 1, 200);
+        let ranges = vec_usize(rng, 1, 30, 1, 6);
         let op = Sum::<i64>::new();
         let mut inv = MultiSlickDequeInv::with_ranges(op, &ranges);
         let mut naive = MultiNaive::with_ranges(op, &ranges);
@@ -189,60 +253,77 @@ proptest! {
         for x in &stream {
             inv.slide_multi(*x, &mut o1);
             naive.slide_multi(*x, &mut o2);
-            prop_assert_eq!(&o1, &o2);
+            assert_eq!(o1, o2, "case {case}");
         }
-    }
+    });
+}
 
-    // ----- FlatFIT / FlatFAT / B-Int against the reference ------------------
+// ----- FlatFIT / FlatFAT / B-Int against the reference ------------------
 
-    #[test]
-    fn flatfit_matches_naive(
-        stream in vec(-1000i64..1000, 1..300),
-        window in 1usize..50,
-    ) {
+#[test]
+fn flatfit_matches_naive() {
+    check(128, |rng, case| {
+        let stream = vec_i64(rng, -1000, 1000, 1, 300);
+        let window = rng.gen_range_usize(1, 50);
         let op = Sum::<i64>::new();
         let mut fit = FlatFit::new(op, window);
         let mut naive = Naive::new(op, window);
         for &x in &stream {
-            prop_assert_eq!(fit.slide(x), naive.slide(x));
+            assert_eq!(fit.slide(x), naive.slide(x), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn tree_algorithms_match_naive(
-        stream in vec(-1000i64..1000, 1..200),
-        window in 1usize..50,
-    ) {
+#[test]
+fn tree_algorithms_match_naive() {
+    check(128, |rng, case| {
+        let stream = vec_i64(rng, -1000, 1000, 1, 200);
+        let window = rng.gen_range_usize(1, 50);
         let op = Sum::<i64>::new();
         let mut fat = FlatFat::new(op, window);
         let mut bint = BInt::new(op, window);
         let mut naive = Naive::new(op, window);
         for &x in &stream {
             let expect = naive.slide(x);
-            prop_assert_eq!(fat.slide(x), expect);
-            prop_assert_eq!(bint.slide(x), expect);
+            assert_eq!(fat.slide(x), expect, "case {case}");
+            assert_eq!(bint.slide(x), expect, "case {case}");
         }
-    }
+    });
+}
 
-    // ----- shared-plan structural properties ---------------------------------
+// ----- shared-plan structural properties ---------------------------------
 
-    #[test]
-    fn plan_edges_tile_the_composite_slide(
-        specs in vec((1u64..30, 1u64..10), 1..4),
-    ) {
-        let queries: Vec<Query> = specs
-            .iter()
-            .map(|&(extra, s)| Query::new(s + extra, s))
-            .collect();
+fn random_queries(rng: &mut Rng, max_extra: u64, max_slide: u64, max_n: usize) -> Vec<Query> {
+    let n = rng.gen_range_usize(1, max_n);
+    (0..n)
+        .map(|_| {
+            let extra = rng.gen_range_u64(1, max_extra);
+            let s = rng.gen_range_u64(1, max_slide);
+            Query::new(s + extra, s)
+        })
+        .collect()
+}
+
+#[test]
+fn plan_edges_tile_the_composite_slide() {
+    check(128, |rng, case| {
+        let queries = random_queries(rng, 30, 10, 4);
         for pat in [Pat::Panes, Pat::Pairs, Pat::Cutty] {
             let plan = SharedPlan::build(&queries, pat);
             // Edge lengths sum to the composite slide.
             let total: u64 = plan.edges().iter().map(|e| e.length).sum();
-            prop_assert_eq!(total, plan.composite_slide());
+            assert_eq!(total, plan.composite_slide(), "case {case} {pat:?}");
             // Positions are strictly increasing and end at the composite.
             let positions: Vec<u64> = plan.edges().iter().map(|e| e.position).collect();
-            prop_assert!(positions.windows(2).all(|w| w[0] < w[1]));
-            prop_assert_eq!(*positions.last().unwrap(), plan.composite_slide());
+            assert!(
+                positions.windows(2).all(|w| w[0] < w[1]),
+                "case {case} {pat:?}"
+            );
+            assert_eq!(
+                *positions.last().unwrap(),
+                plan.composite_slide(),
+                "case {case} {pat:?}"
+            );
             // Every query reports exactly composite/slide times per cycle.
             for (qi, q) in queries.iter().enumerate() {
                 let reports: usize = plan
@@ -250,25 +331,26 @@ proptest! {
                     .iter()
                     .filter(|e| e.queries.contains(&qi))
                     .count();
-                prop_assert_eq!(reports as u64, plan.composite_slide() / q.slide);
+                assert_eq!(
+                    reports as u64,
+                    plan.composite_slide() / q.slide,
+                    "case {case} {pat:?} q{qi}"
+                );
             }
             // wSize is positive and bounded by the largest range (a
             // partial spans at least one tuple).
             let max_range = queries.iter().map(|q| q.range).max().unwrap();
-            prop_assert!(plan.wsize() >= 1);
-            prop_assert!(plan.wsize() as u64 <= max_range);
+            assert!(plan.wsize() >= 1, "case {case} {pat:?}");
+            assert!(plan.wsize() as u64 <= max_range, "case {case} {pat:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn plan_execution_equals_brute_force(
-        specs in vec((1u64..12, 1u64..6), 1..3),
-        seed in 0u64..1000,
-    ) {
-        let queries: Vec<Query> = specs
-            .iter()
-            .map(|&(extra, s)| Query::new(s + extra, s))
-            .collect();
+#[test]
+fn plan_execution_equals_brute_force() {
+    check(96, |rng, case| {
+        let queries = random_queries(rng, 12, 6, 3);
+        let seed = rng.gen_range_u64(0, 1000);
         let stream = Workload::Uniform.generate(200, seed);
         let int_stream: Vec<f64> = stream.iter().map(|v| (v * 50.0).round()).collect();
         for pat in [Pat::Panes, Pat::Pairs, Pat::Cutty] {
@@ -283,41 +365,44 @@ proptest! {
                     let p = (k + 1) * q.slide as usize;
                     let lo = p.saturating_sub(q.range as usize);
                     let expect: f64 = int_stream[lo..p].iter().sum();
-                    prop_assert!((got - expect).abs() < 1e-9,
-                        "pat={:?} q={} k={}: {} vs {}", pat, q, k, got, expect);
+                    assert!(
+                        (got - expect).abs() < 1e-9,
+                        "case {case} pat={pat:?} q={q} k={k}: {got} vs {expect}"
+                    );
                 }
             }
         }
-    }
+    });
+}
 
-    // ----- latency statistics ------------------------------------------------
+// ----- latency statistics ------------------------------------------------
 
-    #[test]
-    fn latency_summary_orders_percentiles(samples in vec(0u64..1_000_000, 1..500)) {
+#[test]
+fn latency_summary_orders_percentiles() {
+    check(128, |rng, case| {
+        let len = rng.gen_range_usize(1, 500);
+        let samples: Vec<u64> = (0..len).map(|_| rng.gen_below(1_000_000)).collect();
         let mut rec = LatencyRecorder::new();
         for s in &samples {
             rec.record_ns(*s);
         }
         let summary = rec.summarize_dropping(0.0);
-        prop_assert!(summary.min <= summary.p25);
-        prop_assert!(summary.p25 <= summary.median);
-        prop_assert!(summary.median <= summary.p75);
-        prop_assert!(summary.p75 <= summary.max);
-        prop_assert!(summary.mean >= summary.min as f64);
-        prop_assert!(summary.mean <= summary.max as f64);
-    }
+        assert!(summary.min <= summary.p25, "case {case}");
+        assert!(summary.p25 <= summary.median, "case {case}");
+        assert!(summary.median <= summary.p75, "case {case}");
+        assert!(summary.p75 <= summary.max, "case {case}");
+        assert!(summary.mean >= summary.min as f64, "case {case}");
+        assert!(summary.mean <= summary.max as f64, "case {case}");
+    });
 }
 
-// ----- extensions: sparse FlatFIT, resize, reorder buffer -------------------
+// ----- extensions: sparse FlatFIT, resize, reorder buffer ----------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn sparse_flatfit_matches_multi_naive(
-        stream in vec(-1000i64..1000, 1..250),
-        ranges in vec(1usize..40, 1..6),
-    ) {
+#[test]
+fn sparse_flatfit_matches_multi_naive() {
+    check(96, |rng, case| {
+        let stream = vec_i64(rng, -1000, 1000, 1, 250);
+        let ranges = vec_usize(rng, 1, 40, 1, 6);
         let op = Sum::<i64>::new();
         let mut sparse = MultiFlatFitSparse::with_ranges(op, &ranges);
         let mut naive = MultiNaive::with_ranges(op, &ranges);
@@ -325,17 +410,18 @@ proptest! {
         for x in &stream {
             sparse.slide_multi(*x, &mut o1);
             naive.slide_multi(*x, &mut o2);
-            prop_assert_eq!(&o1, &o2);
+            assert_eq!(o1, o2, "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn slickdeque_inv_resize_stays_consistent(
-        stream in vec(-1000i64..1000, 20..200),
-        w1 in 1usize..30,
-        w2 in 1usize..30,
-        at_frac in 0.1f64..0.9,
-    ) {
+#[test]
+fn slickdeque_inv_resize_stays_consistent() {
+    check(96, |rng, case| {
+        let stream = vec_i64(rng, -1000, 1000, 20, 200);
+        let w1 = rng.gen_range_usize(1, 30);
+        let w2 = rng.gen_range_usize(1, 30);
+        let at_frac = rng.gen_range_f64(0.1, 0.9);
         let split = ((stream.len() as f64) * at_frac) as usize;
         let op = Sum::<i64>::new();
         let mut sd = SlickDequeInv::new(op, w1);
@@ -350,18 +436,19 @@ proptest! {
             let got = sd.slide(v);
             let expect = reference.slide(v);
             if i + 1 >= w2 {
-                prop_assert_eq!(got, expect, "suffix slide {}", i);
+                assert_eq!(got, expect, "case {case} suffix slide {i}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn slickdeque_noninv_resize_stays_consistent(
-        stream in vec(-1000i64..1000, 20..200),
-        w1 in 1usize..30,
-        w2 in 1usize..30,
-        at_frac in 0.1f64..0.9,
-    ) {
+#[test]
+fn slickdeque_noninv_resize_stays_consistent() {
+    check(96, |rng, case| {
+        let stream = vec_i64(rng, -1000, 1000, 20, 200);
+        let w1 = rng.gen_range_usize(1, 30);
+        let w2 = rng.gen_range_usize(1, 30);
+        let at_frac = rng.gen_range_f64(0.1, 0.9);
         let split = ((stream.len() as f64) * at_frac) as usize;
         let op = Max::<i64>::new();
         let mut sd = SlickDequeNonInv::new(op, w1);
@@ -376,26 +463,24 @@ proptest! {
             let expect = reference.slide(op.lift(&v));
             sd.check_invariants();
             if i + 1 >= w2 {
-                prop_assert_eq!(got, expect, "suffix slide {}", i);
+                assert_eq!(got, expect, "case {case} suffix slide {i}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn reorder_buffer_repairs_bounded_displacement(
-        values in vec(-1000i64..1000, 1..150),
-        depth in 1usize..8,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn reorder_buffer_repairs_bounded_displacement() {
+    check(96, |rng, case| {
         use slickdeque::stream::reorder::ReorderBuffer;
-        // Shuffle locally: swap disjoint adjacent blocks of size ≤ depth.
+        let values = vec_i64(rng, -1000, 1000, 1, 150);
+        let depth = rng.gen_range_usize(1, 8);
+        // Shuffle locally: swap disjoint adjacent pairs (displacement 1).
         let n = values.len();
         let mut order: Vec<usize> = (0..n).collect();
-        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         let mut i = 0;
         while i + 1 < n {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            if x & 1 == 1 {
+            if rng.gen_bool(0.5) {
                 order.swap(i, i + 1);
                 i += 2;
             } else {
@@ -414,29 +499,33 @@ proptest! {
         while let Some(v) = buf.pop_ready() {
             out.push(v as i64);
         }
-        prop_assert_eq!(out, values);
-    }
+        assert_eq!(out, values, "case {case}");
+    });
 }
 
-// ----- time-based windows and CLI parsing ------------------------------------
+// ----- time-based windows and CLI parsing --------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A random timestamped stream: 120 tuples with non-decreasing timestamps
+/// separated by gaps in `[0, 50)`, plus 1–3 time ranges in `[1, 300)` ms.
+fn random_time_stream(rng: &mut Rng) -> (Vec<(u64, i64)>, Vec<u64>) {
+    let n = rng.gen_range_usize(1, 121);
+    let mut ts = 0u64;
+    let stream: Vec<(u64, i64)> = (0..n)
+        .map(|_| {
+            ts += rng.gen_below(50);
+            (ts, rng.gen_range_i64(-500, 500))
+        })
+        .collect();
+    let ranges: Vec<u64> = (0..rng.gen_range_usize(1, 4))
+        .map(|_| rng.gen_range_u64(1, 300))
+        .collect();
+    (stream, ranges)
+}
 
-    #[test]
-    fn time_multi_inv_matches_brute_force(
-        gaps in vec(0u64..50, 1..120),
-        values in vec(-500i64..500, 120..121),
-        ranges in vec(1u64..300, 1..4),
-    ) {
-        let stream: Vec<(u64, i64)> = gaps
-            .iter()
-            .scan(0u64, |ts, g| {
-                *ts += g;
-                Some(*ts)
-            })
-            .zip(values.iter().copied())
-            .collect();
+#[test]
+fn time_multi_inv_matches_brute_force() {
+    check(64, |rng, case| {
+        let (stream, ranges) = random_time_stream(rng);
         let op = Sum::<i64>::new();
         let mut agg = MultiTimeSlickDequeInv::new(op, &ranges);
         let mut out = Vec::new();
@@ -448,25 +537,16 @@ proptest! {
                     .filter(|(t, _)| (*t as i128) > ts as i128 - r as i128)
                     .map(|(_, v)| v)
                     .sum();
-                prop_assert_eq!(out[k], expect, "tuple {} range {}", i, r);
+                assert_eq!(out[k], expect, "case {case} tuple {i} range {r}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn time_multi_noninv_matches_brute_force(
-        gaps in vec(0u64..50, 1..120),
-        values in vec(-500i64..500, 120..121),
-        ranges in vec(1u64..300, 1..4),
-    ) {
-        let stream: Vec<(u64, i64)> = gaps
-            .iter()
-            .scan(0u64, |ts, g| {
-                *ts += g;
-                Some(*ts)
-            })
-            .zip(values.iter().copied())
-            .collect();
+#[test]
+fn time_multi_noninv_matches_brute_force() {
+    check(64, |rng, case| {
+        let (stream, ranges) = random_time_stream(rng);
         let op = Max::<i64>::new();
         let mut agg = MultiTimeSlickDequeNonInv::new(op, &ranges);
         let mut out = Vec::new();
@@ -478,17 +558,23 @@ proptest! {
                     .filter(|(t, _)| (*t as i128) > ts as i128 - r as i128)
                     .map(|(_, v)| *v)
                     .max();
-                prop_assert_eq!(out[k], expect, "tuple {} range {}", i, r);
+                assert_eq!(out[k], expect, "case {case} tuple {i} range {r}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn cli_query_specs_round_trip(specs in vec((1u64..10_000, 1u64..100), 1..6)) {
+#[test]
+fn cli_query_specs_round_trip() {
+    check(64, |rng, case| {
         use slickdeque::cli::CliConfig;
-        let valid: Vec<(u64, u64)> = specs
-            .iter()
-            .map(|&(r, s)| (r.max(s), s))
+        let n = rng.gen_range_usize(1, 6);
+        let valid: Vec<(u64, u64)> = (0..n)
+            .map(|_| {
+                let r = rng.gen_range_u64(1, 10_000);
+                let s = rng.gen_range_u64(1, 100);
+                (r.max(s), s)
+            })
             .collect();
         let spec_str = valid
             .iter()
@@ -497,10 +583,10 @@ proptest! {
             .join(",");
         let args = format!("--op sum --queries {spec_str} --source stdin");
         let cfg = CliConfig::parse(args.split_whitespace().map(str::to_string)).unwrap();
-        prop_assert_eq!(cfg.queries.len(), valid.len());
+        assert_eq!(cfg.queries.len(), valid.len(), "case {case}");
         for (q, (r, s)) in cfg.queries.iter().zip(&valid) {
-            prop_assert_eq!(q.range, *r);
-            prop_assert_eq!(q.slide, *s);
+            assert_eq!(q.range, *r, "case {case}");
+            assert_eq!(q.slide, *s, "case {case}");
         }
-    }
+    });
 }
