@@ -1,0 +1,73 @@
+//! Micro-benchmarks for the bulk fast paths: `bulk_slide` vs a scalar
+//! `slide` loop at batch sizes 1, 8, 64, 512 on a window-128 aggregate.
+//! The throughput unit is tuples, so bulk and scalar rows compare
+//! directly; the gap at large batches is the per-call overhead (answers
+//! map, flip checks, bounds) each fast path amortizes.
+
+use slickdeque::prelude::*;
+use swag_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use swag_bench::registry::CyclicStream;
+
+const WINDOW: usize = 128;
+const BATCHES: &[usize] = &[1, 8, 64, 512];
+const TUPLES: usize = 1024;
+
+fn bench_algo<O, A>(c: &mut Criterion, group_name: &str, op: O)
+where
+    O: AggregateOp<Input = f64, Output = f64> + Clone,
+    A: FinalAggregator<O>,
+{
+    let stream = CyclicStream::debs(1 << 14, 42);
+    let lifted: Vec<O::Partial> = stream.prefix(TUPLES).iter().map(|v| op.lift(v)).collect();
+    let mut group = c.benchmark_group(group_name);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(TUPLES as u64));
+    for &batch in BATCHES {
+        let mut agg = A::with_capacity(op.clone(), WINDOW);
+        for p in lifted.iter().take(WINDOW) {
+            agg.slide(p.clone());
+        }
+        let mut out = Vec::new();
+        group.bench_with_input(BenchmarkId::new("bulk", batch), &batch, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for chunk in lifted.chunks(batch) {
+                    agg.bulk_slide(chunk, &mut out);
+                    for p in &out {
+                        acc += op.lower(p);
+                    }
+                }
+                acc
+            })
+        });
+        let mut agg = A::with_capacity(op.clone(), WINDOW);
+        for p in lifted.iter().take(WINDOW) {
+            agg.slide(p.clone());
+        }
+        group.bench_with_input(BenchmarkId::new("scalar", batch), &batch, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for chunk in lifted.chunks(batch) {
+                    for p in chunk {
+                        acc += op.lower(&agg.slide(p.clone()));
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bulk(c: &mut Criterion) {
+    bench_algo::<_, SlickDequeInv<_>>(c, "bulk_slickdeque_inv_sum", Sum::<f64>::new());
+    bench_algo::<_, SlickDequeNonInv<_>>(c, "bulk_slickdeque_noninv_max", MaxF64::new());
+    bench_algo::<_, TwoStacks<_>>(c, "bulk_twostacks_sum", Sum::<f64>::new());
+    bench_algo::<_, Daba<_>>(c, "bulk_daba_sum", Sum::<f64>::new());
+    bench_algo::<_, Naive<_>>(c, "bulk_naive_sum", Sum::<f64>::new());
+}
+
+criterion_group!(benches, bench_bulk);
+criterion_main!(benches);

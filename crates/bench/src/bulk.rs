@@ -1,0 +1,213 @@
+//! Bulk-ingestion experiment (extension beyond the paper).
+//!
+//! Sweeps the engine's channel batch size over single-query keyed windows
+//! for the algorithms with meaningful bulk fast paths. Batch 1 is the
+//! scalar baseline: one channel message, one per-key state look-up, and
+//! one `slide` per tuple. Larger batches ride the whole bulk stack added
+//! for this experiment — batched channel sends, per-key run grouping in
+//! the shard worker, and each aggregator's `bulk_slide` — so the speedup
+//! column measures how much per-tuple overhead batching recovers
+//! end-to-end. Answers are bitwise identical at every batch size (see
+//! `tests/bulk_equivalence.rs`).
+
+use crate::report::save_json;
+use crate::Config;
+use slickdeque::prelude::*;
+use swag_metrics::{Json, ToJson};
+
+/// Per-key window length: large enough that SlickDeque's O(1) slide beats
+/// the O(n) Naive refold, small enough that Naive stays measurable.
+pub const BULK_WINDOW: usize = 128;
+
+/// Distinct keys: few enough that per-batch key runs stay long.
+pub const BULK_KEYS: usize = 8;
+
+/// The batch sizes swept, scalar baseline first.
+pub const BULK_BATCHES: &[usize] = &[1, 8, 64, 512];
+
+/// The algorithms swept. SlickDeque (Inv) runs Sum, SlickDeque (Non-Inv)
+/// runs Max; the generic FIFO algorithms run Sum.
+pub const BULK_ALGOS: &[&str] = &[
+    "slickdeque-inv",
+    "slickdeque-noninv",
+    "twostacks",
+    "daba",
+    "naive",
+];
+
+/// One (algorithm, batch size) measurement.
+#[derive(Debug, Clone)]
+pub struct BulkRow {
+    /// Algorithm name.
+    pub algo: String,
+    /// Tuples per channel message.
+    pub batch: usize,
+    /// End-to-end keyed tuples per second.
+    pub tuples_per_sec: f64,
+    /// Throughput relative to the same algorithm at batch 1.
+    pub speedup: f64,
+}
+
+/// The bulk sweep: throughput vs batch size per algorithm.
+#[derive(Debug, Clone)]
+pub struct BulkTable {
+    /// Experiment identifier.
+    pub id: String,
+    /// Tuples routed per measurement.
+    pub tuples: u64,
+    /// Distinct keys in the stream.
+    pub keys: usize,
+    /// Per-key window length.
+    pub window: usize,
+    /// One row per (algorithm, batch).
+    pub rows: Vec<BulkRow>,
+}
+
+impl BulkTable {
+    /// Print as an aligned console table.
+    pub fn print(&self) {
+        println!(
+            "\n== Bulk ingestion — {} tuples, {} keys, window {} ==",
+            self.tuples, self.keys, self.window
+        );
+        println!(
+            "{:>20} {:>7} {:>14} {:>9}",
+            "algorithm", "batch", "tuples/s", "speedup"
+        );
+        for r in &self.rows {
+            println!(
+                "{:>20} {:>7} {:>14.3e} {:>8.2}x",
+                r.algo, r.batch, r.tuples_per_sec, r.speedup
+            );
+        }
+    }
+
+    /// Write as JSON to `dir/bulk.json`.
+    pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        save_json(dir, &self.id, &self.to_json())
+    }
+
+    /// The row for one (algorithm, batch) point.
+    pub fn get(&self, algo: &str, batch: usize) -> Option<&BulkRow> {
+        self.rows
+            .iter()
+            .find(|r| r.algo == algo && r.batch == batch)
+    }
+}
+
+impl ToJson for BulkTable {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::str(self.id.as_str())),
+            ("tuples", Json::UInt(self.tuples)),
+            ("keys", Json::UInt(self.keys as u64)),
+            ("window", Json::UInt(self.window as u64)),
+            (
+                "rows",
+                Json::arr(&self.rows, |r| {
+                    Json::obj(vec![
+                        ("algo", Json::str(r.algo.as_str())),
+                        ("batch", Json::UInt(r.batch as u64)),
+                        ("tuples_per_sec", Json::Num(r.tuples_per_sec)),
+                        ("speedup", Json::Num(r.speedup)),
+                    ])
+                }),
+            ),
+        ])
+    }
+}
+
+/// One engine run: single shard (so the sweep isolates batching, not
+/// parallelism), answers counted but not retained.
+fn measure<O, A>(op: O, batch: usize, tuples: u64, seed: u64) -> f64
+where
+    O: AggregateOp<Input = f64, Output = f64> + Clone + Send + Sync,
+    O::Partial: Send,
+    A: FinalAggregator<O> + Send,
+{
+    let engine = ShardedEngine::new(EngineConfig {
+        shards: 1,
+        queue_capacity: 64,
+        batch,
+        retain_answers: false,
+    });
+    let mut source = KeyedDebsSource::new(seed, BULK_KEYS, 0);
+    let run = engine.run(&mut source, tuples, |_shard| {
+        KeyedWindows::<_, A>::new(op.clone(), BULK_WINDOW)
+    });
+    run.stats.tuples_per_sec()
+}
+
+fn throughput(algo: &str, batch: usize, tuples: u64, seed: u64) -> f64 {
+    match algo {
+        "slickdeque-inv" => measure::<_, SlickDequeInv<_>>(Sum::<f64>::new(), batch, tuples, seed),
+        "slickdeque-noninv" => {
+            measure::<_, SlickDequeNonInv<_>>(MaxF64::new(), batch, tuples, seed)
+        }
+        "twostacks" => measure::<_, TwoStacks<_>>(Sum::<f64>::new(), batch, tuples, seed),
+        "daba" => measure::<_, Daba<_>>(Sum::<f64>::new(), batch, tuples, seed),
+        "naive" => measure::<_, Naive<_>>(Sum::<f64>::new(), batch, tuples, seed),
+        other => unreachable!("unknown bulk algo {other:?}"),
+    }
+}
+
+/// Run the sweep: batch sizes 1, 8, 64, 512 per algorithm.
+pub fn run(cfg: &Config) -> BulkTable {
+    let tuples = cfg.latency_tuples as u64;
+    let mut rows = Vec::new();
+    for algo in BULK_ALGOS {
+        let base = throughput(algo, BULK_BATCHES[0], tuples, cfg.seed);
+        for &batch in BULK_BATCHES {
+            let tps = if batch == BULK_BATCHES[0] {
+                base
+            } else {
+                throughput(algo, batch, tuples, cfg.seed)
+            };
+            rows.push(BulkRow {
+                algo: algo.to_string(),
+                batch,
+                tuples_per_sec: tps,
+                speedup: if base > 0.0 { tps / base } else { 0.0 },
+            });
+        }
+    }
+    BulkTable {
+        id: "bulk".to_string(),
+        tuples,
+        keys: BULK_KEYS,
+        window: BULK_WINDOW,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_every_algo_and_batch() {
+        let mut cfg = Config::quick();
+        cfg.latency_tuples = 5_000;
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), BULK_ALGOS.len() * BULK_BATCHES.len());
+        for algo in BULK_ALGOS {
+            for &batch in BULK_BATCHES {
+                let row = t.get(algo, batch).expect("row present");
+                assert!(row.tuples_per_sec > 0.0, "{algo} batch {batch}");
+                assert!(row.speedup > 0.0, "{algo} batch {batch}");
+            }
+            let base = t.get(algo, 1).unwrap();
+            assert!((base.speedup - 1.0).abs() < 1e-9, "{algo} baseline");
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut cfg = Config::quick();
+        cfg.latency_tuples = 2_000;
+        let text = run(&cfg).to_json().pretty();
+        assert!(text.contains("\"id\": \"bulk\""));
+        assert!(text.contains("\"speedup\""));
+        assert!(text.contains("\"slickdeque-inv\""));
+    }
+}

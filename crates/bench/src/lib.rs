@@ -17,10 +17,12 @@
 //! | §4 input-dependence ablation (extension) | [`workloads`] | `workloads` |
 //! | §2.1 PAT ablation (extension) | [`pats`] | `pats` |
 //! | Sharded-engine scaling (extension) | [`scaling`] | `scaling` |
+//! | Bulk-ingestion batch sweep (extension) | [`bulk`] | `bulk` |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bulk;
 pub mod exp1;
 pub mod exp2;
 pub mod exp3;

@@ -49,6 +49,56 @@ pub trait FinalAggregator<O: AggregateOp>: MemoryFootprint {
             self.slide(p);
         }
     }
+
+    /// Remove the oldest partial from the window without producing an
+    /// answer. Panics if the window is empty.
+    fn evict(&mut self);
+
+    /// Remove the `n` oldest partials. Panics if fewer than `n` partials
+    /// are held. The default loops [`evict`](Self::evict); algorithms with
+    /// cheap range expiry (ring arithmetic, one monotone-deque scan, one
+    /// TwoStacks flip-check) override it.
+    fn bulk_evict(&mut self, n: usize) {
+        for _ in 0..n {
+            self.evict();
+        }
+    }
+
+    /// Append every partial of `batch` with slide semantics — the oldest
+    /// partials expire as the window overflows — without producing answers.
+    ///
+    /// Unlike [`bulk_slide`](Self::bulk_slide), implementations may
+    /// reassociate combines (allowed by associativity), so floating-point
+    /// results can round differently from a per-partial slide loop; exact
+    /// operations (integers, Max/Min selection) are unaffected. The default
+    /// loops [`slide`](Self::slide), discarding the answers.
+    fn bulk_insert(&mut self, batch: &[O::Partial]) {
+        for p in batch {
+            self.slide(p.clone());
+        }
+    }
+
+    /// Combined step: evict the `evictions` oldest partials, then
+    /// bulk-insert `batch` (further evicting on overflow). Panics if fewer
+    /// than `evictions` partials are held.
+    fn advance(&mut self, batch: &[O::Partial], evictions: usize) {
+        self.bulk_evict(evictions);
+        self.bulk_insert(batch);
+    }
+
+    /// Slide every partial of `batch` in order, appending each window
+    /// answer to `out` (cleared first). Answers are bitwise identical to
+    /// calling [`slide`](Self::slide) per partial — overrides must keep
+    /// the exact combine order — so this is the batched ingestion path the
+    /// engine and executor use. The default loops `slide` with the output
+    /// pre-reserved.
+    fn bulk_slide(&mut self, batch: &[O::Partial], out: &mut Vec<O::Partial>) {
+        out.clear();
+        out.reserve(batch.len());
+        for p in batch {
+            out.push(self.slide(p.clone()));
+        }
+    }
 }
 
 /// A multi-query final aggregator answering several ACQs with distinct
@@ -71,6 +121,23 @@ pub trait MultiFinalAggregator<O: AggregateOp>: MemoryFootprint {
     /// range into `out`, in the same (descending) order as
     /// [`ranges`](Self::ranges). `out` is cleared first.
     fn slide_multi(&mut self, partial: O::Partial, out: &mut Vec<O::Partial>);
+
+    /// Slide every partial of `batch` in order, appending
+    /// `ranges().len()` answers per partial to `out` (cleared first), each
+    /// group in the same descending range order as
+    /// [`slide_multi`](Self::slide_multi). Answers are bitwise identical
+    /// to a per-partial `slide_multi` loop; overrides must keep each
+    /// range's exact combine order (reordering *across* independent ranges
+    /// is fine). The default loops `slide_multi` through a scratch buffer.
+    fn bulk_slide_multi(&mut self, batch: &[O::Partial], out: &mut Vec<O::Partial>) {
+        out.clear();
+        out.reserve(batch.len() * self.ranges().len());
+        let mut scratch = Vec::new();
+        for p in batch {
+            self.slide_multi(p.clone(), &mut scratch);
+            out.append(&mut scratch);
+        }
+    }
 
     /// The registered ranges, descending.
     fn ranges(&self) -> &[usize];

@@ -142,6 +142,26 @@ impl<O: AggregateOp> FinalAggregator<O> for BInt<O> {
     fn len(&self) -> usize {
         self.len
     }
+
+    /// Write the identity into the expiring slot so every covering dyadic
+    /// interval keeps aggregating live partials only — `log₂(m)` combines.
+    fn evict(&mut self) {
+        assert!(self.len > 0, "evict from an empty B-Int window");
+        let oldest = (self.curr + self.window - self.len) % self.window;
+        let identity = self.op.identity();
+        self.update_slot(oldest, identity);
+        self.len -= 1;
+    }
+
+    /// Batch fill skipping the per-slide dyadic look-up: each partial pays
+    /// its `log₂(m)` interval rebuild but no query decomposition.
+    fn bulk_insert(&mut self, batch: &[O::Partial]) {
+        for p in batch {
+            self.update_slot(self.curr, p.clone());
+            self.curr = (self.curr + 1) % self.window;
+            self.len = (self.len + 1).min(self.window);
+        }
+    }
 }
 
 impl<O: AggregateOp> MemoryFootprint for BInt<O> {

@@ -312,6 +312,27 @@ impl<O: AggregateOp> FinalAggregator<O> for Daba<O> {
     fn len(&self) -> usize {
         self.q.len()
     }
+
+    fn evict(&mut self) {
+        Daba::evict(self);
+    }
+
+    /// DABA's fix-up steps cannot be batched (each insert/evict must run
+    /// its constant-time repair to keep the six pointers balanced), but a
+    /// bulk insert still skips the per-slide `query` combine and reserves
+    /// chunk storage once for the whole run.
+    fn bulk_insert(&mut self, batch: &[O::Partial]) {
+        let skip = batch.len().saturating_sub(self.window);
+        let tail = &batch[skip..];
+        let evictions = (self.q.len() + tail.len()).saturating_sub(self.window);
+        for _ in 0..evictions {
+            self.evict();
+        }
+        self.q.reserve_back(tail.len());
+        for p in tail {
+            self.insert(p.clone());
+        }
+    }
 }
 
 impl<O: AggregateOp> MemoryFootprint for Daba<O> {

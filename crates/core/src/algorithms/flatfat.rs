@@ -175,6 +175,39 @@ impl<O: AggregateOp> FinalAggregator<O> for FlatFat<O> {
     fn len(&self) -> usize {
         self.len
     }
+
+    /// Write the identity into the oldest leaf (so the root keeps covering
+    /// only live partials) — `log₂(m)` combines, same as an insert.
+    fn evict(&mut self) {
+        assert!(self.len > 0, "evict from an empty FlatFAT window");
+        let oldest = (self.curr + self.window - self.len) % self.window;
+        let identity = self.op.identity();
+        self.update_leaf(oldest, identity);
+        self.len -= 1;
+    }
+
+    /// Allocation-free batch fill: write each leaf with its root path but
+    /// skip the per-slide root read; when the batch replaces the whole
+    /// window, write all leaves first and rebuild the tree once
+    /// (`m − 1` combines instead of `b·log m`).
+    fn bulk_insert(&mut self, batch: &[O::Partial]) {
+        if batch.len() >= self.window {
+            for p in &batch[batch.len() - self.window..] {
+                self.tree[self.m + self.curr] = p.clone();
+                self.curr = (self.curr + 1) % self.window;
+            }
+            self.len = self.window;
+            for i in (1..self.m).rev() {
+                self.tree[i] = self.op.combine(&self.tree[2 * i], &self.tree[2 * i + 1]);
+            }
+        } else {
+            for p in batch {
+                self.update_leaf(self.curr, p.clone());
+                self.curr = (self.curr + 1) % self.window;
+                self.len = (self.len + 1).min(self.window);
+            }
+        }
+    }
 }
 
 impl<O: AggregateOp> MemoryFootprint for FlatFat<O> {

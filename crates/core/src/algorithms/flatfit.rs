@@ -94,13 +94,10 @@ impl<O: AggregateOp> FinalAggregator<O> for FlatFit<O> {
         if self.len == 1 || self.window == 1 {
             return self.partials[newest].clone();
         }
-        // Oldest live slot: with a full window this is the slot after
-        // `newest`; during warm-up it is slot 0.
-        let start = if self.len == self.window {
-            (newest + 1) % self.window
-        } else {
-            0
-        };
+        // Oldest live slot: the slot `len − 1` positions behind `newest`.
+        // With a full window this is the slot after `newest`; during
+        // warm-up (no evictions) it is slot 0.
+        let start = (self.curr + self.window - self.len) % self.window;
         self.traverse_and_update(start, newest)
     }
 
@@ -110,6 +107,32 @@ impl<O: AggregateOp> FinalAggregator<O> for FlatFit<O> {
 
     fn len(&self) -> usize {
         self.len
+    }
+
+    /// O(1): the expired slot drops out of the live range; stale skip
+    /// pointers stay valid because they only ever cover slots between the
+    /// (new) oldest live slot and a past newest.
+    fn evict(&mut self) {
+        assert!(self.len > 0, "evict from an empty FlatFIT window");
+        self.len -= 1;
+    }
+
+    /// O(1) for any `n`: pure length arithmetic.
+    fn bulk_evict(&mut self, n: usize) {
+        assert!(n <= self.len, "evicting {n} of {} partials", self.len);
+        self.len -= n;
+    }
+
+    /// Plain ring writes with fresh skip pointers, zero combines: the
+    /// pointer chain degrades to single steps over the batch and is
+    /// re-widened by the next query's traversal.
+    fn bulk_insert(&mut self, batch: &[O::Partial]) {
+        for p in batch {
+            self.partials[self.curr] = p.clone();
+            self.pointers[self.curr] = (self.curr + 1) % self.window;
+            self.curr = (self.curr + 1) % self.window;
+            self.len = (self.len + 1).min(self.window);
+        }
     }
 }
 

@@ -86,6 +86,28 @@ impl<O: AggregateOp> FinalAggregator<O> for Naive<O> {
             self.len = (self.len + 1).min(self.window);
         }
     }
+
+    /// O(1): the expired slot is simply excluded from the live range.
+    fn evict(&mut self) {
+        assert!(self.len > 0, "evict from an empty naive window");
+        self.len -= 1;
+    }
+
+    /// O(1) for any `n`: pure length arithmetic on the ring.
+    fn bulk_evict(&mut self, n: usize) {
+        assert!(n <= self.len, "evicting {n} of {} partials", self.len);
+        self.len -= n;
+    }
+
+    /// Direct ring fill, zero combines — the per-slide O(n) re-aggregation
+    /// only happens on `slide`/`query`, never on insertion.
+    fn bulk_insert(&mut self, batch: &[O::Partial]) {
+        for p in batch {
+            self.partials[self.curr] = p.clone();
+            self.curr = (self.curr + 1) % self.window;
+            self.len = (self.len + 1).min(self.window);
+        }
+    }
 }
 
 impl<O: AggregateOp> MemoryFootprint for Naive<O> {

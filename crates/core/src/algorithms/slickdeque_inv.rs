@@ -119,6 +119,92 @@ impl<O: InvertibleOp> FinalAggregator<O> for SlickDequeInv<O> {
     fn len(&self) -> usize {
         self.len
     }
+
+    /// One ⊖: remove the oldest partial from the running answer and reset
+    /// its ring slot to the identity (so a later `slide` over the
+    /// not-yet-full window expires a no-op value).
+    fn evict(&mut self) {
+        assert!(self.len > 0, "evict from an empty SlickDeque window");
+        let oldest = (self.curr + self.window - self.len) % self.window;
+        let identity = self.op.identity();
+        let expired = std::mem::replace(&mut self.partials[oldest], identity);
+        self.answer = self.op.inverse_combine(&self.answer, &expired);
+        self.len -= 1;
+    }
+
+    /// The paper's running-answer trick, batched: fold the whole batch
+    /// with ⊕, fold the expiring history with ⊖, and touch the answer a
+    /// constant number of times — `b + e` combines instead of `2b`, and a
+    /// batch covering the full window rebuilds the answer with zero ⊖.
+    fn bulk_insert(&mut self, batch: &[O::Partial]) {
+        let b = batch.len();
+        if b == 0 {
+            return;
+        }
+        if b >= self.window {
+            // The batch replaces the whole window: fold the last `window`
+            // partials directly, no inverse operations at all.
+            let tail = &batch[b - self.window..];
+            let mut answer = tail[0].clone();
+            for (slot, p) in self.partials.iter_mut().zip(tail) {
+                *slot = p.clone();
+            }
+            for p in &tail[1..] {
+                answer = self.op.combine(&answer, p);
+            }
+            self.answer = answer;
+            self.curr = 0;
+            self.len = self.window;
+            return;
+        }
+        // Fold the arrivals, fold the partials they push out, then update
+        // the running answer once: answer ← (answer ⊕ batch) ⊖ expiring.
+        let mut added = batch[0].clone();
+        for p in &batch[1..] {
+            added = self.op.combine(&added, p);
+        }
+        let expirations = (self.len + b).saturating_sub(self.window);
+        let mut answer = self.op.combine(&self.answer, &added);
+        if expirations > 0 {
+            let start = (self.curr + self.window - self.len) % self.window;
+            let mut expired = self.partials[start].clone();
+            for k in 1..expirations {
+                expired = self
+                    .op
+                    .combine(&expired, &self.partials[(start + k) % self.window]);
+            }
+            answer = self.op.inverse_combine(&answer, &expired);
+        }
+        self.answer = answer;
+        for p in batch {
+            self.partials[self.curr] = p.clone();
+            self.curr = (self.curr + 1) % self.window;
+        }
+        self.len = (self.len + b).min(self.window);
+    }
+
+    /// The 2-ops-per-slide loop with the ring cursor and running answer
+    /// hoisted into locals — identical combine order to `slide`, so the
+    /// answer stream is bitwise equal to per-partial ingestion.
+    fn bulk_slide(&mut self, batch: &[O::Partial], out: &mut Vec<O::Partial>) {
+        out.clear();
+        out.reserve(batch.len());
+        let mut curr = self.curr;
+        let mut answer = self.answer.clone();
+        for p in batch {
+            let expiring = std::mem::replace(&mut self.partials[curr], p.clone());
+            let with_new = self.op.combine(&answer, p);
+            answer = self.op.inverse_combine(&with_new, &expiring);
+            curr += 1;
+            if curr == self.window {
+                curr = 0;
+            }
+            out.push(answer.clone());
+        }
+        self.curr = curr;
+        self.answer = answer;
+        self.len = (self.len + batch.len()).min(self.window);
+    }
 }
 
 impl<O: InvertibleOp> MemoryFootprint for SlickDequeInv<O> {

@@ -48,6 +48,10 @@ pub struct SlickDequeNonInv<O: SelectiveOp> {
     next_pos: u64,
     window: usize,
     len: usize,
+    /// Reusable survivor buffer for `bulk_insert` (batch offset, value),
+    /// newest→oldest; kept across calls so bulk ingestion allocates only
+    /// at its high-water mark.
+    survivors: Vec<(usize, O::Partial)>,
 }
 
 impl<O: SelectiveOp> SlickDequeNonInv<O> {
@@ -61,6 +65,7 @@ impl<O: SelectiveOp> SlickDequeNonInv<O> {
             next_pos: 0,
             window,
             len: 0,
+            survivors: Vec::new(),
         }
     }
 
@@ -164,11 +169,102 @@ impl<O: SelectiveOp> FinalAggregator<O> for SlickDequeNonInv<O> {
     fn len(&self) -> usize {
         self.len
     }
+
+    /// Drop the oldest live position; at most one head node can expire
+    /// (nodes hold strictly increasing positions).
+    fn evict(&mut self) {
+        assert!(self.len > 0, "evict from an empty SlickDeque window");
+        self.len -= 1;
+        self.expire_head();
+    }
+
+    /// One head scan for the whole range of expired positions instead of
+    /// `n` separate head checks.
+    fn bulk_evict(&mut self, n: usize) {
+        assert!(n <= self.len, "evicting {n} of {} partials", self.len);
+        self.len -= n;
+        let oldest_live = self.next_pos - self.len as u64;
+        while self
+            .deque
+            .front()
+            .is_some_and(|node| node.pos < oldest_live)
+        {
+            self.deque.pop_front();
+        }
+    }
+
+    /// Algorithm 2's dominance popping, batched: scan the batch
+    /// right-to-left once to find its surviving (dominance-decreasing)
+    /// suffix, pop the existing tail nodes the batch winner dominates, and
+    /// append the survivors in one reserved run — each batch partial costs
+    /// one comparison instead of a full push/pop cycle.
+    fn bulk_insert(&mut self, batch: &[O::Partial]) {
+        let b = batch.len();
+        if b == 0 {
+            return;
+        }
+        // Only the last `window` arrivals can be live once the batch is in.
+        let skip = b.saturating_sub(self.window);
+        if skip > 0 {
+            self.deque.clear();
+        }
+        let tail = &batch[skip..];
+        // Right-to-left: a partial survives iff the fold of everything
+        // after it does not dominate it — the same outcome as sequential
+        // tail-popping, where later arrivals cascade through the deque.
+        self.survivors.clear();
+        let mut winner: Option<O::Partial> = None;
+        for (i, p) in tail.iter().enumerate().rev() {
+            match winner {
+                None => {
+                    self.survivors.push((skip + i, p.clone()));
+                    winner = Some(p.clone());
+                }
+                Some(w) => {
+                    if self.op.combine(p, &w) == w {
+                        winner = Some(w);
+                    } else {
+                        self.survivors.push((skip + i, p.clone()));
+                        winner = Some(self.op.combine(p, &w));
+                    }
+                }
+            }
+        }
+        // The oldest survivor is the batch winner: pop the existing tail
+        // suffix it dominates (dominated nodes form a contiguous tail).
+        let strongest = &self.survivors.last().expect("batch is non-empty").1;
+        while let Some(back) = self.deque.back() {
+            if self.op.combine(&back.val, strongest) == *strongest {
+                self.deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.deque.reserve_back(self.survivors.len());
+        for k in (0..self.survivors.len()).rev() {
+            let (offset, val) = self.survivors[k].clone();
+            self.deque.push_back(Node {
+                pos: self.next_pos + offset as u64,
+                val,
+            });
+        }
+        self.next_pos += b as u64;
+        self.len = (self.len + b).min(self.window);
+        let oldest_live = self.next_pos - self.len as u64;
+        while self
+            .deque
+            .front()
+            .is_some_and(|node| node.pos < oldest_live)
+        {
+            self.deque.pop_front();
+        }
+    }
 }
 
 impl<O: SelectiveOp> MemoryFootprint for SlickDequeNonInv<O> {
     fn heap_bytes(&self) -> usize {
         self.deque.heap_bytes()
+            + self.survivors.capacity() * core::mem::size_of::<(usize, O::Partial)>()
     }
 }
 

@@ -132,6 +132,37 @@ impl<O: AggregateOp> FinalAggregator<O> for TwoStacks<O> {
     fn len(&self) -> usize {
         TwoStacks::len(self)
     }
+
+    fn evict(&mut self) {
+        TwoStacks::evict(self);
+    }
+
+    /// One flip-check for the whole range: truncate the front stack, and
+    /// only if it runs out flip the back once and truncate the rest —
+    /// instead of `n` flip checks.
+    fn bulk_evict(&mut self, n: usize) {
+        assert!(n <= self.len(), "evicting {n} of {} partials", self.len());
+        let from_front = n.min(self.front.len());
+        self.front.truncate(self.front.len() - from_front);
+        let rest = n - from_front;
+        if rest > 0 {
+            self.flip();
+            self.front.truncate(self.front.len() - rest);
+        }
+    }
+
+    /// Evict the overflow up front (at most one flip), then push the batch
+    /// as pure one-combine inserts into the reserved back stack.
+    fn bulk_insert(&mut self, batch: &[O::Partial]) {
+        let skip = batch.len().saturating_sub(self.window);
+        let tail = &batch[skip..];
+        let evictions = (self.len() + tail.len()).saturating_sub(self.window);
+        self.bulk_evict(evictions);
+        self.back.reserve(tail.len());
+        for p in tail {
+            self.insert(p.clone());
+        }
+    }
 }
 
 impl<O: AggregateOp> MemoryFootprint for TwoStacks<O> {

@@ -111,6 +111,21 @@ impl<T> ChunkedDeque<T> {
         self.chunks.push_back(chunk);
     }
 
+    /// Ensure one run of `n` `push_back`s performs at most one chunk
+    /// allocation up front instead of allocating at each chunk crossing:
+    /// pre-fill the spare slot if the appends will outgrow the back
+    /// chunk's remaining capacity. The bulk-insert fast paths call this
+    /// once per batch.
+    pub fn reserve_back(&mut self, n: usize) {
+        let room = self
+            .chunks
+            .back()
+            .map_or(0, |chunk| self.chunk_cap - chunk.len());
+        if n > room && self.spare.is_none() {
+            self.spare = Some(Vec::with_capacity(self.chunk_cap));
+        }
+    }
+
     /// Remove and drop the front element. Returns `false` if empty.
     ///
     /// The slot is logically removed immediately; its value is dropped when

@@ -140,6 +140,45 @@ impl<O: InvertibleOp> MultiFinalAggregator<O> for MultiSlickDequeInv<O> {
         self.curr = (self.curr + 1) % self.wsize;
     }
 
+    /// Range-major batching: each answers-map entry is loaded once, run
+    /// over the whole batch in a register, and stored once — one answers
+    /// touch per range instead of one per range per slide. The expiring
+    /// value for batch element `k` under range `r` is `batch[k − r]` once
+    /// the window has slid past the batch start, so most ⊖ reads never
+    /// touch the ring. Per-range combine order matches `slide_multi`
+    /// exactly, keeping answers bitwise identical.
+    fn bulk_slide_multi(&mut self, batch: &[O::Partial], out: &mut Vec<O::Partial>) {
+        out.clear();
+        let b = batch.len();
+        let q = self.answers.len();
+        if b == 0 {
+            return;
+        }
+        out.resize(b * q, self.op.identity());
+        for (slot, (r, ans)) in self.answers.iter_mut().enumerate() {
+            let r = *r;
+            let mut a = ans.clone();
+            for (k, p) in batch.iter().enumerate() {
+                let with_new = self.op.combine(&a, p);
+                let expiring = if k >= r {
+                    &batch[k - r]
+                } else {
+                    // Pre-batch history: the slot `r − k` positions behind
+                    // the initial cursor (writes cannot have reached it:
+                    // that would need a batch index ≥ k + wsize − r ≥ k).
+                    &self.partials[(self.curr + self.wsize + k - r) % self.wsize]
+                };
+                a = self.op.inverse_combine(&with_new, expiring);
+                out[k * q + slot] = a.clone();
+            }
+            *ans = a;
+        }
+        for p in batch {
+            self.partials[self.curr] = p.clone();
+            self.curr = (self.curr + 1) % self.wsize;
+        }
+    }
+
     fn ranges(&self) -> &[usize] {
         &self.ranges
     }

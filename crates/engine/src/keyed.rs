@@ -27,6 +27,17 @@ pub trait ShardProcessor: Send {
     /// Process one keyed tuple, appending `(key, answer)` pairs to `out`.
     fn process(&mut self, key: Key, value: f64, out: &mut Vec<(Key, Self::Answer)>);
 
+    /// Process a run of consecutive tuples that all belong to `key`, in
+    /// stream order. Answers are identical to calling
+    /// [`process`](Self::process) once per value; implementations override
+    /// this to pay the per-key state look-up once and take the
+    /// aggregator's bulk fast paths.
+    fn process_run(&mut self, key: Key, values: &[f64], out: &mut Vec<(Key, Self::Answer)>) {
+        for &v in values {
+            self.process(key, v, out);
+        }
+    }
+
     /// Number of distinct keys this processor has seen.
     fn keys(&self) -> usize;
 }
@@ -41,6 +52,10 @@ where
     op: O,
     window: usize,
     states: HashMap<Key, A>,
+    /// Reusable lifted-batch buffer for [`ShardProcessor::process_run`].
+    lift_scratch: Vec<O::Partial>,
+    /// Reusable bulk-answer buffer for [`ShardProcessor::process_run`].
+    answer_scratch: Vec<O::Partial>,
 }
 
 impl<O, A> KeyedWindows<O, A>
@@ -55,6 +70,8 @@ where
             op,
             window,
             states: HashMap::new(),
+            lift_scratch: Vec::new(),
+            answer_scratch: Vec::new(),
         }
     }
 
@@ -79,6 +96,26 @@ where
             .or_insert_with(|| A::with_capacity(self.op.clone(), self.window));
         let partial = agg.slide(self.op.lift(&value));
         out.push((key, self.op.lower(&partial)));
+    }
+
+    /// One state look-up for the whole run, then the aggregator's
+    /// [`FinalAggregator::bulk_slide`] fast path — answers stay bitwise
+    /// identical to per-tuple processing.
+    fn process_run(&mut self, key: Key, values: &[f64], out: &mut Vec<(Key, f64)>) {
+        let KeyedWindows {
+            op,
+            window,
+            states,
+            lift_scratch,
+            answer_scratch,
+        } = self;
+        let agg = states
+            .entry(key)
+            .or_insert_with(|| A::with_capacity(op.clone(), *window));
+        lift_scratch.clear();
+        lift_scratch.extend(values.iter().map(|v| op.lift(v)));
+        agg.bulk_slide(lift_scratch, answer_scratch);
+        out.extend(answer_scratch.drain(..).map(|p| (key, op.lower(&p))));
     }
 
     fn keys(&self) -> usize {
@@ -107,6 +144,8 @@ where
     op: O,
     plan: swag_plan::SharedPlan,
     states: HashMap<Key, SharedPlanExecutor<O, M>>,
+    /// Reusable per-run delivery buffer for [`ShardProcessor::process_run`].
+    sink_scratch: VecSink<O::Partial>,
 }
 
 impl<O, M> KeyedPlans<O, M>
@@ -124,6 +163,7 @@ where
             op,
             plan,
             states: HashMap::new(),
+            sink_scratch: VecSink(Vec::new()),
         }
     }
 }
@@ -145,6 +185,25 @@ where
         exec.push(value, &mut sink);
         for (qi, partial) in sink.0 {
             out.push((key, (qi, self.op.lower(&partial))));
+        }
+    }
+
+    /// One executor look-up per run, feeding the whole run through
+    /// [`SharedPlanExecutor::push_batch`] into a reused delivery buffer.
+    fn process_run(&mut self, key: Key, values: &[f64], out: &mut Vec<(Key, (usize, f64))>) {
+        let KeyedPlans {
+            op,
+            plan,
+            states,
+            sink_scratch,
+        } = self;
+        let exec = states
+            .entry(key)
+            .or_insert_with(|| SharedPlanExecutor::new(op.clone(), plan.clone()));
+        sink_scratch.0.clear();
+        exec.push_batch(values, sink_scratch);
+        for (qi, partial) in sink_scratch.0.drain(..) {
+            out.push((key, (qi, op.lower(&partial))));
         }
     }
 
@@ -182,6 +241,44 @@ mod tests {
         }
         let answers: Vec<f64> = out.iter().map(|&(_, a)| a).collect();
         assert_eq!(answers, vec![1.0, 9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn process_run_matches_per_tuple_process() {
+        let values: Vec<f64> = (0..50).map(|i| ((i * 31) % 19) as f64).collect();
+
+        let mut scalar: KeyedWindows<_, SlickDequeNonInv<_>> = KeyedWindows::new(MaxF64::new(), 5);
+        let mut expected = Vec::new();
+        for &v in &values {
+            scalar.process(3, v, &mut expected);
+        }
+
+        let mut bulk: KeyedWindows<_, SlickDequeNonInv<_>> = KeyedWindows::new(MaxF64::new(), 5);
+        let mut got = Vec::new();
+        for chunk in values.chunks(7) {
+            bulk.process_run(3, chunk, &mut got);
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn keyed_plans_process_run_matches_process() {
+        let plan = SharedPlan::build(&[Query::new(6, 2), Query::new(8, 4)], Pat::Pairs);
+        let op = Sum::<f64>::new();
+        let values: Vec<f64> = (0..40).map(|i| ((i * 11) % 13) as f64).collect();
+
+        let mut scalar: KeyedPlans<_, MultiSlickDequeInv<_>> = KeyedPlans::new(op, plan.clone());
+        let mut expected = Vec::new();
+        for &v in &values {
+            scalar.process(9, v, &mut expected);
+        }
+
+        let mut bulk: KeyedPlans<_, MultiSlickDequeInv<_>> = KeyedPlans::new(op, plan);
+        let mut got = Vec::new();
+        for chunk in values.chunks(9) {
+            bulk.process_run(9, chunk, &mut got);
+        }
+        assert_eq!(got, expected);
     }
 
     #[test]

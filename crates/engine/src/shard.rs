@@ -63,6 +63,29 @@ impl EngineConfig {
             ..EngineConfig::default()
         }
     }
+
+    /// Check every knob is usable, with a message naming the bad field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards < 1 {
+            return Err(format!(
+                "engine config: `shards` must be at least 1 (got {})",
+                self.shards
+            ));
+        }
+        if self.queue_capacity < 1 {
+            return Err(format!(
+                "engine config: `queue_capacity` must be at least 1 batch (got {})",
+                self.queue_capacity
+            ));
+        }
+        if self.batch < 1 {
+            return Err(format!(
+                "engine config: `batch` must be at least 1 tuple (got {})",
+                self.batch
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// The outcome of [`ShardedEngine::run`].
@@ -94,15 +117,20 @@ pub fn shard_of(key: Key, shards: usize) -> usize {
 
 impl ShardedEngine {
     /// An engine with the given configuration. Panics on zero shards,
-    /// queue capacity, or batch size.
+    /// queue capacity, or batch size; use [`try_new`](Self::try_new) to
+    /// handle bad configs without panicking.
     pub fn new(config: EngineConfig) -> Self {
-        assert!(config.shards >= 1, "at least one shard is required");
-        assert!(
-            config.queue_capacity >= 1,
-            "queue capacity must be positive"
-        );
-        assert!(config.batch >= 1, "batch size must be positive");
-        ShardedEngine { config }
+        match Self::try_new(config) {
+            Ok(engine) => engine,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    /// An engine with the given configuration, or the
+    /// [`EngineConfig::validate`] error naming the bad knob.
+    pub fn try_new(config: EngineConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(ShardedEngine { config })
     }
 
     /// The engine's configuration.
@@ -204,6 +232,13 @@ impl ShardedEngine {
 }
 
 /// One worker's loop: drain batches until the channel closes.
+///
+/// Each received batch is grouped into per-key runs with a stable sort
+/// (tuples of one key keep their stream order while becoming contiguous),
+/// so a key pays one [`ShardProcessor::process_run`] call — one state
+/// look-up plus the aggregator's bulk path — per batch instead of one
+/// `process` call per tuple. Per-key answer sequences are unchanged;
+/// only the interleaving of different keys inside a batch may differ.
 fn shard_worker<P: ShardProcessor>(
     shard: usize,
     inbox: Receiver<Vec<(Key, f64)>>,
@@ -214,14 +249,30 @@ fn shard_worker<P: ShardProcessor>(
     let started = Instant::now();
     let mut tuples = 0u64;
     let mut answers = 0u64;
+    let mut batches = 0u64;
     let mut retained = Vec::new();
+    // Reused across recv iterations: per-run values and per-batch answers.
+    let mut values: Vec<f64> = Vec::new();
     let mut scratch = Vec::new();
-    while let Ok(batch) = inbox.recv() {
+    while let Ok(mut batch) = inbox.recv() {
         gauge.dequeued_n(batch.len() as u64);
-        for (key, value) in batch {
-            processor.process(key, value, &mut scratch);
-            tuples += 1;
+        batches += 1;
+        batch.sort_by_key(|&(key, _)| key);
+        let mut i = 0;
+        while i < batch.len() {
+            let key = batch[i].0;
+            let mut j = i + 1;
+            while j < batch.len() && batch[j].0 == key {
+                j += 1;
+            }
+            values.clear();
+            values.extend(batch[i..j].iter().map(|&(_, v)| v));
+            processor.process_run(key, &values, &mut scratch);
+            tuples += (j - i) as u64;
+            i = j;
         }
+        // Count answers as produced, before the retain decision — the
+        // tally is the same whether or not answers are kept.
         answers += scratch.len() as u64;
         if retain {
             retained.append(&mut scratch);
@@ -233,6 +284,7 @@ fn shard_worker<P: ShardProcessor>(
         shard,
         tuples,
         answers,
+        batches,
         keys: processor.keys(),
         max_queue_depth: gauge.max_depth(),
         elapsed: started.elapsed(),
@@ -309,6 +361,58 @@ mod tests {
             }
         }
         assert_eq!(run.stats.keys(), 10);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_with_field_names() {
+        let bad_shards = EngineConfig {
+            shards: 0,
+            ..EngineConfig::default()
+        };
+        let err = ShardedEngine::try_new(bad_shards).unwrap_err();
+        assert!(err.contains("`shards`"), "{err}");
+
+        let bad_queue = EngineConfig {
+            queue_capacity: 0,
+            ..EngineConfig::default()
+        };
+        let err = ShardedEngine::try_new(bad_queue).unwrap_err();
+        assert!(err.contains("`queue_capacity`"), "{err}");
+
+        let bad_batch = EngineConfig {
+            batch: 0,
+            ..EngineConfig::default()
+        };
+        let err = ShardedEngine::try_new(bad_batch).unwrap_err();
+        assert!(err.contains("`batch`"), "{err}");
+
+        assert!(EngineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn answers_counted_without_retention_and_batches_tracked() {
+        let input = tuples(1000, 7);
+        let engine = ShardedEngine::new(EngineConfig {
+            shards: 2,
+            queue_capacity: 4,
+            batch: 50,
+            retain_answers: false,
+        });
+        let mut source = KeyedVecSource::new(input);
+        let run = engine.run(&mut source, u64::MAX, |_| {
+            KeyedWindows::<_, SlickDequeInv<_>>::new(Sum::<f64>::new(), 16)
+        });
+        // Slide-1 windows answer once per tuple even when nothing is kept.
+        assert_eq!(run.stats.answers, 1000);
+        // 1000 tuples over 50-tuple batches: 20 full messages plus at most
+        // one partial flush per shard.
+        assert!(
+            (20..=22).contains(&run.stats.batches),
+            "batches = {}",
+            run.stats.batches
+        );
+        let per_batch = run.stats.tuples_per_batch();
+        assert!(per_batch > 40.0 && per_batch <= 50.0, "{per_batch}");
     }
 
     #[test]

@@ -12,6 +12,8 @@ pub struct ShardStats {
     pub tuples: u64,
     /// Answers its per-key windows produced.
     pub answers: u64,
+    /// Channel batches this shard received (one per `recv`).
+    pub batches: u64,
     /// Distinct keys routed to this shard.
     pub keys: usize,
     /// Deepest inbound-queue occupancy observed, in tuples — the
@@ -28,6 +30,7 @@ impl ToJson for ShardStats {
             ("shard", Json::UInt(self.shard as u64)),
             ("tuples", Json::UInt(self.tuples)),
             ("answers", Json::UInt(self.answers)),
+            ("batches", Json::UInt(self.batches)),
             ("keys", Json::UInt(self.keys as u64)),
             ("max_queue_depth", Json::UInt(self.max_queue_depth)),
             ("elapsed_secs", Json::Num(self.elapsed.as_secs_f64())),
@@ -44,6 +47,8 @@ pub struct EngineStats {
     pub tuples: u64,
     /// Total answers produced across shards.
     pub answers: u64,
+    /// Total channel batches received across shards.
+    pub batches: u64,
     /// Wall-clock duration of the run (routing start to last worker
     /// drained).
     pub elapsed: Duration,
@@ -54,10 +59,12 @@ impl EngineStats {
     pub fn merge(shards: Vec<ShardStats>, elapsed: Duration) -> Self {
         let tuples = shards.iter().map(|s| s.tuples).sum();
         let answers = shards.iter().map(|s| s.answers).sum();
+        let batches = shards.iter().map(|s| s.batches).sum();
         EngineStats {
             shards,
             tuples,
             answers,
+            batches,
             elapsed,
         }
     }
@@ -75,6 +82,18 @@ impl EngineStats {
     /// Distinct keys across all shards (keys never span shards).
     pub fn keys(&self) -> usize {
         self.shards.iter().map(|s| s.keys).sum()
+    }
+
+    /// Average tuples delivered per channel `recv` — how well the router's
+    /// batching amortises channel synchronisation. Below the configured
+    /// batch size means the source drained faster than workers consumed
+    /// (frequent partial flushes).
+    pub fn tuples_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.tuples as f64 / self.batches as f64
+        }
     }
 
     /// Largest per-shard queue watermark — how close the engine came to
@@ -103,9 +122,11 @@ impl ToJson for EngineStats {
         Json::obj(vec![
             ("tuples", Json::UInt(self.tuples)),
             ("answers", Json::UInt(self.answers)),
+            ("batches", Json::UInt(self.batches)),
             ("keys", Json::UInt(self.keys() as u64)),
             ("elapsed_secs", Json::Num(self.elapsed.as_secs_f64())),
             ("tuples_per_sec", Json::Num(self.tuples_per_sec())),
+            ("tuples_per_batch", Json::Num(self.tuples_per_batch())),
             ("max_queue_depth", Json::UInt(self.max_queue_depth())),
             ("skew", Json::Num(self.skew())),
             ("shards", Json::arr(self.shards.iter(), |s| s.to_json())),
@@ -117,11 +138,19 @@ impl ToJson for EngineStats {
 mod tests {
     use super::*;
 
-    fn shard(i: usize, tuples: u64, answers: u64, keys: usize, depth: u64) -> ShardStats {
+    fn shard(
+        i: usize,
+        tuples: u64,
+        answers: u64,
+        batches: u64,
+        keys: usize,
+        depth: u64,
+    ) -> ShardStats {
         ShardStats {
             shard: i,
             tuples,
             answers,
+            batches,
             keys,
             max_queue_depth: depth,
             elapsed: Duration::from_millis(10),
@@ -131,23 +160,32 @@ mod tests {
     #[test]
     fn merge_sums_and_computes_rates() {
         let stats = EngineStats::merge(
-            vec![shard(0, 600, 600, 3, 10), shard(1, 400, 400, 2, 40)],
+            vec![shard(0, 600, 600, 3, 3, 10), shard(1, 400, 400, 2, 2, 40)],
             Duration::from_secs(2),
         );
         assert_eq!(stats.tuples, 1000);
         assert_eq!(stats.answers, 1000);
+        assert_eq!(stats.batches, 5);
         assert_eq!(stats.keys(), 5);
         assert_eq!(stats.max_queue_depth(), 40);
         assert!((stats.tuples_per_sec() - 500.0).abs() < 1e-9);
+        assert!((stats.tuples_per_batch() - 200.0).abs() < 1e-9);
         // Busiest shard has 600 of 1000 over 2 shards → skew 1.2.
         assert!((stats.skew() - 1.2).abs() < 1e-9);
     }
 
     #[test]
+    fn tuples_per_batch_handles_empty_runs() {
+        let stats = EngineStats::merge(vec![shard(0, 0, 0, 0, 0, 0)], Duration::from_secs(1));
+        assert_eq!(stats.tuples_per_batch(), 0.0);
+    }
+
+    #[test]
     fn stats_render_as_json() {
-        let stats = EngineStats::merge(vec![shard(0, 1, 2, 1, 3)], Duration::from_secs(1));
+        let stats = EngineStats::merge(vec![shard(0, 1, 2, 1, 1, 3)], Duration::from_secs(1));
         let text = stats.to_json().pretty();
         assert!(text.contains("\"tuples\": 1"));
+        assert!(text.contains("\"batches\": 1"));
         assert!(text.contains("\"max_queue_depth\": 3"));
         assert!(text.contains("\"shards\": ["));
     }

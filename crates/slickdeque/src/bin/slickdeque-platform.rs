@@ -29,7 +29,7 @@ fn main() {
                  --queries r:s[,r:s…] [--pat panes|pairs|cutty] \
                  [--engine slickdeque|naive|flatfat|bint|flatfit|general] \
                  [--source stdin|debs:<seed>[:<ch>]|workload:<name>[:<seed>]] \
-                 [--tuples N] [--emit] [--keyed] [--shards N] [--keys N]"
+                 [--tuples N] [--batch N] [--emit] [--keyed] [--shards N] [--keys N]"
             );
             std::process::exit(2);
         }

@@ -19,6 +19,11 @@
 //! slickdeque-platform --op max --queries 60:10 --source debs:42 \
 //!     --tuples 100000 --keyed --keys 20 --shards 4
 //! ```
+//!
+//! `--batch N` selects bulk vs scalar ingestion: unkeyed runs feed the
+//! shared-plan executor `N`-tuple slices through its batched push path,
+//! keyed runs use `N` as the engine's channel batch size. Answers are
+//! identical either way; batching only amortises per-tuple overheads.
 
 use crate::prelude::*;
 use std::io::{BufRead, Write};
@@ -168,6 +173,12 @@ pub struct CliConfig {
     /// Distinct keys the keyed sources generate (DEBS machines /
     /// synthetic streams).
     pub keys: usize,
+    /// Ingestion batch size (`--batch`). `None` keeps the defaults:
+    /// scalar pull-based execution unkeyed, the engine's default channel
+    /// batch keyed. `Some(n > 1)` drives the bulk fast paths: chunked
+    /// [`SharedPlanExecutor::push_batch`] unkeyed, `n`-tuple channel
+    /// batches keyed.
+    pub batch: Option<usize>,
 }
 
 impl CliConfig {
@@ -186,6 +197,7 @@ impl CliConfig {
         let mut keyed = false;
         let mut shards = 1usize;
         let mut keys = 8usize;
+        let mut batch = None;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -239,6 +251,15 @@ impl CliConfig {
                         return Err("--keys must be at least 1".into());
                     }
                 }
+                "--batch" => {
+                    let b: usize = value("--batch")?
+                        .parse()
+                        .map_err(|e| format!("bad batch size: {e}"))?;
+                    if b == 0 {
+                        return Err("--batch must be at least 1".into());
+                    }
+                    batch = Some(b);
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -262,7 +283,32 @@ impl CliConfig {
             keyed,
             shards,
             keys,
+            batch,
         })
+    }
+}
+
+/// Drive a shared-plan executor over the whole source: pull-based when the
+/// batch size is 1 (scalar), push-based in `batch`-tuple chunks otherwise.
+/// Answers are bitwise identical either way.
+fn drive_shared<O, M, K>(
+    exec: &mut SharedPlanExecutor<O, M>,
+    source: &mut VecSource,
+    batch: usize,
+    sink: &mut K,
+) where
+    O: AggregateOp<Input = f64> + Clone,
+    M: MultiFinalAggregator<O>,
+    K: Sink<O::Partial>,
+{
+    if batch <= 1 {
+        exec.run(source, u64::MAX, sink);
+    } else {
+        let n = source.remaining();
+        let values = source.take_values(n);
+        for chunk in values.chunks(batch) {
+            exec.push_batch(chunk, sink);
+        }
     }
 }
 
@@ -356,11 +402,22 @@ pub fn run(
         ));
     }
 
+    let batch = cfg.batch.unwrap_or(1);
+    if cfg.engine == EngineChoice::General && batch > 1 {
+        return Err(
+            "--batch drives the shared-plan executors; --engine general is \
+             pull-based and always scalar"
+                .into(),
+        );
+    }
+
     // The exact general executor serves any plan; the named engines run
     // the corresponding multi-query aggregator over the shared plan and
-    // produce identical answers (verified by the test suite).
+    // produce identical answers (verified by the test suite). `$slick` is
+    // the SlickDeque flavour matching the op class: Inv for invertible
+    // ops, Non-Inv for selective ones.
     macro_rules! run_engine {
-        ($op:expr, $sink:ident, invertible) => {{
+        ($op:expr, $sink:ident, $slick:ident) => {{
             match cfg.engine {
                 EngineChoice::General => {
                     GeneralPlanExecutor::new($op, plan.clone()).run(
@@ -369,87 +426,36 @@ pub fn run(
                         &mut $sink,
                     );
                 }
-                EngineChoice::SlickDeque => {
-                    SharedPlanExecutor::<_, MultiSlickDequeInv<_>>::new($op, plan.clone()).run(
-                        &mut source,
-                        slides,
-                        &mut $sink,
-                    );
-                }
-                EngineChoice::Naive => {
-                    SharedPlanExecutor::<_, MultiNaive<_>>::new($op, plan.clone()).run(
-                        &mut source,
-                        slides,
-                        &mut $sink,
-                    );
-                }
-                EngineChoice::FlatFat => {
-                    SharedPlanExecutor::<_, MultiFlatFat<_>>::new($op, plan.clone()).run(
-                        &mut source,
-                        slides,
-                        &mut $sink,
-                    );
-                }
-                EngineChoice::BInt => {
-                    SharedPlanExecutor::<_, MultiBInt<_>>::new($op, plan.clone()).run(
-                        &mut source,
-                        slides,
-                        &mut $sink,
-                    );
-                }
-                EngineChoice::FlatFit => {
-                    SharedPlanExecutor::<_, MultiFlatFit<_>>::new($op, plan.clone()).run(
-                        &mut source,
-                        slides,
-                        &mut $sink,
-                    );
-                }
-            }
-        }};
-        ($op:expr, $sink:ident, selective) => {{
-            match cfg.engine {
-                EngineChoice::General => {
-                    GeneralPlanExecutor::new($op, plan.clone()).run(
-                        &mut source,
-                        slides,
-                        &mut $sink,
-                    );
-                }
-                EngineChoice::SlickDeque => {
-                    SharedPlanExecutor::<_, MultiSlickDequeNonInv<_>>::new($op, plan.clone()).run(
-                        &mut source,
-                        slides,
-                        &mut $sink,
-                    );
-                }
-                EngineChoice::Naive => {
-                    SharedPlanExecutor::<_, MultiNaive<_>>::new($op, plan.clone()).run(
-                        &mut source,
-                        slides,
-                        &mut $sink,
-                    );
-                }
-                EngineChoice::FlatFat => {
-                    SharedPlanExecutor::<_, MultiFlatFat<_>>::new($op, plan.clone()).run(
-                        &mut source,
-                        slides,
-                        &mut $sink,
-                    );
-                }
-                EngineChoice::BInt => {
-                    SharedPlanExecutor::<_, MultiBInt<_>>::new($op, plan.clone()).run(
-                        &mut source,
-                        slides,
-                        &mut $sink,
-                    );
-                }
-                EngineChoice::FlatFit => {
-                    SharedPlanExecutor::<_, MultiFlatFit<_>>::new($op, plan.clone()).run(
-                        &mut source,
-                        slides,
-                        &mut $sink,
-                    );
-                }
+                EngineChoice::SlickDeque => drive_shared(
+                    &mut SharedPlanExecutor::<_, $slick<_>>::new($op, plan.clone()),
+                    &mut source,
+                    batch,
+                    &mut $sink,
+                ),
+                EngineChoice::Naive => drive_shared(
+                    &mut SharedPlanExecutor::<_, MultiNaive<_>>::new($op, plan.clone()),
+                    &mut source,
+                    batch,
+                    &mut $sink,
+                ),
+                EngineChoice::FlatFat => drive_shared(
+                    &mut SharedPlanExecutor::<_, MultiFlatFat<_>>::new($op, plan.clone()),
+                    &mut source,
+                    batch,
+                    &mut $sink,
+                ),
+                EngineChoice::BInt => drive_shared(
+                    &mut SharedPlanExecutor::<_, MultiBInt<_>>::new($op, plan.clone()),
+                    &mut source,
+                    batch,
+                    &mut $sink,
+                ),
+                EngineChoice::FlatFit => drive_shared(
+                    &mut SharedPlanExecutor::<_, MultiFlatFit<_>>::new($op, plan.clone()),
+                    &mut source,
+                    batch,
+                    &mut $sink,
+                ),
             }
         }};
     }
@@ -485,27 +491,27 @@ pub fn run(
         OpChoice::Sum => run_op!(
             Sum::<f64>::new(),
             |_op: &Sum<f64>, a: &f64| format!("{a:.6}"),
-            invertible
+            MultiSlickDequeInv
         ),
         OpChoice::Mean => run_op!(
             Mean::new(),
             |op: &Mean, a: &MeanPartial| format!("{:.6}", op.lower(a)),
-            invertible
+            MultiSlickDequeInv
         ),
         OpChoice::StdDev => run_op!(
             StdDev::new(),
             |op: &StdDev, a| format!("{:.6}", op.lower(a)),
-            invertible
+            MultiSlickDequeInv
         ),
         OpChoice::Max => run_op!(
             MaxF64::new(),
             |_op: &MaxF64, a: &f64| format!("{a:.6}"),
-            selective
+            MultiSlickDequeNonInv
         ),
         OpChoice::Min => run_op!(
             MinF64::new(),
             |_op: &MinF64, a: &f64| format!("{a:.6}"),
-            selective
+            MultiSlickDequeNonInv
         ),
     }
 }
@@ -531,11 +537,12 @@ pub fn run_keyed(
     }
     let tuples = cfg.tuples.ok_or("--tuples is required with --keyed")?;
     let mut source = build_keyed_source(cfg)?;
-    let engine = ShardedEngine::new(EngineConfig {
+    let engine = ShardedEngine::try_new(EngineConfig {
         shards: cfg.shards,
+        batch: cfg.batch.unwrap_or(EngineConfig::default().batch),
         retain_answers: true,
         ..EngineConfig::default()
-    });
+    })?;
 
     // Per-key answers are lowered inside the shard workers, so every op
     // produces the same `(key, (query, f64))` shape here.
@@ -758,6 +765,70 @@ mod tests {
         // stdin has no keys.
         assert!(CliConfig::parse(args("--op sum --queries 8:2 --source stdin --keyed")).is_err());
         assert!(CliConfig::parse(args("--op sum --queries 8:2 --tuples 1 --shards 0")).is_err());
+    }
+
+    #[test]
+    fn batch_flag_parses_and_validates() {
+        let cfg = CliConfig::parse(args("--op sum --queries 8:2 --tuples 100 --batch 64")).unwrap();
+        assert_eq!(cfg.batch, Some(64));
+        let cfg = CliConfig::parse(args("--op sum --queries 8:2 --tuples 100")).unwrap();
+        assert_eq!(cfg.batch, None);
+        assert!(CliConfig::parse(args("--op sum --queries 8:2 --tuples 100 --batch 0")).is_err());
+        assert!(CliConfig::parse(args("--op sum --queries 8:2 --tuples 100 --batch abc")).is_err());
+    }
+
+    #[test]
+    fn batched_ingestion_matches_scalar() {
+        let values: Vec<f64> = (0..300).map(|i| ((i * 37) % 101) as f64).collect();
+        for engine in ["slickdeque", "naive", "flatfat"] {
+            for op in ["sum", "max", "stddev"] {
+                let scalar_cfg = CliConfig::parse(args(&format!(
+                    "--op {op} --queries 24:4,16:8 --engine {engine} --source stdin --emit"
+                )))
+                .unwrap();
+                let mut scalar_out = Vec::new();
+                let scalar = run(&scalar_cfg, Some(values.clone()), &mut scalar_out).unwrap();
+
+                for batch in [1usize, 7, 64, 512] {
+                    let cfg = CliConfig::parse(args(&format!(
+                        "--op {op} --queries 24:4,16:8 --engine {engine} --source stdin \
+                         --emit --batch {batch}"
+                    )))
+                    .unwrap();
+                    let mut out = Vec::new();
+                    let got = run(&cfg, Some(values.clone()), &mut out).unwrap();
+                    assert_eq!(got, scalar, "{engine}/{op} batch {batch}");
+                    assert_eq!(out, scalar_out, "{engine}/{op} batch {batch} emit");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn general_engine_rejects_bulk_batching() {
+        let cfg = CliConfig::parse(args(
+            "--op sum --queries 8:2 --engine general --source stdin --batch 8",
+        ))
+        .unwrap();
+        let mut out = Vec::new();
+        let err = run(&cfg, Some(vec![1.0; 32]), &mut out).unwrap_err();
+        assert!(err.contains("--batch"), "{err}");
+    }
+
+    #[test]
+    fn keyed_batch_size_feeds_engine_config() {
+        let cfg = CliConfig::parse(args(
+            "--op sum --queries 4:1 --source workload:constant --tuples 64 \
+             --keyed --shards 2 --keys 3 --batch 16",
+        ))
+        .unwrap();
+        let mut out = Vec::new();
+        let (summaries, stats) = run_keyed(&cfg, &mut out).unwrap();
+        assert_eq!(summaries[0].answers, 64);
+        // 64 tuples over 16-tuple channel batches cannot need more than a
+        // couple of messages per shard.
+        assert!(stats.batches >= 4, "batches = {}", stats.batches);
+        assert!(stats.tuples_per_batch() <= 16.0);
     }
 
     #[test]

@@ -90,6 +90,12 @@ pub struct SharedPlanExecutor<O: AggregateOp, M: MultiFinalAggregator<O>> {
     /// deduplicated range list.
     range_slot: Vec<usize>,
     scratch: Vec<O::Partial>,
+    /// Reusable lift buffer for [`push_batch`](Self::push_batch)'s
+    /// per-tuple fast path.
+    lift_scratch: Vec<O::Partial>,
+    /// Reusable batched-answer buffer (`bulk_slide_multi` layout: one
+    /// entry per range per batch element, batch-major).
+    bulk_scratch: Vec<O::Partial>,
     /// The plan edge the next fragment belongs to (persists across calls).
     edge_idx: usize,
     /// Tuples buffered by [`push`](Self::push) toward the current edge.
@@ -125,6 +131,8 @@ where
             query_ranges,
             range_slot,
             scratch: Vec::new(),
+            lift_scratch: Vec::new(),
+            bulk_scratch: Vec::new(),
             edge_idx: 0,
             pending: std::collections::VecDeque::new(),
         }
@@ -212,6 +220,73 @@ where
             answers += 1;
         }
         self.edge_idx = (self.edge_idx + 1) % self.plan.edges().len();
+        answers
+    }
+
+    /// Batched push ingestion: equivalent to calling [`push`](Self::push)
+    /// once per value — answers are bitwise identical — but whole fragments
+    /// fold straight from the slice (no pending-buffer round-trip), and
+    /// per-tuple single-edge plans batch through the aggregator's
+    /// `bulk_slide_multi` fast path. Returns the answers delivered.
+    pub fn push_batch<K>(&mut self, values: &[f64], sink: &mut K) -> u64
+    where
+        K: Sink<O::Partial>,
+    {
+        if values.is_empty() {
+            return 0;
+        }
+        let op = self.partial_agg.op().clone();
+        // Fast path: a single length-1 edge means every value slides the
+        // shared window once with the same due-query set, so the whole
+        // batch can run range-major through `bulk_slide_multi`.
+        if self.pending.is_empty()
+            && self.plan.edges().len() == 1
+            && self.plan.edges()[0].length == 1
+        {
+            self.lift_scratch.clear();
+            self.lift_scratch.extend(values.iter().map(|v| op.lift(v)));
+            self.agg
+                .bulk_slide_multi(&self.lift_scratch, &mut self.bulk_scratch);
+            let q = self.agg.ranges().len();
+            let mut answers = 0u64;
+            for k in 0..values.len() {
+                for &qi in &self.plan.edges()[0].queries {
+                    sink.deliver(qi, self.bulk_scratch[k * q + self.range_slot[qi]].clone());
+                    answers += 1;
+                }
+            }
+            return answers;
+        }
+        let mut answers = 0u64;
+        let mut idx = 0usize;
+        // Finish the fragment a previous push left partially buffered.
+        while idx < values.len() && !self.pending.is_empty() {
+            answers += self.push(values[idx], sink);
+            idx += 1;
+        }
+        // Whole fragments directly from the slice, same lift-first fold
+        // order as `push`.
+        loop {
+            let length = self.plan.edges()[self.edge_idx].length as usize;
+            if values.len() - idx < length {
+                break;
+            }
+            let mut partial = op.lift(&values[idx]);
+            for v in &values[idx + 1..idx + length] {
+                partial = op.combine(&partial, &op.lift(v));
+            }
+            idx += length;
+            self.agg.slide_multi(partial, &mut self.scratch);
+            for &qi in &self.plan.edges()[self.edge_idx].queries {
+                sink.deliver(qi, self.scratch[self.range_slot[qi]].clone());
+                answers += 1;
+            }
+            self.edge_idx = (self.edge_idx + 1) % self.plan.edges().len();
+        }
+        // Tail: too short for the current fragment, buffer it.
+        for &v in &values[idx..] {
+            answers += self.push(v, sink);
+        }
         answers
     }
 }
@@ -493,6 +568,48 @@ mod tests {
             })
             .collect();
         assert_eq!(q1, expect);
+    }
+
+    #[test]
+    fn push_batch_matches_push_on_multi_edge_plan() {
+        let plan = SharedPlan::build(&[Query::new(6, 2), Query::new(8, 4)], Pat::Pairs);
+        let op = Sum::<f64>::new();
+        let values: Vec<f64> = (0..97).map(|i| ((i * 13) % 29) as f64).collect();
+
+        let mut one = SharedPlanExecutor::<_, MultiSlickDequeInv<_>>::new(op, plan.clone());
+        let mut sink_one = CollectSink::new();
+        for &v in &values {
+            one.push(v, &mut sink_one);
+        }
+
+        // Odd chunk sizes leave fragments straddling batch boundaries.
+        let mut batched = SharedPlanExecutor::<_, MultiSlickDequeInv<_>>::new(op, plan);
+        let mut sink_batched = CollectSink::new();
+        for chunk in values.chunks(7) {
+            batched.push_batch(chunk, &mut sink_batched);
+        }
+        assert_eq!(sink_one.answers, sink_batched.answers);
+    }
+
+    #[test]
+    fn push_batch_per_tuple_fast_path_matches_push() {
+        let plan = SharedPlan::build(&[Query::per_tuple(5), Query::per_tuple(3)], Pat::Pairs);
+        assert_eq!(plan.edges().len(), 1, "per-tuple plans have one edge");
+        let op = Sum::<f64>::new();
+        let values: Vec<f64> = (0..64).map(|i| ((i * 7) % 23) as f64 * 0.5).collect();
+
+        let mut one = SharedPlanExecutor::<_, MultiSlickDequeInv<_>>::new(op, plan.clone());
+        let mut sink_one = CollectSink::new();
+        for &v in &values {
+            one.push(v, &mut sink_one);
+        }
+
+        let mut batched = SharedPlanExecutor::<_, MultiSlickDequeInv<_>>::new(op, plan);
+        let mut sink_batched = CollectSink::new();
+        for chunk in values.chunks(16) {
+            batched.push_batch(chunk, &mut sink_batched);
+        }
+        assert_eq!(sink_one.answers, sink_batched.answers);
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Bulk-vs-scalar equivalence: the batched fast paths added to every
+//! aggregator must be indistinguishable from per-tuple processing.
+//!
+//! Two contracts are checked:
+//!
+//! * `bulk_slide` (the engine/executor ingestion path) must be **bitwise**
+//!   identical to calling `slide` per element, for every algorithm ×
+//!   operation × window — floating point included.
+//! * `bulk_insert` / `bulk_evict` / `advance` may reassociate combines, so
+//!   they are checked against a sequential reference model under exact
+//!   (integer) operations, through seeded randomized FIFO programs that
+//!   include evict-more-than-batch and empty-window edges.
+
+use slickdeque::prelude::*;
+use std::collections::VecDeque;
+use swag_data::prng::Xoshiro256StarStar;
+
+/// Windows from the issue spec: degenerate, small odd, chunk-sized, large.
+const WINDOWS: &[usize] = &[1, 7, 64, 1000];
+
+fn stream(n: usize, seed: u64) -> Vec<f64> {
+    Workload::Uniform.generate(n, seed)
+}
+
+/// Feed the same stream through `slide` and through chunked `bulk_slide`
+/// and require bitwise-identical lowered answers.
+fn check_bulk_slide<O, A>(op: O, window: usize, values: &[f64], chunk: usize)
+where
+    O: AggregateOp<Input = f64, Output = f64> + Clone,
+    A: FinalAggregator<O>,
+{
+    let mut scalar = A::with_capacity(op.clone(), window);
+    let expected: Vec<u64> = values
+        .iter()
+        .map(|v| op.lower(&scalar.slide(op.lift(v))).to_bits())
+        .collect();
+
+    let mut bulk = A::with_capacity(op.clone(), window);
+    let mut got = Vec::with_capacity(values.len());
+    let mut lifted = Vec::new();
+    let mut out = Vec::new();
+    for ch in values.chunks(chunk) {
+        lifted.clear();
+        lifted.extend(ch.iter().map(|v| op.lift(v)));
+        bulk.bulk_slide(&lifted, &mut out);
+        got.extend(out.drain(..).map(|p| op.lower(&p).to_bits()));
+    }
+    assert_eq!(
+        got,
+        expected,
+        "{} w={window} chunk={chunk}: bulk_slide diverged from slide",
+        A::NAME
+    );
+}
+
+/// Chunk sizes straddle the window and the stream length; the large window
+/// skips tiny chunks to keep the O(n)-per-slide baselines fast.
+fn chunks_for(window: usize) -> &'static [usize] {
+    if window >= 1000 {
+        &[64, 513]
+    } else {
+        &[1, 7, 64, 513]
+    }
+}
+
+macro_rules! check_all_invertible {
+    ($op:expr, $w:expr, $vals:expr, $chunk:expr) => {{
+        check_bulk_slide::<_, Naive<_>>($op, $w, $vals, $chunk);
+        check_bulk_slide::<_, FlatFat<_>>($op, $w, $vals, $chunk);
+        check_bulk_slide::<_, BInt<_>>($op, $w, $vals, $chunk);
+        check_bulk_slide::<_, FlatFit<_>>($op, $w, $vals, $chunk);
+        check_bulk_slide::<_, TwoStacks<_>>($op, $w, $vals, $chunk);
+        check_bulk_slide::<_, Daba<_>>($op, $w, $vals, $chunk);
+        check_bulk_slide::<_, SlickDequeInv<_>>($op, $w, $vals, $chunk);
+    }};
+}
+
+macro_rules! check_all_selective {
+    ($op:expr, $w:expr, $vals:expr, $chunk:expr) => {{
+        check_bulk_slide::<_, Naive<_>>($op, $w, $vals, $chunk);
+        check_bulk_slide::<_, FlatFat<_>>($op, $w, $vals, $chunk);
+        check_bulk_slide::<_, BInt<_>>($op, $w, $vals, $chunk);
+        check_bulk_slide::<_, FlatFit<_>>($op, $w, $vals, $chunk);
+        check_bulk_slide::<_, TwoStacks<_>>($op, $w, $vals, $chunk);
+        check_bulk_slide::<_, Daba<_>>($op, $w, $vals, $chunk);
+        check_bulk_slide::<_, SlickDequeNonInv<_>>($op, $w, $vals, $chunk);
+    }};
+}
+
+#[test]
+fn bulk_slide_is_bitwise_identical_invertible_ops() {
+    for &w in WINDOWS {
+        let n = (3 * w).clamp(64, 2100);
+        let values = stream(n, w as u64);
+        for &chunk in chunks_for(w) {
+            check_all_invertible!(Sum::<f64>::new(), w, &values, chunk);
+            check_all_invertible!(Mean::new(), w, &values, chunk);
+            check_all_invertible!(StdDev::new(), w, &values, chunk);
+        }
+    }
+}
+
+#[test]
+fn bulk_slide_is_bitwise_identical_selective_ops() {
+    for &w in WINDOWS {
+        let n = (3 * w).clamp(64, 2100);
+        let values = stream(n, 1000 + w as u64);
+        for &chunk in chunks_for(w) {
+            check_all_selective!(MaxF64::new(), w, &values, chunk);
+            check_all_selective!(MinF64::new(), w, &values, chunk);
+        }
+    }
+}
+
+/// Drive an aggregator and a `VecDeque` reference model through the same
+/// seeded random FIFO program — slides, bulk inserts past the window,
+/// bulk evicts, and `advance` calls whose evictions exceed the incoming
+/// batch — checking lengths each step and answers at every slide.
+///
+/// Integer ops only: `bulk_insert`/`advance` may reassociate combines,
+/// which is invisible under exact arithmetic.
+fn check_fifo_program<O, A>(op: O, window: usize, seed: u64, steps: usize)
+where
+    O: AggregateOp<Input = i64> + Clone,
+    O::Partial: Copy + PartialEq + std::fmt::Debug,
+    A: FinalAggregator<O>,
+{
+    let mut rng = Xoshiro256StarStar::new(seed);
+    let mut agg = A::with_capacity(op.clone(), window);
+    let mut model: VecDeque<O::Partial> = VecDeque::new();
+    let fold = |op: &O, m: &VecDeque<O::Partial>| {
+        let mut it = m.iter();
+        let first = *it.next().expect("fold of a non-empty window");
+        it.fold(first, |a, b| op.combine(&a, b))
+    };
+    let value = |rng: &mut Xoshiro256StarStar| rng.gen_range_u64(0, 1000) as i64 - 500;
+    for step in 0..steps {
+        let ctx = || format!("{} w={window} seed={seed} step={step}", A::NAME);
+        match rng.gen_below(4) {
+            0 => {
+                let p = op.lift(&value(&mut rng));
+                let got = agg.slide(p);
+                if model.len() == window {
+                    model.pop_front();
+                }
+                model.push_back(p);
+                assert_eq!(got, fold(&op, &model), "{}", ctx());
+            }
+            1 => {
+                // Batches up to twice the window exercise the replace-all
+                // fast paths; size 0 exercises the no-op edge.
+                let b = rng.gen_below(2 * window as u64 + 2) as usize;
+                let batch: Vec<O::Partial> = (0..b).map(|_| op.lift(&value(&mut rng))).collect();
+                agg.bulk_insert(&batch);
+                for &p in &batch {
+                    if model.len() == window {
+                        model.pop_front();
+                    }
+                    model.push_back(p);
+                }
+            }
+            2 => {
+                let n = rng.gen_below(model.len() as u64 + 1) as usize;
+                agg.bulk_evict(n);
+                for _ in 0..n {
+                    model.pop_front();
+                }
+            }
+            _ => {
+                // Evictions drawn independently of the batch size, so
+                // evicting more than the batch brings in is routine here.
+                let evictions = rng.gen_below(model.len() as u64 + 1) as usize;
+                let b = rng.gen_below(window as u64 + 1) as usize;
+                let batch: Vec<O::Partial> = (0..b).map(|_| op.lift(&value(&mut rng))).collect();
+                agg.advance(&batch, evictions);
+                for _ in 0..evictions {
+                    model.pop_front();
+                }
+                for &p in &batch {
+                    if model.len() == window {
+                        model.pop_front();
+                    }
+                    model.push_back(p);
+                }
+            }
+        }
+        assert_eq!(agg.len(), model.len(), "{}", ctx());
+    }
+}
+
+macro_rules! fifo_program_all {
+    ($op:expr, $w:expr, $seed:expr) => {{
+        check_fifo_program::<_, Naive<_>>($op, $w, $seed, 400);
+        check_fifo_program::<_, FlatFat<_>>($op, $w, $seed, 400);
+        check_fifo_program::<_, BInt<_>>($op, $w, $seed, 400);
+        check_fifo_program::<_, FlatFit<_>>($op, $w, $seed, 400);
+        check_fifo_program::<_, TwoStacks<_>>($op, $w, $seed, 400);
+        check_fifo_program::<_, Daba<_>>($op, $w, $seed, 400);
+    }};
+}
+
+#[test]
+fn randomized_fifo_programs_match_reference_model_sum() {
+    for (i, &w) in [1usize, 7, 64, 300].iter().enumerate() {
+        fifo_program_all!(Sum::<i64>::new(), w, 0xB17_5EED + i as u64);
+        check_fifo_program::<_, SlickDequeInv<_>>(Sum::<i64>::new(), w, 77 + i as u64, 400);
+    }
+}
+
+#[test]
+fn randomized_fifo_programs_match_reference_model_max() {
+    for (i, &w) in [1usize, 7, 64, 300].iter().enumerate() {
+        fifo_program_all!(Max::<i64>::new(), w, 0xFACE + i as u64);
+        check_fifo_program::<_, SlickDequeNonInv<_>>(Max::<i64>::new(), w, 31 + i as u64, 400);
+    }
+}
+
+/// The deterministic edges the issue calls out, on every algorithm.
+fn check_edges<A: FinalAggregator<Sum<i64>>>() {
+    let op = Sum::<i64>::new();
+    let mut agg = A::with_capacity(op, 8);
+    // Empty-window no-ops.
+    agg.bulk_insert(&[]);
+    agg.bulk_evict(0);
+    agg.advance(&[], 0);
+    assert_eq!(agg.len(), 0, "{}", A::NAME);
+    assert_eq!(agg.slide(5), 5, "{}", A::NAME);
+    // Evict back down to empty, then refill.
+    agg.bulk_evict(1);
+    assert_eq!(agg.len(), 0, "{}", A::NAME);
+    assert_eq!(agg.slide(7), 7, "{}", A::NAME);
+    // Evict-more-than-batch: 6 held, advance evicts 5 while adding 2.
+    agg.bulk_insert(&[1, 2, 3, 4, 5]);
+    assert_eq!(agg.len(), 6, "{}", A::NAME);
+    agg.advance(&[10, 20], 5);
+    assert_eq!(agg.len(), 3, "{}", A::NAME);
+    assert_eq!(agg.slide(100), 5 + 10 + 20 + 100, "{}", A::NAME);
+    // Batch twice the window: only the last 8 partials survive.
+    let big: Vec<i64> = (1..=16).collect();
+    agg.bulk_insert(&big);
+    assert_eq!(agg.len(), 8, "{}", A::NAME);
+    agg.bulk_evict(8);
+    assert_eq!(agg.len(), 0, "{}", A::NAME);
+    assert_eq!(agg.slide(9), 9, "{}", A::NAME);
+}
+
+#[test]
+fn bulk_edges_on_every_algorithm() {
+    check_edges::<Naive<_>>();
+    check_edges::<FlatFat<_>>();
+    check_edges::<BInt<_>>();
+    check_edges::<FlatFit<_>>();
+    check_edges::<TwoStacks<_>>();
+    check_edges::<Daba<_>>();
+    check_edges::<SlickDequeInv<_>>();
+}
+
+/// Same edges for the selective deque, which cannot run an invertible op.
+#[test]
+fn bulk_edges_on_selective_deque() {
+    let op = Max::<i64>::new();
+    let mut agg = SlickDequeNonInv::with_capacity(op, 8);
+    agg.bulk_insert(&[]);
+    agg.bulk_evict(0);
+    agg.advance(&[], 0);
+    assert_eq!(agg.len(), 0);
+    assert_eq!(agg.slide(op.lift(&5)), op.lift(&5));
+    agg.bulk_evict(1);
+    assert_eq!(agg.len(), 0);
+    // Evict-more-than-batch: 5 held, advance evicts 4 while adding 2.
+    let batch: Vec<_> = [1i64, 9, 2, 3, 4].iter().map(|v| op.lift(v)).collect();
+    agg.bulk_insert(&batch);
+    assert_eq!(agg.len(), 5);
+    agg.advance(&[op.lift(&7), op.lift(&6)], 4);
+    assert_eq!(agg.len(), 3); // window is now [4, 7, 6]
+    assert_eq!(agg.slide(op.lift(&0)), op.lift(&7));
+    // Batch twice the window: only the last 8 partials survive.
+    let big: Vec<_> = (1i64..=16).map(|v| op.lift(&v)).collect();
+    agg.bulk_insert(&big);
+    assert_eq!(agg.len(), 8);
+    assert_eq!(agg.slide(op.lift(&0)), op.lift(&16));
+}
+
+/// The sharded engine's per-key answer streams must not depend on the
+/// channel batch size, which controls how tuples group into bulk calls.
+#[test]
+fn engine_answers_invariant_across_channel_batch_sizes() {
+    let tuples: Vec<(Key, f64)> = {
+        let mut rng = Xoshiro256StarStar::new(0xBA7C4);
+        (0..6000)
+            .map(|_| (rng.gen_below(23), rng.gen_range_f64(-100.0, 100.0)))
+            .collect()
+    };
+    let run_with = |batch: usize| -> Vec<Vec<u64>> {
+        let engine = ShardedEngine::new(EngineConfig {
+            shards: 3,
+            queue_capacity: 4,
+            batch,
+            retain_answers: true,
+        });
+        let mut source = KeyedVecSource::new(tuples.clone());
+        let run = engine.run(&mut source, u64::MAX, |_| {
+            KeyedWindows::<_, SlickDequeInv<_>>::new(StdDev::new(), 32)
+        });
+        let mut per_key: Vec<Vec<u64>> = vec![Vec::new(); 23];
+        for (key, answer) in run.answers.into_iter().flatten() {
+            per_key[key as usize].push(answer.to_bits());
+        }
+        per_key
+    };
+    let reference = run_with(1);
+    assert_eq!(reference.iter().map(Vec::len).sum::<usize>(), 6000);
+    for batch in [8usize, 64, 512] {
+        assert_eq!(run_with(batch), reference, "channel batch {batch}");
+    }
+}
