@@ -130,6 +130,7 @@ where
         queue_capacity: 64,
         batch,
         retain_answers: false,
+        check_invariants: false,
     });
     let mut source = KeyedDebsSource::new(seed, BULK_KEYS, 0);
     let run = engine.run(&mut source, tuples, |_shard| {

@@ -1,0 +1,46 @@
+//! Seeded negative fixture for swag-check: every rule must fire on this
+//! file. Not compiled — fixtures are data for the lint's own tests.
+
+use std::time::Instant; // no-clock
+
+pub struct Shiny;
+
+pub trait Agg {
+    fn bulk_insert(&mut self, batch: &[i64]) {
+        let _ = batch;
+    }
+}
+
+impl Agg for Shiny {
+    // bulk-coverage: this override is not exercised by the suite.
+    fn bulk_insert(&mut self, batch: &[i64]) {
+        // no-panic: bare unwrap in non-test code.
+        let first = batch.first().unwrap();
+        if *first < 0 {
+            panic!("negative"); // no-panic
+        }
+        let _t = Instant::now();
+    }
+}
+
+pub fn allowed_without_reason(x: Option<i64>) -> i64 {
+    // check:allow
+    x.unwrap()
+}
+
+pub fn allowed_with_reason(x: Option<i64>) -> i64 {
+    // check:allow the caller pre-validates the batch
+    x.unwrap()
+}
+
+pub fn not_flagged_in_strings() -> &'static str {
+    ".unwrap() and panic! in a string are not code"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,16 @@
+//! Engine half of the negative fixture: unsafe without SAFETY, and an
+//! expect without an allow.
+
+pub fn read_at(data: &[u8], i: usize) -> u8 {
+    // safety-comment: no SAFETY comment anywhere near this block.
+    unsafe { *data.get_unchecked(i) }
+}
+
+pub fn must(data: Option<u8>) -> u8 {
+    data.expect("fixture") // no-panic
+}
+
+// SAFETY: the caller guarantees `i < data.len()`.
+pub fn read_at_documented(data: &[u8], i: usize) -> u8 {
+    unsafe { *data.get_unchecked(i) }
+}

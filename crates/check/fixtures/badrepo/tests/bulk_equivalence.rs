@@ -1,0 +1,5 @@
+//! Fixture equivalence suite: deliberately names no overriding type, so
+//! the bulk-coverage rule fires on the core fixture.
+
+#[test]
+fn covers_nothing() {}

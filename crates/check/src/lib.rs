@@ -1,0 +1,613 @@
+//! `swag-check` — a dependency-free source lint enforcing the
+//! workspace's correctness conventions, run as a CI gate alongside the
+//! invariant checkers:
+//!
+//! 1. **no-panic** — no `.unwrap()` / `.expect(` / `panic!` in non-test
+//!    code under `crates/core` and `crates/engine`. A site is allowed by
+//!    putting `// check:allow <reason>` on the same line or within the
+//!    three lines above it; the reason is mandatory.
+//! 2. **bulk-coverage** — every type overriding a `bulk_*` method in
+//!    `crates/core` must be named in `tests/bulk_equivalence.rs`, so no
+//!    batched fast path ships without a scalar-equivalence test.
+//! 3. **safety-comment** — every `unsafe` block or `unsafe impl` in
+//!    `crates/core`, `crates/engine`, and `crates/metrics` needs a
+//!    `SAFETY:` comment on the same line or within the three lines above
+//!    it (`unsafe fn` signatures are exempt: they state a contract, the
+//!    blocks discharge one).
+//! 4. **no-clock** — `crates/core` must stay deterministic: no
+//!    `std::time`, `Instant`/`SystemTime`, or ambient randomness. Clocks
+//!    belong to the driver layers; algorithm time is logical
+//!    (`Timestamp` arguments).
+//!
+//! The scanner is a line-preserving lexer, not a parser: it strips
+//! string/char literals and comments (keeping comment text aside for
+//! `SAFETY:` / `check:allow` detection) and skips `#[cfg(test)]` items by
+//! brace counting. That is deliberately simple and slightly conservative
+//! — exactly what a convention gate should be.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// A source line split into executable code and comment text, plus
+/// whether it sits inside a `#[cfg(test)]` item.
+#[derive(Debug)]
+struct Line {
+    code: String,
+    comment: String,
+    in_test: bool,
+}
+
+/// Strip literals and comments while preserving the line structure.
+///
+/// Code keeps its shape (literal bodies become spaces) so brace counting
+/// and token search work; comment text is collected per line.
+fn lex(source: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let n = bytes.len();
+    let mut block_depth = 0usize; // nesting /* */
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+            i += 1;
+            continue;
+        }
+        if block_depth > 0 {
+            if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                block_depth += 1;
+                i += 2;
+            } else if c == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                block_depth -= 1;
+                i += 2;
+            } else {
+                comment.push(c);
+                i += 1;
+            }
+            continue;
+        }
+        match c {
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                // Line comment (incl. doc comments): consume to newline.
+                let start = i;
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+                comment.push_str(&bytes[start..i].iter().collect::<String>());
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                block_depth = 1;
+                i += 2;
+            }
+            '"' => {
+                code.push('"');
+                i += 1;
+                while i < n && bytes[i] != '"' {
+                    if bytes[i] == '\\' {
+                        i += 1; // skip the escaped char
+                    }
+                    if i < n {
+                        if bytes[i] == '\n' {
+                            lines.push(Line {
+                                code: std::mem::take(&mut code),
+                                comment: std::mem::take(&mut comment),
+                                in_test: false,
+                            });
+                        }
+                        i += 1;
+                    }
+                }
+                code.push('"');
+                i += 1; // closing quote
+            }
+            'r' | 'b' if is_raw_string_start(&bytes, i) => {
+                // r"..."  r#"..."#  br#"..."# — find the matching close.
+                let mut j = i;
+                while bytes[j] == 'r' || bytes[j] == 'b' {
+                    j += 1;
+                }
+                let hashes = bytes[j..].iter().take_while(|&&h| h == '#').count();
+                let mut k = j + hashes + 1; // past the opening quote
+                let closer = format!("\"{}", "#".repeat(hashes));
+                let rest: String = bytes[k..].iter().collect();
+                let end = rest
+                    .find(&closer)
+                    .map(|p| k + p + closer.len())
+                    .unwrap_or(n);
+                code.push('"');
+                while k < end {
+                    if bytes.get(k) == Some(&'\n') {
+                        lines.push(Line {
+                            code: std::mem::take(&mut code),
+                            comment: std::mem::take(&mut comment),
+                            in_test: false,
+                        });
+                    }
+                    k += 1;
+                }
+                code.push('"');
+                i = end;
+            }
+            '\'' => {
+                // Char literal vs lifetime: a literal closes within a few
+                // chars ('x', '\n', '\u{..}'); a lifetime never closes.
+                if let Some(close) = char_literal_end(&bytes, i) {
+                    code.push_str("' '");
+                    i = close + 1;
+                } else {
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(Line {
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    // Accept r", r#", br", b" is NOT raw (plain byte string handled as ")
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+        if bytes.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    if bytes.get(j) != Some(&'r') {
+        return false;
+    }
+    // Previous char must not be part of an identifier (e.g. `for r` vs `var`).
+    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+/// If position `i` (a `'`) starts a char literal, return the index of the
+/// closing quote; `None` means it is a lifetime.
+fn char_literal_end(bytes: &[char], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == '\\' {
+        // Escaped: scan to the next unescaped quote (handles \u{...}).
+        let mut j = i + 2;
+        while j < bytes.len() && bytes[j] != '\'' && bytes[j] != '\n' {
+            j += 1;
+        }
+        return (bytes.get(j) == Some(&'\'')).then_some(j);
+    }
+    if bytes.get(i + 2) == Some(&'\'') {
+        return Some(i + 2);
+    }
+    None
+}
+
+/// Mark every line belonging to a `#[cfg(test)]` item (attribute line
+/// through the close of the item's brace block) as test code.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0;
+    while i < lines.len() {
+        if lines[i].code.contains("#[cfg(test)]") {
+            // Skip from here through the end of the attributed item.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                lines[j].in_test = true;
+                for c in lines[j].code.clone().chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            if lines[i].code.contains("#[test]") {
+                lines[i].in_test = true; // attribute itself
+            }
+            i += 1;
+        }
+    }
+}
+
+/// True if `word` occurs in `code` delimited by non-identifier chars.
+fn has_word(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + word.len();
+        let after_ok = !code[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+/// `// check:allow <reason>` on the same line or within the three lines
+/// above (rustfmt wraps method chains, so the comment may sit a couple of
+/// lines before the flagged token) waives the no-panic rule. An allow
+/// without a reason is itself a finding.
+fn allowed(lines: &[Line], idx: usize, findings: &mut Vec<Finding>, file: &Path) -> bool {
+    for k in (idx.saturating_sub(3)..=idx).rev() {
+        if let Some(pos) = lines[k].comment.find("check:allow") {
+            let reason = lines[k].comment[pos + "check:allow".len()..].trim();
+            if reason.is_empty() {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: k + 1,
+                    rule: "no-panic",
+                    message: "check:allow needs a reason".into(),
+                });
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Collect every `.rs` file under `dir`, sorted for stable output.
+///
+/// Files named `*_tests.rs` are skipped: by workspace convention they are
+/// whole-file test modules, declared behind `#[cfg(test)]` at the `mod`
+/// site (which a single-file scanner cannot see).
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs")
+                && !path
+                    .file_stem()
+                    .is_some_and(|s| s.to_string_lossy().ends_with("_tests"))
+            {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Rule 1: no `.unwrap()` / `.expect(` / `panic!` outside tests.
+fn lint_no_panic(file: &Path, lines: &[Line], findings: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for token in [".unwrap()", ".expect(", "panic!"] {
+            if line.code.contains(token) {
+                if !allowed(lines, idx, findings, file) {
+                    findings.push(Finding {
+                        file: file.to_path_buf(),
+                        line: idx + 1,
+                        rule: "no-panic",
+                        message: format!(
+                            "`{token}` in non-test code; handle the error or annotate \
+                             `// check:allow <reason>`"
+                        ),
+                    });
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Rule 3: `unsafe` without a nearby `SAFETY:` comment.
+///
+/// `unsafe fn` signatures are exempt — they state their contract in docs;
+/// what needs a justification is each `unsafe` *block* (and `unsafe
+/// impl`) discharging such a contract.
+fn lint_safety_comments(file: &Path, lines: &[Line], findings: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if !has_word(&line.code, "unsafe") {
+            continue;
+        }
+        let only_fn_signatures = line
+            .code
+            .split("unsafe")
+            .skip(1)
+            .all(|rest| rest.trim_start().starts_with("fn "));
+        if only_fn_signatures {
+            continue;
+        }
+        // Attribute/lint lines like `#![deny(unsafe_op_in_unsafe_fn)]`
+        // fail has_word already; `unsafe` in code needs justification.
+        let documented =
+            (idx.saturating_sub(3)..=idx).any(|k| lines[k].comment.contains("SAFETY:"));
+        if !documented {
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: idx + 1,
+                rule: "safety-comment",
+                message: "`unsafe` without a `// SAFETY:` comment on or above it".into(),
+            });
+        }
+    }
+}
+
+/// Rule 4: wall clocks and ambient randomness are banned from the
+/// algorithm layer.
+fn lint_no_clock(file: &Path, lines: &[Line], findings: &mut Vec<Finding>) {
+    const BANNED: &[&str] = &[
+        "std::time",
+        "SystemTime",
+        "Instant::now",
+        "thread_rng",
+        "rand::",
+    ];
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for token in BANNED {
+            if line.code.contains(token) {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: idx + 1,
+                    rule: "no-clock",
+                    message: format!(
+                        "`{token}` in crates/core: the algorithm layer is deterministic; \
+                         clocks and randomness live in the driver crates"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// Rule 2 support: the `impl … for Type` blocks in a file that override a
+/// `bulk_*` method, with the method names.
+fn bulk_overriders(lines: &[Line]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    // Stack of (type name, depth inside the impl block).
+    let mut impls: Vec<(String, i64)> = Vec::new();
+    for line in lines {
+        let code = &line.code;
+        let header = has_word(code, "impl") && code.contains(" for ") && code.contains('{');
+        if !line.in_test {
+            if let Some((ty, _)) = impls.last() {
+                if let Some(pos) = code.find("fn bulk_") {
+                    let rest = &code[pos + 3..];
+                    let name: String = rest
+                        .trim_start()
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    out.push((ty.clone(), name));
+                }
+            }
+        }
+        for c in code.chars() {
+            if c == '{' {
+                depth += 1;
+            } else if c == '}' {
+                depth -= 1;
+                if let Some((_, d)) = impls.last() {
+                    if depth < *d {
+                        impls.pop();
+                    }
+                }
+            }
+        }
+        if header && !line.in_test {
+            let after = code.rfind(" for ").map(|p| &code[p + 5..]).unwrap_or("");
+            let ty: String = after
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !ty.is_empty() {
+                impls.push((ty, depth));
+            }
+        }
+    }
+    out
+}
+
+/// Rule 2: every `bulk_*` overrider must be named in the equivalence
+/// suite so batched fast paths cannot ship untested.
+fn lint_bulk_coverage(root: &Path, core_src: &Path, findings: &mut Vec<Finding>) {
+    let suite_path = root.join("tests/bulk_equivalence.rs");
+    let suite = fs::read_to_string(&suite_path).unwrap_or_default();
+    if suite.is_empty() {
+        findings.push(Finding {
+            file: suite_path,
+            line: 1,
+            rule: "bulk-coverage",
+            message: "tests/bulk_equivalence.rs is missing or empty".into(),
+        });
+        return;
+    }
+    for file in rust_files(core_src) {
+        let Ok(source) = fs::read_to_string(&file) else {
+            continue;
+        };
+        let lines = lex(&source);
+        for (ty, method) in bulk_overriders(&lines) {
+            if !suite.contains(&ty) {
+                findings.push(Finding {
+                    file: file.clone(),
+                    line: 1,
+                    rule: "bulk-coverage",
+                    message: format!(
+                        "`{ty}` overrides `{method}` but is not exercised by \
+                         tests/bulk_equivalence.rs"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Run every rule against the repository at `root` and return the
+/// findings, sorted by file and line.
+pub fn lint_repo(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let core_src = root.join("crates/core/src");
+    let engine_src = root.join("crates/engine/src");
+    let metrics_src = root.join("crates/metrics/src");
+
+    for dir in [&core_src, &engine_src] {
+        for file in rust_files(dir) {
+            if let Ok(source) = fs::read_to_string(&file) {
+                let lines = lex(&source);
+                lint_no_panic(&file, &lines, &mut findings);
+            }
+        }
+    }
+    for dir in [&core_src, &engine_src, &metrics_src] {
+        for file in rust_files(dir) {
+            if let Ok(source) = fs::read_to_string(&file) {
+                let lines = lex(&source);
+                lint_safety_comments(&file, &lines, &mut findings);
+            }
+        }
+    }
+    for file in rust_files(&core_src) {
+        if let Ok(source) = fs::read_to_string(&file) {
+            let lines = lex(&source);
+            lint_no_clock(&file, &lines, &mut findings);
+        }
+    }
+    lint_bulk_coverage(root, &core_src, &mut findings);
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexer_strips_strings_and_comments() {
+        let src = "let x = \"panic!(\\\"no\\\")\"; // panic! here is comment\nlet y = 1;\n";
+        let lines = lex(src);
+        assert!(!lines[0].code.contains("panic!"));
+        assert!(lines[0].comment.contains("panic!"));
+        assert_eq!(lines[1].code.trim(), "let y = 1;");
+    }
+
+    #[test]
+    fn lexer_handles_raw_strings_and_lifetimes() {
+        let src = "let r = r#\"has .unwrap() inside\"#;\nfn f<'a>(x: &'a str) -> char { 'x' }\n";
+        let lines = lex(src);
+        assert!(!lines[0].code.contains(".unwrap()"));
+        assert!(lines[1].code.contains("<'a>"));
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn more() { y.unwrap(); }\n";
+        let lines = lex(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[2].in_test && lines[3].in_test && lines[4].in_test);
+        assert!(!lines[5].in_test);
+        let mut findings = Vec::new();
+        lint_no_panic(Path::new("x.rs"), &lines, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 6);
+    }
+
+    #[test]
+    fn check_allow_waives_with_reason_only() {
+        let src = "// check:allow startup config is validated\nlet a = x.unwrap();\n// check:allow\nlet b = y.unwrap();\n";
+        let lines = lex(src);
+        let mut findings = Vec::new();
+        lint_no_panic(Path::new("x.rs"), &lines, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("needs a reason"));
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let src = "unsafe { go() }\n// SAFETY: checked above\nunsafe { ok() }\n#![deny(unsafe_op_in_unsafe_fn)]\n";
+        let lines = lex(src);
+        let mut findings = Vec::new();
+        lint_safety_comments(Path::new("x.rs"), &lines, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn bulk_overriders_are_extracted() {
+        let src = "impl<O: AggregateOp> FinalAggregator<O> for Shiny<O> {\n    fn bulk_insert(&mut self, b: &[O::Partial]) {}\n}\npub trait T {\n    fn bulk_evict(&mut self, n: usize) {}\n}\n";
+        let lines = lex(src);
+        let got = bulk_overriders(&lines);
+        assert_eq!(got, vec![("Shiny".to_string(), "bulk_insert".to_string())]);
+    }
+}

@@ -1,0 +1,42 @@
+//! CLI for the `swag-check` lint pass: prints findings and exits
+//! non-zero when any rule is violated.
+//!
+//! Usage: `cargo run -p swag-check [-- --root <path>]`
+//! The root defaults to the workspace this binary was built from.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            other => {
+                eprintln!("swag-check: unknown argument `{other}`");
+                eprintln!("usage: swag-check [--root <path>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        // crates/check -> workspace root.
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    let findings = swag_check::lint_repo(&root);
+    for finding in &findings {
+        println!("{finding}");
+    }
+    if findings.is_empty() {
+        println!("swag-check: clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        println!("swag-check: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

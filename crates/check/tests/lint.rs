@@ -1,0 +1,75 @@
+//! Integration tests: the real workspace must be clean, and the seeded
+//! negative fixture must trip every rule — proving the gate can fail.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+use swag_check::lint_repo;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+#[test]
+fn workspace_is_clean() {
+    let findings = lint_repo(&workspace_root());
+    assert!(
+        findings.is_empty(),
+        "swag-check found violations in the workspace:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn negative_fixture_trips_every_rule() {
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/badrepo");
+    let findings = lint_repo(&fixture);
+    let rules: BTreeSet<&str> = findings.iter().map(|f| f.rule).collect();
+    assert_eq!(
+        rules,
+        BTreeSet::from(["no-panic", "bulk-coverage", "safety-comment", "no-clock"]),
+        "findings: {findings:#?}"
+    );
+
+    let messages: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    let has = |needle: &str| messages.iter().any(|m| m.contains(needle));
+    // The specific seeded violations, one per rule facet:
+    assert!(has("`.unwrap()` in non-test code"), "{messages:#?}");
+    assert!(has("`panic!` in non-test code"), "{messages:#?}");
+    assert!(has("`.expect(` in non-test code"), "{messages:#?}");
+    assert!(has("check:allow needs a reason"), "{messages:#?}");
+    assert!(has("`Shiny` overrides `bulk_insert`"), "{messages:#?}");
+    assert!(has("without a `// SAFETY:` comment"), "{messages:#?}");
+    assert!(has("`std::time`"), "{messages:#?}");
+
+    // The clean parts of the fixture must NOT be flagged.
+    let core_lib = fixture.join("crates/core/src/lib.rs");
+    let core_findings: Vec<_> = findings.iter().filter(|f| f.file == core_lib).collect();
+    // Reason-waived unwrap (line 33), string literal (line 37) and the
+    // test-module unwrap (line 44) produce no findings at those lines.
+    for clean_line in [33usize, 37, 44] {
+        assert!(
+            core_findings.iter().all(|f| f.line != clean_line),
+            "line {clean_line} wrongly flagged: {core_findings:#?}"
+        );
+    }
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "safety-comment" && f.line == 6),
+        "undocumented unsafe at engine lib line 6: {findings:#?}"
+    );
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.rule == "safety-comment" && f.line == 15),
+        "documented unsafe wrongly flagged: {findings:#?}"
+    );
+}

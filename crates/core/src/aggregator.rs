@@ -8,6 +8,7 @@
 //! (`insert`/`evict`/`query` for the FIFO algorithms) are exposed on the
 //! individual structs.
 
+use crate::invariants::InvariantViolation;
 use crate::ops::AggregateOp;
 
 /// A single-query final aggregator over a FIFO sliding window (paper §2.2).
@@ -99,6 +100,27 @@ pub trait FinalAggregator<O: AggregateOp>: MemoryFootprint {
             out.push(self.slide(p.clone()));
         }
     }
+
+    /// Verify the algorithm's paper-level structural invariants, returning
+    /// the first violation found.
+    ///
+    /// Checkers are `O(window)` or worse and re-derive the facts each
+    /// algorithm's correctness proof rests on (monotone-deque dominance,
+    /// DABA pointer ordering, FlatFAT parent = combine(children), …). They
+    /// are meant for tests, the `fuzz_invariants` differential driver, and
+    /// post-drain engine audits — not for per-tuple production paths.
+    ///
+    /// Value-level checks that refold window contents reproduce the exact
+    /// combine order the algorithm used wherever possible; the remaining
+    /// order-sensitive refolds (DABA region aggregates, SlickDeque Inv's
+    /// running answer) are exact for integer ops and integer-valued floats
+    /// but can report spurious rounding deltas on arbitrary `f64` streams —
+    /// callers feeding such streams should treat those labels accordingly.
+    ///
+    /// The default implementation checks nothing and returns `Ok(())`.
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        Ok(())
+    }
 }
 
 /// A multi-query final aggregator answering several ACQs with distinct
@@ -145,6 +167,13 @@ pub trait MultiFinalAggregator<O: AggregateOp>: MemoryFootprint {
     /// The shared window size (the largest registered range).
     fn window(&self) -> usize {
         self.ranges().first().copied().unwrap_or(0)
+    }
+
+    /// Verify the multi-query variant's structural invariants — see
+    /// [`FinalAggregator::check_invariants`] for scope and caveats. The
+    /// default checks nothing and returns `Ok(())`.
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        Ok(())
     }
 }
 

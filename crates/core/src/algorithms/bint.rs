@@ -12,6 +12,7 @@
 //! still pays the dyadic decomposition, where FlatFAT reads its root.
 
 use crate::aggregator::{FinalAggregator, MemoryFootprint};
+use crate::invariants::{ensure, partials_agree, strict_check, InvariantViolation};
 use crate::ops::AggregateOp;
 
 /// Dyadic base-interval aggregator.
@@ -132,6 +133,7 @@ impl<O: AggregateOp> FinalAggregator<O> for BInt<O> {
         self.update_slot(self.curr, partial);
         self.curr = (self.curr + 1) % self.window;
         self.len = (self.len + 1).min(self.window);
+        strict_check!(self);
         self.query()
     }
 
@@ -151,6 +153,7 @@ impl<O: AggregateOp> FinalAggregator<O> for BInt<O> {
         let identity = self.op.identity();
         self.update_slot(oldest, identity);
         self.len -= 1;
+        strict_check!(self);
     }
 
     /// Batch fill skipping the per-slide dyadic look-up: each partial pays
@@ -161,6 +164,74 @@ impl<O: AggregateOp> FinalAggregator<O> for BInt<O> {
             self.curr = (self.curr + 1) % self.window;
             self.len = (self.len + 1).min(self.window);
         }
+        strict_check!(self);
+    }
+
+    /// B-Int invariants (paper §2.2, Fig. 5): the dyadic levels halve in
+    /// size and tile the slot ring, every interval at level ℓ ≥ 1 equals
+    /// `combine` of its two level-(ℓ−1) halves (refolded in exactly
+    /// `update_slot`'s order, so bitwise even for floats), and every
+    /// non-live base slot holds the identity. `O(m)` combines.
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        ensure!(
+            Self::NAME,
+            "level-shape",
+            self.m == self.window.next_power_of_two()
+                && self.levels.len() == self.m.trailing_zeros() as usize + 1
+                && self
+                    .levels
+                    .iter()
+                    .enumerate()
+                    .all(|(l, lv)| lv.len() == self.m >> l),
+            "levels {:?} for m {}",
+            self.levels.iter().map(|l| l.len()).collect::<Vec<_>>(),
+            self.m
+        );
+        ensure!(
+            Self::NAME,
+            "cursor-in-window",
+            self.curr < self.window && self.len <= self.window,
+            "curr {} / len {} for window {}",
+            self.curr,
+            self.len,
+            self.window
+        );
+        for l in 1..self.levels.len() {
+            for i in 0..self.levels[l].len() {
+                let expect = self
+                    .op
+                    .combine(&self.levels[l - 1][2 * i], &self.levels[l - 1][2 * i + 1]);
+                ensure!(
+                    Self::NAME,
+                    "interval-combine",
+                    partials_agree(&self.levels[l][i], &expect),
+                    "level {l} interval {i} holds {:?}, halves combine to {:?}",
+                    self.levels[l][i],
+                    expect
+                );
+            }
+        }
+        let identity = self.op.identity();
+        for j in 0..self.window - self.len {
+            let slot = (self.curr + j) % self.window;
+            ensure!(
+                Self::NAME,
+                "dead-slot-identity",
+                self.levels[0][slot] == identity,
+                "non-live slot {slot} holds {:?}",
+                self.levels[0][slot]
+            );
+        }
+        for slot in self.window..self.m {
+            ensure!(
+                Self::NAME,
+                "pad-slot-identity",
+                self.levels[0][slot] == identity,
+                "padding slot {slot} holds {:?}",
+                self.levels[0][slot]
+            );
+        }
+        Ok(())
     }
 }
 

@@ -34,7 +34,12 @@
 
 use crate::aggregator::{FinalAggregator, MemoryFootprint};
 use crate::chunked::ChunkedDeque;
+use crate::invariants::{ensure, partials_agree, strict_check, InvariantViolation};
 use crate::ops::AggregateOp;
+
+/// One checker region: name, bounds, and the refold each position inside
+/// it must equal (see `Daba::check_invariants`).
+type Region<'a, P> = (&'a str, u64, u64, &'a dyn Fn(u64) -> P);
 
 #[derive(Debug, Clone)]
 struct Slot<P> {
@@ -116,6 +121,7 @@ impl<O: AggregateOp> Daba<O> {
         &self
             .q
             .get((abs - self.popped) as usize)
+            // check:allow callers index via the f≤l≤r≤a≤b≤e pointers, all in range
             .expect("DABA pointer within live range")
             .agg
     }
@@ -125,6 +131,7 @@ impl<O: AggregateOp> Daba<O> {
         &self
             .q
             .get((abs - self.popped) as usize)
+            // check:allow callers index via the f≤l≤r≤a≤b≤e pointers, all in range
             .expect("DABA pointer within live range")
             .val
     }
@@ -133,6 +140,7 @@ impl<O: AggregateOp> Daba<O> {
     fn set_agg(&mut self, abs: u64, agg: O::Partial) {
         self.q
             .get_mut((abs - self.popped) as usize)
+            // check:allow callers index via the f≤l≤r≤a≤b≤e pointers, all in range
             .expect("DABA pointer within live range")
             .agg = agg;
     }
@@ -148,6 +156,7 @@ impl<O: AggregateOp> Daba<O> {
         };
         self.q.push_back(Slot { val, agg });
         self.step();
+        strict_check!(self);
     }
 
     /// Remove the oldest partial — a free pop plus one fix-up step.
@@ -162,6 +171,7 @@ impl<O: AggregateOp> Daba<O> {
         // logic error surfaces as a wrong answer in tests, not UB.
         debug_assert!(self.l >= self.popped || self.l == self.b);
         self.step();
+        strict_check!(self);
     }
 
     /// Aggregate of the whole window: front suffix ⊕ back prefix.
@@ -251,43 +261,6 @@ impl<O: AggregateOp> Daba<O> {
             self.a += 1;
         }
     }
-
-    /// Validate every region invariant against a brute-force recomputation.
-    /// Exposed for tests and property checks; O(n²).
-    #[doc(hidden)]
-    pub fn check_invariants(&self) {
-        let f = self.front_abs();
-        let e = self.end_abs();
-        assert!(f <= self.l && self.l <= self.r && self.r <= self.a);
-        assert!(self.a <= self.b && self.b <= e);
-        let agg_range = |lo: u64, hi: u64| -> O::Partial {
-            let mut acc = self.op.identity();
-            for i in lo..hi {
-                acc = self.op.combine(&acc, self.val_at(i));
-            }
-            acc
-        };
-        for i in f..self.l {
-            assert_eq!(self.agg_at(i), &agg_range(i, self.b), "F form at {i}");
-        }
-        for i in self.l..self.r {
-            assert_eq!(self.agg_at(i), &agg_range(i, self.r), "L form at {i}");
-        }
-        for i in self.r..self.a {
-            assert_eq!(self.agg_at(i), &agg_range(self.r, i + 1), "R form at {i}");
-        }
-        for i in self.a..self.b {
-            assert_eq!(self.agg_at(i), &agg_range(i, self.b), "A form at {i}");
-        }
-        for i in self.b..e {
-            assert_eq!(self.agg_at(i), &agg_range(self.b, i + 1), "B form at {i}");
-        }
-        assert_eq!(
-            self.r - self.l,
-            self.a - self.r,
-            "balance |L| = |R| violated"
-        );
-    }
 }
 
 impl<O: AggregateOp> FinalAggregator<O> for Daba<O> {
@@ -333,6 +306,69 @@ impl<O: AggregateOp> FinalAggregator<O> for Daba<O> {
             self.insert(p.clone());
         }
     }
+
+    /// DABA invariants (paper §2.2, Fig. 6): pointer ordering
+    /// `f ≤ l ≤ r ≤ a ≤ b ≤ e`, the bankers balance `|L| = |R|`, the
+    /// chunked-array substrate's accounting, and every region's cached
+    /// aggregate against a brute-force refold (`F`/`A` suffixes toward `b`,
+    /// `L` suffixes toward `r`, `R`/`B` prefixes). The refolds are
+    /// left-associated, which matches the fix-up construction for exact
+    /// operations (integers, selection) but can differ in rounding on
+    /// arbitrary float streams — see
+    /// [`FinalAggregator::check_invariants`]'s caveat. `O(n²)`.
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        self.q.check_invariants()?;
+        let f = self.front_abs();
+        let e = self.end_abs();
+        ensure!(
+            Self::NAME,
+            "pointer-order",
+            f <= self.l && self.l <= self.r && self.r <= self.a && self.a <= self.b && self.b <= e,
+            "f {} l {} r {} a {} b {} e {}",
+            f,
+            self.l,
+            self.r,
+            self.a,
+            self.b,
+            e
+        );
+        ensure!(
+            Self::NAME,
+            "banker-balance",
+            self.r - self.l == self.a - self.r,
+            "|L| {} != |R| {}",
+            self.r - self.l,
+            self.a - self.r
+        );
+        let agg_range = |lo: u64, hi: u64| -> O::Partial {
+            let mut acc = self.op.identity();
+            for i in lo..hi {
+                acc = self.op.combine(&acc, self.val_at(i));
+            }
+            acc
+        };
+        let regions: [Region<'_, O::Partial>; 5] = [
+            ("F-form", f, self.l, &|i| agg_range(i, self.b)),
+            ("L-form", self.l, self.r, &|i| agg_range(i, self.r)),
+            ("R-form", self.r, self.a, &|i| agg_range(self.r, i + 1)),
+            ("A-form", self.a, self.b, &|i| agg_range(i, self.b)),
+            ("B-form", self.b, e, &|i| agg_range(self.b, i + 1)),
+        ];
+        for (label, lo, hi, expect) in regions {
+            for i in lo..hi {
+                let want = expect(i);
+                ensure!(
+                    Self::NAME,
+                    "region-agg",
+                    partials_agree(self.agg_at(i), &want),
+                    "{label} at {i}: cached {:?}, refold {:?}",
+                    self.agg_at(i),
+                    want
+                );
+            }
+        }
+        Ok(())
+    }
 }
 
 impl<O: AggregateOp> MemoryFootprint for Daba<O> {
@@ -353,7 +389,7 @@ mod tests {
         let mut naive = Naive::new(Sum::<i64>::new(), 4);
         for v in [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7] {
             assert_eq!(daba.slide(v), naive.slide(v));
-            daba.check_invariants();
+            daba.check_invariants().unwrap();
         }
     }
 
@@ -364,7 +400,7 @@ mod tests {
         let mut naive = Naive::new(op, 7);
         for v in [9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 5, 9, 1, 3, 3, 7, 2, 2, 11, 1] {
             assert_eq!(daba.slide(op.lift(&v)), naive.slide(op.lift(&v)));
-            daba.check_invariants();
+            daba.check_invariants().unwrap();
         }
     }
 
@@ -383,12 +419,12 @@ mod tests {
                 v += 1;
                 daba.insert(v);
                 model.push_back(v);
-                daba.check_invariants();
+                daba.check_invariants().unwrap();
             }
             for _ in 0..drains[round].min(model.len()) {
                 daba.evict();
                 model.pop_front();
-                daba.check_invariants();
+                daba.check_invariants().unwrap();
             }
             let expect: i64 = model.iter().sum();
             assert_eq!(daba.query(), expect, "round {round}");
@@ -400,7 +436,7 @@ mod tests {
         let mut daba = Daba::new(Sum::<i64>::new(), 1);
         assert_eq!(daba.slide(5), 5);
         assert_eq!(daba.slide(7), 7);
-        daba.check_invariants();
+        daba.check_invariants().unwrap();
     }
 
     #[test]
@@ -411,7 +447,7 @@ mod tests {
         }
         for _ in 0..8 {
             daba.evict();
-            daba.check_invariants();
+            daba.check_invariants().unwrap();
         }
         assert!(daba.is_empty());
         assert_eq!(daba.query(), 0);

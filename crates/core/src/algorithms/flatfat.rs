@@ -14,6 +14,7 @@
 //! rounding — the paper's `2^⌈log(n)⌉·2` formulation).
 
 use crate::aggregator::{FinalAggregator, MemoryFootprint};
+use crate::invariants::{ensure, partials_agree, strict_check, InvariantViolation};
 use crate::ops::AggregateOp;
 
 /// Pointer-less circular binary tree aggregator.
@@ -165,6 +166,7 @@ impl<O: AggregateOp> FinalAggregator<O> for FlatFat<O> {
         self.update_leaf(self.curr, partial);
         self.curr = (self.curr + 1) % self.window;
         self.len = (self.len + 1).min(self.window);
+        strict_check!(self);
         self.query_root()
     }
 
@@ -184,6 +186,7 @@ impl<O: AggregateOp> FinalAggregator<O> for FlatFat<O> {
         let identity = self.op.identity();
         self.update_leaf(oldest, identity);
         self.len -= 1;
+        strict_check!(self);
     }
 
     /// Allocation-free batch fill: write each leaf with its root path but
@@ -207,6 +210,66 @@ impl<O: AggregateOp> FinalAggregator<O> for FlatFat<O> {
                 self.len = (self.len + 1).min(self.window);
             }
         }
+        strict_check!(self);
+    }
+
+    /// FlatFAT invariants (paper §2.2, Fig. 4): every internal node equals
+    /// `combine` of its children — the checker refolds in exactly the order
+    /// `update_leaf` used, so the comparison is bitwise even for floats —
+    /// and every non-live leaf holds the identity, which is what makes the
+    /// root the window aggregate. `O(m)` combines.
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        ensure!(
+            Self::NAME,
+            "tree-shape",
+            self.m == self.window.next_power_of_two() && self.tree.len() == 2 * self.m,
+            "m {} / tree {} for window {}",
+            self.m,
+            self.tree.len(),
+            self.window
+        );
+        ensure!(
+            Self::NAME,
+            "cursor-in-window",
+            self.curr < self.window && self.len <= self.window,
+            "curr {} / len {} for window {}",
+            self.curr,
+            self.len,
+            self.window
+        );
+        for i in 1..self.m {
+            let expect = self.op.combine(&self.tree[2 * i], &self.tree[2 * i + 1]);
+            ensure!(
+                Self::NAME,
+                "parent-combine",
+                partials_agree(&self.tree[i], &expect),
+                "node {i} holds {:?}, children combine to {:?}",
+                self.tree[i],
+                expect
+            );
+        }
+        let identity = self.op.identity();
+        // Window slots not currently live, plus the rounding pad window..m.
+        for j in 0..self.window - self.len {
+            let slot = (self.curr + j) % self.window;
+            ensure!(
+                Self::NAME,
+                "dead-leaf-identity",
+                self.tree[self.m + slot] == identity,
+                "non-live leaf {slot} holds {:?}",
+                self.tree[self.m + slot]
+            );
+        }
+        for slot in self.window..self.m {
+            ensure!(
+                Self::NAME,
+                "pad-leaf-identity",
+                self.tree[self.m + slot] == identity,
+                "padding leaf {slot} holds {:?}",
+                self.tree[self.m + slot]
+            );
+        }
+        Ok(())
     }
 }
 

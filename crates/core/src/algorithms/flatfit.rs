@@ -14,6 +14,7 @@
 //! entries in the single-query steady state).
 
 use crate::aggregator::{FinalAggregator, MemoryFootprint};
+use crate::invariants::{ensure, strict_check, InvariantViolation};
 use crate::ops::AggregateOp;
 
 /// Index-traverser aggregator with result reuse.
@@ -92,13 +93,16 @@ impl<O: AggregateOp> FinalAggregator<O> for FlatFit<O> {
         self.curr = (self.curr + 1) % self.window;
         self.len = (self.len + 1).min(self.window);
         if self.len == 1 || self.window == 1 {
+            strict_check!(self);
             return self.partials[newest].clone();
         }
         // Oldest live slot: the slot `len − 1` positions behind `newest`.
         // With a full window this is the slot after `newest`; during
         // warm-up (no evictions) it is slot 0.
         let start = (self.curr + self.window - self.len) % self.window;
-        self.traverse_and_update(start, newest)
+        let answer = self.traverse_and_update(start, newest);
+        strict_check!(self);
+        answer
     }
 
     fn window(&self) -> usize {
@@ -115,12 +119,14 @@ impl<O: AggregateOp> FinalAggregator<O> for FlatFit<O> {
     fn evict(&mut self) {
         assert!(self.len > 0, "evict from an empty FlatFIT window");
         self.len -= 1;
+        strict_check!(self);
     }
 
     /// O(1) for any `n`: pure length arithmetic.
     fn bulk_evict(&mut self, n: usize) {
         assert!(n <= self.len, "evicting {n} of {} partials", self.len);
         self.len -= n;
+        strict_check!(self);
     }
 
     /// Plain ring writes with fresh skip pointers, zero combines: the
@@ -133,6 +139,77 @@ impl<O: AggregateOp> FinalAggregator<O> for FlatFit<O> {
             self.curr = (self.curr + 1) % self.window;
             self.len = (self.len + 1).min(self.window);
         }
+        strict_check!(self);
+    }
+
+    /// FlatFIT invariants (paper §2.2): the PartialInts and Pointers arrays
+    /// stay window-sized with every skip pointer inside the ring, the
+    /// Positions scratch stack is fully unwound between operations (each
+    /// traversal pushes and pops it to empty), and the pointer chain from
+    /// the oldest live slot reaches the newest slot without revisiting a
+    /// slot — stale widened pointers must never skip past the newest
+    /// element, or a future query would loop or cover expired slots.
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        ensure!(
+            Self::NAME,
+            "array-shape",
+            self.partials.len() == self.window && self.pointers.len() == self.window,
+            "partials {} / pointers {} for window {}",
+            self.partials.len(),
+            self.pointers.len(),
+            self.window
+        );
+        ensure!(
+            Self::NAME,
+            "positions-unwound",
+            self.positions.is_empty(),
+            "positions stack holds {} entries between operations",
+            self.positions.len()
+        );
+        ensure!(
+            Self::NAME,
+            "cursor-in-window",
+            self.curr < self.window && self.len <= self.window,
+            "curr {} / len {} for window {}",
+            self.curr,
+            self.len,
+            self.window
+        );
+        for (i, &p) in self.pointers.iter().enumerate() {
+            ensure!(
+                Self::NAME,
+                "pointer-in-ring",
+                p < self.window,
+                "pointer {i} targets {p} outside window {}",
+                self.window
+            );
+        }
+        // Simulate the next slide's traversal: it will write slot `curr`
+        // (making it the newest), re-point that slot, and walk the chain
+        // from the then-oldest live slot. Stale widened pointers always
+        // target a *past* `after_newest`, so the walk must land exactly on
+        // `curr` within `window` hops — a pointer skipping past it would
+        // make the next query loop forever over expired slots.
+        if self.window > 1 && self.len >= 1 {
+            let next_len = (self.len + 1).min(self.window);
+            let newest = self.curr;
+            let start = (self.curr + 1 + self.window - next_len) % self.window;
+            let mut i = start;
+            let mut hops = 0usize;
+            while i != newest {
+                i = self.pointers[i];
+                hops += 1;
+                ensure!(
+                    Self::NAME,
+                    "chain-termination",
+                    hops <= self.window,
+                    "pointer chain from {start} fails to reach the next \
+                     newest slot {newest} within {} hops",
+                    self.window
+                );
+            }
+        }
+        Ok(())
     }
 }
 

@@ -7,6 +7,7 @@
 //! window order, so non-commutative operations are handled correctly.
 
 use crate::aggregator::{FinalAggregator, MemoryFootprint};
+use crate::invariants::{ensure, strict_check, InvariantViolation};
 use crate::ops::AggregateOp;
 
 /// Circular-buffer re-evaluating aggregator (the paper's *Naive* baseline).
@@ -66,6 +67,7 @@ impl<O: AggregateOp> FinalAggregator<O> for Naive<O> {
         self.partials[self.curr] = partial;
         self.curr = (self.curr + 1) % self.window;
         self.len = (self.len + 1).min(self.window);
+        strict_check!(self);
         self.query()
     }
 
@@ -85,18 +87,21 @@ impl<O: AggregateOp> FinalAggregator<O> for Naive<O> {
             self.curr = (self.curr + 1) % self.window;
             self.len = (self.len + 1).min(self.window);
         }
+        strict_check!(self);
     }
 
     /// O(1): the expired slot is simply excluded from the live range.
     fn evict(&mut self) {
         assert!(self.len > 0, "evict from an empty naive window");
         self.len -= 1;
+        strict_check!(self);
     }
 
     /// O(1) for any `n`: pure length arithmetic on the ring.
     fn bulk_evict(&mut self, n: usize) {
         assert!(n <= self.len, "evicting {n} of {} partials", self.len);
         self.len -= n;
+        strict_check!(self);
     }
 
     /// Direct ring fill, zero combines — the per-slide O(n) re-aggregation
@@ -107,6 +112,39 @@ impl<O: AggregateOp> FinalAggregator<O> for Naive<O> {
             self.curr = (self.curr + 1) % self.window;
             self.len = (self.len + 1).min(self.window);
         }
+        strict_check!(self);
+    }
+
+    /// Ring-accounting invariants: the backing array never resizes, the
+    /// write cursor stays inside it, and the live count never exceeds the
+    /// window. Naive holds no derived aggregate state (every query refolds
+    /// the ring), so the structural checks are the whole story.
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        ensure!(
+            Self::NAME,
+            "ring-size",
+            self.partials.len() == self.window,
+            "ring holds {} slots for window {}",
+            self.partials.len(),
+            self.window
+        );
+        ensure!(
+            Self::NAME,
+            "cursor-in-ring",
+            self.curr < self.window,
+            "curr {} outside window {}",
+            self.curr,
+            self.window
+        );
+        ensure!(
+            Self::NAME,
+            "len-bounded",
+            self.len <= self.window,
+            "len {} exceeds window {}",
+            self.len,
+            self.window
+        );
+        Ok(())
     }
 }
 

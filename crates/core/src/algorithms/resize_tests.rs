@@ -1,6 +1,9 @@
 //! Tests for dynamic window resizing (paper §3.1: all compared approaches
 //! support dynamic resize operations; both SlickDeque variants implement
-//! it here).
+//! it here). Every test validates the aggregator's structural invariants
+//! after each resize and each subsequent slide — resizing re-lays the ring
+//! (Inv) or re-bounds the deque (Non-Inv), exactly where corruption would
+//! creep in.
 
 use crate::aggregator::FinalAggregator;
 use crate::algorithms::{Naive, SlickDequeInv, SlickDequeNonInv};
@@ -11,15 +14,19 @@ fn inv_shrink_drops_oldest() {
     let mut sd = SlickDequeInv::new(Sum::<i64>::new(), 5);
     for v in [1, 2, 3, 4, 5] {
         sd.slide(v);
+        sd.check_invariants().unwrap();
     }
     assert_eq!(sd.query(), 15);
     sd.resize(3); // window now 3,4,5
+    sd.check_invariants().unwrap();
     assert_eq!(sd.query(), 12);
     assert_eq!(sd.len(), 3);
     assert_eq!(sd.window(), 3);
     // Subsequent slides behave like a fresh window-3 aggregator.
     assert_eq!(sd.slide(6), 15); // 4+5+6
+    sd.check_invariants().unwrap();
     assert_eq!(sd.slide(7), 18); // 5+6+7
+    sd.check_invariants().unwrap();
 }
 
 #[test]
@@ -28,10 +35,14 @@ fn inv_grow_keeps_contents() {
     sd.slide(10);
     sd.slide(20);
     sd.resize(4);
+    sd.check_invariants().unwrap();
     assert_eq!(sd.query(), 30);
     assert_eq!(sd.slide(30), 60);
+    sd.check_invariants().unwrap();
     assert_eq!(sd.slide(40), 100); // window full at 4
+    sd.check_invariants().unwrap();
     assert_eq!(sd.slide(50), 140); // 10 expired: 20+30+40+50
+    sd.check_invariants().unwrap();
 }
 
 #[test]
@@ -42,10 +53,12 @@ fn inv_resize_matches_fresh_aggregator_afterwards() {
         sd.slide(v);
     }
     sd.resize(7);
+    sd.check_invariants().unwrap();
     let mut reference = Naive::new(Sum::<i64>::new(), 7);
     reference.warm(&mut stream[..100].iter().rev().take(7).rev().copied());
     for &v in &stream[100..] {
         assert_eq!(sd.slide(v), reference.slide(v));
+        sd.check_invariants().unwrap();
     }
 }
 
@@ -55,11 +68,14 @@ fn noninv_shrink_expires_head() {
     let mut sd = SlickDequeNonInv::new(op, 5);
     for v in [9, 7, 5, 3, 1] {
         sd.slide(op.lift(&v));
+        sd.check_invariants().unwrap();
     }
     assert_eq!(sd.query(), Some(9));
     sd.resize(2); // only 3, 1 remain in range
+    sd.check_invariants().unwrap();
     assert_eq!(sd.query(), Some(3));
     assert_eq!(sd.slide(op.lift(&0)), Some(1)); // window 1, 0
+    sd.check_invariants().unwrap();
 }
 
 #[test]
@@ -71,10 +87,14 @@ fn noninv_grow_then_behaves_like_larger_window() {
     sd.slide(op.lift(&4)); // 9 expired under window 2
     assert_eq!(sd.query(), Some(5));
     sd.resize(4);
+    sd.check_invariants().unwrap();
     // Old contents are retained; new arrivals fill up to 4.
     assert_eq!(sd.slide(op.lift(&3)), Some(5));
+    sd.check_invariants().unwrap();
     assert_eq!(sd.slide(op.lift(&2)), Some(5));
+    sd.check_invariants().unwrap();
     assert_eq!(sd.slide(op.lift(&1)), Some(4)); // 5 finally expired
+    sd.check_invariants().unwrap();
 }
 
 #[test]
@@ -86,12 +106,12 @@ fn noninv_resize_matches_fresh_aggregator_afterwards() {
         sd.slide(op.lift(&v));
     }
     sd.resize(9);
-    sd.check_invariants();
+    sd.check_invariants().unwrap();
     let mut reference = Naive::new(op, 9);
     reference.warm(&mut stream[..150].iter().rev().take(9).rev().map(|v| op.lift(v)));
     for &v in &stream[150..] {
         assert_eq!(sd.slide(op.lift(&v)), reference.slide(op.lift(&v)));
-        sd.check_invariants();
+        sd.check_invariants().unwrap();
     }
 }
 

@@ -11,6 +11,7 @@
 //! Complexity (Table 1): exactly 2 operations per slide; space `n + 1`.
 
 use crate::aggregator::{FinalAggregator, MemoryFootprint};
+use crate::invariants::{ensure, partials_agree, strict_check, InvariantViolation};
 use crate::ops::InvertibleOp;
 
 /// Running-aggregate sliding window for invertible operations.
@@ -109,6 +110,7 @@ impl<O: InvertibleOp> FinalAggregator<O> for SlickDequeInv<O> {
         self.answer = self.op.inverse_combine(&with_new, &expiring);
         self.curr = (self.curr + 1) % self.window;
         self.len = (self.len + 1).min(self.window);
+        strict_check!(self);
         self.answer.clone()
     }
 
@@ -130,6 +132,7 @@ impl<O: InvertibleOp> FinalAggregator<O> for SlickDequeInv<O> {
         let expired = std::mem::replace(&mut self.partials[oldest], identity);
         self.answer = self.op.inverse_combine(&self.answer, &expired);
         self.len -= 1;
+        strict_check!(self);
     }
 
     /// The paper's running-answer trick, batched: fold the whole batch
@@ -155,6 +158,7 @@ impl<O: InvertibleOp> FinalAggregator<O> for SlickDequeInv<O> {
             self.answer = answer;
             self.curr = 0;
             self.len = self.window;
+            strict_check!(self);
             return;
         }
         // Fold the arrivals, fold the partials they push out, then update
@@ -181,6 +185,7 @@ impl<O: InvertibleOp> FinalAggregator<O> for SlickDequeInv<O> {
             self.curr = (self.curr + 1) % self.window;
         }
         self.len = (self.len + b).min(self.window);
+        strict_check!(self);
     }
 
     /// The 2-ops-per-slide loop with the ring cursor and running answer
@@ -204,6 +209,64 @@ impl<O: InvertibleOp> FinalAggregator<O> for SlickDequeInv<O> {
         self.curr = curr;
         self.answer = answer;
         self.len = (self.len + batch.len()).min(self.window);
+        strict_check!(self);
+    }
+
+    /// SlickDeque (Inv) invariants (paper §3.2, Algorithm 1): the ring
+    /// stays window-sized with every non-live slot at the identity, and the
+    /// running `answer` equals the fold of the live history oldest→newest —
+    /// ⊕ and ⊖ must cancel exactly or answers drift forever.
+    ///
+    /// The refold is order-sensitive: the running answer was built
+    /// incrementally (`(answer ⊕ new) ⊖ expiring`), so the comparison is
+    /// exact for integer partials (and integer-valued floats) but can
+    /// differ in low bits for general floating-point streams where ⊖ is
+    /// not a perfect inverse. `O(window)` combines.
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        ensure!(
+            Self::NAME,
+            "ring-shape",
+            self.partials.len() == self.window,
+            "ring holds {} slots for window {}",
+            self.partials.len(),
+            self.window
+        );
+        ensure!(
+            Self::NAME,
+            "cursor-in-window",
+            self.curr < self.window && self.len <= self.window,
+            "curr {} / len {} for window {}",
+            self.curr,
+            self.len,
+            self.window
+        );
+        let identity = self.op.identity();
+        for j in 0..self.window - self.len {
+            let slot = (self.curr + j) % self.window;
+            ensure!(
+                Self::NAME,
+                "dead-slot-identity",
+                self.partials[slot] == identity,
+                "non-live slot {slot} holds {:?}",
+                self.partials[slot]
+            );
+        }
+        let start = (self.curr + self.window - self.len) % self.window;
+        let mut expect = identity;
+        for k in 0..self.len {
+            expect = self
+                .op
+                .combine(&expect, &self.partials[(start + k) % self.window]);
+        }
+        ensure!(
+            Self::NAME,
+            "answer-refold",
+            partials_agree(&self.answer, &expect),
+            "running answer {:?}, live history folds to {:?}",
+            self.answer,
+            expect
+        );
+        Ok(())
     }
 }
 
@@ -228,6 +291,9 @@ mod tests {
         }
     }
 
+    // Exact operation counts are meaningless when the strict-invariants
+    // self-checks run their own combines inside every mutation.
+    #[cfg(not(feature = "strict-invariants"))]
     #[test]
     fn exactly_two_ops_per_slide() {
         let counter = OpCounter::new();

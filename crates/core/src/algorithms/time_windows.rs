@@ -75,6 +75,7 @@ impl<O: InvertibleOp> TimeSlickDequeInv<O> {
         };
         while let Some((ts, _)) = self.window.front() {
             if *ts <= cutoff {
+                // check:allow the loop condition just matched this front entry
                 let expired = self.window.front().expect("just peeked").1.clone();
                 self.answer = self.op.inverse_combine(&self.answer, &expired);
                 self.window.pop_front();

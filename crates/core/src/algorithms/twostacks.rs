@@ -13,6 +13,7 @@
 //! not support multi-query execution (paper §2.2).
 
 use crate::aggregator::{FinalAggregator, MemoryFootprint};
+use crate::invariants::{ensure, partials_agree, strict_check, InvariantViolation};
 use crate::ops::AggregateOp;
 
 #[derive(Debug, Clone)]
@@ -81,6 +82,7 @@ impl<O: AggregateOp> TwoStacks<O> {
         if self.front.is_empty() {
             self.flip();
         }
+        // check:allow empty-window eviction is a caller bug worth aborting on
         self.front
             .pop()
             .expect("evict from an empty TwoStacks window");
@@ -122,6 +124,7 @@ impl<O: AggregateOp> FinalAggregator<O> for TwoStacks<O> {
             self.evict();
         }
         self.insert(partial);
+        strict_check!(self);
         self.query()
     }
 
@@ -135,6 +138,7 @@ impl<O: AggregateOp> FinalAggregator<O> for TwoStacks<O> {
 
     fn evict(&mut self) {
         TwoStacks::evict(self);
+        strict_check!(self);
     }
 
     /// One flip-check for the whole range: truncate the front stack, and
@@ -149,6 +153,7 @@ impl<O: AggregateOp> FinalAggregator<O> for TwoStacks<O> {
             self.flip();
             self.front.truncate(self.front.len() - rest);
         }
+        strict_check!(self);
     }
 
     /// Evict the overflow up front (at most one flip), then push the batch
@@ -162,6 +167,52 @@ impl<O: AggregateOp> FinalAggregator<O> for TwoStacks<O> {
         for p in tail {
             self.insert(p.clone());
         }
+        strict_check!(self);
+    }
+
+    /// TwoStacks invariants (paper §2.2): every node's cached `agg` equals
+    /// the fold of its stack region — back nodes carry prefix aggregates
+    /// (`agg[k] = combine(agg[k−1], val[k])`, built by `insert`), front
+    /// nodes carry suffix aggregates toward the top
+    /// (`agg[k] = combine(val[k], agg[k−1])`, built by `flip`). The checker
+    /// refolds in exactly those orders, so comparisons are bitwise even for
+    /// floats. `top(F) ⊕ top(B)` being the window answer follows directly.
+    /// `O(len)` combines.
+    ///
+    /// The inherent `insert`/`evict` API deliberately allows more than
+    /// `window` elements (any FIFO pattern), so no `len ≤ window` check.
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        for (k, node) in self.back.iter().enumerate() {
+            let expect = if k == 0 {
+                node.val.clone()
+            } else {
+                self.op.combine(&self.back[k - 1].agg, &node.val)
+            };
+            ensure!(
+                Self::NAME,
+                "back-prefix-agg",
+                partials_agree(&node.agg, &expect),
+                "back node {k} caches {:?}, prefix folds to {:?}",
+                node.agg,
+                expect
+            );
+        }
+        for (k, node) in self.front.iter().enumerate() {
+            let expect = if k == 0 {
+                node.val.clone()
+            } else {
+                self.op.combine(&node.val, &self.front[k - 1].agg)
+            };
+            ensure!(
+                Self::NAME,
+                "front-suffix-agg",
+                partials_agree(&node.agg, &expect),
+                "front node {k} caches {:?}, suffix folds to {:?}",
+                node.agg,
+                expect
+            );
+        }
+        Ok(())
     }
 }
 

@@ -15,6 +15,7 @@
 //! a bounded delay identical to the paper's two-chunk overallocation.
 
 use crate::aggregator::MemoryFootprint;
+use crate::invariants::{ensure, InvariantViolation};
 use std::collections::VecDeque;
 
 /// Default chunk capacity used when none is specified.
@@ -142,6 +143,7 @@ impl<T> ChunkedDeque<T> {
             if self.chunks.len() == 1 {
                 self.chunks[0].clear();
             } else {
+                // check:allow guarded by chunks.len() > 1 on the previous branch
                 let mut retired = self.chunks.pop_front().expect("non-empty");
                 retired.clear();
                 self.spare = Some(retired);
@@ -158,7 +160,9 @@ impl<T> ChunkedDeque<T> {
             return None;
         }
         self.len -= 1;
+        // check:allow len > 0 guarantees a chunk exists (checked above)
         let back = self.chunks.back_mut().expect("non-empty deque");
+        // check:allow the back chunk is never left empty while len > 0
         let value = back.pop().expect("back chunk holds the back element");
         if back.is_empty() {
             if self.chunks.len() > 1 {
@@ -246,6 +250,90 @@ impl<T> ChunkedDeque<T> {
         self.spare = None;
         self.len = 0;
         self.front_offset = 0;
+    }
+
+    /// Verify the chunk-accounting invariants of the paper's §4.2 chunked
+    /// array: cached length vs. chunk contents, the dead prefix confined to
+    /// the front chunk, all interior chunks full, and the recycled spare
+    /// chunk empty. `O(chunks)`.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        const NAME: &str = "chunked-deque";
+        ensure!(
+            NAME,
+            "chunk-cap-pow2",
+            self.chunk_cap.is_power_of_two() && self.chunk_shift == self.chunk_cap.trailing_zeros(),
+            "chunk_cap {} / chunk_shift {}",
+            self.chunk_cap,
+            self.chunk_shift
+        );
+        let total: usize = self.chunks.iter().map(|c| c.len()).sum();
+        ensure!(
+            NAME,
+            "length-accounting",
+            self.len + self.front_offset == total,
+            "len {} + front_offset {} != stored slots {}",
+            self.len,
+            self.front_offset,
+            total
+        );
+        if self.chunks.is_empty() {
+            ensure!(
+                NAME,
+                "empty-state",
+                self.len == 0 && self.front_offset == 0,
+                "no chunks but len {} / front_offset {}",
+                self.len,
+                self.front_offset
+            );
+        } else {
+            ensure!(
+                NAME,
+                "dead-prefix-bounded",
+                self.front_offset < self.chunks[0].len() || self.len == 0,
+                "front_offset {} not inside front chunk of {} slots",
+                self.front_offset,
+                self.chunks[0].len()
+            );
+        }
+        for (i, chunk) in self.chunks.iter().enumerate() {
+            ensure!(
+                NAME,
+                "chunk-capacity",
+                chunk.len() <= self.chunk_cap,
+                "chunk {i} holds {} > cap {}",
+                chunk.len(),
+                self.chunk_cap
+            );
+            if i + 1 < self.chunks.len() {
+                ensure!(
+                    NAME,
+                    "interior-chunks-full",
+                    chunk.len() == self.chunk_cap,
+                    "interior chunk {i} holds {} of {}",
+                    chunk.len(),
+                    self.chunk_cap
+                );
+            }
+        }
+        if self.len > 0 {
+            ensure!(
+                NAME,
+                "back-chunk-live",
+                self.chunks.back().is_some_and(|c| !c.is_empty()),
+                "len {} but back chunk is empty",
+                self.len
+            );
+        }
+        if let Some(spare) = &self.spare {
+            ensure!(
+                NAME,
+                "spare-empty",
+                spare.is_empty(),
+                "spare chunk holds {} elements",
+                spare.len()
+            );
+        }
+        Ok(())
     }
 }
 
@@ -419,5 +507,39 @@ mod tests {
         assert!(d.is_empty());
         d.push_back(9);
         assert_eq!(d.front(), Some(&9));
+    }
+
+    #[test]
+    fn invariants_hold_through_mixed_ops() {
+        let mut d = ChunkedDeque::with_chunk_capacity(4);
+        d.check_invariants().unwrap();
+        for i in 0..50 {
+            d.push_back(i);
+            d.check_invariants().unwrap();
+            if i % 3 == 0 {
+                d.pop_front();
+                d.check_invariants().unwrap();
+            }
+            if i % 7 == 0 {
+                d.pop_back();
+                d.check_invariants().unwrap();
+            }
+        }
+        while d.pop_front() {
+            d.check_invariants().unwrap();
+        }
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariant_checker_reports_corruption() {
+        let mut d = ChunkedDeque::with_chunk_capacity(4);
+        for i in 0..6 {
+            d.push_back(i);
+        }
+        // Corrupt the cached length and expect the accounting check to trip.
+        d.len = 3;
+        let violation = d.check_invariants().unwrap_err();
+        assert_eq!(violation.invariant, "length-accounting");
     }
 }

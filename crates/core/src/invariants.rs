@@ -1,0 +1,115 @@
+//! Structural-invariant reporting for the paper-derived checkers.
+//!
+//! Every final aggregator exposes
+//! [`check_invariants`](crate::FinalAggregator::check_invariants), which
+//! re-derives the structural facts the paper's correctness proofs rest on
+//! (monotone-deque dominance for SlickDeque Non-Inv, DABA's pointer
+//! ordering, FlatFAT's parent = combine(children), …) and reports the first
+//! violation found as an [`InvariantViolation`]. The checkers are `O(window)`
+//! or worse and intended for tests, the differential fuzz driver
+//! (`fuzz_invariants` in swag-bench), and post-drain engine audits — not for
+//! per-tuple production use.
+//!
+//! With the `strict-invariants` cargo feature enabled, every mutating
+//! operation (`slide`, `evict`, the `bulk_*` fast paths, resizes) re-checks
+//! its own invariants on exit and panics on the first violation, turning any
+//! seeded test run into a self-auditing one.
+
+use std::error::Error;
+use std::fmt;
+
+/// A violated structural invariant, reported by `check_invariants`.
+///
+/// Carries the algorithm's [`NAME`](crate::FinalAggregator::NAME), a short
+/// stable label for the invariant that failed (usable in test assertions),
+/// and a human-readable detail string with the offending values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Algorithm (or structure) whose invariant failed.
+    pub algorithm: &'static str,
+    /// Short stable label of the violated invariant ("dominance",
+    /// "pointer-order", "parent-combine", …).
+    pub invariant: &'static str,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+impl InvariantViolation {
+    /// Build a violation report.
+    pub fn new(algorithm: &'static str, invariant: &'static str, detail: String) -> Self {
+        InvariantViolation {
+            algorithm,
+            invariant,
+            detail,
+        }
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: invariant `{}` violated: {}",
+            self.algorithm, self.invariant, self.detail
+        )
+    }
+}
+
+impl Error for InvariantViolation {}
+
+/// Value-equality for checker refolds: plain `PartialEq`, except that two
+/// self-unequal values (NaN-carrying partials, where `NaN != NaN`) are
+/// considered to agree. Without this, a NaN legitimately admitted by the
+/// `MaxF64`/`MinF64` total-order policy would read as a spurious violation.
+pub(crate) fn partials_agree<P: PartialEq>(a: &P, b: &P) -> bool {
+    #[allow(clippy::eq_op)]
+    {
+        a == b || (a != a && b != b)
+    }
+}
+
+/// Bail out of a checker with an [`InvariantViolation`] unless `cond` holds.
+///
+/// Usage: `ensure!(Self::NAME, "label", cond, "detail {}", value);`
+macro_rules! ensure {
+    ($alg:expr, $inv:expr, $cond:expr, $($detail:tt)+) => {
+        if !$cond {
+            return Err($crate::invariants::InvariantViolation::new(
+                $alg,
+                $inv,
+                format!($($detail)+),
+            ));
+        }
+    };
+}
+pub(crate) use ensure;
+
+/// Re-check `$agg`'s own invariants, panicking on violation — compiled in
+/// only under the `strict-invariants` feature. Placed at the end of every
+/// mutating operation so fuzzing with the feature on audits each step.
+macro_rules! strict_check {
+    ($agg:expr) => {
+        #[cfg(feature = "strict-invariants")]
+        {
+            if let Err(violation) = $agg.check_invariants() {
+                // check:allow strict-invariants mode deliberately aborts on corruption
+                panic!("strict-invariants: {violation}");
+            }
+        }
+    };
+}
+pub(crate) use strict_check;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_algorithm_and_invariant() {
+        let v = InvariantViolation::new("slickdeque-noninv", "dominance", "node 3".into());
+        let s = v.to_string();
+        assert!(s.contains("slickdeque-noninv"));
+        assert!(s.contains("dominance"));
+        assert!(s.contains("node 3"));
+    }
+}

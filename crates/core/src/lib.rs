@@ -41,7 +41,9 @@
 pub mod aggregator;
 pub mod algorithms;
 pub mod chunked;
+pub mod invariants;
 pub mod multi;
 pub mod ops;
 
 pub use aggregator::{FinalAggregator, MemoryFootprint, MultiFinalAggregator};
+pub use invariants::InvariantViolation;

@@ -15,6 +15,7 @@
 
 use crate::aggregator::{normalize_ranges, MemoryFootprint, MultiFinalAggregator};
 use crate::chunked::ChunkedDeque;
+use crate::invariants::{ensure, partials_agree, strict_check, InvariantViolation};
 use crate::ops::{InvertibleOp, SelectiveOp};
 
 /// Algorithm 1: multi-ACQ processing of invertible aggregates.
@@ -138,6 +139,7 @@ impl<O: InvertibleOp> MultiFinalAggregator<O> for MultiSlickDequeInv<O> {
         }
         self.partials[self.curr] = partial;
         self.curr = (self.curr + 1) % self.wsize;
+        strict_check!(self);
     }
 
     /// Range-major batching: each answers-map entry is loaded once, run
@@ -177,10 +179,63 @@ impl<O: InvertibleOp> MultiFinalAggregator<O> for MultiSlickDequeInv<O> {
             self.partials[self.curr] = p.clone();
             self.curr = (self.curr + 1) % self.wsize;
         }
+        strict_check!(self);
     }
 
     fn ranges(&self) -> &[usize] {
         &self.ranges
+    }
+
+    /// Multi-query SlickDeque (Inv) invariants (paper Algorithm 1): the
+    /// ring covers the largest range, the answers map mirrors the
+    /// (descending, duplicate-free) ranges list, and every entry's running
+    /// answer equals the fold of its last `r` history slots — the per-range
+    /// generalisation of the single-query `answer-refold` check.
+    ///
+    /// As in [`crate::algorithms::SlickDequeInv`], the refold comparison is
+    /// exact for integer partials; floating-point streams where ⊖ is not a
+    /// perfect inverse can differ in low bits. `O(Σ ranges)` combines.
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        ensure!(
+            Self::NAME,
+            "ring-shape",
+            self.partials.len() == self.wsize && self.curr < self.wsize,
+            "ring {} / curr {} for wsize {}",
+            self.partials.len(),
+            self.curr,
+            self.wsize
+        );
+        ensure!(
+            Self::NAME,
+            "ranges-normalized",
+            !self.ranges.is_empty()
+                && self.ranges[0] == self.wsize
+                && self.ranges.windows(2).all(|w| w[0] > w[1])
+                && self.answers.len() == self.ranges.len()
+                && self
+                    .answers
+                    .iter()
+                    .zip(&self.ranges)
+                    .all(|((ar, _), r)| ar == r),
+            "ranges {:?} / answer keys {:?} for wsize {}",
+            self.ranges,
+            self.answers.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+            self.wsize
+        );
+        for (r, ans) in &self.answers {
+            let mut expect = self.op.identity();
+            for k in 0..*r {
+                let idx = (self.curr + self.wsize - *r + k) % self.wsize;
+                expect = self.op.combine(&expect, &self.partials[idx]);
+            }
+            ensure!(
+                Self::NAME,
+                "answer-refold",
+                partials_agree(ans, &expect),
+                "range {r} answer {ans:?}, its history slots fold to {expect:?}"
+            );
+        }
+        Ok(())
     }
 }
 
@@ -310,9 +365,9 @@ impl<O: SelectiveOp> MultiFinalAggregator<O> for MultiSlickDequeNonInv<O> {
                 self.deque.pop_front();
             }
         }
-        // Lines 15-18: pop every dominated tail.
+        // Lines 15-18: pop every defeated tail.
         while let Some(back) = self.deque.back() {
-            if self.op.combine(&back.val, &partial) == partial {
+            if self.op.defeats(&partial, &back.val) {
                 self.deque.pop_back();
             } else {
                 break;
@@ -326,6 +381,7 @@ impl<O: SelectiveOp> MultiFinalAggregator<O> for MultiSlickDequeNonInv<O> {
         // the head; larger ranges always resolve at nodes closer to the
         // head, so a single forward cursor over the deque suffices.
         let mut nodes = self.deque.iter();
+        // check:allow the arrival was pushed above, so the deque is non-empty
         let mut node = nodes.next().expect("deque holds the new arrival");
         for &r in &self.ranges {
             if r < self.wsize {
@@ -335,6 +391,7 @@ impl<O: SelectiveOp> MultiFinalAggregator<O> for MultiSlickDequeNonInv<O> {
                     // pos > startPos OR pos <= curr.
                     let start = (start + self.wsize as isize) as usize;
                     while node.pos <= start && node.pos > self.curr {
+                        // check:allow the newest node satisfies every range, so the cursor stops
                         node = nodes.next().expect("newest node is always in range");
                     }
                 } else {
@@ -342,6 +399,7 @@ impl<O: SelectiveOp> MultiFinalAggregator<O> for MultiSlickDequeNonInv<O> {
                     // startPos < pos <= curr.
                     let start = start as usize;
                     while node.pos <= start || node.pos > self.curr {
+                        // check:allow the newest node satisfies every range, so the cursor stops
                         node = nodes.next().expect("newest node is always in range");
                     }
                 }
@@ -351,10 +409,72 @@ impl<O: SelectiveOp> MultiFinalAggregator<O> for MultiSlickDequeNonInv<O> {
             out.push(node.val.clone());
         }
         self.curr = (self.curr + 1) % self.wsize;
+        strict_check!(self);
     }
 
     fn ranges(&self) -> &[usize] {
         &self.ranges
+    }
+
+    /// Multi-query SlickDeque (Non-Inv) invariants (paper Algorithm 2): the
+    /// ranges list is descending with the largest range sizing the window,
+    /// the shared deque never holds more nodes than window slots, node ages
+    /// (slides since insertion, recovered from the wrapped positions as in
+    /// `add_query`) strictly decrease head→tail, and no node is defeated by
+    /// its successor. Storage-level checks are delegated to
+    /// [`ChunkedDeque::check_invariants`]. `O(deque_len)` combines.
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        self.deque.check_invariants()?;
+        ensure!(
+            Self::NAME,
+            "ranges-normalized",
+            !self.ranges.is_empty()
+                && self.ranges[0] == self.wsize
+                && self.ranges.windows(2).all(|w| w[0] > w[1])
+                && self.curr < self.wsize,
+            "ranges {:?} / curr {} for wsize {}",
+            self.ranges,
+            self.curr,
+            self.wsize
+        );
+        ensure!(
+            Self::NAME,
+            "deque-bounded",
+            self.deque.len() <= self.wsize,
+            "deque holds {} nodes for window {}",
+            self.deque.len(),
+            self.wsize
+        );
+        let mut prev: Option<(usize, &Node<O::Partial>)> = None;
+        for (k, node) in self.deque.iter().enumerate() {
+            ensure!(
+                Self::NAME,
+                "position-wrapped",
+                node.pos < self.wsize,
+                "node {k} position {} outside [0, {})",
+                node.pos,
+                self.wsize
+            );
+            let age = (self.curr + self.wsize - 1 - node.pos) % self.wsize;
+            if let Some((older_age, older)) = prev {
+                ensure!(
+                    Self::NAME,
+                    "age-order",
+                    age < older_age,
+                    "node {k} age {age} does not precede its older neighbour's {older_age}"
+                );
+                ensure!(
+                    Self::NAME,
+                    "dominance-order",
+                    !self.op.defeats(&node.val, &older.val),
+                    "node {k} value {:?} defeats its older neighbour {:?}",
+                    node.val,
+                    older.val
+                );
+            }
+            prev = Some((age, node));
+        }
+        Ok(())
     }
 }
 

@@ -177,10 +177,12 @@ impl<O: SelectiveOp> MultiTimeSlickDequeNonInv<O> {
         // current range; the new arrival always qualifies.
         out.clear();
         let mut nodes = self.deque.iter();
+        // check:allow the arrival was pushed above, so the deque is non-empty
         let mut node = nodes.next().expect("deque holds the new arrival");
         for &r in &self.ranges_ms {
             let cutoff = ts.checked_sub(r);
             while cutoff.is_some_and(|c| node.ts <= c) {
+                // check:allow the newest node satisfies every range, so the cursor stops
                 node = nodes.next().expect("newest node is always in range");
             }
             out.push(node.val.clone());

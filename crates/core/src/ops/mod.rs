@@ -16,9 +16,12 @@
 //! * [`SelectiveOp`] — `combine(a, b) ∈ {a, b}` (the paper's note on
 //!   non-invertible, non-holistic operations). Max, Min, ArgMax, ArgMin,
 //!   alphabetical Max, … SlickDeque (Non-Inv)'s monotone deque requires this.
-//! * [`CommutativeOp`] — marker for `a ⊕ b = b ⊕ a`. None of the algorithms
-//!   here require commutativity (they all preserve window order), but the
-//!   marker lets property tests check the law where it is claimed.
+//! * [`CommutativeOp`] — marker for `a ⊕ b = b ⊕ a`. The algorithms fold
+//!   in window order, with one exception: FlatFAT's whole-window slide
+//!   answer reads the cached root, which folds leaves in slot order —
+//!   correct only up to rotation, i.e. for commutative operations
+//!   (`FlatFat::query_in_order` covers the rest). The marker also lets
+//!   property tests check the law where it is claimed.
 //!
 //! Holistic aggregations (Median, Top-K, …) are out of scope, exactly as in
 //! the paper.
@@ -103,7 +106,20 @@ pub trait InvertibleOp: AggregateOp {
 /// operation has this property; it is what makes SlickDeque (Non-Inv)'s
 /// monotone deque sound: a partial dominated by a newer arrival can never be
 /// a query answer again and may be discarded.
-pub trait SelectiveOp: AggregateOp {}
+pub trait SelectiveOp: AggregateOp {
+    /// True iff the newer partial `new` dominates the older partial `old`:
+    /// `combine(old, new) == new`, i.e. once `new` is in the window, `old`
+    /// can never again be a query answer and may be discarded.
+    ///
+    /// The default decides via `combine` + `PartialEq`, which is correct for
+    /// every carrier whose equality is reflexive. Float-carrying operations
+    /// ([`MaxF64`], [`MinF64`]) override it with a `f64::total_cmp`-based
+    /// test so that NaN partials (where `NaN != NaN` would wrongly report
+    /// "not dominated" forever) still follow the documented total order.
+    fn defeats(&self, new: &Self::Partial, old: &Self::Partial) -> bool {
+        self.combine(old, new) == *new
+    }
+}
 
 /// Marker for commutative operations (`a ⊕ b == b ⊕ a`).
 pub trait CommutativeOp: AggregateOp {}

@@ -132,8 +132,19 @@ pub type AlphaMax = Max<String>;
 /// representation the paper's C++ platform uses (`initVal` is −∞ for Max).
 ///
 /// Halves the partial size relative to [`Max<f64>`]'s `Option<f64>`;
-/// prefer it in throughput-critical paths. NaN inputs are rejected by
-/// `lift` (a NaN would break the selection property).
+/// prefer it in throughput-critical paths.
+///
+/// # NaN policy
+///
+/// Values are ordered by [`f64::total_cmp`], which is a *total* order:
+/// `… < −∞ < finite < +∞ < NaN`. `lift` canonicalises every NaN input to
+/// the positive quiet NaN, the greatest element of that order, so a NaN in
+/// the window is "the maximum" until it expires — the window never silently
+/// drops or misorders it. This keeps the selection property (`combine`
+/// returns one of its arguments) and the identity law (`−∞` is below every
+/// canonical partial) intact even on hostile streams; the old
+/// `debug_assert!(!input.is_nan())` could not protect release builds.
+/// Ties prefer the newer (right) argument, matching [`Max<T>`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MaxF64;
 
@@ -155,12 +166,18 @@ impl AggregateOp for MaxF64 {
     }
     #[inline]
     fn lift(&self, input: &f64) -> f64 {
-        debug_assert!(!input.is_nan(), "NaN breaks Max's selection property");
-        *input
+        // Canonicalise to the positive quiet NaN — the greatest element in
+        // the total_cmp order, so a single bit pattern represents "NaN
+        // dominates" regardless of the input's sign/payload bits.
+        if input.is_nan() {
+            f64::NAN
+        } else {
+            *input
+        }
     }
     #[inline]
     fn combine(&self, a: &f64, b: &f64) -> f64 {
-        if a > b {
+        if a.total_cmp(b) == core::cmp::Ordering::Greater {
             *a
         } else {
             *b
@@ -175,10 +192,26 @@ impl AggregateOp for MaxF64 {
     }
 }
 
-impl SelectiveOp for MaxF64 {}
+impl SelectiveOp for MaxF64 {
+    /// `total_cmp`-based dominance: unlike the `PartialEq` default, a NaN
+    /// arrival correctly defeats older partials (and an older NaN is only
+    /// defeated by another NaN).
+    #[inline]
+    fn defeats(&self, new: &f64, old: &f64) -> bool {
+        old.total_cmp(new) != core::cmp::Ordering::Greater
+    }
+}
 impl CommutativeOp for MaxF64 {}
 
 /// Windowed minimum over `f64` with a +∞ identity (see [`MaxF64`]).
+///
+/// # NaN policy
+///
+/// Mirror image of [`MaxF64`]: values are ordered by [`f64::total_cmp`] and
+/// `lift` canonicalises NaN inputs to the *negative* quiet NaN, the least
+/// element of the total order (`NaN(neg) < −∞ < finite < +∞`), so a NaN in
+/// the window is "the minimum" until it expires. Ties prefer the newer
+/// (right) argument.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MinF64;
 
@@ -200,12 +233,17 @@ impl AggregateOp for MinF64 {
     }
     #[inline]
     fn lift(&self, input: &f64) -> f64 {
-        debug_assert!(!input.is_nan(), "NaN breaks Min's selection property");
-        *input
+        // Canonicalise to the negative quiet NaN — the least element in the
+        // total_cmp order (below −∞), the mirror of MaxF64's policy.
+        if input.is_nan() {
+            -f64::NAN
+        } else {
+            *input
+        }
     }
     #[inline]
     fn combine(&self, a: &f64, b: &f64) -> f64 {
-        if a < b {
+        if a.total_cmp(b) == core::cmp::Ordering::Less {
             *a
         } else {
             *b
@@ -220,7 +258,13 @@ impl AggregateOp for MinF64 {
     }
 }
 
-impl SelectiveOp for MinF64 {}
+impl SelectiveOp for MinF64 {
+    /// `total_cmp`-based dominance, NaN-safe (see [`MaxF64::defeats`]).
+    #[inline]
+    fn defeats(&self, new: &f64, old: &f64) -> bool {
+        old.total_cmp(new) != core::cmp::Ordering::Less
+    }
+}
 impl CommutativeOp for MinF64 {}
 
 /// Windowed ArgMax: returns the payload whose key is largest.
@@ -653,6 +697,107 @@ mod tests {
         assert!(all.identity());
         assert!(!any.identity());
     }
+
+    #[test]
+    fn max_f64_nan_dominates_and_expires() {
+        use crate::aggregator::FinalAggregator;
+        use crate::algorithms::SlickDequeNonInv;
+        let op = MaxF64::new();
+        let mut sd = SlickDequeNonInv::new(op, 3);
+        assert_eq!(sd.slide(op.lift(&1.0)), 1.0);
+        assert!(sd.slide(op.lift(&f64::NAN)).is_nan());
+        assert!(sd.slide(op.lift(&9.0)).is_nan());
+        sd.check_invariants().unwrap();
+        // NaN stays the answer while live, then expires normally.
+        assert!(sd.slide(op.lift(&2.0)).is_nan());
+        assert_eq!(sd.slide(op.lift(&0.5)), 9.0);
+        sd.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn min_f64_nan_dominates_and_expires() {
+        use crate::aggregator::FinalAggregator;
+        use crate::algorithms::SlickDequeNonInv;
+        let op = MinF64::new();
+        let mut sd = SlickDequeNonInv::new(op, 3);
+        assert_eq!(sd.slide(op.lift(&5.0)), 5.0);
+        assert!(sd.slide(op.lift(&f64::NAN)).is_nan());
+        assert!(sd.slide(op.lift(&-3.0)).is_nan());
+        sd.check_invariants().unwrap();
+        assert!(sd.slide(op.lift(&7.0)).is_nan());
+        assert_eq!(sd.slide(op.lift(&8.0)), -3.0);
+        sd.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn f64_extrema_total_order_laws_with_nan() {
+        // total_cmp gives a genuine total order, so the monoid and
+        // selection laws hold bitwise even with NaN and signed zeros —
+        // compare by to_bits since NaN != NaN under PartialEq.
+        let max = MaxF64::new();
+        let min = MinF64::new();
+        let samples = [
+            max.lift(&f64::NAN),
+            min.lift(&f64::NAN),
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            -0.0,
+            0.0,
+            -3.5,
+            7.25,
+        ];
+        for a in samples {
+            for b in samples {
+                for c in samples {
+                    for opc in [
+                        |x: &f64, y: &f64| MaxF64::new().combine(x, y),
+                        |x: &f64, y: &f64| MinF64::new().combine(x, y),
+                    ] {
+                        let left = opc(&opc(&a, &b), &c);
+                        let right = opc(&a, &opc(&b, &c));
+                        assert_eq!(left.to_bits(), right.to_bits(), "assoc {a} {b} {c}");
+                        let ab = opc(&a, &b);
+                        assert!(
+                            ab.to_bits() == a.to_bits() || ab.to_bits() == b.to_bits(),
+                            "selection {a} {b}"
+                        );
+                    }
+                }
+            }
+        }
+        // Identity absorption: canonical NaNs sit strictly inside the
+        // identity bounds of the total order.
+        let nan_hi = max.lift(&f64::NAN);
+        assert_eq!(
+            max.combine(&max.identity(), &nan_hi).to_bits(),
+            nan_hi.to_bits()
+        );
+        let nan_lo = min.lift(&f64::NAN);
+        assert_eq!(
+            min.combine(&min.identity(), &nan_lo).to_bits(),
+            nan_lo.to_bits()
+        );
+    }
+
+    #[test]
+    fn f64_defeats_matches_combine_for_non_nan() {
+        use super::SelectiveOp;
+        let max = MaxF64::new();
+        let min = MinF64::new();
+        let samples = [-1.0, 0.0, 2.5, f64::INFINITY, f64::NEG_INFINITY];
+        for old in samples {
+            for new in samples {
+                assert_eq!(max.defeats(&new, &old), max.combine(&old, &new) == new);
+                assert_eq!(min.defeats(&new, &old), min.combine(&old, &new) == new);
+            }
+        }
+        // And the NaN cases the PartialEq default cannot decide:
+        assert!(max.defeats(&max.lift(&f64::NAN), &5.0));
+        assert!(max.defeats(&max.lift(&f64::NAN), &max.lift(&f64::NAN)));
+        assert!(!max.defeats(&5.0, &max.lift(&f64::NAN)));
+        assert!(min.defeats(&min.lift(&f64::NAN), &5.0));
+        assert!(!min.defeats(&5.0, &min.lift(&f64::NAN)));
+    }
 }
 
 #[cfg(test)]
@@ -688,7 +833,7 @@ mod first_last_tests {
         let mut naive = Naive::new(op, 3);
         for v in [1, 2, 3, 4, 5, 6] {
             assert_eq!(sd.slide(op.lift(&v)), naive.slide(op.lift(&v)));
-            sd.check_invariants();
+            sd.check_invariants().unwrap();
         }
         // First never pops by dominance: the deque holds the full window.
         assert_eq!(sd.deque_len(), 3);

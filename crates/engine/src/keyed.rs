@@ -40,6 +40,18 @@ pub trait ShardProcessor: Send {
 
     /// Number of distinct keys this processor has seen.
     fn keys(&self) -> usize;
+
+    /// Validate the structural invariants of every key's window state
+    /// (paper-level checks via
+    /// [`FinalAggregator::check_invariants`]), naming the offending key in
+    /// the error. Run by the engine after a graceful drain when
+    /// [`EngineConfig::check_invariants`] is set; the default has no state
+    /// to check.
+    ///
+    /// [`EngineConfig::check_invariants`]: crate::EngineConfig::check_invariants
+    fn check_invariants(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// One single-query sliding window per key, slide 1: every tuple produces
@@ -120,6 +132,14 @@ where
 
     fn keys(&self) -> usize {
         self.states.len()
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        for (key, agg) in &self.states {
+            agg.check_invariants()
+                .map_err(|violation| format!("key {key}: {violation}"))?;
+        }
+        Ok(())
     }
 }
 
@@ -209,6 +229,15 @@ where
 
     fn keys(&self) -> usize {
         self.states.len()
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        for (key, exec) in &self.states {
+            exec.aggregator()
+                .check_invariants()
+                .map_err(|violation| format!("key {key}: {violation}"))?;
+        }
+        Ok(())
     }
 }
 

@@ -42,6 +42,10 @@ pub struct EngineConfig {
     /// result inspection). Leave off for throughput runs: answers are
     /// counted but not stored.
     pub retain_answers: bool,
+    /// Run [`ShardProcessor::check_invariants`] on every shard after its
+    /// graceful drain, panicking the worker on a violation. O(total window
+    /// state) at shutdown; leave off for throughput runs.
+    pub check_invariants: bool,
 }
 
 impl Default for EngineConfig {
@@ -51,6 +55,7 @@ impl Default for EngineConfig {
             queue_capacity: 64,
             batch: 256,
             retain_answers: false,
+            check_invariants: false,
         }
     }
 }
@@ -122,6 +127,7 @@ impl ShardedEngine {
     pub fn new(config: EngineConfig) -> Self {
         match Self::try_new(config) {
             Ok(engine) => engine,
+            // check:allow documented panicking constructor; try_new is the fallible form
             Err(msg) => panic!("{msg}"),
         }
     }
@@ -173,8 +179,9 @@ impl ShardedEngine {
                 .enumerate()
                 .map(|(shard, inbox)| {
                     let gauge = gauges[shard].clone();
+                    let check = self.config.check_invariants;
                     scope.spawn(move || {
-                        shard_worker(shard, inbox, gauge, make_processor(shard), retain)
+                        shard_worker(shard, inbox, gauge, make_processor(shard), retain, check)
                     })
                 })
                 .collect();
@@ -199,6 +206,7 @@ impl ShardedEngine {
                     gauges[shard].enqueued_n(batch.len() as u64);
                     senders[shard]
                         .send(batch)
+                        // check:allow a dead worker already poisoned the run; surface it here
                         .expect("shard worker exited before drain");
                 }
             }
@@ -207,6 +215,7 @@ impl ShardedEngine {
                     gauges[shard].enqueued_n(batch.len() as u64);
                     senders[shard]
                         .send(batch)
+                        // check:allow a dead worker already poisoned the run; surface it here
                         .expect("shard worker exited before drain");
                 }
             }
@@ -217,6 +226,7 @@ impl ShardedEngine {
             let mut shard_stats = Vec::with_capacity(shards);
             let mut answers = Vec::with_capacity(shards);
             for handle in handles {
+                // check:allow worker panics must propagate, not be swallowed
                 let (stats, shard_answers) = handle.join().expect("shard worker panicked");
                 shard_stats.push(stats);
                 answers.push(shard_answers);
@@ -245,6 +255,7 @@ fn shard_worker<P: ShardProcessor>(
     gauge: QueueDepthGauge,
     mut processor: P,
     retain: bool,
+    check_invariants: bool,
 ) -> (ShardStats, Vec<(Key, P::Answer)>) {
     let started = Instant::now();
     let mut tuples = 0u64;
@@ -280,6 +291,12 @@ fn shard_worker<P: ShardProcessor>(
             scratch.clear();
         }
     }
+    if check_invariants {
+        if let Err(violation) = processor.check_invariants() {
+            // check:allow a corrupted shard must fail the run loudly, not return bad stats
+            panic!("shard {shard}: post-drain invariant check failed: {violation}");
+        }
+    }
     let stats = ShardStats {
         shard,
         tuples,
@@ -311,6 +328,7 @@ mod tests {
             queue_capacity: 4,
             batch: 8,
             retain_answers: true,
+            check_invariants: true,
         });
         let mut source = KeyedVecSource::new(input.to_vec());
         let run = engine.run(&mut source, u64::MAX, |_| {
@@ -350,6 +368,7 @@ mod tests {
             queue_capacity: 2,
             batch: 16,
             retain_answers: true,
+            check_invariants: true,
         });
         let mut source = KeyedVecSource::new(input);
         let run = engine.run(&mut source, u64::MAX, |_| {
@@ -397,6 +416,7 @@ mod tests {
             queue_capacity: 4,
             batch: 50,
             retain_answers: false,
+            check_invariants: true,
         });
         let mut source = KeyedVecSource::new(input);
         let run = engine.run(&mut source, u64::MAX, |_| {
@@ -438,6 +458,7 @@ mod tests {
             queue_capacity: 2,
             batch: 32,
             retain_answers: false,
+            check_invariants: true,
         });
         let mut source = KeyedVecSource::new(input);
         let run = engine.run(&mut source, u64::MAX, |_| {

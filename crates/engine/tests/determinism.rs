@@ -48,6 +48,7 @@ where
         queue_capacity: 4,
         batch: 64,
         retain_answers: true,
+        check_invariants: false,
     });
     let mut source = KeyedVecSource::new(input.to_vec());
     let run = engine.run(&mut source, u64::MAX, |_| {

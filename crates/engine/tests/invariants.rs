@@ -1,0 +1,109 @@
+//! Post-drain invariant checking through the engine
+//! ([`EngineConfig::check_invariants`]): after a graceful drain every
+//! shard validates the paper-level structural invariants of each key's
+//! window state and panics the run on a violation.
+//!
+//! Streams here carry integer-valued `f64` tuples so the SlickDeque (Inv)
+//! `answer-refold` comparison is exact (⊕/⊖ cancel bitwise for integers
+//! within `f64`'s exact range; see `SlickDequeInv::check_invariants`).
+
+use swag_core::aggregator::FinalAggregator;
+use swag_core::algorithms::{Daba, SlickDequeInv, SlickDequeNonInv, TwoStacks};
+use swag_core::multi::MultiSlickDequeInv;
+use swag_core::ops::{MaxF64, MinF64, Sum};
+use swag_data::keyed::{Key, KeyedVecSource};
+use swag_data::prng::Xoshiro256StarStar;
+use swag_engine::{EngineConfig, KeyedPlans, KeyedWindows, ShardProcessor, ShardedEngine};
+use swag_plan::{Pat, Query, SharedPlan};
+
+const WINDOW: usize = 24;
+const TUPLES: u64 = 4000;
+const KEYS: u64 = 23;
+
+/// A skewed keyed stream of integer-valued floats.
+fn keyed_stream(seed: u64) -> Vec<(Key, f64)> {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    (0..TUPLES)
+        .map(|_| {
+            let key = rng.gen_below(KEYS);
+            let value = rng.gen_below(1000) as f64 - 500.0;
+            (key, value)
+        })
+        .collect()
+}
+
+fn checking_config(shards: usize) -> EngineConfig {
+    EngineConfig {
+        shards,
+        queue_capacity: 4,
+        batch: 32,
+        retain_answers: false,
+        check_invariants: true,
+    }
+}
+
+/// The drain-time check passes for every algorithm the engine can host;
+/// a violation would panic the shard worker and fail the test.
+fn run_checked<A>(op_windows: fn(usize) -> A)
+where
+    A: ShardProcessor + 'static,
+{
+    for shards in [1, 3] {
+        let engine = ShardedEngine::new(checking_config(shards));
+        let mut source = KeyedVecSource::new(keyed_stream(0xC0FFEE));
+        let run = engine.run(&mut source, u64::MAX, op_windows);
+        assert_eq!(run.stats.tuples, TUPLES);
+    }
+}
+
+#[test]
+fn post_drain_check_passes_for_slickdeque_inv() {
+    run_checked(|_| KeyedWindows::<_, SlickDequeInv<_>>::new(Sum::<f64>::new(), WINDOW));
+}
+
+#[test]
+fn post_drain_check_passes_for_slickdeque_noninv_extrema() {
+    run_checked(|_| KeyedWindows::<_, SlickDequeNonInv<_>>::new(MaxF64::new(), WINDOW));
+    run_checked(|_| KeyedWindows::<_, SlickDequeNonInv<_>>::new(MinF64::new(), WINDOW));
+}
+
+#[test]
+fn post_drain_check_passes_for_daba_and_twostacks() {
+    run_checked(|_| KeyedWindows::<_, Daba<_>>::new(Sum::<f64>::new(), WINDOW));
+    run_checked(|_| KeyedWindows::<_, TwoStacks<_>>::new(Sum::<f64>::new(), WINDOW));
+}
+
+#[test]
+fn post_drain_check_passes_for_shared_plans() {
+    let plan = SharedPlan::build(&[Query::new(6, 2), Query::new(8, 4)], Pat::Pairs);
+    for shards in [1, 3] {
+        let engine = ShardedEngine::new(checking_config(shards));
+        let mut source = KeyedVecSource::new(keyed_stream(0xFACADE));
+        let run = engine.run(&mut source, u64::MAX, |_| {
+            KeyedPlans::<_, MultiSlickDequeInv<_>>::new(Sum::<f64>::new(), plan.clone())
+        });
+        assert_eq!(run.stats.tuples, TUPLES);
+    }
+}
+
+/// The processor-level check is callable directly and validates every
+/// key's state, not just one.
+#[test]
+fn processor_check_covers_all_keys() {
+    let mut kw: KeyedWindows<_, SlickDequeNonInv<_>> = KeyedWindows::new(MaxF64::new(), 8);
+    let mut out = Vec::new();
+    for (i, &(key, value)) in keyed_stream(0xBEEF).iter().take(500).enumerate() {
+        kw.process(key, value, &mut out);
+        if i % 97 == 0 {
+            kw.check_invariants().unwrap();
+        }
+    }
+    assert!(kw.keys() > 1);
+    kw.check_invariants().unwrap();
+    // Each key's own aggregator agrees with the blanket check.
+    for key in 0..KEYS {
+        if let Some(state) = kw.state(key) {
+            state.check_invariants().unwrap();
+        }
+    }
+}

@@ -15,6 +15,10 @@
 //!
 //! then bracket a measurement with [`reset_peak`] / [`peak_bytes`].
 
+// Every unsafe operation inside an `unsafe fn` must sit in its own
+// `unsafe {}` block with a SAFETY comment (enforced by swag-check).
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -28,6 +32,8 @@ pub struct CountingAllocator;
 // SAFETY: delegates allocation to `System`; only bookkeeping is added.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // SAFETY: the caller upholds `GlobalAlloc::alloc`'s contract
+        // (non-zero-sized, valid layout), which we pass through untouched.
         let ptr = unsafe { System.alloc(layout) };
         if !ptr.is_null() {
             add(layout.size());
@@ -36,15 +42,23 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: the caller guarantees `ptr` came from this allocator
+        // with this `layout`; we forward both to `System` unchanged.
         unsafe { System.dealloc(ptr, layout) };
         CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // SAFETY: the caller guarantees `ptr`/`layout` describe a live
+        // allocation from this allocator and `new_size` is non-zero.
         let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
         if !new_ptr.is_null() {
-            CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+            // Count the new block before releasing the old one: during the
+            // copy both blocks are live, and crediting first also keeps the
+            // watermark monotone under concurrent `add` calls — sub-first
+            // would transiently undercount and could miss a true peak.
             add(new_size);
+            CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
         }
         new_ptr
     }

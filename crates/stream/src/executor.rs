@@ -143,6 +143,12 @@ where
         &self.plan
     }
 
+    /// The multi-query aggregator driven by the plan, for inspection
+    /// (e.g. invariant checking after a drain).
+    pub fn aggregator(&self) -> &M {
+        &self.agg
+    }
+
     /// Per-query window lengths in partials.
     pub fn query_ranges(&self) -> &[usize] {
         &self.query_ranges
