@@ -1,0 +1,73 @@
+//! Measure instrumentation overhead and optionally gate on it.
+//!
+//! ```text
+//! cargo run -p swag-bench --release --features obs --bin obs_overhead -- --gate 5
+//! ```
+//!
+//! Flags: `--quick`, `--tuples N`, `--runs N`, `--batch N`,
+//! `--gate PCT`, `--out DIR`, `--no-save`. Exits non-zero when a gate is
+//! set and the bulk-path overhead exceeds it.
+
+use swag_bench::obs_overhead::{run, ObsConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: obs_overhead [--quick] [--tuples N] [--runs N] [--batch N] \
+         [--gate PCT] [--out DIR] [--no-save]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ObsConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => {
+                let out = cfg.out_dir.clone();
+                cfg = ObsConfig::quick();
+                cfg.out_dir = out;
+            }
+            "--tuples" => {
+                cfg.tuples = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--runs" => {
+                cfg.runs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--batch" => {
+                cfg.batch = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--gate" => {
+                cfg.gate_pct = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--out" => cfg.out_dir = args.next().map(std::path::PathBuf::from),
+            "--no-save" => cfg.out_dir = None,
+            _ => usage(),
+        }
+    }
+
+    let report = run(&cfg);
+    report.print();
+    if let Some(dir) = &cfg.out_dir {
+        if let Err(e) = report.save(dir) {
+            eprintln!("obs_overhead: cannot save report: {e}");
+            std::process::exit(1);
+        }
+    }
+    if !report.pass {
+        std::process::exit(1);
+    }
+}

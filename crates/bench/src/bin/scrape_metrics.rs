@@ -1,0 +1,154 @@
+//! Tiny std-only scrape client for the CI observability smoke test.
+//!
+//! ```text
+//! scrape_metrics --addr 127.0.0.1:9184 \
+//!     --require swag_engine_tuples_total --require swag_engine_keys \
+//!     --json --flightrec results/flightrec-0.json --retry-ms 2000
+//! ```
+//!
+//! Fetches `/metrics` (and with `--json` also `/metrics.json`) from a
+//! running engine, asserts every `--require`d metric name appears in
+//! both expositions, and — with `--flightrec` — asserts the named
+//! flight-recorder dump parses and carries events. Exits non-zero on any
+//! failed check, so a CI job is one invocation, no grep scripting.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use swag_metrics::Json;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scrape_metrics [--addr host:port] [--require METRIC]... \
+         [--json] [--flightrec FILE]... [--retry-ms N]\n\
+         at least one of --addr / --flightrec is required"
+    );
+    std::process::exit(2);
+}
+
+/// One HTTP/1.1 GET; returns the response body after asserting 200.
+fn get(addr: &str, path: &str, retry: Duration) -> Result<String, String> {
+    let deadline = Instant::now() + retry;
+    let mut stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(e) if Instant::now() < deadline => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(format!("connect {addr}: {e}")),
+        }
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("send GET {path}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read GET {path}: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("GET {path}: malformed response"))?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains(" 200 ") {
+        return Err(format!("GET {path}: {status}"));
+    }
+    Ok(body.to_string())
+}
+
+fn check_flightrec(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("flight recorder {path}: {e}"))?;
+    let dump = Json::parse(&text).map_err(|e| format!("flight recorder {path}: {e}"))?;
+    let events = dump
+        .get("events")
+        .and_then(|e| e.as_array())
+        .ok_or_else(|| format!("flight recorder {path}: no events array"))?;
+    if events.is_empty() {
+        return Err(format!("flight recorder {path}: zero events"));
+    }
+    for event in events {
+        if event.get("kind").and_then(|k| k.as_str()).is_none() {
+            return Err(format!("flight recorder {path}: event without a kind"));
+        }
+    }
+    println!("ok: {path} parses with {} events", events.len());
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut require: Vec<String> = Vec::new();
+    let mut flightrecs: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut retry = Duration::ZERO;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next(),
+            "--require" => require.extend(args.next()),
+            "--flightrec" => flightrecs.extend(args.next()),
+            "--json" => json = true,
+            "--retry-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                retry = Duration::from_millis(ms);
+            }
+            _ => usage(),
+        }
+    }
+    if addr.is_none() && flightrecs.is_empty() {
+        usage();
+    }
+
+    if let Some(addr) = &addr {
+        let text = get(addr, "/metrics", retry)?;
+        for name in &require {
+            if !text.lines().any(|l| l.contains(name.as_str())) {
+                return Err(format!("/metrics: required metric `{name}` missing"));
+            }
+        }
+        println!(
+            "ok: /metrics serves {} lines, {} required metrics present",
+            text.lines().count(),
+            require.len()
+        );
+
+        if json {
+            let body = get(addr, "/metrics.json", retry)?;
+            let doc = Json::parse(&body).map_err(|e| format!("/metrics.json: {e}"))?;
+            let metrics = doc
+                .get("metrics")
+                .and_then(|m| m.as_array())
+                .ok_or("/metrics.json: no metrics array")?;
+            for name in &require {
+                let found = metrics
+                    .iter()
+                    .any(|m| m.get("name").and_then(|n| n.as_str()) == Some(name.as_str()));
+                if !found {
+                    return Err(format!("/metrics.json: required metric `{name}` missing"));
+                }
+            }
+            println!("ok: /metrics.json parses with {} metrics", metrics.len());
+        }
+    }
+
+    for path in &flightrecs {
+        check_flightrec(path)?;
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("scrape_metrics: {e}");
+        std::process::exit(1);
+    }
+}

@@ -131,6 +131,7 @@ where
         batch,
         retain_answers: false,
         check_invariants: false,
+        ..EngineConfig::default()
     });
     let mut source = KeyedDebsSource::new(seed, BULK_KEYS, 0);
     let run = engine.run(&mut source, tuples, |_shard| {

@@ -28,6 +28,8 @@ pub mod exp2;
 pub mod exp3;
 pub mod exp4;
 pub mod microbench;
+#[cfg(feature = "obs")]
+pub mod obs_overhead;
 pub mod pats;
 pub mod registry;
 pub mod report;

@@ -1,0 +1,26 @@
+//! Driver half of the negative fixture for the no-clock facade facet:
+//! a driver crate reading the wall clock directly instead of going
+//! through the swag-metrics / swag-trace facades.
+
+use std::time::Instant; // no-clock: raw monotonic clock in a driver crate
+
+pub fn time_a_slide() -> u64 {
+    let start = Instant::now();
+    start.elapsed().as_nanos() as u64
+}
+
+pub fn wall_stamp() -> u64 {
+    // no-clock: SystemTime is non-monotonic on top of being unaudited.
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn instants_in_tests_are_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

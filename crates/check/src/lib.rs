@@ -17,7 +17,12 @@
 //! 4. **no-clock** — `crates/core` must stay deterministic: no
 //!    `std::time`, `Instant`/`SystemTime`, or ambient randomness. Clocks
 //!    belong to the driver layers; algorithm time is logical
-//!    (`Timestamp` arguments).
+//!    (`Timestamp` arguments). The driver crates (`crates/engine`,
+//!    `crates/stream`, `crates/slickdeque`) may *measure* time, but only
+//!    through the observability facades
+//!    (`swag_metrics::clock::Stopwatch`, `swag-trace`) — raw
+//!    `Instant`/`SystemTime` there bypasses the single place where clock
+//!    reads are audited.
 //!
 //! The scanner is a line-preserving lexer, not a parser: it strips
 //! string/char literals and comments (keeping comment text aside for
@@ -428,6 +433,34 @@ fn lint_no_clock(file: &Path, lines: &[Line], findings: &mut Vec<Finding>) {
     }
 }
 
+/// Rule 4, driver facet: the engine/stream/CLI crates measure time only
+/// through the facades in `swag-metrics` (`clock::Stopwatch`,
+/// `LatencyRecorder`) and `swag-trace`. A raw `Instant` or `SystemTime`
+/// there dodges the one audited clock path — and `SystemTime` is
+/// additionally non-monotonic, which no latency math survives.
+fn lint_clock_facade(file: &Path, lines: &[Line], findings: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for token in ["Instant", "SystemTime"] {
+            if has_word(&line.code, token) {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: idx + 1,
+                    rule: "no-clock",
+                    message: format!(
+                        "`{token}` outside the clock facade: driver crates time through \
+                         `swag_metrics::clock::Stopwatch` (or the swag-trace recorder), \
+                         never raw std::time clocks"
+                    ),
+                });
+                break;
+            }
+        }
+    }
+}
+
 /// Rule 2 support: the `impl … for Type` blocks in a file that override a
 /// `bulk_*` method, with the method names.
 fn bulk_overriders(lines: &[Line]) -> Vec<(String, String)> {
@@ -541,6 +574,16 @@ pub fn lint_repo(root: &Path) -> Vec<Finding> {
         if let Ok(source) = fs::read_to_string(&file) {
             let lines = lex(&source);
             lint_no_clock(&file, &lines, &mut findings);
+        }
+    }
+    let stream_src = root.join("crates/stream/src");
+    let slick_src = root.join("crates/slickdeque/src");
+    for dir in [&engine_src, &stream_src, &slick_src] {
+        for file in rust_files(dir) {
+            if let Ok(source) = fs::read_to_string(&file) {
+                let lines = lex(&source);
+                lint_clock_facade(&file, &lines, &mut findings);
+            }
         }
     }
     lint_bulk_coverage(root, &core_src, &mut findings);

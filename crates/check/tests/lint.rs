@@ -48,6 +48,12 @@ fn negative_fixture_trips_every_rule() {
     assert!(has("`Shiny` overrides `bulk_insert`"), "{messages:#?}");
     assert!(has("without a `// SAFETY:` comment"), "{messages:#?}");
     assert!(has("`std::time`"), "{messages:#?}");
+    // Facade facet: driver crates may not read clocks directly.
+    assert!(has("`Instant` outside the clock facade"), "{messages:#?}");
+    assert!(
+        has("`SystemTime` outside the clock facade"),
+        "{messages:#?}"
+    );
 
     // The clean parts of the fixture must NOT be flagged.
     let core_lib = fixture.join("crates/core/src/lib.rs");
@@ -71,5 +77,16 @@ fn negative_fixture_trips_every_rule() {
             .iter()
             .any(|f| f.rule == "safety-comment" && f.line == 15),
         "documented unsafe wrongly flagged: {findings:#?}"
+    );
+
+    // The facade facet skips test modules: the fixture's in-test
+    // Instant::now() (stream lib line 24) must not be flagged.
+    let stream_lib = fixture.join("crates/stream/src/lib.rs");
+    assert!(
+        findings
+            .iter()
+            .filter(|f| f.file == stream_lib)
+            .all(|f| f.line < 20),
+        "test-module clock read wrongly flagged: {findings:#?}"
     );
 }

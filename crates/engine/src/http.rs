@@ -1,0 +1,228 @@
+//! A minimal metrics exposition endpoint over `std::net` — no HTTP
+//! library, no async runtime.
+//!
+//! [`MetricsServer`] binds a `TcpListener` and serves two read-only
+//! routes from a shared [`MetricRegistry`]:
+//!
+//! * `GET /metrics` — Prometheus text exposition format (0.0.4), exactly
+//!   [`RegistrySnapshot::to_prometheus_text`]'s rendering;
+//! * `GET /metrics.json` — the same snapshot as JSON.
+//!
+//! Anything else is a 404 (or a 405 for non-GET methods). Requests are
+//! handled sequentially on one thread: a scrape is a registry snapshot
+//! plus a small formatted write, and monitoring traffic is one poll
+//! every few seconds — concurrency would buy nothing. Shutdown sets a
+//! stop flag and self-connects to unblock `accept`, so no platform
+//! `select`/nonblocking machinery is needed.
+//!
+//! [`RegistrySnapshot::to_prometheus_text`]: swag_metrics::registry::RegistrySnapshot::to_prometheus_text
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use swag_metrics::registry::MetricRegistry;
+use swag_metrics::ToJson;
+
+/// A running exposition endpoint. Stops serving (and joins its thread)
+/// on [`shutdown`](Self::shutdown) or drop.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9184`, or port 0 for an ephemeral
+    /// port) and serve `registry` until shutdown.
+    pub fn start<A: ToSocketAddrs>(addr: A, registry: Arc<MetricRegistry>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("swag-metrics-http".into())
+            .spawn(move || serve(listener, registry, &thread_stop))?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, finish the in-flight request if any, and join the
+    /// server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Release);
+            // Wake the blocking accept; an error just means the listener
+            // is already gone.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve(listener: TcpListener, registry: Arc<MetricRegistry>, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // A stalled client must not wedge the endpoint.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        let _ = handle_request(stream, &registry);
+    }
+}
+
+fn handle_request(mut stream: TcpStream, registry: &MetricRegistry) -> io::Result<()> {
+    // Read until the end of the request head (CRLFCRLF) or the buffer
+    // fills; GET requests have no body worth reading.
+    let mut buf = [0u8; 2048];
+    let mut len = 0;
+    while len < buf.len() {
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                registry.snapshot().to_prometheus_text(),
+            ),
+            "/metrics.json" => ("200 OK", "application/json; charset=utf-8", {
+                let mut json = registry.snapshot().to_json().pretty();
+                json.push('\n');
+                json
+            }),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found (try /metrics or /metrics.json)\n".to_string(),
+            ),
+        }
+    };
+
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swag_metrics::Json;
+
+    fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has a header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_prometheus_text_and_json() {
+        let registry = Arc::new(MetricRegistry::new());
+        registry
+            .counter("swag_engine_tuples_total", "Tuples", &[("shard", "0")])
+            .add(42);
+        let server = MetricsServer::start("127.0.0.1:0", registry.clone()).unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = http_get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert_eq!(body, registry.snapshot().to_prometheus_text());
+        assert!(body.contains("swag_engine_tuples_total{shard=\"0\"} 42"));
+
+        // The endpoint serves live values, not a startup snapshot.
+        registry
+            .counter("swag_engine_tuples_total", "Tuples", &[("shard", "0")])
+            .add(8);
+        let (_, body) = http_get(addr, "/metrics");
+        assert!(body.contains("swag_engine_tuples_total{shard=\"0\"} 50"));
+
+        let (head, body) = http_get(addr, "/metrics.json");
+        assert!(head.contains("application/json"), "{head}");
+        let doc = Json::parse(&body).expect("JSON body parses");
+        let metrics = doc.get("metrics").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            metrics[0].get("value").and_then(Json::as_u64),
+            Some(50),
+            "live counter value served"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_rejected() {
+        let server = MetricsServer::start("127.0.0.1:0", Arc::new(MetricRegistry::new())).unwrap();
+        let addr = server.local_addr();
+        let (head, _) = http_get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_unblocks_accept_and_joins() {
+        let server = MetricsServer::start("127.0.0.1:0", Arc::new(MetricRegistry::new())).unwrap();
+        let addr = server.local_addr();
+        server.shutdown();
+        // The listener is gone: a fresh bind to the same port succeeds
+        // (or the connect below fails) — either way, no thread is stuck.
+        assert!(
+            TcpListener::bind(addr).is_ok() || TcpStream::connect(addr).is_err(),
+            "server released its port"
+        );
+    }
+}

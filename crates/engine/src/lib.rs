@@ -5,7 +5,10 @@
 //! worker threads over bounded channels ([`shard`]), each worker runs
 //! per-key window state — any [`FinalAggregator`] algorithm, or a full
 //! multi-ACQ shared plan per key ([`keyed`]) — and per-shard statistics
-//! merge into an [`EngineStats`] report ([`stats`]).
+//! merge into an [`EngineStats`] report ([`stats`]). Live observability —
+//! registry-backed metric series, per-shard flight recorders with
+//! panic-time dumps, and a dependency-free `/metrics` HTTP endpoint — is
+//! opt-in via [`obs`] and [`http`].
 //!
 //! Determinism: a single router preserves source order and a key lives on
 //! exactly one shard, so per-key answers are identical for every shard
@@ -37,10 +40,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod http;
 pub mod keyed;
+pub mod obs;
 pub mod shard;
 pub mod stats;
 
+pub use http::MetricsServer;
 pub use keyed::{KeyedPlans, KeyedWindows, ShardProcessor};
+pub use obs::{EngineSample, ObservabilityConfig};
 pub use shard::{shard_of, EngineConfig, EngineRun, ShardedEngine};
 pub use stats::{EngineStats, ShardStats};

@@ -17,14 +17,18 @@
 //! one shard, every key's tuples are processed in stream order — per-key
 //! answers are identical for any shard count.
 
+use std::sync::atomic::AtomicBool;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
 
 use swag_data::keyed::{Key, KeyedSource};
 use swag_data::prng::mix64;
+use swag_metrics::clock::Stopwatch;
 use swag_metrics::QueueDepthGauge;
+use swag_trace::EventKind;
 
 use crate::keyed::ShardProcessor;
+use crate::obs::{sampler_loop, EngineSample, ObservabilityConfig, ShardObs, StopGuard};
 use crate::stats::{EngineStats, ShardStats};
 
 /// Tuning knobs for a sharded run.
@@ -46,6 +50,9 @@ pub struct EngineConfig {
     /// graceful drain, panicking the worker on a violation. O(total window
     /// state) at shutdown; leave off for throughput runs.
     pub check_invariants: bool,
+    /// Live observability: metric registry, per-shard flight recorders,
+    /// and the queue-depth sampler. Default: all off, zero hot-path cost.
+    pub obs: ObservabilityConfig,
 }
 
 impl Default for EngineConfig {
@@ -56,6 +63,7 @@ impl Default for EngineConfig {
             batch: 256,
             retain_answers: false,
             check_invariants: false,
+            obs: ObservabilityConfig::default(),
         }
     }
 }
@@ -102,6 +110,10 @@ pub struct EngineRun<A> {
     /// order (per-key order equals stream order). Empty unless
     /// [`EngineConfig::retain_answers`] was set.
     pub answers: Vec<Vec<(Key, A)>>,
+    /// Periodic queue-depth/throughput observations, in time order. Empty
+    /// unless [`ObservabilityConfig::sample_interval`] and a registry were
+    /// both set.
+    pub samples: Vec<EngineSample>,
 }
 
 /// The sharded keyed execution engine.
@@ -160,7 +172,7 @@ impl ShardedEngine {
     {
         let shards = self.config.shards;
         let retain = self.config.retain_answers;
-        let started = Instant::now();
+        let clock = Stopwatch::start();
 
         let mut senders: Vec<SyncSender<Vec<(Key, f64)>>> = Vec::with_capacity(shards);
         let mut inboxes: Vec<Receiver<Vec<(Key, f64)>>> = Vec::with_capacity(shards);
@@ -171,7 +183,13 @@ impl ShardedEngine {
             inboxes.push(rx);
             gauges.push(QueueDepthGauge::new());
         }
+        // Instrument bundles are built here (registry registration is
+        // locked) and moved onto the workers; `None` when obs is off.
+        let mut shard_obs: Vec<Option<ShardObs>> = (0..shards)
+            .map(|shard| self.config.obs.shard_obs(shard, &gauges[shard]))
+            .collect();
 
+        let samples: Mutex<Vec<EngineSample>> = Mutex::new(Vec::new());
         let make_processor = &make_processor;
         let (shard_stats, answers) = std::thread::scope(|scope| {
             let handles: Vec<_> = inboxes
@@ -180,11 +198,35 @@ impl ShardedEngine {
                 .map(|(shard, inbox)| {
                     let gauge = gauges[shard].clone();
                     let check = self.config.check_invariants;
+                    let obs = shard_obs[shard].take();
                     scope.spawn(move || {
-                        shard_worker(shard, inbox, gauge, make_processor(shard), retain, check)
+                        shard_worker(
+                            shard,
+                            inbox,
+                            gauge,
+                            make_processor(shard),
+                            retain,
+                            check,
+                            obs,
+                        )
                     })
                 })
                 .collect();
+
+            // The sampler rides in the same scope; its StopGuard stops it
+            // even when a worker panic unwinds past the joins below, so
+            // the scope's implicit join can never deadlock on it.
+            let sampler_stop = Arc::new(AtomicBool::new(false));
+            let _sampler_guard = StopGuard(sampler_stop.clone());
+            if let (Some(interval), Some(registry)) = (
+                self.config.obs.sample_interval,
+                self.config.obs.registry.as_ref(),
+            ) {
+                let stop = sampler_stop.clone();
+                let registry = registry.clone();
+                let samples = &samples;
+                scope.spawn(move || sampler_loop(&stop, interval, clock, &registry, samples));
+            }
 
             // The router: batch tuples per shard, block on full queues.
             let mut batches: Vec<Vec<(Key, f64)>> = (0..shards)
@@ -235,8 +277,9 @@ impl ShardedEngine {
         });
 
         EngineRun {
-            stats: EngineStats::merge(shard_stats, started.elapsed()),
+            stats: EngineStats::merge(shard_stats, clock.elapsed()),
             answers,
+            samples: samples.into_inner().unwrap_or_else(|e| e.into_inner()),
         }
     }
 }
@@ -249,6 +292,14 @@ impl ShardedEngine {
 /// look-up plus the aggregator's bulk path — per batch instead of one
 /// `process` call per tuple. Per-key answer sequences are unchanged;
 /// only the interleaving of different keys inside a batch may differ.
+///
+/// With an instrument bundle, the worker additionally maintains its
+/// registry series, times each slide into the latency histogram, and
+/// narrates its life into the flight recorder — batch received, per-key
+/// slide (plus a bulk-path marker for multi-tuple runs), the post-drain
+/// invariant check, and the final drain event. A panic anywhere in the
+/// loop dumps the ring via `swag-trace`'s hook (the registration guard
+/// lives for the whole function).
 fn shard_worker<P: ShardProcessor>(
     shard: usize,
     inbox: Receiver<Vec<(Key, f64)>>,
@@ -256,8 +307,10 @@ fn shard_worker<P: ShardProcessor>(
     mut processor: P,
     retain: bool,
     check_invariants: bool,
+    obs: Option<ShardObs>,
 ) -> (ShardStats, Vec<(Key, P::Answer)>) {
-    let started = Instant::now();
+    let started = Stopwatch::start();
+    let _trace_guard = obs.as_ref().and_then(ShardObs::install_trace);
     let mut tuples = 0u64;
     let mut answers = 0u64;
     let mut batches = 0u64;
@@ -268,6 +321,13 @@ fn shard_worker<P: ShardProcessor>(
     while let Ok(mut batch) = inbox.recv() {
         gauge.dequeued_n(batch.len() as u64);
         batches += 1;
+        if let Some(o) = &obs {
+            o.batches.inc();
+            o.tuples.add(batch.len() as u64);
+            if let Some(rec) = &o.recorder {
+                rec.record(EventKind::BatchReceived, batch.len() as u64, gauge.depth());
+            }
+        }
         batch.sort_by_key(|&(key, _)| key);
         let mut i = 0;
         while i < batch.len() {
@@ -278,13 +338,36 @@ fn shard_worker<P: ShardProcessor>(
             }
             values.clear();
             values.extend(batch[i..j].iter().map(|&(_, v)| v));
+            let run_len = (j - i) as u64;
+            // Two clock reads per slide, only when someone is scraping
+            // the histogram.
+            let timer = obs
+                .as_ref()
+                .and_then(|o| o.slide_latency.as_ref())
+                .map(|_| Stopwatch::start());
             processor.process_run(key, &values, &mut scratch);
-            tuples += (j - i) as u64;
+            if let Some(o) = &obs {
+                if let (Some(hist), Some(timer)) = (&o.slide_latency, timer) {
+                    hist.record(timer.elapsed_ns());
+                }
+                if let Some(rec) = &o.recorder {
+                    rec.record(EventKind::Slide, key, run_len);
+                    if run_len > 1 {
+                        // The run took the aggregator's bulk
+                        // insert/evict fast path.
+                        rec.record(EventKind::BulkEvict, key, run_len);
+                    }
+                }
+            }
+            tuples += run_len;
             i = j;
         }
         // Count answers as produced, before the retain decision — the
         // tally is the same whether or not answers are kept.
         answers += scratch.len() as u64;
+        if let Some(o) = &obs {
+            o.answers.add(scratch.len() as u64);
+        }
         if retain {
             retained.append(&mut scratch);
         } else {
@@ -292,10 +375,21 @@ fn shard_worker<P: ShardProcessor>(
         }
     }
     if check_invariants {
-        if let Err(violation) = processor.check_invariants() {
+        let result = processor.check_invariants();
+        if let Some(rec) = obs.as_ref().and_then(|o| o.recorder.as_ref()) {
+            rec.record(EventKind::InvariantCheck, result.is_ok() as u64, 0);
+        }
+        if let Err(violation) = result {
             // check:allow a corrupted shard must fail the run loudly, not return bad stats
             panic!("shard {shard}: post-drain invariant check failed: {violation}");
         }
+    }
+    if let Some(o) = &obs {
+        o.keys.set(processor.keys() as u64);
+        if let Some(rec) = &o.recorder {
+            rec.record(EventKind::Drain, tuples, answers);
+        }
+        o.dump_on_drain();
     }
     let stats = ShardStats {
         shard,
@@ -329,6 +423,7 @@ mod tests {
             batch: 8,
             retain_answers: true,
             check_invariants: true,
+            ..EngineConfig::default()
         });
         let mut source = KeyedVecSource::new(input.to_vec());
         let run = engine.run(&mut source, u64::MAX, |_| {
@@ -369,6 +464,7 @@ mod tests {
             batch: 16,
             retain_answers: true,
             check_invariants: true,
+            ..EngineConfig::default()
         });
         let mut source = KeyedVecSource::new(input);
         let run = engine.run(&mut source, u64::MAX, |_| {
@@ -417,6 +513,7 @@ mod tests {
             batch: 50,
             retain_answers: false,
             check_invariants: true,
+            ..EngineConfig::default()
         });
         let mut source = KeyedVecSource::new(input);
         let run = engine.run(&mut source, u64::MAX, |_| {
@@ -459,6 +556,7 @@ mod tests {
             batch: 32,
             retain_answers: false,
             check_invariants: true,
+            ..EngineConfig::default()
         });
         let mut source = KeyedVecSource::new(input);
         let run = engine.run(&mut source, u64::MAX, |_| {

@@ -115,10 +115,37 @@ impl EngineStats {
         let busiest = self.shards.iter().map(|s| s.tuples).max().unwrap_or(0);
         busiest as f64 * self.shards.len() as f64 / self.tuples as f64
     }
+
+    /// Answer imbalance, same normalisation as [`skew`](Self::skew): the
+    /// shard producing the most answers relative to an even split. Can
+    /// diverge from tuple skew when window sizes or plans differ per key.
+    pub fn answers_skew(&self) -> f64 {
+        if self.answers == 0 || self.shards.is_empty() {
+            return 1.0;
+        }
+        let busiest = self.shards.iter().map(|s| s.answers).max().unwrap_or(0);
+        busiest as f64 * self.shards.len() as f64 / self.answers as f64
+    }
+
+    /// One shard's share of the run relative to an even split: `count ×
+    /// shards / total` (1.0 = exactly its fair share). Returns 1.0 for an
+    /// empty total.
+    fn ratio(count: u64, total: u64, shards: usize) -> f64 {
+        if total == 0 {
+            1.0
+        } else {
+            count as f64 * shards as f64 / total as f64
+        }
+    }
 }
 
 impl ToJson for EngineStats {
+    /// Every historical field name is preserved; `answers_skew` and the
+    /// per-shard `tuples_ratio`/`answers_ratio` load-balance diagnostics
+    /// are additive (a ratio of 1.0 is a perfectly fair share, >1.0 a hot
+    /// shard).
     fn to_json(&self) -> Json {
+        let n = self.shards.len();
         Json::obj(vec![
             ("tuples", Json::UInt(self.tuples)),
             ("answers", Json::UInt(self.answers)),
@@ -129,7 +156,25 @@ impl ToJson for EngineStats {
             ("tuples_per_batch", Json::Num(self.tuples_per_batch())),
             ("max_queue_depth", Json::UInt(self.max_queue_depth())),
             ("skew", Json::Num(self.skew())),
-            ("shards", Json::arr(self.shards.iter(), |s| s.to_json())),
+            ("answers_skew", Json::Num(self.answers_skew())),
+            (
+                "shards",
+                Json::arr(self.shards.iter(), |s| {
+                    let Json::Obj(mut fields) = s.to_json() else {
+                        // check:allow ShardStats::to_json always builds an object
+                        unreachable!("ShardStats::to_json returns an object");
+                    };
+                    fields.push((
+                        "tuples_ratio".to_string(),
+                        Json::Num(Self::ratio(s.tuples, self.tuples, n)),
+                    ));
+                    fields.push((
+                        "answers_ratio".to_string(),
+                        Json::Num(Self::ratio(s.answers, self.answers, n)),
+                    ));
+                    Json::Obj(fields)
+                }),
+            ),
         ])
     }
 }
@@ -188,5 +233,48 @@ mod tests {
         assert!(text.contains("\"batches\": 1"));
         assert!(text.contains("\"max_queue_depth\": 3"));
         assert!(text.contains("\"shards\": ["));
+    }
+
+    #[test]
+    fn json_adds_skew_ratios_and_keeps_old_field_names() {
+        // Shard 0 does 3/4 of the tuples but only 1/4 of the answers.
+        let stats = EngineStats::merge(
+            vec![shard(0, 600, 100, 3, 3, 10), shard(1, 200, 300, 2, 2, 40)],
+            Duration::from_secs(1),
+        );
+        assert!((stats.answers_skew() - 1.5).abs() < 1e-9);
+        let doc = Json::parse(&stats.to_json().pretty()).unwrap();
+        // Historical consumers keep working: old names, old meanings.
+        for field in [
+            "tuples",
+            "answers",
+            "batches",
+            "keys",
+            "elapsed_secs",
+            "tuples_per_sec",
+            "tuples_per_batch",
+            "max_queue_depth",
+            "skew",
+        ] {
+            assert!(doc.get(field).is_some(), "missing top-level `{field}`");
+        }
+        assert_eq!(doc.get("keys").and_then(Json::as_u64), Some(5));
+        assert_eq!(doc.get("answers_skew").and_then(Json::as_f64), Some(1.5));
+        let shards = doc.get("shards").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            shards[0].get("tuples_ratio").and_then(Json::as_f64),
+            Some(1.5),
+            "600 of 800 tuples over 2 shards"
+        );
+        assert_eq!(
+            shards[0].get("answers_ratio").and_then(Json::as_f64),
+            Some(0.5),
+            "100 of 400 answers over 2 shards"
+        );
+        assert_eq!(shards[1].get("shard").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            shards[1].get("max_queue_depth").and_then(Json::as_u64),
+            Some(40)
+        );
     }
 }

@@ -49,6 +49,7 @@ where
         batch: 64,
         retain_answers: true,
         check_invariants: false,
+        ..EngineConfig::default()
     });
     let mut source = KeyedVecSource::new(input.to_vec());
     let run = engine.run(&mut source, u64::MAX, |_| {

@@ -39,6 +39,7 @@ fn checking_config(shards: usize) -> EngineConfig {
         batch: 32,
         retain_answers: false,
         check_invariants: true,
+        ..EngineConfig::default()
     }
 }
 

@@ -1,0 +1,61 @@
+//! The workspace's sanctioned monotonic-clock facade.
+//!
+//! `swag-check`'s no-clock lint bans direct `Instant::now` /
+//! `SystemTime` use everywhere outside this crate and `swag-trace`:
+//! `crates/core` takes no clock at all (algorithm time is logical), and
+//! the driver crates (`engine`, `stream`, `slickdeque`) must time things
+//! through here, so every wall-clock read in the hot path is attributable
+//! to a named instrument rather than scattered ad-hoc timing.
+
+use std::time::{Duration, Instant};
+
+/// A started monotonic timer.
+///
+/// ```
+/// use swag_metrics::clock::Stopwatch;
+/// let sw = Stopwatch::start();
+/// let ns = sw.elapsed_ns();
+/// assert!(sw.elapsed() >= std::time::Duration::from_nanos(ns));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    #[inline]
+    pub fn start() -> Self {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Time since [`start`](Self::start).
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Time since [`start`](Self::start) in nanoseconds, saturating at
+    /// `u64::MAX` (585 years — effectively never).
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        let ns = self.started.elapsed().as_nanos();
+        ns.min(u64::MAX as u128) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_ns();
+        let b = sw.elapsed_ns();
+        assert!(b >= a);
+        assert!(sw.elapsed() >= Duration::from_nanos(b));
+    }
+}

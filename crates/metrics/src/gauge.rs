@@ -14,6 +14,41 @@ use std::sync::Arc;
 ///
 /// Cloning shares the underlying counters (it is an `Arc` internally), so
 /// the producer and consumer sides observe one gauge.
+///
+/// # Memory-ordering audit
+///
+/// Every access is `Relaxed`, which is sufficient for two reasons:
+///
+/// 1. **The gauge never underflows.** `dequeued` runs only after the
+///    worker received the item, and the channel's own `send → recv`
+///    synchronization makes the producer's `enqueued` happen-before the
+///    consumer's `dequeued`. The gauge piggybacks on that edge rather
+///    than providing one — it is instrumentation, not a synchronization
+///    primitive, and must never be used to publish data.
+/// 2. **The watermark is monotone without any ordering.** `fetch_max` is
+///    an atomic read-modify-write: each RMW observes the latest value in
+///    the location's single modification order, so `max_depth` can only
+///    grow, regardless of which threads race. Per-thread read-read
+///    coherence then makes successive [`max_depth`](Self::max_depth)
+///    calls on one reader monotone: a later load never observes an
+///    earlier modification than a previous load did.
+///
+/// What `Relaxed` gives up is *freshness across locations*: between a
+/// writer's `fetch_add` on `depth` and its `fetch_max` on `max_depth`
+/// there is a window where a reader can see the raised depth but a stale
+/// watermark. [`max_depth`](Self::max_depth) closes the window by
+/// *publishing* the depth it loads — it folds the depth into the
+/// watermark with its own `fetch_max` rather than merely clamping its
+/// return value. A plain clamp (`max(max_load, depth_load)`) would be
+/// non-monotone across calls: a high clamped depth could be followed by
+/// a lower stale `max_depth` once the queue drains. With the RMW, the
+/// watermark location only ever grows, every reader's successive reads
+/// are non-decreasing, and the reported value is never below a depth
+/// loaded in the same call. The only residual imprecision is a writer's
+/// in-flight `enqueued` whose raised depth nobody (writer or reader) has
+/// folded in *yet* — bounded by one call per writer, and closed the
+/// moment anyone reads. The `watermark_monotone_under_concurrent_load`
+/// stress test exercises these guarantees.
 #[derive(Debug, Clone, Default)]
 pub struct QueueDepthGauge {
     inner: Arc<GaugeInner>,
@@ -62,9 +97,15 @@ impl QueueDepthGauge {
         self.inner.depth.load(Ordering::Relaxed)
     }
 
-    /// The deepest occupancy observed so far.
+    /// The deepest occupancy observed so far, never below a depth loaded
+    /// in the same call. Folds the observed depth into the watermark via
+    /// `fetch_max` (not a plain clamp) so the reported value is monotone
+    /// for every reader — see the type-level ordering audit. This is a
+    /// reporting path (stats, scrapes), so the RMW is off the hot path.
     pub fn max_depth(&self) -> u64 {
-        self.inner.max_depth.load(Ordering::Relaxed)
+        let depth = self.inner.depth.load(Ordering::Relaxed);
+        let prev = self.inner.max_depth.fetch_max(depth, Ordering::Relaxed);
+        prev.max(depth)
     }
 }
 
@@ -123,5 +164,90 @@ mod tests {
         consumer.join().unwrap();
         assert_eq!(g.depth(), 0);
         assert!(g.max_depth() >= 1000);
+    }
+
+    /// SplitMix64, seeded: the stress schedule below is reproducible.
+    struct SplitMix64(u64);
+    impl SplitMix64 {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// The ordering-audit claims under fire: with writers doing
+    /// randomized enqueue/dequeue batches and readers polling
+    /// concurrently, every reader must observe a non-decreasing watermark
+    /// across its own successive `max_depth()` reads (the publish-fold
+    /// RMW makes the raw returned value monotone — no reader-side
+    /// running max needed), and after all writers join the watermark
+    /// must dominate every writer's own peak contribution. Seeded so a
+    /// failure replays.
+    #[test]
+    fn watermark_monotone_under_concurrent_load() {
+        let g = QueueDepthGauge::new();
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let g = g.clone();
+                std::thread::spawn(move || {
+                    let mut rng = SplitMix64(0xD5EA_D00D + w);
+                    // Pre-fill so randomized dequeues never underflow:
+                    // this models the engine, where dequeued() only runs
+                    // after a matching enqueued().
+                    let mut held = 512u64;
+                    g.enqueued_n(held);
+                    let mut peak = held;
+                    for _ in 0..20_000 {
+                        let n = rng.next() % 8 + 1;
+                        if rng.next().is_multiple_of(2) {
+                            g.enqueued_n(n);
+                            held += n;
+                            peak = peak.max(held);
+                        } else {
+                            let n = n.min(held.saturating_sub(1));
+                            g.dequeued_n(n);
+                            held -= n;
+                        }
+                    }
+                    g.dequeued_n(held);
+                    peak
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let g = g.clone();
+                std::thread::spawn(move || {
+                    let mut last_watermark = 0u64;
+                    for _ in 0..50_000 {
+                        let watermark = g.max_depth();
+                        assert!(
+                            watermark >= last_watermark,
+                            "watermark regressed: {watermark} < {last_watermark}"
+                        );
+                        last_watermark = watermark;
+                    }
+                })
+            })
+            .collect();
+        let mut max_writer_peak = 0u64;
+        for w in writers {
+            max_writer_peak = max_writer_peak.max(w.join().unwrap());
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(g.depth(), 0);
+        // join() synchronizes-with each writer's last RMW, so the final
+        // watermark is exact here: it must cover every writer's own peak
+        // (global depth was at least that writer's held count).
+        assert!(
+            g.max_depth() >= max_writer_peak,
+            "final watermark {} below a writer's peak {max_writer_peak}",
+            g.max_depth()
+        );
     }
 }

@@ -4,20 +4,30 @@
 //! throughput meters for Exp 1/2 ([`throughput`]), a counting global
 //! allocator standing in for the paper's RSS measurement in Exp 4
 //! ([`alloc`]), queue-depth gauges for the sharded engine ([`gauge`]),
-//! and the dependency-free JSON writer behind every `results/` dump
-//! ([`json`]). Aggregate-operation counting (Table 1) lives with the ops
-//! themselves in `swag_core::ops::CountingOp`.
+//! the dependency-free JSON writer/parser behind every `results/` dump
+//! ([`json`]), the named metric registry and log2 histogram serving the
+//! engine's `/metrics` endpoints ([`registry`]), and the sanctioned
+//! monotonic-clock facade ([`clock`]). Aggregate-operation counting
+//! (Table 1) lives with the ops themselves in
+//! `swag_core::ops::CountingOp`.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod alloc;
+pub mod clock;
 pub mod gauge;
 pub mod json;
 pub mod latency;
+pub mod registry;
 pub mod throughput;
 
+pub use clock::Stopwatch;
 pub use gauge::QueueDepthGauge;
 pub use json::{Json, ToJson};
 pub use latency::{LatencyRecorder, LatencySummary};
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricRegistry, MetricSnapshot, MetricValue,
+    RegistrySnapshot,
+};
 pub use throughput::{Throughput, ThroughputMeter};

@@ -29,7 +29,9 @@ fn main() {
                  --queries r:s[,r:s…] [--pat panes|pairs|cutty] \
                  [--engine slickdeque|naive|flatfat|bint|flatfit|general] \
                  [--source stdin|debs:<seed>[:<ch>]|workload:<name>[:<seed>]] \
-                 [--tuples N] [--batch N] [--emit] [--keyed] [--shards N] [--keys N]"
+                 [--tuples N] [--batch N] [--emit] [--keyed] [--shards N] [--keys N] \
+                 [--metrics-addr host:port] [--metrics-hold-ms N] \
+                 [--trace-capacity N] [--trace-out DIR]"
             );
             std::process::exit(2);
         }

@@ -179,6 +179,19 @@ pub struct CliConfig {
     /// [`SharedPlanExecutor::push_batch`] unkeyed, `n`-tuple channel
     /// batches keyed.
     pub batch: Option<usize>,
+    /// Serve live `/metrics` (Prometheus text) and `/metrics.json` on this
+    /// address during a keyed run (e.g. `127.0.0.1:9184`; port 0 picks an
+    /// ephemeral port, printed to stderr).
+    pub metrics_addr: Option<String>,
+    /// Per-shard flight-recorder ring capacity in events. `None` defaults
+    /// to 4096 when `--trace-out` is given, otherwise tracing is off.
+    pub trace_capacity: Option<usize>,
+    /// Directory for `flightrec-<shard>.json` dumps (written on graceful
+    /// drain and on worker panic).
+    pub trace_out: Option<std::path::PathBuf>,
+    /// Keep the metrics endpoint up this long after the run finishes, so
+    /// a scraper can read the final counters (CI smoke uses this).
+    pub metrics_hold_ms: u64,
 }
 
 impl CliConfig {
@@ -198,6 +211,10 @@ impl CliConfig {
         let mut shards = 1usize;
         let mut keys = 8usize;
         let mut batch = None;
+        let mut metrics_addr = None;
+        let mut trace_capacity = None;
+        let mut trace_out = None;
+        let mut metrics_hold_ms = 0u64;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -260,6 +277,22 @@ impl CliConfig {
                     }
                     batch = Some(b);
                 }
+                "--metrics-addr" => metrics_addr = Some(value("--metrics-addr")?),
+                "--trace-capacity" => {
+                    let c: usize = value("--trace-capacity")?
+                        .parse()
+                        .map_err(|e| format!("bad trace capacity: {e}"))?;
+                    if c == 0 {
+                        return Err("--trace-capacity must be at least 1 event".into());
+                    }
+                    trace_capacity = Some(c);
+                }
+                "--trace-out" => trace_out = Some(std::path::PathBuf::from(value("--trace-out")?)),
+                "--metrics-hold-ms" => {
+                    metrics_hold_ms = value("--metrics-hold-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad hold duration: {e}"))?;
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -271,6 +304,17 @@ impl CliConfig {
         }
         if keyed && source == SourceChoice::Stdin {
             return Err("--keyed needs a keyed source (debs or workload), not stdin".into());
+        }
+        if !keyed
+            && (metrics_addr.is_some()
+                || trace_capacity.is_some()
+                || trace_out.is_some()
+                || metrics_hold_ms > 0)
+        {
+            return Err(
+                "--metrics-addr/--trace-capacity/--trace-out/--metrics-hold-ms require --keyed"
+                    .into(),
+            );
         }
         Ok(CliConfig {
             op,
@@ -284,6 +328,10 @@ impl CliConfig {
             shards,
             keys,
             batch,
+            metrics_addr,
+            trace_capacity,
+            trace_out,
+            metrics_hold_ms,
         })
     }
 }
@@ -537,10 +585,41 @@ pub fn run_keyed(
     }
     let tuples = cfg.tuples.ok_or("--tuples is required with --keyed")?;
     let mut source = build_keyed_source(cfg)?;
+
+    // Observability: a registry (and live /metrics endpoint) when
+    // --metrics-addr is set, a flight recorder when --trace-out or
+    // --trace-capacity is set.
+    let registry = cfg
+        .metrics_addr
+        .as_ref()
+        .map(|_| std::sync::Arc::new(swag_metrics::MetricRegistry::new()));
+    let server = match (&cfg.metrics_addr, &registry) {
+        (Some(addr), Some(registry)) => {
+            let server = swag_engine::MetricsServer::start(addr.as_str(), registry.clone())
+                .map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+            eprintln!("metrics: serving http://{}/metrics", server.local_addr());
+            Some(server)
+        }
+        _ => None,
+    };
+    let obs = swag_engine::ObservabilityConfig {
+        registry: registry.clone(),
+        trace_capacity: cfg.trace_capacity.unwrap_or(if cfg.trace_out.is_some() {
+            4096
+        } else {
+            0
+        }),
+        trace_out: cfg.trace_out.clone(),
+        sample_interval: registry
+            .as_ref()
+            .map(|_| std::time::Duration::from_millis(50)),
+    };
+
     let engine = ShardedEngine::try_new(EngineConfig {
         shards: cfg.shards,
         batch: cfg.batch.unwrap_or(EngineConfig::default().batch),
         retain_answers: true,
+        obs,
         ..EngineConfig::default()
     })?;
 
@@ -593,6 +672,16 @@ pub fn run_keyed(
             summaries[qi].answers += 1;
             summaries[qi].last_answer = rendered;
         }
+    }
+
+    // Keep the endpoint alive for scrapers (CI smoke) before tearing it
+    // down; shutdown is also what Drop would do, but doing it explicitly
+    // keeps the hold window deliberate.
+    if let Some(server) = server {
+        if cfg.metrics_hold_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(cfg.metrics_hold_ms));
+        }
+        server.shutdown();
     }
     Ok((summaries, run.stats))
 }
@@ -765,6 +854,46 @@ mod tests {
         // stdin has no keys.
         assert!(CliConfig::parse(args("--op sum --queries 8:2 --source stdin --keyed")).is_err());
         assert!(CliConfig::parse(args("--op sum --queries 8:2 --tuples 1 --shards 0")).is_err());
+    }
+
+    #[test]
+    fn observability_flags_parse_and_require_keyed() {
+        let cfg = CliConfig::parse(args(
+            "--op sum --queries 8:2 --source debs:3 --tuples 100 --keyed \
+             --metrics-addr 127.0.0.1:0 --trace-capacity 512 --trace-out results \
+             --metrics-hold-ms 250",
+        ))
+        .unwrap();
+        assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(cfg.trace_capacity, Some(512));
+        assert_eq!(
+            cfg.trace_out.as_deref(),
+            Some(std::path::Path::new("results"))
+        );
+        assert_eq!(cfg.metrics_hold_ms, 250);
+        // Defaults when the flags are absent: no registry, no recorder.
+        let cfg = CliConfig::parse(args(
+            "--op sum --queries 8:2 --source debs:3 --tuples 100 --keyed",
+        ))
+        .unwrap();
+        assert_eq!(cfg.metrics_addr, None);
+        assert_eq!(cfg.trace_capacity, None);
+        assert_eq!(cfg.trace_out, None);
+        assert_eq!(cfg.metrics_hold_ms, 0);
+        // The single-threaded path has no shards to observe.
+        assert!(CliConfig::parse(args(
+            "--op sum --queries 8:2 --tuples 100 --metrics-addr 127.0.0.1:0"
+        ))
+        .is_err());
+        assert!(CliConfig::parse(args(
+            "--op sum --queries 8:2 --tuples 100 --trace-out results"
+        ))
+        .is_err());
+        // A zero-capacity ring records nothing and is a config error.
+        assert!(CliConfig::parse(args(
+            "--op sum --queries 8:2 --source debs:3 --tuples 100 --keyed --trace-capacity 0"
+        ))
+        .is_err());
     }
 
     #[test]

@@ -13,7 +13,6 @@
 use crate::partial::PartialAggregator;
 use crate::sink::Sink;
 use crate::source::Source;
-use std::time::Instant;
 use swag_core::aggregator::{FinalAggregator, MultiFinalAggregator};
 use swag_core::ops::AggregateOp;
 use swag_metrics::latency::{LatencyRecorder, LatencySummary};
@@ -55,11 +54,10 @@ where
     while processed < tuples {
         let Some(v) = source.next_value() else { break };
         let partial = op.lift(&v);
+        // The recorder's `time` is the sanctioned clock facade — the
+        // executor itself never reads the clock.
         let answer = if let Some(rec) = recorder.as_mut() {
-            let start = Instant::now();
-            let answer = agg.slide(partial);
-            rec.record(start.elapsed());
-            answer
+            rec.time(|| agg.slide(partial))
         } else {
             agg.slide(partial)
         };
@@ -100,6 +98,10 @@ pub struct SharedPlanExecutor<O: AggregateOp, M: MultiFinalAggregator<O>> {
     edge_idx: usize,
     /// Tuples buffered by [`push`](Self::push) toward the current edge.
     pending: std::collections::VecDeque<f64>,
+    /// Attached instrumentation (`obs` feature only — the default build
+    /// has no field and no checks).
+    #[cfg(feature = "obs")]
+    obs: Option<crate::obs::ExecObs>,
 }
 
 impl<O, M> SharedPlanExecutor<O, M>
@@ -135,7 +137,16 @@ where
             bulk_scratch: Vec::new(),
             edge_idx: 0,
             pending: std::collections::VecDeque::new(),
+            #[cfg(feature = "obs")]
+            obs: None,
         }
+    }
+
+    /// Attach instrumentation: subsequent slides record trace events (and
+    /// latency samples, when the obs carries a histogram).
+    #[cfg(feature = "obs")]
+    pub fn attach_obs(&mut self, obs: crate::obs::ExecObs) {
+        self.obs = Some(obs);
     }
 
     /// The underlying plan.
@@ -178,10 +189,17 @@ where
             let Some(partial) = self.partial_agg.aggregate(source, length) else {
                 break;
             };
+            #[cfg(feature = "obs")]
+            let timer = self.obs.as_ref().and_then(|o| o.slide_timer());
             self.agg.slide_multi(partial, &mut self.scratch);
             for &qi in &self.plan.edges()[self.edge_idx].queries {
                 sink.deliver(qi, self.scratch[self.range_slot[qi]].clone());
                 answers += 1;
+            }
+            #[cfg(feature = "obs")]
+            if let Some(o) = &self.obs {
+                let due = self.plan.edges()[self.edge_idx].queries.len() as u64;
+                o.slide_done(timer, self.edge_idx as u64, due);
             }
             self.edge_idx = (self.edge_idx + 1) % edge_count;
             meter.tick();
@@ -219,11 +237,17 @@ where
             let v = self.pending.pop_front().expect("buffered length tuples");
             partial = op.combine(&partial, &op.lift(&v));
         }
+        #[cfg(feature = "obs")]
+        let timer = self.obs.as_ref().and_then(|o| o.slide_timer());
         self.agg.slide_multi(partial, &mut self.scratch);
         let mut answers = 0u64;
         for &qi in &self.plan.edges()[self.edge_idx].queries {
             sink.deliver(qi, self.scratch[self.range_slot[qi]].clone());
             answers += 1;
+        }
+        #[cfg(feature = "obs")]
+        if let Some(o) = &self.obs {
+            o.slide_done(timer, self.edge_idx as u64, answers);
         }
         self.edge_idx = (self.edge_idx + 1) % self.plan.edges().len();
         answers
@@ -261,6 +285,10 @@ where
                     answers += 1;
                 }
             }
+            #[cfg(feature = "obs")]
+            if let Some(o) = &self.obs {
+                o.bulk_batch(values.len() as u64, answers);
+            }
             return answers;
         }
         let mut answers = 0u64;
@@ -282,10 +310,18 @@ where
                 partial = op.combine(&partial, &op.lift(v));
             }
             idx += length;
+            #[cfg(feature = "obs")]
+            let timer = self.obs.as_ref().and_then(|o| o.slide_timer());
             self.agg.slide_multi(partial, &mut self.scratch);
+            #[cfg(feature = "obs")]
+            let before = answers;
             for &qi in &self.plan.edges()[self.edge_idx].queries {
                 sink.deliver(qi, self.scratch[self.range_slot[qi]].clone());
                 answers += 1;
+            }
+            #[cfg(feature = "obs")]
+            if let Some(o) = &self.obs {
+                o.slide_done(timer, self.edge_idx as u64, answers - before);
             }
             self.edge_idx = (self.edge_idx + 1) % self.plan.edges().len();
         }

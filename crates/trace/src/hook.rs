@@ -1,0 +1,158 @@
+//! Panic-hook integration: a crashing shard dumps its own flight
+//! recorder.
+//!
+//! A worker thread registers its recorder (and dump directory) in a
+//! thread-local before entering its processing loop and holds the
+//! returned [`TraceGuard`] for the loop's lifetime. The process-wide
+//! panic hook — installed once, chaining whatever hook was set before —
+//! checks that thread-local: if the panicking thread is a registered
+//! shard worker, the hook appends a [`EventKind::Panic`] event and writes
+//! `flightrec-<shard>.json`, so the post-mortem trail survives the
+//! unwind. Threads that never registered (tests, the router, unrelated
+//! panics) pass straight through to the previous hook.
+
+use std::cell::RefCell;
+use std::path::PathBuf;
+use std::sync::Once;
+
+use crate::recorder::{EventKind, FlightRecorder};
+
+struct Registration {
+    shard: usize,
+    recorder: FlightRecorder,
+    dump_dir: Option<PathBuf>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Registration>> = const { RefCell::new(None) };
+}
+
+static INSTALL: Once = Once::new();
+
+/// Install the process-wide dumping panic hook (idempotent; the previous
+/// hook keeps running after ours). Called automatically by
+/// [`register_shard`]; exposed for embedders that install hooks eagerly
+/// at startup.
+pub fn install_panic_hook() {
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            dump_current_thread();
+            previous(info);
+        }));
+    });
+}
+
+fn dump_current_thread() {
+    // `try_with` / `try_borrow`: the hook must never itself panic (that
+    // would abort), and the thread-local may already be torn down.
+    let _ = CURRENT.try_with(|cell| {
+        if let Ok(current) = cell.try_borrow() {
+            if let Some(reg) = current.as_ref() {
+                reg.recorder.record(EventKind::Panic, 0, 0);
+                if let Some(dir) = &reg.dump_dir {
+                    if let Err(e) = reg.recorder.dump_to_dir(reg.shard, dir) {
+                        eprintln!(
+                            "swag-trace: shard {} post-mortem dump failed: {e}",
+                            reg.shard
+                        );
+                    } else {
+                        eprintln!(
+                            "swag-trace: shard {} post-mortem written to {}",
+                            reg.shard,
+                            dir.join(format!("flightrec-{}.json", reg.shard)).display()
+                        );
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Clears the thread's registration when the worker's processing scope
+/// ends (normally or by unwind — dropping during unwind is fine because
+/// the hook already ran at panic time, before unwinding began).
+pub struct TraceGuard {
+    _private: (),
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        let _ = CURRENT.try_with(|cell| {
+            if let Ok(mut current) = cell.try_borrow_mut() {
+                *current = None;
+            }
+        });
+    }
+}
+
+/// Register the calling thread as shard `shard` with the given recorder,
+/// installing the panic hook if needed. While the returned guard lives, a
+/// panic on this thread dumps the recorder to `dump_dir` (when set).
+pub fn register_shard(
+    shard: usize,
+    recorder: FlightRecorder,
+    dump_dir: Option<PathBuf>,
+) -> TraceGuard {
+    install_panic_hook();
+    CURRENT.with(|cell| {
+        *cell.borrow_mut() = Some(Registration {
+            shard,
+            recorder,
+            dump_dir,
+        });
+    });
+    TraceGuard { _private: () }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swag_metrics::json::Json;
+
+    #[test]
+    fn panic_in_registered_thread_dumps_the_ring() {
+        let dir = std::env::temp_dir().join(format!("swag-trace-hook-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let recorder = FlightRecorder::new(8);
+        let rec = recorder.clone();
+        let dump_dir = dir.clone();
+        let handle = std::thread::spawn(move || {
+            let _guard = register_shard(5, rec.clone(), Some(dump_dir));
+            rec.record(EventKind::BatchReceived, 64, 1);
+            rec.record(EventKind::Slide, 3, 64);
+            panic!("injected worker crash");
+        });
+        assert!(handle.join().is_err(), "worker must have panicked");
+
+        let path = dir.join("flightrec-5.json");
+        let text = std::fs::read_to_string(&path).expect("post-mortem dump exists");
+        let doc = Json::parse(&text).expect("dump parses");
+        let events = doc.get("events").and_then(Json::as_array).unwrap();
+        let kinds: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("kind").and_then(Json::as_str))
+            .collect();
+        assert_eq!(kinds, vec!["batch_received", "slide", "panic"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unregistered_threads_panic_without_dumping() {
+        install_panic_hook();
+        let handle = std::thread::spawn(|| {
+            panic!("plain panic, no registration");
+        });
+        assert!(handle.join().is_err());
+    }
+
+    #[test]
+    fn guard_drop_clears_registration() {
+        let recorder = FlightRecorder::new(4);
+        {
+            let _guard = register_shard(1, recorder.clone(), None);
+            CURRENT.with(|cell| assert!(cell.borrow().is_some()));
+        }
+        CURRENT.with(|cell| assert!(cell.borrow().is_none()));
+    }
+}

@@ -1,0 +1,55 @@
+//! # swag-trace — a lock-free flight recorder for the engine's hot paths
+//!
+//! The paper's headline claims are about *worst-case* per-tuple cost, and
+//! worst cases are exactly what an end-of-run report cannot show. This
+//! crate keeps a fixed-capacity ring of timestamped events per shard — a
+//! flight recorder — written with a handful of relaxed atomic operations
+//! per event and no allocation, so it can stay on in production. When a
+//! shard drains gracefully it dumps its last events to
+//! `results/flightrec-<shard>.json`; when a shard worker *panics*, a
+//! panic-hook integration ([`hook`]) dumps the same ring, so a crashed or
+//! stalled shard leaves a post-mortem trail explaining what it was doing.
+//!
+//! ```
+//! use swag_trace::{EventKind, FlightRecorder, trace_event};
+//!
+//! let rec = Some(FlightRecorder::new(128));
+//! trace_event!(rec, EventKind::BatchReceived, 256, 0);
+//! trace_event!(rec, EventKind::Slide, 7, 256); // key 7, 256 tuples
+//! let events = rec.as_ref().unwrap().snapshot();
+//! assert_eq!(events.len(), 2);
+//! assert_eq!(events[1].kind, EventKind::Slide);
+//! ```
+//!
+//! This crate and `swag-metrics` are the workspace's only sanctioned
+//! monotonic-clock facades: `swag-check`'s no-clock lint fails direct
+//! `Instant::now` use in the engine and driver crates, so every timestamp
+//! is attributable to an instrument.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hook;
+pub mod recorder;
+
+pub use recorder::{Event, EventKind, FlightRecorder};
+
+/// Record an event on an `Option<FlightRecorder>` without allocating.
+///
+/// Expands to a single `if let Some` around [`FlightRecorder::record`]:
+/// when the recorder is `None` (tracing disabled) the cost is one branch.
+/// The one- and two-payload forms default the missing payloads to 0.
+#[macro_export]
+macro_rules! trace_event {
+    ($rec:expr, $kind:expr) => {
+        $crate::trace_event!($rec, $kind, 0u64, 0u64)
+    };
+    ($rec:expr, $kind:expr, $a:expr) => {
+        $crate::trace_event!($rec, $kind, $a, 0u64)
+    };
+    ($rec:expr, $kind:expr, $a:expr, $b:expr) => {
+        if let Some(__rec) = ($rec).as_ref() {
+            __rec.record($kind, $a as u64, $b as u64);
+        }
+    };
+}

@@ -1,0 +1,353 @@
+//! The flight recorder: a fixed-capacity, lock-free ring of events.
+//!
+//! One recorder is owned per shard worker. The writer is wait-free: one
+//! `fetch_add` claims a slot, a per-slot sequence number brackets the
+//! field stores (a seqlock), and readers taking a [`snapshot`] discard any
+//! slot they observed mid-write. Everything is plain atomics — no locks,
+//! no `unsafe`, no allocation after construction — so recording is safe
+//! from any thread, including from inside a panic hook.
+//!
+//! [`snapshot`]: FlightRecorder::snapshot
+
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use swag_metrics::json::{Json, ToJson};
+
+/// What happened. Payload meanings (`a`, `b`) per kind are part of the
+/// dump schema documented in DESIGN.md §10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A tuple batch arrived off the channel. `a` = batch length,
+    /// `b` = queue depth after the receive.
+    BatchReceived,
+    /// A per-key run slid its window(s). `a` = key, `b` = run length.
+    Slide,
+    /// A bulk eviction inside an aggregator fast path. `a` = evicted
+    /// count, `b` = context-dependent (executor: edge index).
+    BulkEvict,
+    /// Graceful end-of-stream drain completed. `a` = tuples processed,
+    /// `b` = answers produced.
+    Drain,
+    /// An invariant check ran. `a` = 0 pass / 1 fail.
+    InvariantCheck,
+    /// The thread is panicking; recorded by the panic hook just before
+    /// the post-mortem dump.
+    Panic,
+    /// Free-form instrumentation points.
+    Custom,
+}
+
+impl EventKind {
+    /// Stable name used in dumps.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::BatchReceived => "batch_received",
+            EventKind::Slide => "slide",
+            EventKind::BulkEvict => "bulk_evict",
+            EventKind::Drain => "drain",
+            EventKind::InvariantCheck => "invariant_check",
+            EventKind::Panic => "panic",
+            EventKind::Custom => "custom",
+        }
+    }
+
+    fn to_u64(self) -> u64 {
+        match self {
+            EventKind::BatchReceived => 0,
+            EventKind::Slide => 1,
+            EventKind::BulkEvict => 2,
+            EventKind::Drain => 3,
+            EventKind::InvariantCheck => 4,
+            EventKind::Panic => 5,
+            EventKind::Custom => 6,
+        }
+    }
+
+    fn from_u64(v: u64) -> EventKind {
+        match v {
+            0 => EventKind::BatchReceived,
+            1 => EventKind::Slide,
+            2 => EventKind::BulkEvict,
+            3 => EventKind::Drain,
+            4 => EventKind::InvariantCheck,
+            5 => EventKind::Panic,
+            _ => EventKind::Custom,
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One recorded event, as read back by [`FlightRecorder::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// 0-based position in the recorder's whole event stream (older
+    /// events with smaller `seq` may have been overwritten).
+    pub seq: u64,
+    /// Nanoseconds since the recorder was created (monotonic).
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload (meaning depends on `kind`).
+    pub a: u64,
+    /// Second payload.
+    pub b: u64,
+}
+
+impl ToJson for Event {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("seq", Json::UInt(self.seq)),
+            ("ts_ns", Json::UInt(self.ts_ns)),
+            ("kind", Json::str(self.kind.as_str())),
+            ("a", Json::UInt(self.a)),
+            ("b", Json::UInt(self.b)),
+        ])
+    }
+}
+
+/// One ring slot: a seqlock sequence word bracketing four payload words.
+///
+/// `seq` protocol for the i-th event (0-based): the writer stores
+/// `2*i + 1` (odd = write in progress), the payload fields, then
+/// `2*i + 2` (even = slot holds event i, complete). A reader that sees
+/// an odd value, zero, or a value that changed across its field reads
+/// discards the slot.
+#[derive(Debug, Default)]
+struct Slot {
+    seq: AtomicU64,
+    ts_ns: AtomicU64,
+    kind: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+#[derive(Debug)]
+struct RecorderInner {
+    /// Next event index; `fetch_add` claims slots, so the writer side is
+    /// wait-free and multiple writers are safe (each owns a distinct
+    /// index; colliding ring slots resolve by seq, newest wins).
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+    epoch: Instant,
+}
+
+/// A fixed-capacity, lock-free ring buffer of timestamped events.
+///
+/// Cloning shares the ring (`Arc` inside): the shard worker records while
+/// the panic hook or a dump path reads. Recording never blocks and never
+/// allocates; the ring keeps the most recent `capacity` events.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl FlightRecorder {
+    /// A recorder holding the last `capacity` events (rounded up to 1).
+    /// The timestamp epoch is the moment of construction.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let slots = (0..capacity).map(|_| Slot::default()).collect();
+        FlightRecorder {
+            inner: Arc::new(RecorderInner {
+                head: AtomicU64::new(0),
+                slots,
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// Total events recorded since construction (including overwritten
+    /// ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.head.load(Ordering::Relaxed)
+    }
+
+    /// Record one event. Wait-free: one `fetch_add`, five relaxed stores,
+    /// two fences; no allocation.
+    #[inline]
+    pub fn record(&self, kind: EventKind, a: u64, b: u64) {
+        let inner = &*self.inner;
+        let i = inner.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &inner.slots[(i % inner.slots.len() as u64) as usize];
+        let ts = inner.epoch.elapsed().as_nanos() as u64;
+        // Seqlock write protocol: odd = in progress, even = event i done.
+        // The Release fences order the payload stores between the two seq
+        // stores for any reader that observes them with Acquire fences;
+        // all fields are atomics, so a torn *logical* event is detected
+        // (seq mismatch) rather than undefined behaviour.
+        slot.seq.store(i * 2 + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.ts_ns.store(ts, Ordering::Relaxed);
+        slot.kind.store(kind.to_u64(), Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        fence(Ordering::Release);
+        slot.seq.store(i * 2 + 2, Ordering::Relaxed);
+    }
+
+    /// Read the current ring contents, oldest first. Slots observed
+    /// mid-write are skipped, so a snapshot taken while the writer runs
+    /// is a consistent (possibly slightly shorter) view.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let inner = &*self.inner;
+        let mut events = Vec::with_capacity(inner.slots.len());
+        for slot in inner.slots.iter() {
+            let s1 = slot.seq.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if s1 == 0 || s1 % 2 == 1 {
+                continue; // never written, or write in progress
+            }
+            let ts_ns = slot.ts_ns.load(Ordering::Relaxed);
+            let kind = slot.kind.load(Ordering::Relaxed);
+            let a = slot.a.load(Ordering::Relaxed);
+            let b = slot.b.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            let s2 = slot.seq.load(Ordering::Relaxed);
+            if s1 != s2 {
+                continue; // overwritten while reading
+            }
+            events.push(Event {
+                seq: s1 / 2 - 1,
+                ts_ns,
+                kind: EventKind::from_u64(kind),
+                a,
+                b,
+            });
+        }
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// The dump document: recorder metadata plus the surviving events,
+    /// oldest first.
+    pub fn dump_json(&self, shard: usize) -> Json {
+        let events = self.snapshot();
+        let recorded = self.recorded();
+        Json::obj(vec![
+            ("shard", Json::UInt(shard as u64)),
+            ("capacity", Json::UInt(self.capacity() as u64)),
+            ("recorded", Json::UInt(recorded)),
+            (
+                "overwritten",
+                Json::UInt(recorded.saturating_sub(events.len() as u64)),
+            ),
+            ("events", Json::arr(events.iter(), |e| e.to_json())),
+        ])
+    }
+
+    /// Write the dump to `dir/flightrec-<shard>.json`, creating `dir` if
+    /// needed. Returns the path written.
+    pub fn dump_to_dir(&self, shard: usize, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("flightrec-{shard}.json"));
+        std::fs::write(&path, self.dump_json(shard).pretty())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots_in_order() {
+        let rec = FlightRecorder::new(8);
+        rec.record(EventKind::BatchReceived, 32, 2);
+        rec.record(EventKind::Slide, 7, 32);
+        rec.record(EventKind::Drain, 32, 32);
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, EventKind::BatchReceived);
+        assert_eq!(events[0].a, 32);
+        assert_eq!(events[0].b, 2);
+        assert_eq!(events[2].kind, EventKind::Drain);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn ring_keeps_only_the_newest_events() {
+        let rec = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            rec.record(EventKind::Custom, i, 0);
+        }
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 4);
+        let payloads: Vec<u64> = events.iter().map(|e| e.a).collect();
+        assert_eq!(payloads, vec![6, 7, 8, 9]);
+        assert_eq!(rec.recorded(), 10);
+    }
+
+    #[test]
+    fn concurrent_writer_and_reader_never_tear() {
+        let rec = FlightRecorder::new(16);
+        let writer = {
+            let rec = rec.clone();
+            std::thread::spawn(move || {
+                for i in 0..50_000u64 {
+                    // kind/a/b always agree: a == b == i.
+                    rec.record(EventKind::Slide, i, i);
+                }
+            })
+        };
+        let mut seen = 0usize;
+        while !writer.is_finished() {
+            for e in rec.snapshot() {
+                assert_eq!(e.a, e.b, "torn slot surfaced in a snapshot");
+                assert_eq!(e.kind, EventKind::Slide);
+                seen += 1;
+            }
+        }
+        writer.join().unwrap();
+        assert_eq!(rec.snapshot().len(), 16);
+        assert!(seen > 0 || rec.recorded() == 50_000);
+    }
+
+    #[test]
+    fn dump_shape_is_parseable() {
+        let rec = FlightRecorder::new(4);
+        rec.record(EventKind::InvariantCheck, 0, 0);
+        rec.record(EventKind::Panic, 0, 0);
+        let doc = rec.dump_json(3);
+        let text = doc.pretty();
+        let parsed = Json::parse(&text).expect("dump parses");
+        assert_eq!(parsed.get("shard").and_then(Json::as_u64), Some(3));
+        assert_eq!(parsed.get("recorded").and_then(Json::as_u64), Some(2));
+        let events = parsed.get("events").and_then(Json::as_array).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].get("kind").and_then(Json::as_str), Some("panic"));
+    }
+
+    #[test]
+    fn dump_to_dir_writes_the_file() {
+        let dir = std::env::temp_dir().join(format!("swag-trace-test-{}", std::process::id()));
+        let rec = FlightRecorder::new(4);
+        rec.record(EventKind::Drain, 1, 1);
+        let path = rec.dump_to_dir(0, &dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(Json::parse(&text).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_capacity_rounds_up() {
+        let rec = FlightRecorder::new(0);
+        assert_eq!(rec.capacity(), 1);
+        rec.record(EventKind::Custom, 9, 9);
+        assert_eq!(rec.snapshot().len(), 1);
+    }
+}

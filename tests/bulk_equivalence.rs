@@ -334,6 +334,7 @@ fn engine_answers_invariant_across_channel_batch_sizes() {
             retain_answers: true,
             // Real-float StdDev data: the Inv answer-refold is not exact.
             check_invariants: false,
+            ..EngineConfig::default()
         });
         let mut source = KeyedVecSource::new(tuples.clone());
         let run = engine.run(&mut source, u64::MAX, |_| {
