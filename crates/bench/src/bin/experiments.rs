@@ -6,11 +6,11 @@
 //! ```
 //!
 //! Subcommands: `table1`, `exp1a`, `exp1b`, `exp2a`, `exp2b`, `exp3`,
-//! `exp4`, `workloads`, `pats`, `scaling`, `bulk`, `all`. Flags: `--quick`,
+//! `exp4`, `workloads`, `pats`, `scaling`, `bulk`, `ooo`, `all`. Flags: `--quick`,
 //! `--max-exp E`, `--multi-max-exp E`, `--budget-ms N`,
 //! `--latency-tuples N`, `--seed S`, `--out DIR`, `--no-save`.
 
-use swag_bench::{bulk, exp1, exp2, exp3, exp4, pats, scaling, table1, workloads, Config};
+use swag_bench::{bulk, exp1, exp2, exp3, exp4, ooo, pats, scaling, table1, workloads, Config};
 use swag_metrics::alloc::CountingAllocator;
 
 // Exp 4 measures peak live heap bytes through this allocator.
@@ -19,7 +19,7 @@ static ALLOC: CountingAllocator = CountingAllocator;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|exp1a|exp1b|exp2a|exp2b|exp3|exp4|workloads|pats|scaling|bulk|all> \
+        "usage: experiments <table1|exp1a|exp1b|exp2a|exp2b|exp3|exp4|workloads|pats|scaling|bulk|ooo|all> \
          [--quick] [--max-exp E] [--multi-max-exp E] [--budget-ms N] \
          [--latency-tuples N] [--seed S] [--out DIR] [--no-save]"
     );
@@ -106,6 +106,7 @@ fn main() {
             "pats",
             "scaling",
             "bulk",
+            "ooo",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -157,6 +158,13 @@ fn main() {
             }
             "bulk" => {
                 let t = bulk::run(&cfg);
+                t.print();
+                if let Some(dir) = &cfg.out_dir {
+                    let _ = t.save(dir);
+                }
+            }
+            "ooo" => {
+                let t = ooo::run(&cfg);
                 t.print();
                 if let Some(dir) = &cfg.out_dir {
                     let _ = t.save(dir);

@@ -18,6 +18,7 @@
 //! | §2.1 PAT ablation (extension) | [`pats`] | `pats` |
 //! | Sharded-engine scaling (extension) | [`scaling`] | `scaling` |
 //! | Bulk-ingestion batch sweep (extension) | [`bulk`] | `bulk` |
+//! | Out-of-order ingestion sweep (extension) | [`ooo`] | `ooo` |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,6 +31,7 @@ pub mod exp4;
 pub mod microbench;
 #[cfg(feature = "obs")]
 pub mod obs_overhead;
+pub mod ooo;
 pub mod pats;
 pub mod registry;
 pub mod report;

@@ -1,0 +1,31 @@
+//! Event-time half of the negative fixture: an out-of-order aggregator
+//! with a scalar `insert` but no batched fast paths, so the bulk-coverage
+//! event-time facet fires. Not compiled — fixtures are data for the
+//! lint's own tests.
+
+pub struct LonelyTree {
+    entries: Vec<(u64, i64)>,
+}
+
+impl LonelyTree {
+    pub fn new() -> Self {
+        LonelyTree {
+            entries: Vec::new(),
+        }
+    }
+
+    // bulk-coverage: scalar insert with no bulk_insert / bulk_evict.
+    pub fn insert(&mut self, ts: u64, value: i64) {
+        self.entries.push((ts, value));
+    }
+
+    pub fn evict_older_than(&mut self, cutoff: u64) {
+        self.entries.retain(|&(ts, _)| ts >= cutoff);
+    }
+}
+
+impl Default for LonelyTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -3,21 +3,24 @@
 //! invariant checkers:
 //!
 //! 1. **no-panic** — no `.unwrap()` / `.expect(` / `panic!` in non-test
-//!    code under `crates/core` and `crates/engine`. A site is allowed by
-//!    putting `// check:allow <reason>` on the same line or within the
-//!    three lines above it; the reason is mandatory.
+//!    code under `crates/core`, `crates/engine`, and `crates/ooo`. A site
+//!    is allowed by putting `// check:allow <reason>` on the same line or
+//!    within the three lines above it; the reason is mandatory.
 //! 2. **bulk-coverage** — every type overriding a `bulk_*` method in
 //!    `crates/core` must be named in `tests/bulk_equivalence.rs`, so no
-//!    batched fast path ships without a scalar-equivalence test.
+//!    batched fast path ships without a scalar-equivalence test. The
+//!    event-time facet: any `crates/ooo` type with an inherent scalar
+//!    `insert` must also define `bulk_insert` and `bulk_evict` — the
+//!    engine's batched ingestion path is not optional for aggregators.
 //! 3. **safety-comment** — every `unsafe` block or `unsafe impl` in
-//!    `crates/core`, `crates/engine`, and `crates/metrics` needs a
-//!    `SAFETY:` comment on the same line or within the three lines above
-//!    it (`unsafe fn` signatures are exempt: they state a contract, the
-//!    blocks discharge one).
-//! 4. **no-clock** — `crates/core` must stay deterministic: no
-//!    `std::time`, `Instant`/`SystemTime`, or ambient randomness. Clocks
-//!    belong to the driver layers; algorithm time is logical
-//!    (`Timestamp` arguments). The driver crates (`crates/engine`,
+//!    `crates/core`, `crates/engine`, `crates/metrics`, and `crates/ooo`
+//!    needs a `SAFETY:` comment on the same line or within the three
+//!    lines above it (`unsafe fn` signatures are exempt: they state a
+//!    contract, the blocks discharge one).
+//! 4. **no-clock** — the algorithm layer (`crates/core`, `crates/ooo`)
+//!    must stay deterministic: no `std::time`, `Instant`/`SystemTime`, or
+//!    ambient randomness. Clocks belong to the driver layers; algorithm
+//!    time is logical (`Timestamp` arguments). The driver crates (`crates/engine`,
 //!    `crates/stream`, `crates/slickdeque`) may *measure* time, but only
 //!    through the observability facades
 //!    (`swag_metrics::clock::Stopwatch`, `swag-trace`) — raw
@@ -423,7 +426,7 @@ fn lint_no_clock(file: &Path, lines: &[Line], findings: &mut Vec<Finding>) {
                     line: idx + 1,
                     rule: "no-clock",
                     message: format!(
-                        "`{token}` in crates/core: the algorithm layer is deterministic; \
+                        "`{token}` in the algorithm layer, which is deterministic; \
                          clocks and randomness live in the driver crates"
                     ),
                 });
@@ -546,6 +549,121 @@ fn lint_bulk_coverage(root: &Path, core_src: &Path, findings: &mut Vec<Finding>)
     }
 }
 
+/// The `impl TypeName {` (no ` for `) header's type name, when `code` is
+/// an inherent-impl header line.
+fn inherent_impl_type(code: &str) -> Option<String> {
+    if !has_word(code, "impl") || code.contains(" for ") || !code.contains('{') {
+        return None;
+    }
+    let pos = code.find("impl")?;
+    let mut rest = code[pos + 4..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('<') {
+        // Skip the generic parameter list (angle brackets nest).
+        let mut depth = 1usize;
+        let mut cut = None;
+        for (i, c) in stripped.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = Some(i + 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = stripped[cut?..].trim_start();
+    }
+    let ty: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!ty.is_empty()).then_some(ty)
+}
+
+/// The methods defined in a file's inherent `impl` blocks, as
+/// `(type, method name)` pairs.
+fn inherent_methods(lines: &[Line]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    // Stack of (type name, depth inside the impl block).
+    let mut impls: Vec<(String, i64)> = Vec::new();
+    for line in lines {
+        let code = &line.code;
+        let header_ty = if line.in_test {
+            None
+        } else {
+            inherent_impl_type(code)
+        };
+        if !line.in_test && header_ty.is_none() {
+            if let Some((ty, _)) = impls.last() {
+                if let Some(pos) = code.find("fn ") {
+                    let name: String = code[pos + 3..]
+                        .trim_start()
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    if !name.is_empty() {
+                        out.push((ty.clone(), name));
+                    }
+                }
+            }
+        }
+        for c in code.chars() {
+            if c == '{' {
+                depth += 1;
+            } else if c == '}' {
+                depth -= 1;
+                if let Some((_, d)) = impls.last() {
+                    if depth < *d {
+                        impls.pop();
+                    }
+                }
+            }
+        }
+        if let Some(ty) = header_ty {
+            impls.push((ty, depth));
+        }
+    }
+    out
+}
+
+/// Rule 2, event-time facet: the aggregators in `crates/ooo` feed the
+/// engine's batched ingestion path, so a type offering a scalar inherent
+/// `insert` must ship `bulk_insert` and `bulk_evict` fast paths too.
+fn lint_ooo_bulk_paths(ooo_src: &Path, findings: &mut Vec<Finding>) {
+    for file in rust_files(ooo_src) {
+        let Ok(source) = fs::read_to_string(&file) else {
+            continue;
+        };
+        let methods = inherent_methods(&lex(&source));
+        let mut types: Vec<&String> = methods.iter().map(|(ty, _)| ty).collect();
+        types.sort();
+        types.dedup();
+        for ty in types {
+            let has = |m: &str| methods.iter().any(|(t, name)| t == ty && name == m);
+            if !has("insert") {
+                continue;
+            }
+            for required in ["bulk_insert", "bulk_evict"] {
+                if !has(required) {
+                    findings.push(Finding {
+                        file: file.clone(),
+                        line: 1,
+                        rule: "bulk-coverage",
+                        message: format!(
+                            "`{ty}` has a scalar `insert` but no `{required}`: event-time \
+                             aggregators must serve the engine's batched paths"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
 /// Run every rule against the repository at `root` and return the
 /// findings, sorted by file and line.
 pub fn lint_repo(root: &Path) -> Vec<Finding> {
@@ -553,8 +671,9 @@ pub fn lint_repo(root: &Path) -> Vec<Finding> {
     let core_src = root.join("crates/core/src");
     let engine_src = root.join("crates/engine/src");
     let metrics_src = root.join("crates/metrics/src");
+    let ooo_src = root.join("crates/ooo/src");
 
-    for dir in [&core_src, &engine_src] {
+    for dir in [&core_src, &engine_src, &ooo_src] {
         for file in rust_files(dir) {
             if let Ok(source) = fs::read_to_string(&file) {
                 let lines = lex(&source);
@@ -562,7 +681,7 @@ pub fn lint_repo(root: &Path) -> Vec<Finding> {
             }
         }
     }
-    for dir in [&core_src, &engine_src, &metrics_src] {
+    for dir in [&core_src, &engine_src, &metrics_src, &ooo_src] {
         for file in rust_files(dir) {
             if let Ok(source) = fs::read_to_string(&file) {
                 let lines = lex(&source);
@@ -570,10 +689,12 @@ pub fn lint_repo(root: &Path) -> Vec<Finding> {
             }
         }
     }
-    for file in rust_files(&core_src) {
-        if let Ok(source) = fs::read_to_string(&file) {
-            let lines = lex(&source);
-            lint_no_clock(&file, &lines, &mut findings);
+    for dir in [&core_src, &ooo_src] {
+        for file in rust_files(dir) {
+            if let Ok(source) = fs::read_to_string(&file) {
+                let lines = lex(&source);
+                lint_no_clock(&file, &lines, &mut findings);
+            }
         }
     }
     let stream_src = root.join("crates/stream/src");
@@ -587,6 +708,7 @@ pub fn lint_repo(root: &Path) -> Vec<Finding> {
         }
     }
     lint_bulk_coverage(root, &core_src, &mut findings);
+    lint_ooo_bulk_paths(&ooo_src, &mut findings);
 
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     findings
@@ -644,6 +766,29 @@ mod tests {
         lint_safety_comments(Path::new("x.rs"), &lines, &mut findings);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].line, 1);
+    }
+
+    #[test]
+    fn inherent_impls_and_methods_are_extracted() {
+        let src = "impl<O: AggregateOp> FingerBTree<O> {\n    pub fn insert(&mut self, ts: u64) {}\n    pub fn bulk_insert(&mut self, b: &[u64]) {}\n}\nimpl Clone for FingerBTree<O> {\n    fn clone(&self) -> Self { todo() }\n}\n";
+        let lines = lex(src);
+        assert_eq!(
+            inherent_impl_type(&lines[0].code).as_deref(),
+            Some("FingerBTree")
+        );
+        assert_eq!(
+            inherent_impl_type(&lines[4].code),
+            None,
+            "trait impls are not inherent"
+        );
+        let got = inherent_methods(&lines);
+        assert_eq!(
+            got,
+            vec![
+                ("FingerBTree".to_string(), "insert".to_string()),
+                ("FingerBTree".to_string(), "bulk_insert".to_string()),
+            ]
+        );
     }
 
     #[test]

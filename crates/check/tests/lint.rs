@@ -46,6 +46,15 @@ fn negative_fixture_trips_every_rule() {
     assert!(has("`.expect(` in non-test code"), "{messages:#?}");
     assert!(has("check:allow needs a reason"), "{messages:#?}");
     assert!(has("`Shiny` overrides `bulk_insert`"), "{messages:#?}");
+    // Event-time facet: a scalar insert without batched counterparts.
+    assert!(
+        has("`LonelyTree` has a scalar `insert` but no `bulk_insert`"),
+        "{messages:#?}"
+    );
+    assert!(
+        has("`LonelyTree` has a scalar `insert` but no `bulk_evict`"),
+        "{messages:#?}"
+    );
     assert!(has("without a `// SAFETY:` comment"), "{messages:#?}");
     assert!(has("`std::time`"), "{messages:#?}");
     // Facade facet: driver crates may not read clocks directly.

@@ -1,0 +1,244 @@
+//! Event-timestamped keyed streams with bounded disorder.
+//!
+//! The arrival-order sources in [`keyed`](crate::keyed) emit `(key,
+//! value)` — time is implicit in position. This module makes time
+//! explicit: a [`KeyedEventSource`] emits `(key, event timestamp, value)`
+//! and carries its own **low watermark**, a running promise that every
+//! future event's timestamp is at or above it. [`DisorderedKeyedSource`]
+//! manufactures out-of-order streams with a *provable* disorder bound
+//! from any in-order keyed source, which is what the engine's event-time
+//! path and the `results/ooo.json` benchmarks replay.
+
+use crate::keyed::{Key, KeyedSource};
+use crate::prng::Xoshiro256StarStar;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A pull-based source of keyed, event-timestamped tuples.
+pub trait KeyedEventSource {
+    /// The next `(key, event timestamp, value)`, or `None` at end of
+    /// stream.
+    fn next_event(&mut self) -> Option<(Key, u64, f64)>;
+
+    /// A lower bound on every future event's timestamp. Monotone
+    /// non-decreasing; consumers treat tuples below it as late.
+    fn low_watermark(&self) -> u64;
+}
+
+/// Replays an explicit vector of `(key, ts, value)` events, promising a
+/// fixed disorder bound: the watermark trails the largest released
+/// timestamp by `bound`.
+#[derive(Debug)]
+pub struct KeyedVecEventSource {
+    events: std::vec::IntoIter<(Key, u64, f64)>,
+    bound: u64,
+    max_released: u64,
+    released_any: bool,
+}
+
+impl KeyedVecEventSource {
+    /// Replay `events` in order, promising every event is displaced by at
+    /// most `bound` below the largest timestamp released before it.
+    /// (The caller vouches for the promise; the engine's late-drop policy
+    /// covers violations.)
+    pub fn new(events: Vec<(Key, u64, f64)>, bound: u64) -> Self {
+        KeyedVecEventSource {
+            events: events.into_iter(),
+            bound,
+            max_released: 0,
+            released_any: false,
+        }
+    }
+}
+
+impl KeyedEventSource for KeyedVecEventSource {
+    fn next_event(&mut self) -> Option<(Key, u64, f64)> {
+        let (key, ts, v) = self.events.next()?;
+        self.max_released = if self.released_any {
+            self.max_released.max(ts)
+        } else {
+            ts
+        };
+        self.released_any = true;
+        Some((key, ts, v))
+    }
+
+    fn low_watermark(&self) -> u64 {
+        if self.released_any {
+            self.max_released.saturating_sub(self.bound)
+        } else {
+            0
+        }
+    }
+}
+
+/// Heap entry ordered by perturbed position (ties: larger ts first):
+/// `(p, Reverse(ts), key, bits)`. Values travel as `to_bits` so the
+/// heap can derive `Ord`.
+type PendingEvent = Reverse<(u64, Reverse<u64>, Key, u64)>;
+
+/// Wraps an in-order [`KeyedSource`], stamps each tuple with its stream
+/// position as the event timestamp, and releases the stream *shuffled*
+/// with displacement at most `disorder` positions.
+///
+/// Mechanics: tuple `ts` is given a perturbed release position
+/// `p = ts + uniform(0..=disorder)`; a min-heap of `disorder + 1`
+/// pending tuples, ordered by `p` with ties preferring the *larger*
+/// timestamp, releases its minimum once full. That realises an exact
+/// sort, and because `ts ≤ p ≤ ts + disorder`, any two tuples swapped in
+/// release order differ by at most `disorder` timestamps. (Ties must
+/// prefer the larger timestamp: broken the other way, a jitter of 1
+/// could never invert adjacent tuples and `disorder = 1` would degrade
+/// to the identity.)
+///
+/// The low watermark is `p_last − disorder` where `p_last` is the
+/// perturbed position of the last released tuple: every pending or
+/// future tuple has `p ≥ p_last`, hence `ts ≥ p − disorder ≥ p_last −
+/// disorder`. The bound is tight — a tuple may arrive *exactly* at the
+/// watermark — and holds deterministically, so an engine trusting it
+/// drops nothing.
+#[derive(Debug)]
+pub struct DisorderedKeyedSource<S> {
+    inner: S,
+    disorder: u64,
+    rng: Xoshiro256StarStar,
+    /// Pending tuples, released in perturbed-position order.
+    heap: BinaryHeap<PendingEvent>,
+    next_ts: u64,
+    last_released_p: u64,
+    released_any: bool,
+    drained: bool,
+}
+
+impl<S: KeyedSource> DisorderedKeyedSource<S> {
+    /// Shuffle `inner`'s stream with displacement ≤ `disorder`,
+    /// deterministically from `seed`. `disorder = 0` passes the stream
+    /// through unchanged (timestamps still attached).
+    pub fn new(inner: S, disorder: u64, seed: u64) -> Self {
+        DisorderedKeyedSource {
+            inner,
+            disorder,
+            rng: Xoshiro256StarStar::new(seed ^ 0x0D15_0DE5),
+            heap: BinaryHeap::new(),
+            next_ts: 0,
+            last_released_p: 0,
+            released_any: false,
+            drained: false,
+        }
+    }
+
+    /// The disorder bound this source was built with.
+    pub fn disorder(&self) -> u64 {
+        self.disorder
+    }
+
+    fn refill(&mut self) {
+        while !self.drained && self.heap.len() <= self.disorder as usize {
+            match self.inner.next_tuple() {
+                Some((key, value)) => {
+                    let ts = self.next_ts;
+                    self.next_ts += 1;
+                    let p = ts + self.rng.gen_below(self.disorder + 1);
+                    self.heap
+                        .push(Reverse((p, Reverse(ts), key, value.to_bits())));
+                }
+                None => self.drained = true,
+            }
+        }
+    }
+}
+
+impl<S: KeyedSource> KeyedEventSource for DisorderedKeyedSource<S> {
+    fn next_event(&mut self) -> Option<(Key, u64, f64)> {
+        self.refill();
+        let Reverse((p, Reverse(ts), key, bits)) = self.heap.pop()?;
+        self.last_released_p = p;
+        self.released_any = true;
+        Some((key, ts, f64::from_bits(bits)))
+    }
+
+    fn low_watermark(&self) -> u64 {
+        if self.released_any {
+            self.last_released_p.saturating_sub(self.disorder)
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keyed::KeyedVecSource;
+
+    fn tuples(n: usize) -> Vec<(Key, f64)> {
+        (0..n).map(|i| ((i % 7) as Key, i as f64)).collect()
+    }
+
+    #[test]
+    fn zero_disorder_is_the_identity() {
+        let mut src = DisorderedKeyedSource::new(KeyedVecSource::new(tuples(100)), 0, 1);
+        for i in 0..100u64 {
+            let (key, ts, v) = src.next_event().expect("tuple");
+            assert_eq!(ts, i);
+            assert_eq!(key, i % 7);
+            assert_eq!(v, i as f64);
+            assert!(src.low_watermark() <= ts + 1);
+        }
+        assert!(src.next_event().is_none());
+    }
+
+    #[test]
+    fn displacement_is_bounded_and_stream_is_complete() {
+        for disorder in [1u64, 16, 256] {
+            let n = 2000usize;
+            let mut src = DisorderedKeyedSource::new(KeyedVecSource::new(tuples(n)), disorder, 42);
+            let mut seen = vec![false; n];
+            let mut shuffled = false;
+            let mut pos = 0u64;
+            while let Some((_, ts, v)) = src.next_event() {
+                assert_eq!(v, ts as f64, "value follows its timestamp");
+                assert!(
+                    ts + disorder >= pos && ts <= pos + disorder,
+                    "ts {ts} displaced more than {disorder} from position {pos}"
+                );
+                shuffled |= ts != pos;
+                assert!(!seen[ts as usize], "duplicate ts {ts}");
+                seen[ts as usize] = true;
+                pos += 1;
+            }
+            assert!(seen.iter().all(|&s| s), "every tuple released");
+            assert!(shuffled, "disorder {disorder} produced no reordering");
+        }
+    }
+
+    #[test]
+    fn watermark_is_a_true_lower_bound() {
+        let mut src = DisorderedKeyedSource::new(KeyedVecSource::new(tuples(5000)), 64, 7);
+        let mut wm = 0u64;
+        while let Some((_, ts, _)) = src.next_event() {
+            assert!(ts >= wm, "ts {ts} arrived below promised watermark {wm}");
+            let next = src.low_watermark();
+            assert!(next >= wm, "watermark went backwards: {next} < {wm}");
+            wm = next;
+        }
+        assert!(wm >= 5000 - 64 - 1, "final watermark {wm} never caught up");
+    }
+
+    #[test]
+    fn vec_event_source_tracks_its_promise() {
+        let mut src = KeyedVecEventSource::new(
+            vec![(1, 10, 1.0), (2, 8, 2.0), (1, 12, 3.0), (2, 11, 4.0)],
+            4,
+        );
+        assert_eq!(src.low_watermark(), 0);
+        src.next_event();
+        assert_eq!(src.low_watermark(), 6); // 10 - 4
+        src.next_event();
+        assert_eq!(src.low_watermark(), 6); // max released still 10
+        src.next_event();
+        assert_eq!(src.low_watermark(), 8); // 12 - 4
+        assert!(src.next_event().is_some());
+        assert!(src.next_event().is_none());
+    }
+}

@@ -39,6 +39,14 @@ pub trait KeyedSource {
     }
 }
 
+/// Trait objects forward, so `Box<dyn KeyedSource>` is itself a source
+/// (the CLI builds its sources dynamically).
+impl<S: KeyedSource + ?Sized> KeyedSource for Box<S> {
+    fn next_tuple(&mut self) -> Option<(Key, f64)> {
+        (**self).next_tuple()
+    }
+}
+
 /// Replays a pre-materialised keyed stream once.
 #[derive(Debug, Clone)]
 pub struct KeyedVecSource {

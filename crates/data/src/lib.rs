@@ -18,11 +18,13 @@
 
 pub mod csv;
 pub mod debs;
+pub mod event;
 pub mod keyed;
 pub mod prng;
 pub mod synthetic;
 
 pub use debs::{energy_stream, generate, DebsEvent, DebsGenerator, DEBS_SAMPLE_HZ};
+pub use event::{DisorderedKeyedSource, KeyedEventSource, KeyedVecEventSource};
 pub use keyed::{Key, KeyedDebsSource, KeyedSource, KeyedVecSource, KeyedWorkloadSource};
 pub use prng::{mix64, SplitMix64, Xoshiro256StarStar};
 pub use synthetic::Workload;

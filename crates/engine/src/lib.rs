@@ -40,12 +40,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod event;
 pub mod http;
 pub mod keyed;
 pub mod obs;
 pub mod shard;
 pub mod stats;
 
+pub use event::{EventBatch, EventProcessor, KeyedEventWindows};
 pub use http::MetricsServer;
 pub use keyed::{KeyedPlans, KeyedWindows, ShardProcessor};
 pub use obs::{EngineSample, ObservabilityConfig};

@@ -124,6 +124,7 @@ impl ObservabilityConfig {
             batches,
             keys,
             slide_latency,
+            watermark_lag: None,
             recorder: (self.trace_capacity > 0).then(|| FlightRecorder::new(self.trace_capacity)),
             dump_dir: self.trace_out.clone(),
         })
@@ -141,6 +142,10 @@ pub(crate) struct ShardObs {
     /// Present only with a registry: per-slide timing costs two clock
     /// reads per `process_run`, so it is tied to someone scraping.
     pub(crate) slide_latency: Option<Histogram>,
+    /// Event-time runs only: `swag_engine_watermark_lag` (largest
+    /// accepted timestamp minus the shard watermark). Attached by
+    /// `run_events` after construction; `None` on the arrival-order path.
+    pub(crate) watermark_lag: Option<Gauge>,
     pub(crate) recorder: Option<FlightRecorder>,
     pub(crate) dump_dir: Option<PathBuf>,
 }

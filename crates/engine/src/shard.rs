@@ -398,6 +398,7 @@ fn shard_worker<P: ShardProcessor>(
         batches,
         keys: processor.keys(),
         max_queue_depth: gauge.max_depth(),
+        watermark: 0,
         elapsed: started.elapsed(),
     };
     (stats, retained)

@@ -20,6 +20,10 @@ pub struct ShardStats {
     /// backpressure signal (a shard pinned near the channel capacity is
     /// the bottleneck).
     pub max_queue_depth: u64,
+    /// The event-time watermark this shard durably passed by drain time.
+    /// Always 0 on the arrival-order path (`ShardedEngine::run`), where
+    /// time is positional.
+    pub watermark: u64,
     /// Wall-clock time from worker start until it drained its queue.
     pub elapsed: Duration,
 }
@@ -33,6 +37,7 @@ impl ToJson for ShardStats {
             ("batches", Json::UInt(self.batches)),
             ("keys", Json::UInt(self.keys as u64)),
             ("max_queue_depth", Json::UInt(self.max_queue_depth)),
+            ("watermark", Json::UInt(self.watermark)),
             ("elapsed_secs", Json::Num(self.elapsed.as_secs_f64())),
         ])
     }
@@ -49,6 +54,9 @@ pub struct EngineStats {
     pub answers: u64,
     /// Total channel batches received across shards.
     pub batches: u64,
+    /// Tuples the router dropped for arriving below the watermark.
+    /// Always 0 on the arrival-order path.
+    pub late_tuples: u64,
     /// Wall-clock duration of the run (routing start to last worker
     /// drained).
     pub elapsed: Duration,
@@ -65,8 +73,16 @@ impl EngineStats {
             tuples,
             answers,
             batches,
+            late_tuples: 0,
             elapsed,
         }
+    }
+
+    /// The engine-level event-time watermark: the minimum across shards
+    /// of the per-shard watermarks — the frontier every shard has durably
+    /// passed. 0 on the arrival-order path or with no shards.
+    pub fn watermark(&self) -> u64 {
+        self.shards.iter().map(|s| s.watermark).min().unwrap_or(0)
     }
 
     /// End-to-end keyed tuples per second.
@@ -150,6 +166,8 @@ impl ToJson for EngineStats {
             ("tuples", Json::UInt(self.tuples)),
             ("answers", Json::UInt(self.answers)),
             ("batches", Json::UInt(self.batches)),
+            ("late_tuples", Json::UInt(self.late_tuples)),
+            ("watermark", Json::UInt(self.watermark())),
             ("keys", Json::UInt(self.keys() as u64)),
             ("elapsed_secs", Json::Num(self.elapsed.as_secs_f64())),
             ("tuples_per_sec", Json::Num(self.tuples_per_sec())),
@@ -198,6 +216,7 @@ mod tests {
             batches,
             keys,
             max_queue_depth: depth,
+            watermark: 0,
             elapsed: Duration::from_millis(10),
         }
     }

@@ -1,0 +1,44 @@
+//! # swag-ooo — out-of-order sliding-window aggregation
+//!
+//! The paper's platform (and everything in `swag-core`) assumes tuples
+//! arrive in order; the bounded [`ReorderBuffer`] in `swag-stream` only
+//! stretches that to *slightly* out-of-order. This crate removes the
+//! assumption: [`FingerBTree`] is a B-tree aggregator keyed by **event
+//! timestamp**, after the finger B-tree aggregator (FiBA) of *Sub-O(log n)
+//! Out-of-Order Sliding-Window Aggregation* (arXiv 1810.11308) with the
+//! bulk-eviction/insertion regime of arXiv 2307.11210.
+//!
+//! Design points, matched to the FiBA cost model:
+//!
+//! * **Fingers at both ends.** The tree keeps direct pointers to its
+//!   leftmost and rightmost leaves. An in-order arrival appends at the
+//!   right finger in amortized O(1); an arrival displaced by `d`
+//!   timestamps walks up from a finger in O(log d) before descending.
+//! * **Per-node partial-aggregate caches with up-spine repair.** Every
+//!   node caches the aggregate of its subtree. Mutations only *mark* the
+//!   spine above the touched leaf dirty (stopping at the first
+//!   already-dirty ancestor, so a run of appends pays O(1) amortized);
+//!   the actual combine work is repaired lazily when a query walks the
+//!   dirty spine.
+//! * **Prefix evictions only.** Sliding windows evict from the old end,
+//!   so the tree supports [`evict_older_than`](FingerBTree::evict_older_than)
+//!   /[`bulk_evict`](FingerBTree::bulk_evict) (drop whole leftmost leaves,
+//!   collapse a hollowed-out root) and never needs general B-tree
+//!   deletion. Combine order is always timestamp order — ties keep
+//!   arrival order — so answers are independent of arrival permutation.
+//!
+//! `check_invariants` re-derives the structural facts (global timestamp
+//! order, accurate node bounds, uniform leaf depth, cached aggregate =
+//! refold) and, with the `strict-invariants` cargo feature, runs after
+//! every mutating operation.
+//!
+//! [`ReorderBuffer`]: ../swag_stream/struct.ReorderBuffer.html
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+#[macro_use]
+mod strict;
+pub mod tree;
+
+pub use tree::{FingerBTree, Timestamp};

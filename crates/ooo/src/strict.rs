@@ -1,0 +1,21 @@
+//! The `strict-invariants` re-check hook, mirroring `swag-core`'s.
+
+/// Re-run `check_invariants` on exit from a mutating operation when the
+/// `strict-invariants` feature is on; a violation aborts the run.
+#[cfg(feature = "strict-invariants")]
+macro_rules! strict_check {
+    ($s:expr) => {
+        if let Err(v) = $s.check_invariants() {
+            // check:allow strict-invariants runs are self-auditing; corruption must abort loudly
+            panic!("strict-invariants: {v}");
+        }
+    };
+}
+
+/// No-op without the feature: zero cost on the hot path.
+#[cfg(not(feature = "strict-invariants"))]
+macro_rules! strict_check {
+    ($s:expr) => {
+        let _ = &$s;
+    };
+}

@@ -24,13 +24,28 @@
 //! shared-plan executor `N`-tuple slices through its batched push path,
 //! keyed runs use `N` as the engine's channel batch size. Answers are
 //! identical either way; batching only amortises per-tuple overheads.
+//!
+//! `--ooo` switches a keyed run to event time: each tuple is stamped with
+//! its stream position as the event timestamp, `--queries` ranges and
+//! slides are read in event-time units, and every key's windows run on a
+//! FiBA finger B-tree, emitted when the watermark passes each window end.
+//! `--disorder N` shuffles the stream with displacement at most `N`
+//! timestamps; `--lateness N` replaces the source's watermark promise
+//! with an explicit bound, dropping (and counting) tuples behind it:
+//!
+//! ```text
+//! slickdeque-platform --op sum --queries 60:10 --source debs:42 \
+//!     --tuples 100000 --keyed --shards 4 --ooo --disorder 256
+//! ```
 
 use crate::prelude::*;
 use std::io::{BufRead, Write};
 use std::str::FromStr;
 use swag_core::ops::MeanPartial;
+use swag_data::event::DisorderedKeyedSource;
 use swag_data::keyed::{KeyedDebsSource, KeyedSource, KeyedWorkloadSource};
-use swag_engine::{EngineConfig, EngineStats, KeyedPlans, ShardedEngine};
+use swag_engine::{EngineConfig, EngineStats, KeyedEventWindows, KeyedPlans, ShardedEngine};
+use swag_stream::TimeWindowSpec;
 
 /// Which aggregate operation to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,6 +207,20 @@ pub struct CliConfig {
     /// Keep the metrics endpoint up this long after the run finishes, so
     /// a scraper can read the final counters (CI smoke uses this).
     pub metrics_hold_ms: u64,
+    /// Event-time mode (`--ooo`): stamp tuples with event timestamps and
+    /// run watermark-driven time windows on per-key FiBA finger B-trees.
+    /// Requires `--keyed`; `--queries` ranges/slides are read in
+    /// event-time units.
+    pub ooo: bool,
+    /// Bounded disorder injected into the event stream (`--disorder N`):
+    /// tuples are shuffled with displacement at most `N` timestamps.
+    /// 0 keeps the stream in order.
+    pub disorder: u64,
+    /// Explicit allowed lateness (`--lateness N`): the watermark trails
+    /// the largest routed timestamp by `N`; tuples behind it are dropped
+    /// and counted. `None` trusts the source's own watermark promise,
+    /// under which nothing is late.
+    pub lateness: Option<u64>,
 }
 
 impl CliConfig {
@@ -215,6 +244,9 @@ impl CliConfig {
         let mut trace_capacity = None;
         let mut trace_out = None;
         let mut metrics_hold_ms = 0u64;
+        let mut ooo = false;
+        let mut disorder = 0u64;
+        let mut lateness = None;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -293,6 +325,19 @@ impl CliConfig {
                         .parse()
                         .map_err(|e| format!("bad hold duration: {e}"))?;
                 }
+                "--ooo" => ooo = true,
+                "--disorder" => {
+                    disorder = value("--disorder")?
+                        .parse()
+                        .map_err(|e| format!("bad disorder bound: {e}"))?;
+                }
+                "--lateness" => {
+                    lateness = Some(
+                        value("--lateness")?
+                            .parse()
+                            .map_err(|e| format!("bad lateness: {e}"))?,
+                    );
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -304,6 +349,12 @@ impl CliConfig {
         }
         if keyed && source == SourceChoice::Stdin {
             return Err("--keyed needs a keyed source (debs or workload), not stdin".into());
+        }
+        if ooo && !keyed {
+            return Err("--ooo needs --keyed (event time runs on the sharded engine)".into());
+        }
+        if !ooo && (disorder > 0 || lateness.is_some()) {
+            return Err("--disorder/--lateness require --ooo".into());
         }
         if !keyed
             && (metrics_addr.is_some()
@@ -332,6 +383,9 @@ impl CliConfig {
             trace_capacity,
             trace_out,
             metrics_hold_ms,
+            ooo,
+            disorder,
+            lateness,
         })
     }
 }
@@ -564,31 +618,19 @@ pub fn run(
     }
 }
 
-/// Run the platform in keyed mode on the sharded engine: the stream is
-/// hash-partitioned across `--shards` workers and the shared plan runs
-/// independently per key. Returns per-query summaries (aggregated over all
-/// keys) plus the engine's run statistics. With `--emit`, answers are
-/// written as `key<TAB>query_index<TAB>answer` lines, grouped by shard.
-pub fn run_keyed(
+/// Observability wiring for a keyed run: a registry (and live `/metrics`
+/// endpoint) when `--metrics-addr` is set, a flight recorder when
+/// `--trace-out` or `--trace-capacity` is set. The returned server (if
+/// any) must be held until the run finishes, then shut down.
+fn build_observability(
     cfg: &CliConfig,
-    out: &mut dyn Write,
-) -> Result<(Vec<QuerySummary>, EngineStats), String> {
-    let plan = SharedPlan::build(&cfg.queries, cfg.pat);
-    if !(plan.all_edges_cut() && plan.uniform_query_ranges().is_some()) {
-        return Err("keyed mode runs shared plans per key and needs a uniform, \
-             punctuation-free plan (this one has Cutty punctuations or \
-             non-uniform partial counts)"
-            .into());
-    }
-    if cfg.engine == EngineChoice::General {
-        return Err("--engine general is not available with --keyed".into());
-    }
-    let tuples = cfg.tuples.ok_or("--tuples is required with --keyed")?;
-    let mut source = build_keyed_source(cfg)?;
-
-    // Observability: a registry (and live /metrics endpoint) when
-    // --metrics-addr is set, a flight recorder when --trace-out or
-    // --trace-capacity is set.
+) -> Result<
+    (
+        Option<swag_engine::MetricsServer>,
+        swag_engine::ObservabilityConfig,
+    ),
+    String,
+> {
     let registry = cfg
         .metrics_addr
         .as_ref()
@@ -614,6 +656,34 @@ pub fn run_keyed(
             .as_ref()
             .map(|_| std::time::Duration::from_millis(50)),
     };
+    Ok((server, obs))
+}
+
+/// Run the platform in keyed mode on the sharded engine: the stream is
+/// hash-partitioned across `--shards` workers and the shared plan runs
+/// independently per key. Returns per-query summaries (aggregated over all
+/// keys) plus the engine's run statistics. With `--emit`, answers are
+/// written as `key<TAB>query_index<TAB>answer` lines, grouped by shard.
+pub fn run_keyed(
+    cfg: &CliConfig,
+    out: &mut dyn Write,
+) -> Result<(Vec<QuerySummary>, EngineStats), String> {
+    if cfg.ooo {
+        return run_keyed_events(cfg, out);
+    }
+    let plan = SharedPlan::build(&cfg.queries, cfg.pat);
+    if !(plan.all_edges_cut() && plan.uniform_query_ranges().is_some()) {
+        return Err("keyed mode runs shared plans per key and needs a uniform, \
+             punctuation-free plan (this one has Cutty punctuations or \
+             non-uniform partial counts)"
+            .into());
+    }
+    if cfg.engine == EngineChoice::General {
+        return Err("--engine general is not available with --keyed".into());
+    }
+    let tuples = cfg.tuples.ok_or("--tuples is required with --keyed")?;
+    let mut source = build_keyed_source(cfg)?;
+    let (server, obs) = build_observability(cfg)?;
 
     let engine = ShardedEngine::try_new(EngineConfig {
         shards: cfg.shards,
@@ -677,6 +747,89 @@ pub fn run_keyed(
     // Keep the endpoint alive for scrapers (CI smoke) before tearing it
     // down; shutdown is also what Drop would do, but doing it explicitly
     // keeps the hold window deliberate.
+    if let Some(server) = server {
+        if cfg.metrics_hold_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(cfg.metrics_hold_ms));
+        }
+        server.shutdown();
+    }
+    Ok((summaries, run.stats))
+}
+
+/// Run a `--ooo` event-time keyed run. Each tuple carries its stream
+/// position as the event timestamp; `--disorder` shuffles the stream with
+/// a provable displacement bound; every key's `--queries` time windows
+/// run on a FiBA finger B-tree and close when the watermark passes their
+/// end. With `--emit`, answers are written as
+/// `key<TAB>query_index<TAB>window_end<TAB>answer` lines, grouped by
+/// shard.
+fn run_keyed_events(
+    cfg: &CliConfig,
+    out: &mut dyn Write,
+) -> Result<(Vec<QuerySummary>, EngineStats), String> {
+    if cfg.engine != EngineChoice::SlickDeque {
+        return Err("--ooo always runs time windows on the FiBA finger B-tree; \
+             --engine selects count-based multi-query engines and does not apply"
+            .into());
+    }
+    let tuples = cfg.tuples.ok_or("--tuples is required with --keyed")?;
+    let specs: Vec<TimeWindowSpec> = cfg
+        .queries
+        .iter()
+        .map(|q| TimeWindowSpec::new(q.range, q.slide))
+        .collect();
+    // The disorder shuffle is seeded from the source seed so a run line
+    // is reproducible end to end.
+    let seed = match &cfg.source {
+        SourceChoice::Stdin => unreachable!("validated: --keyed rejects stdin"),
+        SourceChoice::Debs { seed, .. } | SourceChoice::Synthetic { seed, .. } => *seed,
+    };
+    let mut source = DisorderedKeyedSource::new(build_keyed_source(cfg)?, cfg.disorder, seed);
+    let (server, obs) = build_observability(cfg)?;
+    let engine = ShardedEngine::try_new(EngineConfig {
+        shards: cfg.shards,
+        batch: cfg.batch.unwrap_or(EngineConfig::default().batch),
+        retain_answers: true,
+        obs,
+        ..EngineConfig::default()
+    })?;
+
+    macro_rules! events_op {
+        ($op:expr) => {{
+            let op = $op;
+            engine.run_events(&mut source, tuples, cfg.lateness, |_shard| {
+                KeyedEventWindows::new(op, specs.clone())
+            })
+        }};
+    }
+    let run = match cfg.op {
+        OpChoice::Sum => events_op!(Sum::<f64>::new()),
+        OpChoice::Mean => events_op!(Mean::new()),
+        OpChoice::StdDev => events_op!(StdDev::new()),
+        OpChoice::Max => events_op!(MaxF64::new()),
+        OpChoice::Min => events_op!(MinF64::new()),
+    };
+
+    let mut summaries: Vec<QuerySummary> = cfg
+        .queries
+        .iter()
+        .map(|q| QuerySummary {
+            query: *q,
+            answers: 0,
+            last_answer: "—".to_string(),
+        })
+        .collect();
+    for shard_answers in &run.answers {
+        for &(key, (qi, end, answer)) in shard_answers {
+            let rendered = format!("{answer:.6}");
+            if cfg.emit {
+                writeln!(out, "{key}\t{qi}\t{end}\t{rendered}").map_err(|e| e.to_string())?;
+            }
+            summaries[qi].answers += 1;
+            summaries[qi].last_answer = rendered;
+        }
+    }
+
     if let Some(server) = server {
         if cfg.metrics_hold_ms > 0 {
             std::thread::sleep(std::time::Duration::from_millis(cfg.metrics_hold_ms));
@@ -1015,6 +1168,103 @@ mod tests {
         let summaries = run(&cfg, None, &mut out).unwrap();
         assert_eq!(summaries.len(), 1);
         assert!(summaries[0].answers > 0);
+    }
+
+    #[test]
+    fn ooo_flags_parse_and_validate() {
+        let cfg = CliConfig::parse(args(
+            "--op sum --queries 8:2 --source debs:3 --tuples 100 --keyed \
+             --ooo --disorder 16 --lateness 32",
+        ))
+        .unwrap();
+        assert!(cfg.ooo);
+        assert_eq!(cfg.disorder, 16);
+        assert_eq!(cfg.lateness, Some(32));
+        // Defaults: event time is off, streams are in order, the source's
+        // watermark promise is trusted.
+        let cfg = CliConfig::parse(args(
+            "--op sum --queries 8:2 --source debs:3 --tuples 100 --keyed",
+        ))
+        .unwrap();
+        assert!(!cfg.ooo);
+        assert_eq!(cfg.disorder, 0);
+        assert_eq!(cfg.lateness, None);
+        // Event time runs on the sharded engine.
+        assert!(CliConfig::parse(args("--op sum --queries 8:2 --tuples 100 --ooo")).is_err());
+        // Disorder/lateness describe an event-time stream.
+        assert!(CliConfig::parse(args(
+            "--op sum --queries 8:2 --source debs:3 --tuples 100 --keyed --disorder 4"
+        ))
+        .is_err());
+        assert!(CliConfig::parse(args(
+            "--op sum --queries 8:2 --source debs:3 --tuples 100 --keyed --lateness 4"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn ooo_emit_reports_window_ends() {
+        // One key, constant 1.0 workload, tumbling 8 over timestamps
+        // 0..32: four closed windows of sum 8.0 each.
+        let cfg = CliConfig::parse(args(
+            "--op sum --queries 8:8 --source workload:constant --tuples 32 \
+             --keyed --keys 1 --ooo --emit",
+        ))
+        .unwrap();
+        let mut out = Vec::new();
+        let (summaries, stats) = run_keyed(&cfg, &mut out).unwrap();
+        assert_eq!(summaries[0].answers, 4);
+        assert_eq!(summaries[0].last_answer, "8.000000");
+        assert_eq!(stats.late_tuples, 0);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "0\t0\t8\t8.000000",
+                "0\t0\t16\t8.000000",
+                "0\t0\t24\t8.000000",
+                "0\t0\t32\t8.000000",
+            ]
+        );
+    }
+
+    #[test]
+    fn ooo_answers_are_disorder_and_shard_invariant() {
+        let mut reference: Option<Vec<String>> = None;
+        for shards in [1usize, 3] {
+            let cfg = CliConfig::parse(args(&format!(
+                "--op max --queries 32:8 --source debs:9 --tuples 2000 \
+                 --keyed --keys 5 --shards {shards} --ooo --disorder 64 --emit"
+            )))
+            .unwrap();
+            let mut out = Vec::new();
+            let (summaries, stats) = run_keyed(&cfg, &mut out).unwrap();
+            assert_eq!(stats.tuples, 2000);
+            assert_eq!(stats.late_tuples, 0, "the source's promise drops nothing");
+            assert!(summaries[0].answers > 0);
+            let mut lines: Vec<String> = String::from_utf8(out)
+                .unwrap()
+                .lines()
+                .map(str::to_string)
+                .collect();
+            lines.sort();
+            match &reference {
+                None => reference = Some(lines),
+                Some(r) => assert_eq!(&lines, r, "{shards} shards"),
+            }
+        }
+    }
+
+    #[test]
+    fn ooo_rejects_named_engines() {
+        let cfg = CliConfig::parse(args(
+            "--op sum --queries 8:2 --source debs:3 --tuples 100 --keyed --ooo --engine naive",
+        ))
+        .unwrap();
+        let mut out = Vec::new();
+        let err = run_keyed(&cfg, &mut out).unwrap_err();
+        assert!(err.contains("--engine"), "{err}");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! * [`swag_stream`] (`stream`) — sources, executors, sinks;
 //! * [`swag_data`] (`data`) — DEBS12-shaped dataset synthesis, keyed sources;
 //! * [`swag_engine`] (`engine`) — the sharded, keyed, multi-threaded engine;
+//! * [`swag_ooo`] (`ooo`) — event-time out-of-order aggregation (FiBA finger B-tree);
 //! * [`swag_metrics`] (`metrics`) — latency/throughput/memory instrumentation.
 //!
 //! ## Choosing an algorithm
@@ -47,6 +48,7 @@ pub use swag_core as core;
 pub use swag_data as data;
 pub use swag_engine as engine;
 pub use swag_metrics as metrics;
+pub use swag_ooo as ooo;
 pub use swag_plan as plan;
 pub use swag_stream as stream;
 
@@ -69,20 +71,23 @@ pub mod prelude {
         Range, SelectiveOp, StdDev, Sum, SumSquares, Variance,
     };
     pub use swag_data::{
-        energy_stream, DebsGenerator, Key, KeyedDebsSource, KeyedSource, KeyedVecSource,
-        KeyedWorkloadSource, Workload,
+        energy_stream, DebsGenerator, DisorderedKeyedSource, Key, KeyedDebsSource,
+        KeyedEventSource, KeyedSource, KeyedVecEventSource, KeyedVecSource, KeyedWorkloadSource,
+        Workload,
     };
     pub use swag_engine::{
-        shard_of, EngineConfig, EngineStats, KeyedPlans, KeyedWindows, ShardProcessor, ShardStats,
-        ShardedEngine,
+        shard_of, EngineConfig, EngineStats, EventBatch, EventProcessor, KeyedEventWindows,
+        KeyedPlans, KeyedWindows, ShardProcessor, ShardStats, ShardedEngine,
     };
     pub use swag_metrics::{
         LatencyRecorder, LatencySummary, QueueDepthGauge, Throughput, ThroughputMeter,
     };
+    pub use swag_ooo::{FingerBTree, Timestamp};
     pub use swag_plan::{Pat, Query, SharedPlan, TimeQuery};
     pub use swag_stream::{
         run_single_query, CollectSink, CountSink, DebsSource, GeneralPlanExecutor,
-        SharedPlanExecutor, Sink, Source, VecSource, WorkloadSource,
+        SharedPlanExecutor, Sink, Source, TimeAnswer, TimeWindowExec, TimeWindowSpec, VecSource,
+        WorkloadSource,
     };
 }
 

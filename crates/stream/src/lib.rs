@@ -21,6 +21,7 @@ pub mod partial;
 pub mod reorder;
 pub mod sink;
 pub mod source;
+pub mod time_window;
 
 pub use executor::{run_single_query, GeneralPlanExecutor, RunStats, SharedPlanExecutor};
 #[cfg(feature = "obs")]
@@ -29,3 +30,4 @@ pub use partial::PartialAggregator;
 pub use reorder::{ReorderBuffer, ReorderError};
 pub use sink::{CollectSink, CountSink, NullSink, Sink};
 pub use source::{DebsSource, Source, VecSource, WorkloadSource};
+pub use time_window::{TimeAnswer, TimeWindowExec, TimeWindowSpec};

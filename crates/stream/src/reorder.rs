@@ -10,7 +10,7 @@
 //! surfaced as [`ReorderError::LateArrival`] — the "extreme situations"
 //! whose handling the paper leaves to the surrounding system.
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// A sequenced tuple: `(sequence number, value)`.
 pub type SeqTuple = (u64, f64);
@@ -61,7 +61,11 @@ pub struct ReorderBuffer {
     heap: BinaryHeap<Pending>,
     /// Next sequence number to release.
     next_seq: u64,
-    ready: Vec<f64>,
+    /// Upper bound on every sequence number currently in `heap` (monotone;
+    /// never lowered on release). Lets `push` rule out duplicates without
+    /// scanning the heap whenever `seq` exceeds everything ever buffered.
+    max_buffered: u64,
+    ready: VecDeque<f64>,
 }
 
 impl ReorderBuffer {
@@ -73,7 +77,8 @@ impl ReorderBuffer {
             depth,
             heap: BinaryHeap::with_capacity(depth + 1),
             next_seq: 0,
-            ready: Vec::new(),
+            max_buffered: 0,
+            ready: VecDeque::new(),
         }
     }
 
@@ -86,21 +91,24 @@ impl ReorderBuffer {
                 watermark: self.next_seq,
             });
         }
-        if self.heap.iter().any(|p| p.0 == seq) {
+        // Only scan the heap when a duplicate is possible: anything above
+        // the largest sequence number ever buffered cannot be in there.
+        // (`seq >= next_seq + depth` would be wrong — a buffered tuple can
+        // sit arbitrarily far above `next_seq` while a gap holds it back.)
+        if !self.heap.is_empty() && seq <= self.max_buffered && self.heap.iter().any(|p| p.0 == seq)
+        {
             return Err(ReorderError::Duplicate { seq });
         }
+        self.max_buffered = self.max_buffered.max(seq);
         self.heap.push(Pending(seq, value));
         self.release(false);
         Ok(())
     }
 
-    /// The next released value, in sequence order.
+    /// The next released value, in sequence order. O(1): the released run
+    /// is a queue, not a shift-everything vector.
     pub fn pop_ready(&mut self) -> Option<f64> {
-        if self.ready.is_empty() {
-            None
-        } else {
-            Some(self.ready.remove(0))
-        }
+        self.ready.pop_front()
     }
 
     /// Number of tuples currently held back.
@@ -114,7 +122,7 @@ impl ReorderBuffer {
     pub fn flush(&mut self) {
         self.release(true);
         while let Some(Pending(seq, v)) = self.heap.pop() {
-            self.ready.push(v);
+            self.ready.push_back(v);
             self.next_seq = seq + 1;
         }
     }
@@ -127,7 +135,7 @@ impl ReorderBuffer {
             match self.heap.peek() {
                 Some(&Pending(seq, _)) if seq == self.next_seq => {
                     let Pending(_, v) = self.heap.pop().expect("peeked");
-                    self.ready.push(v);
+                    self.ready.push_back(v);
                     self.next_seq += 1;
                 }
                 Some(_) if force || self.heap.len() > self.depth => {
@@ -135,7 +143,7 @@ impl ReorderBuffer {
                     // the missing tuple and resume from the next present
                     // one.
                     let Pending(seq, v) = self.heap.pop().expect("non-empty");
-                    self.ready.push(v);
+                    self.ready.push_back(v);
                     self.next_seq = seq + 1;
                 }
                 _ => break,
@@ -205,6 +213,37 @@ mod tests {
         let mut buf = ReorderBuffer::new(4);
         buf.push(5, 5.0).unwrap();
         assert_eq!(buf.push(5, 5.5), Err(ReorderError::Duplicate { seq: 5 }));
+    }
+
+    #[test]
+    fn duplicate_far_above_next_seq_is_still_caught() {
+        // A buffered tuple can sit arbitrarily far above next_seq while a
+        // gap holds it back — the duplicate check must not assume the
+        // buffer only spans [next_seq, next_seq + depth).
+        let mut buf = ReorderBuffer::new(2);
+        buf.push(10, 10.0).unwrap();
+        buf.push(20, 20.0).unwrap();
+        buf.push(30, 30.0).unwrap(); // over depth: seq 10 releases, next_seq = 11
+        assert_eq!(drain(&mut buf), vec![10.0]);
+        // 20 ≥ next_seq + depth = 13, yet it IS buffered.
+        assert_eq!(buf.push(20, 20.5), Err(ReorderError::Duplicate { seq: 20 }));
+        buf.flush();
+        assert_eq!(drain(&mut buf), vec![20.0, 30.0]);
+    }
+
+    #[test]
+    fn monotone_streams_never_rescan_but_stay_correct() {
+        // In-order and gently disordered streams keep taking the
+        // no-duplicate fast path; behaviour is unchanged.
+        let mut buf = ReorderBuffer::new(8);
+        for seq in 0..1000u64 {
+            let s = if seq % 2 == 0 { seq + 1 } else { seq - 1 };
+            buf.push(s, s as f64).unwrap();
+        }
+        buf.flush();
+        let out = drain(&mut buf);
+        assert_eq!(out.len(), 1000);
+        assert!(out.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Event-time windows with watermark-driven emission.
+//!
+//! The count-based executors in this crate answer "the last `n` tuples"
+//! on every slide; [`TimeWindowExec`] instead answers aligned **time**
+//! windows `[k·slide, k·slide + range)` over event timestamps, emitting a
+//! window's answer exactly once — when the watermark passes its end, i.e.
+//! when no in-flight tuple can still land inside it. Tuples may arrive in
+//! any order; the [`FingerBTree`] underneath absorbs the disorder, and a
+//! tuple older than the current watermark is refused (the caller counts
+//! it as late).
+//!
+//! Emission is **watermark-deterministic**: which answers come out of
+//! which `advance_watermark` call depends on the watermark values fed in,
+//! but the full answer *sequence* — `(query, window end, value)` triples
+//! in window order — depends only on the accepted tuple set. Feeding the
+//! same tuples through different batchings or shardings yields the same
+//! answers.
+
+use swag_core::ops::AggregateOp;
+use swag_ooo::{FingerBTree, Timestamp};
+
+/// One aligned time window: `range` wide, advancing by `slide`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeWindowSpec {
+    /// Window width in event-time units.
+    pub range: u64,
+    /// Distance between consecutive window starts.
+    pub slide: u64,
+}
+
+impl TimeWindowSpec {
+    /// A `range`-wide window sliding by `slide`; both must be ≥ 1.
+    pub fn new(range: u64, slide: u64) -> Self {
+        assert!(range >= 1, "window range must be at least 1");
+        assert!(slide >= 1, "window slide must be at least 1");
+        TimeWindowSpec { range, slide }
+    }
+
+    /// A tumbling window: slide = range.
+    pub fn tumbling(range: u64) -> Self {
+        Self::new(range, range)
+    }
+}
+
+/// One emitted answer: `(query index, window end, lowered value)`.
+pub type TimeAnswer<T> = (usize, Timestamp, T);
+
+/// Shared-tree executor for one or more time windows over a single
+/// out-of-order stream (the event-time sibling of the shared-plan
+/// multi-query executors).
+#[derive(Debug)]
+pub struct TimeWindowExec<O: AggregateOp> {
+    tree: FingerBTree<O>,
+    specs: Vec<TimeWindowSpec>,
+    /// Per-spec end of the next window to emit; `None` until the first
+    /// tuple fixes where emission starts (windows from before a stream's
+    /// first event are skipped rather than emitted empty).
+    next_end: Vec<Option<Timestamp>>,
+    watermark: Timestamp,
+    accepted: u64,
+}
+
+impl<O: AggregateOp> TimeWindowExec<O> {
+    /// An executor answering `specs` with `op` over a shared tree.
+    pub fn new(op: O, specs: Vec<TimeWindowSpec>) -> Self {
+        assert!(!specs.is_empty(), "need at least one time window");
+        let next_end = vec![None; specs.len()];
+        TimeWindowExec {
+            tree: FingerBTree::new(op),
+            specs,
+            next_end,
+            watermark: 0,
+            accepted: 0,
+        }
+    }
+
+    /// The window specs being answered, in query order.
+    pub fn specs(&self) -> &[TimeWindowSpec] {
+        &self.specs
+    }
+
+    /// The watermark last passed to
+    /// [`advance_watermark`](Self::advance_watermark).
+    pub fn watermark(&self) -> Timestamp {
+        self.watermark
+    }
+
+    /// Tuples accepted so far (late refusals excluded).
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Live tuples currently held in the tree.
+    pub fn live(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Offer one tuple at event time `ts`. Returns `false` — and leaves
+    /// all state untouched — when `ts` is below the watermark: the
+    /// windows it belongs to may already be emitted. Callers count those
+    /// as late drops.
+    pub fn insert(&mut self, ts: Timestamp, value: &O::Input) -> bool {
+        if ts < self.watermark {
+            return false;
+        }
+        self.prime_next_end(ts);
+        self.tree.insert_value(ts, value);
+        self.accepted += 1;
+        true
+    }
+
+    /// Offer a batch; returns how many were accepted (the rest were
+    /// late). Rides the tree's bulk path when the batch is in order.
+    pub fn bulk_insert(&mut self, batch: &[(Timestamp, O::Partial)]) -> usize {
+        let wm = self.watermark;
+        let mut accepted = 0usize;
+        let mut pending: Vec<(Timestamp, O::Partial)> = Vec::with_capacity(batch.len());
+        for (ts, p) in batch {
+            if *ts >= wm {
+                self.prime_next_end(*ts);
+                pending.push((*ts, p.clone()));
+                accepted += 1;
+            }
+        }
+        self.tree.bulk_insert(&pending);
+        self.accepted += accepted as u64;
+        accepted
+    }
+
+    /// Start (or pull back) every query at the earliest aligned window
+    /// that can still receive this tuple: the smallest end
+    /// `k·slide + range > ts`. Taking the minimum over accepted tuples —
+    /// not just the first arrival — keeps the emitted window set
+    /// order-insensitive: the candidate end is always above the
+    /// watermark, so an already-emitted window can never be re-opened,
+    /// and after any emission the candidate is at or past the frontier
+    /// (both live on the same aligned progression).
+    fn prime_next_end(&mut self, ts: Timestamp) {
+        for (spec, next) in self.specs.iter().zip(self.next_end.iter_mut()) {
+            let k = if ts < spec.range {
+                0
+            } else {
+                (ts - spec.range) / spec.slide + 1
+            };
+            let candidate = k * spec.slide + spec.range;
+            *next = Some(next.map_or(candidate, |e| e.min(candidate)));
+        }
+    }
+
+    /// Raise the watermark to `wm` and emit every window whose end it
+    /// passed, oldest first (queries interleaved in window-end order,
+    /// ties by query index). Entries no longer reachable by any future
+    /// window are evicted. A watermark below the current one is a no-op
+    /// — watermarks only move forward.
+    pub fn advance_watermark(&mut self, wm: Timestamp) -> Vec<TimeAnswer<O::Output>> {
+        if wm <= self.watermark {
+            return Vec::new();
+        }
+        self.watermark = wm;
+        let out = self.emit_due(|_| wm);
+        self.evict_unreachable();
+        out
+    }
+
+    /// Close the stream: emit every remaining window up to (and
+    /// including) the last one containing a live tuple — per query, so a
+    /// short-range query next to a long-range one does not trail off into
+    /// empty windows. Returns nothing if no tuple arrived since the last
+    /// emission.
+    pub fn finish(&mut self) -> Vec<TimeAnswer<O::Output>> {
+        let Some(max) = self.tree.max_ts() else {
+            return Vec::new();
+        };
+        // Per query: the end of the last aligned window containing `max`.
+        let last_end: Vec<Timestamp> = self
+            .specs
+            .iter()
+            .map(|s| (max / s.slide) * s.slide + s.range)
+            .collect();
+        let out = self.emit_due(|q| last_end[q]);
+        for &le in &last_end {
+            self.watermark = self.watermark.max(le);
+        }
+        self.evict_unreachable();
+        out
+    }
+
+    /// Emit every due window, oldest end first (ties by query index),
+    /// where query `q` is due while its next end ≤ `bound(q)`.
+    fn emit_due(&mut self, bound: impl Fn(usize) -> Timestamp) -> Vec<TimeAnswer<O::Output>> {
+        let mut out = Vec::new();
+        loop {
+            let due = self
+                .next_end
+                .iter()
+                .enumerate()
+                .filter_map(|(q, e)| e.map(|end| (end, q)))
+                .filter(|&(end, q)| end <= bound(q))
+                .min();
+            let Some((end, q)) = due else { break };
+            let spec = self.specs[q];
+            let part = self.tree.query_range(end - spec.range, end);
+            out.push((q, end, self.tree.op().lower(&part)));
+            self.next_end[q] = Some(end + spec.slide);
+        }
+        out
+    }
+
+    /// Validate the underlying tree's structural invariants (see
+    /// [`FingerBTree::check_invariants`]).
+    pub fn check_invariants(&mut self) -> Result<(), swag_core::InvariantViolation> {
+        self.tree.check_invariants()
+    }
+
+    /// Drop entries below every query's next window start — no future
+    /// window `[next_end - range + j·slide, …)` can reach them.
+    fn evict_unreachable(&mut self) {
+        let cutoff = self
+            .next_end
+            .iter()
+            .zip(self.specs.iter())
+            .filter_map(|(e, s)| e.map(|end| end - s.range))
+            .min();
+        if let Some(cutoff) = cutoff {
+            self.tree.evict_older_than(cutoff);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swag_core::ops::{Max, Sum};
+
+    #[test]
+    fn tumbling_sum_emits_on_watermark() {
+        let mut exec = TimeWindowExec::new(Sum::<f64>::new(), vec![TimeWindowSpec::tumbling(10)]);
+        for ts in 0..25u64 {
+            assert!(exec.insert(ts, &1.0));
+        }
+        // Nothing due yet.
+        assert!(exec.advance_watermark(9).is_empty());
+        // Watermark 10 closes [0, 10).
+        assert_eq!(exec.advance_watermark(10), vec![(0, 10, 10.0)]);
+        // 25 closes [10, 20) only; [20, 30) stays open.
+        assert_eq!(exec.advance_watermark(25), vec![(0, 20, 10.0)]);
+        assert_eq!(exec.finish(), vec![(0, 30, 5.0)]);
+    }
+
+    #[test]
+    fn sliding_window_overlaps() {
+        let mut exec = TimeWindowExec::new(Sum::<f64>::new(), vec![TimeWindowSpec::new(10, 5)]);
+        for ts in 0..20u64 {
+            exec.insert(ts, &1.0);
+        }
+        let got = exec.finish();
+        // Windows: [0,10), [5,15), [10,20), [15,25) — the last holds 5.
+        assert_eq!(
+            got,
+            vec![(0, 10, 10.0), (0, 15, 10.0), (0, 20, 10.0), (0, 25, 5.0)]
+        );
+    }
+
+    #[test]
+    fn multiple_queries_share_the_tree() {
+        let mut exec = TimeWindowExec::new(
+            Sum::<f64>::new(),
+            vec![TimeWindowSpec::tumbling(4), TimeWindowSpec::tumbling(8)],
+        );
+        for ts in 0..8u64 {
+            exec.insert(ts, &(ts as f64));
+        }
+        let got = exec.finish();
+        // Oldest window end first; ties in query order.
+        assert_eq!(got, vec![(0, 4, 6.0), (0, 8, 22.0), (1, 8, 28.0)]);
+    }
+
+    #[test]
+    fn late_tuple_is_refused_and_state_untouched() {
+        let mut exec = TimeWindowExec::new(Sum::<f64>::new(), vec![TimeWindowSpec::tumbling(10)]);
+        exec.insert(5, &1.0);
+        exec.advance_watermark(10);
+        assert!(!exec.insert(9, &100.0), "ts 9 < watermark 10 is late");
+        assert_eq!(exec.accepted(), 1);
+        exec.insert(10, &2.0);
+        assert_eq!(exec.finish(), vec![(0, 20, 2.0)]);
+    }
+
+    #[test]
+    fn disorder_below_watermark_lag_changes_nothing() {
+        // In-order run.
+        let tuples: Vec<(u64, f64)> = (0..200u64).map(|t| (t, ((t * 7) % 23) as f64)).collect();
+        let spec = vec![TimeWindowSpec::new(16, 8)];
+        let mut in_order = TimeWindowExec::new(Max::<f64>::new(), spec.clone());
+        let mut expect = Vec::new();
+        for &(ts, v) in &tuples {
+            in_order.insert(ts, &v);
+        }
+        expect.extend(in_order.finish());
+
+        // Same tuples, displaced by up to 31 positions, watermark trailing
+        // by 32: every emission happens after all its tuples arrived.
+        let mut shuffled = tuples.clone();
+        for block in shuffled.chunks_mut(32) {
+            block.reverse();
+        }
+        let mut ooo = TimeWindowExec::new(Max::<f64>::new(), spec);
+        let mut got = Vec::new();
+        for (i, &(ts, v)) in shuffled.iter().enumerate() {
+            assert!(ooo.insert(ts, &v), "tuple {i} wrongly late");
+            let arrived = shuffled[..=i].iter().map(|&(t, _)| t).max().unwrap_or(0);
+            got.extend(ooo.advance_watermark(arrived.saturating_sub(32)));
+        }
+        got.extend(ooo.finish());
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn windows_before_first_event_are_skipped() {
+        let mut exec = TimeWindowExec::new(Sum::<f64>::new(), vec![TimeWindowSpec::tumbling(10)]);
+        exec.insert(1000, &1.0);
+        // No flood of empty [0,10), [10,20)… answers.
+        assert_eq!(exec.advance_watermark(1005), vec![]);
+        assert_eq!(exec.finish(), vec![(0, 1010, 1.0)]);
+    }
+
+    #[test]
+    fn eviction_keeps_live_set_bounded() {
+        let mut exec = TimeWindowExec::new(Sum::<f64>::new(), vec![TimeWindowSpec::new(10, 5)]);
+        for ts in 0..10_000u64 {
+            exec.insert(ts, &1.0);
+            if ts % 100 == 0 {
+                exec.advance_watermark(ts.saturating_sub(20));
+            }
+        }
+        assert!(
+            exec.live() <= 200,
+            "live set {} should track range + lag, not the stream",
+            exec.live()
+        );
+    }
+}

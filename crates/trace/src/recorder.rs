@@ -39,6 +39,12 @@ pub enum EventKind {
     Panic,
     /// Free-form instrumentation points.
     Custom,
+    /// A tuple arrived below the watermark and was dropped. `a` = the
+    /// tuple's event timestamp, `b` = the watermark it fell below.
+    LateDrop,
+    /// The watermark advanced. `a` = new watermark, `b` = answers
+    /// emitted by the advance.
+    WatermarkAdvance,
 }
 
 impl EventKind {
@@ -52,6 +58,8 @@ impl EventKind {
             EventKind::InvariantCheck => "invariant_check",
             EventKind::Panic => "panic",
             EventKind::Custom => "custom",
+            EventKind::LateDrop => "late_drop",
+            EventKind::WatermarkAdvance => "watermark_advance",
         }
     }
 
@@ -64,6 +72,8 @@ impl EventKind {
             EventKind::InvariantCheck => 4,
             EventKind::Panic => 5,
             EventKind::Custom => 6,
+            EventKind::LateDrop => 7,
+            EventKind::WatermarkAdvance => 8,
         }
     }
 
@@ -75,6 +85,8 @@ impl EventKind {
             3 => EventKind::Drain,
             4 => EventKind::InvariantCheck,
             5 => EventKind::Panic,
+            7 => EventKind::LateDrop,
+            8 => EventKind::WatermarkAdvance,
             _ => EventKind::Custom,
         }
     }
@@ -341,6 +353,18 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(Json::parse(&text).is_ok());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn event_time_kinds_round_trip() {
+        for kind in [EventKind::LateDrop, EventKind::WatermarkAdvance] {
+            assert_eq!(EventKind::from_u64(kind.to_u64()), kind);
+        }
+        assert_eq!(EventKind::LateDrop.as_str(), "late_drop");
+        assert_eq!(EventKind::WatermarkAdvance.as_str(), "watermark_advance");
+        // Code 6 stays the Custom fallback for unknown codes.
+        assert_eq!(EventKind::from_u64(6), EventKind::Custom);
+        assert_eq!(EventKind::from_u64(99), EventKind::Custom);
     }
 
     #[test]
