@@ -1,0 +1,85 @@
+//! Chunk-capacity tuning for `ChunkedDeque`: the microbench behind the
+//! `MIN_CHUNK_CAPACITY`/`MAX_CHUNK_CAPACITY` bounds in
+//! `swag_core::chunked`.
+//!
+//! Two workloads per capacity, both sized to the non-invertible deque's
+//! steady state:
+//!
+//! - `cycle`: FIFO window cycling — `push_back` + `pop_front` per tuple
+//!   at a fixed window, the pointer-chasing pattern that makes the
+//!   chunk-boundary branch and allocator traffic visible at small
+//!   capacities.
+//! - `scan`: contiguous-run sweeps over [`ChunkedDeque::slices`], the
+//!   access pattern of the dominated-suffix scan — per-chunk overhead
+//!   shows up as the gap from a flat-slice sweep.
+//!
+//! Throughput climbs steeply up to 64-slot chunks and plateaus after
+//! (the basis for `MIN_CHUNK_CAPACITY = 64`); past 4096 the gains are
+//! noise while the two-chunk slack keeps growing (the basis for
+//! `MAX_CHUNK_CAPACITY = 4096`).
+
+use std::hint::black_box;
+use swag_bench::microbench::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use swag_core::chunked::ChunkedDeque;
+
+const WINDOW: usize = 1 << 14;
+const TUPLES: usize = 1 << 15;
+const CAPACITIES: &[usize] = &[8, 16, 32, 64, 128, 256, 1024, 4096];
+
+fn bench_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunk_cycle");
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(TUPLES as u64));
+    for &cap in CAPACITIES {
+        group.bench_with_input(BenchmarkId::new("cycle", cap), &cap, |b, _| {
+            let mut d: ChunkedDeque<u64> = ChunkedDeque::with_chunk_capacity(cap);
+            for i in 0..WINDOW as u64 {
+                d.push_back(i);
+            }
+            b.iter(|| {
+                for i in 0..TUPLES as u64 {
+                    d.push_back(i);
+                    d.pop_front();
+                }
+                black_box(d.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunk_scan");
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(WINDOW as u64));
+    for &cap in CAPACITIES {
+        group.bench_with_input(BenchmarkId::new("scan", cap), &cap, |b, _| {
+            let mut d: ChunkedDeque<u64> = ChunkedDeque::with_chunk_capacity(cap);
+            // Offset the front so the first run is partial, like a deque
+            // mid-cycle.
+            for i in 0..(WINDOW + cap / 2) as u64 {
+                d.push_back(i);
+            }
+            for _ in 0..cap / 2 {
+                d.pop_front();
+            }
+            b.iter(|| {
+                let mut acc = 0u64;
+                for run in d.slices() {
+                    for &v in run {
+                        acc = acc.wrapping_add(v);
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle, bench_scan);
+criterion_main!(benches);

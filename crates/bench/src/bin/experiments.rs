@@ -6,11 +6,14 @@
 //! ```
 //!
 //! Subcommands: `table1`, `exp1a`, `exp1b`, `exp2a`, `exp2b`, `exp3`,
-//! `exp4`, `workloads`, `pats`, `scaling`, `bulk`, `ooo`, `all`. Flags: `--quick`,
+//! `exp4`, `workloads`, `pats`, `scaling`, `bulk`, `ooo`, `kernels`,
+//! `all`. Flags: `--quick`,
 //! `--max-exp E`, `--multi-max-exp E`, `--budget-ms N`,
 //! `--latency-tuples N`, `--seed S`, `--out DIR`, `--no-save`.
 
-use swag_bench::{bulk, exp1, exp2, exp3, exp4, ooo, pats, scaling, table1, workloads, Config};
+use swag_bench::{
+    bulk, exp1, exp2, exp3, exp4, kernels, ooo, pats, scaling, table1, workloads, Config,
+};
 use swag_metrics::alloc::CountingAllocator;
 
 // Exp 4 measures peak live heap bytes through this allocator.
@@ -19,7 +22,7 @@ static ALLOC: CountingAllocator = CountingAllocator;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|exp1a|exp1b|exp2a|exp2b|exp3|exp4|workloads|pats|scaling|bulk|ooo|all> \
+        "usage: experiments <table1|exp1a|exp1b|exp2a|exp2b|exp3|exp4|workloads|pats|scaling|bulk|ooo|kernels|all> \
          [--quick] [--max-exp E] [--multi-max-exp E] [--budget-ms N] \
          [--latency-tuples N] [--seed S] [--out DIR] [--no-save]"
     );
@@ -107,6 +110,7 @@ fn main() {
             "scaling",
             "bulk",
             "ooo",
+            "kernels",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -165,6 +169,13 @@ fn main() {
             }
             "ooo" => {
                 let t = ooo::run(&cfg);
+                t.print();
+                if let Some(dir) = &cfg.out_dir {
+                    let _ = t.save(dir);
+                }
+            }
+            "kernels" => {
+                let t = kernels::run(&cfg);
                 t.print();
                 if let Some(dir) = &cfg.out_dir {
                     let _ = t.save(dir);

@@ -1,0 +1,81 @@
+//! CI smoke runner for the batch-kernel sweep.
+//!
+//! ```text
+//! cargo run -p swag-bench --release --bin kernel_bench -- --gate
+//! cargo run -p swag-bench --release --bin kernel_bench -- --budget-ms 200 --out results
+//! ```
+//!
+//! Runs the `kernels` experiment (see `swag_bench::kernels`) at a
+//! reduced per-point budget and, with `--gate`, exits non-zero if any
+//! specialized kernel measures slower than its scalar default at batch
+//! ≥ 64 — the floor defaults to 0.8 (`--min-speedup F` to change it) so
+//! kernels whose contract pins them to the scalar combine order (the
+//! bitwise-sequential scans) pass under CI noise while real regressions
+//! (a specialized override losing to the loop it replaced) fail.
+
+use swag_bench::{kernels, Config};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kernel_bench [--gate] [--min-speedup F] [--budget-ms N] \
+         [--seed S] [--out DIR] [--no-save]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = Config::quick();
+    // Quick-but-stable default: the gate compares two timed loops, so
+    // each point still needs enough wall clock to settle.
+    cfg.point_budget = std::time::Duration::from_millis(60);
+    cfg.out_dir = None;
+    let mut gate = false;
+    let mut floor = 0.8f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--gate" => gate = true,
+            "--min-speedup" => {
+                floor = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--budget-ms" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                cfg.point_budget = std::time::Duration::from_millis(ms);
+            }
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => cfg.out_dir = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--no-save" => cfg.out_dir = None,
+            _ => usage(),
+        }
+    }
+    let table = kernels::run(&cfg);
+    table.print();
+    if let Some(dir) = &cfg.out_dir {
+        if let Err(e) = table.save(dir) {
+            eprintln!("warning: could not save results: {e}");
+        }
+    }
+    if gate {
+        let violations = table.gate_violations(floor);
+        if violations.is_empty() {
+            println!("\nkernel gate: all specialized kernels ≥ {floor:.2}x scalar at batch ≥ 64");
+        } else {
+            eprintln!("\nkernel gate FAILED (floor {floor:.2}):");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

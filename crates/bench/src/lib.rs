@@ -19,6 +19,7 @@
 //! | Sharded-engine scaling (extension) | [`scaling`] | `scaling` |
 //! | Bulk-ingestion batch sweep (extension) | [`bulk`] | `bulk` |
 //! | Out-of-order ingestion sweep (extension) | [`ooo`] | `ooo` |
+//! | Batch-kernel sweep (extension) | [`kernels`] | `kernels` |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -28,6 +29,7 @@ pub mod exp1;
 pub mod exp2;
 pub mod exp3;
 pub mod exp4;
+pub mod kernels;
 pub mod microbench;
 #[cfg(feature = "obs")]
 pub mod obs_overhead;

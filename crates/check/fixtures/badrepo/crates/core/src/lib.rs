@@ -44,3 +44,23 @@ mod tests {
         Some(1).unwrap();
     }
 }
+
+pub trait AggregateOp {
+    fn fold_slice(&self) {}
+    fn prefix_scan_into(&self) {}
+    fn suffix_scan_into(&self) {}
+}
+
+pub struct Lopsided;
+
+// slice-kernel-coverage: fold specialized, scans left at the default.
+impl AggregateOp for Lopsided {
+    fn fold_slice(&self) {}
+}
+
+pub struct WaivedScalar;
+
+// SCALAR-OK: the scans are dead code for this op, folds are the hot path
+impl AggregateOp for WaivedScalar {
+    fn fold_slice(&self) {}
+}

@@ -17,7 +17,15 @@
 //!    needs a `SAFETY:` comment on the same line or within the three
 //!    lines above it (`unsafe fn` signatures are exempt: they state a
 //!    contract, the blocks discharge one).
-//! 4. **no-clock** — the algorithm layer (`crates/core`, `crates/ooo`)
+//! 4. **slice-kernel-coverage** — every `impl AggregateOp for …` in
+//!    `crates/core` that specializes `fold_slice` must also override
+//!    `prefix_scan_into` and `suffix_scan_into`: the scans feed cached
+//!    per-node aggregates that the invariant checkers compare bitwise, so
+//!    a type fast on folds but scalar on scans is almost always an
+//!    oversight. A deliberate exception carries a
+//!    `// SCALAR-OK: <reason>` comment in the impl block (or on the three
+//!    lines above its header).
+//! 5. **no-clock** — the algorithm layer (`crates/core`, `crates/ooo`)
 //!    must stay deterministic: no `std::time`, `Instant`/`SystemTime`, or
 //!    ambient randomness. Clocks belong to the driver layers; algorithm
 //!    time is logical (`Timestamp` arguments). The driver crates (`crates/engine`,
@@ -549,6 +557,119 @@ fn lint_bulk_coverage(root: &Path, core_src: &Path, findings: &mut Vec<Finding>)
     }
 }
 
+/// One `impl … for Type` block's slice-kernel surface: which of the
+/// batch-kernel methods it defines, and whether a `SCALAR-OK` waiver
+/// covers it.
+#[derive(Debug, PartialEq, Eq)]
+struct KernelImplSite {
+    ty: String,
+    /// 1-based header line.
+    line: usize,
+    fold: bool,
+    prefix: bool,
+    suffix: bool,
+    waived: bool,
+}
+
+/// Rule 4 support: every trait-impl block in a file, with its
+/// slice-kernel overrides. Waivers count when the `SCALAR-OK` comment
+/// sits anywhere inside the block or within the three lines above the
+/// header.
+fn kernel_impl_sites(lines: &[Line]) -> Vec<KernelImplSite> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    // Stack of (site, depth inside the impl block).
+    let mut stack: Vec<(KernelImplSite, i64)> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let header =
+            !line.in_test && has_word(code, "impl") && code.contains(" for ") && code.contains('{');
+        if !line.in_test {
+            if let Some((site, _)) = stack.last_mut() {
+                if code.contains("fn fold_slice") {
+                    site.fold = true;
+                }
+                if code.contains("fn prefix_scan_into") {
+                    site.prefix = true;
+                }
+                if code.contains("fn suffix_scan_into") {
+                    site.suffix = true;
+                }
+                if line.comment.contains("SCALAR-OK") {
+                    site.waived = true;
+                }
+            }
+        }
+        for c in code.chars() {
+            if c == '{' {
+                depth += 1;
+            } else if c == '}' {
+                depth -= 1;
+                if let Some((_, d)) = stack.last() {
+                    if depth < *d {
+                        let (site, _) = stack.pop().expect("checked non-empty");
+                        out.push(site);
+                    }
+                }
+            }
+        }
+        if header {
+            let after = code.rfind(" for ").map(|p| &code[p + 5..]).unwrap_or("");
+            let ty: String = after
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !ty.is_empty() {
+                let waived =
+                    (idx.saturating_sub(3)..=idx).any(|k| lines[k].comment.contains("SCALAR-OK"));
+                stack.push((
+                    KernelImplSite {
+                        ty,
+                        line: idx + 1,
+                        fold: false,
+                        prefix: false,
+                        suffix: false,
+                        waived,
+                    },
+                    depth,
+                ));
+            }
+        }
+    }
+    while let Some((site, _)) = stack.pop() {
+        out.push(site);
+    }
+    out
+}
+
+/// Rule 4: a specialized `fold_slice` without both scan overrides is an
+/// incomplete kernel surface — the scans feed the cached per-node
+/// aggregates that `strict-invariants` compares bitwise, so the fast
+/// path and the checked path must specialize together.
+fn lint_slice_kernel_coverage(core_src: &Path, findings: &mut Vec<Finding>) {
+    for file in rust_files(core_src) {
+        let Ok(source) = fs::read_to_string(&file) else {
+            continue;
+        };
+        for site in kernel_impl_sites(&lex(&source)) {
+            if site.fold && !(site.prefix && site.suffix) && !site.waived {
+                findings.push(Finding {
+                    file: file.clone(),
+                    line: site.line,
+                    rule: "slice-kernel-coverage",
+                    message: format!(
+                        "`{}` specializes `fold_slice` but not both `prefix_scan_into` and \
+                         `suffix_scan_into`; override the scans too or annotate \
+                         `// SCALAR-OK: <reason>`",
+                        site.ty
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// The `impl TypeName {` (no ` for `) header's type name, when `code` is
 /// an inherent-impl header line.
 fn inherent_impl_type(code: &str) -> Option<String> {
@@ -709,6 +830,7 @@ pub fn lint_repo(root: &Path) -> Vec<Finding> {
     }
     lint_bulk_coverage(root, &core_src, &mut findings);
     lint_ooo_bulk_paths(&ooo_src, &mut findings);
+    lint_slice_kernel_coverage(&core_src, &mut findings);
 
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     findings
@@ -789,6 +911,31 @@ mod tests {
                 ("FingerBTree".to_string(), "bulk_insert".to_string()),
             ]
         );
+    }
+
+    #[test]
+    fn kernel_impl_sites_track_overrides_and_waivers() {
+        let src = "impl AggregateOp for Fast {\n    fn fold_slice(&self) {}\n    fn prefix_scan_into(&self) {}\n    fn suffix_scan_into(&self) {}\n}\nimpl AggregateOp for Lopsided {\n    fn fold_slice(&self) {}\n}\n// SCALAR-OK: scans are cold here\nimpl AggregateOp for Waived {\n    fn fold_slice(&self) {}\n}\nimpl AggregateOp for InnerWaived {\n    // SCALAR-OK: dominance makes scans dead code\n    fn fold_slice(&self) {}\n}\n";
+        let sites = kernel_impl_sites(&lex(src));
+        assert_eq!(sites.len(), 4, "{sites:#?}");
+        let get = |ty: &str| sites.iter().find(|s| s.ty == ty).unwrap();
+        let fast = get("Fast");
+        assert!(fast.fold && fast.prefix && fast.suffix && !fast.waived);
+        let lop = get("Lopsided");
+        assert!(lop.fold && !lop.prefix && !lop.suffix && !lop.waived);
+        assert!(get("Waived").waived, "comment above the header waives");
+        assert!(get("InnerWaived").waived, "comment inside the block waives");
+
+        let mut findings = Vec::new();
+        let dir = std::env::temp_dir().join("swag-check-kernel-lint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("ops.rs"), src).unwrap();
+        lint_slice_kernel_coverage(&dir, &mut findings);
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].rule, "slice-kernel-coverage");
+        assert!(findings[0].message.contains("`Lopsided`"));
+        assert_eq!(findings[0].line, 6);
     }
 
     #[test]

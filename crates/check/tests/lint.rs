@@ -34,7 +34,13 @@ fn negative_fixture_trips_every_rule() {
     let rules: BTreeSet<&str> = findings.iter().map(|f| f.rule).collect();
     assert_eq!(
         rules,
-        BTreeSet::from(["no-panic", "bulk-coverage", "safety-comment", "no-clock"]),
+        BTreeSet::from([
+            "no-panic",
+            "bulk-coverage",
+            "safety-comment",
+            "no-clock",
+            "slice-kernel-coverage",
+        ]),
         "findings: {findings:#?}"
     );
 
@@ -46,6 +52,10 @@ fn negative_fixture_trips_every_rule() {
     assert!(has("`.expect(` in non-test code"), "{messages:#?}");
     assert!(has("check:allow needs a reason"), "{messages:#?}");
     assert!(has("`Shiny` overrides `bulk_insert`"), "{messages:#?}");
+    // Slice-kernel facet: fold specialized without both scans fires …
+    assert!(has("`Lopsided` specializes `fold_slice`"), "{messages:#?}");
+    // … but the SCALAR-OK-waived impl stays clean.
+    assert!(!has("`WaivedScalar`"), "{messages:#?}");
     // Event-time facet: a scalar insert without batched counterparts.
     assert!(
         has("`LonelyTree` has a scalar `insert` but no `bulk_insert`"),

@@ -145,45 +145,39 @@ impl<O: InvertibleOp> FinalAggregator<O> for SlickDequeInv<O> {
             return;
         }
         if b >= self.window {
-            // The batch replaces the whole window: fold the last `window`
-            // partials directly, no inverse operations at all.
+            // The batch replaces the whole window: one slice copy into the
+            // ring and one slice-kernel fold for the answer — no ⊖ at all.
+            // `fold_slice` may reassociate here; `bulk_insert`'s contract
+            // permits it (unlike `bulk_slide`'s bitwise contract).
             let tail = &batch[b - self.window..];
-            let mut answer = tail[0].clone();
-            for (slot, p) in self.partials.iter_mut().zip(tail) {
-                *slot = p.clone();
-            }
-            for p in &tail[1..] {
-                answer = self.op.combine(&answer, p);
-            }
-            self.answer = answer;
+            self.partials.clone_from_slice(tail);
+            self.answer = self.op.fold_slice(&tail[0], &tail[1..]);
             self.curr = 0;
             self.len = self.window;
             strict_check!(self);
             return;
         }
-        // Fold the arrivals, fold the partials they push out, then update
-        // the running answer once: answer ← (answer ⊕ batch) ⊖ expiring.
-        let mut added = batch[0].clone();
-        for p in &batch[1..] {
-            added = self.op.combine(&added, p);
-        }
+        // answer ← (answer ⊕ fold(batch)) ⊖ fold(expiring history), with
+        // each fold a slice kernel over the ≤ 2 contiguous ring runs and
+        // the ring store ≤ 2 slice copies.
+        let added = self.op.fold_slice(&batch[0], &batch[1..]);
         let expirations = (self.len + b).saturating_sub(self.window);
         let mut answer = self.op.combine(&self.answer, &added);
         if expirations > 0 {
             let start = (self.curr + self.window - self.len) % self.window;
-            let mut expired = self.partials[start].clone();
-            for k in 1..expirations {
-                expired = self
-                    .op
-                    .combine(&expired, &self.partials[(start + k) % self.window]);
-            }
+            let first = expirations.min(self.window - start);
+            let run = &self.partials[start..start + first];
+            let mut expired = self.op.fold_slice(&run[0], &run[1..]);
+            expired = self
+                .op
+                .fold_slice(&expired, &self.partials[..expirations - first]);
             answer = self.op.inverse_combine(&answer, &expired);
         }
         self.answer = answer;
-        for p in batch {
-            self.partials[self.curr] = p.clone();
-            self.curr = (self.curr + 1) % self.window;
-        }
+        let first = b.min(self.window - self.curr);
+        self.partials[self.curr..self.curr + first].clone_from_slice(&batch[..first]);
+        self.partials[..b - first].clone_from_slice(&batch[first..]);
+        self.curr = (self.curr + b) % self.window;
         self.len = (self.len + b).min(self.window);
         strict_check!(self);
     }

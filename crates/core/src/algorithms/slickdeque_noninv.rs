@@ -198,43 +198,48 @@ impl<O: SelectiveOp> FinalAggregator<O> for SlickDequeNonInv<O> {
         // Right-to-left: a partial survives iff the fold of everything
         // after it does not defeat it — the same outcome as sequential
         // tail-popping, where later arrivals cascade through the deque.
+        // Seeding the winner from the newest element keeps the scan to one
+        // dominance test per element, no per-element `Option` state.
         self.survivors.clear();
-        let mut winner: Option<O::Partial> = None;
-        for (i, p) in tail.iter().enumerate().rev() {
-            match winner {
-                None => {
-                    self.survivors.push((skip + i, p.clone()));
-                    winner = Some(p.clone());
-                }
-                Some(w) => {
-                    if self.op.defeats(&w, p) {
-                        winner = Some(w);
-                    } else {
-                        self.survivors.push((skip + i, p.clone()));
-                        winner = Some(self.op.combine(p, &w));
-                    }
-                }
+        let mut iter = tail.iter().enumerate().rev();
+        let mut winner = match iter.next() {
+            Some((i, p)) => {
+                self.survivors.push((skip + i, p.clone()));
+                p.clone()
+            }
+            None => return, // unreachable: skip < b, so the tail is non-empty
+        };
+        for (i, p) in iter {
+            if !self.op.defeats(&winner, p) {
+                self.survivors.push((skip + i, p.clone()));
+                winner = self.op.combine(p, &winner);
             }
         }
-        // The oldest survivor is the batch winner: pop the existing tail
-        // suffix it defeats (defeated nodes form a contiguous tail).
+        // The oldest survivor is the batch winner: count the existing tail
+        // suffix it defeats (defeated nodes form a contiguous tail) by
+        // walking the contiguous chunk runs newest-to-oldest — no chunk
+        // boundary branch per node — then drop it with one truncate.
         // check:allow the batch was just checked non-empty, so a survivor exists
         let strongest = &self.survivors.last().expect("batch is non-empty").1;
-        while let Some(back) = self.deque.back() {
-            if self.op.defeats(strongest, &back.val) {
-                self.deque.pop_back();
-            } else {
-                break;
+        let mut defeated = 0;
+        'runs: for run in self.deque.slices().rev() {
+            for node in run.iter().rev() {
+                if self.op.defeats(strongest, &node.val) {
+                    defeated += 1;
+                } else {
+                    break 'runs;
+                }
             }
         }
-        self.deque.reserve_back(self.survivors.len());
-        for k in (0..self.survivors.len()).rev() {
-            let (offset, val) = self.survivors[k].clone();
-            self.deque.push_back(Node {
-                pos: self.next_pos + offset as u64,
+        self.deque.truncate_back(defeated);
+        // Survivors were collected newest-first: append them oldest-first
+        // in one chunk-filling run.
+        let next_pos = self.next_pos;
+        self.deque
+            .extend_back(self.survivors.drain(..).rev().map(|(offset, val)| Node {
+                pos: next_pos + offset as u64,
                 val,
-            });
-        }
+            }));
         self.next_pos += b as u64;
         self.len = (self.len + b).min(self.window);
         let oldest_live = self.next_pos - self.len as u64;

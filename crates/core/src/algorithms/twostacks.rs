@@ -33,6 +33,12 @@ pub struct TwoStacks<O: AggregateOp> {
     /// below it plus itself (prefix of the back part).
     back: Vec<Node<O::Partial>>,
     window: usize,
+    /// Scratch for the flip/bulk-insert scan kernels (values in, scans
+    /// out). Retained across `bulk_insert` calls (batch-sized), but
+    /// released after each flip (window-sized) to keep the steady-state
+    /// footprint at Table 1's `2n`.
+    scan_vals: Vec<O::Partial>,
+    scan_aggs: Vec<O::Partial>,
 }
 
 impl<O: AggregateOp> TwoStacks<O> {
@@ -46,6 +52,8 @@ impl<O: AggregateOp> TwoStacks<O> {
             front: Vec::new(),
             back: Vec::new(),
             window,
+            scan_vals: Vec::new(),
+            scan_aggs: Vec::new(),
         }
     }
 
@@ -88,17 +96,32 @@ impl<O: AggregateOp> TwoStacks<O> {
             .expect("evict from an empty TwoStacks window");
     }
 
-    /// Move every element of `B` onto `F`, building suffix aggregates.
+    /// Move every element of `B` onto `F`, building suffix aggregates with
+    /// one slice-kernel scan over the stack instead of a pop/push loop with
+    /// an `Option` branch per node. The scan's combine order is identical
+    /// to the old loop's, so the cached aggregates stay bitwise equal.
     fn flip(&mut self) {
         debug_assert!(self.front.is_empty());
-        while let Some(node) = self.back.pop() {
-            let agg = match self.front.last() {
-                // `node` is older than everything already on `front`.
-                Some(top) => self.op.combine(&node.val, &top.agg),
-                None => node.val.clone(),
-            };
-            self.front.push(Node { val: node.val, agg });
-        }
+        self.scan_vals.clear();
+        self.scan_vals
+            .extend(self.back.iter().map(|n| n.val.clone()));
+        self.op
+            .suffix_scan_into(&self.scan_vals, &mut self.scan_aggs);
+        self.front.reserve(self.back.len());
+        self.front.extend(
+            self.back
+                .drain(..)
+                .zip(self.scan_aggs.drain(..))
+                .rev()
+                .map(|(node, agg)| Node { val: node.val, agg }),
+        );
+        // The flip scratch is window-sized; retaining it would push the
+        // steady-state footprint past Table 1's `2n`, so release it here —
+        // the flip is already an `O(n)` event, one allocator round-trip is
+        // amortized noise. Batch-sized `bulk_insert` scratch stays retained.
+        self.scan_vals.clear();
+        self.scan_vals.shrink_to_fit();
+        self.scan_aggs.shrink_to_fit();
     }
 
     /// Aggregate of the whole window: tops of both stacks combined.
@@ -156,17 +179,37 @@ impl<O: AggregateOp> FinalAggregator<O> for TwoStacks<O> {
         strict_check!(self);
     }
 
-    /// Evict the overflow up front (at most one flip), then push the batch
-    /// as pure one-combine inserts into the reserved back stack.
+    /// Evict the overflow up front (at most one flip), then extend the back
+    /// stack with one seeded prefix scan over the batch: seeding the scan
+    /// with the current top prefix aggregate makes `scan[k]` exactly the
+    /// aggregate `insert` would have cached, in the same combine order —
+    /// bitwise identical, minus the per-element `Option` branch.
     fn bulk_insert(&mut self, batch: &[O::Partial]) {
         let skip = batch.len().saturating_sub(self.window);
         let tail = &batch[skip..];
         let evictions = (self.len() + tail.len()).saturating_sub(self.window);
         self.bulk_evict(evictions);
+        self.scan_vals.clear();
+        let seeded = match self.back.last() {
+            Some(top) => {
+                self.scan_vals.push(top.agg.clone());
+                1
+            }
+            None => 0,
+        };
+        self.scan_vals.extend_from_slice(tail);
+        self.op
+            .prefix_scan_into(&self.scan_vals, &mut self.scan_aggs);
         self.back.reserve(tail.len());
-        for p in tail {
-            self.insert(p.clone());
-        }
+        self.back
+            .extend(
+                tail.iter()
+                    .zip(self.scan_aggs.drain(..).skip(seeded))
+                    .map(|(val, agg)| Node {
+                        val: val.clone(),
+                        agg,
+                    }),
+            );
         strict_check!(self);
     }
 
@@ -219,6 +262,8 @@ impl<O: AggregateOp> FinalAggregator<O> for TwoStacks<O> {
 impl<O: AggregateOp> MemoryFootprint for TwoStacks<O> {
     fn heap_bytes(&self) -> usize {
         (self.front.capacity() + self.back.capacity()) * core::mem::size_of::<Node<O::Partial>>()
+            + (self.scan_vals.capacity() + self.scan_aggs.capacity())
+                * core::mem::size_of::<O::Partial>()
     }
 }
 

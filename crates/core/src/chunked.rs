@@ -21,6 +21,26 @@ use std::collections::VecDeque;
 /// Default chunk capacity used when none is specified.
 pub const DEFAULT_CHUNK_CAPACITY: usize = 256;
 
+/// Lower bound on the chunk capacity picked by
+/// [`ChunkedDeque::for_window`].
+///
+/// The paper's space model alone would pick `√n` slots per chunk, which for
+/// small windows yields chunks much smaller than a cache line's worth of
+/// elements and makes the chunk-boundary branch (and per-chunk bookkeeping)
+/// dominate. The `chunk_tune` microbench (`swag-bench`
+/// `benches/chunk_tune.rs`) sweeps capacities over FIFO window cycling and
+/// contiguous-run scans; throughput climbs steeply up to 64-slot chunks
+/// (512 B of `u64`s — several cache lines per boundary branch) and
+/// plateaus after, so 64 is the smallest capacity on the plateau.
+pub const MIN_CHUNK_CAPACITY: usize = 64;
+
+/// Upper bound on the chunk capacity picked by
+/// [`ChunkedDeque::for_window`]: the deque's slack is two chunks (one dead
+/// prefix, one partially filled back), so unbounded `√n` chunks would make
+/// that slack hundreds of KiB for very large windows. Past this size the
+/// boundary branch is already amortised to noise.
+pub const MAX_CHUNK_CAPACITY: usize = 4096;
+
 /// A deque of `T` stored in fixed-capacity chunks.
 #[derive(Debug, Clone)]
 pub struct ChunkedDeque<T> {
@@ -65,10 +85,20 @@ impl<T> ChunkedDeque<T> {
     }
 
     /// Create an empty deque with the chunk capacity that minimises the
-    /// paper's space bound `2n + 4k + 4n/k` for a window of `n` elements,
-    /// i.e. `k = √n` chunks of `√n` elements (clamped to at least 16).
+    /// paper's space bound `2n + 4k + 4n/k` for a window of `n` elements —
+    /// `k = √n` chunks of `√n` elements — clamped to
+    /// [`MIN_CHUNK_CAPACITY`]`..=`[`MAX_CHUNK_CAPACITY`], the plateau the
+    /// `chunk_tune` microbench measures for cache-friendly kernel runs.
+    /// For windows smaller than `4 × MIN_CHUNK_CAPACITY` the floor is
+    /// capped at `n/4` so the slack stays proportional to the window.
     pub fn for_window(n: usize) -> Self {
-        let cap = ((n.max(1) as f64).sqrt().ceil() as usize).max(16);
+        let n = n.max(1);
+        let root = (n as f64).sqrt().ceil() as usize;
+        // The cache-friendly floor only applies once the window can afford
+        // it: the deque's slack is two chunks, so a floor above `n/4` would
+        // blow the paper's `O(√n)` slack bound for small windows.
+        let floor = MIN_CHUNK_CAPACITY.min(n / 4).max(1);
+        let cap = root.clamp(floor, MAX_CHUNK_CAPACITY);
         Self::with_chunk_capacity(cap)
     }
 
@@ -242,6 +272,86 @@ impl<T> ChunkedDeque<T> {
             let start = if i == 0 { self.front_offset } else { 0 };
             c[start..].iter()
         })
+    }
+
+    /// Iterate over the live elements as contiguous slices, front-to-back.
+    ///
+    /// The `VecDeque::as_slices` analogue for the chunked layout: batch
+    /// kernels run over each returned run without taking the chunk-boundary
+    /// branch per element. Empty runs are skipped, so every yielded slice is
+    /// non-empty and the slices concatenate to exactly
+    /// [`iter`](Self::iter)'s sequence.
+    pub fn slices(&self) -> impl DoubleEndedIterator<Item = &[T]> {
+        self.chunks.iter().enumerate().filter_map(move |(i, c)| {
+            let start = if i == 0 { self.front_offset } else { 0 };
+            let run = &c[start..];
+            (!run.is_empty()).then_some(run)
+        })
+    }
+
+    /// Remove the `n` newest elements from the back (all of them if the
+    /// deque holds fewer).
+    ///
+    /// Bulk counterpart of repeated [`pop_back`](Self::pop_back): each fully
+    /// covered trailing chunk retires with one `truncate` instead of one
+    /// `pop` per element, and the last retired chunk is kept for reuse.
+    pub fn truncate_back(&mut self, n: usize) {
+        let mut remaining = n.min(self.len);
+        self.len -= remaining;
+        while remaining > 0 {
+            let last = self.chunks.len() - 1;
+            let dead = if last == 0 { self.front_offset } else { 0 };
+            let live = self.chunks[last].len() - dead;
+            if remaining < live {
+                let keep = self.chunks[last].len() - remaining;
+                self.chunks[last].truncate(keep);
+                remaining = 0;
+            } else {
+                remaining -= live;
+                if last == 0 {
+                    // Lone chunk reduced to its dead prefix: reset for reuse.
+                    self.chunks[0].clear();
+                    self.front_offset = 0;
+                } else if let Some(mut retired) = self.chunks.pop_back() {
+                    retired.clear();
+                    self.spare = Some(retired);
+                }
+            }
+        }
+    }
+
+    /// Append every element of `iter` at the back.
+    ///
+    /// Bulk counterpart of repeated [`push_back`](Self::push_back): each
+    /// chunk is filled with one `Vec::extend` run (a straight memcpy for
+    /// trivial payloads) instead of taking the boundary branch per element.
+    /// The iterator must report its length exactly (the
+    /// `ExactSizeIterator` contract); the cached length is credited up
+    /// front from it.
+    pub fn extend_back<I>(&mut self, mut iter: I)
+    where
+        I: ExactSizeIterator<Item = T>,
+    {
+        let mut n = iter.len();
+        self.len += n;
+        while n > 0 {
+            let room = match self.chunks.back() {
+                Some(chunk) if chunk.len() < self.chunk_cap => self.chunk_cap - chunk.len(),
+                _ => {
+                    let chunk = match self.spare.take() {
+                        Some(spare) => spare,
+                        None => Vec::with_capacity(self.chunk_cap),
+                    };
+                    self.chunks.push_back(chunk);
+                    self.chunk_cap
+                }
+            };
+            let take = room.min(n);
+            if let Some(back) = self.chunks.back_mut() {
+                back.extend(iter.by_ref().take(take));
+            }
+            n -= take;
+        }
     }
 
     /// Drop all elements, retaining nothing.
@@ -455,11 +565,96 @@ mod tests {
     }
 
     #[test]
-    fn for_window_picks_sqrt_chunks() {
+    fn for_window_picks_sqrt_chunks_within_cache_bounds() {
         let d = ChunkedDeque::<u64>::for_window(1 << 16);
         assert_eq!(d.chunk_capacity(), 256);
-        let small = ChunkedDeque::<u64>::for_window(4);
+        // Mid-size windows are floored at the cache-friendly minimum …
+        let mid = ChunkedDeque::<u64>::for_window(1024);
+        assert_eq!(mid.chunk_capacity(), MIN_CHUNK_CAPACITY);
+        // … but small windows cap the floor at n/4 so the two-chunk slack
+        // stays within the paper's space bound …
+        let small = ChunkedDeque::<u64>::for_window(64);
         assert_eq!(small.chunk_capacity(), 16);
+        let tiny = ChunkedDeque::<u64>::for_window(4);
+        assert_eq!(tiny.chunk_capacity(), 2);
+        // … and huge windows are capped so the slack stays sane.
+        let huge = ChunkedDeque::<u64>::for_window(1 << 26);
+        assert_eq!(huge.chunk_capacity(), MAX_CHUNK_CAPACITY);
+    }
+
+    #[test]
+    fn slices_concatenate_to_iter() {
+        let mut d = ChunkedDeque::with_chunk_capacity(4);
+        for i in 0..19 {
+            d.push_back(i);
+        }
+        for _ in 0..6 {
+            d.pop_front();
+        }
+        let from_slices: Vec<i32> = d.slices().flat_map(|s| s.iter().copied()).collect();
+        let from_iter: Vec<i32> = d.iter().copied().collect();
+        assert_eq!(from_slices, from_iter);
+        assert!(d.slices().all(|s| !s.is_empty()));
+        // Reverse iteration sees the same runs back-to-front (runs are
+        // reversed; elements within a run are not).
+        let reversed: Vec<i32> = d.slices().rev().flat_map(|s| s.iter().copied()).collect();
+        let forward_runs: Vec<Vec<i32>> = d.slices().map(|s| s.to_vec()).collect();
+        let mut expect = Vec::new();
+        for run in forward_runs.iter().rev() {
+            expect.extend(run.iter().copied());
+        }
+        assert_eq!(reversed, expect);
+    }
+
+    #[test]
+    fn truncate_back_matches_pop_back_loop() {
+        for trunc in [0usize, 1, 3, 4, 7, 11, 19, 25] {
+            let mut fast = ChunkedDeque::with_chunk_capacity(4);
+            let mut slow = ChunkedDeque::with_chunk_capacity(4);
+            for i in 0..19 {
+                fast.push_back(i);
+                slow.push_back(i);
+            }
+            for _ in 0..3 {
+                fast.pop_front();
+                slow.pop_front();
+            }
+            fast.truncate_back(trunc);
+            for _ in 0..trunc {
+                slow.pop_back();
+            }
+            fast.check_invariants().unwrap();
+            let f: Vec<i32> = fast.iter().copied().collect();
+            let s: Vec<i32> = slow.iter().copied().collect();
+            assert_eq!(f, s, "truncate_back({trunc})");
+            assert_eq!(fast.len(), slow.len());
+            // The deque stays usable afterwards.
+            fast.push_back(99);
+            assert_eq!(fast.back(), Some(&99));
+            fast.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn extend_back_matches_push_back_loop() {
+        for extra in [0usize, 1, 3, 4, 9, 17] {
+            let mut fast = ChunkedDeque::with_chunk_capacity(4);
+            let mut slow = ChunkedDeque::with_chunk_capacity(4);
+            for i in 0..7 {
+                fast.push_back(i);
+                slow.push_back(i);
+            }
+            fast.pop_front();
+            slow.pop_front();
+            fast.extend_back(100..100 + extra as i32);
+            for v in 100..100 + extra as i32 {
+                slow.push_back(v);
+            }
+            fast.check_invariants().unwrap();
+            let f: Vec<i32> = fast.iter().copied().collect();
+            let s: Vec<i32> = slow.iter().copied().collect();
+            assert_eq!(f, s, "extend_back({extra})");
+        }
     }
 
     #[test]

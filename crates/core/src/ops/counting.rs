@@ -75,6 +75,10 @@ impl<O> CountingOp<O> {
     }
 }
 
+// Deliberately does NOT forward the slice kernels (`fold_slice`,
+// `prefix_scan_into`, …): the defaults loop over `combine`, so every ⊕ a
+// batch kernel performs is still counted and the ops-count experiments keep
+// measuring algebraic work, not wall-clock shortcuts.
 impl<O: AggregateOp> AggregateOp for CountingOp<O> {
     type Input = O::Input;
     type Partial = O::Partial;

@@ -6,7 +6,9 @@
 //! Panes (Inv) / Subtract-on-Evict — processes with exactly two operations
 //! per slide.
 
-use super::{AggregateOp, CommutativeOp, InvertibleOp};
+use super::{
+    lane_fold, scan_prefix_with, scan_suffix_with, AggregateOp, CommutativeOp, InvertibleOp,
+};
 use core::fmt::Debug;
 use core::marker::PhantomData;
 
@@ -79,6 +81,21 @@ impl<T: Additive> AggregateOp for Sum<T> {
     fn name(&self) -> &'static str {
         "sum"
     }
+    fn fold_slice(&self, init: &T, slice: &[T]) -> T {
+        // Lane reordering is sound: addition is commutative.
+        lane_fold(init, slice, |a, b| a.add(b))
+    }
+    fn prefix_scan_into(&self, slice: &[T], out: &mut Vec<T>) {
+        scan_prefix_with(slice, out, |a, b| a.add(b));
+    }
+    fn suffix_scan_into(&self, slice: &[T], out: &mut Vec<T>) {
+        scan_suffix_with(slice, out, |a, b| a.add(b));
+    }
+    fn lift_slice_into(&self, inputs: &[T], out: &mut Vec<T>) {
+        // Lift is the identity on the carrier: one memcpy.
+        out.clear();
+        out.extend_from_slice(inputs);
+    }
 }
 
 impl<T: Additive> InvertibleOp for Sum<T> {
@@ -125,6 +142,16 @@ impl<T: Additive> AggregateOp for SumSquares<T> {
     fn name(&self) -> &'static str {
         "sum_squares"
     }
+    fn fold_slice(&self, init: &T, slice: &[T]) -> T {
+        // Partials are already squared; the fold is a commutative sum.
+        lane_fold(init, slice, |a, b| a.add(b))
+    }
+    fn prefix_scan_into(&self, slice: &[T], out: &mut Vec<T>) {
+        scan_prefix_with(slice, out, |a, b| a.add(b));
+    }
+    fn suffix_scan_into(&self, slice: &[T], out: &mut Vec<T>) {
+        scan_suffix_with(slice, out, |a, b| a.add(b));
+    }
 }
 
 impl<T: Additive> InvertibleOp for SumSquares<T> {
@@ -170,6 +197,21 @@ impl<T: Clone> AggregateOp for Count<T> {
     }
     fn name(&self) -> &'static str {
         "count"
+    }
+    fn fold_slice(&self, init: &u64, slice: &[u64]) -> u64 {
+        // Integer addition is exact, so a straight reduce is bitwise safe.
+        init + slice.iter().sum::<u64>()
+    }
+    fn prefix_scan_into(&self, slice: &[u64], out: &mut Vec<u64>) {
+        scan_prefix_with(slice, out, |a, b| a + b);
+    }
+    fn suffix_scan_into(&self, slice: &[u64], out: &mut Vec<u64>) {
+        scan_suffix_with(slice, out, |a, b| a + b);
+    }
+    fn lift_slice_into(&self, inputs: &[T], out: &mut Vec<u64>) {
+        // Every input lifts to 1: one memset.
+        out.clear();
+        out.resize(inputs.len(), 1);
     }
 }
 
@@ -256,6 +298,16 @@ impl AggregateOp for Product {
     fn name(&self) -> &'static str {
         "product"
     }
+    fn fold_slice(&self, init: &ProductPartial, slice: &[ProductPartial]) -> ProductPartial {
+        // Lane reordering is sound: multiplication is commutative.
+        lane_fold(init, slice, |a, b| self.combine(a, b))
+    }
+    fn prefix_scan_into(&self, slice: &[ProductPartial], out: &mut Vec<ProductPartial>) {
+        scan_prefix_with(slice, out, |a, b| self.combine(a, b));
+    }
+    fn suffix_scan_into(&self, slice: &[ProductPartial], out: &mut Vec<ProductPartial>) {
+        scan_suffix_with(slice, out, |a, b| self.combine(a, b));
+    }
 }
 
 impl InvertibleOp for Product {
@@ -324,6 +376,16 @@ impl AggregateOp for Mean {
     }
     fn name(&self) -> &'static str {
         "mean"
+    }
+    fn fold_slice(&self, init: &MeanPartial, slice: &[MeanPartial]) -> MeanPartial {
+        // Field-wise commutative sums; lanes vectorize both fields at once.
+        lane_fold(init, slice, |a, b| self.combine(a, b))
+    }
+    fn prefix_scan_into(&self, slice: &[MeanPartial], out: &mut Vec<MeanPartial>) {
+        scan_prefix_with(slice, out, |a, b| self.combine(a, b));
+    }
+    fn suffix_scan_into(&self, slice: &[MeanPartial], out: &mut Vec<MeanPartial>) {
+        scan_suffix_with(slice, out, |a, b| self.combine(a, b));
     }
 }
 
@@ -425,6 +487,15 @@ impl AggregateOp for Variance {
     fn name(&self) -> &'static str {
         "variance"
     }
+    fn fold_slice(&self, init: &VariancePartial, slice: &[VariancePartial]) -> VariancePartial {
+        lane_fold(init, slice, VariancePartial::merge)
+    }
+    fn prefix_scan_into(&self, slice: &[VariancePartial], out: &mut Vec<VariancePartial>) {
+        scan_prefix_with(slice, out, VariancePartial::merge);
+    }
+    fn suffix_scan_into(&self, slice: &[VariancePartial], out: &mut Vec<VariancePartial>) {
+        scan_suffix_with(slice, out, VariancePartial::merge);
+    }
 }
 
 impl InvertibleOp for Variance {
@@ -470,6 +541,15 @@ impl AggregateOp for StdDev {
     }
     fn name(&self) -> &'static str {
         "std_dev"
+    }
+    fn fold_slice(&self, init: &VariancePartial, slice: &[VariancePartial]) -> VariancePartial {
+        lane_fold(init, slice, VariancePartial::merge)
+    }
+    fn prefix_scan_into(&self, slice: &[VariancePartial], out: &mut Vec<VariancePartial>) {
+        scan_prefix_with(slice, out, VariancePartial::merge);
+    }
+    fn suffix_scan_into(&self, slice: &[VariancePartial], out: &mut Vec<VariancePartial>) {
+        scan_suffix_with(slice, out, VariancePartial::merge);
     }
 }
 
@@ -558,6 +638,15 @@ impl AggregateOp for GeometricMean {
 
     fn name(&self) -> &'static str {
         "geometric_mean"
+    }
+    fn fold_slice(&self, init: &GeoMeanPartial, slice: &[GeoMeanPartial]) -> GeoMeanPartial {
+        lane_fold(init, slice, |a, b| self.combine(a, b))
+    }
+    fn prefix_scan_into(&self, slice: &[GeoMeanPartial], out: &mut Vec<GeoMeanPartial>) {
+        scan_prefix_with(slice, out, |a, b| self.combine(a, b));
+    }
+    fn suffix_scan_into(&self, slice: &[GeoMeanPartial], out: &mut Vec<GeoMeanPartial>) {
+        scan_suffix_with(slice, out, |a, b| self.combine(a, b));
     }
 }
 
@@ -671,6 +760,21 @@ mod tests {
             acc = op.combine(&acc, &op.lift(&3.25));
         }
         assert_eq!(op.lower(&acc), 0.0);
+    }
+
+    #[test]
+    fn kernels_match_scalar_loops_on_exact_inputs() {
+        use crate::ops::law_tests::check_kernel_laws;
+        // Integer-valued f64 sums (and power-of-two products) are exact in
+        // any order, so even the reordering lane folds must agree bitwise.
+        check_kernel_laws(&Sum::<f64>::new(), &[-5.0, -1.0, 0.0, 1.0, 3.0, 100.0]);
+        check_kernel_laws(&SumSquares::<f64>::new(), &[-5.0, -1.0, 0.0, 1.0, 3.0]);
+        check_kernel_laws(&Count::<f64>::new(), &[1.0, 2.0, 3.0]);
+        check_kernel_laws(&Product::new(), &[0.5, 2.0, 1.0, 0.0, 4.0]);
+        check_kernel_laws(&Mean::new(), &[-5.0, -1.0, 0.0, 1.0, 3.0, 100.0]);
+        check_kernel_laws(&Variance::new(), &[-5.0, -1.0, 0.0, 1.0, 3.0]);
+        check_kernel_laws(&StdDev::new(), &[-5.0, -1.0, 0.0, 1.0, 3.0]);
+        check_kernel_laws(&GeometricMean::new(), &[1.0, 0.0, 1.0]);
     }
 
     #[test]

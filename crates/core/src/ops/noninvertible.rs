@@ -128,6 +128,28 @@ impl<T: PartialOrd + Clone + PartialEq + Debug> CommutativeOp for Min<T> {}
 /// non-invertible operations. Identical to [`Max<String>`].
 pub type AlphaMax = Max<String>;
 
+/// Map an `f64` to an `i64` whose natural integer order matches
+/// [`f64::total_cmp`]: flip the sign bit for non-negative values, flip all
+/// the ordering bits for negative ones (the same transform `total_cmp` uses
+/// internally). The map is an involution — applying it twice returns the
+/// original bits — so it is its own inverse.
+///
+/// [`MaxF64`]/[`MinF64`] use it to turn their slice kernels into branchless
+/// integer `max`/`min` reductions: the map is a monotone bijection, so an
+/// integer extreme of keys is the `total_cmp` extreme of values, and ties
+/// are unobservable (total_cmp-equal floats have identical bits).
+#[inline]
+fn total_cmp_key(x: f64) -> i64 {
+    let b = x.to_bits() as i64;
+    b ^ (((b >> 63) as u64) >> 1) as i64
+}
+
+/// Inverse of [`total_cmp_key`] (the same bit transform, then `from_bits`).
+#[inline]
+fn from_total_cmp_key(k: i64) -> f64 {
+    f64::from_bits((k ^ (((k >> 63) as u64) >> 1) as i64) as u64)
+}
+
 /// Windowed maximum over `f64` with a −∞ identity — the unboxed
 /// representation the paper's C++ platform uses (`initVal` is −∞ for Max).
 ///
@@ -189,6 +211,34 @@ impl AggregateOp for MaxF64 {
     }
     fn name(&self) -> &'static str {
         "max_f64"
+    }
+    fn fold_slice(&self, init: &f64, slice: &[f64]) -> f64 {
+        // Branchless reduction in total_cmp key space (see total_cmp_key).
+        let mut best = total_cmp_key(*init);
+        for &x in slice {
+            best = best.max(total_cmp_key(x));
+        }
+        from_total_cmp_key(best)
+    }
+    fn prefix_scan_into(&self, slice: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(slice.len());
+        // The key map is a bijection, so seeding below every key is safe:
+        // i64::MIN either loses immediately or *is* the first element's key.
+        let mut best = i64::MIN;
+        for &x in slice {
+            best = best.max(total_cmp_key(x));
+            out.push(from_total_cmp_key(best));
+        }
+    }
+    fn suffix_scan_into(&self, slice: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(slice);
+        let mut best = i64::MIN;
+        for x in out.iter_mut().rev() {
+            best = best.max(total_cmp_key(*x));
+            *x = from_total_cmp_key(best);
+        }
     }
 }
 
@@ -255,6 +305,32 @@ impl AggregateOp for MinF64 {
     }
     fn name(&self) -> &'static str {
         "min_f64"
+    }
+    fn fold_slice(&self, init: &f64, slice: &[f64]) -> f64 {
+        // Branchless reduction in total_cmp key space (see total_cmp_key).
+        let mut best = total_cmp_key(*init);
+        for &x in slice {
+            best = best.min(total_cmp_key(x));
+        }
+        from_total_cmp_key(best)
+    }
+    fn prefix_scan_into(&self, slice: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(slice.len());
+        let mut best = i64::MAX;
+        for &x in slice {
+            best = best.min(total_cmp_key(x));
+            out.push(from_total_cmp_key(best));
+        }
+    }
+    fn suffix_scan_into(&self, slice: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(slice);
+        let mut best = i64::MAX;
+        for x in out.iter_mut().rev() {
+            best = best.min(total_cmp_key(*x));
+            *x = from_total_cmp_key(best);
+        }
     }
 }
 
@@ -621,6 +697,103 @@ impl<T: PartialOrd + Clone + PartialEq + Debug> CommutativeOp for MinMax<T> {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn total_cmp_key_is_a_monotone_involution() {
+        let samples = [
+            f64::NEG_INFINITY,
+            -f64::NAN,
+            -1.5,
+            -0.0,
+            0.0,
+            1.5,
+            f64::INFINITY,
+            f64::NAN,
+            f64::MIN_POSITIVE,
+            -f64::MIN_POSITIVE,
+        ];
+        for &a in &samples {
+            assert_eq!(
+                from_total_cmp_key(total_cmp_key(a)).to_bits(),
+                a.to_bits(),
+                "involution violated for {a:?}"
+            );
+            for &b in &samples {
+                assert_eq!(
+                    total_cmp_key(a).cmp(&total_cmp_key(b)),
+                    a.total_cmp(&b),
+                    "key order diverges from total_cmp for ({a:?}, {b:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f64_extreme_kernels_match_scalar_loops_bitwise_with_nan() {
+        // NaN-bearing stream: the canonicalised NaN dominates both orders
+        // (positive NaN for MaxF64, negative NaN for MinF64), and the
+        // kernels must reproduce the scalar combine loop bit for bit.
+        let raw = [
+            3.0,
+            f64::NAN,
+            -0.0,
+            0.0,
+            f64::NEG_INFINITY,
+            7.5,
+            f64::INFINITY,
+            -2.0,
+            f64::NAN,
+            1.0,
+        ];
+        let max = MaxF64::new();
+        let min = MinF64::new();
+        for n in 0..raw.len() {
+            let maxs: Vec<f64> = raw[..n].iter().map(|v| max.lift(v)).collect();
+            let mins: Vec<f64> = raw[..n].iter().map(|v| min.lift(v)).collect();
+            let mut acc_max = max.identity();
+            let mut acc_min = min.identity();
+            for (a, b) in maxs.iter().zip(&mins) {
+                acc_max = max.combine(&acc_max, a);
+                acc_min = min.combine(&acc_min, b);
+            }
+            assert_eq!(
+                max.fold_slice(&max.identity(), &maxs).to_bits(),
+                acc_max.to_bits()
+            );
+            assert_eq!(
+                min.fold_slice(&min.identity(), &mins).to_bits(),
+                acc_min.to_bits()
+            );
+
+            let mut fast = Vec::new();
+            let mut slow: Vec<f64> = Vec::new();
+            max.prefix_scan_into(&maxs, &mut fast);
+            for p in &maxs {
+                let next = match slow.last() {
+                    Some(prev) => max.combine(prev, p),
+                    None => *p,
+                };
+                slow.push(next);
+            }
+            let fast_bits: Vec<u64> = fast.iter().map(|x| x.to_bits()).collect();
+            let slow_bits: Vec<u64> = slow.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(fast_bits, slow_bits, "MaxF64 prefix scan");
+
+            min.suffix_scan_into(&mins, &mut fast);
+            slow.clear();
+            for p in mins.iter().rev() {
+                let next = match slow.last() {
+                    Some(prev) => min.combine(p, prev),
+                    None => *p,
+                };
+                slow.push(next);
+            }
+            slow.reverse();
+            let fast_bits: Vec<u64> = fast.iter().map(|x| x.to_bits()).collect();
+            let slow_bits: Vec<u64> = slow.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(fast_bits, slow_bits, "MinF64 suffix scan");
+        }
+    }
 
     #[test]
     fn max_prefers_larger() {

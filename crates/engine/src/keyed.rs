@@ -124,8 +124,7 @@ where
         let agg = states
             .entry(key)
             .or_insert_with(|| A::with_capacity(op.clone(), *window));
-        lift_scratch.clear();
-        lift_scratch.extend(values.iter().map(|v| op.lift(v)));
+        op.lift_slice_into(values, lift_scratch);
         agg.bulk_slide(lift_scratch, answer_scratch);
         out.extend(answer_scratch.drain(..).map(|p| (key, op.lower(&p))));
     }

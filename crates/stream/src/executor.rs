@@ -254,10 +254,14 @@ where
     }
 
     /// Batched push ingestion: equivalent to calling [`push`](Self::push)
-    /// once per value — answers are bitwise identical — but whole fragments
-    /// fold straight from the slice (no pending-buffer round-trip), and
-    /// per-tuple single-edge plans batch through the aggregator's
-    /// `bulk_slide_multi` fast path. Returns the answers delivered.
+    /// once per value, but whole fragments fold straight from the slice via
+    /// the op's batch kernels (no pending-buffer round-trip), and per-tuple
+    /// single-edge plans batch through the aggregator's `bulk_slide_multi`
+    /// fast path. Answers match `push` exactly for integer-valued and
+    /// selective ops; floating-point sums over fragments spanning at least
+    /// the kernel lane width may differ in low-order bits because
+    /// `fold_slice` is allowed to regroup combines. Returns the answers
+    /// delivered.
     pub fn push_batch<K>(&mut self, values: &[f64], sink: &mut K) -> u64
     where
         K: Sink<O::Partial>,
@@ -273,8 +277,7 @@ where
             && self.plan.edges().len() == 1
             && self.plan.edges()[0].length == 1
         {
-            self.lift_scratch.clear();
-            self.lift_scratch.extend(values.iter().map(|v| op.lift(v)));
+            op.lift_slice_into(values, &mut self.lift_scratch);
             self.agg
                 .bulk_slide_multi(&self.lift_scratch, &mut self.bulk_scratch);
             let q = self.agg.ranges().len();
@@ -298,17 +301,19 @@ where
             answers += self.push(values[idx], sink);
             idx += 1;
         }
-        // Whole fragments directly from the slice, same lift-first fold
-        // order as `push`.
+        // Whole fragments directly from the slice through the op's batch
+        // kernels: `lift_slice_into` + `fold_slice` instead of a per-value
+        // lift-and-combine loop. `fold_slice` may regroup the combines
+        // (associativity), so fragments spanning at least the kernel lane
+        // width can differ from `push` in low-order float bits; integer
+        // and selective ops stay exact.
         loop {
             let length = self.plan.edges()[self.edge_idx].length as usize;
             if values.len() - idx < length {
                 break;
             }
-            let mut partial = op.lift(&values[idx]);
-            for v in &values[idx + 1..idx + length] {
-                partial = op.combine(&partial, &op.lift(v));
-            }
+            op.lift_slice_into(&values[idx..idx + length], &mut self.lift_scratch);
+            let partial = op.fold_slice(&self.lift_scratch[0], &self.lift_scratch[1..]);
             idx += length;
             #[cfg(feature = "obs")]
             let timer = self.obs.as_ref().and_then(|o| o.slide_timer());

@@ -1,0 +1,338 @@
+//! Slice-kernel ↔ scalar equivalence: the batch kernels every
+//! `AggregateOp` exposes (`fold_slice`, `prefix_scan_into`,
+//! `suffix_scan_into`, `lift_slice_into`) must be indistinguishable from
+//! the per-element loops they replace, and the algorithm hot paths built
+//! on them must keep producing the answers a sequential reference model
+//! computes.
+//!
+//! Three contracts:
+//!
+//! * **Scans are bitwise for every input.** `prefix_scan_into` /
+//!   `suffix_scan_into` promise the exact combine order of the sequential
+//!   loop — they feed cached per-node aggregates that `strict-invariants`
+//!   refolds and compares exactly — so they are checked bitwise on
+//!   arbitrary float streams, not just exact ones.
+//! * **Folds are bitwise on exact inputs.** `fold_slice` may regroup (and
+//!   reorder, for commutative ops), so it is checked against the scalar
+//!   fold on integer-valued streams where every grouping yields the same
+//!   bits; the NaN section checks `MaxF64`/`MinF64` on NaN-bearing
+//!   streams, where the `total_cmp` total order makes the winner — and
+//!   therefore the bits — independent of evaluation order.
+//! * **Algorithms inherit the equivalence.** Every FIFO aggregator is
+//!   driven through `bulk_insert` + `slide` across windows 1–1000 and
+//!   compared bitwise against a `VecDeque` reference fold, on exact
+//!   streams for the arithmetic ops and on NaN-bearing streams for the
+//!   f64 extremes — pinning the `total_cmp` NaN policy end to end.
+
+use slickdeque::prelude::*;
+use std::collections::VecDeque;
+use swag_data::prng::Xoshiro256StarStar;
+
+/// Windows 1–1000: every tiny window, then a spread of chunk-straddling,
+/// power-of-two, and odd sizes.
+fn windows() -> Vec<usize> {
+    (1..=20)
+        .chain([31, 64, 100, 127, 255, 333, 512, 777, 1000])
+        .collect()
+}
+
+/// Integer-valued stream in `[-31, 32]`: exact under any regrouping of
+/// sums, sums of squares, and counts.
+fn exact_stream(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    (0..n)
+        .map(|_| (rng.next_u64() % 64) as f64 - 31.0)
+        .collect()
+}
+
+/// Powers of two with mixed signs: products stay exact powers of two
+/// (exponent drift is far inside f64 range for these lengths).
+fn pow2_stream(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    (0..n)
+        .map(|_| match rng.next_u64() % 4 {
+            0 => 1.0,
+            1 => -1.0,
+            2 => 2.0,
+            _ => 0.5,
+        })
+        .collect()
+}
+
+/// Floats with NaNs, signed zeros, and infinities sprinkled in: the
+/// stream the `total_cmp` policy is pinned on.
+fn nan_stream(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    (0..n)
+        .map(|_| match rng.next_u64() % 8 {
+            0 => f64::NAN,
+            1 => -f64::NAN,
+            2 => f64::INFINITY,
+            3 => f64::NEG_INFINITY,
+            4 => 0.0,
+            5 => -0.0,
+            _ => (rng.next_u64() % 1000) as f64 / 7.0 - 60.0,
+        })
+        .collect()
+}
+
+/// Arbitrary (non-exact) floats: scans must still be bitwise here.
+fn rough_stream(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Xoshiro256StarStar::new(seed);
+    (0..n)
+        .map(|_| (rng.next_u64() % 100_000) as f64 / 777.0 - 60.0)
+        .collect()
+}
+
+/// Kernel-level equivalence for one op: scans bitwise on the slice as
+/// given, folds vs the scalar loop (callers pick inputs where grouping
+/// cannot change the bits), lifts vs the per-element map.
+fn check_kernels<O>(op: &O, values: &[f64], fold_lens: &[usize], label: &str)
+where
+    O: AggregateOp<Input = f64>,
+{
+    let lifted: Vec<O::Partial> = values.iter().map(|v| op.lift(v)).collect();
+
+    let mut out = Vec::new();
+    op.lift_slice_into(values, &mut out);
+    assert_eq!(out, lifted, "{label}: lift_slice_into");
+
+    for &len in fold_lens {
+        let slice = &lifted[..len.min(lifted.len())];
+        let mut want = slice[0].clone();
+        for p in &slice[1..] {
+            want = op.combine(&want, p);
+        }
+        assert_eq!(
+            op.fold_slice(&slice[0], &slice[1..]),
+            want,
+            "{label}: fold_slice len {len}"
+        );
+
+        op.prefix_scan_into(slice, &mut out);
+        let mut want = Vec::with_capacity(slice.len());
+        for p in slice {
+            let next = match want.last() {
+                Some(acc) => op.combine(acc, p),
+                None => p.clone(),
+            };
+            want.push(next);
+        }
+        assert_eq!(out, want, "{label}: prefix_scan_into len {len}");
+
+        op.suffix_scan_into(slice, &mut out);
+        want.clear();
+        for p in slice.iter().rev() {
+            let next = match want.last() {
+                Some(acc) => op.combine(p, acc),
+                None => p.clone(),
+            };
+            want.push(next);
+        }
+        want.reverse();
+        assert_eq!(out, want, "{label}: suffix_scan_into len {len}");
+    }
+}
+
+#[test]
+fn kernels_match_scalar_loops_for_every_op() {
+    let lens = windows();
+    let exact = exact_stream(1000, 0x5eed);
+    check_kernels(&Sum::<f64>::new(), &exact, &lens, "sum");
+    check_kernels(&SumSquares::new(), &exact, &lens, "sumsquares");
+    check_kernels(&Count::<f64>::new(), &exact, &lens, "count");
+    check_kernels(&Mean::new(), &exact, &lens, "mean");
+    check_kernels(&Variance::new(), &exact, &lens, "variance");
+    check_kernels(&StdDev::new(), &exact, &lens, "stddev");
+    check_kernels(
+        &Product::new(),
+        &pow2_stream(1000, 0x5eed),
+        &lens,
+        "product",
+    );
+    // log(1) = 0 exactly, so the geometric mean's log-sum stays exact.
+    check_kernels(&GeometricMean::new(), &vec![1.0; 1000], &lens, "geomean");
+    // Selective ops: any regrouping returns the same winning element.
+    check_kernels(&MaxF64::new(), &exact, &lens, "maxf64");
+    check_kernels(&MinF64::new(), &exact, &lens, "minf64");
+    check_kernels(&First::<f64>::new(), &exact, &lens, "first");
+    check_kernels(&Last::<f64>::new(), &exact, &lens, "last");
+}
+
+/// Scans promise the sequential combine order bitwise on EVERY input, so
+/// non-exact streams must round-trip too — unlike folds, there is no
+/// "exact inputs" caveat to lean on.
+#[test]
+fn scans_are_bitwise_on_non_exact_streams() {
+    let rough = rough_stream(1000, 0xf10a7);
+    let lens = windows();
+    for (label, op) in [("sum", Sum::<f64>::new())] {
+        let lifted: Vec<f64> = rough.iter().map(|v| op.lift(v)).collect();
+        let mut out = Vec::new();
+        for &len in &lens {
+            let slice = &lifted[..len];
+            op.prefix_scan_into(slice, &mut out);
+            let mut acc = slice[0];
+            for (k, p) in slice.iter().enumerate().skip(1) {
+                acc = op.combine(&acc, p);
+                assert_eq!(
+                    out[k].to_bits(),
+                    acc.to_bits(),
+                    "{label}: prefix bit drift at {k} of {len}"
+                );
+            }
+            op.suffix_scan_into(slice, &mut out);
+            let mut acc = slice[len - 1];
+            for k in (0..len - 1).rev() {
+                acc = op.combine(&slice[k], &acc);
+                assert_eq!(
+                    out[k].to_bits(),
+                    acc.to_bits(),
+                    "{label}: suffix bit drift at {k} of {len}"
+                );
+            }
+        }
+    }
+}
+
+/// `MaxF64`/`MinF64` kernels on NaN-bearing streams: the branchless
+/// integer-key reductions must pick bitwise the same winner as the
+/// sequential `total_cmp` loops, for every prefix length.
+#[test]
+fn f64_extreme_kernels_pin_total_cmp_on_nan_streams() {
+    fn check<O>(op: &O, stream: &[f64], lens: &[usize], label: &str)
+    where
+        O: AggregateOp<Input = f64, Partial = f64>,
+    {
+        let mut out = Vec::new();
+        for &len in lens {
+            let slice = &stream[..len];
+            let mut want = slice[0];
+            for v in &slice[1..] {
+                want = op.combine(&want, v);
+            }
+            assert_eq!(
+                op.fold_slice(&slice[0], &slice[1..]).to_bits(),
+                want.to_bits(),
+                "{label}: NaN fold len {len}"
+            );
+            op.prefix_scan_into(slice, &mut out);
+            let mut acc = slice[0];
+            for (k, v) in slice.iter().enumerate() {
+                if k > 0 {
+                    acc = op.combine(&acc, v);
+                }
+                assert_eq!(
+                    out[k].to_bits(),
+                    acc.to_bits(),
+                    "{label}: NaN prefix at {k} of {len}"
+                );
+            }
+            op.suffix_scan_into(slice, &mut out);
+            let mut acc = slice[len - 1];
+            for k in (0..len).rev() {
+                if k < len - 1 {
+                    acc = op.combine(&slice[k], &acc);
+                }
+                assert_eq!(
+                    out[k].to_bits(),
+                    acc.to_bits(),
+                    "{label}: NaN suffix at {k} of {len}"
+                );
+            }
+        }
+    }
+    let stream = nan_stream(1000, 0xda7a);
+    let lens = windows();
+    check(&MaxF64::new(), &stream, &lens, "max");
+    check(&MinF64::new(), &stream, &lens, "min");
+}
+
+/// Drive one aggregator through interleaved `bulk_insert` + `slide` and
+/// compare every sampled answer bitwise against a sequential fold over a
+/// `VecDeque` reference window.
+fn check_algorithm<O, A>(op: O, window: usize, values: &[f64], label: &str)
+where
+    O: AggregateOp<Input = f64, Output = f64> + Clone,
+    A: FinalAggregator<O>,
+{
+    let mut agg = A::with_capacity(op.clone(), window);
+    let mut reference: VecDeque<O::Partial> = VecDeque::new();
+    let batches = [1, 3, window / 2 + 1, window, 2 * window + 5];
+    let push = |reference: &mut VecDeque<O::Partial>, p: O::Partial| {
+        reference.push_back(p);
+        if reference.len() > window {
+            reference.pop_front();
+        }
+    };
+    let mut i = 0;
+    let mut round = 0;
+    while i < values.len() {
+        let b = batches[round % batches.len()].min(values.len() - i);
+        round += 1;
+        let lifted: Vec<O::Partial> = values[i..i + b].iter().map(|v| op.lift(v)).collect();
+        agg.bulk_insert(&lifted);
+        for p in &lifted {
+            push(&mut reference, p.clone());
+        }
+        i += b;
+        if i >= values.len() {
+            break;
+        }
+        let p = op.lift(&values[i]);
+        let got = agg.slide(p.clone());
+        push(&mut reference, p);
+        i += 1;
+        let mut want = reference[0].clone();
+        for q in reference.iter().skip(1) {
+            want = op.combine(&want, q);
+        }
+        assert_eq!(
+            op.lower(&got).to_bits(),
+            op.lower(&want).to_bits(),
+            "{label} w={window} tuple {i}: answer diverged from reference fold"
+        );
+    }
+}
+
+/// Exact streams through every generic FIFO algorithm × the arithmetic
+/// ops, all windows.
+#[test]
+fn algorithms_match_reference_folds_on_exact_streams() {
+    for &w in &windows() {
+        let values = exact_stream(3 * w + 40, w as u64 ^ 0xabcd);
+        macro_rules! all_algos {
+            ($op:expr, $label:literal) => {
+                check_algorithm::<_, Naive<_>>($op, w, &values, concat!($label, "/naive"));
+                check_algorithm::<_, TwoStacks<_>>($op, w, &values, concat!($label, "/twostacks"));
+                check_algorithm::<_, Daba<_>>($op, w, &values, concat!($label, "/daba"));
+                check_algorithm::<_, FlatFat<_>>($op, w, &values, concat!($label, "/flatfat"));
+                check_algorithm::<_, FlatFit<_>>($op, w, &values, concat!($label, "/flatfit"));
+            };
+        }
+        all_algos!(Sum::<f64>::new(), "sum");
+        all_algos!(Mean::new(), "mean");
+        all_algos!(StdDev::new(), "stddev");
+        check_algorithm::<_, SlickDequeInv<_>>(Sum::<f64>::new(), w, &values, "sum/inv");
+        check_algorithm::<_, SlickDequeInv<_>>(Mean::new(), w, &values, "mean/inv");
+        check_algorithm::<_, SlickDequeInv<_>>(StdDev::new(), w, &values, "stddev/inv");
+    }
+}
+
+/// NaN-bearing streams through every algorithm that can run the f64
+/// extremes — the `total_cmp` policy must survive the batched paths of
+/// each one, SlickDeque (Non-Inv)'s dominated-suffix chunk scan
+/// included.
+#[test]
+fn algorithms_pin_total_cmp_on_nan_streams() {
+    for &w in &windows() {
+        let values = nan_stream(3 * w + 40, w as u64 ^ 0x7e57);
+        check_algorithm::<_, SlickDequeNonInv<_>>(MaxF64::new(), w, &values, "max/noninv");
+        check_algorithm::<_, SlickDequeNonInv<_>>(MinF64::new(), w, &values, "min/noninv");
+        check_algorithm::<_, Naive<_>>(MaxF64::new(), w, &values, "max/naive");
+        check_algorithm::<_, TwoStacks<_>>(MaxF64::new(), w, &values, "max/twostacks");
+        check_algorithm::<_, Daba<_>>(MaxF64::new(), w, &values, "max/daba");
+        check_algorithm::<_, FlatFat<_>>(MaxF64::new(), w, &values, "max/flatfat");
+        check_algorithm::<_, FlatFit<_>>(MaxF64::new(), w, &values, "max/flatfit");
+    }
+}
