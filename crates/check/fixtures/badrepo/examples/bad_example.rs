@@ -1,0 +1,14 @@
+//! Seeded example fixture: workspace `examples/` are in scope for the
+//! no-panic and clock-facade facets, and this file must trip both.
+//! Not compiled — fixtures are data for the lint's own tests.
+
+use std::time::Instant; // no-clock: examples must go through the facade
+
+fn main() {
+    let started = Instant::now(); // no-clock in an example
+    let v: Option<u32> = None;
+    let _ = v.unwrap(); // no-panic in an example
+    // check:allow examples may abort on setup failure
+    let _home = std::env::var("HOME").unwrap();
+    let _ = started;
+}

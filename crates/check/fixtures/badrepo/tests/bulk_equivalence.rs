@@ -1,5 +1,14 @@
 //! Fixture equivalence suite: deliberately names no overriding type, so
-//! the bulk-coverage rule fires on the core fixture.
+//! the bulk-coverage rule fires on the core fixture. The helper below is
+//! outside any `#[test]` item, so the no-panic facet must flag it — the
+//! `#[test]` body itself stays exempt.
+
+fn helper_decodes(x: Option<u32>) -> u32 {
+    x.expect("helper outside #[test] must be flagged")
+}
 
 #[test]
-fn covers_nothing() {}
+fn covers_nothing() {
+    let _ = Some(1).unwrap(); // in-test: exempt from no-panic
+    let _ = helper_decodes(Some(2));
+}

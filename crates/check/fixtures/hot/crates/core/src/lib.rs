@@ -1,0 +1,50 @@
+//! Seeded hot-path fixture: the analyzer must prove this tree dirty.
+//! `Leaky` implements a hot trait, so its methods are roots; the helper
+//! methods are only reachable through the call graph, which is exactly
+//! what the transitive findings exercise. Not compiled — fixtures are
+//! data for the analyzer's own tests.
+
+pub trait FinalAggregator {
+    fn slide(&mut self, v: u64) -> u64;
+    fn evict(&mut self);
+    fn query(&self) -> u64;
+}
+
+pub struct Leaky {
+    buf: Vec<u64>,
+}
+
+impl FinalAggregator for Leaky {
+    fn slide(&mut self, v: u64) -> u64 {
+        self.grow(v); // HP01 arrives transitively through this call
+        self.stall(); // HP03 arrives transitively through this call
+        self.contended(); // HP03, not waived anywhere
+        self.buf[v as usize] // HP02: computed index, no guard in body
+    }
+
+    fn evict(&mut self) {
+        // alloc:amortized
+        self.buf.insert(0, 0); // HP01 control: waiver without a reason
+        let _ = self.buf.pop().unwrap(); // HP02: unwrap on the hot path
+    }
+
+    fn query(&self) -> u64 {
+        // alloc:amortized scratch reaches the window high-water mark once
+        let scratch = self.buf.to_vec(); // waived control: must be waived
+        scratch.first().copied().unwrap_or(0)
+    }
+}
+
+impl Leaky {
+    fn grow(&mut self, v: u64) {
+        self.buf.push(v); // HP01: growth with no reserve in this body
+    }
+
+    fn stall(&self) {
+        std::thread::sleep(std::time::Duration::from_millis(1)); // HP03, baseline-waived
+    }
+
+    fn contended(&self) {
+        let _guard = self.state.lock(); // HP03: lock acquisition, unwaived
+    }
+}

@@ -1,0 +1,8 @@
+//! A module in an audited crate using atomics without a declared
+//! ordering policy: HP04 must demand a policy-table entry for it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn tick(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed); // HP04: no policy declared
+}

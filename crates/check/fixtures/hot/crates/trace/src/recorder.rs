@@ -1,0 +1,8 @@
+//! Seqlock fixture: the declared policy for this module is Relaxed ops
+//! with Acquire/Release fences only — a per-operation SeqCst violates it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn record_violation(slot: &AtomicU64) {
+    slot.store(1, Ordering::SeqCst); // HP04: policy allows only Relaxed ops
+}

@@ -1,0 +1,242 @@
+//! HP04 — the atomics-ordering audit.
+//!
+//! Lock-free code is only as correct as its memory orderings, and
+//! orderings drift silently: a `Relaxed` loosened to "fix" a benchmark,
+//! a `SeqCst` added "to be safe" that hides a protocol bug. This audit
+//! pins every `Ordering::` use in the observability crates to a
+//! declared per-module policy:
+//!
+//! - `trace/recorder.rs` — the seqlock. Slot word accesses are
+//!   `Relaxed`; publication is via standalone `fence(Release)` on the
+//!   writer and `fence(Acquire)` on the reader, bracketing the odd/even
+//!   sequence protocol. Any per-operation Acquire/Release here would
+//!   mask a missing fence; any `SeqCst` is an unexplained cost.
+//! - `metrics/{alloc,gauge,registry}.rs` — monotonic counters read for
+//!   reporting only; everything is `Relaxed`, no fences.
+//! - `engine/{obs,http}.rs` — stop-flag handshakes: `Release` store,
+//!   `Acquire` load, no fences.
+//!
+//! A file in the audited crates that uses atomics without a policy
+//! entry is itself a finding — new lock-free code must declare its
+//! protocol here before it ships. Waivers go through the baseline file
+//! keyed by the module path (`HP04 crates/trace/src/recorder.rs
+//! <reason>`).
+
+use std::fs;
+use std::path::Path;
+
+use crate::hotpath::{baseline_waives, BaselineEntry};
+use crate::lexer::{lex, rust_files};
+use crate::Finding;
+
+/// Per-module ordering policy: path suffix, allowed per-operation
+/// orderings, allowed fence orderings.
+struct Policy {
+    suffix: &'static str,
+    ops: &'static [&'static str],
+    fences: &'static [&'static str],
+}
+
+const POLICIES: &[Policy] = &[
+    Policy {
+        suffix: "crates/trace/src/recorder.rs",
+        ops: &["Relaxed"],
+        fences: &["Acquire", "Release"],
+    },
+    Policy {
+        suffix: "crates/metrics/src/alloc.rs",
+        ops: &["Relaxed"],
+        fences: &[],
+    },
+    Policy {
+        suffix: "crates/metrics/src/gauge.rs",
+        ops: &["Relaxed"],
+        fences: &[],
+    },
+    Policy {
+        suffix: "crates/metrics/src/registry.rs",
+        ops: &["Relaxed"],
+        fences: &[],
+    },
+    Policy {
+        suffix: "crates/engine/src/obs.rs",
+        ops: &["Acquire", "Release"],
+        fences: &[],
+    },
+    Policy {
+        suffix: "crates/engine/src/http.rs",
+        ops: &["Acquire", "Release"],
+        fences: &[],
+    },
+];
+
+/// The crates whose atomics are in audit scope.
+const AUDIT_DIRS: &[&str] = &[
+    "crates/trace/src",
+    "crates/metrics/src",
+    "crates/engine/src",
+];
+
+/// Every `Ordering::<Name>` occurrence on a code line, with whether it
+/// is a fence argument (`fence(Ordering::…)`). `cmp::Ordering` variants
+/// (`Less`/`Greater`/`Equal`) are not atomic orderings and are skipped.
+fn ordering_uses(code: &str) -> Vec<(String, bool)> {
+    const ATOMIC: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find("Ordering::") {
+        let at = start + pos;
+        let after = &code[at + "Ordering::".len()..];
+        let name: String = after
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if ATOMIC.contains(&name.as_str()) {
+            let is_fence = code[..at].trim_end().ends_with("fence(");
+            out.push((name, is_fence));
+        }
+        start = at + "Ordering::".len();
+    }
+    out
+}
+
+/// Run the audit over the repository at `root`.
+pub fn audit_atomics(root: &Path, baseline: &[BaselineEntry]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for dir in AUDIT_DIRS {
+        for file in rust_files(&root.join(dir)) {
+            let Ok(source) = fs::read_to_string(&file) else {
+                continue;
+            };
+            let rel = file.to_string_lossy().replace('\\', "/");
+            let policy = POLICIES.iter().find(|p| rel.ends_with(p.suffix));
+            let key = policy.map(|p| p.suffix.to_string()).unwrap_or_else(|| {
+                // Key unknown modules by their repo-relative-ish suffix
+                // so a baseline entry can still name them.
+                POLICIES
+                    .iter()
+                    .map(|p| p.suffix)
+                    .find(|s| rel.ends_with(s))
+                    .unwrap_or(rel.as_str())
+                    .to_string()
+            });
+            for (idx, line) in lex(&source).iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                for (name, is_fence) in ordering_uses(&line.code) {
+                    let verdict = match policy {
+                        None => Some(format!(
+                            "`Ordering::{name}` in a module with no declared ordering \
+                             policy; add the module to the policy table in \
+                             crates/check/src/atomics.rs with its protocol"
+                        )),
+                        Some(p) => {
+                            let allowed = if is_fence { p.fences } else { p.ops };
+                            let kind = if is_fence { "fence" } else { "operation" };
+                            (!allowed.contains(&name.as_str())).then(|| {
+                                format!(
+                                    "`Ordering::{name}` as a {kind} ordering violates the \
+                                     declared policy for this module ({} allows: {})",
+                                    kind,
+                                    if allowed.is_empty() {
+                                        "none".to_string()
+                                    } else {
+                                        allowed.join(", ")
+                                    }
+                                )
+                            })
+                        }
+                    };
+                    if let Some(message) = verdict {
+                        let mut f = Finding::new(&file, idx + 1, "atomics-ordering", message);
+                        f.chain = vec![key.clone()];
+                        f.waived = baseline_waives(baseline, "HP04", &key);
+                        findings.push(f);
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_uses_distinguish_fences_from_ops() {
+        let uses = ordering_uses("fence(Ordering::Release); x.store(1, Ordering::Relaxed);");
+        assert_eq!(
+            uses,
+            vec![
+                ("Release".to_string(), true),
+                ("Relaxed".to_string(), false)
+            ]
+        );
+    }
+
+    #[test]
+    fn cmp_ordering_variants_are_ignored() {
+        assert!(ordering_uses("Ordering::Less => a.cmp(b)").is_empty());
+    }
+
+    fn fixture(files: &[(&str, &str)]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "swag-check-atomics-{:x}",
+            files.iter().map(|(p, s)| p.len() + s.len()).sum::<usize>()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        for (path, src) in files {
+            let full = dir.join(path);
+            std::fs::create_dir_all(full.parent().unwrap()).unwrap();
+            std::fs::write(full, src).unwrap();
+        }
+        dir
+    }
+
+    #[test]
+    fn policy_violations_and_undeclared_modules_are_flagged() {
+        let dir = fixture(&[
+            (
+                "crates/trace/src/recorder.rs",
+                "fn rec() { slot.seq.store(1, Ordering::SeqCst); fence(Ordering::Release); }\n",
+            ),
+            (
+                "crates/metrics/src/registry.rs",
+                "fn inc() { self.v.fetch_add(1, Ordering::Relaxed); }\n",
+            ),
+            (
+                "crates/metrics/src/newmod.rs",
+                "fn f() { X.store(1, Ordering::Relaxed); }\n",
+            ),
+        ]);
+        let findings = audit_atomics(&dir, &[]);
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(findings.len(), 2, "{findings:#?}");
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("SeqCst") && f.message.contains("violates")),
+            "{findings:#?}"
+        );
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("no declared ordering policy")),
+            "{findings:#?}"
+        );
+    }
+
+    #[test]
+    fn seqlock_fences_with_relaxed_ops_are_clean() {
+        let dir = fixture(&[(
+            "crates/trace/src/recorder.rs",
+            "fn rec() {\n    slot.seq.store(1, Ordering::Relaxed);\n    fence(Ordering::Release);\n    slot.a.store(2, Ordering::Relaxed);\n    fence(Ordering::Acquire);\n}\n",
+        )]);
+        let findings = audit_atomics(&dir, &[]);
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+}

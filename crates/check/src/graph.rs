@@ -1,0 +1,299 @@
+//! Workspace-wide call graph over the parsed `fn` items.
+//!
+//! Resolution is by name: a call site `foo(…)`, `x.foo(…)`, or
+//! `Type::foo(…)` resolves to every workspace function named `foo`
+//! (preferring the named owner when the call is `Type::`-qualified).
+//! That over-approximates dispatch — a `.combine(` call reaches every
+//! `combine` in the tree — which is the conservative direction for the
+//! contracts this graph backs: a path we cannot rule out is treated as
+//! real. Trait objects need no special casing for the same reason; the
+//! known approximations are catalogued in DESIGN.md §13.
+
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::parse::FnItem;
+
+/// Rust keywords and builtin idents that look like calls (`if (`,
+/// `matches!(`-style macro names are handled separately).
+const KEYWORDS: &[&str] = &[
+    "if", "for", "while", "match", "return", "loop", "else", "fn", "let", "in", "as", "impl",
+    "where", "move", "unsafe", "pub", "use", "mod", "dyn", "ref", "mut", "break", "continue",
+    "struct", "enum", "trait", "type", "const", "static", "crate", "self", "Self", "super",
+];
+
+/// Callee names excluded from graph edges: the constructor/formatting
+/// family. Construction is cold-path by definition here (hot roots never
+/// build new aggregators), and `fmt`/`to_json` are reporting surfaces.
+/// Effects *at the call site itself* (e.g. an `or_insert_with(… ::new)`
+/// growing a map) are still caught by the token tables in `hotpath.rs`.
+const EXCLUDED_CALLEES: &[&str] = &[
+    "new",
+    "default",
+    "with_capacity",
+    "with_ranges",
+    "from",
+    "build",
+    "fmt",
+    "to_json",
+    "check_invariants",
+    "heap_bytes",
+];
+
+/// A name-resolved call edge out of a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Index of the callee in the item table.
+    pub callee: usize,
+    /// 1-based line of the call.
+    pub line: usize,
+}
+
+/// The call graph: items plus per-item outgoing edges.
+pub struct CallGraph<'a> {
+    pub items: &'a [FnItem],
+    pub edges: Vec<Vec<CallSite>>,
+}
+
+/// Extract candidate callee names from one line of code: `ident(`,
+/// possibly preceded by `.` or a `path::` qualifier. Macro invocations
+/// (`ident!(`) are not calls — their effects are matched as tokens.
+/// Returns `(name, qualifier)` pairs; the qualifier is the identifier
+/// immediately before a `::`, when present.
+fn call_names(code: &str) -> Vec<(String, Option<String>)> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '(' {
+            // Scan the identifier that ends at i (skipping whitespace
+            // and `::<Turbofish>` is rare enough to ignore).
+            let mut j = i;
+            while j > 0 && chars[j - 1].is_whitespace() {
+                j -= 1;
+            }
+            let end = j;
+            while j > 0 && (chars[j - 1].is_alphanumeric() || chars[j - 1] == '_') {
+                j -= 1;
+            }
+            if j < end {
+                let name: String = chars[j..end].iter().collect();
+                let is_macro = chars.get(end) == Some(&'!');
+                // `fn name(` is a declaration, not a call — without this
+                // every fn's own signature would edge to every same-name
+                // fn in the workspace.
+                let mut p = j;
+                while p > 0 && chars[p - 1].is_whitespace() {
+                    p -= 1;
+                }
+                let is_decl = p >= 2
+                    && chars[p - 2] == 'f'
+                    && chars[p - 1] == 'n'
+                    && (p == 2 || !(chars[p - 3].is_alphanumeric() || chars[p - 3] == '_'));
+                if !is_macro
+                    && !is_decl
+                    && !KEYWORDS.contains(&name.as_str())
+                    && !name.chars().next().is_some_and(|c| c.is_numeric())
+                {
+                    // Qualifier: `Type::name(` → Some("Type").
+                    let qual = if j >= 2 && chars[j - 2] == ':' && chars[j - 1] == ':' {
+                        let mut q = j - 2;
+                        let qend = q;
+                        while q > 0 && (chars[q - 1].is_alphanumeric() || chars[q - 1] == '_') {
+                            q -= 1;
+                        }
+                        (q < qend).then(|| chars[q..qend].iter().collect::<String>())
+                    } else {
+                        None
+                    };
+                    out.push((name, qual));
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+impl<'a> CallGraph<'a> {
+    /// Build the graph by name resolution over the item table.
+    pub fn build(items: &'a [FnItem]) -> Self {
+        // name -> item indices (production items only; test fns are
+        // never resolution targets for production call sites).
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, it) in items.iter().enumerate() {
+            if !it.in_test {
+                by_name.entry(it.name.as_str()).or_default().push(i);
+            }
+        }
+
+        let mut edges: Vec<Vec<CallSite>> = vec![Vec::new(); items.len()];
+        for (i, it) in items.iter().enumerate() {
+            if it.in_test {
+                continue;
+            }
+            let mut seen: BTreeSet<usize> = BTreeSet::new();
+            for bl in &it.body {
+                if bl.in_test {
+                    continue;
+                }
+                for (name, qual) in call_names(&bl.code) {
+                    if EXCLUDED_CALLEES.contains(&name.as_str()) {
+                        continue;
+                    }
+                    let Some(cands) = by_name.get(name.as_str()) else {
+                        continue;
+                    };
+                    // Qualified calls narrow to the named owner when any
+                    // candidate matches; otherwise keep all candidates
+                    // (the qualifier may be a module or std type).
+                    let narrowed: Vec<usize> = match &qual {
+                        Some(q) => {
+                            let m: Vec<usize> = cands
+                                .iter()
+                                .copied()
+                                .filter(|&c| items[c].owner.as_deref() == Some(q.as_str()))
+                                .collect();
+                            if m.is_empty() {
+                                cands.clone()
+                            } else {
+                                m
+                            }
+                        }
+                        None => cands.clone(),
+                    };
+                    for c in narrowed {
+                        if c != i && seen.insert(c) {
+                            edges[i].push(CallSite {
+                                callee: c,
+                                line: bl.line,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        CallGraph { items, edges }
+    }
+
+    /// BFS from `roots`, returning for every reachable item the index of
+    /// the item it was first reached from (roots map to themselves).
+    /// The parent pointers reconstruct a shortest call chain for
+    /// findings (`root -> … -> offender`).
+    pub fn reach(&self, roots: &[usize]) -> BTreeMap<usize, usize> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in roots {
+            if let Entry::Vacant(e) = parent.entry(r) {
+                e.insert(r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for cs in &self.edges[u] {
+                if let Entry::Vacant(e) = parent.entry(cs.callee) {
+                    e.insert(u);
+                    queue.push_back(cs.callee);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The shortest root→item chain of qualified names, from the parent
+    /// map produced by [`reach`](Self::reach).
+    pub fn chain(&self, parent: &BTreeMap<usize, usize>, item: usize) -> Vec<String> {
+        let mut chain = vec![self.items[item].qname()];
+        let mut cur = item;
+        while let Some(&p) = parent.get(&cur) {
+            if p == cur {
+                break;
+            }
+            chain.push(self.items[p].qname());
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+    use std::path::Path;
+
+    fn graph_of(src: &str) -> (Vec<FnItem>, Vec<Vec<CallSite>>) {
+        let items = parse_file(Path::new("crates/core/src/lib.rs"), src);
+        let g = CallGraph::build(&items);
+        let edges = g.edges.clone();
+        (items, edges)
+    }
+
+    #[test]
+    fn direct_and_method_calls_resolve() {
+        let src = "fn a() { b(); }\nfn b() { self.c(); }\nfn c() {}\n";
+        let (items, edges) = graph_of(src);
+        let idx = |n: &str| items.iter().position(|i| i.name == n).unwrap();
+        assert!(edges[idx("a")].iter().any(|e| e.callee == idx("b")));
+        assert!(edges[idx("b")].iter().any(|e| e.callee == idx("c")));
+    }
+
+    #[test]
+    fn qualified_calls_prefer_the_named_owner() {
+        let src = "impl Foo { fn go(&self) {} }\nimpl Bar { fn go(&self) {} }\n\
+                   fn top() { Foo::go(x); }\n";
+        let (items, edges) = graph_of(src);
+        let top = items.iter().position(|i| i.name == "top").unwrap();
+        assert_eq!(edges[top].len(), 1);
+        assert_eq!(
+            items[edges[top][0].callee].owner.as_deref(),
+            Some("Foo"),
+            "qualified call must narrow to Foo::go"
+        );
+    }
+
+    #[test]
+    fn unqualified_method_calls_fan_out_conservatively() {
+        let src = "impl Foo { fn go(&self) {} }\nimpl Bar { fn go(&self) {} }\n\
+                   fn top(x: &dyn Any) { x.go(); }\n";
+        let (items, edges) = graph_of(src);
+        let top = items.iter().position(|i| i.name == "top").unwrap();
+        assert_eq!(edges[top].len(), 2, "must reach both go() impls");
+    }
+
+    #[test]
+    fn macros_keywords_and_excluded_callees_are_not_edges() {
+        let src = "fn a() { if (x) { vec![1].len(); } Foo::new(); panic!(\"x\"); }\n\
+                   fn new() {}\nfn len() {}\n";
+        let (items, edges) = graph_of(src);
+        let a = items.iter().position(|i| i.name == "a").unwrap();
+        // `len` resolves (it's a real call), `new` is excluded, `panic!`
+        // is a macro, `if (` is a keyword.
+        assert_eq!(edges[a].len(), 1, "{:?}", edges[a]);
+        assert_eq!(items[edges[a][0].callee].name, "len");
+    }
+
+    #[test]
+    fn reachability_chains_reconstruct() {
+        let src = "fn root() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\nfn island() {}\n";
+        let items = parse_file(Path::new("crates/core/src/lib.rs"), src);
+        let g = CallGraph::build(&items);
+        let idx = |n: &str| items.iter().position(|i| i.name == n).unwrap();
+        let parent = g.reach(&[idx("root")]);
+        assert!(parent.contains_key(&idx("leaf")));
+        assert!(!parent.contains_key(&idx("island")));
+        let chain = g.chain(&parent, idx("leaf"));
+        assert_eq!(chain, vec!["core::root", "core::mid", "core::leaf"]);
+    }
+
+    #[test]
+    fn test_functions_are_neither_sources_nor_targets() {
+        let src = "#[test]\nfn t() { prod(); }\nfn prod() { t(); }\n";
+        let (items, edges) = graph_of(src);
+        let t = items.iter().position(|i| i.name == "t").unwrap();
+        let prod = items.iter().position(|i| i.name == "prod").unwrap();
+        assert!(edges[t].is_empty());
+        assert!(edges[prod].is_empty());
+    }
+}

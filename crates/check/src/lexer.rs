@@ -1,0 +1,285 @@
+//! The line-preserving lexer shared by the convention lints and the
+//! hot-path analyzer.
+//!
+//! Source text is split into per-line executable code and comment text:
+//! string/char literal bodies become blanks (so token search and brace
+//! counting cannot be fooled by literals), comment text is kept aside for
+//! waiver detection (`SAFETY:`, `check:allow`, `alloc:amortized`,
+//! `SCALAR-OK`), and `#[cfg(test)]` / `#[test]` items are marked so test
+//! code is exempt from the production rules. Marking `#[test]` functions
+//! (attribute line through the close of the function body) is what makes
+//! scanning workspace `tests/` meaningful: integration-test bodies are
+//! test code even though no `#[cfg(test)]` module wraps them, while their
+//! shared helper functions remain production-scanned.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A source line split into executable code and comment text, plus
+/// whether it sits inside a `#[cfg(test)]` or `#[test]` item.
+#[derive(Debug)]
+pub struct Line {
+    pub code: String,
+    pub comment: String,
+    pub in_test: bool,
+}
+
+/// Strip literals and comments while preserving the line structure.
+///
+/// Code keeps its shape (literal bodies become spaces) so brace counting
+/// and token search work; comment text is collected per line.
+pub fn lex(source: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let n = bytes.len();
+    let mut block_depth = 0usize; // nesting /* */
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+            i += 1;
+            continue;
+        }
+        if block_depth > 0 {
+            if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                block_depth += 1;
+                i += 2;
+            } else if c == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                block_depth -= 1;
+                i += 2;
+            } else {
+                comment.push(c);
+                i += 1;
+            }
+            continue;
+        }
+        match c {
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                // Line comment (incl. doc comments): consume to newline.
+                let start = i;
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+                comment.push_str(&bytes[start..i].iter().collect::<String>());
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                block_depth = 1;
+                i += 2;
+            }
+            '"' => {
+                code.push('"');
+                i += 1;
+                while i < n && bytes[i] != '"' {
+                    if bytes[i] == '\\' {
+                        i += 1; // skip the escaped char
+                    }
+                    if i < n {
+                        if bytes[i] == '\n' {
+                            lines.push(Line {
+                                code: std::mem::take(&mut code),
+                                comment: std::mem::take(&mut comment),
+                                in_test: false,
+                            });
+                        }
+                        i += 1;
+                    }
+                }
+                code.push('"');
+                i += 1; // closing quote
+            }
+            'r' | 'b' if is_raw_string_start(&bytes, i) => {
+                // r"..."  r#"..."#  br#"..."# — find the matching close.
+                let mut j = i;
+                while bytes[j] == 'r' || bytes[j] == 'b' {
+                    j += 1;
+                }
+                let hashes = bytes[j..].iter().take_while(|&&h| h == '#').count();
+                let mut k = j + hashes + 1; // past the opening quote
+                let closer = format!("\"{}", "#".repeat(hashes));
+                let rest: String = bytes[k..].iter().collect();
+                let end = rest
+                    .find(&closer)
+                    .map(|p| k + p + closer.len())
+                    .unwrap_or(n);
+                code.push('"');
+                while k < end {
+                    if bytes.get(k) == Some(&'\n') {
+                        lines.push(Line {
+                            code: std::mem::take(&mut code),
+                            comment: std::mem::take(&mut comment),
+                            in_test: false,
+                        });
+                    }
+                    k += 1;
+                }
+                code.push('"');
+                i = end;
+            }
+            '\'' => {
+                // Char literal vs lifetime: a literal closes within a few
+                // chars ('x', '\n', '\u{..}'); a lifetime never closes.
+                if let Some(close) = char_literal_end(&bytes, i) {
+                    code.push_str("' '");
+                    i = close + 1;
+                } else {
+                    code.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(Line {
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    // Accept r", r#", br"; b" is NOT raw (plain byte string handled as ")
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+        if bytes.get(j) != Some(&'r') {
+            return false;
+        }
+    }
+    if bytes.get(j) != Some(&'r') {
+        return false;
+    }
+    // Previous char must not be part of an identifier (e.g. `for r` vs `var`).
+    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+/// If position `i` (a `'`) starts a char literal, return the index of the
+/// closing quote; `None` means it is a lifetime.
+fn char_literal_end(bytes: &[char], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == '\\' {
+        // Escaped: scan to the next unescaped quote (handles \u{...}).
+        let mut j = i + 2;
+        while j < bytes.len() && bytes[j] != '\'' && bytes[j] != '\n' {
+            j += 1;
+        }
+        return (bytes.get(j) == Some(&'\'')).then_some(j);
+    }
+    if bytes.get(i + 2) == Some(&'\'') {
+        return Some(i + 2);
+    }
+    None
+}
+
+/// Mark every line belonging to a `#[cfg(test)]` or `#[test]` item
+/// (attribute line through the close of the item's brace block) as test
+/// code.
+///
+/// Integration-test files under the workspace `tests/` directory have no
+/// `#[cfg(test)]` wrapper — their `#[test]` functions are the test
+/// regions, and any helper functions between them stay production code
+/// as far as the lints are concerned.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut i = 0;
+    while i < lines.len() {
+        let code = &lines[i].code;
+        if code.contains("#[cfg(test)]") || code.contains("#[test]") {
+            // Skip from here through the end of the attributed item.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut j = i;
+            while j < lines.len() {
+                lines[j].in_test = true;
+                for c in lines[j].code.clone().chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// True if `word` occurs in `code` delimited by non-identifier chars.
+pub fn has_word(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + word.len();
+        let after_ok = !code[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+/// Collect every `.rs` file under `dir`, sorted for stable output.
+///
+/// Files named `*_tests.rs` are skipped: by workspace convention they are
+/// whole-file test modules, declared behind `#[cfg(test)]` at the `mod`
+/// site (which a single-file scanner cannot see).
+pub fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs")
+                && !path
+                    .file_stem()
+                    .is_some_and(|s| s.to_string_lossy().ends_with("_tests"))
+            {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}

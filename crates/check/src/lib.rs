@@ -1,49 +1,57 @@
-//! `swag-check` — a dependency-free source lint enforcing the
-//! workspace's correctness conventions, run as a CI gate alongside the
-//! invariant checkers:
+//! `swag-check` — a dependency-free static analyzer enforcing the
+//! workspace's correctness conventions AND the hot-path latency
+//! contract, run as a CI gate alongside the invariant checkers.
 //!
-//! 1. **no-panic** — no `.unwrap()` / `.expect(` / `panic!` in non-test
-//!    code under `crates/core`, `crates/engine`, and `crates/ooo`. A site
-//!    is allowed by putting `// check:allow <reason>` on the same line or
-//!    within the three lines above it; the reason is mandatory.
-//! 2. **bulk-coverage** — every type overriding a `bulk_*` method in
-//!    `crates/core` must be named in `tests/bulk_equivalence.rs`, so no
-//!    batched fast path ships without a scalar-equivalence test. The
-//!    event-time facet: any `crates/ooo` type with an inherent scalar
-//!    `insert` must also define `bulk_insert` and `bulk_evict` — the
-//!    engine's batched ingestion path is not optional for aggregators.
-//! 3. **safety-comment** — every `unsafe` block or `unsafe impl` in
-//!    `crates/core`, `crates/engine`, `crates/metrics`, and `crates/ooo`
-//!    needs a `SAFETY:` comment on the same line or within the three
-//!    lines above it (`unsafe fn` signatures are exempt: they state a
-//!    contract, the blocks discharge one).
-//! 4. **slice-kernel-coverage** — every `impl AggregateOp for …` in
-//!    `crates/core` that specializes `fold_slice` must also override
-//!    `prefix_scan_into` and `suffix_scan_into`: the scans feed cached
-//!    per-node aggregates that the invariant checkers compare bitwise, so
-//!    a type fast on folds but scalar on scans is almost always an
-//!    oversight. A deliberate exception carries a
-//!    `// SCALAR-OK: <reason>` comment in the impl block (or on the three
-//!    lines above its header).
-//! 5. **no-clock** — the algorithm layer (`crates/core`, `crates/ooo`)
-//!    must stay deterministic: no `std::time`, `Instant`/`SystemTime`, or
-//!    ambient randomness. Clocks belong to the driver layers; algorithm
-//!    time is logical (`Timestamp` arguments). The driver crates (`crates/engine`,
-//!    `crates/stream`, `crates/slickdeque`) may *measure* time, but only
-//!    through the observability facades
-//!    (`swag_metrics::clock::Stopwatch`, `swag-trace`) — raw
-//!    `Instant`/`SystemTime` there bypasses the single place where clock
-//!    reads are audited.
+//! Two layers:
 //!
-//! The scanner is a line-preserving lexer, not a parser: it strips
-//! string/char literals and comments (keeping comment text aside for
-//! `SAFETY:` / `check:allow` detection) and skips `#[cfg(test)]` items by
-//! brace counting. That is deliberately simple and slightly conservative
-//! — exactly what a convention gate should be.
+//! **Convention lints** (`lint_repo`, rules SC01–SC05) — the
+//! line-lexer rules that predate the analyzer:
+//!
+//! 1. **SC01 no-panic** — no `.unwrap()` / `.expect(` / `panic!` in
+//!    non-test code under `crates/core`, `crates/engine`, `crates/ooo`,
+//!    and the workspace `tests/` and `examples/` directories (helper
+//!    code in integration tests and demo binaries panicking on bad
+//!    input is exactly how latency bugs sneak into copy-pasted driver
+//!    code). A site is allowed by `// check:allow <reason>` on the same
+//!    line or within the three lines above; the reason is mandatory.
+//! 2. **SC02 bulk-coverage** — every type overriding a `bulk_*` method
+//!    in `crates/core` must be named in `tests/bulk_equivalence.rs`.
+//!    Event-time facet: any `crates/ooo` type with an inherent scalar
+//!    `insert` must also define `bulk_insert` and `bulk_evict`.
+//! 3. **SC03 safety-comment** — every `unsafe` block or `unsafe impl`
+//!    in `crates/core`, `crates/engine`, `crates/metrics`, and
+//!    `crates/ooo` needs a `SAFETY:` comment on or near it.
+//! 4. **SC04 no-clock** — the algorithm layer (`crates/core`,
+//!    `crates/ooo`) is deterministic: no `std::time` or ambient
+//!    randomness. Driver facet: `crates/engine`, `crates/stream`,
+//!    `crates/slickdeque`, plus the workspace `tests/` and `examples/`
+//!    directories may measure time only through the audited facades
+//!    (`swag_metrics::clock::Stopwatch`, `swag-trace`) — never raw
+//!    `Instant` / `SystemTime`.
+//! 5. **SC05 slice-kernel-coverage** — an `impl AggregateOp` in
+//!    `crates/core` specializing `fold_slice` must override both scans
+//!    too, or carry `// SCALAR-OK: <reason>`.
+//!
+//! **Hot-path contracts** (`analyze_repo`, rules HP01–HP04) — the
+//! call-graph analyzer in [`parse`] / [`graph`] / [`hotpath`] /
+//! [`atomics`]: alloc-freedom (HP01), panic-freedom (HP02), and
+//! blocking-freedom (HP03) proved transitively from every
+//! latency-critical root, plus the atomics-ordering policy audit
+//! (HP04). See DESIGN.md §13 for the rule catalog, the call-graph
+//! approximations, and the waiver policy.
+
+pub mod atomics;
+pub mod graph;
+pub mod hotpath;
+pub mod lexer;
+pub mod parse;
+pub mod report;
 
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
+
+use lexer::{has_word, lex, rust_files, Line};
 
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,255 +61,57 @@ pub struct Finding {
     pub line: usize,
     pub rule: &'static str,
     pub message: String,
+    /// True when a site waiver or baseline entry covers this finding;
+    /// waived findings appear in reports but do not fail the gate.
+    pub waived: bool,
+    /// For hot-path findings: the shortest root→site call chain of
+    /// qualified fn names. For atomics findings: the module policy key.
+    pub chain: Vec<String>,
+}
+
+impl Finding {
+    pub fn new(file: &Path, line: usize, rule: &'static str, message: String) -> Self {
+        Finding {
+            file: file.to_path_buf(),
+            line,
+            rule,
+            message,
+            waived: false,
+            chain: Vec::new(),
+        }
+    }
+
+    /// The stable rule ID for machine consumers (`--json`). The slug in
+    /// `rule` may be reworded; these IDs may not.
+    pub fn id(&self) -> &'static str {
+        match self.rule {
+            "no-panic" => "SC01",
+            "bulk-coverage" => "SC02",
+            "safety-comment" => "SC03",
+            "no-clock" => "SC04",
+            "slice-kernel-coverage" => "SC05",
+            "hot-alloc" => "HP01",
+            "hot-panic" => "HP02",
+            "hot-block" => "HP03",
+            "atomics-ordering" => "HP04",
+            _ => "SC00",
+        }
+    }
 }
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
+            "{}:{}: [{} {}]{} {}",
             self.file.display(),
             self.line,
+            self.id(),
             self.rule,
+            if self.waived { " (waived)" } else { "" },
             self.message
         )
     }
-}
-
-/// A source line split into executable code and comment text, plus
-/// whether it sits inside a `#[cfg(test)]` item.
-#[derive(Debug)]
-struct Line {
-    code: String,
-    comment: String,
-    in_test: bool,
-}
-
-/// Strip literals and comments while preserving the line structure.
-///
-/// Code keeps its shape (literal bodies become spaces) so brace counting
-/// and token search work; comment text is collected per line.
-fn lex(source: &str) -> Vec<Line> {
-    let mut lines: Vec<Line> = Vec::new();
-    let mut code = String::new();
-    let mut comment = String::new();
-    let bytes: Vec<char> = source.chars().collect();
-    let mut i = 0;
-    let n = bytes.len();
-    let mut block_depth = 0usize; // nesting /* */
-    while i < n {
-        let c = bytes[i];
-        if c == '\n' {
-            lines.push(Line {
-                code: std::mem::take(&mut code),
-                comment: std::mem::take(&mut comment),
-                in_test: false,
-            });
-            i += 1;
-            continue;
-        }
-        if block_depth > 0 {
-            if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
-                block_depth += 1;
-                i += 2;
-            } else if c == '*' && i + 1 < n && bytes[i + 1] == '/' {
-                block_depth -= 1;
-                i += 2;
-            } else {
-                comment.push(c);
-                i += 1;
-            }
-            continue;
-        }
-        match c {
-            '/' if i + 1 < n && bytes[i + 1] == '/' => {
-                // Line comment (incl. doc comments): consume to newline.
-                let start = i;
-                while i < n && bytes[i] != '\n' {
-                    i += 1;
-                }
-                comment.push_str(&bytes[start..i].iter().collect::<String>());
-            }
-            '/' if i + 1 < n && bytes[i + 1] == '*' => {
-                block_depth = 1;
-                i += 2;
-            }
-            '"' => {
-                code.push('"');
-                i += 1;
-                while i < n && bytes[i] != '"' {
-                    if bytes[i] == '\\' {
-                        i += 1; // skip the escaped char
-                    }
-                    if i < n {
-                        if bytes[i] == '\n' {
-                            lines.push(Line {
-                                code: std::mem::take(&mut code),
-                                comment: std::mem::take(&mut comment),
-                                in_test: false,
-                            });
-                        }
-                        i += 1;
-                    }
-                }
-                code.push('"');
-                i += 1; // closing quote
-            }
-            'r' | 'b' if is_raw_string_start(&bytes, i) => {
-                // r"..."  r#"..."#  br#"..."# — find the matching close.
-                let mut j = i;
-                while bytes[j] == 'r' || bytes[j] == 'b' {
-                    j += 1;
-                }
-                let hashes = bytes[j..].iter().take_while(|&&h| h == '#').count();
-                let mut k = j + hashes + 1; // past the opening quote
-                let closer = format!("\"{}", "#".repeat(hashes));
-                let rest: String = bytes[k..].iter().collect();
-                let end = rest
-                    .find(&closer)
-                    .map(|p| k + p + closer.len())
-                    .unwrap_or(n);
-                code.push('"');
-                while k < end {
-                    if bytes.get(k) == Some(&'\n') {
-                        lines.push(Line {
-                            code: std::mem::take(&mut code),
-                            comment: std::mem::take(&mut comment),
-                            in_test: false,
-                        });
-                    }
-                    k += 1;
-                }
-                code.push('"');
-                i = end;
-            }
-            '\'' => {
-                // Char literal vs lifetime: a literal closes within a few
-                // chars ('x', '\n', '\u{..}'); a lifetime never closes.
-                if let Some(close) = char_literal_end(&bytes, i) {
-                    code.push_str("' '");
-                    i = close + 1;
-                } else {
-                    code.push('\'');
-                    i += 1;
-                }
-            }
-            _ => {
-                code.push(c);
-                i += 1;
-            }
-        }
-    }
-    if !code.is_empty() || !comment.is_empty() {
-        lines.push(Line {
-            code,
-            comment,
-            in_test: false,
-        });
-    }
-    mark_test_regions(&mut lines);
-    lines
-}
-
-fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
-    // Accept r", r#", br", b" is NOT raw (plain byte string handled as ")
-    let mut j = i;
-    if bytes[j] == 'b' {
-        j += 1;
-        if bytes.get(j) != Some(&'r') {
-            return false;
-        }
-    }
-    if bytes.get(j) != Some(&'r') {
-        return false;
-    }
-    // Previous char must not be part of an identifier (e.g. `for r` vs `var`).
-    if i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_') {
-        return false;
-    }
-    j += 1;
-    while bytes.get(j) == Some(&'#') {
-        j += 1;
-    }
-    bytes.get(j) == Some(&'"')
-}
-
-/// If position `i` (a `'`) starts a char literal, return the index of the
-/// closing quote; `None` means it is a lifetime.
-fn char_literal_end(bytes: &[char], i: usize) -> Option<usize> {
-    let next = *bytes.get(i + 1)?;
-    if next == '\\' {
-        // Escaped: scan to the next unescaped quote (handles \u{...}).
-        let mut j = i + 2;
-        while j < bytes.len() && bytes[j] != '\'' && bytes[j] != '\n' {
-            j += 1;
-        }
-        return (bytes.get(j) == Some(&'\'')).then_some(j);
-    }
-    if bytes.get(i + 2) == Some(&'\'') {
-        return Some(i + 2);
-    }
-    None
-}
-
-/// Mark every line belonging to a `#[cfg(test)]` item (attribute line
-/// through the close of the item's brace block) as test code.
-fn mark_test_regions(lines: &mut [Line]) {
-    let mut i = 0;
-    while i < lines.len() {
-        if lines[i].code.contains("#[cfg(test)]") {
-            // Skip from here through the end of the attributed item.
-            let mut depth = 0i64;
-            let mut opened = false;
-            let mut j = i;
-            while j < lines.len() {
-                lines[j].in_test = true;
-                for c in lines[j].code.clone().chars() {
-                    match c {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                }
-                if opened && depth <= 0 {
-                    break;
-                }
-                j += 1;
-            }
-            i = j + 1;
-        } else {
-            if lines[i].code.contains("#[test]") {
-                lines[i].in_test = true; // attribute itself
-            }
-            i += 1;
-        }
-    }
-}
-
-/// True if `word` occurs in `code` delimited by non-identifier chars.
-fn has_word(code: &str, word: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = code[start..].find(word) {
-        let at = start + pos;
-        let before_ok = at == 0
-            || !code[..at]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = at + word.len();
-        let after_ok = !code[after..]
-            .chars()
-            .next()
-            .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
-        }
-        start = after;
-    }
-    false
 }
 
 /// `// check:allow <reason>` on the same line or within the three lines
@@ -313,12 +123,12 @@ fn allowed(lines: &[Line], idx: usize, findings: &mut Vec<Finding>, file: &Path)
         if let Some(pos) = lines[k].comment.find("check:allow") {
             let reason = lines[k].comment[pos + "check:allow".len()..].trim();
             if reason.is_empty() {
-                findings.push(Finding {
-                    file: file.to_path_buf(),
-                    line: k + 1,
-                    rule: "no-panic",
-                    message: "check:allow needs a reason".into(),
-                });
+                findings.push(Finding::new(
+                    file,
+                    k + 1,
+                    "no-panic",
+                    "check:allow needs a reason".into(),
+                ));
             }
             return true;
         }
@@ -326,36 +136,7 @@ fn allowed(lines: &[Line], idx: usize, findings: &mut Vec<Finding>, file: &Path)
     false
 }
 
-/// Collect every `.rs` file under `dir`, sorted for stable output.
-///
-/// Files named `*_tests.rs` are skipped: by workspace convention they are
-/// whole-file test modules, declared behind `#[cfg(test)]` at the `mod`
-/// site (which a single-file scanner cannot see).
-fn rust_files(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(d) = stack.pop() {
-        let Ok(entries) = fs::read_dir(&d) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.is_dir() {
-                stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "rs")
-                && !path
-                    .file_stem()
-                    .is_some_and(|s| s.to_string_lossy().ends_with("_tests"))
-            {
-                out.push(path);
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-/// Rule 1: no `.unwrap()` / `.expect(` / `panic!` outside tests.
+/// SC01: no `.unwrap()` / `.expect(` / `panic!` outside tests.
 fn lint_no_panic(file: &Path, lines: &[Line], findings: &mut Vec<Finding>) {
     for (idx, line) in lines.iter().enumerate() {
         if line.in_test {
@@ -364,15 +145,15 @@ fn lint_no_panic(file: &Path, lines: &[Line], findings: &mut Vec<Finding>) {
         for token in [".unwrap()", ".expect(", "panic!"] {
             if line.code.contains(token) {
                 if !allowed(lines, idx, findings, file) {
-                    findings.push(Finding {
-                        file: file.to_path_buf(),
-                        line: idx + 1,
-                        rule: "no-panic",
-                        message: format!(
+                    findings.push(Finding::new(
+                        file,
+                        idx + 1,
+                        "no-panic",
+                        format!(
                             "`{token}` in non-test code; handle the error or annotate \
                              `// check:allow <reason>`"
                         ),
-                    });
+                    ));
                 }
                 break;
             }
@@ -380,7 +161,7 @@ fn lint_no_panic(file: &Path, lines: &[Line], findings: &mut Vec<Finding>) {
     }
 }
 
-/// Rule 3: `unsafe` without a nearby `SAFETY:` comment.
+/// SC03: `unsafe` without a nearby `SAFETY:` comment.
 ///
 /// `unsafe fn` signatures are exempt — they state their contract in docs;
 /// what needs a justification is each `unsafe` *block* (and `unsafe
@@ -403,17 +184,17 @@ fn lint_safety_comments(file: &Path, lines: &[Line], findings: &mut Vec<Finding>
         let documented =
             (idx.saturating_sub(3)..=idx).any(|k| lines[k].comment.contains("SAFETY:"));
         if !documented {
-            findings.push(Finding {
-                file: file.to_path_buf(),
-                line: idx + 1,
-                rule: "safety-comment",
-                message: "`unsafe` without a `// SAFETY:` comment on or above it".into(),
-            });
+            findings.push(Finding::new(
+                file,
+                idx + 1,
+                "safety-comment",
+                "`unsafe` without a `// SAFETY:` comment on or above it".into(),
+            ));
         }
     }
 }
 
-/// Rule 4: wall clocks and ambient randomness are banned from the
+/// SC04: wall clocks and ambient randomness are banned from the
 /// algorithm layer.
 fn lint_no_clock(file: &Path, lines: &[Line], findings: &mut Vec<Finding>) {
     const BANNED: &[&str] = &[
@@ -429,26 +210,28 @@ fn lint_no_clock(file: &Path, lines: &[Line], findings: &mut Vec<Finding>) {
         }
         for token in BANNED {
             if line.code.contains(token) {
-                findings.push(Finding {
-                    file: file.to_path_buf(),
-                    line: idx + 1,
-                    rule: "no-clock",
-                    message: format!(
+                findings.push(Finding::new(
+                    file,
+                    idx + 1,
+                    "no-clock",
+                    format!(
                         "`{token}` in the algorithm layer, which is deterministic; \
                          clocks and randomness live in the driver crates"
                     ),
-                });
+                ));
                 break;
             }
         }
     }
 }
 
-/// Rule 4, driver facet: the engine/stream/CLI crates measure time only
-/// through the facades in `swag-metrics` (`clock::Stopwatch`,
-/// `LatencyRecorder`) and `swag-trace`. A raw `Instant` or `SystemTime`
-/// there dodges the one audited clock path — and `SystemTime` is
-/// additionally non-monotonic, which no latency math survives.
+/// SC04, driver facet: the engine/stream/CLI crates — and the workspace
+/// `tests/` and `examples/` directories, which demonstrate the intended
+/// idiom — measure time only through the facades in `swag-metrics`
+/// (`clock::Stopwatch`, `LatencyRecorder`) and `swag-trace`. A raw
+/// `Instant` or `SystemTime` there dodges the one audited clock path —
+/// and `SystemTime` is additionally non-monotonic, which no latency
+/// math survives.
 fn lint_clock_facade(file: &Path, lines: &[Line], findings: &mut Vec<Finding>) {
     for (idx, line) in lines.iter().enumerate() {
         if line.in_test {
@@ -456,23 +239,23 @@ fn lint_clock_facade(file: &Path, lines: &[Line], findings: &mut Vec<Finding>) {
         }
         for token in ["Instant", "SystemTime"] {
             if has_word(&line.code, token) {
-                findings.push(Finding {
-                    file: file.to_path_buf(),
-                    line: idx + 1,
-                    rule: "no-clock",
-                    message: format!(
+                findings.push(Finding::new(
+                    file,
+                    idx + 1,
+                    "no-clock",
+                    format!(
                         "`{token}` outside the clock facade: driver crates time through \
                          `swag_metrics::clock::Stopwatch` (or the swag-trace recorder), \
                          never raw std::time clocks"
                     ),
-                });
+                ));
                 break;
             }
         }
     }
 }
 
-/// Rule 2 support: the `impl … for Type` blocks in a file that override a
+/// SC02 support: the `impl … for Type` blocks in a file that override a
 /// `bulk_*` method, with the method names.
 fn bulk_overriders(lines: &[Line]) -> Vec<(String, String)> {
     let mut out = Vec::new();
@@ -522,18 +305,18 @@ fn bulk_overriders(lines: &[Line]) -> Vec<(String, String)> {
     out
 }
 
-/// Rule 2: every `bulk_*` overrider must be named in the equivalence
+/// SC02: every `bulk_*` overrider must be named in the equivalence
 /// suite so batched fast paths cannot ship untested.
 fn lint_bulk_coverage(root: &Path, core_src: &Path, findings: &mut Vec<Finding>) {
     let suite_path = root.join("tests/bulk_equivalence.rs");
     let suite = fs::read_to_string(&suite_path).unwrap_or_default();
     if suite.is_empty() {
-        findings.push(Finding {
-            file: suite_path,
-            line: 1,
-            rule: "bulk-coverage",
-            message: "tests/bulk_equivalence.rs is missing or empty".into(),
-        });
+        findings.push(Finding::new(
+            &suite_path,
+            1,
+            "bulk-coverage",
+            "tests/bulk_equivalence.rs is missing or empty".into(),
+        ));
         return;
     }
     for file in rust_files(core_src) {
@@ -543,15 +326,15 @@ fn lint_bulk_coverage(root: &Path, core_src: &Path, findings: &mut Vec<Finding>)
         let lines = lex(&source);
         for (ty, method) in bulk_overriders(&lines) {
             if !suite.contains(&ty) {
-                findings.push(Finding {
-                    file: file.clone(),
-                    line: 1,
-                    rule: "bulk-coverage",
-                    message: format!(
+                findings.push(Finding::new(
+                    &file,
+                    1,
+                    "bulk-coverage",
+                    format!(
                         "`{ty}` overrides `{method}` but is not exercised by \
                          tests/bulk_equivalence.rs"
                     ),
-                });
+                ));
             }
         }
     }
@@ -571,7 +354,7 @@ struct KernelImplSite {
     waived: bool,
 }
 
-/// Rule 4 support: every trait-impl block in a file, with its
+/// SC05 support: every trait-impl block in a file, with its
 /// slice-kernel overrides. Waivers count when the `SCALAR-OK` comment
 /// sits anywhere inside the block or within the three lines above the
 /// header.
@@ -643,7 +426,7 @@ fn kernel_impl_sites(lines: &[Line]) -> Vec<KernelImplSite> {
     out
 }
 
-/// Rule 4: a specialized `fold_slice` without both scan overrides is an
+/// SC05: a specialized `fold_slice` without both scan overrides is an
 /// incomplete kernel surface — the scans feed the cached per-node
 /// aggregates that `strict-invariants` compares bitwise, so the fast
 /// path and the checked path must specialize together.
@@ -654,17 +437,17 @@ fn lint_slice_kernel_coverage(core_src: &Path, findings: &mut Vec<Finding>) {
         };
         for site in kernel_impl_sites(&lex(&source)) {
             if site.fold && !(site.prefix && site.suffix) && !site.waived {
-                findings.push(Finding {
-                    file: file.clone(),
-                    line: site.line,
-                    rule: "slice-kernel-coverage",
-                    message: format!(
+                findings.push(Finding::new(
+                    &file,
+                    site.line,
+                    "slice-kernel-coverage",
+                    format!(
                         "`{}` specializes `fold_slice` but not both `prefix_scan_into` and \
                          `suffix_scan_into`; override the scans too or annotate \
                          `// SCALAR-OK: <reason>`",
                         site.ty
                     ),
-                });
+                ));
             }
         }
     }
@@ -751,7 +534,7 @@ fn inherent_methods(lines: &[Line]) -> Vec<(String, String)> {
     out
 }
 
-/// Rule 2, event-time facet: the aggregators in `crates/ooo` feed the
+/// SC02, event-time facet: the aggregators in `crates/ooo` feed the
 /// engine's batched ingestion path, so a type offering a scalar inherent
 /// `insert` must ship `bulk_insert` and `bulk_evict` fast paths too.
 fn lint_ooo_bulk_paths(ooo_src: &Path, findings: &mut Vec<Finding>) {
@@ -770,31 +553,33 @@ fn lint_ooo_bulk_paths(ooo_src: &Path, findings: &mut Vec<Finding>) {
             }
             for required in ["bulk_insert", "bulk_evict"] {
                 if !has(required) {
-                    findings.push(Finding {
-                        file: file.clone(),
-                        line: 1,
-                        rule: "bulk-coverage",
-                        message: format!(
+                    findings.push(Finding::new(
+                        &file,
+                        1,
+                        "bulk-coverage",
+                        format!(
                             "`{ty}` has a scalar `insert` but no `{required}`: event-time \
                              aggregators must serve the engine's batched paths"
                         ),
-                    });
+                    ));
                 }
             }
         }
     }
 }
 
-/// Run every rule against the repository at `root` and return the
-/// findings, sorted by file and line.
+/// Run every convention lint (SC01–SC05) against the repository at
+/// `root` and return the findings, sorted by file and line.
 pub fn lint_repo(root: &Path) -> Vec<Finding> {
     let mut findings = Vec::new();
     let core_src = root.join("crates/core/src");
     let engine_src = root.join("crates/engine/src");
     let metrics_src = root.join("crates/metrics/src");
     let ooo_src = root.join("crates/ooo/src");
+    let ws_tests = root.join("tests");
+    let ws_examples = root.join("examples");
 
-    for dir in [&core_src, &engine_src, &ooo_src] {
+    for dir in [&core_src, &engine_src, &ooo_src, &ws_tests, &ws_examples] {
         for file in rust_files(dir) {
             if let Ok(source) = fs::read_to_string(&file) {
                 let lines = lex(&source);
@@ -820,7 +605,13 @@ pub fn lint_repo(root: &Path) -> Vec<Finding> {
     }
     let stream_src = root.join("crates/stream/src");
     let slick_src = root.join("crates/slickdeque/src");
-    for dir in [&engine_src, &stream_src, &slick_src] {
+    for dir in [
+        &engine_src,
+        &stream_src,
+        &slick_src,
+        &ws_tests,
+        &ws_examples,
+    ] {
         for file in rust_files(dir) {
             if let Ok(source) = fs::read_to_string(&file) {
                 let lines = lex(&source);
@@ -834,6 +625,69 @@ pub fn lint_repo(root: &Path) -> Vec<Finding> {
 
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     findings
+}
+
+/// Everything the hot-path analyzer produced for one repository.
+pub struct Analysis {
+    /// HP01–HP04 findings, waived ones included and flagged.
+    pub findings: Vec<Finding>,
+    /// Malformed or reason-less baseline entries, plus stale entries
+    /// that matched no finding. Non-empty fails `--gate` with exit 2.
+    pub baseline_errors: Vec<String>,
+    pub hot_roots: Vec<String>,
+    pub reachable_fns: usize,
+}
+
+/// The source directories whose `fn` items enter the call graph: the
+/// production crates. `crates/bench` (the harness measures, it is not
+/// measured) and `crates/check` (this analyzer) are excluded.
+const GRAPH_DIRS: &[&str] = &[
+    "crates/core/src",
+    "crates/engine/src",
+    "crates/metrics/src",
+    "crates/ooo/src",
+    "crates/slickdeque/src",
+    "crates/stream/src",
+    "crates/trace/src",
+    "crates/data/src",
+    "crates/plan/src",
+];
+
+/// Run the hot-path analyzer (HP01–HP04) against the repository at
+/// `root`: parse, build the call graph, prove the three freedoms from
+/// every hot root, audit the atomics orderings, and apply the baseline.
+pub fn analyze_repo(root: &Path) -> Analysis {
+    let (baseline, mut baseline_errors) = hotpath::load_baseline(root);
+
+    let mut items = Vec::new();
+    for dir in GRAPH_DIRS {
+        for file in rust_files(&root.join(dir)) {
+            if let Ok(source) = fs::read_to_string(&file) {
+                items.extend(parse::parse_file(&file, &source));
+            }
+        }
+    }
+    let graph = graph::CallGraph::build(&items);
+    let hot = hotpath::check_hot_paths(&graph, &baseline);
+    let mut findings = hot.findings;
+    findings.extend(atomics::audit_atomics(root, &baseline));
+
+    for e in &baseline {
+        if !e.used.get() {
+            baseline_errors.push(format!(
+                "stale baseline entry (no matching finding): `{} {}` — remove it",
+                e.id, e.key
+            ));
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Analysis {
+        findings,
+        baseline_errors,
+        hot_roots: hot.roots,
+        reachable_fns: hot.reachable,
+    }
 }
 
 #[cfg(test)]
@@ -868,6 +722,18 @@ mod tests {
         lint_no_panic(Path::new("x.rs"), &lines, &mut findings);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].line, 6);
+    }
+
+    #[test]
+    fn test_fn_bodies_in_integration_tests_are_skipped() {
+        // No #[cfg(test)] wrapper, as in workspace tests/ files: the
+        // #[test] fn body is exempt, the helper between tests is not.
+        let src = "#[test]\nfn a() {\n    x.unwrap();\n}\nfn helper() { y.unwrap(); }\n#[test]\nfn b() { z.unwrap(); }\n";
+        let lines = lex(src);
+        let mut findings = Vec::new();
+        lint_no_panic(Path::new("tests/x.rs"), &lines, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:#?}");
+        assert_eq!(findings[0].line, 5);
     }
 
     #[test]
@@ -944,5 +810,25 @@ mod tests {
         let lines = lex(src);
         let got = bulk_overriders(&lines);
         assert_eq!(got, vec![("Shiny".to_string(), "bulk_insert".to_string())]);
+    }
+
+    #[test]
+    fn rule_ids_are_stable() {
+        for (rule, id) in [
+            ("no-panic", "SC01"),
+            ("bulk-coverage", "SC02"),
+            ("safety-comment", "SC03"),
+            ("no-clock", "SC04"),
+            ("slice-kernel-coverage", "SC05"),
+            ("hot-alloc", "HP01"),
+            ("hot-panic", "HP02"),
+            ("hot-block", "HP03"),
+            ("atomics-ordering", "HP04"),
+        ] {
+            assert_eq!(
+                Finding::new(Path::new("x.rs"), 1, rule, String::new()).id(),
+                id
+            );
+        }
     }
 }

@@ -1,0 +1,414 @@
+//! A lightweight Rust item parser: `fn` items, their bodies, and the
+//! impl/trait blocks that own them.
+//!
+//! This is deliberately not a full grammar. It walks the lexed lines of a
+//! file tracking brace depth and recognises three kinds of block headers
+//! — `impl Type`, `impl Trait for Type`, `trait Name` — plus `fn` items
+//! (with or without a body) inside or outside them. Headers and
+//! signatures may span lines (`where` clauses, wrapped generics); the
+//! block is attached at the first `{` that follows. The result is enough
+//! to classify hot-path roots and build a name-resolved call graph; the
+//! known approximations (no type inference, no trait-object resolution,
+//! nested `fn` bodies folded into their parent) are documented in
+//! DESIGN.md §13 and keep the parser conservative.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{has_word, lex};
+
+/// One line of a function body (or signature), 1-based.
+#[derive(Debug, Clone)]
+pub struct BodyLine {
+    pub line: usize,
+    pub code: String,
+    pub comment: String,
+    pub in_test: bool,
+}
+
+/// One parsed `fn` item.
+#[derive(Debug)]
+pub struct FnItem {
+    pub file: PathBuf,
+    /// Layer label derived from the path: the crate directory name under
+    /// `crates/` ("core", "engine", …) or "tests"/"examples" for the
+    /// workspace-level directories.
+    pub crate_label: String,
+    /// The `impl` block's self type, or the `trait` block's name for
+    /// default methods declared in the trait itself.
+    pub owner: Option<String>,
+    /// The trait being implemented (`impl Trait for Type`) or declared
+    /// (`trait Name`); `None` for inherent impls and free functions.
+    pub trait_name: Option<String>,
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Signature and body lines, in order.
+    pub body: Vec<BodyLine>,
+    /// True if the item is test code (`#[cfg(test)]` / `#[test]`).
+    pub in_test: bool,
+}
+
+impl FnItem {
+    /// Stable human-readable path used in findings, call chains, and the
+    /// baseline file: `label::Owner::name` or `label::name`.
+    pub fn qname(&self) -> String {
+        match &self.owner {
+            Some(owner) => format!("{}::{}::{}", self.crate_label, owner, self.name),
+            None => format!("{}::{}", self.crate_label, self.name),
+        }
+    }
+}
+
+/// What kind of block the depth-stack entry represents.
+#[derive(Debug, Clone)]
+enum BlockKind {
+    /// `impl Type { … }` or `impl Trait for Type { … }`.
+    Impl {
+        ty: String,
+        trait_name: Option<String>,
+    },
+    /// `trait Name { … }` — default method bodies live here.
+    Trait { name: String },
+    /// A function body being collected (index into the output vec).
+    Fn { item: usize },
+    /// Any other brace block (mod, struct, match, …).
+    Other,
+}
+
+/// The layer label for a workspace-relative file path.
+pub fn crate_label(file: &Path) -> String {
+    // Take the LAST match so fixture trees nested under
+    // `crates/check/fixtures/…/crates/<name>/` label as `<name>`.
+    let mut label: Option<String> = None;
+    let mut prev_is_crates = false;
+    for comp in file.components() {
+        let s = comp.as_os_str().to_string_lossy();
+        if prev_is_crates || s == "tests" || s == "examples" {
+            label = Some(s.clone().into_owned());
+        }
+        prev_is_crates = s == "crates";
+    }
+    label.unwrap_or_else(|| "workspace".into())
+}
+
+/// The last path-segment identifier of a (possibly generic, possibly
+/// `::`-qualified) type or trait reference, e.g.
+/// `swag_core::aggregator::FinalAggregator<O>` → `FinalAggregator`.
+fn last_segment_ident(s: &str) -> Option<String> {
+    let s = s.trim();
+    let no_generics = match s.find('<') {
+        Some(p) => &s[..p],
+        None => s,
+    };
+    let seg = no_generics.rsplit("::").next()?.trim();
+    let ident: String = seg
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!ident.is_empty()).then_some(ident)
+}
+
+/// Parse an `impl` header: the self type and, for trait impls, the trait.
+/// `code` is the line containing the `impl` keyword.
+fn parse_impl_header(code: &str) -> Option<(String, Option<String>)> {
+    let pos = code.find("impl")?;
+    let mut rest = code[pos + 4..].trim_start();
+    if let Some(stripped) = rest.strip_prefix('<') {
+        // Skip the generic parameter list (angle brackets nest).
+        let mut depth = 1usize;
+        let mut cut = None;
+        for (i, c) in stripped.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = Some(i + 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = stripped[cut?..].trim_start();
+    }
+    // Cut at `{` or `where` so trailing tokens don't leak into names.
+    let rest = rest.split('{').next().unwrap_or(rest);
+    let rest = match rest.find(" where") {
+        Some(p) => &rest[..p],
+        None => rest,
+    };
+    if let Some(for_pos) = rest.find(" for ") {
+        let trait_part = &rest[..for_pos];
+        let ty_part = &rest[for_pos + 5..];
+        let ty = last_segment_ident(ty_part)?;
+        Some((ty, last_segment_ident(trait_part)))
+    } else {
+        Some((last_segment_ident(rest)?, None))
+    }
+}
+
+/// The function name following a `fn` keyword on `code`, if any.
+fn fn_name(code: &str) -> Option<(String, usize)> {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find("fn") {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &code[at + 2..];
+        let after_ok = after.starts_with(|c: char| c.is_whitespace());
+        if before_ok && after_ok {
+            let name: String = after
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                return Some((name, at));
+            }
+        }
+        start = at + 2;
+    }
+    None
+}
+
+/// Parse every `fn` item in `source`, attributing impl/trait context.
+///
+/// The walk is segment-based: header text accumulates from the last
+/// structural boundary (`{`, `}`, or `;`) and is classified when its
+/// opening `{` arrives. That makes headers spanning lines (`where`
+/// clauses) and multiple items sharing one line (`impl Foo { fn go() {}
+/// }`) both resolve correctly without a real grammar.
+pub fn parse_file(file: &Path, source: &str) -> Vec<FnItem> {
+    let lines = lex(source);
+    let label = crate_label(file);
+    let mut items: Vec<FnItem> = Vec::new();
+    // (kind, depth the block was opened at — popped when its `}` closes).
+    let mut stack: Vec<(BlockKind, i64)> = Vec::new();
+    let mut depth = 0i64;
+    // Header text since the last structural boundary, and the row where
+    // it first became non-empty.
+    let mut seg = String::new();
+    let mut seg_start = 0usize;
+    let mut seg_has_content = false;
+
+    for (row, line) in lines.iter().enumerate() {
+        // Any row that begins inside an open fn belongs to its body (the
+        // signature rows were captured when the fn opened).
+        if let Some((BlockKind::Fn { item }, _)) = stack.last() {
+            let fi = &mut items[*item];
+            if fi.body.last().is_none_or(|b| b.line < row + 1) {
+                fi.body.push(BodyLine {
+                    line: row + 1,
+                    code: line.code.clone(),
+                    comment: line.comment.clone(),
+                    in_test: line.in_test,
+                });
+            }
+        }
+
+        for c in line.code.chars() {
+            let inside_fn = matches!(stack.last(), Some((BlockKind::Fn { .. }, _)));
+            match c {
+                '{' => {
+                    depth += 1;
+                    if !inside_fn {
+                        // Classify the completed header segment.
+                        let kind = if let Some((name, _)) = fn_name(&seg) {
+                            let (owner, trait_name) = stack
+                                .iter()
+                                .rev()
+                                .find_map(|(k, _)| match k {
+                                    BlockKind::Impl { ty, trait_name } => {
+                                        Some((Some(ty.clone()), trait_name.clone()))
+                                    }
+                                    BlockKind::Trait { name } => {
+                                        Some((Some(name.clone()), Some(name.clone())))
+                                    }
+                                    _ => None,
+                                })
+                                .unwrap_or((None, None));
+                            items.push(FnItem {
+                                file: file.to_path_buf(),
+                                crate_label: label.clone(),
+                                owner,
+                                trait_name,
+                                name,
+                                line: seg_start + 1,
+                                body: lines[seg_start..=row]
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(k, l)| BodyLine {
+                                        line: seg_start + k + 1,
+                                        code: l.code.clone(),
+                                        comment: l.comment.clone(),
+                                        in_test: l.in_test,
+                                    })
+                                    .collect(),
+                                in_test: lines[seg_start].in_test || lines[row].in_test,
+                            });
+                            BlockKind::Fn {
+                                item: items.len() - 1,
+                            }
+                        } else if has_word(&seg, "impl") && parse_impl_header(&seg).is_some() {
+                            let (ty, trait_name) = parse_impl_header(&seg).unwrap();
+                            BlockKind::Impl { ty, trait_name }
+                        } else if has_word(&seg, "trait")
+                            && !has_word(&seg, "dyn")
+                            && !seg.contains("= ")
+                        {
+                            // `pub trait Name …` (associated-type bounds
+                            // like `dyn Trait` and `type X = impl Trait`
+                            // excluded above).
+                            match seg
+                                .find("trait ")
+                                .and_then(|p| last_segment_ident(&seg[p + 6..]))
+                            {
+                                Some(name) => BlockKind::Trait { name },
+                                None => BlockKind::Other,
+                            }
+                        } else {
+                            BlockKind::Other
+                        };
+                        stack.push((kind, depth));
+                    }
+                    // Inside a fn, nested braces (including nested `fn`
+                    // items) fold into the body; the fn pops at its own
+                    // depth.
+                    seg.clear();
+                    seg_has_content = false;
+                }
+                '}' => {
+                    if let Some((kind, d)) = stack.last() {
+                        if depth == *d {
+                            if let BlockKind::Fn { item } = kind {
+                                // Make sure the closing row is in the body.
+                                let fi = &mut items[*item];
+                                if fi.body.last().is_none_or(|b| b.line < row + 1) {
+                                    fi.body.push(BodyLine {
+                                        line: row + 1,
+                                        code: line.code.clone(),
+                                        comment: line.comment.clone(),
+                                        in_test: line.in_test,
+                                    });
+                                }
+                            }
+                            stack.pop();
+                        }
+                    }
+                    depth -= 1;
+                    seg.clear();
+                    seg_has_content = false;
+                }
+                ';' => {
+                    // Statement end or bodiless `fn x(…);` declaration:
+                    // the accumulated header opens no block.
+                    if !inside_fn {
+                        seg.clear();
+                        seg_has_content = false;
+                    }
+                }
+                _ => {
+                    if !inside_fn {
+                        if !seg_has_content && !c.is_whitespace() {
+                            seg_start = row;
+                            seg_has_content = true;
+                        }
+                        seg.push(c);
+                    }
+                }
+            }
+        }
+        if seg_has_content {
+            seg.push(' '); // keep multi-line headers token-separated
+        }
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Vec<FnItem> {
+        parse_file(Path::new("crates/core/src/lib.rs"), src)
+    }
+
+    #[test]
+    fn free_and_impl_fns_are_attributed() {
+        let src = "pub fn free(x: u32) -> u32 {\n    x + 1\n}\n\
+                   impl Foo {\n    pub fn method(&self) {}\n}\n\
+                   impl Bar for Foo {\n    fn trait_method(&self) { self.method() }\n}\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 3, "{items:#?}");
+        assert_eq!(items[0].name, "free");
+        assert!(items[0].owner.is_none());
+        assert_eq!(items[1].qname(), "core::Foo::method");
+        assert_eq!(items[2].trait_name.as_deref(), Some("Bar"));
+        assert_eq!(items[2].owner.as_deref(), Some("Foo"));
+        assert!(items[2].body.iter().any(|l| l.code.contains("self.method")));
+    }
+
+    #[test]
+    fn multiline_headers_and_where_clauses_attach() {
+        let src = concat!(
+            "impl<O, A> ShardProcessor for KeyedWindows<O, A>\n",
+            "where\n    O: AggregateOp,\n{\n",
+            "    fn process_run(&mut self, key: u64)\n    where\n        O: Clone,\n    {\n",
+            "        helper(key);\n    }\n}\n",
+        );
+        let items = parse(src);
+        assert_eq!(items.len(), 1, "{items:#?}");
+        assert_eq!(items[0].owner.as_deref(), Some("KeyedWindows"));
+        assert_eq!(items[0].trait_name.as_deref(), Some("ShardProcessor"));
+        assert_eq!(items[0].name, "process_run");
+        assert!(items[0].body.iter().any(|l| l.code.contains("helper(key)")));
+    }
+
+    #[test]
+    fn trait_default_methods_and_bodiless_declarations() {
+        let src = concat!(
+            "pub trait FinalAggregator<O>: MemoryFootprint {\n",
+            "    fn slide(&mut self, p: u64) -> u64;\n",
+            "    fn bulk_slide(&mut self, batch: &[u64]) {\n",
+            "        for p in batch { self.slide(*p); }\n    }\n}\n",
+        );
+        let items = parse(src);
+        assert_eq!(items.len(), 1, "bodiless fn skipped: {items:#?}");
+        assert_eq!(items[0].name, "bulk_slide");
+        assert_eq!(items[0].trait_name.as_deref(), Some("FinalAggregator"));
+        assert_eq!(items[0].owner.as_deref(), Some("FinalAggregator"));
+    }
+
+    #[test]
+    fn nested_braces_stay_in_the_parent_body() {
+        let src = "fn outer() {\n    if x { y(); }\n    match z { _ => {} }\n    inner_call();\n}\nfn next() {}\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 2);
+        assert!(items[0].body.iter().any(|l| l.code.contains("inner_call")));
+        assert_eq!(items[1].name, "next");
+    }
+
+    #[test]
+    fn test_items_are_marked() {
+        let src = "#[test]\nfn a_test() { x.unwrap(); }\nfn helper() {}\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 2);
+        assert!(items[0].in_test);
+        assert!(!items[1].in_test);
+    }
+
+    #[test]
+    fn crate_labels_from_paths() {
+        assert_eq!(crate_label(Path::new("crates/core/src/lib.rs")), "core");
+        assert_eq!(
+            crate_label(Path::new("/root/repo/crates/ooo/src/tree.rs")),
+            "ooo"
+        );
+        assert_eq!(crate_label(Path::new("tests/bulk_equivalence.rs")), "tests");
+        assert_eq!(crate_label(Path::new("examples/quickstart.rs")), "examples");
+    }
+}

@@ -1,10 +1,10 @@
 //! Integration tests: the real workspace must be clean, and the seeded
-//! negative fixture must trip every rule — proving the gate can fail.
+//! negative fixtures must trip every rule — proving the gate can fail.
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
-use swag_check::lint_repo;
+use swag_check::{analyze_repo, lint_repo};
 
 fn workspace_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -107,5 +107,216 @@ fn negative_fixture_trips_every_rule() {
             .filter(|f| f.file == stream_lib)
             .all(|f| f.line < 20),
         "test-module clock read wrongly flagged: {findings:#?}"
+    );
+}
+
+#[test]
+fn workspace_hot_paths_are_contract_clean() {
+    let analysis = analyze_repo(&workspace_root());
+    let unwaived: Vec<String> = analysis
+        .findings
+        .iter()
+        .filter(|f| !f.waived)
+        .map(|f| f.to_string())
+        .collect();
+    assert!(
+        unwaived.is_empty(),
+        "unwaived hot-path findings in the workspace:\n{}",
+        unwaived.join("\n")
+    );
+    assert!(
+        analysis.baseline_errors.is_empty(),
+        "baseline hygiene errors: {:#?}",
+        analysis.baseline_errors
+    );
+    // Sanity: the root set and reach are real, not an empty no-op scan.
+    assert!(
+        analysis.hot_roots.len() > 100,
+        "suspiciously few hot roots: {}",
+        analysis.hot_roots.len()
+    );
+    assert!(
+        analysis.reachable_fns > analysis.hot_roots.len(),
+        "reach must extend beyond the roots themselves"
+    );
+}
+
+#[test]
+fn hot_fixture_trips_every_analyzer_rule() {
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/hot");
+    let a = analyze_repo(&fixture);
+    let unwaived_ids: BTreeSet<&str> = a
+        .findings
+        .iter()
+        .filter(|f| !f.waived)
+        .map(|f| f.id())
+        .collect();
+    for id in ["HP01", "HP02", "HP03", "HP04"] {
+        assert!(
+            unwaived_ids.contains(id),
+            "rule {id} did not fire on the fixture: {:#?}",
+            a.findings
+        );
+    }
+
+    let msgs: Vec<String> = a.findings.iter().map(|f| f.to_string()).collect();
+    let has = |needle: &str| msgs.iter().any(|m| m.contains(needle));
+    // Transitive findings carry the root -> offender chain.
+    assert!(
+        a.findings.iter().any(|f| {
+            f.id() == "HP01"
+                && f.chain.iter().any(|c| c.contains("Leaky::slide"))
+                && f.chain.iter().any(|c| c.contains("Leaky::grow"))
+        }),
+        "transitive alloc chain missing: {:#?}",
+        a.findings
+    );
+    assert!(
+        a.findings
+            .iter()
+            .any(|f| { f.id() == "HP03" && f.chain.iter().any(|c| c.contains("Leaky::stall")) }),
+        "transitive blocking finding missing: {:#?}",
+        a.findings
+    );
+    // The reasoned `// alloc:amortized` site is recorded but waived…
+    assert!(
+        a.findings
+            .iter()
+            .any(|f| f.id() == "HP01" && f.waived && f.message.contains(".to_vec(")),
+        "waived alloc control missing: {:#?}",
+        a.findings
+    );
+    // …the reason-less one is itself a finding.
+    assert!(has("alloc:amortized needs a reason"), "{msgs:#?}");
+    // HP04 fires both ways: policy violation and undeclared module.
+    assert!(has("violates the declared policy"), "{msgs:#?}");
+    assert!(has("no declared ordering policy"), "{msgs:#?}");
+    // Baseline plumbing: the valid entry waives, hygiene flags the rest.
+    assert!(
+        a.findings
+            .iter()
+            .any(|f| f.id() == "HP03" && f.waived && f.message.contains("thread::sleep")),
+        "baseline-waived blocking site missing: {:#?}",
+        a.findings
+    );
+    assert!(
+        a.baseline_errors.iter().any(|e| e.contains("stale")),
+        "{:#?}",
+        a.baseline_errors
+    );
+    assert!(
+        a.baseline_errors
+            .iter()
+            .any(|e| e.contains("malformed-line-without-fields")),
+        "{:#?}",
+        a.baseline_errors
+    );
+    assert!(
+        a.baseline_errors
+            .iter()
+            .any(|e| e.contains("core::Leaky::evict")),
+        "reason-less baseline entry must be a hygiene error: {:#?}",
+        a.baseline_errors
+    );
+}
+
+#[test]
+fn examples_and_test_helpers_are_in_scope() {
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/badrepo");
+    let findings = lint_repo(&fixture);
+
+    // Workspace examples are scanned for both facets.
+    let example = fixture.join("examples/bad_example.rs");
+    let ex: Vec<_> = findings.iter().filter(|f| f.file == example).collect();
+    assert!(
+        ex.iter().any(|f| f.rule == "no-panic" && f.line == 10),
+        "unwrap in an example must be flagged: {ex:#?}"
+    );
+    assert!(
+        ex.iter()
+            .any(|f| f.rule == "no-clock" && f.to_string().contains("Instant")),
+        "raw Instant in an example must be flagged: {ex:#?}"
+    );
+    // The reason-waived unwrap (line 12) stays clean.
+    assert!(
+        ex.iter().all(|f| f.line != 12),
+        "waived example line wrongly flagged: {ex:#?}"
+    );
+
+    // Test-file helpers outside #[test] items are scanned; test bodies
+    // stay exempt.
+    let tests_file = fixture.join("tests/bulk_equivalence.rs");
+    let tf: Vec<_> = findings.iter().filter(|f| f.file == tests_file).collect();
+    assert!(
+        tf.iter().any(|f| f.rule == "no-panic" && f.line == 7),
+        "helper .expect( outside #[test] must be flagged: {tf:#?}"
+    );
+    assert!(
+        tf.iter().all(|f| f.line != 12),
+        "in-test unwrap wrongly flagged: {tf:#?}"
+    );
+}
+
+fn temp_repo(files: &[(&str, &str)]) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "swag-check-lint-{:x}",
+        files
+            .iter()
+            .map(|(p, s)| p.len() * 31 + s.len())
+            .sum::<usize>()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    for (path, src) in files {
+        let full = dir.join(path);
+        std::fs::create_dir_all(full.parent().unwrap()).unwrap();
+        std::fs::write(full, src).unwrap();
+    }
+    dir
+}
+
+#[test]
+fn waiver_survives_attribute_lines_between_comment_and_site() {
+    let dir = temp_repo(&[(
+        "crates/core/src/lib.rs",
+        "// check:allow construction is validated by the caller\n\
+         #[inline]\n\
+         #[must_use]\n\
+         pub fn waived(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )]);
+    let findings = lint_repo(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        findings.iter().all(|f| f.rule != "no-panic"),
+        "waiver 3 lines above the site must hold across attributes: {findings:#?}"
+    );
+}
+
+#[test]
+fn empty_waiver_reason_is_rejected() {
+    let dir = temp_repo(&[(
+        "crates/core/src/lib.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    // check:allow\n    x.unwrap()\n}\n",
+    )]);
+    let findings = lint_repo(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.to_string().contains("check:allow needs a reason")),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn waiver_inside_a_string_literal_is_ignored() {
+    let dir = temp_repo(&[(
+        "crates/core/src/lib.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    let _s = \"check:allow not a waiver\";\n    x.unwrap()\n}\n",
+    )]);
+    let findings = lint_repo(&dir);
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        findings.iter().any(|f| f.rule == "no-panic" && f.line == 3),
+        "unwrap must still be flagged when check:allow only appears in a string: {findings:#?}"
     );
 }

@@ -148,7 +148,7 @@ impl<O: AggregateOp> FinalAggregator<O> for BInt<O> {
     /// Write the identity into the expiring slot so every covering dyadic
     /// interval keeps aggregating live partials only — `log₂(m)` combines.
     fn evict(&mut self) {
-        assert!(self.len > 0, "evict from an empty B-Int window");
+        assert!(self.len > 0, "evict from an empty B-Int window"); // check:allow precondition assert documenting the caller contract
         let oldest = (self.curr + self.window - self.len) % self.window;
         let identity = self.op.identity();
         self.update_slot(oldest, identity);

@@ -154,7 +154,7 @@ impl<O: AggregateOp> Daba<O> {
         } else {
             self.op.combine(self.agg_at(e - 1), &val)
         };
-        self.q.push_back(Slot { val, agg });
+        self.q.push_back(Slot { val, agg }); // alloc:amortized window buffer growth is amortized O(1) doubling
         self.step();
         strict_check!(self);
     }
@@ -163,7 +163,7 @@ impl<O: AggregateOp> Daba<O> {
     ///
     /// Panics if the window is empty.
     pub fn evict(&mut self) {
-        assert!(!self.q.is_empty(), "evict from an empty DABA window");
+        assert!(!self.q.is_empty(), "evict from an empty DABA window"); // check:allow precondition assert documenting the caller contract
         self.q.pop_front();
         self.popped += 1;
         // Pointers never lag behind the front: they were ≥ old front + 1
@@ -274,7 +274,7 @@ impl<O: AggregateOp> FinalAggregator<O> for Daba<O> {
         if self.q.len() == self.window {
             self.evict();
         }
-        self.insert(partial);
+        self.insert(partial); // alloc:amortized window buffer growth is amortized O(1) doubling
         self.query()
     }
 
@@ -303,7 +303,7 @@ impl<O: AggregateOp> FinalAggregator<O> for Daba<O> {
         }
         self.q.reserve_back(tail.len());
         for p in tail {
-            self.insert(p.clone());
+            self.insert(p.clone()); // alloc:amortized window buffer growth is amortized O(1) doubling
         }
     }
 

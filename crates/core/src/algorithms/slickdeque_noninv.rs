@@ -106,7 +106,7 @@ impl<O: SelectiveOp> SlickDequeNonInv<O> {
     /// effect as new partials arrive (partials older than the previous
     /// window are gone and cannot be resurrected). O(expired nodes).
     pub fn resize(&mut self, window: usize) {
-        assert!(window >= 1, "window must hold at least one partial");
+        assert!(window >= 1, "window must hold at least one partial"); // check:allow precondition assert documenting the caller contract
         self.window = window;
         if self.len > window {
             self.len = window;
@@ -136,6 +136,7 @@ impl<O: SelectiveOp> FinalAggregator<O> for SlickDequeNonInv<O> {
                 break;
             }
         }
+        // alloc:amortized window buffer growth is amortized O(1) doubling
         self.deque.push_back(Node {
             pos: self.next_pos,
             val: partial,
@@ -157,7 +158,7 @@ impl<O: SelectiveOp> FinalAggregator<O> for SlickDequeNonInv<O> {
     /// Drop the oldest live position; at most one head node can expire
     /// (nodes hold strictly increasing positions).
     fn evict(&mut self) {
-        assert!(self.len > 0, "evict from an empty SlickDeque window");
+        assert!(self.len > 0, "evict from an empty SlickDeque window"); // check:allow precondition assert documenting the caller contract
         self.len -= 1;
         self.expire_head();
         strict_check!(self);
@@ -166,7 +167,7 @@ impl<O: SelectiveOp> FinalAggregator<O> for SlickDequeNonInv<O> {
     /// One head scan for the whole range of expired positions instead of
     /// `n` separate head checks.
     fn bulk_evict(&mut self, n: usize) {
-        assert!(n <= self.len, "evicting {n} of {} partials", self.len);
+        assert!(n <= self.len, "evicting {n} of {} partials", self.len); // check:allow precondition assert documenting the caller contract
         self.len -= n;
         let oldest_live = self.next_pos - self.len as u64;
         while self
@@ -204,14 +205,14 @@ impl<O: SelectiveOp> FinalAggregator<O> for SlickDequeNonInv<O> {
         let mut iter = tail.iter().enumerate().rev();
         let mut winner = match iter.next() {
             Some((i, p)) => {
-                self.survivors.push((skip + i, p.clone()));
+                self.survivors.push((skip + i, p.clone())); // alloc:amortized window buffer growth is amortized O(1) doubling
                 p.clone()
             }
             None => return, // unreachable: skip < b, so the tail is non-empty
         };
         for (i, p) in iter {
             if !self.op.defeats(&winner, p) {
-                self.survivors.push((skip + i, p.clone()));
+                self.survivors.push((skip + i, p.clone())); // alloc:amortized window buffer growth is amortized O(1) doubling
                 winner = self.op.combine(p, &winner);
             }
         }

@@ -49,10 +49,10 @@ impl<O: InvertibleOp> TimeSlickDequeInv<O> {
     /// Insert a tuple observed at `ts` (non-decreasing) and return the
     /// aggregate over `(ts − range_ms, ts]`.
     pub fn insert(&mut self, ts: Timestamp, value: O::Partial) -> O::Partial {
-        assert!(ts >= self.last_ts, "timestamps must be non-decreasing");
+        assert!(ts >= self.last_ts, "timestamps must be non-decreasing"); // check:allow precondition assert documenting the caller contract
         self.last_ts = ts;
         self.answer = self.op.combine(&self.answer, &value);
-        self.window.push_back((ts, value));
+        self.window.push_back((ts, value)); // alloc:amortized window buffer growth is amortized O(1) doubling
         self.expire(ts);
         self.answer.clone()
     }
@@ -139,7 +139,7 @@ impl<O: SelectiveOp> TimeSlickDequeNonInv<O> {
     /// Insert a tuple observed at `ts` (non-decreasing) and return the
     /// aggregate over `(ts − range_ms, ts]`.
     pub fn insert(&mut self, ts: Timestamp, value: O::Partial) -> O::Partial {
-        assert!(ts >= self.last_ts, "timestamps must be non-decreasing");
+        assert!(ts >= self.last_ts, "timestamps must be non-decreasing"); // check:allow precondition assert documenting the caller contract
         self.last_ts = ts;
         while let Some(back) = self.deque.back() {
             if self.op.combine(&back.val, &value) == value {
@@ -148,7 +148,7 @@ impl<O: SelectiveOp> TimeSlickDequeNonInv<O> {
                 break;
             }
         }
-        self.deque.push_back(TimeNode { ts, val: value });
+        self.deque.push_back(TimeNode { ts, val: value }); // alloc:amortized window buffer growth is amortized O(1) doubling
         self.expire(ts);
         self.query()
     }

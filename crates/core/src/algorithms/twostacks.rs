@@ -79,7 +79,7 @@ impl<O: AggregateOp> TwoStacks<O> {
             Some(top) => self.op.combine(&top.agg, &val),
             None => val.clone(),
         };
-        self.back.push(Node { val, agg });
+        self.back.push(Node { val, agg }); // alloc:amortized window buffer growth is amortized O(1) doubling
     }
 
     /// Remove the oldest partial. When the front stack is empty this flips
@@ -146,7 +146,7 @@ impl<O: AggregateOp> FinalAggregator<O> for TwoStacks<O> {
         if self.len() == self.window {
             self.evict();
         }
-        self.insert(partial);
+        self.insert(partial); // alloc:amortized window buffer growth is amortized O(1) doubling
         strict_check!(self);
         self.query()
     }
@@ -168,7 +168,7 @@ impl<O: AggregateOp> FinalAggregator<O> for TwoStacks<O> {
     /// only if it runs out flip the back once and truncate the rest —
     /// instead of `n` flip checks.
     fn bulk_evict(&mut self, n: usize) {
-        assert!(n <= self.len(), "evicting {n} of {} partials", self.len());
+        assert!(n <= self.len(), "evicting {n} of {} partials", self.len()); // check:allow precondition assert documenting the caller contract
         let from_front = n.min(self.front.len());
         self.front.truncate(self.front.len() - from_front);
         let rest = n - from_front;

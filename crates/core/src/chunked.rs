@@ -229,7 +229,7 @@ impl<T> ChunkedDeque<T> {
             return None;
         }
         let (chunk, slot) = self.locate(index);
-        Some(&self.chunks[chunk][slot])
+        Some(&self.chunks[chunk][slot]) // check:allow index kept in-bounds by the ring/stack invariant
     }
 
     /// Mutable access to the element at `index` (0 = front).
@@ -239,7 +239,7 @@ impl<T> ChunkedDeque<T> {
             return None;
         }
         let (chunk, slot) = self.locate(index);
-        Some(&mut self.chunks[chunk][slot])
+        Some(&mut self.chunks[chunk][slot]) // check:allow index kept in-bounds by the ring/stack invariant
     }
 
     /// The front (oldest) element.
@@ -270,7 +270,7 @@ impl<T> ChunkedDeque<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.chunks.iter().enumerate().flat_map(move |(i, c)| {
             let start = if i == 0 { self.front_offset } else { 0 };
-            c[start..].iter()
+            c[start..].iter() // check:allow index kept in-bounds by the ring/stack invariant
         })
     }
 
@@ -284,7 +284,7 @@ impl<T> ChunkedDeque<T> {
     pub fn slices(&self) -> impl DoubleEndedIterator<Item = &[T]> {
         self.chunks.iter().enumerate().filter_map(move |(i, c)| {
             let start = if i == 0 { self.front_offset } else { 0 };
-            let run = &c[start..];
+            let run = &c[start..]; // check:allow index kept in-bounds by the ring/stack invariant
             (!run.is_empty()).then_some(run)
         })
     }

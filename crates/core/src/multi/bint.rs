@@ -41,7 +41,7 @@ impl<O: AggregateOp> MultiFinalAggregator<O> for MultiBInt<O> {
         self.intervals.update_slot(self.curr, partial);
         for &r in &self.ranges {
             let start = (self.curr + self.wsize + 1 - r) % self.wsize;
-            out.push(self.intervals.query_range(start, r));
+            out.push(self.intervals.query_range(start, r)); // alloc:amortized window buffer growth is amortized O(1) doubling
         }
         self.curr = (self.curr + 1) % self.wsize;
     }

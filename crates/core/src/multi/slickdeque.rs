@@ -134,10 +134,10 @@ impl<O: InvertibleOp> MultiFinalAggregator<O> for MultiSlickDequeInv<O> {
         for (r, ans) in &mut self.answers {
             let start = (self.curr + self.wsize - *r) % self.wsize;
             let with_new = self.op.combine(ans, &partial);
-            *ans = self.op.inverse_combine(&with_new, &self.partials[start]);
-            out.push(ans.clone());
+            *ans = self.op.inverse_combine(&with_new, &self.partials[start]); // check:allow index kept in-bounds by the ring/stack invariant
+            out.push(ans.clone()); // alloc:amortized window buffer growth is amortized O(1) doubling
         }
-        self.partials[self.curr] = partial;
+        self.partials[self.curr] = partial; // check:allow index kept in-bounds by the ring/stack invariant
         self.curr = (self.curr + 1) % self.wsize;
         strict_check!(self);
     }
@@ -373,6 +373,7 @@ impl<O: SelectiveOp> MultiFinalAggregator<O> for MultiSlickDequeNonInv<O> {
                 break;
             }
         }
+        // alloc:amortized window buffer growth is amortized O(1) doubling
         self.deque.push_back(Node {
             pos: self.curr,
             val: partial,
@@ -406,7 +407,7 @@ impl<O: SelectiveOp> MultiFinalAggregator<O> for MultiSlickDequeNonInv<O> {
             }
             // For r == wSize every live node is in range (the cursor is
             // still at the head for the largest range).
-            out.push(node.val.clone());
+            out.push(node.val.clone()); // alloc:amortized window buffer growth is amortized O(1) doubling
         }
         self.curr = (self.curr + 1) % self.wsize;
         strict_check!(self);

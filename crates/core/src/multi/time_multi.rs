@@ -67,9 +67,9 @@ impl<O: InvertibleOp> MultiTimeSlickDequeInv<O> {
     /// Insert a tuple at `ts` (non-decreasing); push one answer per range
     /// (descending) into `out`.
     pub fn insert(&mut self, ts: Timestamp, value: O::Partial, out: &mut Vec<O::Partial>) {
-        assert!(ts >= self.last_ts, "timestamps must be non-decreasing");
+        assert!(ts >= self.last_ts, "timestamps must be non-decreasing"); // check:allow precondition assert documenting the caller contract
         self.last_ts = ts;
-        self.window.push_back((ts, value.clone()));
+        self.window.push_back((ts, value.clone())); // alloc:amortized window buffer growth is amortized O(1) doubling
         for (ri, (cursor, answer)) in self.cursors.iter_mut().enumerate() {
             *answer = self.op.combine(answer, &value);
             if let Some(cutoff) = ts.checked_sub(self.ranges_ms[ri]) {
@@ -93,7 +93,7 @@ impl<O: InvertibleOp> MultiTimeSlickDequeInv<O> {
         }
         out.clear();
         for (_, answer) in &self.cursors {
-            out.push(answer.clone());
+            out.push(answer.clone()); // alloc:amortized window buffer growth is amortized O(1) doubling
         }
     }
 
@@ -157,7 +157,7 @@ impl<O: SelectiveOp> MultiTimeSlickDequeNonInv<O> {
     /// Insert a tuple at `ts` (non-decreasing); push one answer per range
     /// (descending) into `out`. Answers cover `(ts − range, ts]`.
     pub fn insert(&mut self, ts: Timestamp, value: O::Partial, out: &mut Vec<O::Partial>) {
-        assert!(ts >= self.last_ts, "timestamps must be non-decreasing");
+        assert!(ts >= self.last_ts, "timestamps must be non-decreasing"); // check:allow precondition assert documenting the caller contract
         self.last_ts = ts;
         // Expire nodes outside the largest range.
         if let Some(cutoff) = ts.checked_sub(self.ranges_ms[0]) {
@@ -172,9 +172,9 @@ impl<O: SelectiveOp> MultiTimeSlickDequeNonInv<O> {
                 break;
             }
         }
-        self.deque.push_back(TimeNode { ts, val: value });
-        // Single pass, largest range first: skip nodes too old for the
-        // current range; the new arrival always qualifies.
+        self.deque.push_back(TimeNode { ts, val: value }); // alloc:amortized window buffer growth is amortized O(1) doubling
+                                                           // Single pass, largest range first: skip nodes too old for the
+                                                           // current range; the new arrival always qualifies.
         out.clear();
         let mut nodes = self.deque.iter();
         // check:allow the arrival was pushed above, so the deque is non-empty
@@ -185,7 +185,7 @@ impl<O: SelectiveOp> MultiTimeSlickDequeNonInv<O> {
                 // check:allow the newest node satisfies every range, so the cursor stops
                 node = nodes.next().expect("newest node is always in range");
             }
-            out.push(node.val.clone());
+            out.push(node.val.clone()); // alloc:amortized window buffer growth is amortized O(1) doubling
         }
     }
 }

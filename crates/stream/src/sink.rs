@@ -33,7 +33,7 @@ impl<T> CollectSink<T> {
 
 impl<T> Sink<T> for CollectSink<T> {
     fn deliver(&mut self, query_idx: usize, answer: T) {
-        self.answers.push((query_idx, answer));
+        self.answers.push((query_idx, answer)); // alloc:amortized buffer growth is bounded by plan length / reorder high-water mark
     }
 }
 

@@ -20,7 +20,7 @@ fn main() {
     println!(
         "phase 1 — panels {:?}: 60s max = {:.2}",
         panels.ranges(),
-        out[0].unwrap()
+        out[0].unwrap() // check:allow example aborts on setup failure by design
     );
 
     // --- Phase 2: an operator adds a 10-second panel, no restart. -------
@@ -31,8 +31,8 @@ fn main() {
     println!(
         "phase 2 — panels {:?}: 60s max = {:.2}, 10s max = {:.2}",
         panels.ranges(),
-        out[0].unwrap(),
-        out[1].unwrap()
+        out[0].unwrap(), // check:allow example aborts on setup failure by design
+        out[1].unwrap()  // check:allow example aborts on setup failure by design
     );
 
     // --- Phase 3: the long panel is dropped; memory follows. ------------
@@ -44,7 +44,7 @@ fn main() {
     println!(
         "phase 3 — panels {:?}: 10s max = {:.2} (deque bytes {} → {})",
         panels.ranges(),
-        out[0].unwrap(),
+        out[0].unwrap(), // check:allow example aborts on setup failure by design
         before,
         panels.heap_bytes()
     );

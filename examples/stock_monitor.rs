@@ -80,13 +80,13 @@ fn main() {
         clients[0].query.range,
         clients[0].query.slide,
         trader_max.len(),
-        trader_max.last().and_then(|v| **v).unwrap()
+        trader_max.last().and_then(|v| **v).unwrap() // check:allow example aborts on setup failure by design
     );
 
     let risk_max = max_sink.for_query(1);
     let risk_min = min_sink.for_query(1);
     let last_range =
-        risk_max.last().and_then(|v| **v).unwrap() - risk_min.last().and_then(|v| **v).unwrap();
+        risk_max.last().and_then(|v| **v).unwrap() - risk_min.last().and_then(|v| **v).unwrap(); // check:allow example aborts on setup failure by design
     println!(
         "[{}] {} over r={} s={}: {} reports, last = {:.2}",
         clients[2].client,
@@ -117,7 +117,7 @@ fn main() {
         clients[1].query.range,
         clients[1].query.slide,
         means.len(),
-        mean_op.lower(means.last().unwrap())
+        mean_op.lower(means.last().unwrap()) // check:allow example aborts on setup failure by design
     );
 
     let sd_op = StdDev::new();
@@ -135,6 +135,6 @@ fn main() {
         clients[3].query.range,
         clients[3].query.slide,
         sds.len(),
-        sd_op.lower(sds.last().unwrap())
+        sd_op.lower(sds.last().unwrap()) // check:allow example aborts on setup failure by design
     );
 }

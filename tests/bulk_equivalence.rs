@@ -130,7 +130,7 @@ where
     let mut model: VecDeque<O::Partial> = VecDeque::new();
     let fold = |op: &O, m: &VecDeque<O::Partial>| {
         let mut it = m.iter();
-        let first = *it.next().expect("fold of a non-empty window");
+        let first = *it.next().expect("fold of a non-empty window"); // check:allow test helper aborts the run on malformed input
         it.fold(first, |a, b| op.combine(&a, b))
     };
     let value = |rng: &mut Xoshiro256StarStar| rng.gen_range_u64(0, 1000) as i64 - 500;
