@@ -12,7 +12,7 @@
 //! `--latency-tuples N`, `--seed S`, `--out DIR`, `--no-save`.
 
 use swag_bench::{
-    bulk, exp1, exp2, exp3, exp4, kernels, ooo, pats, scaling, table1, workloads, Config,
+    bulk, exp1, exp2, exp3, exp4, kernels, nexmark, ooo, pats, scaling, table1, workloads, Config,
 };
 use swag_metrics::alloc::CountingAllocator;
 
@@ -22,7 +22,7 @@ static ALLOC: CountingAllocator = CountingAllocator;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|exp1a|exp1b|exp2a|exp2b|exp3|exp4|workloads|pats|scaling|bulk|ooo|kernels|all> \
+        "usage: experiments <table1|exp1a|exp1b|exp2a|exp2b|exp3|exp4|workloads|pats|scaling|bulk|ooo|kernels|nexmark|all> \
          [--quick] [--max-exp E] [--multi-max-exp E] [--budget-ms N] \
          [--latency-tuples N] [--seed S] [--out DIR] [--no-save]"
     );
@@ -111,6 +111,7 @@ fn main() {
             "bulk",
             "ooo",
             "kernels",
+            "nexmark",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -176,6 +177,13 @@ fn main() {
             }
             "kernels" => {
                 let t = kernels::run(&cfg);
+                t.print();
+                if let Some(dir) = &cfg.out_dir {
+                    let _ = t.save(dir);
+                }
+            }
+            "nexmark" => {
+                let t = nexmark::run(&cfg);
                 t.print();
                 if let Some(dir) = &cfg.out_dir {
                     let _ = t.save(dir);

@@ -1,65 +1,45 @@
-//! Tiny std-only scrape client for the CI observability smoke test.
+//! Tiny std-only scrape + control-plane client for the CI smoke tests.
 //!
 //! ```text
 //! scrape_metrics --addr 127.0.0.1:9184 \
 //!     --require swag_engine_tuples_total --require swag_engine_keys \
 //!     --json --flightrec results/flightrec-0.json --retry-ms 2000
+//!
+//! scrape_metrics --addr 127.0.0.1:9301 --retry-ms 20000 \
+//!     --post /pipelines --body '{"name":"p","op":"sum",...}' --expect-status 201 \
+//!     --require swag_pipeline_tuples_total
 //! ```
 //!
 //! Fetches `/metrics` (and with `--json` also `/metrics.json`) from a
-//! running engine, asserts every `--require`d metric name appears in
-//! both expositions, and — with `--flightrec` — asserts the named
-//! flight-recorder dump parses and carries events. Exits non-zero on any
-//! failed check, so a CI job is one invocation, no grep scripting.
+//! running engine or `swag-server`, asserts every `--require`d metric
+//! name appears in both expositions, and — with `--flightrec` — asserts
+//! the named flight-recorder dump parses and carries events. Each
+//! `--post PATH` (with an optional following `--body JSON` and
+//! `--expect-status N`) issues a control-plane POST first, so the
+//! service smoke test can create pipelines and trigger snapshots from
+//! CI without any scripting beyond this binary. POSTs run before the
+//! metric checks. Exits non-zero on any failed check.
 
-use std::io::{Read, Write};
-use std::net::TcpStream;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use swag_bench::httpc;
 use swag_metrics::Json;
 
 fn usage() -> ! {
     eprintln!(
         "usage: scrape_metrics [--addr host:port] [--require METRIC]... \
-         [--json] [--flightrec FILE]... [--retry-ms N]\n\
+         [--json] [--flightrec FILE]... [--retry-ms N] \
+         [--post PATH [--body JSON] [--expect-status N]]...\n\
          at least one of --addr / --flightrec is required"
     );
     std::process::exit(2);
 }
 
-/// One HTTP/1.1 GET; returns the response body after asserting 200.
-fn get(addr: &str, path: &str, retry: Duration) -> Result<String, String> {
-    let deadline = Instant::now() + retry;
-    let mut stream = loop {
-        match TcpStream::connect(addr) {
-            Ok(s) => break s,
-            Err(e) if Instant::now() < deadline => {
-                let _ = e;
-                std::thread::sleep(Duration::from_millis(25));
-            }
-            Err(e) => return Err(format!("connect {addr}: {e}")),
-        }
-    };
-    stream
-        .set_read_timeout(Some(Duration::from_secs(5)))
-        .map_err(|e| e.to_string())?;
-    write!(
-        stream,
-        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
-    )
-    .map_err(|e| format!("send GET {path}: {e}"))?;
-    let mut response = String::new();
-    stream
-        .read_to_string(&mut response)
-        .map_err(|e| format!("read GET {path}: {e}"))?;
-    let (head, body) = response
-        .split_once("\r\n\r\n")
-        .ok_or_else(|| format!("GET {path}: malformed response"))?;
-    let status = head.lines().next().unwrap_or_default();
-    if !status.contains(" 200 ") {
-        return Err(format!("GET {path}: {status}"));
-    }
-    Ok(body.to_string())
+/// One `--post PATH --body JSON --expect-status N` group.
+struct PostReq {
+    path: String,
+    body: String,
+    expect: Option<u16>,
 }
 
 fn check_flightrec(path: &str) -> Result<(), String> {
@@ -85,6 +65,7 @@ fn run() -> Result<(), String> {
     let mut addr: Option<String> = None;
     let mut require: Vec<String> = Vec::new();
     let mut flightrecs: Vec<String> = Vec::new();
+    let mut posts: Vec<PostReq> = Vec::new();
     let mut json = false;
     let mut retry = Duration::ZERO;
     let mut args = std::env::args().skip(1);
@@ -94,6 +75,25 @@ fn run() -> Result<(), String> {
             "--require" => require.extend(args.next()),
             "--flightrec" => flightrecs.extend(args.next()),
             "--json" => json = true,
+            "--post" => posts.push(PostReq {
+                path: args.next().unwrap_or_else(|| usage()),
+                body: String::new(),
+                expect: None,
+            }),
+            "--body" => match posts.last_mut() {
+                Some(p) => p.body = args.next().unwrap_or_else(|| usage()),
+                None => usage(),
+            },
+            "--expect-status" => match posts.last_mut() {
+                Some(p) => {
+                    p.expect = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage()),
+                    )
+                }
+                None => usage(),
+            },
             "--retry-ms" => {
                 let ms: u64 = args
                     .next()
@@ -107,9 +107,29 @@ fn run() -> Result<(), String> {
     if addr.is_none() && flightrecs.is_empty() {
         usage();
     }
+    if !posts.is_empty() && addr.is_none() {
+        usage();
+    }
 
     if let Some(addr) = &addr {
-        let text = get(addr, "/metrics", retry)?;
+        for p in &posts {
+            let (status, body) = httpc::post(addr, &p.path, &p.body, retry)?;
+            let ok = match p.expect {
+                Some(want) => status == want,
+                None => (200..300).contains(&status),
+            };
+            if !ok {
+                return Err(format!(
+                    "POST {}: HTTP {status} (wanted {}): {}",
+                    p.path,
+                    p.expect.map_or("2xx".into(), |w| w.to_string()),
+                    body.trim()
+                ));
+            }
+            println!("ok: POST {} -> HTTP {status}", p.path);
+        }
+
+        let text = httpc::get(addr, "/metrics", retry)?;
         for name in &require {
             if !text.lines().any(|l| l.contains(name.as_str())) {
                 return Err(format!("/metrics: required metric `{name}` missing"));
@@ -122,7 +142,7 @@ fn run() -> Result<(), String> {
         );
 
         if json {
-            let body = get(addr, "/metrics.json", retry)?;
+            let body = httpc::get(addr, "/metrics.json", retry)?;
             let doc = Json::parse(&body).map_err(|e| format!("/metrics.json: {e}"))?;
             let metrics = doc
                 .get("metrics")

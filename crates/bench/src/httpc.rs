@@ -1,0 +1,72 @@
+//! Minimal std-only HTTP/1.1 client for the control plane and metrics
+//! endpoints: one connection per request, `Connection: close`, no TLS,
+//! no chunked encoding — exactly what the workspace's dependency-free
+//! servers speak. Shared by `scrape_metrics`, `service_smoke`, and the
+//! `nexmark` experiment.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// One request; returns `(status_code, body)`.
+///
+/// Connection refusals are retried until `retry` elapses (covers the
+/// races where a server process is still binding its listener); all
+/// other errors fail immediately.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    retry: Duration,
+) -> Result<(u16, String), String> {
+    let deadline = Instant::now() + retry;
+    let mut stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => return Err(format!("connect {addr}: {e}")),
+        }
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .map_err(|e| format!("send {method} {path}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read {method} {path}: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{method} {path}: malformed response"))?;
+    let status = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|c| c.parse::<u16>().ok())
+        .ok_or_else(|| format!("{method} {path}: malformed status line"))?;
+    Ok((status, body.to_string()))
+}
+
+/// GET `path`, asserting a 200.
+pub fn get(addr: &str, path: &str, retry: Duration) -> Result<String, String> {
+    let (status, body) = request(addr, "GET", path, "", retry)?;
+    if status != 200 {
+        return Err(format!("GET {path}: HTTP {status}: {}", body.trim()));
+    }
+    Ok(body)
+}
+
+/// POST `body` to `path`; returns `(status_code, body)` for the caller
+/// to judge (the control plane uses 201/409/400 meaningfully).
+pub fn post(addr: &str, path: &str, body: &str, retry: Duration) -> Result<(u16, String), String> {
+    request(addr, "POST", path, body, retry)
+}

@@ -20,6 +20,7 @@
 //! | Bulk-ingestion batch sweep (extension) | [`bulk`] | `bulk` |
 //! | Out-of-order ingestion sweep (extension) | [`ooo`] | `ooo` |
 //! | Batch-kernel sweep (extension) | [`kernels`] | `kernels` |
+//! | NEXMark service scenario (extension) | [`nexmark`] | `nexmark` |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -29,8 +30,10 @@ pub mod exp1;
 pub mod exp2;
 pub mod exp3;
 pub mod exp4;
+pub mod httpc;
 pub mod kernels;
 pub mod microbench;
+pub mod nexmark;
 #[cfg(feature = "obs")]
 pub mod obs_overhead;
 pub mod ooo;

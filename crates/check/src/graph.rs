@@ -23,10 +23,13 @@ const KEYWORDS: &[&str] = &[
 ];
 
 /// Callee names excluded from graph edges: the constructor/formatting
-/// family. Construction is cold-path by definition here (hot roots never
-/// build new aggregators), and `fmt`/`to_json` are reporting surfaces.
-/// Effects *at the call site itself* (e.g. an `or_insert_with(… ::new)`
-/// growing a map) are still caught by the token tables in `hotpath.rs`.
+/// family plus teardown. Construction and teardown are cold-path by
+/// definition here (hot roots never build or destroy aggregators —
+/// `drop(x)` in hot code would otherwise fan out to every `Drop` impl
+/// in the workspace, e.g. the server's shutdown-snapshotting drop), and
+/// `fmt`/`to_json` are reporting surfaces. Effects *at the call site
+/// itself* (e.g. an `or_insert_with(… ::new)` growing a map) are still
+/// caught by the token tables in `hotpath.rs`.
 const EXCLUDED_CALLEES: &[&str] = &[
     "new",
     "default",
@@ -38,6 +41,7 @@ const EXCLUDED_CALLEES: &[&str] = &[
     "to_json",
     "check_invariants",
     "heap_bytes",
+    "drop",
 ];
 
 /// A name-resolved call edge out of a function body.

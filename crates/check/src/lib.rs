@@ -646,6 +646,7 @@ const GRAPH_DIRS: &[&str] = &[
     "crates/engine/src",
     "crates/metrics/src",
     "crates/ooo/src",
+    "crates/server/src",
     "crates/slickdeque/src",
     "crates/stream/src",
     "crates/trace/src",

@@ -270,6 +270,53 @@ impl<O: InvertibleOp> MemoryFootprint for SlickDequeInv<O> {
     }
 }
 
+impl<O: InvertibleOp> crate::state::StatefulAggregator<O> for SlickDequeInv<O> {
+    /// Verbatim capture of `[curr, len]`, the history ring in storage
+    /// order, and the **running answer**. The answer must be saved, not
+    /// refolded at load: it carries the accumulated ⊕/⊖ rounding of the
+    /// whole stream history, which a fresh fold over the live window
+    /// cannot reproduce bitwise.
+    fn save_state(&self, w: &mut crate::state::StateWriter<O::Partial>) {
+        w.usize_word(self.curr);
+        w.usize_word(self.len);
+        for p in &self.partials {
+            w.partial(p.clone());
+        }
+        w.partial(self.answer.clone());
+    }
+
+    fn load_state(
+        op: O,
+        window: usize,
+        r: &mut crate::state::StateReader<'_, O::Partial>,
+    ) -> Result<Self, crate::state::StateError> {
+        if window == 0 {
+            return Err(crate::state::corrupt("slickdeque_inv: zero window"));
+        }
+        let curr = r.usize_word("slickdeque_inv curr")?;
+        let len = r.usize_word("slickdeque_inv len")?;
+        let partials = r.partial_vec(window, "slickdeque_inv ring")?;
+        let answer = r.partial("slickdeque_inv answer")?;
+        // Structural validation only: the full `check_invariants` refolds
+        // the ring and compares bitwise with the running answer, which is
+        // exact only for streams where ⊖ is a perfect inverse — a
+        // legitimate floating-point state would be wrongly rejected.
+        if curr >= window || len > window {
+            return Err(crate::state::corrupt(format!(
+                "slickdeque_inv: curr {curr} / len {len} impossible for window {window}"
+            )));
+        }
+        Ok(SlickDequeInv {
+            op,
+            partials,
+            answer,
+            window,
+            curr,
+            len,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -359,6 +359,65 @@ impl MemoryFootprint for SlickDequeRange {
     }
 }
 
+impl<O: SelectiveOp> crate::state::StatefulAggregator<O> for SlickDequeNonInv<O> {
+    /// Capture `[len, next_pos, node count]`, each node's absolute
+    /// position, and each node's value head→tail. The monotone deque is
+    /// the whole derived state — rebuilding it verbatim (the chunk layout
+    /// itself carries no answer-visible information) restores every
+    /// future answer bitwise.
+    fn save_state(&self, w: &mut crate::state::StateWriter<O::Partial>) {
+        w.usize_word(self.len);
+        w.word(self.next_pos);
+        w.usize_word(self.deque.len());
+        for node in self.deque.iter() {
+            w.word(node.pos);
+        }
+        for node in self.deque.iter() {
+            w.partial(node.val.clone());
+        }
+    }
+
+    fn load_state(
+        op: O,
+        window: usize,
+        r: &mut crate::state::StateReader<'_, O::Partial>,
+    ) -> Result<Self, crate::state::StateError> {
+        if window == 0 {
+            return Err(crate::state::corrupt("slickdeque_noninv: zero window"));
+        }
+        let len = r.usize_word("slickdeque_noninv len")?;
+        let next_pos = r.word("slickdeque_noninv next_pos")?;
+        let nodes = r.usize_word("slickdeque_noninv node count")?;
+        if nodes > window || (len as u64) > next_pos {
+            return Err(crate::state::corrupt(format!(
+                "slickdeque_noninv: {nodes} nodes / len {len} / next_pos {next_pos} \
+                 impossible for window {window}"
+            )));
+        }
+        let mut positions = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            positions.push(r.word("slickdeque_noninv node position")?);
+        }
+        let mut deque = ChunkedDeque::for_window(window);
+        for pos in positions {
+            let val = r.partial("slickdeque_noninv node value")?;
+            deque.push_back(Node { pos, val });
+        }
+        let agg = SlickDequeNonInv {
+            op,
+            deque,
+            next_pos,
+            window,
+            len,
+            survivors: Vec::new(),
+        };
+        // The checker is structural and comparison-based (no arithmetic
+        // refolds), so it is exact for any partial type.
+        agg.check_invariants()?;
+        Ok(agg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

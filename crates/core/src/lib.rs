@@ -44,6 +44,10 @@ pub mod chunked;
 pub mod invariants;
 pub mod multi;
 pub mod ops;
+pub mod state;
 
 pub use aggregator::{FinalAggregator, MemoryFootprint, MultiFinalAggregator};
 pub use invariants::InvariantViolation;
+pub use state::{
+    PartialCodec, StateError, StateReader, StateWriter, StatefulAggregator, StatefulMultiAggregator,
+};

@@ -689,3 +689,101 @@ mod dynamic_tests {
         assert_eq!(agg.ranges(), &[4, 2]);
     }
 }
+
+impl<O: InvertibleOp> crate::state::StatefulMultiAggregator<O> for MultiSlickDequeInv<O> {
+    /// Verbatim capture: ranges, cursor, the full history ring, and each
+    /// range's **running answer** (answers map keys are exactly the
+    /// ranges list, so only the aggregates are stored). The answers carry
+    /// the accumulated ⊕/⊖ rounding of the whole stream history — a
+    /// refold of the ring cannot reproduce them bitwise on
+    /// floating-point streams, which is why they are serialized rather
+    /// than recomputed.
+    fn save_state(&self, w: &mut crate::state::StateWriter<O::Partial>) {
+        crate::state::save_ranges(w, &self.ranges);
+        w.usize_word(self.curr);
+        for p in &self.partials {
+            w.partial(p.clone());
+        }
+        for (_, ans) in &self.answers {
+            w.partial(ans.clone());
+        }
+    }
+
+    fn load_state(
+        op: O,
+        _ranges: &[usize],
+        r: &mut crate::state::StateReader<'_, O::Partial>,
+    ) -> Result<Self, crate::state::StateError> {
+        let ranges = crate::state::load_ranges(r)?;
+        let wsize = ranges[0];
+        let curr = r.usize_word("multi-slickdeque-inv curr")?;
+        // Structural validation only: the full `check_invariants` refolds
+        // each answer from the ring and compares bitwise
+        // (`partials_agree` is exact equality), which legitimate
+        // floating-point states fail.
+        if curr >= wsize {
+            return Err(crate::state::corrupt(format!(
+                "multi-slickdeque-inv: curr {curr} outside ring of {wsize}"
+            )));
+        }
+        let partials = r.partial_vec(wsize, "multi-slickdeque-inv ring")?;
+        let answer_vals = r.partial_vec(ranges.len(), "multi-slickdeque-inv answers")?;
+        let answers = ranges.iter().copied().zip(answer_vals).collect();
+        Ok(MultiSlickDequeInv {
+            op,
+            partials,
+            answers,
+            ranges,
+            wsize,
+            curr,
+        })
+    }
+}
+
+impl<O: SelectiveOp> crate::state::StatefulMultiAggregator<O> for MultiSlickDequeNonInv<O> {
+    /// Verbatim capture: ranges, cursor, then the shared monotone deque
+    /// head→tail as (wrapped position, value) pairs.
+    fn save_state(&self, w: &mut crate::state::StateWriter<O::Partial>) {
+        crate::state::save_ranges(w, &self.ranges);
+        w.usize_word(self.curr);
+        w.usize_word(self.deque.len());
+        for node in self.deque.iter() {
+            w.usize_word(node.pos);
+            w.partial(node.val.clone());
+        }
+    }
+
+    fn load_state(
+        op: O,
+        _ranges: &[usize],
+        r: &mut crate::state::StateReader<'_, O::Partial>,
+    ) -> Result<Self, crate::state::StateError> {
+        let ranges = crate::state::load_ranges(r)?;
+        let wsize = ranges[0];
+        let curr = r.usize_word("multi-slickdeque-noninv curr")?;
+        let nodes = r.usize_word("multi-slickdeque-noninv node count")?;
+        if curr >= wsize || nodes > wsize {
+            return Err(crate::state::corrupt(format!(
+                "multi-slickdeque-noninv: curr {curr} / {nodes} nodes for window {wsize}"
+            )));
+        }
+        let mut deque = ChunkedDeque::for_window(wsize);
+        for _ in 0..nodes {
+            let pos = r.usize_word("multi-slickdeque-noninv node position")?;
+            let val = r.partial("multi-slickdeque-noninv node value")?;
+            deque.push_back(Node { pos, val });
+        }
+        let agg = MultiSlickDequeNonInv {
+            op,
+            deque,
+            ranges,
+            wsize,
+            curr,
+        };
+        // Safe at load: the checker is structural (wrapped positions,
+        // age order) plus `defeats` comparisons on the stored values —
+        // bitwise-true for any legitimate state, floats included.
+        agg.check_invariants()?;
+        Ok(agg)
+    }
+}

@@ -196,6 +196,159 @@ impl<O: SelectiveOp> MemoryFootprint for MultiTimeSlickDequeNonInv<O> {
     }
 }
 
+impl<O: InvertibleOp> MultiTimeSlickDequeInv<O> {
+    /// Capture the full state: ranges, pop count, last timestamp, the
+    /// timestamped FIFO, and each range's (cursor, running answer).
+    pub fn save_state(&self, w: &mut crate::state::StateWriter<O::Partial>) {
+        w.usize_word(self.ranges_ms.len());
+        for &r in &self.ranges_ms {
+            w.word(r);
+        }
+        w.word(self.popped);
+        w.word(self.last_ts);
+        w.usize_word(self.window.len());
+        for (ts, p) in self.window.iter() {
+            w.word(*ts);
+            w.partial(p.clone());
+        }
+        for (cursor, ans) in &self.cursors {
+            w.word(*cursor);
+            w.partial(ans.clone());
+        }
+    }
+
+    /// Rebuild from a capture, re-validating cursor and timestamp order.
+    /// The running answers are restored verbatim (they carry accumulated
+    /// ⊕/⊖ rounding a refold cannot reproduce).
+    pub fn load_state(
+        op: O,
+        r: &mut crate::state::StateReader<'_, O::Partial>,
+    ) -> Result<Self, crate::state::StateError> {
+        use crate::state::corrupt;
+        let n = r.usize_word("time-multi-inv range count")?;
+        if n == 0 {
+            return Err(corrupt("time-multi-inv: empty range list"));
+        }
+        let mut ranges_ms = Vec::with_capacity(n);
+        for _ in 0..n {
+            ranges_ms.push(r.word("time-multi-inv range")?);
+        }
+        if !(ranges_ms.iter().all(|&x| x >= 1) && ranges_ms.windows(2).all(|w| w[0] > w[1])) {
+            return Err(corrupt(format!(
+                "time-multi-inv: range list {ranges_ms:?} is not normalized"
+            )));
+        }
+        let popped = r.word("time-multi-inv popped")?;
+        let last_ts = r.word("time-multi-inv last_ts")?;
+        let wlen = r.usize_word("time-multi-inv window len")?;
+        let mut window = ChunkedDeque::new();
+        let mut prev_ts = None;
+        for _ in 0..wlen {
+            let ts = r.word("time-multi-inv entry ts")?;
+            let p = r.partial("time-multi-inv entry value")?;
+            if prev_ts.is_some_and(|t| ts < t) || ts > last_ts {
+                return Err(corrupt(format!(
+                    "time-multi-inv: timestamp {ts} out of order (last_ts {last_ts})"
+                )));
+            }
+            prev_ts = Some(ts);
+            window.push_back((ts, p));
+        }
+        let mut cursors = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cursor = r.word("time-multi-inv cursor")?;
+            let ans = r.partial("time-multi-inv answer")?;
+            cursors.push((cursor, ans));
+        }
+        let in_window = |c: u64| c >= popped && c - popped <= wlen as u64;
+        if cursors[0].0 != popped
+            || !cursors.iter().all(|&(c, _)| in_window(c))
+            || cursors.windows(2).any(|w| w[0].0 > w[1].0)
+        {
+            return Err(corrupt(format!(
+                "time-multi-inv: cursors {:?} inconsistent with popped {popped} / len {wlen}",
+                cursors.iter().map(|(c, _)| *c).collect::<Vec<_>>()
+            )));
+        }
+        Ok(MultiTimeSlickDequeInv {
+            op,
+            ranges_ms,
+            window,
+            popped,
+            cursors,
+            last_ts,
+        })
+    }
+}
+
+impl<O: SelectiveOp> MultiTimeSlickDequeNonInv<O> {
+    /// Capture the full state: ranges, last timestamp, and the monotone
+    /// deque head→tail as (timestamp, value) pairs.
+    pub fn save_state(&self, w: &mut crate::state::StateWriter<O::Partial>) {
+        w.usize_word(self.ranges_ms.len());
+        for &r in &self.ranges_ms {
+            w.word(r);
+        }
+        w.word(self.last_ts);
+        w.usize_word(self.deque.len());
+        for node in self.deque.iter() {
+            w.word(node.ts);
+            w.partial(node.val.clone());
+        }
+    }
+
+    /// Rebuild from a capture, re-validating timestamp order and the
+    /// monotone-dominance invariant on the stored values.
+    pub fn load_state(
+        op: O,
+        r: &mut crate::state::StateReader<'_, O::Partial>,
+    ) -> Result<Self, crate::state::StateError> {
+        use crate::state::corrupt;
+        let n = r.usize_word("time-multi-noninv range count")?;
+        if n == 0 {
+            return Err(corrupt("time-multi-noninv: empty range list"));
+        }
+        let mut ranges_ms = Vec::with_capacity(n);
+        for _ in 0..n {
+            ranges_ms.push(r.word("time-multi-noninv range")?);
+        }
+        if !(ranges_ms.iter().all(|&x| x >= 1) && ranges_ms.windows(2).all(|w| w[0] > w[1])) {
+            return Err(corrupt(format!(
+                "time-multi-noninv: range list {ranges_ms:?} is not normalized"
+            )));
+        }
+        let last_ts = r.word("time-multi-noninv last_ts")?;
+        let dlen = r.usize_word("time-multi-noninv deque len")?;
+        let mut deque = ChunkedDeque::new();
+        let mut prev: Option<(Timestamp, O::Partial)> = None;
+        for _ in 0..dlen {
+            let ts = r.word("time-multi-noninv node ts")?;
+            let val = r.partial("time-multi-noninv node value")?;
+            if prev.as_ref().is_some_and(|(t, _)| ts < *t) || ts > last_ts {
+                return Err(corrupt(format!(
+                    "time-multi-noninv: timestamp {ts} out of order (last_ts {last_ts})"
+                )));
+            }
+            if prev
+                .as_ref()
+                .is_some_and(|(_, older)| op.combine(older, &val) == val)
+            {
+                return Err(corrupt(
+                    "time-multi-noninv: node defeats its older neighbour",
+                ));
+            }
+            prev = Some((ts, val.clone()));
+            deque.push_back(TimeNode { ts, val });
+        }
+        Ok(MultiTimeSlickDequeNonInv {
+            op,
+            ranges_ms,
+            deque,
+            last_ts,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

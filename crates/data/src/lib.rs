@@ -9,7 +9,9 @@
 //! workloads (uniform, ramps, sawtooth) the complexity analysis refers to.
 //!
 //! [`keyed`] lifts both families to keyed `(key, value)` streams for the
-//! sharded engine (`swag-engine`), and [`prng`] vendors the
+//! sharded engine (`swag-engine`), [`nexmark`] synthesises the
+//! NEXMark-shaped auction/bid stream the resident-service scenario suite
+//! (`swag-server`) is driven with, and [`prng`] vendors the
 //! SplitMix64/xoshiro256** generators everything draws randomness from,
 //! keeping the workspace free of external dependencies.
 
@@ -20,11 +22,13 @@ pub mod csv;
 pub mod debs;
 pub mod event;
 pub mod keyed;
+pub mod nexmark;
 pub mod prng;
 pub mod synthetic;
 
 pub use debs::{energy_stream, generate, DebsEvent, DebsGenerator, DEBS_SAMPLE_HZ};
 pub use event::{DisorderedKeyedSource, KeyedEventSource, KeyedVecEventSource};
 pub use keyed::{Key, KeyedDebsSource, KeyedSource, KeyedVecSource, KeyedWorkloadSource};
+pub use nexmark::{Bid, NexmarkConfig, NexmarkGenerator};
 pub use prng::{mix64, SplitMix64, Xoshiro256StarStar};
 pub use synthetic::Workload;

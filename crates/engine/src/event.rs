@@ -130,6 +130,32 @@ where
     pub fn state(&self, key: Key) -> Option<&TimeWindowExec<O>> {
         self.states.get(&key)
     }
+
+    /// Every key's executor, for snapshotting (key order).
+    pub fn states(&self) -> impl Iterator<Item = (Key, &TimeWindowExec<O>)> {
+        self.states.iter().map(|(&k, e)| (k, e))
+    }
+
+    /// Rebuild a processor from restored per-key executors — the restore
+    /// counterpart of [`states`](Self::states). `max_ts` is recovered
+    /// from the executors' trees; keys absent from `states` start fresh
+    /// on their first tuple.
+    pub fn from_states(
+        op: O,
+        specs: Vec<TimeWindowSpec>,
+        states: impl IntoIterator<Item = (Key, TimeWindowExec<O>)>,
+    ) -> Self {
+        assert!(!specs.is_empty(), "need at least one time window");
+        let states: BTreeMap<Key, TimeWindowExec<O>> = states.into_iter().collect();
+        let max_ts = states.values().filter_map(TimeWindowExec::max_ts).max();
+        KeyedEventWindows {
+            op,
+            specs,
+            states,
+            max_ts,
+            lift_scratch: Vec::new(),
+        }
+    }
 }
 
 impl<O> EventProcessor for KeyedEventWindows<O>
@@ -211,6 +237,43 @@ impl ShardedEngine {
         P: EventProcessor,
         F: Fn(usize) -> P + Send + Sync,
     {
+        self.run_events_inner(source, limit, lateness, true, make_processor)
+            .0
+    }
+
+    /// [`run_events`](Self::run_events), but for resident pipelines: open
+    /// windows are **not** flushed at drain (no [`EventProcessor::finish`]
+    /// — the stream pauses, it does not end), and each shard's drained
+    /// processor is handed back in shard order for snapshotting or the
+    /// next cycle. Answers still flow from watermark advances as usual.
+    pub fn run_events_collecting<S, P, F>(
+        &self,
+        source: &mut S,
+        limit: u64,
+        lateness: Option<u64>,
+        make_processor: F,
+    ) -> (EngineRun<P::Answer>, Vec<P>)
+    where
+        S: KeyedEventSource + ?Sized,
+        P: EventProcessor,
+        F: Fn(usize) -> P + Send + Sync,
+    {
+        self.run_events_inner(source, limit, lateness, false, make_processor)
+    }
+
+    fn run_events_inner<S, P, F>(
+        &self,
+        source: &mut S,
+        limit: u64,
+        lateness: Option<u64>,
+        finish: bool,
+        make_processor: F,
+    ) -> (EngineRun<P::Answer>, Vec<P>)
+    where
+        S: KeyedEventSource + ?Sized,
+        P: EventProcessor,
+        F: Fn(usize) -> P + Send + Sync,
+    {
         let config = self.config();
         let shards = config.shards;
         let retain = config.retain_answers;
@@ -254,7 +317,7 @@ impl ShardedEngine {
 
         let samples: Mutex<Vec<EngineSample>> = Mutex::new(Vec::new());
         let make_processor = &make_processor;
-        let (shard_stats, answers, late_tuples) = std::thread::scope(|scope| {
+        let (shard_stats, answers, processors, late_tuples) = std::thread::scope(|scope| {
             let handles: Vec<_> = inboxes
                 .into_iter()
                 .enumerate()
@@ -270,6 +333,7 @@ impl ShardedEngine {
                             make_processor(shard),
                             retain,
                             check,
+                            finish,
                             obs,
                         )
                     })
@@ -376,22 +440,28 @@ impl ShardedEngine {
 
             let mut shard_stats = Vec::with_capacity(shards);
             let mut answers = Vec::with_capacity(shards);
+            let mut processors = Vec::with_capacity(shards);
             for handle in handles {
                 // check:allow worker panics must propagate, not be swallowed
-                let (stats, shard_answers) = handle.join().expect("event worker panicked");
+                let (stats, shard_answers, processor) =
+                    handle.join().expect("event worker panicked");
                 shard_stats.push(stats);
                 answers.push(shard_answers);
+                processors.push(processor);
             }
-            (shard_stats, answers, late)
+            (shard_stats, answers, processors, late)
         });
 
         let mut stats = EngineStats::merge(shard_stats, clock.elapsed());
         stats.late_tuples = late_tuples;
-        EngineRun {
-            stats,
-            answers,
-            samples: samples.into_inner().unwrap_or_else(|e| e.into_inner()),
-        }
+        (
+            EngineRun {
+                stats,
+                answers,
+                samples: samples.into_inner().unwrap_or_else(|e| e.into_inner()),
+            },
+            processors,
+        )
     }
 }
 
@@ -399,6 +469,7 @@ impl ShardedEngine {
 /// per-key runs, routing order preserved within a key), then advance
 /// every key to the batch's watermark and collect the window answers it
 /// closed. After the channel closes, remaining windows are finished.
+#[allow(clippy::too_many_arguments)]
 fn event_worker<P: EventProcessor>(
     shard: usize,
     inbox: Receiver<EventBatch>,
@@ -406,8 +477,9 @@ fn event_worker<P: EventProcessor>(
     mut processor: P,
     retain: bool,
     check_invariants: bool,
+    finish: bool,
     obs: Option<ShardObs>,
-) -> (ShardStats, Vec<(Key, P::Answer)>) {
+) -> (ShardStats, Vec<(Key, P::Answer)>, P) {
     let started = Stopwatch::start();
     let _trace_guard = obs.as_ref().and_then(ShardObs::install_trace);
     let mut tuples = 0u64;
@@ -489,10 +561,15 @@ fn event_worker<P: EventProcessor>(
         }
     }
     // End of stream: close out every window still holding data. The
-    // shard's final watermark durably covers everything it accepted.
-    processor.finish(&mut scratch);
-    if let Some(max) = processor.max_ts() {
-        watermark = watermark.max(max.saturating_add(1));
+    // shard's final watermark durably covers everything it accepted. A
+    // resident run skips this — the stream is pausing, not ending — and
+    // reports the watermark it actually reached, so open windows survive
+    // into the next cycle.
+    if finish {
+        processor.finish(&mut scratch);
+        if let Some(max) = processor.max_ts() {
+            watermark = watermark.max(max.saturating_add(1));
+        }
     }
     answers += scratch.len() as u64;
     if let Some(o) = &obs {
@@ -531,7 +608,7 @@ fn event_worker<P: EventProcessor>(
         watermark,
         elapsed: started.elapsed(),
     };
-    (stats, retained)
+    (stats, retained, processor)
 }
 
 #[cfg(test)]

@@ -91,6 +91,25 @@ where
     pub fn state(&self, key: Key) -> Option<&A> {
         self.states.get(&key)
     }
+
+    /// Every key's window state, for snapshotting (arbitrary order).
+    pub fn states(&self) -> impl Iterator<Item = (Key, &A)> {
+        self.states.iter().map(|(&k, a)| (k, a))
+    }
+
+    /// Rebuild a processor from restored per-key states — the restore
+    /// counterpart of [`states`](Self::states). Keys absent from `states`
+    /// start fresh on their first tuple, exactly as in a new processor.
+    pub fn from_states(op: O, window: usize, states: impl IntoIterator<Item = (Key, A)>) -> Self {
+        assert!(window >= 1, "window must be positive");
+        KeyedWindows {
+            op,
+            window,
+            states: states.into_iter().collect(),
+            lift_scratch: Vec::new(),
+            answer_scratch: Vec::new(),
+        }
+    }
 }
 
 impl<O, A> ShardProcessor for KeyedWindows<O, A>

@@ -170,6 +170,28 @@ impl ShardedEngine {
         P: ShardProcessor,
         F: Fn(usize) -> P + Send + Sync,
     {
+        self.run_collecting(source, limit, make_processor).0
+    }
+
+    /// [`run`](Self::run), but additionally hands back each shard's
+    /// drained processor (in shard order) instead of dropping it.
+    ///
+    /// This is the resident-service hook: after a graceful drain every
+    /// queue is empty and each processor sits at a batch boundary, so the
+    /// returned states are a **drain-consistent** cut of the whole engine
+    /// — the snapshot layer serializes them, and the next cycle feeds
+    /// them back through `make_processor`.
+    pub fn run_collecting<S, P, F>(
+        &self,
+        source: &mut S,
+        limit: u64,
+        make_processor: F,
+    ) -> (EngineRun<P::Answer>, Vec<P>)
+    where
+        S: KeyedSource + ?Sized,
+        P: ShardProcessor,
+        F: Fn(usize) -> P + Send + Sync,
+    {
         let shards = self.config.shards;
         let retain = self.config.retain_answers;
         let clock = Stopwatch::start();
@@ -191,7 +213,7 @@ impl ShardedEngine {
 
         let samples: Mutex<Vec<EngineSample>> = Mutex::new(Vec::new());
         let make_processor = &make_processor;
-        let (shard_stats, answers) = std::thread::scope(|scope| {
+        let (shard_stats, answers, processors) = std::thread::scope(|scope| {
             let handles: Vec<_> = inboxes
                 .into_iter()
                 .enumerate()
@@ -267,20 +289,26 @@ impl ShardedEngine {
 
             let mut shard_stats = Vec::with_capacity(shards);
             let mut answers = Vec::with_capacity(shards);
+            let mut processors = Vec::with_capacity(shards);
             for handle in handles {
                 // check:allow worker panics must propagate, not be swallowed
-                let (stats, shard_answers) = handle.join().expect("shard worker panicked");
+                let (stats, shard_answers, processor) =
+                    handle.join().expect("shard worker panicked");
                 shard_stats.push(stats);
                 answers.push(shard_answers);
+                processors.push(processor);
             }
-            (shard_stats, answers)
+            (shard_stats, answers, processors)
         });
 
-        EngineRun {
-            stats: EngineStats::merge(shard_stats, clock.elapsed()),
-            answers,
-            samples: samples.into_inner().unwrap_or_else(|e| e.into_inner()),
-        }
+        (
+            EngineRun {
+                stats: EngineStats::merge(shard_stats, clock.elapsed()),
+                answers,
+                samples: samples.into_inner().unwrap_or_else(|e| e.into_inner()),
+            },
+            processors,
+        )
     }
 }
 
@@ -308,7 +336,7 @@ fn shard_worker<P: ShardProcessor>(
     retain: bool,
     check_invariants: bool,
     obs: Option<ShardObs>,
-) -> (ShardStats, Vec<(Key, P::Answer)>) {
+) -> (ShardStats, Vec<(Key, P::Answer)>, P) {
     let started = Stopwatch::start();
     let _trace_guard = obs.as_ref().and_then(ShardObs::install_trace);
     let mut tuples = 0u64;
@@ -401,7 +429,7 @@ fn shard_worker<P: ShardProcessor>(
         watermark: 0,
         elapsed: started.elapsed(),
     };
-    (stats, retained)
+    (stats, retained, processor)
 }
 
 #[cfg(test)]

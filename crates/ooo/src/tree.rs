@@ -957,6 +957,48 @@ impl<O: AggregateOp> MemoryFootprint for FingerBTree<O> {
     }
 }
 
+impl<O: AggregateOp> FingerBTree<O> {
+    /// All live `(timestamp, partial)` entries in timestamp order (ties
+    /// in arrival order) — the tree's logical contents, read for
+    /// snapshotting. Reads raw leaf payloads only, so lazily-deferred
+    /// aggregate repairs need not run first. O(n).
+    pub fn entries(&self) -> Vec<(Timestamp, O::Partial)> {
+        let mut out = Vec::with_capacity(self.len);
+        if self.len == 0 {
+            return out;
+        }
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            let node = self.node(n);
+            if node.is_leaf() {
+                out.extend(node.entries.iter().cloned()); // alloc:amortized snapshot buffer growth is amortized O(1) doubling
+            } else {
+                // Reverse push so the leftmost child is visited first.
+                for &c in node.children.iter().rev() {
+                    stack.push(c); // alloc:amortized snapshot buffer growth is amortized O(1) doubling
+                }
+            }
+        }
+        out
+    }
+
+    /// Build a tree holding exactly `entries` (timestamp order, as
+    /// produced by [`entries`](Self::entries)).
+    ///
+    /// The rebuilt tree holds the same logical contents but its node
+    /// shape — and therefore its combine association — follows the bulk
+    /// in-order build, not the original insertion history. Answers are
+    /// bitwise-identical for exact (integer-valued) streams; general
+    /// floating-point streams can differ in low bits, the same stance
+    /// `tests/ooo_equivalence.rs` takes when comparing FiBA against the
+    /// count-based algorithms.
+    pub fn from_entries(op: O, entries: &[(Timestamp, O::Partial)]) -> Self {
+        let mut tree = Self::new(op);
+        tree.bulk_insert(entries);
+        tree
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

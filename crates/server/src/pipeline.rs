@@ -1,0 +1,689 @@
+//! Resident pipeline workers: the cycle loop that turns a socket's tuple
+//! stream into engine runs, answers, metrics, and snapshots.
+//!
+//! A pipeline owns one worker thread. The worker blocks on its message
+//! queue, gathers a **cycle** (everything queued, bounded), runs the
+//! sharded engine over it to completion via the collecting entry points,
+//! and takes the per-shard processors back for the next cycle. Between
+//! cycles no engine thread is alive and every processor is at a batch
+//! boundary, so that instant is a drain-consistent cut: snapshot
+//! requests are answered there, which is what makes restored answers
+//! bitwise-identical — the snapshot never splits a batch.
+//!
+//! Backpressure: the message queue is a bounded [`sync_channel`]. When
+//! cycles fall behind, the queue fills, ingest readers block on `send`,
+//! the kernel socket buffers fill, and remote writers stall — the
+//! engine's bounded-channel discipline propagated to the wire.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use swag_core::aggregator::FinalAggregator;
+use swag_core::algorithms::{
+    BInt, Daba, FlatFat, FlatFit, Naive, SlickDequeInv, SlickDequeNonInv, TwoStacks,
+};
+use swag_core::ops::AggregateOp;
+use swag_core::ops::{MaxF64, Mean, MinF64, StdDev, Sum, Variance};
+use swag_core::state::{PartialCodec, StateReader, StateWriter, StatefulAggregator};
+use swag_data::keyed::KeyedVecSource;
+use swag_data::{Key, KeyedEventSource};
+use swag_engine::{shard_of, EngineConfig, KeyedEventWindows, KeyedWindows, ShardedEngine};
+use swag_metrics::clock::Stopwatch;
+use swag_metrics::json::Json;
+use swag_metrics::registry::{Counter, Gauge, Histogram, MetricRegistry};
+use swag_stream::{TimeWindowExec, TimeWindowSpec};
+
+use crate::snapshot::{write_snapshot, KeyState, Snapshot};
+use crate::spec::{AlgoKind, OpKind, PipelineSpec, PlanKind};
+
+/// Bounded depth of a pipeline's message queue, in messages.
+pub(crate) const MSG_QUEUE_CAP: usize = 16;
+
+/// Most messages gathered into one engine cycle.
+const MAX_CYCLE_MSGS: usize = 32;
+
+/// One ingested tuple, stamped with the service-epoch nanosecond it was
+/// decoded off the wire (for ingest-to-answer latency).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IngestTuple {
+    pub key: Key,
+    pub ts: u64,
+    pub value: f64,
+    pub ingest_ns: u64,
+}
+
+/// A message on a pipeline's queue.
+pub(crate) enum Msg {
+    /// Tuples from an ingest connection.
+    Tuples(Vec<IngestTuple>),
+    /// Snapshot now (between cycles) and reply with the path.
+    Snapshot(SyncSender<Result<PathBuf, String>>),
+    /// Stop the worker, optionally snapshotting first.
+    Stop { snapshot: bool },
+}
+
+/// Live pipeline counters, readable from the control plane.
+#[derive(Debug, Default, Clone)]
+pub struct PipelineStatus {
+    /// Tuples processed (after late drops).
+    pub tuples: u64,
+    /// Answers produced.
+    pub answers: u64,
+    /// Engine cycles run.
+    pub cycles: u64,
+    /// Tuples dropped as late (event pipelines).
+    pub late: u64,
+    /// Distinct keys currently held.
+    pub keys: usize,
+    /// Event-time watermark (0 on count pipelines).
+    pub watermark: u64,
+    /// Whether the worker has exited.
+    pub stopped: bool,
+    /// Fatal worker error, if any.
+    pub error: Option<String>,
+}
+
+impl PipelineStatus {
+    /// The status as control-plane JSON.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("tuples", Json::UInt(self.tuples)),
+            ("answers", Json::UInt(self.answers)),
+            ("cycles", Json::UInt(self.cycles)),
+            ("late_tuples", Json::UInt(self.late)),
+            ("keys", Json::UInt(self.keys as u64)),
+            ("watermark", Json::UInt(self.watermark)),
+            ("stopped", Json::Bool(self.stopped)),
+            (
+                "error",
+                match &self.error {
+                    Some(e) => Json::Str(e.clone()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// The latest answer per key (count pipelines) or per `(key, query)`
+/// (event pipelines), maintained from each cycle's retained answers and
+/// served at `GET /pipelines/{name}/answers`.
+#[derive(Debug)]
+pub enum AnswerTable {
+    /// `key → latest answer`.
+    Count(HashMap<Key, f64>),
+    /// `(key, query index) → (window end, answer)`.
+    Event(HashMap<(Key, usize), (u64, f64)>),
+}
+
+impl AnswerTable {
+    /// The table as control-plane JSON (sorted, so output is stable).
+    pub fn to_json(&self) -> Json {
+        match self {
+            AnswerTable::Count(map) => {
+                let mut rows: Vec<_> = map.iter().map(|(&k, &v)| (k, v)).collect();
+                rows.sort_by_key(|&(k, _)| k);
+                Json::arr(rows, |(k, v)| {
+                    Json::obj(vec![("key", Json::UInt(k)), ("value", Json::Num(v))])
+                })
+            }
+            AnswerTable::Event(map) => {
+                let mut rows: Vec<_> = map
+                    .iter()
+                    .map(|(&(k, q), &(end, v))| (k, q, end, v))
+                    .collect();
+                rows.sort_by_key(|&(k, q, _, _)| (k, q));
+                Json::arr(rows, |(k, q, end, v)| {
+                    Json::obj(vec![
+                        ("key", Json::UInt(k)),
+                        ("query", Json::UInt(q as u64)),
+                        ("window_end", Json::UInt(end)),
+                        ("value", Json::Num(v)),
+                    ])
+                })
+            }
+        }
+    }
+}
+
+/// Per-pipeline metric handles, all labelled `pipeline=<name>`.
+pub(crate) struct PipelineObs {
+    tuples: Counter,
+    answers: Counter,
+    cycles: Counter,
+    late: Counter,
+    latency: Histogram,
+    keys: Gauge,
+    watermark: Gauge,
+}
+
+impl PipelineObs {
+    pub(crate) fn new(registry: &MetricRegistry, pipeline: &str) -> Self {
+        let l = &[("pipeline", pipeline)][..];
+        PipelineObs {
+            tuples: registry.counter("swag_pipeline_tuples_total", "Tuples processed", l),
+            answers: registry.counter("swag_pipeline_answers_total", "Answers produced", l),
+            cycles: registry.counter("swag_pipeline_cycles_total", "Engine cycles run", l),
+            late: registry.counter("swag_pipeline_late_tuples_total", "Tuples dropped late", l),
+            latency: registry.histogram(
+                "swag_pipeline_ingest_latency_ns",
+                "Ingest-to-answer latency (wire decode to cycle completion)",
+                l,
+            ),
+            keys: registry.gauge("swag_pipeline_keys", "Distinct keys held", l),
+            watermark: registry.gauge("swag_pipeline_watermark", "Event-time watermark", l),
+        }
+    }
+}
+
+/// Everything a worker thread owns besides its aggregation state.
+pub(crate) struct PipelineCtx {
+    pub spec: PipelineSpec,
+    pub rx: Receiver<Msg>,
+    pub status: Arc<Mutex<PipelineStatus>>,
+    pub answers: Arc<Mutex<AnswerTable>>,
+    pub obs: PipelineObs,
+    pub epoch: Stopwatch,
+    pub snapshot_dir: PathBuf,
+}
+
+/// A running pipeline as the server sees it.
+pub(crate) struct PipelineHandle {
+    pub spec: PipelineSpec,
+    pub tx: SyncSender<Msg>,
+    pub join: Option<JoinHandle<()>>,
+    pub status: Arc<Mutex<PipelineStatus>>,
+    pub answers: Arc<Mutex<AnswerTable>>,
+}
+
+/// One gathered cycle: tuples to run, snapshot requests to answer at the
+/// cycle boundary, and whether the worker should stop afterwards.
+struct Cycle {
+    tuples: Vec<IngestTuple>,
+    snap_reqs: Vec<SyncSender<Result<PathBuf, String>>>,
+    /// `Some(snapshot_first)` when the worker should exit.
+    stop: Option<bool>,
+}
+
+/// Block for the next message, then drain whatever else is queued (up to
+/// [`MAX_CYCLE_MSGS`]) into one cycle.
+fn collect_cycle(rx: &Receiver<Msg>) -> Cycle {
+    let mut cycle = Cycle {
+        tuples: Vec::new(),
+        snap_reqs: Vec::new(),
+        stop: None,
+    };
+    let first = match rx.recv() {
+        Ok(m) => m,
+        // Every sender gone (server dropped the handle): exit without a
+        // snapshot — graceful paths always send an explicit `Stop`.
+        Err(_) => {
+            cycle.stop = Some(false);
+            return cycle;
+        }
+    };
+    let absorb = |cycle: &mut Cycle, msg: Msg| match msg {
+        Msg::Tuples(ts) => cycle.tuples.extend(ts),
+        Msg::Snapshot(reply) => cycle.snap_reqs.push(reply),
+        Msg::Stop { snapshot } => cycle.stop = Some(snapshot),
+    };
+    absorb(&mut cycle, first);
+    let mut msgs = 1;
+    while cycle.stop.is_none() && msgs < MAX_CYCLE_MSGS {
+        match rx.try_recv() {
+            Ok(m) => {
+                absorb(&mut cycle, m);
+                msgs += 1;
+            }
+            Err(TryRecvError::Empty) => break,
+            Err(TryRecvError::Disconnected) => {
+                cycle.stop = Some(false);
+                break;
+            }
+        }
+    }
+    cycle
+}
+
+/// Capture every shard's per-key state into a snapshot (count plan).
+fn snapshot_count<O, A>(
+    ctx: &PipelineCtx,
+    op: &O,
+    slots: &[Option<KeyedWindows<O, A>>],
+) -> Result<PathBuf, String>
+where
+    O: AggregateOp<Input = f64, Output = f64> + PartialCodec + Clone + Send,
+    O::Partial: Send,
+    A: FinalAggregator<O> + StatefulAggregator<O> + Send,
+{
+    let mut keys = Vec::new();
+    for slot in slots {
+        let p = slot.as_ref().expect("processor parked between cycles");
+        let mut shard_keys: Vec<KeyState> = p
+            .states()
+            .map(|(k, agg)| {
+                let mut w = StateWriter::new();
+                agg.save_state(&mut w);
+                let (words, partials) = w.into_parts();
+                KeyState::encode(k, words, &partials, op)
+            })
+            .collect();
+        // Canonical bytes: key order within the shard (the per-key map
+        // iterates in hash order).
+        shard_keys.sort_by_key(|k| k.key);
+        keys.extend(shard_keys);
+    }
+    let snap = Snapshot {
+        spec: ctx.spec.clone(),
+        watermark: 0,
+        keys,
+    };
+    write_snapshot(&ctx.snapshot_dir, &snap)
+}
+
+/// Capture every shard's per-key executor into a snapshot (event plan).
+fn snapshot_event<O>(
+    ctx: &PipelineCtx,
+    op: &O,
+    slots: &[Option<KeyedEventWindows<O>>],
+    watermark: u64,
+) -> Result<PathBuf, String>
+where
+    O: AggregateOp<Input = f64, Output = f64> + PartialCodec + Clone + Send,
+    O::Partial: Send,
+{
+    let mut keys = Vec::new();
+    for slot in slots {
+        let p = slot.as_ref().expect("processor parked between cycles");
+        for (k, exec) in p.states() {
+            let mut w = StateWriter::new();
+            exec.save_state(&mut w);
+            let (words, partials) = w.into_parts();
+            keys.push(KeyState::encode(k, words, &partials, op));
+        }
+    }
+    let snap = Snapshot {
+        spec: ctx.spec.clone(),
+        watermark,
+        keys,
+    };
+    write_snapshot(&ctx.snapshot_dir, &snap)
+}
+
+/// Update shared status + metrics after a cycle's engine run.
+fn record_run(ctx: &PipelineCtx, stats: &swag_engine::EngineStats, cycle_tuples: &[IngestTuple]) {
+    let end_ns = ctx.epoch.elapsed_ns();
+    for t in cycle_tuples {
+        ctx.obs.latency.record(end_ns.saturating_sub(t.ingest_ns));
+    }
+    ctx.obs.tuples.add(stats.tuples);
+    ctx.obs.answers.add(stats.answers);
+    ctx.obs.cycles.inc();
+    ctx.obs.late.add(stats.late_tuples);
+    ctx.obs.keys.set(stats.keys() as u64);
+    ctx.obs.watermark.set(stats.watermark());
+    let mut st = ctx.status.lock().unwrap();
+    st.tuples += stats.tuples;
+    st.answers += stats.answers;
+    st.cycles += 1;
+    st.late += stats.late_tuples;
+    st.keys = stats.keys();
+    st.watermark = st.watermark.max(stats.watermark());
+}
+
+fn mark_stopped(ctx: &PipelineCtx, error: Option<String>) {
+    let mut st = ctx.status.lock().unwrap();
+    st.stopped = true;
+    if st.error.is_none() {
+        st.error = error;
+    }
+}
+
+/// The worker loop for an arrival-order (count-window) pipeline.
+pub(crate) fn count_worker<O, A>(ctx: PipelineCtx, op: O, initial: Vec<(Key, A)>)
+where
+    O: AggregateOp<Input = f64, Output = f64> + PartialCodec + Clone + Send,
+    O::Partial: Send,
+    A: FinalAggregator<O> + StatefulAggregator<O> + Send,
+{
+    let window = match ctx.spec.plan {
+        PlanKind::Count { window } => window,
+        PlanKind::Event { .. } => unreachable!("count worker on event plan"),
+    };
+    let shards = ctx.spec.shards;
+    let mut groups: Vec<Vec<(Key, A)>> = (0..shards).map(|_| Vec::new()).collect();
+    for (k, a) in initial {
+        groups[shard_of(k, shards)].push((k, a));
+    }
+    let mut slots: Vec<Option<KeyedWindows<O, A>>> = groups
+        .into_iter()
+        .map(|g| Some(KeyedWindows::from_states(op.clone(), window, g)))
+        .collect();
+    let engine = ShardedEngine::new(EngineConfig {
+        shards,
+        batch: ctx.spec.batch,
+        retain_answers: true,
+        ..EngineConfig::default()
+    });
+
+    loop {
+        let cycle = collect_cycle(&ctx.rx);
+        if !cycle.tuples.is_empty() {
+            let mut source =
+                KeyedVecSource::new(cycle.tuples.iter().map(|t| (t.key, t.value)).collect());
+            let cell = Mutex::new(slots);
+            let (run, procs) = engine.run_collecting(&mut source, u64::MAX, |shard| {
+                cell.lock().unwrap()[shard]
+                    .take()
+                    .expect("one parked processor per shard")
+            });
+            slots = procs.into_iter().map(Some).collect();
+            record_run(&ctx, &run.stats, &cycle.tuples);
+            let mut table = ctx.answers.lock().unwrap();
+            if let AnswerTable::Count(map) = &mut *table {
+                for shard_answers in &run.answers {
+                    for &(k, v) in shard_answers {
+                        map.insert(k, v);
+                    }
+                }
+            }
+        }
+        for reply in cycle.snap_reqs {
+            let _ = reply.send(snapshot_count(&ctx, &op, &slots));
+        }
+        match cycle.stop {
+            Some(true) => {
+                let err = snapshot_count(&ctx, &op, &slots).err();
+                mark_stopped(&ctx, err);
+                return;
+            }
+            Some(false) => {
+                mark_stopped(&ctx, None);
+                return;
+            }
+            None => {}
+        }
+    }
+}
+
+/// The cycle's view of its tuple batch as a watermarked event source.
+///
+/// The frontier (largest timestamp seen) persists across cycles in the
+/// worker, so the watermark never regresses when the stream pauses; the
+/// low watermark trails it by the spec's allowed lateness and the engine
+/// router drops (and counts) anything below it.
+struct CycleEventSource<'a> {
+    tuples: std::slice::Iter<'a, IngestTuple>,
+    frontier: u64,
+    lateness: u64,
+}
+
+impl KeyedEventSource for CycleEventSource<'_> {
+    fn next_event(&mut self) -> Option<(Key, u64, f64)> {
+        let t = self.tuples.next()?;
+        self.frontier = self.frontier.max(t.ts);
+        Some((t.key, t.ts, t.value))
+    }
+
+    fn low_watermark(&self) -> u64 {
+        self.frontier.saturating_sub(self.lateness)
+    }
+}
+
+/// The worker loop for an event-time (FiBA) pipeline.
+pub(crate) fn event_worker<O>(
+    ctx: PipelineCtx,
+    op: O,
+    initial: Vec<(Key, TimeWindowExec<O>)>,
+    restored_watermark: u64,
+) where
+    O: AggregateOp<Input = f64, Output = f64> + PartialCodec + Clone + Send,
+    O::Partial: Send + Clone,
+{
+    let (range, slide, lateness) = match ctx.spec.plan {
+        PlanKind::Event {
+            range,
+            slide,
+            lateness,
+        } => (range, slide, lateness),
+        PlanKind::Count { .. } => unreachable!("event worker on count plan"),
+    };
+    let specs = vec![TimeWindowSpec::new(range, slide)];
+    let shards = ctx.spec.shards;
+    let mut groups: Vec<Vec<(Key, TimeWindowExec<O>)>> = (0..shards).map(|_| Vec::new()).collect();
+    for (k, exec) in initial {
+        groups[shard_of(k, shards)].push((k, exec));
+    }
+    let mut slots: Vec<Option<KeyedEventWindows<O>>> = groups
+        .into_iter()
+        .map(|g| Some(KeyedEventWindows::from_states(op.clone(), specs.clone(), g)))
+        .collect();
+    let engine = ShardedEngine::new(EngineConfig {
+        shards,
+        batch: ctx.spec.batch,
+        retain_answers: true,
+        ..EngineConfig::default()
+    });
+    // Resume the watermark where the snapshot cut it: the frontier is
+    // placed so the first cycle's low watermark starts at exactly the
+    // restored value, and every executor already sits at or above it.
+    let mut frontier = restored_watermark.saturating_add(lateness);
+    let mut watermark = restored_watermark;
+    {
+        let mut st = ctx.status.lock().unwrap();
+        st.watermark = st.watermark.max(watermark);
+    }
+
+    loop {
+        let cycle = collect_cycle(&ctx.rx);
+        if !cycle.tuples.is_empty() {
+            let mut source = CycleEventSource {
+                tuples: cycle.tuples.iter(),
+                frontier,
+                lateness,
+            };
+            let cell = Mutex::new(slots);
+            let (run, procs) = engine.run_events_collecting(&mut source, u64::MAX, None, |shard| {
+                cell.lock().unwrap()[shard]
+                    .take()
+                    .expect("one parked processor per shard")
+            });
+            frontier = source.frontier;
+            slots = procs.into_iter().map(Some).collect();
+            watermark = watermark.max(run.stats.watermark());
+            record_run(&ctx, &run.stats, &cycle.tuples);
+            let mut table = ctx.answers.lock().unwrap();
+            if let AnswerTable::Event(map) = &mut *table {
+                for shard_answers in &run.answers {
+                    for &(k, (q, end, v)) in shard_answers {
+                        map.insert((k, q), (end, v));
+                    }
+                }
+            }
+        }
+        for reply in cycle.snap_reqs {
+            let _ = reply.send(snapshot_event(&ctx, &op, &slots, watermark));
+        }
+        match cycle.stop {
+            Some(true) => {
+                let err = snapshot_event(&ctx, &op, &slots, watermark).err();
+                mark_stopped(&ctx, err);
+                return;
+            }
+            Some(false) => {
+                mark_stopped(&ctx, None);
+                return;
+            }
+            None => {}
+        }
+    }
+}
+
+/// Decode a snapshot's key blocks into live count-window aggregators.
+fn decode_count_states<O, A>(
+    op: &O,
+    window: usize,
+    snap: &Snapshot,
+) -> Result<Vec<(Key, A)>, String>
+where
+    O: AggregateOp<Input = f64, Output = f64> + PartialCodec + Clone,
+    A: FinalAggregator<O> + StatefulAggregator<O>,
+{
+    let mut out = Vec::with_capacity(snap.keys.len());
+    for ks in &snap.keys {
+        let partials = ks
+            .decode_partials(op)
+            .map_err(|e| format!("key {}: {e}", ks.key))?;
+        let mut r = StateReader::new(&ks.words, &partials);
+        let agg = A::load_state(op.clone(), window, &mut r)
+            .and_then(|a| r.finish().map(|()| a))
+            .map_err(|e| format!("key {}: {e}", ks.key))?;
+        out.push((ks.key, agg));
+    }
+    Ok(out)
+}
+
+/// Decode a snapshot's key blocks into live event-time executors.
+fn decode_event_states<O>(op: &O, snap: &Snapshot) -> Result<Vec<(Key, TimeWindowExec<O>)>, String>
+where
+    O: AggregateOp<Input = f64, Output = f64> + PartialCodec + Clone,
+{
+    let mut out = Vec::with_capacity(snap.keys.len());
+    for ks in &snap.keys {
+        let partials = ks
+            .decode_partials(op)
+            .map_err(|e| format!("key {}: {e}", ks.key))?;
+        let mut r = StateReader::new(&ks.words, &partials);
+        let exec = TimeWindowExec::load_state(op.clone(), &mut r)
+            .and_then(|a| r.finish().map(|()| a))
+            .map_err(|e| format!("key {}: {e}", ks.key))?;
+        out.push((ks.key, exec));
+    }
+    Ok(out)
+}
+
+/// Spawn a pipeline worker for `spec`, optionally seeding it from a
+/// decoded snapshot. Dispatches the op × algorithm matrix to a concrete
+/// monomorphised worker, exactly as the CLI dispatches its run matrix.
+pub(crate) fn spawn_pipeline(
+    spec: PipelineSpec,
+    restore: Option<&Snapshot>,
+    registry: &MetricRegistry,
+    epoch: Stopwatch,
+    snapshot_dir: PathBuf,
+) -> Result<PipelineHandle, String> {
+    spec.validate()?;
+    if let Some(snap) = restore {
+        if snap.spec.op != spec.op || snap.spec.algo != spec.algo || snap.spec.plan != spec.plan {
+            return Err(format!(
+                "snapshot for {:?} was captured under a different spec",
+                spec.name
+            ));
+        }
+    }
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Msg>(MSG_QUEUE_CAP);
+    let status = Arc::new(Mutex::new(PipelineStatus::default()));
+    let answers = Arc::new(Mutex::new(match spec.plan {
+        PlanKind::Count { .. } => AnswerTable::Count(HashMap::new()),
+        PlanKind::Event { .. } => AnswerTable::Event(HashMap::new()),
+    }));
+    let ctx = PipelineCtx {
+        spec: spec.clone(),
+        rx,
+        status: Arc::clone(&status),
+        answers: Arc::clone(&answers),
+        obs: PipelineObs::new(registry, &spec.name),
+        epoch,
+        snapshot_dir,
+    };
+    let window = match spec.plan {
+        PlanKind::Count { window } => window,
+        PlanKind::Event { .. } => 0,
+    };
+    let restored_watermark = restore.map_or(0, |s| s.watermark);
+    let thread_name = format!("swag-pipe-{}", spec.name);
+
+    macro_rules! count_pipe {
+        ($op:expr, $A:ident) => {{
+            let op = $op;
+            let initial: Vec<(Key, $A<_>)> = match restore {
+                Some(snap) => decode_count_states(&op, window, snap)?,
+                None => Vec::new(),
+            };
+            std::thread::Builder::new()
+                .name(thread_name.clone())
+                .spawn(move || count_worker(ctx, op, initial))
+                .map_err(|e| format!("spawn pipeline thread: {e}"))?
+        }};
+    }
+    macro_rules! event_pipe {
+        ($op:expr) => {{
+            let op = $op;
+            let initial = match restore {
+                Some(snap) => decode_event_states(&op, snap)?,
+                None => Vec::new(),
+            };
+            std::thread::Builder::new()
+                .name(thread_name.clone())
+                .spawn(move || event_worker(ctx, op, initial, restored_watermark))
+                .map_err(|e| format!("spawn pipeline thread: {e}"))?
+        }};
+    }
+    macro_rules! inv_algos {
+        ($op:expr) => {
+            match spec.algo {
+                AlgoKind::SlickDeque => count_pipe!($op, SlickDequeInv),
+                AlgoKind::Naive => count_pipe!($op, Naive),
+                AlgoKind::FlatFat => count_pipe!($op, FlatFat),
+                AlgoKind::BInt => count_pipe!($op, BInt),
+                AlgoKind::FlatFit => count_pipe!($op, FlatFit),
+                AlgoKind::TwoStacks => count_pipe!($op, TwoStacks),
+                AlgoKind::Daba => count_pipe!($op, Daba),
+                AlgoKind::Fiba => unreachable!("validated: fiba is event-time only"),
+            }
+        };
+    }
+    macro_rules! sel_algos {
+        ($op:expr) => {
+            match spec.algo {
+                AlgoKind::SlickDeque => count_pipe!($op, SlickDequeNonInv),
+                AlgoKind::Naive => count_pipe!($op, Naive),
+                AlgoKind::FlatFat => count_pipe!($op, FlatFat),
+                AlgoKind::BInt => count_pipe!($op, BInt),
+                AlgoKind::FlatFit => count_pipe!($op, FlatFit),
+                AlgoKind::TwoStacks => count_pipe!($op, TwoStacks),
+                AlgoKind::Daba => count_pipe!($op, Daba),
+                AlgoKind::Fiba => unreachable!("validated: fiba is event-time only"),
+            }
+        };
+    }
+
+    let join = match spec.plan {
+        PlanKind::Count { .. } => match spec.op {
+            OpKind::Sum => inv_algos!(Sum::<f64>::new()),
+            OpKind::Mean => inv_algos!(Mean::new()),
+            OpKind::Variance => inv_algos!(Variance::new()),
+            OpKind::StdDev => inv_algos!(StdDev::new()),
+            OpKind::Max => sel_algos!(MaxF64::new()),
+            OpKind::Min => sel_algos!(MinF64::new()),
+        },
+        PlanKind::Event { .. } => match spec.op {
+            OpKind::Sum => event_pipe!(Sum::<f64>::new()),
+            OpKind::Mean => event_pipe!(Mean::new()),
+            OpKind::Variance => event_pipe!(Variance::new()),
+            OpKind::StdDev => event_pipe!(StdDev::new()),
+            OpKind::Max => event_pipe!(MaxF64::new()),
+            OpKind::Min => event_pipe!(MinF64::new()),
+        },
+    };
+    Ok(PipelineHandle {
+        spec,
+        tx,
+        join: Some(join),
+        status,
+        answers,
+    })
+}

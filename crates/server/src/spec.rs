@@ -1,0 +1,454 @@
+//! Pipeline specifications: what a named pipeline computes and how.
+//!
+//! A [`PipelineSpec`] is the unit of configuration the control plane
+//! accepts (`POST /pipelines` with a JSON body) and the unit of identity
+//! a snapshot records — restore re-creates the pipeline from the spec
+//! stored *inside* the snapshot file, so a restored pipeline cannot
+//! silently diverge from the state it is loading.
+
+use swag_metrics::json::Json;
+
+/// The aggregate operation a pipeline runs.
+///
+/// These are the operations with a [`PartialCodec`] implementation —
+/// the snapshot layer needs a byte encoding for every partial it
+/// persists, so only codec-bearing ops are servable.
+///
+/// [`PartialCodec`]: swag_core::state::PartialCodec
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Invertible sum over `f64`.
+    Sum,
+    /// Invertible arithmetic mean.
+    Mean,
+    /// Invertible population variance.
+    Variance,
+    /// Invertible standard deviation.
+    StdDev,
+    /// Selective maximum (NaN-rejecting total order).
+    Max,
+    /// Selective minimum.
+    Min,
+}
+
+impl OpKind {
+    /// Wire/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Sum => "sum",
+            OpKind::Mean => "mean",
+            OpKind::Variance => "variance",
+            OpKind::StdDev => "stddev",
+            OpKind::Max => "max",
+            OpKind::Min => "min",
+        }
+    }
+
+    /// Parse a wire/JSON name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "sum" => OpKind::Sum,
+            "mean" => OpKind::Mean,
+            "variance" => OpKind::Variance,
+            "stddev" => OpKind::StdDev,
+            "max" => OpKind::Max,
+            "min" => OpKind::Min,
+            other => {
+                return Err(format!(
+                    "unknown op {other:?} (want sum/mean/variance/stddev/max/min)"
+                ))
+            }
+        })
+    }
+
+    /// Whether the op has a subtract (picks the SlickDeque flavor).
+    pub fn invertible(self) -> bool {
+        matches!(
+            self,
+            OpKind::Sum | OpKind::Mean | OpKind::Variance | OpKind::StdDev
+        )
+    }
+
+    /// Stable tag byte for the snapshot header.
+    pub fn tag(self) -> u8 {
+        match self {
+            OpKind::Sum => 0,
+            OpKind::Mean => 1,
+            OpKind::Variance => 2,
+            OpKind::StdDev => 3,
+            OpKind::Max => 4,
+            OpKind::Min => 5,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    pub fn from_tag(t: u8) -> Result<Self, String> {
+        Ok(match t {
+            0 => OpKind::Sum,
+            1 => OpKind::Mean,
+            2 => OpKind::Variance,
+            3 => OpKind::StdDev,
+            4 => OpKind::Max,
+            5 => OpKind::Min,
+            other => return Err(format!("unknown op tag {other}")),
+        })
+    }
+}
+
+/// The window algorithm an arrival-order pipeline runs per key.
+///
+/// `SlickDeque` resolves to [`SlickDequeInv`] for invertible ops and
+/// [`SlickDequeNonInv`] for selective ops, mirroring the CLI.
+///
+/// [`SlickDequeInv`]: swag_core::algorithms::SlickDequeInv
+/// [`SlickDequeNonInv`]: swag_core::algorithms::SlickDequeNonInv
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoKind {
+    /// O(1) recompute-free deque (flavor by op class).
+    SlickDeque,
+    /// O(n) recompute-from-scratch baseline.
+    Naive,
+    /// Balanced aggregate tree.
+    FlatFat,
+    /// B-ary interval tree.
+    BInt,
+    /// Pointer-chasing FlatFIT.
+    FlatFit,
+    /// Two-stacks amortised O(1).
+    TwoStacks,
+    /// De-amortised banker's aggregator.
+    Daba,
+    /// Out-of-order finger B-tree (event-time pipelines only).
+    Fiba,
+}
+
+impl AlgoKind {
+    /// Wire/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoKind::SlickDeque => "slickdeque",
+            AlgoKind::Naive => "naive",
+            AlgoKind::FlatFat => "flatfat",
+            AlgoKind::BInt => "bint",
+            AlgoKind::FlatFit => "flatfit",
+            AlgoKind::TwoStacks => "twostacks",
+            AlgoKind::Daba => "daba",
+            AlgoKind::Fiba => "fiba",
+        }
+    }
+
+    /// Parse a wire/JSON name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "slickdeque" => AlgoKind::SlickDeque,
+            "naive" => AlgoKind::Naive,
+            "flatfat" => AlgoKind::FlatFat,
+            "bint" => AlgoKind::BInt,
+            "flatfit" => AlgoKind::FlatFit,
+            "twostacks" => AlgoKind::TwoStacks,
+            "daba" => AlgoKind::Daba,
+            "fiba" => AlgoKind::Fiba,
+            other => {
+                return Err(format!(
+                    "unknown algorithm {other:?} (want slickdeque/naive/flatfat/bint/flatfit/twostacks/daba/fiba)"
+                ))
+            }
+        })
+    }
+
+    /// Stable tag byte for the snapshot header.
+    pub fn tag(self) -> u8 {
+        match self {
+            AlgoKind::SlickDeque => 0,
+            AlgoKind::Naive => 1,
+            AlgoKind::FlatFat => 2,
+            AlgoKind::BInt => 3,
+            AlgoKind::FlatFit => 4,
+            AlgoKind::TwoStacks => 5,
+            AlgoKind::Daba => 6,
+            AlgoKind::Fiba => 7,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    pub fn from_tag(t: u8) -> Result<Self, String> {
+        Ok(match t {
+            0 => AlgoKind::SlickDeque,
+            1 => AlgoKind::Naive,
+            2 => AlgoKind::FlatFat,
+            3 => AlgoKind::BInt,
+            4 => AlgoKind::FlatFit,
+            5 => AlgoKind::TwoStacks,
+            6 => AlgoKind::Daba,
+            7 => AlgoKind::Fiba,
+            other => return Err(format!("unknown algorithm tag {other}")),
+        })
+    }
+}
+
+/// The window plan: arrival-order count window or event-time window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// Arrival-order: last `window` tuples per key, one answer per tuple.
+    Count {
+        /// Window size in tuples (≥ 1).
+        window: usize,
+    },
+    /// Event-time: `range`-wide windows sliding by `slide`, closed by the
+    /// watermark; tuples more than `lateness` behind the frontier drop.
+    Event {
+        /// Window width in event-time units.
+        range: u64,
+        /// Distance between window starts.
+        slide: u64,
+        /// Allowed out-of-orderness behind the observed frontier.
+        lateness: u64,
+    },
+}
+
+/// Everything needed to (re)create a named pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineSpec {
+    /// Unique pipeline name (also the metrics namespace and the
+    /// snapshot file stem).
+    pub name: String,
+    /// Aggregate operation.
+    pub op: OpKind,
+    /// Window algorithm (must be [`AlgoKind::Fiba`] iff the plan is
+    /// event-time).
+    pub algo: AlgoKind,
+    /// Count or event-time plan.
+    pub plan: PlanKind,
+    /// Engine worker threads.
+    pub shards: usize,
+    /// Tuples per engine channel batch.
+    pub batch: usize,
+}
+
+impl PipelineSpec {
+    /// Validate cross-field consistency, returning a client-readable error.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() || self.name.len() > 64 {
+            return Err("pipeline name must be 1..=64 bytes".into());
+        }
+        if !self
+            .name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+        {
+            return Err(format!(
+                "pipeline name {:?} may only contain [A-Za-z0-9_-]",
+                self.name
+            ));
+        }
+        if self.shards < 1 {
+            return Err("shards must be at least 1".into());
+        }
+        if self.batch < 1 {
+            return Err("batch must be at least 1".into());
+        }
+        match self.plan {
+            PlanKind::Count { window } => {
+                if window < 1 {
+                    return Err("window must be at least 1".into());
+                }
+                if self.algo == AlgoKind::Fiba {
+                    return Err("fiba is event-time only; count pipelines want slickdeque/naive/flatfat/bint/flatfit/twostacks/daba".into());
+                }
+            }
+            PlanKind::Event { range, slide, .. } => {
+                if range == 0 || slide == 0 {
+                    return Err("range and slide must be at least 1".into());
+                }
+                if self.algo != AlgoKind::Fiba {
+                    return Err(format!(
+                        "event-time pipelines run on the fiba algorithm (got {})",
+                        self.algo.name()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse the control-plane JSON body of `POST /pipelines`.
+    ///
+    /// ```json
+    /// {"name":"bids","op":"sum","algorithm":"slickdeque","kind":"count",
+    ///  "window":1000,"shards":2,"batch":256}
+    /// {"name":"high","op":"max","algorithm":"fiba","kind":"event",
+    ///  "range":1000,"slide":100,"lateness":50,"shards":2}
+    /// ```
+    ///
+    /// `shards` defaults to 2, `batch` to 256, `lateness` to 0.
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        let json = Json::parse(body).map_err(|e| format!("bad JSON body: {e}"))?;
+        let str_field = |k: &str| -> Result<String, String> {
+            json.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing or non-string field {k:?}"))
+        };
+        let uint_field = |k: &str, default: Option<u64>| -> Result<u64, String> {
+            match json.get(k) {
+                Some(v) => v
+                    .as_u64()
+                    .ok_or_else(|| format!("field {k:?} must be a non-negative integer")),
+                None => default.ok_or_else(|| format!("missing field {k:?}")),
+            }
+        };
+        let name = str_field("name")?;
+        let op = OpKind::parse(&str_field("op")?)?;
+        let algo = AlgoKind::parse(&str_field("algorithm")?)?;
+        let kind = str_field("kind")?;
+        let plan = match kind.as_str() {
+            "count" => PlanKind::Count {
+                window: uint_field("window", None)? as usize,
+            },
+            "event" => PlanKind::Event {
+                range: uint_field("range", None)?,
+                slide: uint_field("slide", None)?,
+                lateness: uint_field("lateness", Some(0))?,
+            },
+            other => return Err(format!("unknown kind {other:?} (want count or event)")),
+        };
+        let spec = PipelineSpec {
+            name,
+            op,
+            algo,
+            plan,
+            shards: uint_field("shards", Some(2))? as usize,
+            batch: uint_field("batch", Some(256))? as usize,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// The spec as control-plane JSON (inverse of
+    /// [`from_json`](Self::from_json)).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name", Json::Str(self.name.clone())),
+            ("op", Json::Str(self.op.name().into())),
+            ("algorithm", Json::Str(self.algo.name().into())),
+        ];
+        match self.plan {
+            PlanKind::Count { window } => {
+                fields.push(("kind", Json::Str("count".into())));
+                fields.push(("window", Json::UInt(window as u64)));
+            }
+            PlanKind::Event {
+                range,
+                slide,
+                lateness,
+            } => {
+                fields.push(("kind", Json::Str("event".into())));
+                fields.push(("range", Json::UInt(range)));
+                fields.push(("slide", Json::UInt(slide)));
+                fields.push(("lateness", Json::UInt(lateness)));
+            }
+        }
+        fields.push(("shards", Json::UInt(self.shards as u64)));
+        fields.push(("batch", Json::UInt(self.batch as u64)));
+        Json::obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_spec() -> PipelineSpec {
+        PipelineSpec {
+            name: "bids".into(),
+            op: OpKind::Sum,
+            algo: AlgoKind::SlickDeque,
+            plan: PlanKind::Count { window: 1000 },
+            shards: 2,
+            batch: 256,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_count() {
+        let spec = count_spec();
+        let back = PipelineSpec::from_json(&spec.to_json().pretty()).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn json_round_trip_event() {
+        let spec = PipelineSpec {
+            name: "high-bid".into(),
+            op: OpKind::Max,
+            algo: AlgoKind::Fiba,
+            plan: PlanKind::Event {
+                range: 1000,
+                slide: 100,
+                lateness: 50,
+            },
+            shards: 3,
+            batch: 128,
+        };
+        let back = PipelineSpec::from_json(&spec.to_json().pretty()).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let spec = PipelineSpec::from_json(
+            r#"{"name":"w","op":"mean","algorithm":"naive","kind":"count","window":10}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.shards, 2);
+        assert_eq!(spec.batch, 256);
+    }
+
+    #[test]
+    fn rejects_cross_field_mismatches() {
+        assert!(PipelineSpec::from_json(
+            r#"{"name":"w","op":"sum","algorithm":"fiba","kind":"count","window":10}"#,
+        )
+        .is_err());
+        assert!(PipelineSpec::from_json(
+            r#"{"name":"w","op":"sum","algorithm":"naive","kind":"event","range":10,"slide":5}"#,
+        )
+        .is_err());
+        assert!(PipelineSpec::from_json(
+            r#"{"name":"bad name!","op":"sum","algorithm":"naive","kind":"count","window":10}"#,
+        )
+        .is_err());
+        assert!(PipelineSpec::from_json(
+            r#"{"name":"w","op":"sum","algorithm":"naive","kind":"count","window":0}"#,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for op in [
+            OpKind::Sum,
+            OpKind::Mean,
+            OpKind::Variance,
+            OpKind::StdDev,
+            OpKind::Max,
+            OpKind::Min,
+        ] {
+            assert_eq!(OpKind::from_tag(op.tag()).unwrap(), op);
+            assert_eq!(OpKind::parse(op.name()).unwrap(), op);
+        }
+        for algo in [
+            AlgoKind::SlickDeque,
+            AlgoKind::Naive,
+            AlgoKind::FlatFat,
+            AlgoKind::BInt,
+            AlgoKind::FlatFit,
+            AlgoKind::TwoStacks,
+            AlgoKind::Daba,
+            AlgoKind::Fiba,
+        ] {
+            assert_eq!(AlgoKind::from_tag(algo.tag()).unwrap(), algo);
+            assert_eq!(AlgoKind::parse(algo.name()).unwrap(), algo);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Snapshot round-trip property: for every servable algorithm × op ×
+//! window size, capturing mid-stream through the server's codec layer
+//! ([`KeyState`] bytes) and restoring yields an aggregator whose every
+//! subsequent answer is bitwise identical to the uninterrupted one.
+
+use swag_core::aggregator::FinalAggregator;
+use swag_core::algorithms::{
+    BInt, Daba, FlatFat, FlatFit, Naive, SlickDequeInv, SlickDequeNonInv, TwoStacks,
+};
+use swag_core::ops::{AggregateOp, MaxF64, Mean, MinF64, StdDev, Sum};
+use swag_core::state::{PartialCodec, StateReader, StateWriter, StatefulAggregator};
+use swag_data::prng::SplitMix64;
+use swag_server::snapshot::KeyState;
+use swag_stream::{TimeWindowExec, TimeWindowSpec};
+
+const WINDOWS: [usize; 4] = [1, 7, 64, 1000];
+
+fn values(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            // Uniform in [-4, 4): inexact decimals, sign changes, and
+            // magnitudes that make float summation order-sensitive.
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * 8.0 - 4.0
+        })
+        .collect()
+}
+
+/// Feed half the stream, snapshot through the byte codec, restore, and
+/// check the second half answers bitwise against the uninterrupted run.
+fn roundtrip<O, A>(op: O, window: usize, seed: u64)
+where
+    O: AggregateOp<Input = f64, Output = f64> + PartialCodec + Clone,
+    A: FinalAggregator<O> + StatefulAggregator<O>,
+{
+    let n = (window * 5 / 2).max(50);
+    let vals = values(n, seed);
+    let (first, second) = vals.split_at(n / 2);
+    let mut live = A::with_capacity(op.clone(), window);
+    for v in first {
+        live.slide(op.lift(v));
+    }
+
+    let mut w = StateWriter::new();
+    live.save_state(&mut w);
+    let (words, partials) = w.into_parts();
+    let ks = KeyState::encode(0, words, &partials, &op);
+
+    let decoded = ks.decode_partials(&op).expect("partials decode");
+    let mut r = StateReader::new(&ks.words, &decoded);
+    let mut restored = A::load_state(op.clone(), window, &mut r)
+        .unwrap_or_else(|e| panic!("{} w={window}: load failed: {e:?}", A::NAME));
+    r.finish().expect("no trailing state");
+
+    for (i, v) in second.iter().enumerate() {
+        let a = op.lower(&live.slide(op.lift(v)));
+        let b = op.lower(&restored.slide(op.lift(v)));
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{} w={window}: answer {i} diverged after restore ({a} vs {b})",
+            A::NAME
+        );
+    }
+}
+
+macro_rules! matrix {
+    ($name:ident, $op:expr, [$($A:ident),+]) => {
+        #[test]
+        fn $name() {
+            for (i, &window) in WINDOWS.iter().enumerate() {
+                $(roundtrip::<_, $A<_>>($op, window, 0x5EED + i as u64);)+
+            }
+        }
+    };
+}
+
+matrix!(
+    sum_all_invertible_algorithms,
+    Sum::<f64>::new(),
+    [
+        SlickDequeInv,
+        Naive,
+        FlatFat,
+        BInt,
+        FlatFit,
+        TwoStacks,
+        Daba
+    ]
+);
+matrix!(
+    mean_all_invertible_algorithms,
+    Mean::new(),
+    [
+        SlickDequeInv,
+        Naive,
+        FlatFat,
+        BInt,
+        FlatFit,
+        TwoStacks,
+        Daba
+    ]
+);
+matrix!(
+    stddev_all_invertible_algorithms,
+    StdDev::new(),
+    [
+        SlickDequeInv,
+        Naive,
+        FlatFat,
+        BInt,
+        FlatFit,
+        TwoStacks,
+        Daba
+    ]
+);
+matrix!(
+    max_all_selective_algorithms,
+    MaxF64::new(),
+    [
+        SlickDequeNonInv,
+        Naive,
+        FlatFat,
+        BInt,
+        FlatFit,
+        TwoStacks,
+        Daba
+    ]
+);
+matrix!(
+    min_all_selective_algorithms,
+    MinF64::new(),
+    [
+        SlickDequeNonInv,
+        Naive,
+        FlatFat,
+        BInt,
+        FlatFit,
+        TwoStacks,
+        Daba
+    ]
+);
+
+/// The event-time executor round-trips through the same codec layer.
+///
+/// Values are integer-valued `f64` (exact under any combine order):
+/// restore rebuilds the FiBA tree from its entries, so the combine
+/// *association* may differ from the live tree — bitwise answer
+/// equality is guaranteed on exact streams (see
+/// `FingerBTree::from_entries`), which is what the service's event
+/// pipelines (counts, max/min) stream. Arrival-order algorithms above
+/// restore their state verbatim and are bitwise on any floats.
+#[test]
+fn time_window_exec_roundtrips_mid_stream() {
+    let op = Sum::<f64>::new();
+    let specs = vec![TimeWindowSpec::new(100, 10)];
+    let vals: Vec<f64> = {
+        let mut rng = SplitMix64::new(0xE7E27);
+        (0..500)
+            .map(|_| (rng.next_u64() % 2048) as f64 - 1024.0)
+            .collect()
+    };
+    let mut live = TimeWindowExec::new(op, specs.clone());
+    for (i, v) in vals[..250].iter().enumerate() {
+        live.insert(i as u64 * 3, v);
+    }
+    let _ = live.advance_watermark(400);
+
+    let mut w = StateWriter::new();
+    live.save_state(&mut w);
+    let (words, partials) = w.into_parts();
+    let ks = KeyState::encode(9, words, &partials, &op);
+    let decoded = ks.decode_partials(&op).unwrap();
+    let mut r = StateReader::new(&ks.words, &decoded);
+    let mut restored = TimeWindowExec::load_state(op, &mut r).expect("load");
+    r.finish().unwrap();
+
+    for (i, v) in vals[250..].iter().enumerate() {
+        let ts = 750 + i as u64 * 3;
+        live.insert(ts, v);
+        restored.insert(ts, v);
+    }
+    let out_live = live.advance_watermark(2000);
+    let out_restored = restored.advance_watermark(2000);
+    assert_eq!(out_live.len(), out_restored.len());
+    for ((qa, ea, va), (qb, eb, vb)) in out_live.iter().zip(&out_restored) {
+        assert_eq!((qa, ea), (qb, eb));
+        assert_eq!(va.to_bits(), vb.to_bits(), "event answers bitwise equal");
+    }
+}
+
+/// A corrupted capture (bad structural word) must be rejected at load,
+/// not produce a silently wrong aggregator.
+#[test]
+fn corrupted_words_are_rejected() {
+    let op = Sum::<f64>::new();
+    let window = 16;
+    let mut live = Naive::with_capacity(op, window);
+    for v in values(40, 7) {
+        live.slide(op.lift(&v));
+    }
+    let mut w = StateWriter::new();
+    live.save_state(&mut w);
+    let (words, partials) = w.into_parts();
+
+    // Corrupt each word in turn with an out-of-range value; every
+    // mutation must fail structural validation, never panic.
+    for i in 0..words.len() {
+        let mut bad = words.clone();
+        bad[i] = u64::MAX - 7;
+        let mut r = StateReader::new(&bad, &partials);
+        let res = Naive::load_state(op, window, &mut r);
+        assert!(res.is_err(), "word {i} corrupted must be rejected");
+    }
+
+    // Truncated words must be rejected.
+    let mut r = StateReader::new(&words[..words.len() - 1], &partials);
+    assert!(Naive::load_state(op, window, &mut r).is_err());
+
+    // Truncated partials must be rejected.
+    let mut r = StateReader::new(&words, &partials[..partials.len() - 1]);
+    assert!(Naive::load_state(op, window, &mut r).is_err());
+}

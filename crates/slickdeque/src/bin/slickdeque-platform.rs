@@ -3,9 +3,13 @@
 //! ```text
 //! slickdeque-platform --op max --queries 60:10,600:60 --source debs:42 --tuples 10000
 //! echo "1 2 3" | tr ' ' '\n' | slickdeque-platform --op sum --queries 2:1 --source stdin --emit
+//! slickdeque-platform --serve --ingest-addr 127.0.0.1:7878 --metrics-addr 127.0.0.1:9184 \
+//!     --pipeline '{"name":"bids","op":"sum","algorithm":"slickdeque","kind":"count","window":1000}'
 //! ```
 
-use slickdeque::cli::{read_stdin_values, run, run_keyed, CliConfig, QuerySummary, SourceChoice};
+use slickdeque::cli::{
+    read_stdin_values, run, run_keyed, run_serve, CliConfig, QuerySummary, SourceChoice,
+};
 
 fn print_summaries(summaries: &[QuerySummary]) {
     eprintln!("query            answers   last answer");
@@ -31,11 +35,21 @@ fn main() {
                  [--source stdin|debs:<seed>[:<ch>]|workload:<name>[:<seed>]] \
                  [--tuples N] [--batch N] [--emit] [--keyed] [--shards N] [--keys N] \
                  [--metrics-addr host:port] [--metrics-hold-ms N] \
-                 [--trace-capacity N] [--trace-out DIR]"
+                 [--trace-capacity N] [--trace-out DIR]\n\
+                 service:   slickdeque-platform --serve [--ingest-addr host:port] \
+                 [--metrics-addr host:port] [--snapshot-dir DIR] \
+                 [--pipeline JSON]... [--restore NAME]... [--serve-hold-ms N]"
             );
             std::process::exit(2);
         }
     };
+    if cfg.serve {
+        if let Err(e) = run_serve(&cfg) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let mut stdout = std::io::stdout().lock();
     if cfg.keyed {
         match run_keyed(&cfg, &mut stdout) {

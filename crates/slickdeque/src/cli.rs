@@ -221,6 +221,25 @@ pub struct CliConfig {
     /// and counted. `None` trusts the source's own watermark promise,
     /// under which nothing is late.
     pub lateness: Option<u64>,
+    /// Resident-service mode (`--serve`): instead of running one plan to
+    /// completion, start a `swag-server` owning named pipelines fed over
+    /// a TCP ingest socket and managed over an HTTP control plane
+    /// (`--metrics-addr` doubles as the control-plane address).
+    pub serve: bool,
+    /// Tuple-ingest TCP address in service mode (`--ingest-addr`;
+    /// default `127.0.0.1:0`, the bound address is printed).
+    pub ingest_addr: Option<String>,
+    /// Snapshot directory in service mode (`--snapshot-dir`; default
+    /// `results/snapshots`).
+    pub snapshot_dir: Option<std::path::PathBuf>,
+    /// Pipeline specs (JSON, repeatable `--pipeline`) created at start.
+    pub pipelines: Vec<String>,
+    /// Pipeline names (repeatable `--restore`) restored from their
+    /// snapshots at start.
+    pub restores: Vec<String>,
+    /// Stop the service after this long (`--serve-hold-ms`; 0 = serve
+    /// until the process is killed). Shutdown snapshots every pipeline.
+    pub serve_hold_ms: u64,
 }
 
 impl CliConfig {
@@ -247,6 +266,12 @@ impl CliConfig {
         let mut ooo = false;
         let mut disorder = 0u64;
         let mut lateness = None;
+        let mut serve = false;
+        let mut ingest_addr = None;
+        let mut snapshot_dir = None;
+        let mut pipelines = Vec::new();
+        let mut restores = Vec::new();
+        let mut serve_hold_ms = 0u64;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
@@ -338,13 +363,44 @@ impl CliConfig {
                             .map_err(|e| format!("bad lateness: {e}"))?,
                     );
                 }
+                "--serve" => serve = true,
+                "--ingest-addr" => ingest_addr = Some(value("--ingest-addr")?),
+                "--snapshot-dir" => {
+                    snapshot_dir = Some(std::path::PathBuf::from(value("--snapshot-dir")?))
+                }
+                "--pipeline" => pipelines.push(value("--pipeline")?),
+                "--restore" => restores.push(value("--restore")?),
+                "--serve-hold-ms" => {
+                    serve_hold_ms = value("--serve-hold-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad hold duration: {e}"))?;
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
-        if queries.is_empty() {
+        if !serve
+            && (ingest_addr.is_some()
+                || snapshot_dir.is_some()
+                || !pipelines.is_empty()
+                || !restores.is_empty()
+                || serve_hold_ms > 0)
+        {
+            return Err(
+                "--ingest-addr/--snapshot-dir/--pipeline/--restore/--serve-hold-ms require --serve"
+                    .into(),
+            );
+        }
+        if serve && (keyed || ooo || emit || !queries.is_empty()) {
+            return Err(
+                "--serve is the resident-service mode; windows are configured per pipeline \
+                 (--pipeline JSON or the HTTP control plane), not via --queries/--keyed"
+                    .into(),
+            );
+        }
+        if queries.is_empty() && !serve {
             return Err("at least one --queries range:slide is required".into());
         }
-        if tuples.is_none() && source != SourceChoice::Stdin {
+        if tuples.is_none() && source != SourceChoice::Stdin && !serve {
             return Err("--tuples is required for endless sources".into());
         }
         if keyed && source == SourceChoice::Stdin {
@@ -357,6 +413,7 @@ impl CliConfig {
             return Err("--disorder/--lateness require --ooo".into());
         }
         if !keyed
+            && !serve
             && (metrics_addr.is_some()
                 || trace_capacity.is_some()
                 || trace_out.is_some()
@@ -386,8 +443,57 @@ impl CliConfig {
             ooo,
             disorder,
             lateness,
+            serve,
+            ingest_addr,
+            snapshot_dir,
+            pipelines,
+            restores,
+            serve_hold_ms,
         })
     }
+}
+
+/// Run the resident-service mode (`--serve`): start a [`SwagServer`],
+/// create/restore the requested pipelines, and serve until the hold
+/// expires (or forever when it is 0). Shutdown snapshots every pipeline.
+///
+/// [`SwagServer`]: swag_server::SwagServer
+pub fn run_serve(cfg: &CliConfig) -> Result<(), String> {
+    use swag_server::{PipelineSpec, ServerConfig, SwagServer};
+
+    let defaults = ServerConfig::default();
+    let server = SwagServer::start(ServerConfig {
+        ingest_addr: cfg.ingest_addr.clone().unwrap_or(defaults.ingest_addr),
+        http_addr: cfg.metrics_addr.clone().unwrap_or(defaults.http_addr),
+        snapshot_dir: cfg.snapshot_dir.clone().unwrap_or(defaults.snapshot_dir),
+    })
+    .map_err(|e| format!("start service: {e}"))?;
+    eprintln!(
+        "serving: tuple ingest on {}, control plane + metrics on http://{}",
+        server.ingest_addr(),
+        server.http_addr()
+    );
+    for name in &cfg.restores {
+        let spec = server.restore_pipeline(name)?;
+        eprintln!("restored pipeline {:?} from its snapshot", spec.name);
+    }
+    for json in &cfg.pipelines {
+        let spec = PipelineSpec::from_json(json)?;
+        let name = spec.name.clone();
+        server.create_pipeline(spec)?;
+        eprintln!("created pipeline {name:?}");
+    }
+    if cfg.serve_hold_ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(cfg.serve_hold_ms));
+    } else {
+        // Resident until the process is killed; an abrupt kill skips the
+        // shutdown snapshot, which is why `DELETE` and `POST …/snapshot`
+        // exist on the control plane.
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    server.shutdown()
 }
 
 /// Drive a shared-plan executor over the whole source: pull-based when the
@@ -892,6 +998,46 @@ mod tests {
         assert!(CliConfig::parse(args("--op sum --queries 4:9 --tuples 1")).is_err());
         assert!(CliConfig::parse(args("--op sum --queries 4:1")).is_err()); // endless, no budget
         assert!(CliConfig::parse(args("--op sum --queries 4:1 --source mars --tuples 1")).is_err());
+    }
+
+    #[test]
+    fn parses_service_mode() {
+        let cfg = CliConfig::parse(args(
+            "--serve --ingest-addr 127.0.0.1:7878 --metrics-addr 127.0.0.1:9184 \
+             --snapshot-dir results/snapshots --restore bids --serve-hold-ms 50",
+        ))
+        .unwrap();
+        assert!(cfg.serve);
+        assert_eq!(cfg.ingest_addr.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:9184"));
+        assert_eq!(cfg.restores, vec!["bids"]);
+        assert_eq!(cfg.serve_hold_ms, 50);
+        // Service flags without --serve, and batch flags with it, reject.
+        assert!(
+            CliConfig::parse(args("--op sum --queries 4:1 --tuples 1 --ingest-addr x")).is_err()
+        );
+        assert!(CliConfig::parse(args("--serve --queries 4:1")).is_err());
+        assert!(CliConfig::parse(args("--serve --keyed")).is_err());
+    }
+
+    #[test]
+    fn serve_mode_creates_pipeline_and_holds() {
+        let dir = std::env::temp_dir().join(format!("swag-cli-serve-{}", std::process::id()));
+        let cfg = CliConfig::parse(vec![
+            "--serve".to_string(),
+            "--serve-hold-ms".to_string(),
+            "10".to_string(),
+            "--snapshot-dir".to_string(),
+            dir.display().to_string(),
+            "--pipeline".to_string(),
+            r#"{"name":"p","op":"sum","algorithm":"slickdeque","kind":"count","window":8}"#
+                .to_string(),
+        ])
+        .unwrap();
+        run_serve(&cfg).unwrap();
+        // The hold expired and shutdown snapshotted the (empty) pipeline.
+        assert!(dir.join("p.swag").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

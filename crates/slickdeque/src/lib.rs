@@ -50,6 +50,7 @@ pub use swag_engine as engine;
 pub use swag_metrics as metrics;
 pub use swag_ooo as ooo;
 pub use swag_plan as plan;
+pub use swag_server as server;
 pub use swag_stream as stream;
 
 pub mod cli;

@@ -95,6 +95,13 @@ impl<O: AggregateOp> TimeWindowExec<O> {
         self.tree.len()
     }
 
+    /// Largest live event timestamp, or `None` when the tree is empty.
+    /// (Accepted-then-evicted tuples no longer count — this is the live
+    /// window's frontier, which is what watermark-lag reporting needs.)
+    pub fn max_ts(&self) -> Option<Timestamp> {
+        self.tree.max_ts()
+    }
+
     /// Offer one tuple at event time `ts`. Returns `false` — and leaves
     /// all state untouched — when `ts` is below the watermark: the
     /// windows it belongs to may already be emitted. Callers count those
@@ -224,6 +231,103 @@ impl<O: AggregateOp> TimeWindowExec<O> {
         if let Some(cutoff) = cutoff {
             self.tree.evict_older_than(cutoff);
         }
+    }
+}
+
+impl<O: AggregateOp> TimeWindowExec<O> {
+    /// Capture the executor's full state: watermark, accepted count, the
+    /// window specs with their per-spec emission cursors, and the tree's
+    /// live entries in timestamp order.
+    pub fn save_state(&self, w: &mut swag_core::state::StateWriter<O::Partial>) {
+        w.word(self.watermark);
+        w.word(self.accepted);
+        w.usize_word(self.specs.len());
+        for s in &self.specs {
+            w.word(s.range);
+            w.word(s.slide);
+        }
+        for ne in &self.next_end {
+            match ne {
+                Some(end) => {
+                    w.word(1);
+                    w.word(*end);
+                }
+                None => {
+                    w.word(0);
+                    w.word(0);
+                }
+            }
+        }
+        let entries = self.tree.entries();
+        w.usize_word(entries.len());
+        for (ts, p) in entries {
+            w.word(ts);
+            w.partial(p);
+        }
+    }
+
+    /// Rebuild an executor from a capture. The specs come from the
+    /// capture itself (the creation-time list is part of the state), and
+    /// the tree is rebuilt from its entries via the bulk in-order path —
+    /// see [`FingerBTree::from_entries`] for the bitwise caveat on
+    /// non-exact floating-point streams.
+    pub fn load_state(
+        op: O,
+        r: &mut swag_core::state::StateReader<'_, O::Partial>,
+    ) -> Result<Self, swag_core::state::StateError> {
+        use swag_core::state::corrupt;
+        let watermark = r.word("time-window watermark")?;
+        let accepted = r.word("time-window accepted")?;
+        let nspecs = r.usize_word("time-window spec count")?;
+        if nspecs == 0 {
+            return Err(corrupt("time-window: no specs"));
+        }
+        let mut specs = Vec::with_capacity(nspecs);
+        for _ in 0..nspecs {
+            let range = r.word("time-window spec range")?;
+            let slide = r.word("time-window spec slide")?;
+            if range == 0 || slide == 0 {
+                return Err(corrupt(format!(
+                    "time-window: spec {range}x{slide} has a zero dimension"
+                )));
+            }
+            specs.push(TimeWindowSpec { range, slide });
+        }
+        let mut next_end = Vec::with_capacity(nspecs);
+        for _ in 0..nspecs {
+            let flag = r.word("time-window next_end flag")?;
+            let end = r.word("time-window next_end value")?;
+            next_end.push(match flag {
+                0 => None,
+                1 => Some(end),
+                other => {
+                    return Err(corrupt(format!(
+                        "time-window: next_end flag {other} is not 0/1"
+                    )))
+                }
+            });
+        }
+        let nentries = r.usize_word("time-window entry count")?;
+        let mut entries = Vec::with_capacity(nentries);
+        let mut prev: Option<Timestamp> = None;
+        for _ in 0..nentries {
+            let ts = r.word("time-window entry ts")?;
+            let p = r.partial("time-window entry value")?;
+            if prev.is_some_and(|t| ts < t) {
+                return Err(corrupt(format!(
+                    "time-window: entry timestamp {ts} out of order"
+                )));
+            }
+            prev = Some(ts);
+            entries.push((ts, p));
+        }
+        Ok(TimeWindowExec {
+            tree: FingerBTree::from_entries(op, &entries),
+            specs,
+            next_end,
+            watermark,
+            accepted,
+        })
     }
 }
 

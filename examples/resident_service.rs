@@ -1,0 +1,168 @@
+//! The resident service, end to end: a `SwagServer` owning two named
+//! pipelines — a count-window sum and an event-time max — fed NEXMark
+//! auction bids over real loopback sockets (binary protocol for one,
+//! line-delimited text for the other), then snapshotted, restarted, and
+//! restored with its window state intact.
+//!
+//! ```console
+//! $ cargo run --example resident_service
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use slickdeque::data::nexmark::{NexmarkConfig, NexmarkGenerator};
+use slickdeque::metrics::clock::Stopwatch;
+use slickdeque::metrics::Json;
+use slickdeque::server::proto::IngestClient;
+use slickdeque::server::{PipelineSpec, ServerConfig, SwagServer};
+
+const BIDS: usize = 20_000;
+
+fn spec(json: &str) -> PipelineSpec {
+    PipelineSpec::from_json(json).expect("valid pipeline spec") // check:allow example aborts on setup failure by design
+}
+
+/// Poll a pipeline's status until it has processed `expect` tuples.
+fn wait_drained(server: &SwagServer, name: &str, expect: u64) {
+    let waited = Stopwatch::start();
+    loop {
+        let tuples = server
+            .status_json(name)
+            .and_then(|j| j.get("status")?.get("tuples")?.as_u64())
+            .unwrap_or(0);
+        if tuples >= expect {
+            return;
+        }
+        assert!(
+            waited.elapsed() < Duration::from_secs(30),
+            "{name} stalled at {tuples}/{expect} tuples"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn main() {
+    let snapshot_dir = std::env::temp_dir().join(format!("swag-example-{}", std::process::id()));
+
+    // ----- A resident server with two named pipelines ---------------------
+    let server = SwagServer::start(ServerConfig {
+        snapshot_dir: snapshot_dir.clone(),
+        ..ServerConfig::default()
+    })
+    .expect("start server"); // check:allow example aborts on setup failure by design
+    println!(
+        "server up — ingest {}  control {}",
+        server.ingest_addr(),
+        server.http_addr()
+    );
+
+    // Bid count per auction over the last 1024 bids (arrival order)…
+    server
+        .create_pipeline(spec(
+            r#"{"name":"bid-counts","op":"sum","algorithm":"slickdeque",
+                "kind":"count","window":1024,"shards":2}"#,
+        ))
+        .expect("create bid-counts"); // check:allow example aborts on setup failure by design
+                                      // …and the highest bid per auction over 64ms event-time windows
+                                      // sliding by 16ms, closed by the watermark.
+    server
+        .create_pipeline(spec(
+            r#"{"name":"highest-bid","op":"max","algorithm":"fiba","kind":"event",
+                "range":64000000,"slide":16000000,"shards":2}"#,
+        ))
+        .expect("create highest-bid"); // check:allow example aborts on setup failure by design
+
+    // ----- Feed both over real sockets ------------------------------------
+    let bids = NexmarkGenerator::new(NexmarkConfig::default()).bids(BIDS);
+
+    // Binary protocol: framed 24-byte tuples, one `(auction, _, 1.0)`
+    // count contribution per bid.
+    let conn = TcpStream::connect(server.ingest_addr()).expect("connect"); // check:allow example aborts on setup failure by design
+    let mut client = IngestClient::new("bid-counts", conn).expect("handshake"); // check:allow example aborts on setup failure by design
+    let counts: Vec<(u64, u64, f64)> = bids.iter().map(|b| (b.auction, 0, 1.0)).collect();
+    for frame in counts.chunks(512) {
+        client.send(frame).expect("send frame"); // check:allow example aborts on setup failure by design
+    }
+    let conn = client.finish().expect("finish"); // check:allow example aborts on setup failure by design
+    let mut ack = String::new();
+    BufReader::new(conn).read_line(&mut ack).expect("ack"); // check:allow example aborts on setup failure by design
+    println!("bid-counts   ingest ack: {}", ack.trim());
+
+    // Text protocol: `key,ts,value` lines — the netcat-friendly path.
+    let mut conn = TcpStream::connect(server.ingest_addr()).expect("connect"); // check:allow example aborts on setup failure by design
+    let mut lines = String::from("highest-bid\n");
+    for b in &bids {
+        lines.push_str(&format!("{},{},{}\n", b.auction, b.ts, b.price));
+    }
+    conn.write_all(lines.as_bytes()).expect("send lines"); // check:allow example aborts on setup failure by design
+    conn.shutdown(std::net::Shutdown::Write)
+        .expect("half-close"); // check:allow example aborts on setup failure by design
+    let mut ack = String::new();
+    BufReader::new(conn).read_line(&mut ack).expect("ack"); // check:allow example aborts on setup failure by design
+    println!("highest-bid  ingest ack: {}", ack.trim());
+
+    wait_drained(&server, "bid-counts", BIDS as u64);
+    wait_drained(&server, "highest-bid", BIDS as u64);
+
+    // ----- Read the answer tables -----------------------------------------
+    let counts = server.answers_json("bid-counts").expect("answers"); // check:allow example aborts on setup failure by design
+    let hot: Vec<(u64, f64)> = counts
+        .as_array()
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|row| Some((row.get("key")?.as_u64()?, row.get("value")?.as_f64()?)))
+        .filter(|&(_, n)| n > 1000.0)
+        .collect();
+    println!("\nhot auctions (>1000 bids in the last 1024):");
+    for (auction, n) in &hot {
+        println!("  auction {auction:>4}  {n:>6.0} bids");
+    }
+    assert!(!hot.is_empty(), "the NEXMark skew makes some auctions hot");
+
+    // ----- Snapshot, restart, restore -------------------------------------
+    let ingest1 = server.ingest_addr();
+    server
+        .shutdown()
+        .expect("graceful shutdown snapshots both pipelines"); // check:allow example aborts on setup failure by design
+    println!("\nserver down — snapshots in {}", snapshot_dir.display());
+
+    let server = SwagServer::start(ServerConfig {
+        snapshot_dir: snapshot_dir.clone(),
+        ..ServerConfig::default()
+    })
+    .expect("restart server"); // check:allow example aborts on setup failure by design
+    assert_ne!(server.ingest_addr(), ingest1, "fresh ephemeral port");
+    let restored = server.restore_pipeline("bid-counts").expect("restore"); // check:allow example aborts on setup failure by design
+
+    // One more bid per hot auction: the new answers can only exceed
+    // 1000 if the pre-restart window contents came back with it.
+    let conn = TcpStream::connect(server.ingest_addr()).expect("connect"); // check:allow example aborts on setup failure by design
+    let mut client = IngestClient::new("bid-counts", conn).expect("handshake"); // check:allow example aborts on setup failure by design
+    let extra: Vec<(u64, u64, f64)> = hot.iter().map(|&(auction, _)| (auction, 0, 1.0)).collect();
+    client.send(&extra).expect("send frame"); // check:allow example aborts on setup failure by design
+    drop(client.finish().expect("finish")); // check:allow example aborts on setup failure by design
+    wait_drained(&server, "bid-counts", extra.len() as u64);
+
+    println!(
+        "restored `{}` — the window remembers its pre-restart bids:",
+        restored.name
+    );
+    let answers = server.answers_json("bid-counts").expect("answers"); // check:allow example aborts on setup failure by design
+    for row in answers.as_array().unwrap_or(&[]) {
+        let (Some(key), Some(n)) = (
+            row.get("key").and_then(Json::as_u64),
+            row.get("value").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        println!("  auction {key:>4}  {n:>6.0} bids in window");
+        assert!(n > 1000.0, "auction {key}: window state was lost");
+    }
+
+    server.delete_pipeline("bid-counts", true).expect("delete"); // check:allow example aborts on setup failure by design
+    server.shutdown().expect("shutdown"); // check:allow example aborts on setup failure by design
+    std::fs::remove_dir_all(&snapshot_dir).ok();
+    println!("done");
+}
