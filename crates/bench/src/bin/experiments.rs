@@ -7,12 +7,13 @@
 //!
 //! Subcommands: `table1`, `exp1a`, `exp1b`, `exp2a`, `exp2b`, `exp3`,
 //! `exp4`, `workloads`, `pats`, `scaling`, `bulk`, `ooo`, `kernels`,
-//! `all`. Flags: `--quick`,
+//! `nexmark`, `tails`, `all`. Flags: `--quick`,
 //! `--max-exp E`, `--multi-max-exp E`, `--budget-ms N`,
 //! `--latency-tuples N`, `--seed S`, `--out DIR`, `--no-save`.
 
 use swag_bench::{
-    bulk, exp1, exp2, exp3, exp4, kernels, nexmark, ooo, pats, scaling, table1, workloads, Config,
+    bulk, exp1, exp2, exp3, exp4, kernels, nexmark, ooo, pats, scaling, table1, tails, workloads,
+    Config,
 };
 use swag_metrics::alloc::CountingAllocator;
 
@@ -22,7 +23,7 @@ static ALLOC: CountingAllocator = CountingAllocator;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|exp1a|exp1b|exp2a|exp2b|exp3|exp4|workloads|pats|scaling|bulk|ooo|kernels|nexmark|all> \
+        "usage: experiments <table1|exp1a|exp1b|exp2a|exp2b|exp3|exp4|workloads|pats|scaling|bulk|ooo|kernels|nexmark|tails|all> \
          [--quick] [--max-exp E] [--multi-max-exp E] [--budget-ms N] \
          [--latency-tuples N] [--seed S] [--out DIR] [--no-save]"
     );
@@ -112,6 +113,7 @@ fn main() {
             "ooo",
             "kernels",
             "nexmark",
+            "tails",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -184,6 +186,13 @@ fn main() {
             }
             "nexmark" => {
                 let t = nexmark::run(&cfg);
+                t.print();
+                if let Some(dir) = &cfg.out_dir {
+                    let _ = t.save(dir);
+                }
+            }
+            "tails" => {
+                let t = tails::run(&cfg);
                 t.print();
                 if let Some(dir) = &cfg.out_dir {
                     let _ = t.save(dir);

@@ -134,6 +134,7 @@ fn run(args: &Args) -> Result<(), String> {
         ingest_addr: args.ingest_addr.clone(),
         http_addr: http1,
         snapshot_dir: args.snapshot_dir.clone(),
+        ..ServerConfig::default()
     })
     .map_err(|e| format!("start server 1: {e}"))?;
     let http1 = server.http_addr().to_string();
@@ -182,6 +183,7 @@ fn run(args: &Args) -> Result<(), String> {
         ingest_addr: args.ingest_addr2.clone(),
         http_addr: args.http_addr2.clone(),
         snapshot_dir: args.snapshot_dir.clone(),
+        ..ServerConfig::default()
     })
     .map_err(|e| format!("start server 2: {e}"))?;
     let http2 = server.http_addr().to_string();

@@ -1,0 +1,97 @@
+//! CI runner for the tail-latency sweep.
+//!
+//! ```text
+//! cargo run -p swag-bench --release --bin tails_bench -- --gate
+//! cargo run -p swag-bench --release --bin tails_bench -- --latency-tuples 1000000 --out results
+//! ```
+//!
+//! Runs the `tails` experiment (see `swag_bench::tails`) and, with
+//! `--gate`, checks it against the committed baseline
+//! (`crates/bench/baselines/tails.json`, `--baseline PATH` to change
+//! it). The gate has a deterministic half and a noisy half: each row's
+//! worst single-slide aggregate-op count must not exceed the baseline's
+//! exact pin (an increase is a real algorithmic regression), while the
+//! wall-clock p99.9 only has to stay under a generous committed ceiling
+//! times `--tolerance` (default 1.0) so shared CI runners cannot flake
+//! the job. Exits non-zero on any violation.
+
+use swag_bench::{tails, Config};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tails_bench [--gate] [--baseline PATH] [--tolerance F] \
+         [--latency-tuples N] [--seed S] [--out DIR] [--no-save]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = Config::quick();
+    // Enough slides that p99.9 rests on hundreds of samples, small
+    // enough for a CI smoke job.
+    cfg.latency_tuples = 200_000;
+    cfg.out_dir = None;
+    let mut gate = false;
+    let mut tolerance = 1.0f64;
+    let mut baseline_path = std::path::PathBuf::from("crates/bench/baselines/tails.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--gate" => gate = true,
+            "--baseline" => baseline_path = args.next().unwrap_or_else(|| usage()).into(),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--latency-tuples" => {
+                cfg.latency_tuples = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => cfg.out_dir = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--no-save" => cfg.out_dir = None,
+            _ => usage(),
+        }
+    }
+
+    let table = tails::run(&cfg);
+    table.print();
+    if let Some(dir) = &cfg.out_dir {
+        if let Err(e) = table.save(dir) {
+            eprintln!("warning: could not save results: {e}");
+        }
+    }
+    if gate {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))
+            .and_then(|text| {
+                swag_metrics::Json::parse(&text)
+                    .map_err(|e| format!("cannot parse {}: {e}", baseline_path.display()))
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("tails gate: {e}");
+                std::process::exit(2);
+            });
+        let violations = table.gate_violations(&baseline, tolerance);
+        if violations.is_empty() {
+            println!(
+                "\ntails gate: all rows within baseline (ops exact, p99.9 ceilings ×{tolerance:.1})"
+            );
+        } else {
+            eprintln!("\ntails gate FAILED (tolerance {tolerance:.1}):");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

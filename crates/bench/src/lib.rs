@@ -21,6 +21,7 @@
 //! | Out-of-order ingestion sweep (extension) | [`ooo`] | `ooo` |
 //! | Batch-kernel sweep (extension) | [`kernels`] | `kernels` |
 //! | NEXMark service scenario (extension) | [`nexmark`] | `nexmark` |
+//! | Tail-latency sweep (extension) | [`tails`] | `tails` |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -42,6 +43,7 @@ pub mod registry;
 pub mod report;
 pub mod scaling;
 pub mod table1;
+pub mod tails;
 pub mod workloads;
 
 use std::time::Duration;

@@ -19,6 +19,13 @@
 //! latency clock starts at wire decode and stops when the tuple's cycle
 //! completes, so it includes queueing — the resident service's honest
 //! end-to-end figure.
+//!
+//! The server's default lifecycle tracing (1-in-128 sampling) stays on,
+//! so each run also counts the sampled tuples whose full
+//! queue-wait/batching/aggregation/emission decomposition survived in
+//! the trace ring, and — when saving — exports each pipeline's
+//! `trace-<pipeline>.json` (Chrome trace-event format) next to
+//! `nexmark.json`.
 
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -66,6 +73,10 @@ pub struct NexmarkRow {
     /// 99.9th percentile — the paper's tail-latency lens applied to the
     /// service path.
     pub p999_ns: u64,
+    /// Sampled tuples with lifecycle traces in the ring at drain time.
+    pub sampled_traces: u64,
+    /// Sampled tuples whose trace decomposes into all four spans.
+    pub complete_traces: u64,
 }
 
 /// The scenario result: both pipelines, streamed concurrently.
@@ -91,19 +102,20 @@ impl NexmarkTable {
             self.wall_s
         );
         println!(
-            "{:<14} {:>12} {:>10} {:>14} {:>10} {:>10} {:>10}",
-            "pipeline", "tuples", "answers", "tuples/s", "p50 µs", "p99 µs", "p99.9 µs"
+            "{:<14} {:>12} {:>10} {:>14} {:>10} {:>10} {:>10} {:>8}",
+            "pipeline", "tuples", "answers", "tuples/s", "p50 µs", "p99 µs", "p99.9 µs", "traces"
         );
         for r in &self.rows {
             println!(
-                "{:<14} {:>12} {:>10} {:>14.0} {:>10.1} {:>10.1} {:>10.1}",
+                "{:<14} {:>12} {:>10} {:>14.0} {:>10.1} {:>10.1} {:>10.1} {:>8}",
                 r.name,
                 r.tuples,
                 r.answers,
                 r.tuples_per_sec,
                 r.p50_ns as f64 / 1e3,
                 r.p99_ns as f64 / 1e3,
-                r.p999_ns as f64 / 1e3
+                r.p999_ns as f64 / 1e3,
+                r.complete_traces
             );
         }
     }
@@ -126,6 +138,8 @@ impl NexmarkTable {
                         ("p50_ns", Json::UInt(r.p50_ns)),
                         ("p99_ns", Json::UInt(r.p99_ns)),
                         ("p999_ns", Json::UInt(r.p999_ns)),
+                        ("sampled_traces", Json::UInt(r.sampled_traces)),
+                        ("complete_traces", Json::UInt(r.complete_traces)),
                     ])
                 }),
             ),
@@ -183,6 +197,9 @@ pub fn run(cfg: &Config) -> NexmarkTable {
     let snapshot_dir = std::env::temp_dir().join(format!("swag-nexmark-{}", std::process::id()));
     let server = SwagServer::start(ServerConfig {
         snapshot_dir: snapshot_dir.clone(),
+        // Default 1-in-128 lifecycle sampling stays on; deleting the
+        // pipelines below exports `trace-<pipeline>.json` here.
+        trace_dir: cfg.out_dir.clone(),
         ..ServerConfig::default()
     })
     .expect("server starts");
@@ -247,6 +264,15 @@ pub fn run(cfg: &Config) -> NexmarkTable {
                     _ => None,
                 })
                 .expect("latency histogram registered");
+            // Lifecycle trace counts from the live ring (server default
+            // sampling): how many sampled tuples decomposed fully.
+            let trace = server.trace_json(name).expect("pipeline exists");
+            let trace_stat = |k: &str| {
+                trace
+                    .get("otherData")
+                    .and_then(|o| o.get(k).and_then(Json::as_u64))
+                    .unwrap_or(0)
+            };
             NexmarkRow {
                 name: name.to_string(),
                 tuples: stat("tuples"),
@@ -255,6 +281,8 @@ pub fn run(cfg: &Config) -> NexmarkTable {
                 p50_ns: hist.quantile(0.50),
                 p99_ns: hist.quantile(0.99),
                 p999_ns: hist.quantile(0.999),
+                sampled_traces: trace_stat("traces"),
+                complete_traces: trace_stat("complete_traces"),
             }
         })
         .collect();
@@ -289,6 +317,10 @@ mod tests {
             assert!(r.tuples_per_sec > 0.0);
             assert!(r.p999_ns >= r.p50_ns, "{}", r.name);
             assert!(r.p999_ns > 0, "{}: empty latency histogram", r.name);
+            // Default 1-in-128 sampling over 20k tuples: the ring must
+            // hold sampled tuples with the full four-span decomposition.
+            assert!(r.sampled_traces > 0, "{}: nothing sampled", r.name);
+            assert!(r.complete_traces > 0, "{}: no complete traces", r.name);
         }
     }
 }

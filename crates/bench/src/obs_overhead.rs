@@ -8,12 +8,17 @@
 //! `results/obs_overhead.json`, and — with a gate — fails when the bulk
 //! path slows down by more than the allowed percentage.
 //!
-//! The gate is on the *bulk* path: that is how the sharded engine feeds
+//! The gate is on the *bulk* paths: that is how the sharded engine feeds
 //! tuples, and one ring event per batch amortises to well under a
-//! nanosecond per tuple. Scalar-push and raw-counter numbers are
-//! reported but not gated — a per-event clock read can never hide inside
-//! a per-tuple budget of a few dozen nanoseconds, and that is fine
-//! because no shipped path records per tuple.
+//! nanosecond per tuple. Two bulk scenarios are gated: the flight
+//! recorder alone, and the recorder plus the resident service's
+//! **default lifecycle sampling** (a [`SpanSampler`] draw per tuple,
+//! stage records for the 1-in-128 hits — the extra work `swag-server`
+//! ingest does with tracing on, which it is by default). Scalar-push and
+//! raw-counter numbers are reported but not gated — a per-event clock
+//! read can never hide inside a per-tuple budget of a few dozen
+//! nanoseconds, and that is fine because no shipped path records per
+//! tuple unsampled.
 //!
 //! [`Counter`]: swag_metrics::Counter
 
@@ -26,7 +31,7 @@ use swag_core::ops::Sum;
 use swag_metrics::{Json, MetricRegistry, ToJson};
 use swag_plan::{Pat, Query, SharedPlan};
 use swag_stream::{CountSink, ExecObs, SharedPlanExecutor};
-use swag_trace::FlightRecorder;
+use swag_trace::{FlightRecorder, SpanSampler, Stage};
 
 use crate::report::save_json;
 
@@ -41,6 +46,9 @@ pub struct ObsConfig {
     pub batch: usize,
     /// Flight-recorder ring capacity for the instrumented scenarios.
     pub trace_capacity: usize,
+    /// Lifecycle sampling rate for the sampled scenario (1-in-N; the
+    /// server default).
+    pub sample_every: u64,
     /// Maximum allowed bulk-path overhead in percent (none = report only).
     pub gate_pct: Option<f64>,
     /// Directory for the JSON dump (none = don't write).
@@ -51,9 +59,10 @@ impl Default for ObsConfig {
     fn default() -> Self {
         ObsConfig {
             tuples: 2_000_000,
-            runs: 7,
+            runs: 15,
             batch: 512,
             trace_capacity: 4096,
+            sample_every: 128,
             gate_pct: None,
             out_dir: Some(PathBuf::from("results")),
         }
@@ -86,8 +95,11 @@ pub struct Scenario {
 pub struct ObsReport {
     /// All measured scenarios.
     pub scenarios: Vec<Scenario>,
-    /// Bulk-path overhead, percent (recorder vs off) — the gated number.
+    /// Bulk-path overhead, percent (recorder vs off) — gated.
     pub bulk_overhead_pct: f64,
+    /// Bulk-path overhead with recorder plus default lifecycle sampling,
+    /// percent (vs off) — gated.
+    pub sampled_overhead_pct: f64,
     /// Scalar-push overhead, percent (recorder vs off) — informational.
     pub scalar_overhead_pct: f64,
     /// Registry counter minus plain field, ns per increment.
@@ -156,6 +168,34 @@ fn bulk_run(obs: Option<ExecObs>, tuples: u64, batch: usize) -> f64 {
     ns / (batches * batch as u64) as f64
 }
 
+/// Time the bulk path with the recorder AND the resident service's
+/// lifecycle sampling: one `SpanSampler::sample_block` draw per batch
+/// plus a stage record for each 1-in-`every` hit — exactly the work the
+/// server's ingest readers add per frame when tracing is on (its
+/// default). Ns per tuple.
+fn sampled_bulk_run(tuples: u64, batch: usize, every: u64, capacity: usize) -> f64 {
+    let mut exec = fresh_exec(Some(ExecObs::new(FlightRecorder::new(capacity))));
+    let sampler = SpanSampler::new(every, FlightRecorder::new(capacity));
+    let mut sink = CountSink::default();
+    let values: Vec<f64> = (0..batch as u64).map(value).collect();
+    let batches = tuples / batch as u64;
+    let start = Instant::now();
+    for frame in 0..batches {
+        // Mirror the server's forward(): the frame's decode timestamp is
+        // read once and shared by every hit's Ingest record, and each
+        // hit stamps its trace id into the tuple it rode in on.
+        let ts = sampler.ring().now_ns();
+        for (offset, id) in sampler.sample_block(values.len() as u64) {
+            black_box((offset, id));
+            sampler.stage_at(ts, id, Stage::Ingest, frame);
+        }
+        exec.push_batch(black_box(&values), &mut sink);
+    }
+    let ns = start.elapsed().as_nanos() as f64;
+    black_box(sink.count);
+    ns / (batches * batch as u64) as f64
+}
+
 /// Time a tight increment loop on a plain local field; ns per op.
 fn plain_field_run(n: u64) -> f64 {
     let mut field = 0u64;
@@ -185,17 +225,23 @@ fn registry_counter_run(n: u64) -> f64 {
 /// Run every scenario and assemble the report.
 pub fn run(cfg: &ObsConfig) -> ObsReport {
     let recorder = || ExecObs::new(FlightRecorder::new(cfg.trace_capacity));
-    let mut samples: [Vec<f64>; 6] = Default::default();
+    let mut samples: [Vec<f64>; 7] = Default::default();
     for _ in 0..cfg.runs {
         samples[0].push(scalar_run(None, cfg.tuples));
         samples[1].push(scalar_run(Some(recorder()), cfg.tuples));
         samples[2].push(bulk_run(None, cfg.tuples, cfg.batch));
         samples[3].push(bulk_run(Some(recorder()), cfg.tuples, cfg.batch));
-        samples[4].push(plain_field_run(cfg.tuples));
-        samples[5].push(registry_counter_run(cfg.tuples));
+        samples[4].push(sampled_bulk_run(
+            cfg.tuples,
+            cfg.batch,
+            cfg.sample_every,
+            cfg.trace_capacity,
+        ));
+        samples[5].push(plain_field_run(cfg.tuples));
+        samples[6].push(registry_counter_run(cfg.tuples));
     }
-    let [scalar_off, scalar_on, bulk_off, bulk_on, plain, counter] =
-        [0, 1, 2, 3, 4, 5].map(|i| best(&samples[i]));
+    let [scalar_off, scalar_on, bulk_off, bulk_on, bulk_sampled, plain, counter] =
+        [0, 1, 2, 3, 4, 5, 6].map(|i| best(&samples[i]));
 
     let scenarios = vec![
         Scenario {
@@ -215,6 +261,10 @@ pub fn run(cfg: &ObsConfig) -> ObsReport {
             ns_per_op: bulk_on,
         },
         Scenario {
+            name: format!("bulk/sampled(1-in-{})", cfg.sample_every),
+            ns_per_op: bulk_sampled,
+        },
+        Scenario {
             name: "counter/plain-field".into(),
             ns_per_op: plain,
         },
@@ -224,12 +274,16 @@ pub fn run(cfg: &ObsConfig) -> ObsReport {
         },
     ];
     let bulk_overhead_pct = overhead_pct(bulk_off, bulk_on);
+    let sampled_overhead_pct = overhead_pct(bulk_off, bulk_sampled);
     ObsReport {
         bulk_overhead_pct,
+        sampled_overhead_pct,
         scalar_overhead_pct: overhead_pct(scalar_off, scalar_on),
         counter_delta_ns: counter - plain,
         gate_pct: cfg.gate_pct,
-        pass: cfg.gate_pct.is_none_or(|g| bulk_overhead_pct <= g),
+        pass: cfg
+            .gate_pct
+            .is_none_or(|g| bulk_overhead_pct <= g && sampled_overhead_pct <= g),
         scenarios,
     }
 }
@@ -242,12 +296,17 @@ impl ObsReport {
             println!("{:<24} {:>10.2} ns/op", s.name, s.ns_per_op);
         }
         println!(
-            "bulk overhead    {:+.2}%  (gated)\nscalar overhead  {:+.2}%\ncounter delta    {:+.2} ns/op",
-            self.bulk_overhead_pct, self.scalar_overhead_pct, self.counter_delta_ns
+            "bulk overhead    {:+.2}%  (gated)\nsampled overhead {:+.2}%  (gated)\nscalar overhead  {:+.2}%\ncounter delta    {:+.2} ns/op",
+            self.bulk_overhead_pct,
+            self.sampled_overhead_pct,
+            self.scalar_overhead_pct,
+            self.counter_delta_ns
         );
         match self.gate_pct {
-            Some(g) if self.pass => println!("gate: bulk overhead within {g:.1}% — PASS"),
-            Some(g) => println!("gate: bulk overhead exceeds {g:.1}% — FAIL"),
+            Some(g) if self.pass => {
+                println!("gate: bulk + sampled overhead within {g:.1}% — PASS")
+            }
+            Some(g) => println!("gate: bulk or sampled overhead exceeds {g:.1}% — FAIL"),
             None => println!("gate: none (report only)"),
         }
     }
@@ -271,6 +330,7 @@ impl ToJson for ObsReport {
                 }),
             ),
             ("bulk_overhead_pct", Json::Num(self.bulk_overhead_pct)),
+            ("sampled_overhead_pct", Json::Num(self.sampled_overhead_pct)),
             ("scalar_overhead_pct", Json::Num(self.scalar_overhead_pct)),
             ("counter_delta_ns", Json::Num(self.counter_delta_ns)),
             ("gate_pct", self.gate_pct.map_or(Json::Null, Json::Num)),
@@ -290,16 +350,17 @@ mod tests {
         cfg.runs = 2;
         cfg.gate_pct = Some(1_000.0); // sanity only; not a perf assertion
         let report = run(&cfg);
-        assert_eq!(report.scenarios.len(), 6);
+        assert_eq!(report.scenarios.len(), 7);
         assert!(report.scenarios.iter().all(|s| s.ns_per_op > 0.0));
         assert!(report.pass, "absurdly wide gate must pass");
         let json = report.to_json();
         assert!(json.get("pass").is_some());
+        assert!(json.get("sampled_overhead_pct").is_some());
         assert_eq!(
             json.get("scenarios")
                 .and_then(|s| s.as_array())
                 .map(<[_]>::len),
-            Some(6)
+            Some(7)
         );
     }
 }

@@ -1,0 +1,433 @@
+//! Tail-latency sweep: worst-case per-slide spikes across all eight
+//! algorithm rows (extension; ROADMAP open item 2).
+//!
+//! Exp 3 reproduces Fig. 14's six statistics with the paper's outlier
+//! policy (top 0.005% dropped). This experiment is the opposite lens:
+//! the tail IS the result. Every algorithm slides the same DEBS-shaped
+//! stream while each slide is individually timed, **no outliers are
+//! dropped**, and the p50/p99/p99.9/max of the raw distribution are
+//! reported — the spikes FlatFAT-style structures suffer (leaf rebuild,
+//! tree walk), TwoStacks' O(n) flip, and FlatFIT's reset are exactly
+//! what survives at p99.9 and max.
+//!
+//! Wall-clock maxima are scheduler-jittery, so each row also carries a
+//! deterministic **spike attribution**: a second pass over the same
+//! stream with a [`CountingOp`] records the worst single-slide aggregate
+//! operation count and where it happened. That number is a property of
+//! the algorithm and the stream, not the machine — the CI gate
+//! (`tails_bench --gate`) pins it exactly against the committed
+//! baseline, while the wall-clock p99.9 is gated only against a generous
+//! ceiling so shared-runner noise cannot flake the job.
+
+use crate::registry::{single_max_runner, single_sum_runner, CyclicStream};
+use crate::report::save_json;
+use crate::Config;
+use slickdeque::prelude::*;
+use std::time::Instant;
+use swag_metrics::latency::percentile_sorted;
+use swag_metrics::Json;
+
+/// The fixed window size of the sweep (Exp 3's window).
+pub const TAILS_WINDOW: usize = 1024;
+
+/// Slides measured by the deterministic op-count pass: enough to hit
+/// every periodic spike (flips, resets, rebuilds) several times.
+pub const OPS_SLIDES: usize = 20 * TAILS_WINDOW;
+
+/// One algorithm's tail profile.
+#[derive(Debug, Clone)]
+pub struct TailsRow {
+    /// Algorithm label (Fig. 14 naming: baselines plain, SlickDeque
+    /// split into `(inv)` / `(non-inv)`).
+    pub algorithm: String,
+    /// Median per-slide latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile — the gated tail.
+    pub p999_ns: u64,
+    /// Worst observed slide (no outliers dropped).
+    pub max_ns: u64,
+    /// Worst single-slide aggregate-operation count (deterministic).
+    pub spike_ops: u64,
+    /// Slide index (after warm-up) where the worst op count occurred.
+    pub spike_at: usize,
+    /// Human attribution of the spike shape.
+    pub attribution: String,
+}
+
+/// The full tail-latency table.
+#[derive(Debug, Clone)]
+pub struct TailsTable {
+    /// Experiment identifier (`tails`).
+    pub id: String,
+    /// Window size used.
+    pub window: usize,
+    /// Slides timed per algorithm.
+    pub tuples: usize,
+    /// One row per algorithm.
+    pub rows: Vec<TailsRow>,
+}
+
+impl TailsTable {
+    /// Print as an aligned console table.
+    pub fn print(&self) {
+        println!(
+            "\n== Tail latency — window {}, {} timed slides, no outliers dropped ==",
+            self.window, self.tuples
+        );
+        println!(
+            "{:<22} {:>8} {:>8} {:>9} {:>9} {:>10}  attribution",
+            "algorithm", "p50", "p99", "p99.9", "max", "spike ops"
+        );
+        for r in &self.rows {
+            println!(
+                "{:<22} {:>8} {:>8} {:>9} {:>9} {:>10}  {}",
+                r.algorithm, r.p50_ns, r.p99_ns, r.p999_ns, r.max_ns, r.spike_ops, r.attribution
+            );
+        }
+        println!("   (nanoseconds per slide; spike ops = worst single-slide ⊕/⊖ count)");
+    }
+
+    /// Write as JSON to `dir/tails.json`.
+    pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        let json = Json::obj(vec![
+            ("id", Json::str(self.id.as_str())),
+            ("window", Json::UInt(self.window as u64)),
+            ("tuples", Json::UInt(self.tuples as u64)),
+            (
+                "rows",
+                Json::arr(&self.rows, |r| {
+                    Json::obj(vec![
+                        ("algorithm", Json::str(r.algorithm.as_str())),
+                        ("p50_ns", Json::UInt(r.p50_ns)),
+                        ("p99_ns", Json::UInt(r.p99_ns)),
+                        ("p999_ns", Json::UInt(r.p999_ns)),
+                        ("max_ns", Json::UInt(r.max_ns)),
+                        ("spike_ops", Json::UInt(r.spike_ops)),
+                        ("spike_at", Json::UInt(r.spike_at as u64)),
+                        ("attribution", Json::str(r.attribution.as_str())),
+                    ])
+                }),
+            ),
+        ]);
+        save_json(dir, &self.id, &json)
+    }
+
+    /// The row for one algorithm label.
+    pub fn get(&self, algorithm: &str) -> Option<&TailsRow> {
+        self.rows.iter().find(|r| r.algorithm == algorithm)
+    }
+
+    /// Check this run against a committed baseline document (see
+    /// `crates/bench/baselines/tails.json`). Two checks per row:
+    ///
+    /// - `max_spike_ops` is **exact**: the op-count pass is deterministic
+    ///   for a given window/seed, so any increase is a real algorithmic
+    ///   regression (more work per slide than the recorded worst case).
+    /// - `p999_ceiling_ns × tolerance` bounds the wall-clock tail. The
+    ///   committed ceilings are generous (an order of magnitude over a
+    ///   quiet machine) so only a genuine spike regression — a constant-
+    ///   time algorithm suddenly paying a rebuild — can trip them.
+    pub fn gate_violations(&self, baseline: &Json, tolerance: f64) -> Vec<String> {
+        let mut violations = Vec::new();
+        let Some(rows) = baseline.get("rows").and_then(Json::as_array) else {
+            return vec!["baseline has no rows array".to_string()];
+        };
+        for b in rows {
+            let Some(algo) = b.get("algorithm").and_then(Json::as_str) else {
+                violations.push("baseline row without algorithm".to_string());
+                continue;
+            };
+            let Some(row) = self.get(algo) else {
+                violations.push(format!("{algo}: missing from this run"));
+                continue;
+            };
+            if let Some(max_ops) = b.get("max_spike_ops").and_then(Json::as_u64) {
+                if row.spike_ops > max_ops {
+                    violations.push(format!(
+                        "{algo}: worst slide does {} ops, baseline pins {max_ops}",
+                        row.spike_ops
+                    ));
+                }
+            }
+            if let Some(ceiling) = b.get("p999_ceiling_ns").and_then(Json::as_u64) {
+                let bound = ceiling as f64 * tolerance;
+                if row.p999_ns as f64 > bound {
+                    violations.push(format!(
+                        "{algo}: p99.9 {}ns exceeds ceiling {bound:.0}ns",
+                        row.p999_ns
+                    ));
+                }
+            }
+        }
+        violations
+    }
+}
+
+/// Per-slide wall-clock sampling: warm the window, then time each of
+/// `tuples` slides. Raw distribution — no outlier dropping.
+fn timed_tail(algo: &str, invertible: bool, tuples: usize, seed: u64) -> (u64, u64, u64, u64) {
+    let mut stream = CyclicStream::debs(1 << 16, seed);
+    let mut runner = if invertible {
+        single_sum_runner(algo, TAILS_WINDOW)
+    } else {
+        single_max_runner(algo, TAILS_WINDOW)
+    };
+    crate::exp1::warm_window(runner.as_mut(), &stream, TAILS_WINDOW);
+    let mut samples = Vec::with_capacity(tuples);
+    let mut checksum = 0.0f64;
+    for _ in 0..tuples {
+        let v = stream.next_value();
+        let start = Instant::now();
+        checksum += runner.slide_value(v);
+        samples.push(start.elapsed().as_nanos() as u64);
+    }
+    std::hint::black_box(checksum);
+    samples.sort_unstable();
+    (
+        percentile_sorted(&samples, 50.0),
+        percentile_sorted(&samples, 99.0),
+        percentile_sorted(&samples, 99.9),
+        samples[samples.len() - 1],
+    )
+}
+
+/// A boxed per-slide closure returning the slide's aggregate-op count.
+type CountingSlider = Box<dyn FnMut(f64) -> u64>;
+
+/// Build a counting slider for one algorithm row. Sum (invertible) for
+/// the baselines and the `(inv)` row, Max for the `(non-inv)` row —
+/// mirroring Fig. 14's differentiated SlickDeque execution.
+fn counting_slider(algo: &str, window: usize) -> CountingSlider {
+    let c = OpCounter::new();
+    let op = CountingOp::new(Sum::<f64>::new(), c.clone());
+    match algo {
+        "naive" => {
+            let mut a = Naive::with_capacity(op, window);
+            Box::new(move |v| {
+                a.slide(v);
+                c.take()
+            })
+        }
+        "flatfat" => {
+            let mut a = FlatFat::with_capacity(op, window);
+            Box::new(move |v| {
+                a.slide(v);
+                c.take()
+            })
+        }
+        "bint" => {
+            let mut a = BInt::with_capacity(op, window);
+            Box::new(move |v| {
+                a.slide(v);
+                c.take()
+            })
+        }
+        "flatfit" => {
+            let mut a = FlatFit::with_capacity(op, window);
+            Box::new(move |v| {
+                a.slide(v);
+                c.take()
+            })
+        }
+        "twostacks" => {
+            let mut a = TwoStacks::with_capacity(op, window);
+            Box::new(move |v| {
+                a.slide(v);
+                c.take()
+            })
+        }
+        "daba" => {
+            let mut a = Daba::with_capacity(op, window);
+            Box::new(move |v| {
+                a.slide(v);
+                c.take()
+            })
+        }
+        "slickdeque (inv)" => {
+            let mut a = SlickDequeInv::with_capacity(op, window);
+            Box::new(move |v| {
+                a.slide(v);
+                c.take()
+            })
+        }
+        "slickdeque (non-inv)" => {
+            let c = OpCounter::new();
+            let op = CountingOp::new(MaxF64::new(), c.clone());
+            let mut a = SlickDequeNonInv::with_capacity(op, window);
+            Box::new(move |v| {
+                a.slide(v);
+                c.take()
+            })
+        }
+        other => panic!("unknown tails algorithm {other}"),
+    }
+}
+
+/// Deterministic spike attribution: worst single-slide op count over
+/// [`OPS_SLIDES`] slides (after warming a full window) and its index.
+fn spike_profile(algo: &str, seed: u64) -> (u64, usize) {
+    let mut stream = CyclicStream::debs(1 << 16, seed);
+    let mut slide = counting_slider(algo, TAILS_WINDOW);
+    for _ in 0..TAILS_WINDOW {
+        slide(stream.next_value());
+    }
+    let mut worst = 0u64;
+    let mut worst_at = 0usize;
+    for i in 0..OPS_SLIDES {
+        let ops = slide(stream.next_value());
+        if ops > worst {
+            worst = ops;
+            worst_at = i;
+        }
+    }
+    (worst, worst_at)
+}
+
+/// Classify a worst-slide op count relative to the window size.
+fn attribute(spike_ops: u64, window: usize) -> String {
+    // Naive recombines the whole window minus one per slide; TwoStacks'
+    // flip touches every held element — both are "window-sized".
+    let n = window as u64 - 1;
+    if spike_ops >= n {
+        format!("window-sized spike (~{n} ops: rebuild/flip/recompute)")
+    } else if spike_ops > 16 {
+        "logarithmic maintenance (tree walk)".to_string()
+    } else {
+        "constant-bounded (no spikes)".to_string()
+    }
+}
+
+/// All eight algorithm rows, Fig. 14 naming.
+pub const TAILS_ALGOS: [(&str, bool); 8] = [
+    ("naive", true),
+    ("flatfat", true),
+    ("bint", true),
+    ("flatfit", true),
+    ("twostacks", true),
+    ("daba", true),
+    ("slickdeque (inv)", true),
+    ("slickdeque (non-inv)", false),
+];
+
+/// Run the sweep; timed slides follow `cfg.latency_tuples`.
+pub fn run(cfg: &Config) -> TailsTable {
+    let mut rows = Vec::new();
+    for (label, invertible) in TAILS_ALGOS {
+        // Runner registry names: the baselines and "slickdeque", which
+        // resolves to the variant matching the operation.
+        let registry_name = if label.starts_with("slickdeque") {
+            "slickdeque"
+        } else {
+            label
+        };
+        let (p50_ns, p99_ns, p999_ns, max_ns) =
+            timed_tail(registry_name, invertible, cfg.latency_tuples, cfg.seed);
+        let (spike_ops, spike_at) = spike_profile(label, cfg.seed);
+        rows.push(TailsRow {
+            algorithm: label.to_string(),
+            p50_ns,
+            p99_ns,
+            p999_ns,
+            max_ns,
+            spike_ops,
+            spike_at,
+            attribution: attribute(spike_ops, TAILS_WINDOW),
+        });
+    }
+    TailsTable {
+        id: "tails".to_string(),
+        window: TAILS_WINDOW,
+        tuples: cfg.latency_tuples,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_table() -> TailsTable {
+        let mut cfg = Config::quick();
+        cfg.latency_tuples = 4_000;
+        run(&cfg)
+    }
+
+    #[test]
+    fn produces_all_eight_rows_with_ordered_tails() {
+        let t = quick_table();
+        assert_eq!(t.rows.len(), 8);
+        for r in &t.rows {
+            assert!(r.p50_ns <= r.p99_ns, "{}", r.algorithm);
+            assert!(r.p99_ns <= r.p999_ns, "{}", r.algorithm);
+            assert!(r.p999_ns <= r.max_ns, "{}", r.algorithm);
+            assert!(r.spike_ops > 0, "{}", r.algorithm);
+        }
+    }
+
+    #[test]
+    fn spike_attribution_matches_the_paper_story() {
+        let t = quick_table();
+        // The quadratic/linear-spike structures hit window-sized slides…
+        for algo in ["naive", "twostacks"] {
+            let r = t.get(algo).unwrap();
+            assert!(
+                r.spike_ops >= TAILS_WINDOW as u64 - 1,
+                "{algo} spike: {}",
+                r.spike_ops
+            );
+        }
+        // …the trees stay logarithmic…
+        for algo in ["flatfat", "bint"] {
+            let r = t.get(algo).unwrap();
+            assert!(
+                r.spike_ops > 2 && r.spike_ops < TAILS_WINDOW as u64,
+                "{algo} spike: {}",
+                r.spike_ops
+            );
+        }
+        // …and SlickDeque (inv) never exceeds its two ops per slide.
+        assert_eq!(t.get("slickdeque (inv)").unwrap().spike_ops, 2);
+        assert!(t.get("daba").unwrap().spike_ops <= 8);
+    }
+
+    #[test]
+    fn gate_passes_against_own_numbers_and_flags_regressions() {
+        let t = quick_table();
+        let own = Json::obj(vec![(
+            "rows",
+            Json::arr(&t.rows, |r| {
+                Json::obj(vec![
+                    ("algorithm", Json::str(r.algorithm.as_str())),
+                    ("max_spike_ops", Json::UInt(r.spike_ops)),
+                    ("p999_ceiling_ns", Json::UInt(r.p999_ns.max(1))),
+                ])
+            }),
+        )]);
+        assert!(t.gate_violations(&own, 1.0).is_empty());
+
+        let strict = Json::obj(vec![(
+            "rows",
+            Json::arr([()], |_| {
+                Json::obj(vec![
+                    ("algorithm", Json::str("naive")),
+                    // Naive's worst slide recomputes the window, so a
+                    // pin of 1 op must flag a violation.
+                    ("max_spike_ops", Json::UInt(1)),
+                ])
+            }),
+        )]);
+        let violations = t.gate_violations(&strict, 1.0);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("naive"), "{violations:?}");
+
+        let missing = Json::obj(vec![(
+            "rows",
+            Json::arr([()], |_| {
+                Json::obj(vec![("algorithm", Json::str("frobnicator"))])
+            }),
+        )]);
+        assert!(t.gate_violations(&missing, 1.0)[0].contains("missing"));
+    }
+}

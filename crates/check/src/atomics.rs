@@ -44,6 +44,15 @@ const POLICIES: &[Policy] = &[
         fences: &["Acquire", "Release"],
     },
     Policy {
+        // Sampling counters: `seen` and `issued` are independent
+        // monotonic tallies — no payload is published through either,
+        // so Relaxed is the whole protocol. Publication of the stage
+        // events themselves goes through the recorder's seqlock.
+        suffix: "crates/trace/src/span.rs",
+        ops: &["Relaxed"],
+        fences: &[],
+    },
+    Policy {
         suffix: "crates/metrics/src/alloc.rs",
         ops: &["Relaxed"],
         fences: &[],

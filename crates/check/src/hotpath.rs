@@ -6,7 +6,9 @@
 //! whose worst case IS the product: every `FinalAggregator` /
 //! `MultiFinalAggregator` / `AggregateOp` method, the free slice
 //! kernels, the shard processors, `SharedPlanExecutor::{push,
-//! push_batch}`, and the `FlightRecorder::record` seqlock write. Cold
+//! push_batch}`, the `FlightRecorder` seqlock writes, and the
+//! `SpanSampler` lifecycle-sampling path (on by default in the resident
+//! service's ingest loop). Cold
 //! companions on the same traits (`warm` — pre-allocation by design,
 //! `check_invariants`, `heap_bytes`) are excluded and documented.
 //!
@@ -62,10 +64,20 @@ const HOT_FREE_FNS: &[&str] = &["lane_fold", "scan_prefix_with", "scan_suffix_wi
 const SERVER_HOT_FNS: &[&str] = &["accept_loop"];
 
 /// `(owner, method)` pairs that are hot roots outside the trait table.
+/// The span-record path (`SpanSampler` draws, `SampleBlock` iteration,
+/// stage records, and both recorder writes) runs inside the ingest loop
+/// with tracing on by default, so it carries the same contract as the
+/// aggregators themselves.
 const HOT_METHODS: &[(&str, &str)] = &[
     ("SharedPlanExecutor", "push"),
     ("SharedPlanExecutor", "push_batch"),
     ("FlightRecorder", "record"),
+    ("FlightRecorder", "record_at"),
+    ("SpanSampler", "sample"),
+    ("SpanSampler", "sample_block"),
+    ("SpanSampler", "stage"),
+    ("SpanSampler", "stage_at"),
+    ("SampleBlock", "next"),
 ];
 
 /// True if `items[i]` is a hot-path root.

@@ -3,7 +3,7 @@
 //! The paper evaluates each algorithm's time complexity "in terms of the
 //! number of aggregate operations it performs per slide" (§4.1). Wrapping an
 //! operation in [`CountingOp`] makes every `combine` / `inverse_combine`
-//! call tick a shared [`OpCounter`], so the measured per-slide operation
+//! call bump a shared [`OpCounter`], so the measured per-slide operation
 //! counts can be compared directly against the paper's closed forms.
 
 use super::{AggregateOp, CommutativeOp, InvertibleOp, SelectiveOp};
@@ -42,7 +42,7 @@ impl OpCounter {
     }
 
     #[inline]
-    fn tick(&self) {
+    fn bump(&self) {
         self.0.set(self.0.get() + 1);
     }
 }
@@ -59,7 +59,7 @@ pub struct CountingOp<O> {
 }
 
 impl<O> CountingOp<O> {
-    /// Wrap `inner`, ticking `counter` on every combine.
+    /// Wrap `inner`, bumping `counter` on every combine.
     pub fn new(inner: O, counter: OpCounter) -> Self {
         CountingOp { inner, counter }
     }
@@ -96,7 +96,7 @@ impl<O: AggregateOp> AggregateOp for CountingOp<O> {
 
     #[inline]
     fn combine(&self, a: &Self::Partial, b: &Self::Partial) -> Self::Partial {
-        self.counter.tick();
+        self.counter.bump();
         self.inner.combine(a, b)
     }
 
@@ -113,7 +113,7 @@ impl<O: AggregateOp> AggregateOp for CountingOp<O> {
 impl<O: InvertibleOp> InvertibleOp for CountingOp<O> {
     #[inline]
     fn inverse_combine(&self, a: &Self::Partial, b: &Self::Partial) -> Self::Partial {
-        self.counter.tick();
+        self.counter.bump();
         self.inner.inverse_combine(a, b)
     }
 }

@@ -296,7 +296,7 @@ impl ShardedEngine {
                     o.watermark_lag = Some(reg.gauge(
                         "swag_engine_watermark_lag",
                         "Largest accepted event timestamp minus the shard's watermark",
-                        &[("shard", &label)],
+                        &config.obs.series_labels(&label),
                     ));
                 }
                 obs
@@ -309,7 +309,7 @@ impl ShardedEngine {
             reg.counter(
                 "swag_engine_late_tuples_total",
                 "Tuples dropped at the router for arriving below the watermark",
-                &[("shard", "router")],
+                &config.obs.series_labels("router"),
             )
         });
         let router_rec =
@@ -489,7 +489,16 @@ fn event_worker<P: EventProcessor>(
     let mut retained = Vec::new();
     let mut runs: Vec<(u64, f64)> = Vec::new();
     let mut scratch: Vec<(Key, P::Answer)> = Vec::new();
-    while let Ok(batch) = inbox.recv() {
+    // Phase occupancy: one clock read before and after each recv() splits
+    // the worker's wall time into blocked-on-channel vs. processing.
+    let mut phase = obs.as_ref().map(|_| Stopwatch::start());
+    loop {
+        let received = inbox.recv();
+        if let (Some(o), Some(p)) = (&obs, &mut phase) {
+            o.blocked_ns.add(p.elapsed_ns());
+            *p = Stopwatch::start();
+        }
+        let Ok(batch) = received else { break };
         let EventBatch {
             watermark: wm,
             tuples: mut batch_tuples,
@@ -545,10 +554,17 @@ fn event_worker<P: EventProcessor>(
                 if let Some(rec) = &o.recorder {
                     rec.record(EventKind::WatermarkAdvance, wm, scratch.len() as u64);
                 }
-                if let Some(lag) = &o.watermark_lag {
-                    lag.set(processor.max_ts().map_or(0, |m| m.saturating_sub(wm)));
-                }
             }
+        }
+        if let Some(lag) = obs.as_ref().and_then(|o| o.watermark_lag.as_ref()) {
+            // Refreshed every batch — not only on watermark advance — so
+            // the gauge (and the sampler series built from it) tracks lag
+            // even while the watermark is stalled behind late data.
+            lag.set(
+                processor
+                    .max_ts()
+                    .map_or(0, |m| m.saturating_sub(watermark)),
+            );
         }
         answers += scratch.len() as u64;
         if let Some(o) = &obs {
@@ -558,6 +574,10 @@ fn event_worker<P: EventProcessor>(
             retained.append(&mut scratch);
         } else {
             scratch.clear();
+        }
+        if let (Some(o), Some(p)) = (&obs, &mut phase) {
+            o.busy_ns.add(p.elapsed_ns());
+            *p = Stopwatch::start();
         }
     }
     // End of stream: close out every window still holding data. The

@@ -14,7 +14,16 @@
 //! | `swag_engine_keys`              | gauge     | `shard` |
 //! | `swag_engine_queue_depth`       | gauge     | `shard` |
 //! | `swag_engine_queue_depth_peak`  | gauge     | `shard` |
+//! | `swag_engine_busy_ns_total`     | counter   | `shard` |
+//! | `swag_engine_blocked_ns_total`  | counter   | `shard` |
 //! | `swag_slide_latency_ns`         | histogram | `shard` |
+//!
+//! The busy/blocked pair is the worker's phase occupancy: nanoseconds
+//! spent processing batches vs. parked in `recv()` waiting on the
+//! channel. Two clock reads per *batch* (not per tuple) keep it cheap
+//! enough to stay on whenever observability is enabled; the ratio says
+//! immediately whether a slow pipeline is compute-bound (busy ≫ blocked)
+//! or starved/backpressured (blocked ≫ busy).
 //!
 //! Counters are cumulative across runs sharing one registry (Prometheus
 //! semantics); per-run exact numbers stay in [`EngineStats`]. The slide
@@ -61,12 +70,31 @@ pub struct ObservabilityConfig {
     /// queue depths and tuple throughput at this interval into
     /// [`EngineRun::samples`](crate::EngineRun::samples).
     pub sample_interval: Option<Duration>,
+    /// Extra labels prepended to every engine series, before the `shard`
+    /// label. Lets an embedder attribute series to a scope of its own —
+    /// the resident service runs one engine per pipeline against one
+    /// shared registry and sets `[("pipeline", name)]` here, so slide
+    /// latency and phase occupancy stay separable per pipeline.
+    pub labels: Vec<(String, String)>,
 }
 
 impl ObservabilityConfig {
     /// True when any instrumentation is switched on.
     pub fn enabled(&self) -> bool {
         self.registry.is_some() || self.trace_capacity > 0
+    }
+
+    /// The full label set for a series scoped to `shard` (which may also
+    /// be a role like `"router"`): the embedder's extra labels, then
+    /// `shard`.
+    pub(crate) fn series_labels<'a>(&'a self, shard: &'a str) -> Vec<(&'a str, &'a str)> {
+        let mut labels: Vec<(&str, &str)> = self
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        labels.push(("shard", shard));
+        labels
     }
 
     /// Build shard `shard`'s instrument bundle, or `None` when everything
@@ -77,52 +105,68 @@ impl ObservabilityConfig {
             return None;
         }
         let label = shard.to_string();
-        let labels: &[(&str, &str)] = &[("shard", &label)];
-        let (tuples, answers, batches, keys, slide_latency) = match &self.registry {
-            Some(reg) => {
-                reg.queue_depth(
-                    "swag_engine_queue_depth",
-                    "swag_engine_queue_depth_peak",
-                    "Inbound queue occupancy in tuples",
-                    labels,
-                    gauge,
-                );
-                (
-                    reg.counter("swag_engine_tuples_total", "Keyed tuples processed", labels),
-                    reg.counter(
-                        "swag_engine_answers_total",
-                        "Window answers produced",
+        let labels = self.series_labels(&label);
+        let labels = labels.as_slice();
+        let (tuples, answers, batches, keys, busy_ns, blocked_ns, slide_latency) =
+            match &self.registry {
+                Some(reg) => {
+                    reg.queue_depth(
+                        "swag_engine_queue_depth",
+                        "swag_engine_queue_depth_peak",
+                        "Inbound queue occupancy in tuples",
                         labels,
-                    ),
-                    reg.counter(
-                        "swag_engine_batches_total",
-                        "Channel batches received",
-                        labels,
-                    ),
-                    reg.gauge("swag_engine_keys", "Distinct keys resident", labels),
-                    Some(reg.histogram(
-                        "swag_slide_latency_ns",
-                        "Latency of one per-key slide (process_run call) in nanoseconds",
-                        labels,
-                    )),
-                )
-            }
-            // Trace-only runs still tally into free-standing instruments;
-            // the atomics are the cheapest uniform representation.
-            None => (
-                Counter::new(),
-                Counter::new(),
-                Counter::new(),
-                Gauge::new(),
-                None,
-            ),
-        };
+                        gauge,
+                    );
+                    (
+                        reg.counter("swag_engine_tuples_total", "Keyed tuples processed", labels),
+                        reg.counter(
+                            "swag_engine_answers_total",
+                            "Window answers produced",
+                            labels,
+                        ),
+                        reg.counter(
+                            "swag_engine_batches_total",
+                            "Channel batches received",
+                            labels,
+                        ),
+                        reg.gauge("swag_engine_keys", "Distinct keys resident", labels),
+                        reg.counter(
+                            "swag_engine_busy_ns_total",
+                            "Nanoseconds the worker spent processing batches",
+                            labels,
+                        ),
+                        reg.counter(
+                            "swag_engine_blocked_ns_total",
+                            "Nanoseconds the worker spent blocked on its channel",
+                            labels,
+                        ),
+                        Some(reg.histogram(
+                            "swag_slide_latency_ns",
+                            "Latency of one per-key slide (process_run call) in nanoseconds",
+                            labels,
+                        )),
+                    )
+                }
+                // Trace-only runs still tally into free-standing instruments;
+                // the atomics are the cheapest uniform representation.
+                None => (
+                    Counter::new(),
+                    Counter::new(),
+                    Counter::new(),
+                    Gauge::new(),
+                    Counter::new(),
+                    Counter::new(),
+                    None,
+                ),
+            };
         Some(ShardObs {
             shard,
             tuples,
             answers,
             batches,
             keys,
+            busy_ns,
+            blocked_ns,
             slide_latency,
             watermark_lag: None,
             recorder: (self.trace_capacity > 0).then(|| FlightRecorder::new(self.trace_capacity)),
@@ -139,6 +183,11 @@ pub(crate) struct ShardObs {
     pub(crate) answers: Counter,
     pub(crate) batches: Counter,
     pub(crate) keys: Gauge,
+    /// Phase occupancy: nanoseconds processing batches. Timed once per
+    /// batch, so always on when any observability is.
+    pub(crate) busy_ns: Counter,
+    /// Phase occupancy: nanoseconds blocked in `recv()`.
+    pub(crate) blocked_ns: Counter,
     /// Present only with a registry: per-slide timing costs two clock
     /// reads per `process_run`, so it is tied to someone scraping.
     pub(crate) slide_latency: Option<Histogram>,
@@ -183,6 +232,11 @@ pub struct EngineSample {
     /// Cumulative tuples processed (`swag_engine_tuples_total` summed
     /// across shards) at sample time.
     pub tuples: u64,
+    /// Worst-shard watermark lag (`swag_engine_watermark_lag` max across
+    /// shards) at sample time; 0 on arrival-order runs. Sampled every
+    /// interval — not only when a batch advances a watermark — so an
+    /// idle or stalled pipeline's lag is still visible in the series.
+    pub watermark_lag: u64,
 }
 
 impl ToJson for EngineSample {
@@ -191,6 +245,7 @@ impl ToJson for EngineSample {
             ("t_ns", Json::UInt(self.t_ns)),
             ("queue_depth", Json::UInt(self.queue_depth)),
             ("tuples", Json::UInt(self.tuples)),
+            ("watermark_lag", Json::UInt(self.watermark_lag)),
         ])
     }
 }
@@ -232,6 +287,7 @@ pub(crate) fn sampler_loop(
             t_ns: clock.elapsed_ns(),
             queue_depth: snap.sum("swag_engine_queue_depth"),
             tuples: snap.sum("swag_engine_tuples_total"),
+            watermark_lag: snap.max("swag_engine_watermark_lag"),
         };
         if let Ok(mut samples) = out.lock() {
             samples.push(sample);

@@ -346,7 +346,16 @@ fn shard_worker<P: ShardProcessor>(
     // Reused across recv iterations: per-run values and per-batch answers.
     let mut values: Vec<f64> = Vec::new();
     let mut scratch = Vec::new();
-    while let Ok(mut batch) = inbox.recv() {
+    // Phase occupancy: one clock read before and after each recv() splits
+    // the worker's wall time into blocked-on-channel vs. processing.
+    let mut phase = obs.as_ref().map(|_| Stopwatch::start());
+    loop {
+        let batch = inbox.recv();
+        if let (Some(o), Some(p)) = (&obs, &mut phase) {
+            o.blocked_ns.add(p.elapsed_ns());
+            *p = Stopwatch::start();
+        }
+        let Ok(mut batch) = batch else { break };
         gauge.dequeued_n(batch.len() as u64);
         batches += 1;
         if let Some(o) = &obs {
@@ -400,6 +409,10 @@ fn shard_worker<P: ShardProcessor>(
             retained.append(&mut scratch);
         } else {
             scratch.clear();
+        }
+        if let (Some(o), Some(p)) = (&obs, &mut phase) {
+            o.busy_ns.add(p.elapsed_ns());
+            *p = Stopwatch::start();
         }
     }
     if check_invariants {

@@ -77,6 +77,7 @@ fn registry_series_match_stats_and_drain_dumps_parse() {
             trace_capacity: 64,
             trace_out: Some(dir.clone()),
             sample_interval: Some(Duration::from_millis(2)),
+            labels: Vec::new(),
         },
     });
     let mut source = ThrottledSource {
@@ -117,10 +118,23 @@ fn registry_series_match_stats_and_drain_dumps_parse() {
         "swag_engine_keys",
         "swag_engine_queue_depth",
         "swag_engine_queue_depth_peak",
+        "swag_engine_busy_ns_total",
+        "swag_engine_blocked_ns_total",
         "swag_slide_latency_ns_bucket",
     ] {
         assert!(text.contains(name), "missing `{name}` in exposition");
     }
+
+    // Phase occupancy: a 20k-tuple run must have spent measurable time in
+    // both phases (the throttled source forces recv() waits).
+    assert!(
+        snap.sum("swag_engine_busy_ns_total") > 0,
+        "workers recorded busy time"
+    );
+    assert!(
+        snap.sum("swag_engine_blocked_ns_total") > 0,
+        "workers recorded blocked-on-channel time"
+    );
 
     // The sampler produced a monotone time series while the run was live.
     assert!(
@@ -185,6 +199,7 @@ fn worker_panic_leaves_a_parseable_post_mortem() {
             trace_capacity: 32,
             trace_out: Some(dir.clone()),
             sample_interval: None,
+            labels: Vec::new(),
         },
     });
     let mut source = KeyedVecSource::new(tuples(5_000, 7));

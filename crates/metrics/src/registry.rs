@@ -252,6 +252,38 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The samples recorded between `earlier` and `self` (two snapshots
+    /// of the *same* cumulative histogram): bucket-wise difference, used
+    /// by the SLO evaluator to compute quantiles over one evaluation
+    /// window rather than the whole run. `min`/`max` cannot be recovered
+    /// for a window from cumulative state, so the delta carries the
+    /// widest consistent bounds: the nonzero bucket range. Saturates if
+    /// `earlier` is not actually earlier.
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: u64::MAX,
+            max: 0,
+        };
+        for (i, &c) in out.buckets.iter().enumerate() {
+            if c > 0 {
+                out.min = out
+                    .min
+                    .min(if i == 0 { 0 } else { bucket_upper(i - 1) + 1 });
+                out.max = out.max.max(bucket_upper(i));
+            }
+        }
+        // Tighten with the cumulative exact bounds where they still
+        // apply: the window's samples are a subset of the run's.
+        out.max = out.max.min(self.max);
+        if out.count > 0 {
+            out.min = out.min.max(self.min);
+        }
+        out
+    }
 }
 
 impl ToJson for HistogramSnapshot {
@@ -603,6 +635,37 @@ impl RegistrySnapshot {
                 MetricValue::Histogram(h) => h.count,
             })
             .sum()
+    }
+
+    /// The subset of series carrying the label `key`=`value` — e.g. one
+    /// pipeline's slice of a registry shared by many. Composes with
+    /// [`sum`](Self::sum) / [`max`](Self::max) /
+    /// [`merged_histogram`](Self::merged_histogram).
+    pub fn labelled(&self, key: &str, value: &str) -> RegistrySnapshot {
+        RegistrySnapshot {
+            metrics: self
+                .metrics
+                .iter()
+                .filter(|m| m.labels.iter().any(|(k, v)| k == key && v == value))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The largest counter/gauge value named `name` across label sets
+    /// (0 when absent). The right fold for per-shard gauges where the sum
+    /// is meaningless — e.g. watermark lag, where the engine's lag is the
+    /// worst shard's lag.
+    pub fn max(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|m| m.name == name)
+            .map(|m| match &m.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => *v,
+                MetricValue::Histogram(h) => h.max,
+            })
+            .max()
+            .unwrap_or(0)
     }
 }
 

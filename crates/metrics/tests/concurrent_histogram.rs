@@ -1,0 +1,243 @@
+//! Histogram merge and quantile estimation under concurrent recording.
+//!
+//! The SLO evaluator and the trace exporter both read histograms while
+//! shard workers and ingest threads are still recording into them, so
+//! the quantile bound `t ≤ est ≤ 2t` (log2 buckets) has to survive
+//! concurrency, not just the single-threaded golden tests in
+//! `registry.rs`. Everything here is seeded — failures replay exactly.
+
+use swag_metrics::registry::{bucket_index, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+
+/// SplitMix64, inlined: the workspace test-side PRNG idiom (seeded, no
+/// dependencies).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A positive sample with a heavy tail: latencies span ~9 orders of
+    /// magnitude, so exercise many buckets.
+    fn sample(&mut self) -> u64 {
+        let magnitude = self.next() % 30; // bucket spread: 1 .. 2^30
+        (self.next() % (1u64 << magnitude.max(1))).max(1)
+    }
+}
+
+/// Nearest-rank quantile over an already-sorted sample set (the exact
+/// reference the histogram estimate is bounded against).
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn assert_quantile_bound(snap: &HistogramSnapshot, sorted: &[u64], what: &str) {
+    for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+        let t = true_quantile(sorted, q);
+        let est = snap.quantile(q);
+        assert!(
+            t <= est && est <= 2 * t,
+            "{what}: q={q}: true {t} ≤ est {est} ≤ {} violated",
+            2 * t
+        );
+    }
+    assert_eq!(snap.quantile(1.0), snap.max, "{what}: p100 must be exact");
+}
+
+/// Seeded multi-thread stress: many writers into ONE histogram while a
+/// reader snapshots continuously. Mid-run snapshots must be monotone
+/// (cumulative atomics never decrease); the final state must be
+/// bucket-exact against a sequential replay of every stream.
+#[test]
+fn concurrent_recording_is_monotone_and_bucket_exact() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 20_000;
+    let hist = Histogram::new();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let hist = hist.clone();
+            s.spawn(move || {
+                let mut rng = SplitMix64(0xD1CE + t);
+                for _ in 0..PER_THREAD {
+                    hist.record(rng.sample());
+                }
+            });
+        }
+        let reader = {
+            let hist = hist.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                let mut last = HistogramSnapshot::default();
+                let mut reads = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let snap = hist.snapshot();
+                    assert!(snap.count >= last.count, "count went backwards");
+                    for i in 0..HISTOGRAM_BUCKETS {
+                        assert!(
+                            snap.buckets[i] >= last.buckets[i],
+                            "bucket {i} went backwards"
+                        );
+                    }
+                    last = snap;
+                    reads += 1;
+                }
+                reads
+            })
+        };
+        // Writers finish when the scope joins them; signal the reader
+        // once count reaches the target so it exits too.
+        while hist.count() < THREADS * PER_THREAD {
+            std::hint::spin_loop();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(reader.join().unwrap() > 0, "reader never snapshotted");
+    });
+
+    // Sequential replay: the final concurrent state must be bucket-exact.
+    let mut expect_buckets = [0u64; HISTOGRAM_BUCKETS];
+    let (mut expect_sum, mut expect_min, mut expect_max) = (0u64, u64::MAX, 0u64);
+    let mut all: Vec<u64> = Vec::new();
+    for t in 0..THREADS {
+        let mut rng = SplitMix64(0xD1CE + t);
+        for _ in 0..PER_THREAD {
+            let v = rng.sample();
+            expect_buckets[bucket_index(v)] += 1;
+            expect_sum += v;
+            expect_min = expect_min.min(v);
+            expect_max = expect_max.max(v);
+            all.push(v);
+        }
+    }
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    assert_eq!(snap.buckets, expect_buckets);
+    assert_eq!(snap.sum, expect_sum);
+    assert_eq!(snap.min, expect_min);
+    assert_eq!(snap.max, expect_max);
+
+    all.sort_unstable();
+    assert_quantile_bound(&snap, &all, "single shared histogram");
+}
+
+/// Property: merging per-thread histograms recorded concurrently equals
+/// one histogram fed every stream, and the merged quantiles stay inside
+/// `t ≤ est ≤ 2t` of the exact combined distribution. 16 seeded cases.
+#[test]
+fn merged_quantiles_stay_within_log2_bound_across_threads() {
+    for case in 0..16u64 {
+        const THREADS: u64 = 3;
+        let per_thread = 2_000 + (case * 977) % 3_000;
+        let hists: Vec<Histogram> = (0..THREADS).map(|_| Histogram::new()).collect();
+        std::thread::scope(|s| {
+            for (t, h) in hists.iter().enumerate() {
+                let h = h.clone();
+                s.spawn(move || {
+                    let mut rng = SplitMix64(case * 31 + t as u64);
+                    for _ in 0..per_thread {
+                        h.record(rng.sample());
+                    }
+                });
+            }
+        });
+        let mut merged = HistogramSnapshot::default();
+        for h in &hists {
+            merged.merge(&h.snapshot());
+        }
+        let mut all: Vec<u64> = Vec::new();
+        for t in 0..THREADS {
+            let mut rng = SplitMix64(case * 31 + t);
+            for _ in 0..per_thread {
+                all.push(rng.sample());
+            }
+        }
+        all.sort_unstable();
+        assert_eq!(merged.count, all.len() as u64, "case {case}");
+        assert_quantile_bound(&merged, &all, &format!("case {case} merged"));
+    }
+}
+
+/// Snapshots taken WHILE writers are mid-stream must still give sane
+/// quantiles: every estimate is bounded by twice the largest value any
+/// stream can have produced, and `quantile` never panics on a torn view.
+#[test]
+fn mid_stream_snapshots_give_bounded_quantiles() {
+    let hist = Histogram::new();
+    std::thread::scope(|s| {
+        for t in 0..2u64 {
+            let hist = hist.clone();
+            s.spawn(move || {
+                let mut rng = SplitMix64(0xBEEF + t);
+                for _ in 0..50_000 {
+                    hist.record(rng.sample());
+                }
+            });
+        }
+        let hist = hist.clone();
+        s.spawn(move || loop {
+            let snap = hist.snapshot();
+            if snap.count > 0 {
+                for q in [0.5, 0.99, 1.0] {
+                    let est = snap.quantile(q);
+                    assert!(
+                        est <= 1u64 << 31,
+                        "estimate {est} exceeds any possible sample"
+                    );
+                }
+            }
+            if snap.count >= 100_000 {
+                break;
+            }
+        });
+    });
+}
+
+/// The delta of two snapshots of one cumulative histogram isolates the
+/// window's samples: exact count, and quantiles within the log2 bound of
+/// the window's own distribution (the SLO evaluator's burn-rate input).
+#[test]
+fn window_delta_quantiles_bound_the_window_not_the_run() {
+    let hist = Histogram::new();
+    let mut rng = SplitMix64(7);
+    // Epoch A: small values only.
+    for _ in 0..5_000 {
+        hist.record(rng.next() % 64 + 1);
+    }
+    let s1 = hist.snapshot();
+    // Epoch B (the window): values two orders of magnitude larger.
+    let mut window: Vec<u64> = Vec::new();
+    for _ in 0..5_000 {
+        let v = 10_000 + rng.next() % 50_000;
+        window.push(v);
+        hist.record(v);
+    }
+    let s2 = hist.snapshot();
+    let d = s2.delta(&s1);
+    assert_eq!(d.count, 5_000);
+    assert_eq!(d.sum, s2.sum - s1.sum);
+    window.sort_unstable();
+    for q in [0.5, 0.99, 0.999] {
+        let t = true_quantile(&window, q);
+        let est = d.quantile(q);
+        assert!(
+            t <= est && est <= 2 * t,
+            "window q={q}: true {t} ≤ est {est} ≤ {} violated",
+            2 * t
+        );
+        // The run-wide quantile would be wrong here: the run's p50 sits
+        // in epoch A's range, far below the window's true p50.
+        assert!(est > 128, "window estimate leaked epoch A samples");
+    }
+    // Degenerate order: delta of an older snapshot against a newer one
+    // saturates to empty instead of underflowing.
+    let rev = s1.delta(&s2);
+    assert_eq!(rev.count, 0);
+    assert_eq!(rev.quantile(0.99), 0);
+}

@@ -12,6 +12,8 @@
 //! | `DELETE /pipelines/{name}`        | stop + snapshot (`?discard=1` skips the snapshot) |
 //! | `POST /pipelines/{name}/snapshot` | snapshot at next cycle boundary |
 //! | `GET /pipelines/{name}/answers`   | latest answer table             |
+//! | `GET /pipelines/{name}/trace`     | lifecycle trace (Chrome trace-event JSON) |
+//! | `GET /slo`                        | per-pipeline SLO burn rates     |
 //! | `GET /metrics`, `/metrics.json`   | shared registry                 |
 //! | `GET /healthz`                    | liveness                        |
 //!
@@ -221,6 +223,7 @@ fn route(req: &Request, state: &ServerState) -> Response {
             body: state.registry.snapshot().to_prometheus_text(),
         },
         ("GET", "/metrics.json") => Response::ok_json(&state.registry.snapshot().to_json()),
+        ("GET", "/slo") => Response::ok_json(&state.slo_json()),
         ("GET", "/pipelines") => Response::ok_json(&state.list_json()),
         ("POST", "/pipelines") => create_or_restore(&req.body, state),
         (method, p) => match p.strip_prefix("/pipelines/") {
@@ -294,6 +297,14 @@ fn pipeline_route(method: &str, rest: &str, query: &str, state: &ServerState) ->
             Err(e) => Response::not_found(&e),
         },
         ("GET", Some("answers")) => match state.answers_json(name) {
+            Some(json) => Response::ok_json(&json),
+            None => Response::not_found(&format!("no pipeline named {name:?}")),
+        },
+        ("GET", Some("trace")) => match state.trace_json(name) {
+            Some(Json::Null) => Response::error(
+                "409 Conflict",
+                &format!("tracing is disabled; pipeline {name:?} has no trace ring"),
+            ),
             Some(json) => Response::ok_json(&json),
             None => Response::not_found(&format!("no pipeline named {name:?}")),
         },

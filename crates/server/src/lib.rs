@@ -30,9 +30,10 @@ mod control;
 mod pipeline;
 pub mod proto;
 mod server;
+mod slo;
 pub mod snapshot;
 mod spec;
 
 pub use pipeline::{AnswerTable, PipelineStatus};
 pub use server::{ServerConfig, SwagServer};
-pub use spec::{AlgoKind, OpKind, PipelineSpec, PlanKind};
+pub use spec::{AlgoKind, OpKind, PipelineSpec, PlanKind, SloSpec};

@@ -30,11 +30,15 @@ use swag_core::ops::{MaxF64, Mean, MinF64, StdDev, Sum, Variance};
 use swag_core::state::{PartialCodec, StateReader, StateWriter, StatefulAggregator};
 use swag_data::keyed::KeyedVecSource;
 use swag_data::{Key, KeyedEventSource};
-use swag_engine::{shard_of, EngineConfig, KeyedEventWindows, KeyedWindows, ShardedEngine};
+use swag_engine::{
+    shard_of, EngineConfig, KeyedEventWindows, KeyedWindows, ObservabilityConfig, ShardedEngine,
+};
 use swag_metrics::clock::Stopwatch;
 use swag_metrics::json::Json;
 use swag_metrics::registry::{Counter, Gauge, Histogram, MetricRegistry};
+use swag_metrics::QueueDepthGauge;
 use swag_stream::{TimeWindowExec, TimeWindowSpec};
+use swag_trace::{SpanSampler, Stage};
 
 use crate::snapshot::{write_snapshot, KeyState, Snapshot};
 use crate::spec::{AlgoKind, OpKind, PipelineSpec, PlanKind};
@@ -53,6 +57,9 @@ pub(crate) struct IngestTuple {
     pub ts: u64,
     pub value: f64,
     pub ingest_ns: u64,
+    /// Lifecycle trace id from the ingest [`SpanSampler`]; 0 means the
+    /// tuple is unsampled and crosses every stage silently.
+    pub trace: u64,
 }
 
 /// A message on a pipeline's queue.
@@ -158,11 +165,30 @@ pub(crate) struct PipelineObs {
     latency: Histogram,
     keys: Gauge,
     watermark: Gauge,
+    /// Event-time frontier minus watermark; refreshed every cycle, so an
+    /// idle pipeline keeps reporting its last true lag rather than 0.
+    lag: Gauge,
+    /// Live occupancy of the pipeline's ingest message queue, in tuples
+    /// (`swag_pipeline_queue_depth` / `_peak`). Ingest readers increment,
+    /// the worker decrements as it absorbs messages into a cycle.
+    pub(crate) queue: QueueDepthGauge,
+    /// Worker phase occupancy: nanoseconds running cycles.
+    busy_ns: Counter,
+    /// Worker phase occupancy: nanoseconds blocked on the message queue.
+    blocked_ns: Counter,
 }
 
 impl PipelineObs {
     pub(crate) fn new(registry: &MetricRegistry, pipeline: &str) -> Self {
         let l = &[("pipeline", pipeline)][..];
+        let queue = QueueDepthGauge::new();
+        registry.queue_depth(
+            "swag_pipeline_queue_depth",
+            "swag_pipeline_queue_depth_peak",
+            "Ingest message-queue occupancy in tuples",
+            l,
+            &queue,
+        );
         PipelineObs {
             tuples: registry.counter("swag_pipeline_tuples_total", "Tuples processed", l),
             answers: registry.counter("swag_pipeline_answers_total", "Answers produced", l),
@@ -175,6 +201,22 @@ impl PipelineObs {
             ),
             keys: registry.gauge("swag_pipeline_keys", "Distinct keys held", l),
             watermark: registry.gauge("swag_pipeline_watermark", "Event-time watermark", l),
+            lag: registry.gauge(
+                "swag_pipeline_watermark_lag",
+                "Event-time frontier minus watermark",
+                l,
+            ),
+            queue,
+            busy_ns: registry.counter(
+                "swag_pipeline_busy_ns_total",
+                "Nanoseconds the pipeline worker spent running cycles",
+                l,
+            ),
+            blocked_ns: registry.counter(
+                "swag_pipeline_blocked_ns_total",
+                "Nanoseconds the pipeline worker spent blocked on its queue",
+                l,
+            ),
         }
     }
 }
@@ -188,6 +230,26 @@ pub(crate) struct PipelineCtx {
     pub obs: PipelineObs,
     pub epoch: Stopwatch,
     pub snapshot_dir: PathBuf,
+    /// Shared server registry; the engine attaches to it with a
+    /// `pipeline=<name>` label so per-shard slide latency and phase
+    /// occupancy stay separable per pipeline.
+    pub registry: Arc<MetricRegistry>,
+    /// Lifecycle trace sampler shared with the pipeline's ingest
+    /// readers; `None` when tracing is disabled.
+    pub trace: Option<SpanSampler>,
+}
+
+impl PipelineCtx {
+    /// Record stage `stage` for every sampled tuple of a cycle.
+    fn record_stage(&self, tuples: &[IngestTuple], stage: Stage, extra: u64) {
+        if let Some(trace) = &self.trace {
+            for t in tuples {
+                if t.trace != 0 {
+                    trace.stage(t.trace, stage, extra);
+                }
+            }
+        }
+    }
 }
 
 /// A running pipeline as the server sees it.
@@ -197,6 +259,12 @@ pub(crate) struct PipelineHandle {
     pub join: Option<JoinHandle<()>>,
     pub status: Arc<Mutex<PipelineStatus>>,
     pub answers: Arc<Mutex<AnswerTable>>,
+    /// Clone of the worker's sampler, handed to ingest readers and read
+    /// by the control plane's trace export.
+    pub trace: Option<SpanSampler>,
+    /// Clone of the worker's ingest-queue gauge, incremented by ingest
+    /// readers as they enqueue tuple messages.
+    pub queue: QueueDepthGauge,
 }
 
 /// One gathered cycle: tuples to run, snapshot requests to answer at the
@@ -209,14 +277,16 @@ struct Cycle {
 }
 
 /// Block for the next message, then drain whatever else is queued (up to
-/// [`MAX_CYCLE_MSGS`]) into one cycle.
-fn collect_cycle(rx: &Receiver<Msg>) -> Cycle {
+/// [`MAX_CYCLE_MSGS`]) into one cycle. The dequeue boundary is where
+/// sampled tuples get their `Dequeue` stage event and where the
+/// pipeline's queue-depth gauge is decremented.
+fn collect_cycle(ctx: &PipelineCtx) -> Cycle {
     let mut cycle = Cycle {
         tuples: Vec::new(),
         snap_reqs: Vec::new(),
         stop: None,
     };
-    let first = match rx.recv() {
+    let first = match ctx.rx.recv() {
         Ok(m) => m,
         // Every sender gone (server dropped the handle): exit without a
         // snapshot — graceful paths always send an explicit `Stop`.
@@ -226,14 +296,18 @@ fn collect_cycle(rx: &Receiver<Msg>) -> Cycle {
         }
     };
     let absorb = |cycle: &mut Cycle, msg: Msg| match msg {
-        Msg::Tuples(ts) => cycle.tuples.extend(ts),
+        Msg::Tuples(ts) => {
+            ctx.obs.queue.dequeued_n(ts.len() as u64);
+            ctx.record_stage(&ts, Stage::Dequeue, 0);
+            cycle.tuples.extend(ts);
+        }
         Msg::Snapshot(reply) => cycle.snap_reqs.push(reply),
         Msg::Stop { snapshot } => cycle.stop = Some(snapshot),
     };
     absorb(&mut cycle, first);
     let mut msgs = 1;
     while cycle.stop.is_none() && msgs < MAX_CYCLE_MSGS {
-        match rx.try_recv() {
+        match ctx.rx.try_recv() {
             Ok(m) => {
                 absorb(&mut cycle, m);
                 msgs += 1;
@@ -313,6 +387,18 @@ where
     write_snapshot(&ctx.snapshot_dir, &snap)
 }
 
+/// The engine observability config for a pipeline's cycles: the shared
+/// server registry with a `pipeline=<name>` label (so engine series —
+/// slide latency, shard phase occupancy, queue depth — stay separable
+/// per pipeline), no per-cycle rings or samplers.
+fn engine_obs(ctx: &PipelineCtx) -> ObservabilityConfig {
+    ObservabilityConfig {
+        registry: Some(Arc::clone(&ctx.registry)),
+        labels: vec![("pipeline".to_string(), ctx.spec.name.clone())],
+        ..ObservabilityConfig::default()
+    }
+}
+
 /// Update shared status + metrics after a cycle's engine run.
 fn record_run(ctx: &PipelineCtx, stats: &swag_engine::EngineStats, cycle_tuples: &[IngestTuple]) {
     let end_ns = ctx.epoch.elapsed_ns();
@@ -366,12 +452,17 @@ where
         shards,
         batch: ctx.spec.batch,
         retain_answers: true,
+        obs: engine_obs(&ctx),
         ..EngineConfig::default()
     });
 
+    let mut phase = Stopwatch::start();
     loop {
-        let cycle = collect_cycle(&ctx.rx);
+        let cycle = collect_cycle(&ctx);
+        ctx.obs.blocked_ns.add(phase.elapsed_ns());
+        phase = Stopwatch::start();
         if !cycle.tuples.is_empty() {
+            ctx.record_stage(&cycle.tuples, Stage::AggStart, cycle.tuples.len() as u64);
             let mut source =
                 KeyedVecSource::new(cycle.tuples.iter().map(|t| (t.key, t.value)).collect());
             let cell = Mutex::new(slots);
@@ -381,19 +472,26 @@ where
                     .expect("one parked processor per shard")
             });
             slots = procs.into_iter().map(Some).collect();
+            ctx.record_stage(&cycle.tuples, Stage::AggEnd, run.stats.answers);
             record_run(&ctx, &run.stats, &cycle.tuples);
-            let mut table = ctx.answers.lock().unwrap();
-            if let AnswerTable::Count(map) = &mut *table {
-                for shard_answers in &run.answers {
-                    for &(k, v) in shard_answers {
-                        map.insert(k, v);
+            {
+                let mut table = ctx.answers.lock().unwrap();
+                if let AnswerTable::Count(map) = &mut *table {
+                    for shard_answers in &run.answers {
+                        for &(k, v) in shard_answers {
+                            map.insert(k, v);
+                        }
                     }
                 }
             }
+            // The answer table is published: sampled answers exist now.
+            ctx.record_stage(&cycle.tuples, Stage::Emit, 0);
         }
         for reply in cycle.snap_reqs {
             let _ = reply.send(snapshot_count(&ctx, &op, &slots));
         }
+        ctx.obs.busy_ns.add(phase.elapsed_ns());
+        phase = Stopwatch::start();
         match cycle.stop {
             Some(true) => {
                 let err = snapshot_count(&ctx, &op, &slots).err();
@@ -465,6 +563,7 @@ pub(crate) fn event_worker<O>(
         shards,
         batch: ctx.spec.batch,
         retain_answers: true,
+        obs: engine_obs(&ctx),
         ..EngineConfig::default()
     });
     // Resume the watermark where the snapshot cut it: the frontier is
@@ -477,9 +576,13 @@ pub(crate) fn event_worker<O>(
         st.watermark = st.watermark.max(watermark);
     }
 
+    let mut phase = Stopwatch::start();
     loop {
-        let cycle = collect_cycle(&ctx.rx);
+        let cycle = collect_cycle(&ctx);
+        ctx.obs.blocked_ns.add(phase.elapsed_ns());
+        phase = Stopwatch::start();
         if !cycle.tuples.is_empty() {
+            ctx.record_stage(&cycle.tuples, Stage::AggStart, cycle.tuples.len() as u64);
             let mut source = CycleEventSource {
                 tuples: cycle.tuples.iter(),
                 frontier,
@@ -494,19 +597,27 @@ pub(crate) fn event_worker<O>(
             frontier = source.frontier;
             slots = procs.into_iter().map(Some).collect();
             watermark = watermark.max(run.stats.watermark());
+            ctx.record_stage(&cycle.tuples, Stage::AggEnd, run.stats.answers);
             record_run(&ctx, &run.stats, &cycle.tuples);
-            let mut table = ctx.answers.lock().unwrap();
-            if let AnswerTable::Event(map) = &mut *table {
-                for shard_answers in &run.answers {
-                    for &(k, (q, end, v)) in shard_answers {
-                        map.insert((k, q), (end, v));
+            ctx.obs.lag.set(frontier.saturating_sub(watermark));
+            {
+                let mut table = ctx.answers.lock().unwrap();
+                if let AnswerTable::Event(map) = &mut *table {
+                    for shard_answers in &run.answers {
+                        for &(k, (q, end, v)) in shard_answers {
+                            map.insert((k, q), (end, v));
+                        }
                     }
                 }
             }
+            // The answer table is published: sampled answers exist now.
+            ctx.record_stage(&cycle.tuples, Stage::Emit, 0);
         }
         for reply in cycle.snap_reqs {
             let _ = reply.send(snapshot_event(&ctx, &op, &slots, watermark));
         }
+        ctx.obs.busy_ns.add(phase.elapsed_ns());
+        phase = Stopwatch::start();
         match cycle.stop {
             Some(true) => {
                 let err = snapshot_event(&ctx, &op, &slots, watermark).err();
@@ -571,9 +682,10 @@ where
 pub(crate) fn spawn_pipeline(
     spec: PipelineSpec,
     restore: Option<&Snapshot>,
-    registry: &MetricRegistry,
+    registry: &Arc<MetricRegistry>,
     epoch: Stopwatch,
     snapshot_dir: PathBuf,
+    trace: Option<SpanSampler>,
 ) -> Result<PipelineHandle, String> {
     spec.validate()?;
     if let Some(snap) = restore {
@@ -590,14 +702,18 @@ pub(crate) fn spawn_pipeline(
         PlanKind::Count { .. } => AnswerTable::Count(HashMap::new()),
         PlanKind::Event { .. } => AnswerTable::Event(HashMap::new()),
     }));
+    let obs = PipelineObs::new(registry, &spec.name);
+    let queue = obs.queue.clone();
     let ctx = PipelineCtx {
         spec: spec.clone(),
         rx,
         status: Arc::clone(&status),
         answers: Arc::clone(&answers),
-        obs: PipelineObs::new(registry, &spec.name),
+        obs,
         epoch,
         snapshot_dir,
+        registry: Arc::clone(registry),
+        trace: trace.clone(),
     };
     let window = match spec.plan {
         PlanKind::Count { window } => window,
@@ -685,5 +801,7 @@ pub(crate) fn spawn_pipeline(
         join: Some(join),
         status,
         answers,
+        trace,
+        queue,
     })
 }

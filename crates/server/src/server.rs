@@ -13,10 +13,14 @@ use std::time::Duration;
 use swag_metrics::clock::Stopwatch;
 use swag_metrics::json::Json;
 use swag_metrics::registry::{Counter, MetricRegistry};
+use swag_metrics::QueueDepthGauge;
+use swag_trace::chrome::write_chrome_trace;
+use swag_trace::{FlightRecorder, SpanSampler, Stage};
 
 use crate::control::ControlServer;
 use crate::pipeline::{spawn_pipeline, IngestTuple, Msg, PipelineHandle};
 use crate::proto;
+use crate::slo;
 use crate::snapshot::{read_snapshot, Snapshot};
 use crate::spec::PipelineSpec;
 
@@ -30,7 +34,8 @@ const INGEST_READ_TIMEOUT: Duration = Duration::from_secs(120);
 /// cycle boundary, which can be behind a long cycle).
 const SNAPSHOT_TIMEOUT: Duration = Duration::from_secs(60);
 
-/// Where the server binds and where snapshots live.
+/// Where the server binds, where snapshots and traces live, and how the
+/// observability threads are tuned.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Tuple-ingest TCP address (`127.0.0.1:0` picks a free port).
@@ -39,6 +44,22 @@ pub struct ServerConfig {
     pub http_addr: String,
     /// Snapshot directory (`results/snapshots` by default).
     pub snapshot_dir: PathBuf,
+    /// Lifecycle tracing: sample every Nth ingested tuple per pipeline
+    /// (0 disables tracing). On by default — a frame-level block draw
+    /// makes unsampled tuples free, and the obs-overhead gate holds the
+    /// default rate's total cost under 5% of the bulk ingest path.
+    /// Halve it for denser traces, at roughly double the overhead.
+    pub trace_sample: u64,
+    /// Per-pipeline trace-ring capacity in stage events (5 events per
+    /// sampled tuple).
+    pub trace_capacity: usize,
+    /// Directory for `trace-<pipeline>.json` Chrome trace exports,
+    /// written when a pipeline is deleted or the server shuts down.
+    /// `None` keeps rings in memory only (still served via HTTP).
+    pub trace_dir: Option<PathBuf>,
+    /// SLO evaluation window; each tick checks every pipeline's
+    /// objectives against the window's metrics.
+    pub slo_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +68,10 @@ impl Default for ServerConfig {
             ingest_addr: "127.0.0.1:0".into(),
             http_addr: "127.0.0.1:0".into(),
             snapshot_dir: PathBuf::from("results/snapshots"),
+            trace_sample: 128,
+            trace_capacity: 4096,
+            trace_dir: Some(PathBuf::from("results")),
+            slo_interval: Duration::from_millis(250),
         }
     }
 }
@@ -59,7 +84,23 @@ pub(crate) struct ServerState {
     pub epoch: Stopwatch,
     pub snapshot_dir: PathBuf,
     pub stop: AtomicBool,
+    /// Lifecycle-trace sampling interval (0 = tracing off).
+    pub trace_sample: u64,
+    /// Per-pipeline trace-ring capacity in events.
+    pub trace_capacity: usize,
+    /// Chrome trace export directory (`None` = in-memory only).
+    pub trace_dir: Option<PathBuf>,
+    /// Latest SLO report per pipeline, refreshed each evaluator tick and
+    /// served at `GET /slo`.
+    pub slo_reports: Mutex<HashMap<String, Json>>,
     connections: Counter,
+}
+
+/// Everything an ingest reader needs about its target pipeline.
+pub(crate) struct IngestTarget {
+    pub tx: SyncSender<Msg>,
+    pub trace: Option<SpanSampler>,
+    pub queue: QueueDepthGauge,
 }
 
 impl ServerState {
@@ -85,12 +126,21 @@ impl ServerState {
         if map.contains_key(&spec.name) {
             return Err(format!("pipeline {:?} already exists", spec.name));
         }
+        // One sampler and ring per pipeline; the ring shares the server
+        // epoch so span timestamps align with `ingest_ns` stamps.
+        let trace = (self.trace_sample > 0 && self.trace_capacity > 0).then(|| {
+            SpanSampler::new(
+                self.trace_sample,
+                FlightRecorder::with_clock(self.trace_capacity, self.epoch),
+            )
+        });
         let handle = spawn_pipeline(
             spec,
             snap,
             &self.registry,
             self.epoch,
             self.snapshot_dir.clone(),
+            trace,
         )?;
         map.insert(handle.spec.name.clone(), handle);
         Ok(())
@@ -119,6 +169,14 @@ impl ServerState {
             join.join()
                 .map_err(|_| format!("pipeline {name:?} worker panicked"))?;
         }
+        // Export the lifecycle trace after the worker has drained, so
+        // the file holds every stage event the pipeline will ever emit.
+        if let (Some(trace), Some(dir)) = (&handle.trace, &self.trace_dir) {
+            if let Err(e) = write_chrome_trace(dir, name, &trace.ring().snapshot()) {
+                eprintln!("swag-server: trace export for {name:?} failed: {e}");
+            }
+        }
+        self.slo_reports.lock().unwrap().remove(name);
         let status = handle.status.lock().unwrap();
         match &status.error {
             Some(e) => Err(format!("pipeline {name:?} stopped with an error: {e}")),
@@ -126,7 +184,8 @@ impl ServerState {
         }
     }
 
-    /// The ingest sender for a pipeline, for ingest readers.
+    /// The ingest sender for a pipeline (control-plane paths that only
+    /// need the queue, e.g. snapshot requests).
     pub fn sender(&self, name: &str) -> Result<SyncSender<Msg>, String> {
         // check:allow lock poisoning means a worker panicked; failing this connection thread is correct
         let map = self.pipelines.lock().unwrap();
@@ -134,6 +193,44 @@ impl ServerState {
             .map(|h| h.tx.clone())
             // alloc:amortized error path only — unknown pipeline name, once per connection
             .ok_or_else(|| format!("no pipeline named {name:?}"))
+    }
+
+    /// Everything an ingest reader needs: the queue sender, the trace
+    /// sampler, and the queue-depth gauge. One lookup per connection.
+    pub(crate) fn ingest_target(&self, name: &str) -> Result<IngestTarget, String> {
+        // check:allow lock poisoning means a worker panicked; failing this connection thread is correct
+        let map = self.pipelines.lock().unwrap();
+        map.get(name)
+            .map(|h| IngestTarget {
+                tx: h.tx.clone(),
+                trace: h.trace.clone(),
+                queue: h.queue.clone(),
+            })
+            // alloc:amortized error path only — unknown pipeline name, once per connection
+            .ok_or_else(|| format!("no pipeline named {name:?}"))
+    }
+
+    /// One pipeline's lifecycle trace as Chrome trace-event JSON, or
+    /// `None` if the pipeline is unknown (`Some(Null)` when tracing is
+    /// disabled).
+    pub fn trace_json(&self, name: &str) -> Option<Json> {
+        let map = self.pipelines.lock().unwrap();
+        map.get(name).map(|h| match &h.trace {
+            Some(trace) => swag_trace::chrome::chrome_trace(name, &trace.ring().snapshot()),
+            None => Json::Null,
+        })
+    }
+
+    /// The latest SLO reports for every pipeline, as served at
+    /// `GET /slo`.
+    pub fn slo_json(&self) -> Json {
+        let reports = self.slo_reports.lock().unwrap();
+        let mut names: Vec<&String> = reports.keys().collect();
+        names.sort();
+        Json::obj(vec![(
+            "pipelines",
+            Json::arr(names, |name| reports[name].clone()),
+        )])
     }
 
     /// All pipelines with spec and live status, as control-plane JSON.
@@ -177,6 +274,7 @@ pub struct SwagServer {
     state: Arc<ServerState>,
     ingest_addr: SocketAddr,
     ingest_join: Option<JoinHandle<()>>,
+    slo_join: Option<JoinHandle<()>>,
     control: Option<ControlServer>,
 }
 
@@ -195,6 +293,10 @@ impl SwagServer {
             epoch: Stopwatch::start(),
             snapshot_dir: config.snapshot_dir,
             stop: AtomicBool::new(false),
+            trace_sample: config.trace_sample,
+            trace_capacity: config.trace_capacity,
+            trace_dir: config.trace_dir,
+            slo_reports: Mutex::new(HashMap::new()),
             connections,
         });
         let listener = TcpListener::bind(&config.ingest_addr[..])?;
@@ -203,11 +305,17 @@ impl SwagServer {
         let ingest_join = std::thread::Builder::new()
             .name("swag-ingest-accept".into())
             .spawn(move || accept_loop(listener, &accept_state))?;
+        let slo_state = Arc::clone(&state);
+        let slo_interval = config.slo_interval;
+        let slo_join = std::thread::Builder::new()
+            .name("swag-slo".into())
+            .spawn(move || slo::evaluator_loop(&slo_state, slo_interval))?;
         let control = ControlServer::start(&config.http_addr, Arc::clone(&state))?;
         Ok(SwagServer {
             state,
             ingest_addr,
             ingest_join: Some(ingest_join),
+            slo_join: Some(slo_join),
             control: Some(control),
         })
     }
@@ -261,6 +369,16 @@ impl SwagServer {
         self.state.list_json()
     }
 
+    /// One pipeline's lifecycle trace as Chrome trace-event JSON.
+    pub fn trace_json(&self, name: &str) -> Option<Json> {
+        self.state.trace_json(name)
+    }
+
+    /// The latest SLO reports, as served at `GET /slo`.
+    pub fn slo_json(&self) -> Json {
+        self.state.slo_json()
+    }
+
     /// The server's metric registry (shared with every pipeline).
     pub fn registry(&self) -> Arc<MetricRegistry> {
         Arc::clone(&self.state.registry)
@@ -280,6 +398,9 @@ impl SwagServer {
         // Wake the accept loop so it observes the stop flag.
         let _ = TcpStream::connect(self.ingest_addr);
         if let Some(join) = self.ingest_join.take() {
+            let _ = join.join();
+        }
+        if let Some(join) = self.slo_join.take() {
             let _ = join.join();
         }
         let names: Vec<String> = {
@@ -352,31 +473,53 @@ fn serve_conn(stream: &mut TcpStream, state: &ServerState) -> Result<u64, String
 }
 
 /// Forward decoded tuples to the pipeline, stamped with the decode time.
+/// Every tuple is counted by the pipeline's sampler; the 1-in-N winners
+/// get a trace id and an `Ingest` stage event carrying `frame` (the
+/// wire frame/flush sequence number) before they enter the queue.
 fn forward(
-    tx: &SyncSender<Msg>,
+    target: &IngestTarget,
     state: &ServerState,
     tuples: &[(u64, u64, f64)],
     sent: &mut u64,
+    frame: u64,
 ) -> Result<(), String> {
     let ingest_ns = state.epoch.elapsed_ns();
     for chunk in tuples.chunks(FORWARD_CHUNK) {
-        let batch: Vec<IngestTuple> = chunk
+        let mut batch: Vec<IngestTuple> = chunk
             .iter()
             .map(|&(key, ts, value)| IngestTuple {
                 key,
                 ts,
                 value,
                 ingest_ns,
+                trace: 0,
             })
             // alloc:amortized one owned batch per FORWARD_CHUNK tuples; the worker consumes it, so the buffer cannot be reused
             .collect();
         let n = batch.len() as u64;
+        // One atomic draw covers the whole chunk; only the 1-in-N hits
+        // pay a trace-id stamp and an Ingest stage record. The record
+        // reuses `ingest_ns` — the ring shares `state.epoch`, and the
+        // whole chunk was decoded at that instant anyway — so sampling
+        // adds no clock reads to the ingest loop.
+        if let Some(sampler) = &target.trace {
+            for (offset, id) in sampler.sample_block(n) {
+                batch[offset].trace = id;
+                sampler.stage_at(ingest_ns, id, Stage::Ingest, frame);
+            }
+        }
+        // Gauge up before the send: depth counts tuples committed to
+        // the pipeline but not yet absorbed into a cycle, including the
+        // batch a blocked send is holding.
+        target.queue.enqueued_n(n);
         // This send is the backpressure point: it blocks while the
         // pipeline's bounded queue is full, which in turn stalls the
         // remote writer through the kernel socket buffers.
-        tx.send(Msg::Tuples(batch))
+        if target.tx.send(Msg::Tuples(batch)).is_err() {
+            target.queue.dequeued_n(n);
             // alloc:amortized error path only — pipeline stopped mid-stream
-            .map_err(|_| "pipeline stopped while streaming".to_string())?;
+            return Err("pipeline stopped while streaming".to_string());
+        }
         *sent += n;
     }
     Ok(())
@@ -386,9 +529,10 @@ fn serve_binary(stream: &mut TcpStream, state: &ServerState) -> Result<u64, Stri
     let mut r = io::BufReader::new(&mut *stream);
     // alloc:amortized error path only — failed handshake, once per connection
     let name = proto::read_name(&mut r).map_err(|e| format!("read pipeline name: {e}"))?;
-    let tx = state.sender(&name)?;
+    let target = state.ingest_target(&name)?;
     let mut tuples = Vec::new();
     let mut sent = 0u64;
+    let mut frame = 0u64;
     loop {
         let more =
             // alloc:amortized error path only — malformed frame ends the connection
@@ -396,7 +540,8 @@ fn serve_binary(stream: &mut TcpStream, state: &ServerState) -> Result<u64, Stri
         if !more {
             return Ok(sent);
         }
-        forward(&tx, state, &tuples, &mut sent)?;
+        forward(&target, state, &tuples, &mut sent, frame)?;
+        frame += 1;
     }
 }
 
@@ -406,10 +551,11 @@ fn serve_text(first4: [u8; 4], stream: &mut TcpStream, state: &ServerState) -> R
     let mut name = String::new();
     r.read_line(&mut name)
         .map_err(|e| format!("read pipeline name: {e}"))?;
-    let tx = state.sender(name.trim())?;
+    let target = state.ingest_target(name.trim())?;
     let mut buf: Vec<(u64, u64, f64)> = Vec::with_capacity(256);
     let mut sent = 0u64;
     let mut line = String::new();
+    let mut frame = 0u64;
     loop {
         line.clear();
         let n = r
@@ -424,10 +570,11 @@ fn serve_text(first4: [u8; 4], stream: &mut TcpStream, state: &ServerState) -> R
         }
         buf.push(proto::parse_text_line(trimmed)?);
         if buf.len() == buf.capacity() {
-            forward(&tx, state, &buf, &mut sent)?;
+            forward(&target, state, &buf, &mut sent, frame)?;
+            frame += 1;
             buf.clear();
         }
     }
-    forward(&tx, state, &buf, &mut sent)?;
+    forward(&target, state, &buf, &mut sent, frame)?;
     Ok(sent)
 }

@@ -265,6 +265,9 @@ impl Snapshot {
             plan,
             shards: shards.max(1),
             batch: 256,
+            // SLOs are control-plane state and deliberately not part of
+            // the snapshot format; a restored pipeline starts without one.
+            slo: None,
         };
         spec.validate()
             .map_err(|e| format!("snapshot spec invalid: {e}"))?;
@@ -318,6 +321,7 @@ mod tests {
                 plan: PlanKind::Count { window: 4 },
                 shards: 2,
                 batch: 256,
+                slo: None,
             },
             watermark: 0,
             keys: vec![

@@ -206,6 +206,105 @@ pub enum PlanKind {
     },
 }
 
+/// Service-level objectives for one pipeline.
+///
+/// Evaluated continuously by the server's SLO thread: each evaluation
+/// window is checked against every set objective, and the fraction of
+/// recent windows in breach, divided by `error_budget`, is the burn
+/// rate exposed at `GET /slo`. Latency objectives are windowed p99.9
+/// quantiles (log2-bucket histograms, so estimates sit within 2× of the
+/// true quantile); lag and depth objectives gate live gauges.
+///
+/// SLOs are control-plane state, not aggregation state: they ride in
+/// the pipeline JSON but are *not* persisted in snapshots — a restored
+/// pipeline starts with no SLO until one is re-attached via the spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// Target p99.9 ingest-to-answer latency in nanoseconds (TCP frame
+    /// arrival to answer-table publication), per evaluation window.
+    pub p999_ingest_ns: Option<u64>,
+    /// Target p99.9 per-slide latency in nanoseconds (the engine's
+    /// `swag_slide_latency_ns`), per evaluation window.
+    pub p999_slide_ns: Option<u64>,
+    /// Maximum acceptable watermark lag in event-time units
+    /// (event-time pipelines only).
+    pub max_watermark_lag: Option<u64>,
+    /// Maximum acceptable ingest queue depth in tuples.
+    pub max_queue_depth: Option<u64>,
+    /// Fraction of evaluation windows allowed to breach. Burn rate =
+    /// observed breach fraction / budget; > 1.0 means the budget is
+    /// being spent faster than it accrues.
+    pub error_budget: f64,
+}
+
+impl SloSpec {
+    /// Default error budget: 1% of windows may breach.
+    pub const DEFAULT_ERROR_BUDGET: f64 = 0.01;
+
+    /// Parse the `"slo"` object of a pipeline spec body.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let opt_uint = |k: &str| -> Result<Option<u64>, String> {
+            match json.get(k) {
+                Some(v) => v
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("slo field {k:?} must be a non-negative integer")),
+                None => Ok(None),
+            }
+        };
+        let error_budget = match json.get("error_budget") {
+            Some(v) => v
+                .as_f64()
+                .ok_or_else(|| "slo field \"error_budget\" must be a number".to_string())?,
+            None => Self::DEFAULT_ERROR_BUDGET,
+        };
+        Ok(SloSpec {
+            p999_ingest_ns: opt_uint("p999_ingest_ns")?,
+            p999_slide_ns: opt_uint("p999_slide_ns")?,
+            max_watermark_lag: opt_uint("max_watermark_lag")?,
+            max_queue_depth: opt_uint("max_queue_depth")?,
+            error_budget,
+        })
+    }
+
+    /// The `"slo"` object (inverse of [`from_json`](Self::from_json)).
+    pub fn to_json(&self) -> Json {
+        let mut fields = Vec::new();
+        if let Some(v) = self.p999_ingest_ns {
+            fields.push(("p999_ingest_ns", Json::UInt(v)));
+        }
+        if let Some(v) = self.p999_slide_ns {
+            fields.push(("p999_slide_ns", Json::UInt(v)));
+        }
+        if let Some(v) = self.max_watermark_lag {
+            fields.push(("max_watermark_lag", Json::UInt(v)));
+        }
+        if let Some(v) = self.max_queue_depth {
+            fields.push(("max_queue_depth", Json::UInt(v)));
+        }
+        fields.push(("error_budget", Json::Num(self.error_budget)));
+        Json::obj(fields)
+    }
+
+    /// Cross-field checks, shared by [`PipelineSpec::validate`].
+    fn validate(&self, plan: &PlanKind) -> Result<(), String> {
+        if !(self.error_budget > 0.0 && self.error_budget <= 1.0) {
+            return Err("slo error_budget must be in (0, 1]".into());
+        }
+        if self.p999_ingest_ns.is_none()
+            && self.p999_slide_ns.is_none()
+            && self.max_watermark_lag.is_none()
+            && self.max_queue_depth.is_none()
+        {
+            return Err("slo must set at least one objective".into());
+        }
+        if self.max_watermark_lag.is_some() && matches!(plan, PlanKind::Count { .. }) {
+            return Err("max_watermark_lag applies to event-time pipelines only".into());
+        }
+        Ok(())
+    }
+}
+
 /// Everything needed to (re)create a named pipeline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineSpec {
@@ -223,6 +322,9 @@ pub struct PipelineSpec {
     pub shards: usize,
     /// Tuples per engine channel batch.
     pub batch: usize,
+    /// Optional service-level objectives, evaluated by the server's SLO
+    /// thread. Not persisted in snapshots (see [`SloSpec`]).
+    pub slo: Option<SloSpec>,
 }
 
 impl PipelineSpec {
@@ -268,6 +370,9 @@ impl PipelineSpec {
                 }
             }
         }
+        if let Some(slo) = &self.slo {
+            slo.validate(&self.plan)?;
+        }
         Ok(())
     }
 
@@ -280,7 +385,13 @@ impl PipelineSpec {
     ///  "range":1000,"slide":100,"lateness":50,"shards":2}
     /// ```
     ///
-    /// `shards` defaults to 2, `batch` to 256, `lateness` to 0.
+    /// `shards` defaults to 2, `batch` to 256, `lateness` to 0. An
+    /// optional `"slo"` object attaches objectives:
+    ///
+    /// ```json
+    /// {"name":"bids","op":"sum","algorithm":"slickdeque","kind":"count",
+    ///  "window":1000,"slo":{"p999_ingest_ns":5000000,"error_budget":0.05}}
+    /// ```
     pub fn from_json(body: &str) -> Result<Self, String> {
         let json = Json::parse(body).map_err(|e| format!("bad JSON body: {e}"))?;
         let str_field = |k: &str| -> Result<String, String> {
@@ -312,6 +423,10 @@ impl PipelineSpec {
             },
             other => return Err(format!("unknown kind {other:?} (want count or event)")),
         };
+        let slo = match json.get("slo") {
+            Some(obj) => Some(SloSpec::from_json(obj)?),
+            None => None,
+        };
         let spec = PipelineSpec {
             name,
             op,
@@ -319,6 +434,7 @@ impl PipelineSpec {
             plan,
             shards: uint_field("shards", Some(2))? as usize,
             batch: uint_field("batch", Some(256))? as usize,
+            slo,
         };
         spec.validate()?;
         Ok(spec)
@@ -350,6 +466,9 @@ impl PipelineSpec {
         }
         fields.push(("shards", Json::UInt(self.shards as u64)));
         fields.push(("batch", Json::UInt(self.batch as u64)));
+        if let Some(slo) = &self.slo {
+            fields.push(("slo", slo.to_json()));
+        }
         Json::obj(fields)
     }
 }
@@ -366,6 +485,7 @@ mod tests {
             plan: PlanKind::Count { window: 1000 },
             shards: 2,
             batch: 256,
+            slo: None,
         }
     }
 
@@ -389,9 +509,47 @@ mod tests {
             },
             shards: 3,
             batch: 128,
+            slo: Some(SloSpec {
+                p999_ingest_ns: Some(5_000_000),
+                p999_slide_ns: None,
+                max_watermark_lag: Some(2_000),
+                max_queue_depth: None,
+                error_budget: 0.05,
+            }),
         };
         let back = PipelineSpec::from_json(&spec.to_json().pretty()).unwrap();
         assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn slo_defaults_and_validation() {
+        let spec = PipelineSpec::from_json(
+            r#"{"name":"w","op":"sum","algorithm":"slickdeque","kind":"count",
+                "window":10,"slo":{"p999_ingest_ns":1000000}}"#,
+        )
+        .unwrap();
+        let slo = spec.slo.unwrap();
+        assert_eq!(slo.p999_ingest_ns, Some(1_000_000));
+        assert_eq!(slo.error_budget, SloSpec::DEFAULT_ERROR_BUDGET);
+
+        // No objective at all is rejected.
+        assert!(PipelineSpec::from_json(
+            r#"{"name":"w","op":"sum","algorithm":"slickdeque","kind":"count",
+                "window":10,"slo":{}}"#,
+        )
+        .is_err());
+        // Watermark lag makes no sense on a count pipeline.
+        assert!(PipelineSpec::from_json(
+            r#"{"name":"w","op":"sum","algorithm":"slickdeque","kind":"count",
+                "window":10,"slo":{"max_watermark_lag":100}}"#,
+        )
+        .is_err());
+        // Budget outside (0, 1] is rejected.
+        assert!(PipelineSpec::from_json(
+            r#"{"name":"w","op":"sum","algorithm":"slickdeque","kind":"count",
+                "window":10,"slo":{"max_queue_depth":5,"error_budget":0}}"#,
+        )
+        .is_err());
     }
 
     #[test]

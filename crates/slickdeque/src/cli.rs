@@ -461,13 +461,17 @@ impl CliConfig {
 pub fn run_serve(cfg: &CliConfig) -> Result<(), String> {
     use swag_server::{PipelineSpec, ServerConfig, SwagServer};
 
-    let defaults = ServerConfig::default();
-    let server = SwagServer::start(ServerConfig {
-        ingest_addr: cfg.ingest_addr.clone().unwrap_or(defaults.ingest_addr),
-        http_addr: cfg.metrics_addr.clone().unwrap_or(defaults.http_addr),
-        snapshot_dir: cfg.snapshot_dir.clone().unwrap_or(defaults.snapshot_dir),
-    })
-    .map_err(|e| format!("start service: {e}"))?;
+    let mut server_cfg = ServerConfig::default();
+    if let Some(addr) = &cfg.ingest_addr {
+        server_cfg.ingest_addr = addr.clone();
+    }
+    if let Some(addr) = &cfg.metrics_addr {
+        server_cfg.http_addr = addr.clone();
+    }
+    if let Some(dir) = &cfg.snapshot_dir {
+        server_cfg.snapshot_dir = dir.clone();
+    }
+    let server = SwagServer::start(server_cfg).map_err(|e| format!("start service: {e}"))?;
     eprintln!(
         "serving: tuple ingest on {}, control plane + metrics on http://{}",
         server.ingest_addr(),
@@ -761,6 +765,7 @@ fn build_observability(
         sample_interval: registry
             .as_ref()
             .map(|_| std::time::Duration::from_millis(50)),
+        labels: Vec::new(),
     };
     Ok((server, obs))
 }

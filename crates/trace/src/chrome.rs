@@ -1,0 +1,258 @@
+//! Chrome trace-event export for sampled tuple-lifecycle spans.
+//!
+//! Converts the `SpanStage` events in a ring snapshot into the Chrome
+//! trace-event JSON format (the `chrome://tracing` / Perfetto "JSON
+//! Array Format"): one complete (`"ph": "X"`) event per lifecycle span,
+//! one virtual thread per sampled tuple, so loading
+//! `results/trace-<pipeline>.json` shows every sampled answer as a row
+//! decomposing into `queue-wait` / `batching` / `aggregation` /
+//! `emission` bars. This is a cold export path — it allocates freely and
+//! runs only on dump, never per tuple.
+//!
+//! Schema (documented in DESIGN.md §15): `ts`/`dur` are fractional
+//! microseconds since the ring's epoch; `pid` 0 is the pipeline
+//! (named via a `process_name` metadata event); `tid` is the trace id;
+//! `args` carry the pipeline name, trace id, and the ingest frame
+//! sequence number the tuple arrived in.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use swag_metrics::json::Json;
+
+use crate::recorder::Event;
+use crate::span::{stage_events, Stage, StageEvent};
+
+/// One reconstructed per-tuple lifecycle: the trace id, the frame it
+/// arrived in, and the boundary events seen for it (stage order).
+#[derive(Debug, Clone)]
+pub struct TupleTrace {
+    /// The trace id ([`SpanSampler`](crate::span::SpanSampler)-issued).
+    pub trace: u64,
+    /// Ingest frame sequence number (extra payload of the Ingest stage).
+    pub frame: u64,
+    /// Stage boundaries observed, sorted by stage code.
+    pub stages: Vec<StageEvent>,
+}
+
+impl TupleTrace {
+    /// True when every stage from Ingest through Emit survived in the
+    /// ring, i.e. the tuple decomposes into all four named spans.
+    pub fn is_complete(&self) -> bool {
+        self.stages.len() == 5
+            && self
+                .stages
+                .iter()
+                .enumerate()
+                .all(|(i, s)| s.stage.code() == i as u64)
+    }
+}
+
+/// Group a snapshot's `SpanStage` events into per-tuple traces, ordered
+/// by trace id. Duplicate stages for an id (ring wrap artifacts) keep
+/// the earliest occurrence.
+pub fn tuple_traces(events: &[Event]) -> Vec<TupleTrace> {
+    let mut by_trace: BTreeMap<u64, Vec<StageEvent>> = BTreeMap::new();
+    for se in stage_events(events) {
+        let entry = by_trace.entry(se.trace).or_default();
+        if !entry.iter().any(|e| e.stage == se.stage) {
+            entry.push(se);
+        }
+    }
+    by_trace
+        .into_iter()
+        .map(|(trace, mut stages)| {
+            stages.sort_by_key(|s| s.stage.code());
+            let frame = stages
+                .iter()
+                .find(|s| s.stage == Stage::Ingest)
+                .map(|s| s.extra)
+                .unwrap_or(0);
+            TupleTrace {
+                trace,
+                frame,
+                stages,
+            }
+        })
+        .collect()
+}
+
+fn us(ns: u64) -> Json {
+    Json::Num(ns as f64 / 1000.0)
+}
+
+/// Build the Chrome trace-event document for a pipeline's span ring
+/// snapshot. Loadable in `chrome://tracing` and Perfetto.
+pub fn chrome_trace(pipeline: &str, events: &[Event]) -> Json {
+    let traces = tuple_traces(events);
+    let mut trace_events: Vec<Json> = Vec::new();
+    trace_events.push(Json::obj(vec![
+        ("name", Json::str("process_name")),
+        ("ph", Json::str("M")),
+        ("pid", Json::UInt(0)),
+        ("tid", Json::UInt(0)),
+        (
+            "args",
+            Json::obj(vec![("name", Json::str(format!("pipeline {pipeline}")))]),
+        ),
+    ]));
+    for t in &traces {
+        trace_events.push(Json::obj(vec![
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::UInt(0)),
+            ("tid", Json::UInt(t.trace)),
+            (
+                "args",
+                Json::obj(vec![(
+                    "name",
+                    Json::str(format!("tuple {} (frame {})", t.trace, t.frame)),
+                )]),
+            ),
+        ]));
+        for pair in t.stages.windows(2) {
+            let (from, to) = (pair[0], pair[1]);
+            // Exactly-adjacent stages get the canonical span name; a gap
+            // (stage lost to ring wrap) is labelled by its endpoints so
+            // it is visibly not a clean measurement.
+            let name = if to.stage.code() == from.stage.code() + 1 {
+                to.stage.span_ending_here().unwrap_or("span").to_string()
+            } else {
+                format!("{}..{}", from.stage.as_str(), to.stage.as_str())
+            };
+            let dur_ns = to.ts_ns.saturating_sub(from.ts_ns);
+            trace_events.push(Json::obj(vec![
+                ("name", Json::str(name)),
+                ("cat", Json::str("lifecycle")),
+                ("ph", Json::str("X")),
+                ("ts", us(from.ts_ns)),
+                ("dur", us(dur_ns)),
+                ("pid", Json::UInt(0)),
+                ("tid", Json::UInt(t.trace)),
+                (
+                    "args",
+                    Json::obj(vec![
+                        ("pipeline", Json::str(pipeline)),
+                        ("trace", Json::UInt(t.trace)),
+                        ("frame", Json::UInt(t.frame)),
+                        ("dur_ns", Json::UInt(dur_ns)),
+                    ]),
+                ),
+            ]));
+        }
+    }
+    let complete = traces.iter().filter(|t| t.is_complete()).count();
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(trace_events)),
+        ("displayTimeUnit", Json::str("ms")),
+        (
+            "otherData",
+            Json::obj(vec![
+                ("pipeline", Json::str(pipeline)),
+                ("traces", Json::UInt(traces.len() as u64)),
+                ("complete_traces", Json::UInt(complete as u64)),
+            ]),
+        ),
+    ])
+}
+
+/// Write `dir/trace-<pipeline>.json`, creating `dir` if needed. Returns
+/// the path written.
+pub fn write_chrome_trace(
+    dir: &Path,
+    pipeline: &str,
+    events: &[Event],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("trace-{pipeline}.json"));
+    std::fs::write(&path, chrome_trace(pipeline, events).pretty())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::FlightRecorder;
+    use crate::span::SpanSampler;
+
+    fn record_full_trace(sampler: &SpanSampler, frame: u64) -> u64 {
+        let id = sampler.sample().expect("every=1 always samples");
+        sampler.stage(id, Stage::Ingest, frame);
+        sampler.stage(id, Stage::Dequeue, 0);
+        sampler.stage(id, Stage::AggStart, 8);
+        sampler.stage(id, Stage::AggEnd, 0);
+        sampler.stage(id, Stage::Emit, 0);
+        id
+    }
+
+    #[test]
+    fn complete_trace_decomposes_into_the_four_spans() {
+        let sampler = SpanSampler::new(1, FlightRecorder::new(64));
+        let id = record_full_trace(&sampler, 3);
+        let traces = tuple_traces(&sampler.ring().snapshot());
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].trace, id);
+        assert_eq!(traces[0].frame, 3);
+        assert!(traces[0].is_complete());
+
+        let doc = chrome_trace("bids", &sampler.ring().snapshot());
+        let text = doc.pretty();
+        let parsed = Json::parse(&text).expect("chrome trace parses");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        let span_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert_eq!(
+            span_names,
+            vec!["queue-wait", "batching", "aggregation", "emission"]
+        );
+        assert_eq!(
+            parsed
+                .get("otherData")
+                .and_then(|o| o.get("complete_traces"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn gap_from_ring_wrap_is_labelled_not_misnamed() {
+        let sampler = SpanSampler::new(1, FlightRecorder::new(64));
+        let id = sampler.sample().unwrap();
+        sampler.stage(id, Stage::Ingest, 0);
+        // Dequeue lost (simulated ring wrap): skip straight to AggStart.
+        sampler.stage(id, Stage::AggStart, 0);
+        sampler.stage(id, Stage::AggEnd, 0);
+        let doc = chrome_trace("p", &sampler.ring().snapshot());
+        let text = doc.pretty();
+        assert!(text.contains("ingest..agg_start"));
+        assert!(text.contains("aggregation"));
+        assert!(!text.contains("queue-wait"));
+    }
+
+    #[test]
+    fn spans_nonnegative_and_microsecond_scaled() {
+        let sampler = SpanSampler::new(1, FlightRecorder::new(64));
+        record_full_trace(&sampler, 0);
+        record_full_trace(&sampler, 1);
+        let doc = chrome_trace("p", &sampler.ring().snapshot());
+        let parsed = Json::parse(&doc.pretty()).unwrap();
+        for e in parsed.get("traceEvents").and_then(Json::as_array).unwrap() {
+            if e.get("ph").and_then(Json::as_str) == Some("X") {
+                let dur = e.get("dur").and_then(Json::as_f64).unwrap();
+                assert!(dur >= 0.0);
+                let dur_ns = e
+                    .get("args")
+                    .and_then(|a| a.get("dur_ns"))
+                    .and_then(Json::as_u64)
+                    .unwrap() as f64;
+                assert!((dur - dur_ns / 1000.0).abs() < 1e-9);
+            }
+        }
+    }
+}

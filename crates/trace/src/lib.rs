@@ -29,10 +29,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod chrome;
 pub mod hook;
 pub mod recorder;
+pub mod span;
 
-pub use recorder::{Event, EventKind, FlightRecorder};
+pub use recorder::{merge_events, Event, EventKind, FlightRecorder};
+pub use span::{SampleBlock, SpanSampler, Stage};
 
 /// Record an event on an `Option<FlightRecorder>` without allocating.
 ///

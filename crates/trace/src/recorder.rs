@@ -13,9 +13,16 @@ use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
+use swag_metrics::clock::Stopwatch;
 use swag_metrics::json::{Json, ToJson};
+
+/// Process-wide event sequence. Every [`FlightRecorder::record`] claims
+/// one value, so events from *different* rings (shards, the router, the
+/// ingest threads) carry a total order and multi-shard post-mortems merge
+/// deterministically — per-ring `seq` alone cannot order dumps against
+/// each other. See [`merge_events`].
+static GLOBAL_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// What happened. Payload meanings (`a`, `b`) per kind are part of the
 /// dump schema documented in DESIGN.md §10.
@@ -45,6 +52,14 @@ pub enum EventKind {
     /// The watermark advanced. `a` = new watermark, `b` = answers
     /// emitted by the advance.
     WatermarkAdvance,
+    /// A sampled tuple crossed a lifecycle stage boundary. `a` = trace
+    /// id (nonzero), `b` = stage code in the low byte (see
+    /// [`Stage`](crate::span::Stage)) with a stage-specific payload in
+    /// the high bits.
+    SpanStage,
+    /// A pipeline SLO objective was breached. `a` = objective code,
+    /// `b` = the observed value that broke the target.
+    SloBreach,
 }
 
 impl EventKind {
@@ -60,6 +75,8 @@ impl EventKind {
             EventKind::Custom => "custom",
             EventKind::LateDrop => "late_drop",
             EventKind::WatermarkAdvance => "watermark_advance",
+            EventKind::SpanStage => "span_stage",
+            EventKind::SloBreach => "slo_breach",
         }
     }
 
@@ -74,6 +91,8 @@ impl EventKind {
             EventKind::Custom => 6,
             EventKind::LateDrop => 7,
             EventKind::WatermarkAdvance => 8,
+            EventKind::SpanStage => 9,
+            EventKind::SloBreach => 10,
         }
     }
 
@@ -87,6 +106,8 @@ impl EventKind {
             5 => EventKind::Panic,
             7 => EventKind::LateDrop,
             8 => EventKind::WatermarkAdvance,
+            9 => EventKind::SpanStage,
+            10 => EventKind::SloBreach,
             _ => EventKind::Custom,
         }
     }
@@ -104,7 +125,12 @@ pub struct Event {
     /// 0-based position in the recorder's whole event stream (older
     /// events with smaller `seq` may have been overwritten).
     pub seq: u64,
-    /// Nanoseconds since the recorder was created (monotonic).
+    /// Process-wide monotonic sequence number, unique across *all*
+    /// recorders in this process; merging multi-ring dumps by `gseq`
+    /// yields a deterministic total order.
+    pub gseq: u64,
+    /// Nanoseconds since the recorder's epoch (monotonic; the epoch
+    /// defaults to construction time, see [`FlightRecorder::with_clock`]).
     pub ts_ns: u64,
     /// What happened.
     pub kind: EventKind,
@@ -118,6 +144,7 @@ impl ToJson for Event {
     fn to_json(&self) -> Json {
         Json::obj(vec![
             ("seq", Json::UInt(self.seq)),
+            ("gseq", Json::UInt(self.gseq)),
             ("ts_ns", Json::UInt(self.ts_ns)),
             ("kind", Json::str(self.kind.as_str())),
             ("a", Json::UInt(self.a)),
@@ -136,6 +163,7 @@ impl ToJson for Event {
 #[derive(Debug, Default)]
 struct Slot {
     seq: AtomicU64,
+    gseq: AtomicU64,
     ts_ns: AtomicU64,
     kind: AtomicU64,
     a: AtomicU64,
@@ -149,7 +177,7 @@ struct RecorderInner {
     /// index; colliding ring slots resolve by seq, newest wins).
     head: AtomicU64,
     slots: Box<[Slot]>,
-    epoch: Instant,
+    epoch: Stopwatch,
 }
 
 /// A fixed-capacity, lock-free ring buffer of timestamped events.
@@ -166,13 +194,22 @@ impl FlightRecorder {
     /// A recorder holding the last `capacity` events (rounded up to 1).
     /// The timestamp epoch is the moment of construction.
     pub fn new(capacity: usize) -> Self {
+        Self::with_clock(capacity, Stopwatch::start())
+    }
+
+    /// A recorder whose `ts_ns` values count from `clock`'s start rather
+    /// than construction time. Rings sharing one [`Stopwatch`] (e.g. every
+    /// ring in a server process) produce directly comparable timestamps,
+    /// which the span exporter relies on to align stage events with
+    /// ingest timestamps stamped from the same clock.
+    pub fn with_clock(capacity: usize, clock: Stopwatch) -> Self {
         let capacity = capacity.max(1);
         let slots = (0..capacity).map(|_| Slot::default()).collect();
         FlightRecorder {
             inner: Arc::new(RecorderInner {
                 head: AtomicU64::new(0),
                 slots,
-                epoch: Instant::now(),
+                epoch: clock,
             }),
         }
     }
@@ -188,14 +225,35 @@ impl FlightRecorder {
         self.inner.head.load(Ordering::Relaxed)
     }
 
-    /// Record one event. Wait-free: one `fetch_add`, five relaxed stores,
-    /// two fences; no allocation.
+    /// Nanoseconds since this recorder's epoch, right now — exactly the
+    /// timestamp [`record`](Self::record) would stamp. Take one reading
+    /// and share it across several [`record_at`](Self::record_at) calls
+    /// to amortise the clock read over a batch of events.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.inner.epoch.elapsed_ns()
+    }
+
+    /// Record one event. Wait-free: two `fetch_add`s, one clock read,
+    /// six relaxed stores, two fences; no allocation.
     #[inline]
     pub fn record(&self, kind: EventKind, a: u64, b: u64) {
+        self.record_at(self.now_ns(), kind, a, b);
+    }
+
+    /// Record one event with a caller-supplied timestamp (from
+    /// [`now_ns`](Self::now_ns)), skipping the per-event clock read.
+    /// Batch producers that stamp many events at one instant — e.g. the
+    /// ingest path marking every sampled tuple of a frame — use this to
+    /// keep the per-event cost to the two `fetch_add`s and the stores.
+    /// Timestamps still sort consistently with `gseq` as long as callers
+    /// don't reorder readings across record calls on one thread.
+    #[inline]
+    pub fn record_at(&self, ts: u64, kind: EventKind, a: u64, b: u64) {
         let inner = &*self.inner;
         let i = inner.head.fetch_add(1, Ordering::Relaxed);
+        let g = GLOBAL_SEQ.fetch_add(1, Ordering::Relaxed);
         let slot = &inner.slots[(i % inner.slots.len() as u64) as usize];
-        let ts = inner.epoch.elapsed().as_nanos() as u64;
         // Seqlock write protocol: odd = in progress, even = event i done.
         // The Release fences order the payload stores between the two seq
         // stores for any reader that observes them with Acquire fences;
@@ -203,6 +261,7 @@ impl FlightRecorder {
         // (seq mismatch) rather than undefined behaviour.
         slot.seq.store(i * 2 + 1, Ordering::Relaxed);
         fence(Ordering::Release);
+        slot.gseq.store(g, Ordering::Relaxed);
         slot.ts_ns.store(ts, Ordering::Relaxed);
         slot.kind.store(kind.to_u64(), Ordering::Relaxed);
         slot.a.store(a, Ordering::Relaxed);
@@ -223,6 +282,7 @@ impl FlightRecorder {
             if s1 == 0 || s1 % 2 == 1 {
                 continue; // never written, or write in progress
             }
+            let gseq = slot.gseq.load(Ordering::Relaxed);
             let ts_ns = slot.ts_ns.load(Ordering::Relaxed);
             let kind = slot.kind.load(Ordering::Relaxed);
             let a = slot.a.load(Ordering::Relaxed);
@@ -234,6 +294,7 @@ impl FlightRecorder {
             }
             events.push(Event {
                 seq: s1 / 2 - 1,
+                gseq,
                 ts_ns,
                 kind: EventKind::from_u64(kind),
                 a,
@@ -269,6 +330,17 @@ impl FlightRecorder {
         std::fs::write(&path, self.dump_json(shard).pretty())?;
         Ok(path)
     }
+}
+
+/// Merge snapshots from several recorders into one stream, totally
+/// ordered by the process-wide `gseq`. Per-ring `seq` values restart at
+/// zero in every ring, so they cannot order a shard-0 dump against a
+/// shard-1 dump; `gseq` is claimed from one process-global counter and
+/// can. The result is deterministic for any set of snapshots.
+pub fn merge_events(snapshots: &[Vec<Event>]) -> Vec<Event> {
+    let mut all: Vec<Event> = snapshots.iter().flatten().copied().collect();
+    all.sort_by_key(|e| e.gseq);
+    all
 }
 
 #[cfg(test)]
@@ -365,6 +437,79 @@ mod tests {
         // Code 6 stays the Custom fallback for unknown codes.
         assert_eq!(EventKind::from_u64(6), EventKind::Custom);
         assert_eq!(EventKind::from_u64(99), EventKind::Custom);
+    }
+
+    #[test]
+    fn span_kinds_round_trip() {
+        for kind in [EventKind::SpanStage, EventKind::SloBreach] {
+            assert_eq!(EventKind::from_u64(kind.to_u64()), kind);
+        }
+        assert_eq!(EventKind::SpanStage.as_str(), "span_stage");
+        assert_eq!(EventKind::SloBreach.as_str(), "slo_breach");
+    }
+
+    #[test]
+    fn gseq_totally_orders_events_across_rings() {
+        let a = FlightRecorder::new(8);
+        let b = FlightRecorder::new(8);
+        // Interleave writes across two rings; per-ring seq restarts at 0
+        // in each, but gseq must still order the merged stream exactly as
+        // recorded.
+        a.record(EventKind::Custom, 0, 0);
+        b.record(EventKind::Custom, 1, 0);
+        a.record(EventKind::Custom, 2, 0);
+        b.record(EventKind::Custom, 3, 0);
+        a.record(EventKind::Custom, 4, 0);
+        let merged = merge_events(&[a.snapshot(), b.snapshot()]);
+        assert_eq!(merged.len(), 5);
+        let payloads: Vec<u64> = merged.iter().map(|e| e.a).collect();
+        assert_eq!(payloads, vec![0, 1, 2, 3, 4]);
+        assert!(merged.windows(2).all(|w| w[0].gseq < w[1].gseq));
+        // Per-ring seq alone would NOT have ordered these: both rings
+        // start their local streams at seq 0.
+        assert_eq!(merged[0].seq, 0);
+        assert_eq!(merged[1].seq, 0);
+    }
+
+    #[test]
+    fn gseq_is_unique_under_concurrent_recording() {
+        let rings: Vec<FlightRecorder> = (0..4).map(|_| FlightRecorder::new(1024)).collect();
+        let handles: Vec<_> = rings
+            .iter()
+            .map(|r| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        r.record(EventKind::Custom, i, 0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let merged = merge_events(&rings.iter().map(|r| r.snapshot()).collect::<Vec<_>>());
+        assert_eq!(merged.len(), 4000);
+        assert!(
+            merged.windows(2).all(|w| w[0].gseq < w[1].gseq),
+            "gseq values must be strictly increasing after the merge"
+        );
+    }
+
+    #[test]
+    fn with_clock_shares_an_epoch_between_rings() {
+        let clock = Stopwatch::start();
+        let a = FlightRecorder::with_clock(4, clock);
+        let b = FlightRecorder::with_clock(4, clock);
+        a.record(EventKind::Custom, 0, 0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        b.record(EventKind::Custom, 0, 0);
+        let ea = a.snapshot()[0];
+        let eb = b.snapshot()[0];
+        assert!(
+            eb.ts_ns > ea.ts_ns,
+            "later event on ring b must carry a later shared-epoch timestamp"
+        );
     }
 
     #[test]
